@@ -1,0 +1,85 @@
+// Ablation: expression constant folding. Display expressions are evaluated
+// once per tuple per render; folding their constant subtrees (color ramps,
+// fixed geometry) off the per-tuple path is the library's main expression
+// optimization. This bench measures evaluation with and without it.
+
+#include "bench/bench_common.h"
+
+#include "db/operators.h"
+#include "expr/optimizer.h"
+#include "expr/parser.h"
+
+namespace tioga2::bench {
+namespace {
+
+// A display expression with a large constant core (folds to two nodes) and
+// a small data-dependent part.
+constexpr const char* kHeavyExpr =
+    "circle(0.02 + 0.01 * 2.0, lerp_color(rgb(30, 70, 200), rgb(200, 30, 30), "
+    "clamp(altitude / (1000.0 + 500.0 * 2.0), 0.0, 1.0)), true) + "
+    "offset(point(), 0.1 * 3.0, 0.2 * 2.0)";
+
+expr::TypeEnv Env() {
+  return expr::MakeSchemaTypeEnv({{"altitude", types::DataType::kFloat}});
+}
+
+void Report() {
+  ReportHeader("Ablation: expression constant folding",
+               "per-tuple display expressions with constant subtrees (§5.1)");
+  expr::ExprNodePtr ast = Must(expr::ParseExpr(kHeavyExpr), "parse");
+  MustOk(expr::AnalyzeExpr(ast.get(), Env()), "analyze");
+  std::function<size_t(const expr::ExprNode&)> count_nodes =
+      [&](const expr::ExprNode& node) {
+        size_t n = 1;
+        for (const auto& child : node.children) n += count_nodes(*child);
+        return n;
+      };
+  size_t before = count_nodes(*ast);
+  size_t folded = Must(expr::FoldConstants(ast.get()), "fold");
+  size_t after = count_nodes(*ast);
+  std::printf("  expression nodes: %zu before folding, %zu after (%zu folds)\n",
+              before, after, folded);
+}
+
+void BM_EvalUnfolded(benchmark::State& state) {
+  expr::ExprNodePtr ast = Must(expr::ParseExpr(kHeavyExpr), "parse");
+  MustOk(expr::AnalyzeExpr(ast.get(), Env()), "analyze");
+  db::Tuple row{types::Value::Float(1234.0)};
+  expr::TupleAccessor accessor(row);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::EvalExpr(*ast, accessor));
+  }
+}
+BENCHMARK(BM_EvalUnfolded);
+
+void BM_EvalFolded(benchmark::State& state) {
+  expr::ExprNodePtr ast = Must(expr::ParseExpr(kHeavyExpr), "parse");
+  MustOk(expr::AnalyzeExpr(ast.get(), Env()), "analyze");
+  Must(expr::FoldConstants(ast.get()), "fold");
+  db::Tuple row{types::Value::Float(1234.0)};
+  expr::TupleAccessor accessor(row);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr::EvalExpr(*ast, accessor));
+  }
+}
+BENCHMARK(BM_EvalFolded);
+
+void BM_RestrictSimplePredicate(benchmark::State& state) {
+  // End-to-end effect on a Restrict whose predicate has constant parts.
+  Environment env;
+  MustOk(env.LoadDemoData(20000, 5), "load");
+  auto stations = Must(env.catalog().GetTable("Stations"), "table");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db::Restrict(stations, "altitude > 100.0 * 2.0 + 300.0"));
+  }
+}
+BENCHMARK(BM_RestrictSimplePredicate);
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) {
+  tioga2::bench::Report();
+  return tioga2::bench::RunBenchmarks(argc, argv);
+}

@@ -1,0 +1,162 @@
+// Figure 2: the program-editing operations — New/Add/Load/Save Program,
+// Apply Box, Delete Box, Replace Box, T, Encapsulate.
+//
+// Reproduction: exercises every Figure 2 operation once and reports its
+// outcome. Benchmarks: the latency of each editing operation, including
+// Save/Load round trips and Encapsulate + instantiation, plus Undo.
+
+#include "bench/bench_common.h"
+
+namespace tioga2::bench {
+namespace {
+
+std::unique_ptr<Environment> FreshEnv() {
+  auto env = std::make_unique<Environment>();
+  MustOk(env->LoadDemoData(/*extra_stations=*/100, /*num_days=*/10), "load");
+  return env;
+}
+
+void Report() {
+  ReportHeader("Figure 2", "operations that manipulate the boxes-and-arrows diagram");
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+
+  std::string stations = Must(session.AddTable("Stations"), "Add Table");
+  std::string restrict =
+      Must(session.AddBox("Restrict", {{"predicate", "state = \"LA\""}}), "box");
+  MustOk(session.Connect(stations, 0, restrict, 0), "connect");
+  std::printf("  Add Table / Apply Box / Connect: ok\n");
+
+  auto candidates = Must(session.ApplyBoxCandidates({{stations, 0}}), "Apply Box");
+  std::printf("  Apply Box menu for a R edge: %zu candidate box types\n",
+              candidates.size());
+
+  std::string t = Must(session.InsertT(restrict, 0), "T");
+  std::printf("  T inserted on the Stations->Restrict edge: %s\n", t.c_str());
+
+  MustOk(session.ReplaceBox(restrict, "Restrict",
+                            {{"predicate", "state = \"TX\""}}),
+         "Replace Box");
+  std::printf("  Replace Box: predicate swapped\n");
+
+  MustOk(session.Encapsulate({restrict}, {}, "tx_filter"), "Encapsulate");
+  std::printf("  Encapsulate: 'tx_filter' in library (%zu definitions)\n",
+              session.EncapsulatedNames().size());
+
+  MustOk(session.SaveProgram("fig2"), "Save Program");
+  MustOk(session.LoadProgram("fig2"), "Load Program");
+  std::printf("  Save Program + Load Program: %zu boxes round-tripped\n",
+              session.graph().num_boxes());
+
+  MustOk(session.Undo(), "Undo");
+  std::printf("  Undo: ok (depth now %zu)\n", session.UndoDepth());
+}
+
+void BM_AddBoxAndUndo(benchmark::State& state) {
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+  for (auto _ : state) {
+    Must(session.AddBox("Restrict", {{"predicate", "state = \"LA\""}}), "box");
+    MustOk(session.Undo(), "undo");
+  }
+}
+BENCHMARK(BM_AddBoxAndUndo);
+
+void BM_ConnectDisconnect(benchmark::State& state) {
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+  std::string stations = Must(session.AddTable("Stations"), "t");
+  std::string restrict =
+      Must(session.AddBox("Restrict", {{"predicate", "true"}}), "r");
+  for (auto _ : state) {
+    MustOk(session.Connect(stations, 0, restrict, 0), "connect");
+    MustOk(session.Undo(), "undo");
+  }
+}
+BENCHMARK(BM_ConnectDisconnect);
+
+void BM_ApplyBoxCandidates(benchmark::State& state) {
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+  std::string stations = Must(session.AddTable("Stations"), "t");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.ApplyBoxCandidates({{stations, 0}}));
+  }
+}
+BENCHMARK(BM_ApplyBoxCandidates);
+
+void BM_InsertTAndUndo(benchmark::State& state) {
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+  std::string stations = Must(session.AddTable("Stations"), "t");
+  std::string restrict = Must(session.AddBox("Restrict", {{"predicate", "true"}}), "r");
+  MustOk(session.Connect(stations, 0, restrict, 0), "connect");
+  for (auto _ : state) {
+    Must(session.InsertT(restrict, 0), "T");
+    MustOk(session.Undo(), "undo");
+  }
+}
+BENCHMARK(BM_InsertTAndUndo);
+
+void BM_SaveLoadRoundTrip(benchmark::State& state) {
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+  // A program with `range(0)` chained Restrict boxes.
+  std::string previous = Must(session.AddTable("Stations"), "t");
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    std::string box =
+        Must(session.AddBox("Restrict", {{"predicate", "altitude > " +
+                                                           std::to_string(i)}}),
+             "r");
+    MustOk(session.Connect(previous, 0, box, 0), "connect");
+    previous = box;
+  }
+  for (auto _ : state) {
+    MustOk(session.SaveProgram("bench"), "save");
+    MustOk(session.LoadProgram("bench"), "load");
+  }
+  state.counters["boxes"] = static_cast<double>(state.range(0) + 1);
+}
+BENCHMARK(BM_SaveLoadRoundTrip)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_EncapsulateAndInstantiate(benchmark::State& state) {
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+  std::string stations = Must(session.AddTable("Stations"), "t");
+  std::string a = Must(session.AddBox("Restrict", {{"predicate", "altitude > 10"}}), "a");
+  std::string b = Must(session.AddBox("Project", {{"columns", "name,state"}}), "b");
+  MustOk(session.Connect(stations, 0, a, 0), "c1");
+  MustOk(session.Connect(a, 0, b, 0), "c2");
+  int counter = 0;
+  for (auto _ : state) {
+    std::string name = "def" + std::to_string(counter++);
+    MustOk(session.Encapsulate({a, b}, {}, name), "encapsulate");
+    Must(session.InsertEncapsulated(name, {}), "instantiate");
+    MustOk(session.Undo(), "undo");
+  }
+}
+BENCHMARK(BM_EncapsulateAndInstantiate);
+
+void BM_GraphClone(benchmark::State& state) {
+  auto env = FreshEnv();
+  ui::Session& session = env->session();
+  std::string previous = Must(session.AddTable("Stations"), "t");
+  for (int i = 0; i < 64; ++i) {
+    std::string box = Must(session.AddBox("Restrict", {{"predicate", "true"}}), "r");
+    MustOk(session.Connect(previous, 0, box, 0), "connect");
+    previous = box;
+  }
+  for (auto _ : state) {
+    dataflow::Graph copy = session.graph().Clone();
+    benchmark::DoNotOptimize(copy.num_boxes());
+  }
+}
+BENCHMARK(BM_GraphClone);
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) {
+  tioga2::bench::Report();
+  return tioga2::bench::RunBenchmarks(argc, argv);
+}

@@ -1,0 +1,137 @@
+// Figure 3: the database operations — Add Table, Project, Restrict, Sample,
+// Join — over the Stations and Observations relations of §4.
+//
+// Reproduction: runs each operation on the demo data and reports
+// cardinalities. Benchmarks: Restrict selectivity sweep, Project width,
+// Sample probability sweep, and the hash-vs-nested-loop join ablation
+// (DESIGN.md §4).
+
+#include "bench/bench_common.h"
+
+#include "db/aggregates.h"
+#include "db/operators.h"
+
+namespace tioga2::bench {
+namespace {
+
+db::RelationPtr Stations(size_t extra) {
+  return Must(data::MakeStations(extra, 7), "stations");
+}
+
+db::RelationPtr Observations(const db::Relation& stations, size_t days) {
+  return Must(
+      data::MakeObservations(stations, types::Date::FromYmd(1985, 1, 1), days, 8),
+      "observations");
+}
+
+void Report() {
+  ReportHeader("Figure 3", "operations on relations (Add Table/Project/Restrict/Sample/Join)");
+  auto stations = Stations(500);
+  auto observations = Observations(*stations, 30);
+  std::printf("  Stations: %zu rows, Observations: %zu rows\n", stations->num_rows(),
+              observations->num_rows());
+  auto la = Must(db::Restrict(stations, "state = \"LA\""), "restrict");
+  std::printf("  Restrict(state = \"LA\"): %zu rows\n", la->num_rows());
+  auto projected = Must(db::Project(la, {"name", "longitude", "latitude"}), "project");
+  std::printf("  Project(name, longitude, latitude): schema %s\n",
+              projected->schema()->ToString().c_str());
+  auto sampled = Must(db::Sample(observations, 0.1, 42), "sample");
+  std::printf("  Sample(p=0.1): %zu of %zu rows\n", sampled->num_rows(),
+              observations->num_rows());
+  auto joined = Must(db::Join(la, observations, "station_id = station_id_2"), "join");
+  std::printf("  Join(stations x observations): %zu rows via %s join\n",
+              joined.relation->num_rows(),
+              joined.algorithm == db::JoinAlgorithm::kHash ? "hash" : "nested-loop");
+}
+
+void BM_Restrict(benchmark::State& state) {
+  auto stations = Stations(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Restrict(stations, "altitude > 3000"));
+  }
+  state.counters["rows"] = static_cast<double>(stations->num_rows());
+}
+BENCHMARK(BM_Restrict)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RestrictCompoundPredicate(benchmark::State& state) {
+  auto stations = Stations(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Restrict(
+        stations,
+        "(state = \"LA\" or state = \"TX\") and altitude < 2000 and "
+        "contains(name, \"STATION\")"));
+  }
+}
+BENCHMARK(BM_RestrictCompoundPredicate);
+
+void BM_Project(benchmark::State& state) {
+  auto stations = Stations(10000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Project(stations, {"name", "longitude", "latitude"}));
+  }
+}
+BENCHMARK(BM_Project);
+
+void BM_Sample(benchmark::State& state) {
+  auto stations = Stations(100000);
+  double probability = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Sample(stations, probability, 42));
+  }
+  state.counters["p"] = probability;
+}
+BENCHMARK(BM_Sample)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_HashJoin(benchmark::State& state) {
+  auto stations = Stations(static_cast<size_t>(state.range(0)));
+  auto observations = Observations(*stations, 10);
+  for (auto _ : state) {
+    auto joined = db::Join(stations, observations, "station_id = station_id_2");
+    benchmark::DoNotOptimize(joined);
+  }
+  state.counters["left"] = static_cast<double>(stations->num_rows());
+  state.counters["right"] = static_cast<double>(observations->num_rows());
+}
+BENCHMARK(BM_HashJoin)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_NestedLoopJoin(benchmark::State& state) {
+  auto stations = Stations(static_cast<size_t>(state.range(0)));
+  auto observations = Observations(*stations, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db::NestedLoopJoin(stations, observations, "station_id = station_id_2"));
+  }
+  state.counters["left"] = static_cast<double>(stations->num_rows());
+  state.counters["right"] = static_cast<double>(observations->num_rows());
+}
+BENCHMARK(BM_NestedLoopJoin)->Arg(100)->Arg(500);
+
+void BM_Sort(benchmark::State& state) {
+  auto stations = Stations(50000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::Sort(stations, "altitude"));
+  }
+}
+BENCHMARK(BM_Sort);
+
+void BM_GroupBy(benchmark::State& state) {
+  auto stations = Stations(static_cast<size_t>(state.range(0)));
+  auto observations = Observations(*stations, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::GroupBy(
+        observations, {"station_id"},
+        {db::AggSpec{db::AggFn::kCount, "", "n"},
+         db::AggSpec{db::AggFn::kAvg, "temperature", "avg_t"},
+         db::AggSpec{db::AggFn::kMax, "precipitation", "max_p"}}));
+  }
+  state.counters["rows"] = static_cast<double>(observations->num_rows());
+}
+BENCHMARK(BM_GroupBy)->Arg(100)->Arg(1000)->Arg(5000);
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) {
+  tioga2::bench::Report();
+  return tioga2::bench::RunBenchmarks(argc, argv);
+}

@@ -1,0 +1,128 @@
+// Figure 4: the weather-station scatter — (longitude, latitude) locations,
+// a circle + name display, and the Altitude slider dimension (§5.1).
+//
+// Reproduction: renders the Figure 4 visualization to bench_out/fig04.ppm
+// and .svg, and sweeps the Altitude slider. Benchmarks: render latency vs
+// data size, slider filtering, and per-tuple attribute evaluation.
+
+#include "bench/bench_common.h"
+
+namespace tioga2::bench {
+namespace {
+
+void Report() {
+  ReportHeader("Figure 4", "visualization of weather station locations");
+  Environment env;
+  MustOk(env.LoadDemoData(300, 10), "load");
+  BuildScatter(&env, "fig4");
+  auto viewer = Must(env.GetViewer("fig4"), "viewer");
+  MustOk(viewer->FitContent(800, 600), "fit");
+  auto stats = Must(env.RenderViewer(viewer, 800, 600, OutDir() + "/fig04.ppm"),
+                    "render");
+  Must(env.RenderViewerSvg(viewer, 800, 600, OutDir() + "/fig04.svg"), "svg");
+  std::printf("  rendered %zu station dots -> %s/fig04.{ppm,svg}\n",
+              stats.tuples_drawn, OutDir().c_str());
+  // Slider sweep over altitude, reproducing "the user can see any
+  // appropriate subset of the stations" (§5.1).
+  for (double hi : {50.0, 100.0, 200.0, 300.0}) {
+    viewer->SetSlider(2, viewer::SliderRange{0, hi});
+    auto s = Must(env.RenderViewer(viewer, 800, 600, ""), "render");
+    std::printf("  altitude <= %4.0f ft: %2zu visible, %2zu culled by slider\n", hi,
+                s.tuples_drawn, s.tuples_culled_slider);
+  }
+}
+
+void BM_RenderScatter(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(static_cast<size_t>(state.range(0)), 10), "load");
+  // All-states scatter: skip the LA restriction so data size scales.
+  ui::Session& session = env.session();
+  std::string stations = Must(session.AddTable("Stations"), "t");
+  std::string previous = stations;
+  auto chain = [&](const std::string& type,
+                   const std::map<std::string, std::string>& params) {
+    std::string id = Must(session.AddBox(type, params), type.c_str());
+    MustOk(session.Connect(previous, 0, id, 0), "connect");
+    previous = id;
+  };
+  chain("SetLocation", {{"dim", "0"}, {"attr", "longitude"}});
+  chain("SetLocation", {{"dim", "1"}, {"attr", "latitude"}});
+  chain("AddAttribute",
+        {{"name", "dot"}, {"definition", "circle(0.2, \"#c81e1e\", true)"}});
+  chain("SetDisplay", {{"attr", "dot"}});
+  Must(session.AddViewer(previous, 0, "scatter"), "viewer");
+  auto viewer = Must(env.GetViewer("scatter"), "viewer");
+  MustOk(viewer->FitContent(640, 480), "fit");
+  render::Framebuffer fb(640, 480);
+  render::RasterSurface surface(&fb);
+  for (auto _ : state) {
+    fb.Clear(draw::kWhite);
+    benchmark::DoNotOptimize(viewer->RenderTo(&surface));
+  }
+  state.counters["stations"] = static_cast<double>(state.range(0)) + 15;
+}
+BENCHMARK(BM_RenderScatter)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_SliderFilteredRender(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(2000, 10), "load");
+  BuildScatter(&env, "fig4");
+  auto viewer = Must(env.GetViewer("fig4"), "viewer");
+  MustOk(viewer->FitContent(640, 480), "fit");
+  viewer->SetSlider(2, viewer::SliderRange{0, static_cast<double>(state.range(0))});
+  render::Framebuffer fb(640, 480);
+  render::RasterSurface surface(&fb);
+  for (auto _ : state) {
+    fb.Clear(draw::kWhite);
+    benchmark::DoNotOptimize(viewer->RenderTo(&surface));
+  }
+  state.counters["altitude_hi"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SliderFilteredRender)->Arg(50)->Arg(150)->Arg(1000000);
+
+void BM_AttributeEvaluation(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(1000, 10), "load");
+  ui::Session& session = env.session();
+  std::string stations = Must(session.AddTable("Stations"), "t");
+  Must(session.AddViewer(stations, 0, "raw"), "viewer");
+  auto content = Must(session.EvaluateCanvas("raw"), "eval");
+  auto relation = Must(display::AsRelation(content), "rel");
+  auto with_attr = Must(
+      relation.AddAttribute(
+          "score", "sqrt(altitude) * 2.0 + if(state = \"LA\", 100.0, 0.0)"),
+      "attr");
+  for (auto _ : state) {
+    double sum = 0;
+    for (size_t r = 0; r < with_attr.num_rows(); ++r) {
+      sum += Must(with_attr.AttributeValue(r, "score"), "value").AsDouble();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(with_attr.num_rows()));
+}
+BENCHMARK(BM_AttributeEvaluation);
+
+void BM_SvgBackendRender(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(1000, 10), "load");
+  BuildScatter(&env, "fig4");
+  auto viewer = Must(env.GetViewer("fig4"), "viewer");
+  MustOk(viewer->FitContent(640, 480), "fit");
+  for (auto _ : state) {
+    render::SvgSurface surface(640, 480);
+    surface.Clear(draw::kWhite);
+    benchmark::DoNotOptimize(viewer->RenderTo(&surface));
+    benchmark::DoNotOptimize(surface.ToSvg().size());
+  }
+}
+BENCHMARK(BM_SvgBackendRender);
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) {
+  tioga2::bench::Report();
+  return tioga2::bench::RunBenchmarks(argc, argv);
+}

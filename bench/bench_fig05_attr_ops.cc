@@ -1,0 +1,120 @@
+// Figure 5: the location and display operations — Add/Remove/Set/Swap/
+// Scale/Translate Attribute and Combine Displays.
+//
+// Reproduction: applies each Figure 5 operation to the Stations extended
+// relation and reports the result. Benchmarks: the cost of each edit (all
+// are O(attributes) copies) and of evaluating the edited attributes.
+
+#include "bench/bench_common.h"
+
+namespace tioga2::bench {
+namespace {
+
+display::DisplayRelation BaseRelation(size_t extra_stations) {
+  auto stations = Must(data::MakeStations(extra_stations, 7), "stations");
+  return Must(display::DisplayRelation::WithDefaults("Stations", stations), "defaults");
+}
+
+void Report() {
+  ReportHeader("Figure 5", "location and display operations on extended relations");
+  display::DisplayRelation rel = BaseRelation(100);
+  rel = Must(rel.AddAttribute("half_alt", "altitude / 2"), "Add Attribute");
+  std::printf("  Add Attribute half_alt = altitude / 2 -> type %s\n",
+              types::DataTypeToString(rel.FindAttribute("half_alt")->type).c_str());
+  rel = Must(rel.SetAttribute("half_alt", "altitude / 4"), "Set Attribute");
+  rel = Must(rel.ScaleAttribute("longitude", 1.5), "Scale Attribute");
+  rel = Must(rel.TranslateAttribute("latitude", -29.0), "Translate Attribute");
+  std::printf("  Scale/Translate: longitude*1.5, latitude-29\n");
+  rel = Must(rel.AddAttribute("dot", "circle(2)"), "display 1");
+  rel = Must(rel.AddAttribute("label", "text(name, 8)"), "display 2");
+  rel = Must(rel.CombineDisplays("both", "dot", "label", 0, -10), "Combine Displays");
+  rel = Must(rel.SetDisplayAttribute("both"), "set display");
+  auto combined = Must(rel.DisplayOf(0), "display of");
+  std::printf("  Combine Displays: %zu drawables per tuple\n", combined->size());
+  rel = Must(rel.SwapAttributes("longitude", "latitude"), "Swap Attributes");
+  std::printf("  Swap Attributes longitude <-> latitude ('rotates the canvas')\n");
+  rel = Must(rel.RemoveAttribute("half_alt"), "Remove Attribute");
+  std::printf("  Remove Attribute half_alt: %zu attributes remain\n",
+              rel.attributes().size());
+}
+
+void BM_AddAttribute(benchmark::State& state) {
+  display::DisplayRelation rel = BaseRelation(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.AddAttribute("a", "altitude * 2.0 + 1.0"));
+  }
+}
+BENCHMARK(BM_AddAttribute);
+
+void BM_SetAttribute(benchmark::State& state) {
+  display::DisplayRelation rel =
+      Must(BaseRelation(1000).AddAttribute("a", "altitude"), "attr");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.SetAttribute("a", "altitude * 3.0"));
+  }
+}
+BENCHMARK(BM_SetAttribute);
+
+void BM_ScaleAttribute(benchmark::State& state) {
+  display::DisplayRelation rel = BaseRelation(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.ScaleAttribute("altitude", 2.0));
+  }
+}
+BENCHMARK(BM_ScaleAttribute);
+
+void BM_SwapAttributes(benchmark::State& state) {
+  display::DisplayRelation rel = BaseRelation(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.SwapAttributes("longitude", "latitude"));
+  }
+}
+BENCHMARK(BM_SwapAttributes);
+
+void BM_CombineDisplaysEdit(benchmark::State& state) {
+  display::DisplayRelation rel = BaseRelation(1000);
+  rel = Must(rel.AddAttribute("dot", "circle(2)"), "d1");
+  rel = Must(rel.AddAttribute("label", "text(name, 8)"), "d2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.CombineDisplays("both", "dot", "label", 0, -10));
+  }
+}
+BENCHMARK(BM_CombineDisplaysEdit);
+
+void BM_CombinedDisplayEvaluation(benchmark::State& state) {
+  display::DisplayRelation rel = BaseRelation(static_cast<size_t>(state.range(0)));
+  rel = Must(rel.AddAttribute("dot", "circle(2)"), "d1");
+  rel = Must(rel.AddAttribute("label", "text(name, 8)"), "d2");
+  rel = Must(rel.CombineDisplays("both", "dot", "label", 0, -10), "combine");
+  rel = Must(rel.SetDisplayAttribute("both"), "set");
+  for (auto _ : state) {
+    for (size_t r = 0; r < rel.num_rows(); ++r) {
+      benchmark::DoNotOptimize(rel.DisplayOf(r));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rel.num_rows()));
+}
+BENCHMARK(BM_CombinedDisplayEvaluation)->Arg(100)->Arg(1000);
+
+void BM_ScaledAttributeEvaluation(benchmark::State& state) {
+  // The Scale/Translate shorthands cost one multiply-add per access.
+  display::DisplayRelation rel = BaseRelation(1000);
+  rel = Must(rel.ScaleAttribute("altitude", 0.3048), "scale");  // feet -> meters
+  for (auto _ : state) {
+    for (size_t r = 0; r < rel.num_rows(); ++r) {
+      benchmark::DoNotOptimize(rel.AttributeValue(r, "altitude"));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rel.num_rows()));
+}
+BENCHMARK(BM_ScaledAttributeEvaluation);
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) {
+  tioga2::bench::Report();
+  return tioga2::bench::RunBenchmarks(argc, argv);
+}

@@ -1,0 +1,145 @@
+// Figure 8: wormholes — viewer drawables into another canvas, fly-through,
+// and the rear view mirror (§6.2, §6.3).
+//
+// Reproduction: stations display wormholes into a temperature/time canvas;
+// a fly-through lands at the station's data; the rear view mirror shows the
+// departed canvas. Benchmarks: render vs wormhole nesting depth, the
+// fly-through operation, and rear-view rendering.
+
+#include "bench/bench_common.h"
+
+namespace tioga2::bench {
+namespace {
+
+void BuildFig8(Environment* env) {
+  ui::Session& session = env->session();
+  auto chain = [&session](std::string previous,
+                          std::initializer_list<std::pair<
+                              std::string, std::map<std::string, std::string>>>
+                              boxes) {
+    for (const auto& [type, params] : boxes) {
+      std::string id = Must(session.AddBox(type, params), type.c_str());
+      MustOk(session.Connect(previous, 0, id, 0), "connect");
+      previous = id;
+    }
+    return previous;
+  };
+  // Destination canvas: temperature vs time.
+  std::string temps = chain(Must(session.AddTable("Observations"), "obs"), {
+      {"AddAttribute", {{"name", "t"}, {"definition", "float(days(obs_date))"}}},
+      {"SetLocation", {{"dim", "0"}, {"attr", "t"}}},
+      {"SetLocation", {{"dim", "1"}, {"attr", "temperature"}}},
+      {"AddAttribute", {{"name", "d"}, {"definition", "point(\"#1e46c8\")"}}},
+      {"SetDisplay", {{"attr", "d"}}}});
+  Must(session.AddViewer(temps, 0, "temps"), "viewer temps");
+  // Source canvas: station wormholes (with an underside marker for the
+  // mirror).
+  std::string scatter = chain(Must(session.AddTable("Stations"), "stations"), {
+      {"Restrict", {{"predicate", "state = \"LA\""}}},
+      {"SetLocation", {{"dim", "0"}, {"attr", "longitude"}}},
+      {"SetLocation", {{"dim", "1"}, {"attr", "latitude"}}}});
+  std::string holes = chain(scatter, {
+      {"AddAttribute",
+       {{"name", "w"},
+        {"definition", "viewer(0.5, 0.4, \"temps\", 5480.0, 60.0, 80.0)"}}},
+      {"SetDisplay", {{"attr", "w"}}},
+      {"SetName", {{"name", "Holes"}}}});
+  std::string underside = chain(scatter, {
+      {"AddAttribute", {{"name", "u"}, {"definition", "circle(0.1, \"#808080\", true)"}}},
+      {"SetDisplay", {{"attr", "u"}}},
+      {"SetRange", {{"min", "-1000"}, {"max", "0"}}},
+      {"SetName", {{"name", "Underside"}}}});
+  std::string overlay = Must(session.AddBox("Overlay", {{"offset", ""}}), "overlay");
+  MustOk(session.Connect(holes, 0, overlay, 0), "w");
+  MustOk(session.Connect(underside, 0, overlay, 1), "w");
+  Must(session.AddViewer(overlay, 0, "fig8"), "viewer");
+}
+
+void Report() {
+  ReportHeader("Figure 8", "a visualization with wormholes and rear view mirrors");
+  Environment env;
+  MustOk(env.LoadDemoData(20, 60), "load");
+  BuildFig8(&env);
+  auto viewer = Must(env.GetViewer("fig8"), "viewer");
+  viewer->mutable_camera()->MoveTo(-90.2, 30.05);
+  viewer->mutable_camera()->SetElevation(1.5);
+  auto stats = Must(env.RenderViewer(viewer, 800, 600, OutDir() + "/fig08.ppm"),
+                    "render");
+  std::printf("  map render: %zu tuples, %zu wormholes showing nested canvases\n",
+              stats.tuples_drawn, stats.wormholes_rendered);
+
+  viewer->mutable_camera()->MoveTo(-90.08 + 0.25, 29.95 + 0.2);
+  viewer->mutable_camera()->SetElevation(0.5);
+  bool passed = Must(viewer->TryPassThrough(1.0), "fly through");
+  std::printf("  fly-through at zero-ish elevation: %s -> now on '%s' at "
+              "elevation %g\n",
+              passed ? "passed" : "missed", viewer->canvas_name().c_str(),
+              viewer->camera().elevation());
+
+  render::Framebuffer mirror(300, 200, draw::kLightGray);
+  render::RasterSurface mirror_surface(&mirror);
+  auto mirror_stats = Must(viewer->RenderRearView(&mirror_surface), "mirror");
+  MustOk(mirror.WritePpm(OutDir() + "/fig08_mirror.ppm"), "write");
+  std::printf("  rear view mirror: %zu underside tuples of the departed canvas\n",
+              mirror_stats.tuples_drawn);
+  Must(viewer->TravelBack(), "back");
+  std::printf("  travelled back to '%s'\n", viewer->canvas_name().c_str());
+}
+
+void BM_RenderByWormholeDepth(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(20, 60), "load");
+  BuildFig8(&env);
+  auto viewer = Must(env.GetViewer("fig8"), "viewer");
+  viewer->mutable_camera()->MoveTo(-90.2, 30.05);
+  viewer->mutable_camera()->SetElevation(1.5);
+  render::Framebuffer fb(640, 480);
+  render::RasterSurface surface(&fb);
+  viewer::RenderOptions options;
+  options.wormhole_depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fb.Clear(draw::kWhite);
+    benchmark::DoNotOptimize(viewer->RenderTo(&surface, options));
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RenderByWormholeDepth)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PassThroughAndBack(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(20, 60), "load");
+  BuildFig8(&env);
+  auto viewer = Must(env.GetViewer("fig8"), "viewer");
+  for (auto _ : state) {
+    viewer->mutable_camera()->MoveTo(-90.08 + 0.25, 29.95 + 0.2);
+    viewer->mutable_camera()->SetElevation(0.5);
+    bool passed = Must(viewer->TryPassThrough(1.0), "through");
+    if (!passed) state.SkipWithError("fly-through missed");
+    Must(viewer->TravelBack(), "back");
+  }
+}
+BENCHMARK(BM_PassThroughAndBack);
+
+void BM_RearViewRender(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(20, 60), "load");
+  BuildFig8(&env);
+  auto viewer = Must(env.GetViewer("fig8"), "viewer");
+  viewer->mutable_camera()->MoveTo(-90.08 + 0.25, 29.95 + 0.2);
+  viewer->mutable_camera()->SetElevation(0.5);
+  Must(viewer->TryPassThrough(1.0), "through");
+  render::Framebuffer fb(300, 200);
+  render::RasterSurface surface(&fb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viewer->RenderRearView(&surface));
+  }
+}
+BENCHMARK(BM_RearViewRender);
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) {
+  tioga2::bench::Report();
+  return tioga2::bench::RunBenchmarks(argc, argv);
+}

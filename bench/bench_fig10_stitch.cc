@@ -1,0 +1,142 @@
+// Figure 10: stitched viewers — temperature and precipitation views
+// combined into a group, with slaving keeping their date ranges aligned
+// (§7.3, §7.1).
+//
+// Reproduction: renders the stitched pair to bench_out/fig10.ppm and
+// demonstrates slaved panning. Benchmarks: group render vs member count,
+// layout variants, and slaved navigation fan-out.
+
+#include "bench/bench_common.h"
+
+namespace tioga2::bench {
+namespace {
+
+/// Builds the Figure 10 program: temperature and precipitation branches for
+/// station 1, stitched vertically.
+void BuildFig10(Environment* env) {
+  ui::Session& session = env->session();
+  std::string obs = Must(session.AddTable("Observations"), "obs");
+  std::string one =
+      Must(session.AddBox("Restrict", {{"predicate", "station_id = 1"}}), "one");
+  MustOk(session.Connect(obs, 0, one, 0), "w");
+  auto branch = [&](const std::string& y_attr, const std::string& color,
+                    const std::string& name) {
+    std::string previous = one;
+    auto chain = [&](const std::string& type,
+                     const std::map<std::string, std::string>& params) {
+      std::string id = Must(session.AddBox(type, params), type.c_str());
+      MustOk(session.Connect(previous, 0, id, 0), "connect");
+      previous = id;
+    };
+    chain("AddAttribute", {{"name", "t"}, {"definition", "float(days(obs_date))"}});
+    chain("SetLocation", {{"dim", "0"}, {"attr", "t"}});
+    chain("SetLocation", {{"dim", "1"}, {"attr", y_attr}});
+    chain("AddAttribute",
+          {{"name", "d"}, {"definition", "point(\"" + color + "\")"}});
+    chain("SetDisplay", {{"attr", "d"}});
+    chain("SetName", {{"name", name}});
+    return previous;
+  };
+  std::string temperature = branch("temperature", "#c81e1e", "Temperature");
+  std::string precipitation = branch("precipitation", "#1e46c8", "Precipitation");
+  std::string stitch = Must(
+      session.AddBox("Stitch",
+                     {{"arity", "2"}, {"layout", "vertical"}, {"columns", "1"}}),
+      "stitch");
+  MustOk(session.Connect(temperature, 0, stitch, 0), "w");
+  MustOk(session.Connect(precipitation, 0, stitch, 1), "w");
+  Must(session.AddViewer(stitch, 0, "fig10"), "viewer");
+}
+
+void Report() {
+  ReportHeader("Figure 10", "an example of stitched viewers (temperature | precipitation)");
+  Environment env;
+  MustOk(env.LoadDemoData(10, 365), "load");
+  BuildFig10(&env);
+  auto viewer = Must(env.GetViewer("fig10"), "viewer");
+  MustOk(viewer->FitContent(800, 600), "fit");
+  auto stats = Must(env.RenderViewer(viewer, 800, 600, OutDir() + "/fig10.ppm"),
+                    "render");
+  std::printf("  stitched group: %zu members, %zu tuples drawn\n",
+              viewer->num_members(), stats.tuples_drawn);
+
+  // Slaving (§7.1 / §7.3): a second viewer of the same canvas follows the
+  // first so both show the same date range.
+  viewer::Viewer follower("follower", "fig10", &env.session().registry());
+  MustOk(follower.Refresh(), "refresh");
+  MustOk(viewer->SlaveTo(&follower), "slave");
+  double before = follower.camera().center_x();
+  viewer->Pan(30, 0);  // pan one month of days
+  std::printf("  slaved pan: follower moved %.0f days along the time axis\n",
+              follower.camera().center_x() - before);
+  viewer->Unslave(&follower);
+}
+
+void BM_RenderStitchedGroup(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(10, 120), "load");
+  ui::Session& session = env.session();
+  // Stitch `n` copies of the temperature branch.
+  int64_t n = state.range(0);
+  std::string obs = Must(session.AddTable("Observations"), "obs");
+  std::string one =
+      Must(session.AddBox("Restrict", {{"predicate", "station_id = 1"}}), "one");
+  MustOk(session.Connect(obs, 0, one, 0), "w");
+  std::string stitch =
+      Must(session.AddBox("Stitch", {{"arity", std::to_string(n)},
+                                     {"layout", "tabular"},
+                                     {"columns", "2"}}),
+           "stitch");
+  for (int64_t i = 0; i < n; ++i) {
+    std::string previous = one;
+    auto chain = [&](const std::string& type,
+                     const std::map<std::string, std::string>& params) {
+      std::string id = Must(session.AddBox(type, params), type.c_str());
+      MustOk(session.Connect(previous, 0, id, 0), "connect");
+      previous = id;
+    };
+    chain("AddAttribute", {{"name", "t"}, {"definition", "float(days(obs_date))"}});
+    chain("SetLocation", {{"dim", "0"}, {"attr", "t"}});
+    chain("SetLocation", {{"dim", "1"}, {"attr", "temperature"}});
+    MustOk(session.Connect(previous, 0, stitch, static_cast<size_t>(i)), "w");
+  }
+  Must(session.AddViewer(stitch, 0, "grid"), "viewer");
+  auto viewer = Must(env.GetViewer("grid"), "viewer");
+  MustOk(viewer->FitContent(640, 480), "fit");
+  render::Framebuffer fb(640, 480);
+  render::RasterSurface surface(&fb);
+  for (auto _ : state) {
+    fb.Clear(draw::kWhite);
+    benchmark::DoNotOptimize(viewer->RenderTo(&surface));
+  }
+  state.counters["members"] = static_cast<double>(n);
+}
+BENCHMARK(BM_RenderStitchedGroup)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SlavedPanFanout(benchmark::State& state) {
+  Environment env;
+  MustOk(env.LoadDemoData(10, 30), "load");
+  BuildFig10(&env);
+  auto leader = Must(env.GetViewer("fig10"), "viewer");
+  std::vector<std::unique_ptr<viewer::Viewer>> followers;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    followers.push_back(std::make_unique<viewer::Viewer>(
+        "f" + std::to_string(i), "fig10", &env.session().registry()));
+    MustOk(followers.back()->Refresh(), "refresh");
+    MustOk(leader->SlaveTo(followers.back().get()), "slave");
+  }
+  for (auto _ : state) {
+    leader->Pan(1, 0);
+    leader->Pan(-1, 0);
+  }
+  state.counters["slaves"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SlavedPanFanout)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) {
+  tioga2::bench::Report();
+  return tioga2::bench::RunBenchmarks(argc, argv);
+}

@@ -1,0 +1,160 @@
+// Analyst dashboard: Figures 9, 10 and 11 plus §8 updates in one program.
+//
+// Temperature and precipitation for one station are stitched into a group
+// (Figure 10), replicated by year (Figure 11), inspected through a
+// magnifying glass showing the alternative precipitation display (Figure 9),
+// and finally a station record is fixed through the click-to-update path
+// (§8). Writes dashboard.ppm and dashboard.svg.
+
+#include <cstdio>
+
+#include "tioga2/environment.h"
+
+namespace {
+
+template <typename T>
+T Must(tioga2::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void MustOk(tioga2::Status status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  tioga2::Environment env;
+  MustOk(env.LoadDemoData(/*extra_stations=*/20, /*num_days=*/730), "load data");
+  tioga2::ui::Session& session = env.session();
+
+  // Shared upstream: observations of station 1 with a time axis and both a
+  // temperature display and an alternative precipitation display (§7.2).
+  std::string obs = Must(session.AddTable("Observations"), "Observations");
+  std::string one =
+      Must(session.AddBox("Restrict", {{"predicate", "station_id = 1"}}), "Restrict");
+  std::string t = Must(session.AddBox("AddAttribute",
+                                      {{"name", "t"},
+                                       {"definition", "float(days(obs_date))"}}),
+                       "t");
+  std::string sx = Must(session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "t"}}),
+                        "sx");
+  std::string sy = Must(
+      session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "temperature"}}), "sy");
+  std::string temp_display = Must(
+      session.AddBox("AddAttribute",
+                     {{"name", "temp_d"}, {"definition", "point(\"#c81e1e\")"}}),
+      "temp_d");
+  std::string precip_display = Must(
+      session.AddBox(
+          "AddAttribute",
+          {{"name", "precip_d"},
+           {"definition", "rect(0.9, precipitation * 15.0, \"#1e46c8\", true)"}}),
+      "precip_d");
+  MustOk(session.Connect(obs, 0, one, 0), "wire");
+  MustOk(session.Connect(one, 0, t, 0), "wire");
+  MustOk(session.Connect(t, 0, sx, 0), "wire");
+  MustOk(session.Connect(sx, 0, sy, 0), "wire");
+  MustOk(session.Connect(sy, 0, temp_display, 0), "wire");
+  MustOk(session.Connect(temp_display, 0, precip_display, 0), "wire");
+
+  // Branch A (temperature view) and branch B (precipitation view, realized
+  // with the Figure 9 Swap-Attributes trick: make precip_d the display).
+  // One output may feed several inputs, so both branches hang off
+  // precip_display directly.
+  std::string temp_branch =
+      Must(session.AddBox("SetName", {{"name", "Temperature"}}), "name");
+  MustOk(session.Connect(precip_display, 0, temp_branch, 0), "wire");
+  std::string precip_branch = Must(
+      session.AddBox("SwapAttributes", {{"a", "temp_d"}, {"b", "precip_d"}}), "swap");
+  std::string precip_named =
+      Must(session.AddBox("SetName", {{"name", "Precipitation"}}), "name");
+  std::string precip_set =
+      Must(session.AddBox("SetDisplay", {{"attr", "temp_d"}}), "set");
+  MustOk(session.Connect(precip_display, 0, precip_branch, 0), "wire");
+  MustOk(session.Connect(precip_branch, 0, precip_set, 0), "wire");
+  MustOk(session.Connect(precip_set, 0, precip_named, 0), "wire");
+
+  // Default display must be the temperature one on branch A.
+  std::string temp_set = Must(session.AddBox("SetDisplay", {{"attr", "temp_d"}}),
+                              "set display");
+  MustOk(session.Connect(temp_branch, 0, temp_set, 0), "wire");
+
+  // Figure 10: stitch the two views vertically.
+  std::string stitch = Must(
+      session.AddBox("Stitch",
+                     {{"arity", "2"}, {"layout", "vertical"}, {"columns", "1"}}),
+      "Stitch");
+  MustOk(session.Connect(temp_set, 0, stitch, 0), "wire");
+  MustOk(session.Connect(precip_named, 0, stitch, 1), "wire");
+  Must(session.AddViewer(stitch, 0, "dashboard"), "viewer");
+
+  tioga2::viewer::Viewer* viewer = Must(env.GetViewer("dashboard"), "GetViewer");
+  MustOk(viewer->FitContent(800, 600), "fit");
+  // Figure 9: a slaved magnifying glass over the temperature pane showing
+  // the precipitation display.
+  tioga2::viewer::MagnifyingGlass glass;
+  glass.rect = tioga2::render::DeviceRect{500, 40, 240, 200};
+  glass.zoom = 4.0;
+  glass.display_attribute = "precip_d";
+  viewer->AddMagnifyingGlass(glass);
+
+  auto stats = Must(env.RenderViewer(viewer, 800, 600, "dashboard.ppm"), "render");
+  Must(env.RenderViewerSvg(viewer, 800, 600, "dashboard.svg"), "render svg");
+  std::printf("dashboard: %zu tuples drawn across %zu group members\n",
+              stats.tuples_drawn, viewer->num_members());
+
+  // Figure 11: replicate the temperature view by year.
+  std::string replicate = Must(
+      session.AddBox("Replicate",
+                     {{"rows", "year(obs_date) = 1985;year(obs_date) = 1986"},
+                      {"columns", ""}}),
+      "Replicate");
+  MustOk(session.Connect(temp_set, 0, replicate, 0), "wire");
+  Must(session.AddViewer(replicate, 0, "by_year"), "viewer");
+  auto by_year = Must(session.EvaluateCanvas("by_year"), "eval");
+  tioga2::display::Group group = tioga2::display::AsGroup(by_year);
+  std::printf("replicated by year into %zu panes (%zu + %zu observations)\n",
+              group.size(), group.members()[0].entries()[0].relation.num_rows(),
+              group.members()[1].entries()[0].relation.num_rows());
+
+  // §8 update: fix a typo in a station name by clicking it on a canvas.
+  std::string stations = Must(session.AddTable("Stations"), "Stations");
+  std::string named_sx = Must(
+      session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "longitude"}}), "sx");
+  std::string named_sy = Must(
+      session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "latitude"}}), "sy");
+  std::string dot = Must(session.AddBox("AddAttribute",
+                                        {{"name", "dot"},
+                                         {"definition", "circle(0.3, \"#000000\", true)"}}),
+                         "dot");
+  std::string dot_set = Must(session.AddBox("SetDisplay", {{"attr", "dot"}}), "set");
+  MustOk(session.Connect(stations, 0, named_sx, 0), "wire");
+  MustOk(session.Connect(named_sx, 0, named_sy, 0), "wire");
+  MustOk(session.Connect(named_sy, 0, dot, 0), "wire");
+  MustOk(session.Connect(dot, 0, dot_set, 0), "wire");
+  Must(session.AddViewer(dot_set, 0, "stations"), "viewer");
+  tioga2::viewer::Viewer* station_viewer = Must(env.GetViewer("stations"), "viewer");
+  MustOk(station_viewer->FitContent(400, 400), "fit");
+  tioga2::render::Framebuffer fb(400, 400, tioga2::draw::kWhite);
+  tioga2::render::RasterSurface surface(&fb);
+  MustOk(station_viewer->RenderTo(&surface).status(), "render stations");
+  double dx = 0;
+  double dy = 0;
+  station_viewer->camera().WorldToDevice(-90.08, 29.95, &dx, &dy);
+  auto hit = Must(station_viewer->HitTestAt(&surface, dx, dy), "hit test");
+  if (hit.has_value()) {
+    MustOk(session.ClickUpdate("stations", *hit, "Stations",
+                               {{"name", "NEW ORLEANS INTL"}}),
+           "click update");
+    std::printf("updated station name through the §8 dialog; canvases recompute\n");
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// program_cli: a small command-line front end over the library — the kind
+// of tool a downstream user wires into scripts.
+//
+// Usage:
+//   program_cli demo <program.tioga>      write a demo program file
+//   program_cli list <program.tioga>      print the boxes-and-arrows diagram
+//   program_cli render <program.tioga> <canvas> <out.ppm> [out.svg]
+//   program_cli diagram <program.tioga> <out.ppm>   render the program window
+//
+// The program file format is the Save Program serialization (Figure 2);
+// files written by `demo` can be edited by hand and re-rendered.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "boxes/program_io.h"
+#include "ui/program_renderer.h"
+#include "tioga2/environment.h"
+
+namespace {
+
+using tioga2::Environment;
+
+int Fail(const tioga2::Status& status, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
+int WriteDemo(const char* path) {
+  Environment env;
+  if (!env.LoadDemoData().ok()) return 1;
+  tioga2::ui::Session& session = env.session();
+  auto stations = session.AddTable("Stations");
+  auto restrict = session.AddBox("Restrict", {{"predicate", "state = \"LA\""}});
+  auto set_x = session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "longitude"}});
+  auto set_y = session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "latitude"}});
+  auto dots = session.AddBox(
+      "AddAttribute",
+      {{"name", "dot"}, {"definition", "circle(0.06, \"#c81e1e\", true)"}});
+  auto set_display = session.AddBox("SetDisplay", {{"attr", "dot"}});
+  if (!stations.ok() || !restrict.ok() || !set_x.ok() || !set_y.ok() || !dots.ok() ||
+      !set_display.ok()) {
+    return 1;
+  }
+  (void)session.Connect(*stations, 0, *restrict, 0);
+  (void)session.Connect(*restrict, 0, *set_x, 0);
+  (void)session.Connect(*set_x, 0, *set_y, 0);
+  (void)session.Connect(*set_y, 0, *dots, 0);
+  (void)session.Connect(*dots, 0, *set_display, 0);
+  (void)session.AddViewer(*set_display, 0, "map");
+  auto serialized = tioga2::boxes::SerializeProgram(session.graph());
+  if (!serialized.ok()) return Fail(serialized.status(), "serialize");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  out << *serialized;
+  std::printf("wrote demo program to %s (canvas 'map')\n", path);
+  return 0;
+}
+
+tioga2::Result<tioga2::dataflow::Graph> LoadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return tioga2::Status::IOError(std::string("cannot read ") + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return tioga2::boxes::DeserializeProgram(buffer.str());
+}
+
+/// Loads the program into a session by saving it into the catalog first
+/// (the Load Program path of Figure 2), so viewer canvases get registered.
+int LoadIntoSession(Environment* env, const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  env->catalog().SaveProgram("cli", buffer.str());
+  tioga2::Status loaded = env->session().LoadProgram("cli");
+  if (!loaded.ok()) return Fail(loaded, "load program");
+  return 0;
+}
+
+int List(const char* path) {
+  auto graph = LoadFile(path);
+  if (!graph.ok()) return Fail(graph.status(), "parse");
+  std::printf("%s", graph->ToString().c_str());
+  return 0;
+}
+
+int Render(const char* path, const char* canvas, const char* ppm, const char* svg) {
+  Environment env;
+  if (!env.LoadDemoData().ok()) return 1;
+  if (int rc = LoadIntoSession(&env, path); rc != 0) return rc;
+  auto viewer = env.GetViewer(canvas);
+  if (!viewer.ok()) return Fail(viewer.status(), "canvas");
+  if (tioga2::Status fit = (*viewer)->FitContent(800, 600); !fit.ok()) {
+    return Fail(fit, "fit");
+  }
+  auto stats = env.RenderViewer(*viewer, 800, 600, ppm);
+  if (!stats.ok()) return Fail(stats.status(), "render");
+  if (svg != nullptr) {
+    auto rendered = env.RenderViewerSvg(*viewer, 800, 600, svg);
+    if (!rendered.ok()) return Fail(rendered.status(), "render svg");
+  }
+  std::printf("rendered canvas '%s': %zu tuples -> %s%s%s\n", canvas,
+              stats->tuples_drawn, ppm, svg != nullptr ? ", " : "",
+              svg != nullptr ? svg : "");
+  return 0;
+}
+
+int Diagram(const char* path, const char* ppm) {
+  auto graph = LoadFile(path);
+  if (!graph.ok()) return Fail(graph.status(), "parse");
+  tioga2::render::Framebuffer fb(900, 400, tioga2::draw::kWhite);
+  tioga2::render::RasterSurface surface(&fb);
+  auto layout = tioga2::ui::RenderProgram(*graph, &surface);
+  if (!layout.ok()) return Fail(layout.status(), "render program window");
+  if (tioga2::Status written = fb.WritePpm(ppm); !written.ok()) {
+    return Fail(written, "write");
+  }
+  std::printf("rendered program window (%zu boxes) -> %s\n",
+              layout->box_rects.size(), ppm);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "demo") == 0) return WriteDemo(argv[2]);
+  if (argc >= 3 && std::strcmp(argv[1], "list") == 0) return List(argv[2]);
+  if (argc >= 5 && std::strcmp(argv[1], "render") == 0) {
+    return Render(argv[2], argv[3], argv[4], argc >= 6 ? argv[5] : nullptr);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "diagram") == 0) {
+    return Diagram(argv[2], argv[3]);
+  }
+  // Self-demo when run without arguments (so the binary is exercised by
+  // "run everything" scripts): write, list, render, diagram in a temp dir.
+  std::printf("usage:\n"
+              "  program_cli demo <program.tioga>\n"
+              "  program_cli list <program.tioga>\n"
+              "  program_cli render <program.tioga> <canvas> <out.ppm> [out.svg]\n"
+              "  program_cli diagram <program.tioga> <out.ppm>\n"
+              "running self-demo...\n");
+  if (int rc = WriteDemo("cli_demo.tioga"); rc != 0) return rc;
+  if (int rc = List("cli_demo.tioga"); rc != 0) return rc;
+  if (int rc = Render("cli_demo.tioga", "map", "cli_demo.ppm", nullptr); rc != 0) {
+    return rc;
+  }
+  return Diagram("cli_demo.tioga", "cli_program_window.ppm");
+}

@@ -1,0 +1,138 @@
+// Weather map: the full Figures 4 + 7 scenario.
+//
+// Builds the Louisiana station scatter (longitude/latitude locations, an
+// Altitude slider dimension, circle + name displays), overlays the state
+// map, and programs drill down with Set Range: at high elevation only dots
+// are visible; zooming in past elevation 2 reveals the station names.
+// Writes weather_map_high.ppm and weather_map_low.ppm.
+
+#include <cstdio>
+
+#include "tioga2/environment.h"
+
+namespace {
+
+using tioga2::ui::Session;
+
+/// Dies loudly on error — examples should fail visibly.
+template <typename T>
+T Must(tioga2::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void MustOk(tioga2::Status status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::string Chain(Session& session, const std::string& from,
+                  std::initializer_list<std::pair<std::string,
+                                                  std::map<std::string, std::string>>>
+                      boxes) {
+  std::string previous = from;
+  for (const auto& [type, params] : boxes) {
+    std::string id = Must(session.AddBox(type, params), type.c_str());
+    MustOk(session.Connect(previous, 0, id, 0), "connect");
+    previous = id;
+  }
+  return previous;
+}
+
+}  // namespace
+
+int main() {
+  tioga2::Environment env;
+  MustOk(env.LoadDemoData(/*extra_stations=*/200, /*num_days=*/365), "load data");
+  Session& session = env.session();
+
+  // Station scatter with Altitude slider (Figure 4).
+  std::string stations = Must(session.AddTable("Stations"), "Stations");
+  std::string scatter = Chain(
+      session, stations,
+      {{"Restrict", {{"predicate", "state = \"LA\""}}},
+       {"SetLocation", {{"dim", "0"}, {"attr", "longitude"}}},
+       {"SetLocation", {{"dim", "1"}, {"attr", "latitude"}}},
+       {"AddLocationDimension", {{"attr", "altitude"}}}});
+
+  // High-elevation display: dots only (Set Range, §6.1).
+  std::string dots = Chain(
+      session, scatter,
+      {{"AddAttribute",
+        {{"name", "c"}, {"definition", "circle(0.04, \"#c81e1e\", true)"}}},
+       {"SetDisplay", {{"attr", "c"}}},
+       {"SetRange", {{"min", "1.5"}, {"max", "1000"}}},
+       {"SetName", {{"name", "Dots"}}}});
+
+  // Low-elevation display: dots plus names.
+  std::string labels = Chain(
+      session, scatter,
+      {{"AddAttribute",
+        {{"name", "l"},
+         {"definition",
+          "circle(0.04, \"#c81e1e\", true) + offset(text(name, 0.08), -0.25, "
+          "-0.18)"}}},
+       {"SetDisplay", {{"attr", "l"}}},
+       {"SetRange", {{"min", "0"}, {"max", "1.5"}}},
+       {"SetName", {{"name", "Labels"}}}});
+
+  // The state map from its line-segment relation (§6.1).
+  std::string map = Chain(
+      session, Must(session.AddTable("LouisianaMap"), "LouisianaMap"),
+      {{"SetLocation", {{"dim", "0"}, {"attr", "x"}}},
+       {"SetLocation", {{"dim", "1"}, {"attr", "y"}}},
+       {"AddAttribute", {{"name", "seg"}, {"definition", "line(dx, dy, \"#646464\")"}}},
+       {"SetDisplay", {{"attr", "seg"}}},
+       {"SetName", {{"name", "Map"}}}});
+
+  // Overlay map + dots + labels and install the viewer.
+  std::string overlay1 = Must(session.AddBox("Overlay", {{"offset", ""}}), "Overlay");
+  MustOk(session.Connect(map, 0, overlay1, 0), "wire");
+  MustOk(session.Connect(dots, 0, overlay1, 1), "wire");
+  std::string overlay2 = Must(session.AddBox("Overlay", {{"offset", ""}}), "Overlay");
+  MustOk(session.Connect(overlay1, 0, overlay2, 0), "wire");
+  MustOk(session.Connect(labels, 0, overlay2, 1), "wire");
+  Must(session.AddViewer(overlay2, 0, "map"), "viewer");
+
+  for (const std::string& warning : session.LastWarnings()) {
+    std::printf("warning: %s\n", warning.c_str());
+  }
+
+  tioga2::viewer::Viewer* viewer = Must(env.GetViewer("map"), "GetViewer");
+  viewer->mutable_camera()->MoveTo(-91.5, 31.0);
+
+  // High elevation: the whole state, dots only.
+  viewer->mutable_camera()->SetElevation(5.0);
+  auto high = Must(env.RenderViewer(viewer, 800, 600, "weather_map_high.ppm"),
+                   "render high");
+  std::printf("high elevation: drew %zu tuples, skipped %zu relations by range\n",
+              high.tuples_drawn, high.relations_skipped);
+
+  // Drill down to New Orleans: names appear (§6.1).
+  viewer->mutable_camera()->MoveTo(-90.5, 30.1);
+  viewer->mutable_camera()->SetElevation(1.2);
+  auto low =
+      Must(env.RenderViewer(viewer, 800, 600, "weather_map_low.ppm"), "render low");
+  std::printf("low elevation:  drew %zu tuples, skipped %zu relations by range\n",
+              low.tuples_drawn, low.relations_skipped);
+
+  // Use the Altitude slider: only stations below 100 ft.
+  viewer->SetSlider(2, tioga2::viewer::SliderRange{0, 100});
+  auto sliced = Must(env.RenderViewer(viewer, 800, 600, ""), "render sliced");
+  std::printf("altitude <= 100: drew %zu tuples (%zu culled by slider)\n",
+              sliced.tuples_drawn, sliced.tuples_culled_slider);
+
+  // The elevation map widget model (§6.1).
+  auto bars = Must(viewer->ElevationMap(0), "elevation map");
+  std::printf("elevation map:\n");
+  for (const auto& bar : bars) {
+    std::printf("  %zu. %-8s [%g, %g]\n", bar.drawing_order, bar.relation_name.c_str(),
+                bar.min_elevation, bar.max_elevation);
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Wormhole tour: the Figure 8 scenario.
+//
+// Each Louisiana station's display contains a viewer drawable — a wormhole
+// into the temperature-vs-time canvas, initially positioned at that
+// station's data. The example flies over the map, descends into the New
+// Orleans wormhole, looks at the rear view mirror (§6.3), and travels home.
+// Writes wormhole_map.ppm, wormhole_temps.ppm, wormhole_mirror.ppm.
+
+#include <cstdio>
+
+#include "tioga2/environment.h"
+
+namespace {
+
+template <typename T>
+T Must(tioga2::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void MustOk(tioga2::Status status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  tioga2::Environment env;
+  MustOk(env.LoadDemoData(/*extra_stations=*/50, /*num_days=*/365), "load data");
+  tioga2::ui::Session& session = env.session();
+
+  // Destination canvas: temperature vs time for every station; the
+  // underside (§6.3) carries a back-reference marker visible in mirrors.
+  {
+    std::string obs = Must(session.AddTable("Observations"), "Observations");
+    std::string t = Must(session.AddBox("AddAttribute",
+                                        {{"name", "t"},
+                                         {"definition", "float(days(obs_date))"}}),
+                         "t");
+    std::string sx =
+        Must(session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "t"}}), "sx");
+    std::string sy = Must(
+        session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "temperature"}}), "sy");
+    std::string color =
+        Must(session.AddBox(
+                 "AddAttribute",
+                 {{"name", "d"},
+                  {"definition",
+                   "point(lerp_color(\"#1e46c8\", \"#c81e1e\", (temperature - 20.0) / "
+                   "70.0))"}}),
+             "d");
+    std::string sd = Must(session.AddBox("SetDisplay", {{"attr", "d"}}), "sd");
+    MustOk(session.Connect(obs, 0, t, 0), "wire");
+    MustOk(session.Connect(t, 0, sx, 0), "wire");
+    MustOk(session.Connect(sx, 0, sy, 0), "wire");
+    MustOk(session.Connect(sy, 0, color, 0), "wire");
+    MustOk(session.Connect(color, 0, sd, 0), "wire");
+    Must(session.AddViewer(sd, 0, "temps"), "viewer temps");
+  }
+
+  // Source canvas: stations shown as labeled wormholes into "temps".
+  {
+    std::string stations = Must(session.AddTable("Stations"), "Stations");
+    std::string la = Must(
+        session.AddBox("Restrict", {{"predicate", "state = \"LA\""}}), "Restrict");
+    std::string sx = Must(
+        session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "longitude"}}), "sx");
+    std::string sy = Must(
+        session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "latitude"}}), "sy");
+    // Wormhole into the temperature canvas, plus the station name above it
+    // (overlaying text with a viewer drawable, §6.2).
+    std::string holes = Must(
+        session.AddBox(
+            "AddAttribute",
+            {{"name", "w"},
+             {"definition",
+              "viewer(0.4, 0.3, \"temps\", 180.0, 55.0, 90.0) + offset(text(name, "
+              "0.07), 0.0, 0.33)"}}),
+        "holes");
+    std::string sd = Must(session.AddBox("SetDisplay", {{"attr", "w"}}), "sd");
+    MustOk(session.Connect(stations, 0, la, 0), "wire");
+    MustOk(session.Connect(la, 0, sx, 0), "wire");
+    MustOk(session.Connect(sx, 0, sy, 0), "wire");
+    MustOk(session.Connect(sy, 0, holes, 0), "wire");
+    MustOk(session.Connect(holes, 0, sd, 0), "wire");
+
+    // Program the canvas underside (§6.3): gray markers with a negative
+    // elevation range, visible only in rear view mirrors after travelling
+    // through a wormhole.
+    std::string under_dot = Must(
+        session.AddBox("AddAttribute",
+                       {{"name", "u"}, {"definition", "circle(0.1, \"#808080\", true)"}}),
+        "under");
+    std::string under_set =
+        Must(session.AddBox("SetDisplay", {{"attr", "u"}}), "set");
+    std::string under_range =
+        Must(session.AddBox("SetRange", {{"min", "-1000"}, {"max", "0"}}), "range");
+    std::string under_name =
+        Must(session.AddBox("SetName", {{"name", "Underside"}}), "name");
+    MustOk(session.Connect(sy, 0, under_dot, 0), "wire");
+    MustOk(session.Connect(under_dot, 0, under_set, 0), "wire");
+    MustOk(session.Connect(under_set, 0, under_range, 0), "wire");
+    MustOk(session.Connect(under_range, 0, under_name, 0), "wire");
+
+    std::string overlay = Must(session.AddBox("Overlay", {{"offset", ""}}), "overlay");
+    MustOk(session.Connect(sd, 0, overlay, 0), "wire");
+    MustOk(session.Connect(under_name, 0, overlay, 1), "wire");
+    Must(session.AddViewer(overlay, 0, "map"), "viewer map");
+  }
+
+  tioga2::viewer::Viewer* viewer = Must(env.GetViewer("map"), "GetViewer");
+  viewer->mutable_camera()->MoveTo(-90.3, 30.0);
+  viewer->mutable_camera()->SetElevation(1.6);
+  auto map_stats =
+      Must(env.RenderViewer(viewer, 800, 600, "wormhole_map.ppm"), "render map");
+  std::printf("map canvas: %zu tuples drawn, %zu wormholes rendered inline\n",
+              map_stats.tuples_drawn, map_stats.wormholes_rendered);
+
+  // Descend into the New Orleans wormhole: its rect spans
+  // (-90.08, 29.95) .. (-89.68, 30.25).
+  viewer->mutable_camera()->MoveTo(-90.08 + 0.2, 29.95 + 0.15);
+  viewer->mutable_camera()->SetElevation(0.8);
+  bool passed = Must(viewer->TryPassThrough(/*pass_elevation=*/1.0), "pass through");
+  if (!passed) {
+    std::fprintf(stderr, "expected to pass through the wormhole\n");
+    return 1;
+  }
+  std::printf("passed through to '%s' at elevation %g\n",
+              viewer->canvas_name().c_str(), viewer->camera().elevation());
+  Must(env.RenderViewer(viewer, 800, 600, "wormhole_temps.ppm"), "render temps");
+
+  // The rear view mirror shows where we came from (§6.3).
+  tioga2::render::Framebuffer mirror(300, 200, tioga2::draw::kLightGray);
+  tioga2::render::RasterSurface mirror_surface(&mirror);
+  auto mirror_stats = Must(viewer->RenderRearView(&mirror_surface), "rear view");
+  MustOk(mirror.WritePpm("wormhole_mirror.ppm"), "write mirror");
+  std::printf("rear view mirror: %zu tuples of the departed canvas underside\n",
+              mirror_stats.tuples_drawn);
+
+  // "Find his way home" (§6.3).
+  bool back = Must(viewer->TravelBack(), "travel back");
+  std::printf("travelled back: %s (now on '%s')\n", back ? "yes" : "no",
+              viewer->canvas_name().c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "boxes/attribute_boxes.h"
+
+#include "common/str_util.h"
+#include "display/displayable.h"
+
+namespace tioga2::boxes {
+
+Result<std::vector<BoxValue>> UnaryRelationBox::Fire(const std::vector<BoxValue>& inputs,
+                                                     const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(display::Displayable displayable,
+                          dataflow::AsDisplayable(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(display::DisplayRelation input,
+                          display::AsRelation(displayable));
+  TIOGA2_ASSIGN_OR_RETURN(display::DisplayRelation output, Apply(input));
+  return std::vector<BoxValue>{BoxValue(display::Displayable(std::move(output)))};
+}
+
+std::map<std::string, std::string> ScaleAttributeBox::Params() const {
+  return {{"name", name_}, {"factor", FormatDouble(factor_)}};
+}
+
+std::map<std::string, std::string> TranslateAttributeBox::Params() const {
+  return {{"name", name_}, {"delta", FormatDouble(delta_)}};
+}
+
+std::map<std::string, std::string> CombineDisplaysBox::Params() const {
+  return {{"name", name_},
+          {"first", first_},
+          {"second", second_},
+          {"dx", FormatDouble(dx_)},
+          {"dy", FormatDouble(dy_)}};
+}
+
+std::map<std::string, std::string> SetRangeBox::Params() const {
+  return {{"min", FormatDouble(min_)}, {"max", FormatDouble(max_)}};
+}
+
+}  // namespace tioga2::boxes

@@ -1,0 +1,342 @@
+#ifndef TIOGA2_BOXES_ATTRIBUTE_BOXES_H_
+#define TIOGA2_BOXES_ATTRIBUTE_BOXES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/box.h"
+#include "display/display_relation.h"
+
+namespace tioga2::boxes {
+
+using dataflow::Box;
+using dataflow::BoxValue;
+using dataflow::ExecContext;
+using dataflow::PortType;
+
+/// Shared base for the R → R attribute operations of Figure 5. Subclasses
+/// implement Apply(); the base handles unwrapping and rewrapping.
+class UnaryRelationBox : public Box {
+ public:
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+
+ protected:
+  virtual Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const = 0;
+};
+
+/// Add Attribute (§5.3): a new computed attribute from an expression.
+class AddAttributeBox : public UnaryRelationBox {
+ public:
+  AddAttributeBox(std::string name, std::string definition)
+      : name_(std::move(name)), definition_(std::move(definition)) {}
+  std::string type_name() const override { return "AddAttribute"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"name", name_}, {"definition", definition_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<AddAttributeBox>(name_, definition_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.AddAttribute(name_, definition_);
+  }
+
+ private:
+  std::string name_;
+  std::string definition_;
+};
+
+/// Set Attribute (§5.3): redefine an existing attribute.
+class SetAttributeBox : public UnaryRelationBox {
+ public:
+  SetAttributeBox(std::string name, std::string definition)
+      : name_(std::move(name)), definition_(std::move(definition)) {}
+  std::string type_name() const override { return "SetAttribute"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"name", name_}, {"definition", definition_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SetAttributeBox>(name_, definition_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.SetAttribute(name_, definition_);
+  }
+
+ private:
+  std::string name_;
+  std::string definition_;
+};
+
+/// Remove Attribute (§5.3).
+class RemoveAttributeBox : public UnaryRelationBox {
+ public:
+  explicit RemoveAttributeBox(std::string name) : name_(std::move(name)) {}
+  std::string type_name() const override { return "RemoveAttribute"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"name", name_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<RemoveAttributeBox>(name_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.RemoveAttribute(name_);
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Swap Attributes (§5.3).
+class SwapAttributesBox : public UnaryRelationBox {
+ public:
+  SwapAttributesBox(std::string a, std::string b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  std::string type_name() const override { return "SwapAttributes"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"a", a_}, {"b", b_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SwapAttributesBox>(a_, b_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.SwapAttributes(a_, b_);
+  }
+
+ private:
+  std::string a_;
+  std::string b_;
+};
+
+/// Scale Attribute (§5.3).
+class ScaleAttributeBox : public UnaryRelationBox {
+ public:
+  ScaleAttributeBox(std::string name, double factor)
+      : name_(std::move(name)), factor_(factor) {}
+  std::string type_name() const override { return "ScaleAttribute"; }
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<ScaleAttributeBox>(name_, factor_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.ScaleAttribute(name_, factor_);
+  }
+
+ private:
+  std::string name_;
+  double factor_;
+};
+
+/// Translate Attribute (§5.3).
+class TranslateAttributeBox : public UnaryRelationBox {
+ public:
+  TranslateAttributeBox(std::string name, double delta)
+      : name_(std::move(name)), delta_(delta) {}
+  std::string type_name() const override { return "TranslateAttribute"; }
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<TranslateAttributeBox>(name_, delta_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.TranslateAttribute(name_, delta_);
+  }
+
+ private:
+  std::string name_;
+  double delta_;
+};
+
+/// Combine Displays (§5.3).
+class CombineDisplaysBox : public UnaryRelationBox {
+ public:
+  CombineDisplaysBox(std::string name, std::string first, std::string second, double dx,
+                     double dy)
+      : name_(std::move(name)),
+        first_(std::move(first)),
+        second_(std::move(second)),
+        dx_(dx),
+        dy_(dy) {}
+  std::string type_name() const override { return "CombineDisplays"; }
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<CombineDisplaysBox>(name_, first_, second_, dx_, dy_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.CombineDisplays(name_, first_, second_, dx_, dy_);
+  }
+
+ private:
+  std::string name_;
+  std::string first_;
+  std::string second_;
+  double dx_;
+  double dy_;
+};
+
+/// Binds a location dimension to an attribute (the Figure 4 step that maps
+/// (longitude, latitude) to the (x, y) canvas dimensions).
+class SetLocationBox : public UnaryRelationBox {
+ public:
+  SetLocationBox(size_t dim, std::string attr) : dim_(dim), attr_(std::move(attr)) {}
+  std::string type_name() const override { return "SetLocation"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"dim", std::to_string(dim_)}, {"attr", attr_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SetLocationBox>(dim_, attr_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.SetLocationAttribute(dim_, attr_);
+  }
+
+ private:
+  size_t dim_;
+  std::string attr_;
+};
+
+/// Adds a slider dimension (§5.3: "adding a location attribute adds a new
+/// dimension to the visualization"), e.g. Figure 4's Altitude slider.
+class AddLocationDimensionBox : public UnaryRelationBox {
+ public:
+  explicit AddLocationDimensionBox(std::string attr) : attr_(std::move(attr)) {}
+  std::string type_name() const override { return "AddLocationDimension"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"attr", attr_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<AddLocationDimensionBox>(attr_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.AddLocationDimension(attr_);
+  }
+
+ private:
+  std::string attr_;
+};
+
+/// Drops a slider dimension.
+class RemoveLocationDimensionBox : public UnaryRelationBox {
+ public:
+  explicit RemoveLocationDimensionBox(size_t dim) : dim_(dim) {}
+  std::string type_name() const override { return "RemoveLocationDimension"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"dim", std::to_string(dim_)}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<RemoveLocationDimensionBox>(dim_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.RemoveLocationDimension(dim_);
+  }
+
+ private:
+  size_t dim_;
+};
+
+/// Selects the active display attribute (switching between the "multiple,
+/// alternative representations" of §2).
+class SetDisplayBox : public UnaryRelationBox {
+ public:
+  explicit SetDisplayBox(std::string attr) : attr_(std::move(attr)) {}
+  std::string type_name() const override { return "SetDisplay"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"attr", attr_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SetDisplayBox>(attr_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.SetDisplayAttribute(attr_);
+  }
+
+ private:
+  std::string attr_;
+};
+
+/// Renames the relation (shown in elevation maps and group UIs).
+class SetNameBox : public UnaryRelationBox {
+ public:
+  explicit SetNameBox(std::string name) : name_(std::move(name)) {}
+  std::string type_name() const override { return "SetName"; }
+  std::map<std::string, std::string> Params() const override {
+    return {{"name", name_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SetNameBox>(name_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    display::DisplayRelation out = input;
+    out.set_name(name_);
+    return out;
+  }
+
+ private:
+  std::string name_;
+};
+
+/// Set Range (§6.1): the elevations at which the relation's display is
+/// defined — "outside of this range, the relation contributes nothing to
+/// the canvas". Negative elevations program the canvas underside (§6.3).
+class SetRangeBox : public UnaryRelationBox {
+ public:
+  SetRangeBox(double min, double max) : min_(min), max_(max) {}
+  std::string type_name() const override { return "SetRange"; }
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SetRangeBox>(min_, max_);
+  }
+
+ protected:
+  Result<display::DisplayRelation> Apply(
+      const display::DisplayRelation& input) const override {
+    return input.SetElevationRange(min_, max_);
+  }
+
+ private:
+  double min_;
+  double max_;
+};
+
+}  // namespace tioga2::boxes
+
+#endif  // TIOGA2_BOXES_ATTRIBUTE_BOXES_H_

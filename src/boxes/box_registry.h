@@ -1,0 +1,36 @@
+#ifndef TIOGA2_BOXES_BOX_REGISTRY_H_
+#define TIOGA2_BOXES_BOX_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/box.h"
+
+namespace tioga2::boxes {
+
+/// Constructs a box from its serialized (type name, params) form. Knows
+/// every primitive box type; EncapsulatedBox is reconstructed structurally
+/// by the program serializer instead.
+Result<dataflow::BoxPtr> MakeBox(const std::string& type_name,
+                                 const std::map<std::string, std::string>& params);
+
+/// Every constructible box type name, sorted (the "menu of all boxes
+/// available" of §3).
+std::vector<std::string> AllBoxTypes();
+
+/// Apply Box (§4.1): "a menu of all boxes whose inputs match the types of
+/// the selected edges". Returns the type names of boxes able to take edges
+/// of `edge_types` as inputs, in order.
+std::vector<std::string> ApplyBoxCandidates(
+    const std::vector<dataflow::PortType>& edge_types);
+
+/// One-line help for a box type — the §3 menu bar's help button content.
+/// Returns an explanatory string for every name in AllBoxTypes() and a
+/// NotFound error otherwise.
+Result<std::string> BoxDocumentation(const std::string& type_name);
+
+}  // namespace tioga2::boxes
+
+#endif  // TIOGA2_BOXES_BOX_REGISTRY_H_

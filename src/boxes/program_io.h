@@ -1,0 +1,30 @@
+#ifndef TIOGA2_BOXES_PROGRAM_IO_H_
+#define TIOGA2_BOXES_PROGRAM_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dataflow/graph.h"
+
+namespace tioga2::boxes {
+
+/// Serializes a boxes-and-arrows program to the line-based text format used
+/// by Save Program (Figure 2). Encapsulated boxes serialize their inner
+/// program as a nested block, so user-defined boxes survive the round trip.
+///
+///   tioga2-program v1
+///   box b1 Table table="Stations"
+///   encap b2 name="la_filter" outputs="r1:0" {
+///     box in0 InputStub index="0" type="R"
+///     box r1 Restrict predicate="state = \"LA\""
+///     edge in0:0 r1:0
+///   }
+///   edge b1:0 b2:0
+Result<std::string> SerializeProgram(const dataflow::Graph& graph);
+
+/// Parses the format produced by SerializeProgram.
+Result<dataflow::Graph> DeserializeProgram(const std::string& text);
+
+}  // namespace tioga2::boxes
+
+#endif  // TIOGA2_BOXES_PROGRAM_IO_H_

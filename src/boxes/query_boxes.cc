@@ -1,0 +1,117 @@
+#include "boxes/query_boxes.h"
+
+#include "common/str_util.h"
+#include "db/aggregates.h"
+#include "db/operators.h"
+#include "display/displayable.h"
+
+namespace tioga2::boxes {
+
+using display::Displayable;
+using display::DisplayRelation;
+
+namespace {
+
+Result<DisplayRelation> InputRelation(const BoxValue& value) {
+  TIOGA2_ASSIGN_OR_RETURN(Displayable displayable, dataflow::AsDisplayable(value));
+  return display::AsRelation(displayable);
+}
+
+BoxValue WrapRelation(DisplayRelation relation) {
+  return BoxValue(Displayable(std::move(relation)));
+}
+
+}  // namespace
+
+Result<std::vector<BoxValue>> GroupByBox::Fire(const std::vector<BoxValue>& inputs,
+                                               const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr grouped,
+                          db::GroupBy(input.base(), keys_, aggs_));
+  TIOGA2_ASSIGN_OR_RETURN(
+      DisplayRelation output,
+      DisplayRelation::WithDefaults(input.name() + "_by", std::move(grouped)));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+std::map<std::string, std::string> GroupByBox::Params() const {
+  return {{"keys", StrJoin(keys_, ",")}, {"aggs", AggSpecsToString(aggs_)}};
+}
+
+Result<std::vector<BoxValue>> DistinctBox::Fire(const std::vector<BoxValue>& inputs,
+                                                const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr distinct, db::Distinct(input.base()));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation output, input.WithBase(std::move(distinct)));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+Result<std::vector<BoxValue>> UnionAllBox::Fire(const std::vector<BoxValue>& inputs,
+                                                const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation first, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation second, InputRelation(inputs[1]));
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr merged,
+                          db::UnionAll(first.base(), second.base()));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation output, first.WithBase(std::move(merged)));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+Result<std::vector<BoxValue>> SortBox::Fire(const std::vector<BoxValue>& inputs,
+                                            const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr sorted,
+                          db::Sort(input.base(), column_, ascending_));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation output, input.WithBase(std::move(sorted)));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+Result<std::vector<BoxValue>> LimitBox::Fire(const std::vector<BoxValue>& inputs,
+                                             const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr limited, db::Limit(input.base(), limit_));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation output, input.WithBase(std::move(limited)));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+Result<std::vector<db::AggSpec>> ParseAggSpecs(const std::string& text) {
+  std::vector<db::AggSpec> specs;
+  for (const std::string& piece : StrSplit(text, ';')) {
+    if (piece.empty()) continue;
+    std::vector<std::string> parts = StrSplit(piece, ':');
+    if (parts.size() != 3) {
+      return Status::ParseError("aggregate spec '" + piece +
+                                "' is not fn:column:output");
+    }
+    db::AggSpec spec;
+    if (!db::AggFnFromString(parts[0], &spec.fn)) {
+      return Status::ParseError("unknown aggregate function '" + parts[0] + "'");
+    }
+    spec.column = parts[1];
+    spec.output_name = parts[2];
+    if (spec.fn != db::AggFn::kCount && spec.column.empty()) {
+      return Status::ParseError("aggregate '" + parts[0] + "' needs a column");
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("GroupBy needs at least one aggregate");
+  }
+  return specs;
+}
+
+std::string AggSpecsToString(const std::vector<db::AggSpec>& aggs) {
+  std::vector<std::string> pieces;
+  pieces.reserve(aggs.size());
+  for (const db::AggSpec& spec : aggs) {
+    pieces.push_back(AggFnToString(spec.fn) + ":" + spec.column + ":" +
+                     spec.output_name);
+  }
+  return StrJoin(pieces, ";");
+}
+
+}  // namespace tioga2::boxes

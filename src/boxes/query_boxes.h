@@ -1,0 +1,126 @@
+#ifndef TIOGA2_BOXES_QUERY_BOXES_H_
+#define TIOGA2_BOXES_QUERY_BOXES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/box.h"
+#include "db/aggregates.h"
+
+namespace tioga2::boxes {
+
+using dataflow::Box;
+using dataflow::BoxValue;
+using dataflow::ExecContext;
+using dataflow::PortType;
+
+/// GroupBy: hash aggregation over the base relation; the result carries
+/// fresh default location/display attributes (like Join). An extension box
+/// in the §1.2 principle-5 sense — registered by a "big programmer", usable
+/// by anyone.
+class GroupByBox : public Box {
+ public:
+  GroupByBox(std::vector<std::string> keys, std::vector<db::AggSpec> aggs)
+      : keys_(std::move(keys)), aggs_(std::move(aggs)) {}
+
+  std::string type_name() const override { return "GroupBy"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<GroupByBox>(keys_, aggs_);
+  }
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<db::AggSpec> aggs_;
+};
+
+/// Distinct: removes duplicate base tuples; extended attributes preserved.
+class DistinctBox : public Box {
+ public:
+  DistinctBox() = default;
+
+  std::string type_name() const override { return "Distinct"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override { return {}; }
+  std::unique_ptr<Box> Clone() const override { return std::make_unique<DistinctBox>(); }
+};
+
+/// UnionAll: bag union of two extended relations with identical base
+/// schemas; the first input's attributes and designations win.
+class UnionAllBox : public Box {
+ public:
+  UnionAllBox() = default;
+
+  std::string type_name() const override { return "UnionAll"; }
+  std::vector<PortType> InputTypes() const override {
+    return {PortType::Relation(), PortType::Relation()};
+  }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override { return {}; }
+  std::unique_ptr<Box> Clone() const override { return std::make_unique<UnionAllBox>(); }
+};
+
+/// Sort: orders the base tuples by a stored column (stable).
+class SortBox : public Box {
+ public:
+  SortBox(std::string column, bool ascending)
+      : column_(std::move(column)), ascending_(ascending) {}
+
+  std::string type_name() const override { return "Sort"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override {
+    return {{"column", column_}, {"ascending", ascending_ ? "true" : "false"}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SortBox>(column_, ascending_);
+  }
+
+ private:
+  std::string column_;
+  bool ascending_;
+};
+
+/// Limit: keeps the first n base tuples.
+class LimitBox : public Box {
+ public:
+  explicit LimitBox(size_t limit) : limit_(limit) {}
+
+  std::string type_name() const override { return "Limit"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override {
+    return {{"n", std::to_string(limit_)}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<LimitBox>(limit_);
+  }
+
+ private:
+  size_t limit_;
+};
+
+/// Parses "fn:column:output;fn:column:output" (column empty for count).
+Result<std::vector<db::AggSpec>> ParseAggSpecs(const std::string& text);
+
+/// Inverse of ParseAggSpecs.
+std::string AggSpecsToString(const std::vector<db::AggSpec>& aggs);
+
+}  // namespace tioga2::boxes
+
+#endif  // TIOGA2_BOXES_QUERY_BOXES_H_

@@ -1,0 +1,114 @@
+#include "boxes/relational_boxes.h"
+
+#include "common/str_util.h"
+#include "db/operators.h"
+#include "display/display_relation.h"
+
+namespace tioga2::boxes {
+
+using dataflow::AsDisplayable;
+using display::DisplayRelation;
+using display::Displayable;
+
+namespace {
+
+/// Unwraps a BoxValue known (by port typing) to be an R.
+Result<DisplayRelation> InputRelation(const BoxValue& value) {
+  TIOGA2_ASSIGN_OR_RETURN(Displayable displayable, AsDisplayable(value));
+  return display::AsRelation(displayable);
+}
+
+BoxValue WrapRelation(DisplayRelation relation) {
+  return BoxValue(Displayable(std::move(relation)));
+}
+
+}  // namespace
+
+Result<std::vector<BoxValue>> TableBox::Fire(const std::vector<BoxValue>& inputs,
+                                             const ExecContext& ctx) const {
+  (void)inputs;
+  if (ctx.catalog == nullptr) {
+    return Status::FailedPrecondition("Table box needs a catalog");
+  }
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, ctx.catalog->GetTable(table_));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation display,
+                          DisplayRelation::WithDefaults(table_, std::move(relation)));
+  return std::vector<BoxValue>{WrapRelation(std::move(display))};
+}
+
+std::string TableBox::CacheSalt(const ExecContext& ctx) const {
+  if (ctx.catalog == nullptr) return "no-catalog";
+  Result<uint64_t> version = ctx.catalog->TableVersion(table_);
+  return version.ok() ? std::to_string(version.value()) : "missing";
+}
+
+Result<std::vector<BoxValue>> RestrictBox::Fire(const std::vector<BoxValue>& inputs,
+                                                const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation output, input.Restrict(predicate_));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+Result<std::vector<BoxValue>> ProjectBox::Fire(const std::vector<BoxValue>& inputs,
+                                               const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation output, input.Project(columns_));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+std::map<std::string, std::string> ProjectBox::Params() const {
+  return {{"columns", StrJoin(columns_, ",")}};
+}
+
+Result<std::vector<BoxValue>> SampleBox::Fire(const std::vector<BoxValue>& inputs,
+                                              const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation output, input.Sample(probability_, seed_));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+std::map<std::string, std::string> SampleBox::Params() const {
+  return {{"probability", FormatDouble(probability_)}, {"seed", std::to_string(seed_)}};
+}
+
+Result<std::vector<BoxValue>> JoinBox::Fire(const std::vector<BoxValue>& inputs,
+                                            const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation left, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation right, InputRelation(inputs[1]));
+  TIOGA2_ASSIGN_OR_RETURN(db::JoinResult joined,
+                          db::Join(left.base(), right.base(), predicate_));
+  TIOGA2_ASSIGN_OR_RETURN(
+      DisplayRelation output,
+      DisplayRelation::WithDefaults(left.name() + "_" + right.name(),
+                                    std::move(joined.relation)));
+  return std::vector<BoxValue>{WrapRelation(std::move(output))};
+}
+
+Result<std::vector<BoxValue>> SwitchBox::Fire(const std::vector<BoxValue>& inputs,
+                                              const ExecContext& ctx) const {
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation input, InputRelation(inputs[0]));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation matching, input.Restrict(predicate_));
+  TIOGA2_ASSIGN_OR_RETURN(DisplayRelation rest,
+                          input.Restrict("not (" + predicate_ + ")"));
+  return std::vector<BoxValue>{WrapRelation(std::move(matching)),
+                               WrapRelation(std::move(rest))};
+}
+
+Result<std::vector<BoxValue>> ConstBox::Fire(const std::vector<BoxValue>& inputs,
+                                             const ExecContext& ctx) const {
+  (void)inputs;
+  (void)ctx;
+  TIOGA2_ASSIGN_OR_RETURN(types::Value value, types::Value::Parse(type_, text_));
+  return std::vector<BoxValue>{BoxValue(std::move(value))};
+}
+
+std::map<std::string, std::string> ConstBox::Params() const {
+  return {{"type", types::DataTypeToString(type_)}, {"value", text_}};
+}
+
+}  // namespace tioga2::boxes

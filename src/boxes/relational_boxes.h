@@ -1,0 +1,213 @@
+#ifndef TIOGA2_BOXES_RELATIONAL_BOXES_H_
+#define TIOGA2_BOXES_RELATIONAL_BOXES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/box.h"
+
+namespace tioga2::boxes {
+
+using dataflow::Box;
+using dataflow::BoxValue;
+using dataflow::ExecContext;
+using dataflow::PortType;
+
+/// Add Table (§4.2): "for every relation known to the Tioga-2 system there
+/// is a box of the same name that takes no inputs and produces as output the
+/// tuples of the relation", wrapped with the §5.2 default display. The cache
+/// salt is the table's catalog version, so §8 updates invalidate downstream
+/// boxes automatically.
+class TableBox : public Box {
+ public:
+  explicit TableBox(std::string table) : table_(std::move(table)) {}
+
+  std::string type_name() const override { return "Table"; }
+  std::vector<PortType> InputTypes() const override { return {}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override {
+    return {{"table", table_}};
+  }
+  std::string CacheSalt(const ExecContext& ctx) const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<TableBox>(table_);
+  }
+
+  const std::string& table() const { return table_; }
+
+ private:
+  std::string table_;
+};
+
+/// Restrict (§4.2): filters to tuples satisfying a predicate written over
+/// the extended relation's attributes (stored and computed).
+class RestrictBox : public Box {
+ public:
+  explicit RestrictBox(std::string predicate) : predicate_(std::move(predicate)) {}
+
+  std::string type_name() const override { return "Restrict"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override {
+    return {{"predicate", predicate_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<RestrictBox>(predicate_);
+  }
+
+ private:
+  std::string predicate_;
+};
+
+/// Project (§4.2): keeps the named stored columns.
+class ProjectBox : public Box {
+ public:
+  explicit ProjectBox(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  std::string type_name() const override { return "Project"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<ProjectBox>(columns_);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// Sample (§4.2): Bernoulli sample, "useful for improving interactive
+/// response by reducing the size of data sets to be processed".
+class SampleBox : public Box {
+ public:
+  SampleBox(double probability, uint64_t seed)
+      : probability_(probability), seed_(seed) {}
+
+  std::string type_name() const override { return "Sample"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SampleBox>(probability_, seed_);
+  }
+
+ private:
+  double probability_;
+  uint64_t seed_;
+};
+
+/// Join (§4.2): joins the base relations of two extended relations on a
+/// predicate over the join's output schema; the result carries fresh
+/// default location/display attributes.
+class JoinBox : public Box {
+ public:
+  explicit JoinBox(std::string predicate) : predicate_(std::move(predicate)) {}
+
+  std::string type_name() const override { return "Join"; }
+  std::vector<PortType> InputTypes() const override {
+    return {PortType::Relation(), PortType::Relation()};
+  }
+  std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override {
+    return {{"predicate", predicate_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<JoinBox>(predicate_);
+  }
+
+ private:
+  std::string predicate_;
+};
+
+/// Switch: the multi-output control-flow box motivating §1.1 problem 3 —
+/// "if condition then deliver data to box i else deliver data to box j".
+/// Output 0 receives tuples satisfying the predicate, output 1 the rest.
+class SwitchBox : public Box {
+ public:
+  explicit SwitchBox(std::string predicate) : predicate_(std::move(predicate)) {}
+
+  std::string type_name() const override { return "Switch"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::Relation()}; }
+  std::vector<PortType> OutputTypes() const override {
+    return {PortType::Relation(), PortType::Relation()};
+  }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override {
+    return {{"predicate", predicate_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<SwitchBox>(predicate_);
+  }
+
+ private:
+  std::string predicate_;
+};
+
+/// A scalar constant source — the textual form of a runtime parameter (§2).
+class ConstBox : public Box {
+ public:
+  ConstBox(types::DataType type, std::string text)
+      : type_(type), text_(std::move(text)) {}
+
+  std::string type_name() const override { return "Const"; }
+  std::vector<PortType> InputTypes() const override { return {}; }
+  std::vector<PortType> OutputTypes() const override {
+    return {PortType::Scalar(type_)};
+  }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<ConstBox>(type_, text_);
+  }
+
+ private:
+  types::DataType type_;
+  std::string text_;
+};
+
+/// A viewer (§2): the sink translating a displayable into screen output.
+/// The box itself is a pure marker — the ui::Session registers each viewer
+/// box's input as a named canvas, which viewer::Viewer objects then render.
+class ViewerBox : public Box {
+ public:
+  explicit ViewerBox(std::string canvas) : canvas_(std::move(canvas)) {}
+
+  std::string type_name() const override { return "Viewer"; }
+  std::vector<PortType> InputTypes() const override { return {PortType::GroupT()}; }
+  std::vector<PortType> OutputTypes() const override { return {}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override {
+    (void)inputs;
+    (void)ctx;
+    return std::vector<BoxValue>{};
+  }
+  std::map<std::string, std::string> Params() const override {
+    return {{"canvas", canvas_}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<ViewerBox>(canvas_);
+  }
+
+  const std::string& canvas() const { return canvas_; }
+
+ private:
+  std::string canvas_;
+};
+
+}  // namespace tioga2::boxes
+
+#endif  // TIOGA2_BOXES_RELATIONAL_BOXES_H_

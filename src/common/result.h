@@ -1,0 +1,79 @@
+#ifndef TIOGA2_COMMON_RESULT_H_
+#define TIOGA2_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tioga2 {
+
+/// A value-or-error type in the style of arrow::Result. A `Result<T>` holds
+/// either a `T` or a non-OK `Status` explaining why the `T` could not be
+/// produced. Constructing a Result from an OK status is a programming error
+/// and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a Result holding an error. `status` must be non-OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(repr_).ok()) std::abort();
+  }
+
+  /// True iff the Result holds a value.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value. Must only be called when `ok()`.
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `alternative` if this Result is an error.
+  T value_or(T alternative) const {
+    return ok() ? value() : std::move(alternative);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace tioga2
+
+/// Evaluates an expression producing Result<T>; on error, propagates the
+/// status to the caller, otherwise assigns the value to `lhs`.
+#define TIOGA2_ASSIGN_OR_RETURN(lhs, rexpr)                                 \
+  TIOGA2_ASSIGN_OR_RETURN_IMPL(                                             \
+      TIOGA2_CONCAT_NAME(_tioga2_result, __COUNTER__), lhs, rexpr)
+
+#define TIOGA2_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                 \
+  if (!result_name.ok()) return result_name.status();         \
+  lhs = std::move(result_name).value()
+
+#define TIOGA2_CONCAT_NAME(x, y) TIOGA2_CONCAT_NAME_INNER(x, y)
+#define TIOGA2_CONCAT_NAME_INNER(x, y) x##y
+
+#endif  // TIOGA2_COMMON_RESULT_H_

@@ -1,0 +1,42 @@
+#ifndef TIOGA2_COMMON_RNG_H_
+#define TIOGA2_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace tioga2 {
+
+/// A small, fast, deterministic PRNG (xorshift64*). Used by the Sample box
+/// (§4.2) and by the synthetic data generators so that every test and
+/// benchmark in the repository is reproducible bit-for-bit.
+class Rng {
+ public:
+  /// Seeds the generator. A zero seed is remapped to a fixed non-zero value
+  /// (xorshift has a zero fixed point).
+  explicit Rng(uint64_t seed) : state_(seed == 0 ? 0x9E3779B97F4A7C15ULL : seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) { return NextUint64() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tioga2
+
+#endif  // TIOGA2_COMMON_RNG_H_

@@ -1,0 +1,101 @@
+#include "common/status.h"
+
+#include <utility>
+
+namespace tioga2 {
+
+namespace {
+const std::string kEmptyMessage;
+}  // namespace
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ == nullptr ? nullptr : std::make_unique<State>(*other.state_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return state_ == nullptr ? kEmptyMessage : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(state_->code));
+  result += ": ";
+  result += state_->message;
+  return result;
+}
+
+Status Status::InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status Status::NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status Status::AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status Status::TypeError(std::string message) {
+  return Status(StatusCode::kTypeError, std::move(message));
+}
+Status Status::ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status Status::OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status Status::FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status Status::Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Status::Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+Status Status::IOError(std::string message) {
+  return Status(StatusCode::kIOError, std::move(message));
+}
+
+}  // namespace tioga2

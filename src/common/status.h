@@ -1,0 +1,107 @@
+#ifndef TIOGA2_COMMON_STATUS_H_
+#define TIOGA2_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace tioga2 {
+
+/// Error categories used across the Tioga-2 library. The set mirrors the
+/// failure modes of the paper's operations: type errors when wiring boxes
+/// (§2), invalid program edits such as illegal box deletion (§4.1), lookup
+/// failures against the catalog, and malformed expressions or predicates.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kTypeError,
+  kParseError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a human-readable name for `code`, e.g. "TypeError".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. All fallible public operations in this
+/// library return `Status` (or `Result<T>`); exceptions are never thrown
+/// across API boundaries. The OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error code and message. `code` must
+  /// not be `StatusCode::kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message);
+  static Status NotFound(std::string message);
+  static Status AlreadyExists(std::string message);
+  static Status TypeError(std::string message);
+  static Status ParseError(std::string message);
+  static Status OutOfRange(std::string message);
+  static Status FailedPrecondition(std::string message);
+  static Status Unimplemented(std::string message);
+  static Status Internal(std::string message);
+  static Status IOError(std::string message);
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; `kOk` for a successful status.
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty for a successful status.
+  const std::string& message() const;
+
+  /// True iff the status carries the given error code.
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null iff OK.
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace tioga2
+
+/// Propagates a non-OK Status from the evaluated expression to the caller.
+#define TIOGA2_RETURN_IF_ERROR(expr)                      \
+  do {                                                    \
+    ::tioga2::Status _tioga2_status = (expr);             \
+    if (!_tioga2_status.ok()) return _tioga2_status;      \
+  } while (false)
+
+#endif  // TIOGA2_COMMON_STATUS_H_

@@ -1,0 +1,204 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace tioga2::data {
+
+using db::Column;
+using db::RelationBuilder;
+using db::RelationPtr;
+using db::Schema;
+using db::Tuple;
+using types::DataType;
+using types::Date;
+using types::Value;
+
+namespace {
+
+struct NamedStation {
+  const char* name;
+  double longitude;
+  double latitude;
+  double altitude;  // feet
+};
+
+/// Louisiana stations visible in Figures 4 and 7 (approximate coordinates).
+constexpr NamedStation kLouisianaStations[] = {
+    {"NEW ORLEANS", -90.08, 29.95, 7},
+    {"BATON ROUGE", -91.15, 30.45, 56},
+    {"SHREVEPORT", -93.75, 32.52, 141},
+    {"LAFAYETTE", -92.02, 30.22, 36},
+    {"LAKE CHARLES", -93.22, 30.23, 13},
+    {"MONROE", -92.12, 32.51, 72},
+    {"ALEXANDRIA", -92.45, 31.31, 79},
+    {"HOUMA", -90.72, 29.60, 9},
+    {"NATCHITOCHES", -93.09, 31.76, 120},
+    {"RUSTON", -92.64, 32.52, 255},
+    {"HAMMOND", -90.46, 30.50, 43},
+    {"THIBODAUX", -90.82, 29.80, 12},
+    {"OPELOUSAS", -92.08, 30.53, 70},
+    {"BOGALUSA", -89.85, 30.79, 103},
+    {"MINDEN", -93.29, 32.62, 250},
+};
+
+const char* kOtherStates[] = {"TX", "MS", "AR", "AL", "FL", "GA", "OK", "TN", "MO", "NM"};
+
+}  // namespace
+
+Result<RelationPtr> MakeStations(size_t extra_stations, uint64_t seed) {
+  TIOGA2_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({Column{"station_id", DataType::kInt},
+                    Column{"name", DataType::kString},
+                    Column{"state", DataType::kString},
+                    Column{"longitude", DataType::kFloat},
+                    Column{"latitude", DataType::kFloat},
+                    Column{"altitude", DataType::kFloat}}));
+  RelationBuilder builder(std::make_shared<const Schema>(std::move(schema)));
+  int64_t id = 1;
+  for (const NamedStation& station : kLouisianaStations) {
+    builder.AddRowUnchecked(Tuple{Value::Int(id++), Value::String(station.name),
+                                  Value::String("LA"), Value::Float(station.longitude),
+                                  Value::Float(station.latitude),
+                                  Value::Float(station.altitude)});
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < extra_stations; ++i) {
+    const char* state = kOtherStates[rng.NextBounded(std::size(kOtherStates))];
+    // Continental US-ish bounding box.
+    double longitude = rng.Uniform(-124.0, -70.0);
+    double latitude = rng.Uniform(26.0, 48.0);
+    double altitude = rng.Uniform(0.0, 6000.0);
+    builder.AddRowUnchecked(Tuple{
+        Value::Int(id), Value::String("STATION_" + std::to_string(id)),
+        Value::String(state), Value::Float(longitude), Value::Float(latitude),
+        Value::Float(altitude)});
+    ++id;
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> MakeObservations(const db::Relation& stations, Date start,
+                                     size_t num_days, uint64_t seed) {
+  TIOGA2_ASSIGN_OR_RETURN(size_t id_col, stations.schema()->ColumnIndex("station_id"));
+  TIOGA2_ASSIGN_OR_RETURN(size_t lat_col, stations.schema()->ColumnIndex("latitude"));
+  TIOGA2_ASSIGN_OR_RETURN(size_t alt_col, stations.schema()->ColumnIndex("altitude"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({Column{"station_id", DataType::kInt},
+                    Column{"obs_date", DataType::kDate},
+                    Column{"temperature", DataType::kFloat},
+                    Column{"precipitation", DataType::kFloat},
+                    Column{"conditions", DataType::kString}}));
+  RelationBuilder builder(std::make_shared<const Schema>(std::move(schema)));
+  builder.Reserve(stations.num_rows() * num_days);
+  Rng rng(seed);
+  for (size_t s = 0; s < stations.num_rows(); ++s) {
+    int64_t station_id = stations.at(s, id_col).int_value();
+    double latitude = stations.at(s, lat_col).AsDouble();
+    double altitude = stations.at(s, alt_col).AsDouble();
+    // Warmer south, cooler with altitude (3.5F per 1000 ft lapse).
+    double base = 95.0 - 1.3 * (latitude - 25.0) - 3.5 * altitude / 1000.0;
+    double wet_spell = 0;
+    for (size_t d = 0; d < num_days; ++d) {
+      Date date = start.AddDays(static_cast<int64_t>(d));
+      double day_of_year = static_cast<double>((date.DaysValue() % 365 + 365) % 365);
+      double season = std::cos((day_of_year - 200.0) / 365.0 * 2.0 * M_PI);
+      double temperature = base - 18.0 + 18.0 * season + rng.Uniform(-6.0, 6.0);
+      // Bursty precipitation: wet spells begin with probability 0.15/day and
+      // decay over a few days.
+      if (wet_spell <= 0 && rng.NextDouble() < 0.15) wet_spell = rng.Uniform(1.0, 4.0);
+      double precipitation = 0;
+      if (wet_spell > 0) {
+        precipitation = rng.Uniform(0.05, 1.8) * std::min(wet_spell, 1.5);
+        wet_spell -= 1.0;
+      }
+      const char* conditions = precipitation > 0.6   ? "RAIN"
+                               : precipitation > 0.0 ? "DRIZZLE"
+                               : temperature > 90.0  ? "HOT"
+                                                     : "CLEAR";
+      builder.AddRowUnchecked(Tuple{Value::Int(station_id), Value::DateVal(date),
+                                    Value::Float(temperature),
+                                    Value::Float(precipitation),
+                                    Value::String(conditions)});
+    }
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> MakeLouisianaMap() {
+  // A coarse clockwise outline of Louisiana (longitude, latitude).
+  static constexpr double kOutline[][2] = {
+      {-94.04, 33.02}, {-91.17, 33.00}, {-91.10, 32.40}, {-90.95, 31.95},
+      {-91.40, 31.60}, {-91.52, 31.05}, {-91.63, 30.99}, {-89.73, 31.00},
+      {-89.84, 30.67}, {-89.62, 30.29}, {-89.20, 30.18}, {-89.00, 29.70},
+      {-89.40, 29.10}, {-90.10, 29.00}, {-90.75, 29.05}, {-91.30, 29.50},
+      {-91.90, 29.65}, {-92.60, 29.55}, {-93.35, 29.75}, {-93.85, 29.70},
+      {-93.93, 29.80}, {-93.70, 30.10}, {-93.70, 30.60}, {-93.55, 31.10},
+      {-93.82, 31.60}, {-94.04, 31.99}, {-94.04, 33.02},
+  };
+  TIOGA2_ASSIGN_OR_RETURN(Schema schema,
+                          Schema::Make({Column{"x", DataType::kFloat},
+                                        Column{"y", DataType::kFloat},
+                                        Column{"dx", DataType::kFloat},
+                                        Column{"dy", DataType::kFloat}}));
+  RelationBuilder builder(std::make_shared<const Schema>(std::move(schema)));
+  constexpr size_t kPoints = std::size(kOutline);
+  for (size_t i = 0; i + 1 < kPoints; ++i) {
+    builder.AddRowUnchecked(Tuple{
+        Value::Float(kOutline[i][0]), Value::Float(kOutline[i][1]),
+        Value::Float(kOutline[i + 1][0] - kOutline[i][0]),
+        Value::Float(kOutline[i + 1][1] - kOutline[i][1])});
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> MakeEmployees(size_t count, uint64_t seed) {
+  static constexpr const char* kDepartments[] = {"shoe", "toy", "candy", "hardware"};
+  static constexpr const char* kFirst[] = {"ALEX", "JOLLY", "MIKE", "ALLISON", "SAM",
+                                           "PAT", "CHRIS", "DANA", "ROBIN", "JEAN"};
+  static constexpr const char* kLast[] = {"SMITH", "NGUYEN", "GARCIA", "CHEN", "DAVIS",
+                                          "MILLER", "JOHNSON", "LEE", "BROWN", "JONES"};
+  TIOGA2_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({Column{"emp_id", DataType::kInt},
+                    Column{"name", DataType::kString},
+                    Column{"department", DataType::kString},
+                    Column{"salary", DataType::kFloat},
+                    Column{"hired", DataType::kDate}}));
+  RelationBuilder builder(std::make_shared<const Schema>(std::move(schema)));
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    std::string name = std::string(kFirst[rng.NextBounded(std::size(kFirst))]) + " " +
+                       kLast[rng.NextBounded(std::size(kLast))];
+    const char* department = kDepartments[rng.NextBounded(std::size(kDepartments))];
+    double salary = 2000.0 + rng.Uniform(0.0, 8000.0);
+    Date hired = Date::FromYmd(1980 + static_cast<int>(rng.NextBounded(16)),
+                               1 + static_cast<int>(rng.NextBounded(12)),
+                               1 + static_cast<int>(rng.NextBounded(28)));
+    builder.AddRowUnchecked(Tuple{Value::Int(static_cast<int64_t>(i + 1)),
+                                  Value::String(std::move(name)),
+                                  Value::String(department), Value::Float(salary),
+                                  Value::DateVal(hired)});
+  }
+  return builder.Build();
+}
+
+Status LoadDemoData(db::Catalog* catalog, size_t extra_stations, size_t num_days,
+                    uint64_t seed) {
+  TIOGA2_ASSIGN_OR_RETURN(RelationPtr stations, MakeStations(extra_stations, seed));
+  TIOGA2_ASSIGN_OR_RETURN(
+      RelationPtr observations,
+      MakeObservations(*stations, Date::FromYmd(1985, 1, 1), num_days, seed + 1));
+  TIOGA2_ASSIGN_OR_RETURN(RelationPtr map, MakeLouisianaMap());
+  TIOGA2_ASSIGN_OR_RETURN(RelationPtr employees, MakeEmployees(200, seed + 2));
+  TIOGA2_RETURN_IF_ERROR(catalog->RegisterTable("Stations", std::move(stations)));
+  TIOGA2_RETURN_IF_ERROR(catalog->RegisterTable("Observations", std::move(observations)));
+  TIOGA2_RETURN_IF_ERROR(catalog->RegisterTable("LouisianaMap", std::move(map)));
+  TIOGA2_RETURN_IF_ERROR(catalog->RegisterTable("Employees", std::move(employees)));
+  return Status::OK();
+}
+
+}  // namespace tioga2::data

@@ -1,0 +1,42 @@
+#ifndef TIOGA2_DATA_GENERATORS_H_
+#define TIOGA2_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/relation.h"
+
+namespace tioga2::data {
+
+/// The `Stations` relation of the paper's running example (§4): one tuple
+/// per weather station with id, name, state, longitude, latitude, and
+/// altitude. A fixed set of real Louisiana cities (Figure 4 shows New
+/// Orleans, Baton Rouge, Shreveport, ...) is followed by `extra_stations`
+/// synthetic stations spread over North America. Deterministic in `seed`.
+Result<db::RelationPtr> MakeStations(size_t extra_stations, uint64_t seed);
+
+/// The `Observations` relation (§4): daily temperature (F) and precipitation
+/// (inches) per station over `num_days` days starting at `start`.
+/// Temperatures follow a seasonal sinusoid attenuated by latitude and
+/// altitude; precipitation is bursty. Deterministic in `seed`.
+Result<db::RelationPtr> MakeObservations(const db::Relation& stations,
+                                         types::Date start, size_t num_days,
+                                         uint64_t seed);
+
+/// The Louisiana state outline "derived from a relation of lines defining
+/// the map" (§6.1): tuples (x, y, dx, dy), one border segment each.
+Result<db::RelationPtr> MakeLouisianaMap();
+
+/// An employees relation for the §7.4 Replicate example (salary bands ×
+/// departments).
+Result<db::RelationPtr> MakeEmployees(size_t count, uint64_t seed);
+
+/// Registers the standard demo dataset: Stations, Observations, LouisianaMap
+/// and Employees.
+Status LoadDemoData(db::Catalog* catalog, size_t extra_stations, size_t num_days,
+                    uint64_t seed);
+
+}  // namespace tioga2::data
+
+#endif  // TIOGA2_DATA_GENERATORS_H_

@@ -1,0 +1,19 @@
+#include "dataflow/box.h"
+
+#include "common/str_util.h"
+
+namespace tioga2::dataflow {
+
+std::string Box::ToString() const {
+  std::string out = type_name() + "(";
+  bool first = true;
+  for (const auto& [key, value] : Params()) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + "=" + value;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tioga2::dataflow

@@ -1,0 +1,71 @@
+#ifndef TIOGA2_DATAFLOW_BOX_H_
+#define TIOGA2_DATAFLOW_BOX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/port_type.h"
+#include "db/catalog.h"
+
+namespace tioga2::dataflow {
+
+/// Context threaded through box firing: the catalog (for table sources and
+/// §8 updates), warnings accumulated for the user (e.g. the §6.1 overlay
+/// dimension-mismatch warning), and — inside encapsulated boxes — the values
+/// bound to the enclosing box's inputs.
+struct ExecContext {
+  const db::Catalog* catalog = nullptr;
+  /// Warnings surfaced to the UI; firing continues.
+  mutable std::vector<std::string> warnings;
+  /// Values of the enclosing encapsulated box's inputs (for InputStub).
+  const std::vector<BoxValue>* encap_inputs = nullptr;
+};
+
+/// A primitive procedure in a boxes-and-arrows program (§2). Boxes are
+/// immutable once constructed; editing a box means replacing it, which is
+/// what lets the engine cache outputs by value.
+class Box {
+ public:
+  virtual ~Box() = default;
+
+  /// The box's operation name, e.g. "Restrict" (also the serialization tag
+  /// and the BoxFactory key).
+  virtual std::string type_name() const = 0;
+
+  /// Input port types, in order.
+  virtual std::vector<PortType> InputTypes() const = 0;
+
+  /// Output port types, in order. Boxes may have multiple outputs — the key
+  /// expressiveness fix over the original Tioga (§1.2 principle 5).
+  virtual std::vector<PortType> OutputTypes() const = 0;
+
+  /// Computes all outputs from inputs (already coerced to InputTypes()).
+  /// Must be deterministic given (inputs, params, CacheSalt).
+  virtual Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                             const ExecContext& ctx) const = 0;
+
+  /// The box's parameters for serialization and cache signatures. Keys and
+  /// values must round-trip through the BoxFactory.
+  virtual std::map<std::string, std::string> Params() const = 0;
+
+  /// Extra state that affects Fire but is not a parameter — e.g. the catalog
+  /// version of the table a source box reads. Folded into the cache stamp.
+  virtual std::string CacheSalt(const ExecContext& ctx) const {
+    (void)ctx;
+    return "";
+  }
+
+  virtual std::unique_ptr<Box> Clone() const = 0;
+
+  /// "TypeName(k=v, ...)" for diagnostics and program listings.
+  std::string ToString() const;
+};
+
+using BoxPtr = std::unique_ptr<Box>;
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_BOX_H_

@@ -1,0 +1,112 @@
+#ifndef TIOGA2_DATAFLOW_ENCAPSULATE_H_
+#define TIOGA2_DATAFLOW_ENCAPSULATE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/graph.h"
+
+namespace tioga2::dataflow {
+
+/// Placeholder inside an encapsulated definition delivering the enclosing
+/// box's `index`-th input (the edges cut by the user's closed curve, §4.1).
+class InputStub : public Box {
+ public:
+  InputStub(size_t index, PortType type) : index_(index), type_(type) {}
+
+  std::string type_name() const override { return "InputStub"; }
+  std::vector<PortType> InputTypes() const override { return {}; }
+  std::vector<PortType> OutputTypes() const override { return {type_}; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override {
+    return {{"index", std::to_string(index_)}, {"type", type_.ToString()}};
+  }
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<InputStub>(index_, type_);
+  }
+
+  size_t index() const { return index_; }
+
+ private:
+  size_t index_;
+  PortType type_;
+};
+
+/// A hole (§4.1): "these areas become 'holes' — they are not included in the
+/// encapsulated box ... to use an encapsulated box with holes, the user must
+/// specify a box with compatible types that can be plugged into each hole."
+/// Firing an unfilled hole is an error.
+class HoleBox : public Box {
+ public:
+  HoleBox(std::string label, std::vector<PortType> inputs, std::vector<PortType> outputs)
+      : label_(std::move(label)), inputs_(std::move(inputs)), outputs_(std::move(outputs)) {}
+
+  std::string type_name() const override { return "Hole"; }
+  std::vector<PortType> InputTypes() const override { return inputs_; }
+  std::vector<PortType> OutputTypes() const override { return outputs_; }
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override {
+    return std::make_unique<HoleBox>(label_, inputs_, outputs_);
+  }
+
+  const std::string& label() const { return label_; }
+
+ private:
+  std::string label_;
+  std::vector<PortType> inputs_;
+  std::vector<PortType> outputs_;
+};
+
+/// A user-defined box produced by Encapsulate (§4.1): a nested
+/// boxes-and-arrows program behaving as one primitive box — the graphical
+/// analog of a procedure, or with holes, of a macro / higher-order function.
+class EncapsulatedBox : public Box {
+ public:
+  /// `outputs` lists (inner box id, port) pairs feeding each outer output.
+  EncapsulatedBox(std::string name, Graph inner,
+                  std::vector<std::pair<std::string, size_t>> outputs);
+
+  std::string type_name() const override { return "Encapsulated"; }
+  std::vector<PortType> InputTypes() const override;
+  std::vector<PortType> OutputTypes() const override;
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override;
+  std::map<std::string, std::string> Params() const override;
+  std::unique_ptr<Box> Clone() const override;
+
+  const std::string& name() const { return name_; }
+  const Graph& inner() const { return inner_; }
+  const std::vector<std::pair<std::string, size_t>>& output_bindings() const {
+    return outputs_;
+  }
+
+  /// Ids of unfilled holes, in insertion order.
+  std::vector<std::string> HoleIds() const;
+
+  /// Returns a copy with each hole (in HoleIds() order) replaced by the
+  /// corresponding filler. Fillers must match the hole's port signature.
+  Result<std::unique_ptr<EncapsulatedBox>> FillHoles(
+      std::vector<BoxPtr> fillers) const;
+
+ private:
+  std::string name_;
+  Graph inner_;
+  std::vector<std::pair<std::string, size_t>> outputs_;
+};
+
+/// Builds an EncapsulatedBox from a region of `graph` (the closed curve of
+/// §4.1): `box_ids` is the region; edges entering the region become inputs
+/// (in a deterministic order), edges leaving it become outputs. Boxes listed
+/// in `hole_ids` (a subset of the region) become holes.
+Result<std::unique_ptr<EncapsulatedBox>> EncapsulateSubgraph(
+    const Graph& graph, const std::vector<std::string>& box_ids,
+    const std::vector<std::string>& hole_ids, const std::string& name);
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_ENCAPSULATE_H_

@@ -1,0 +1,151 @@
+#include "dataflow/engine.h"
+
+#include <algorithm>
+
+namespace tioga2::dataflow {
+
+namespace {
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // 64-bit variant of boost::hash_combine.
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+uint64_t HashString(const std::string& text) {
+  // FNV-1a.
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+uint64_t BoxSignature(const Box& box, const ExecContext& ctx) {
+  uint64_t hash = HashString(box.type_name());
+  for (const auto& [key, value] : box.Params()) {
+    hash = HashCombine(hash, HashString(key));
+    hash = HashCombine(hash, HashString(value));
+  }
+  hash = HashCombine(hash, HashString(box.CacheSalt(ctx)));
+  return hash;
+}
+
+}  // namespace
+
+Result<const Engine::CacheEntry*> Engine::EvaluateBox(
+    const Graph& graph, const std::string& box_id,
+    std::vector<std::string>* eval_stack) {
+  if (std::find(eval_stack->begin(), eval_stack->end(), box_id) != eval_stack->end()) {
+    return Status::Internal("cycle through box '" + box_id + "' during evaluation");
+  }
+  TIOGA2_ASSIGN_OR_RETURN(const Box* box, graph.GetBox(box_id));
+
+  ExecContext ctx;
+  ctx.catalog = catalog_;
+  ctx.encap_inputs = encap_inputs_;
+
+  // Evaluate inputs first (depth first), accumulating the stamp.
+  eval_stack->push_back(box_id);
+  uint64_t stamp = BoxSignature(*box, ctx);
+  std::vector<PortType> input_types = box->InputTypes();
+  std::vector<BoxValue> inputs;
+  inputs.reserve(input_types.size());
+  for (size_t port = 0; port < input_types.size(); ++port) {
+    std::optional<Edge> edge = graph.IncomingEdge(box_id, port);
+    if (!edge.has_value()) {
+      eval_stack->pop_back();
+      return Status::FailedPrecondition("box '" + box_id + "' (" + box->type_name() +
+                                        ") input " + std::to_string(port) +
+                                        " is not connected");
+    }
+    Result<const CacheEntry*> upstream = EvaluateBox(graph, edge->from_box, eval_stack);
+    if (!upstream.ok()) {
+      eval_stack->pop_back();
+      return upstream.status();
+    }
+    const CacheEntry* entry = upstream.value();
+    stamp = HashCombine(stamp, entry->stamp);
+    stamp = HashCombine(stamp, edge->from_port);
+    stamp = HashCombine(stamp, port);
+    if (edge->from_port >= entry->outputs.size()) {
+      eval_stack->pop_back();
+      return Status::Internal("box '" + edge->from_box + "' produced no output " +
+                              std::to_string(edge->from_port));
+    }
+    Result<BoxValue> coerced =
+        CoerceBoxValue(entry->outputs[edge->from_port], input_types[port]);
+    if (!coerced.ok()) {
+      eval_stack->pop_back();
+      return coerced.status();
+    }
+    inputs.push_back(std::move(coerced).value());
+  }
+  eval_stack->pop_back();
+
+  auto cached = cache_.find(box_id);
+  if (cached != cache_.end() && cached->second.stamp == stamp) {
+    ++stats_.cache_hits;
+    return static_cast<const CacheEntry*>(&cached->second);
+  }
+
+  Result<std::vector<BoxValue>> outputs = box->Fire(inputs, ctx);
+  for (std::string& warning : ctx.warnings) warnings_.push_back(std::move(warning));
+  TIOGA2_RETURN_IF_ERROR(outputs.status());
+  ++stats_.boxes_fired;
+  if (outputs->size() != box->OutputTypes().size()) {
+    return Status::Internal("box '" + box_id + "' (" + box->type_name() + ") fired " +
+                            std::to_string(outputs->size()) + " outputs, declared " +
+                            std::to_string(box->OutputTypes().size()));
+  }
+  CacheEntry& entry = cache_[box_id];
+  entry.stamp = stamp;
+  entry.outputs = std::move(outputs).value();
+  return static_cast<const CacheEntry*>(&entry);
+}
+
+Result<BoxValue> Engine::Evaluate(const Graph& graph, const std::string& box_id,
+                                  size_t output_port) {
+  ++stats_.evaluations;
+  warnings_.clear();
+  std::vector<std::string> eval_stack;
+  TIOGA2_ASSIGN_OR_RETURN(const CacheEntry* entry,
+                          EvaluateBox(graph, box_id, &eval_stack));
+  if (output_port >= entry->outputs.size()) {
+    return Status::OutOfRange("box '" + box_id + "' has no output " +
+                              std::to_string(output_port));
+  }
+  return entry->outputs[output_port];
+}
+
+Status Engine::EvaluateAll(const Graph& graph) {
+  ++stats_.evaluations;
+  warnings_.clear();
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> order, graph.TopologicalOrder());
+  // Skip boxes that transitively depend on a dangling input.
+  std::vector<std::string> dangling = graph.BoxesWithDanglingInputs();
+  std::vector<std::string> blocked = dangling;
+  for (const std::string& id : order) {
+    if (std::find(blocked.begin(), blocked.end(), id) != blocked.end()) continue;
+    bool upstream_blocked = false;
+    std::vector<PortType> input_types;
+    TIOGA2_ASSIGN_OR_RETURN(const Box* box, graph.GetBox(id));
+    input_types = box->InputTypes();
+    for (size_t port = 0; port < input_types.size(); ++port) {
+      std::optional<Edge> edge = graph.IncomingEdge(id, port);
+      if (edge.has_value() &&
+          std::find(blocked.begin(), blocked.end(), edge->from_box) != blocked.end()) {
+        upstream_blocked = true;
+      }
+    }
+    if (upstream_blocked) {
+      blocked.push_back(id);
+      continue;
+    }
+    std::vector<std::string> eval_stack;
+    TIOGA2_RETURN_IF_ERROR(EvaluateBox(graph, id, &eval_stack).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace tioga2::dataflow

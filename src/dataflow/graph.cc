@@ -1,0 +1,283 @@
+#include "dataflow/graph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "dataflow/t_box.h"
+
+namespace tioga2::dataflow {
+
+Graph Graph::Clone() const {
+  Graph copy;
+  for (const std::string& id : insertion_order_) {
+    copy.boxes_[id] = boxes_.at(id)->Clone();
+    copy.insertion_order_.push_back(id);
+  }
+  copy.edges_ = edges_;
+  copy.positions_ = positions_;
+  copy.next_id_ = next_id_;
+  return copy;
+}
+
+Status Graph::SetBoxPosition(const std::string& id, double x, double y) {
+  if (!HasBox(id)) return Status::NotFound("no box with id '" + id + "'");
+  positions_[id] = {x, y};
+  return Status::OK();
+}
+
+std::optional<std::pair<double, double>> Graph::BoxPosition(
+    const std::string& id) const {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<std::string> Graph::AddBox(BoxPtr box, const std::string& id) {
+  if (box == nullptr) return Status::InvalidArgument("box must be non-null");
+  std::string box_id = id;
+  if (box_id.empty()) {
+    do {
+      box_id = "b" + std::to_string(next_id_++);
+    } while (boxes_.count(box_id) > 0);
+  } else if (boxes_.count(box_id) > 0) {
+    return Status::AlreadyExists("box id '" + box_id + "' already in use");
+  }
+  boxes_[box_id] = std::move(box);
+  insertion_order_.push_back(box_id);
+  return box_id;
+}
+
+Result<const Box*> Graph::GetBox(const std::string& id) const {
+  auto it = boxes_.find(id);
+  if (it == boxes_.end()) return Status::NotFound("no box with id '" + id + "'");
+  return static_cast<const Box*>(it->second.get());
+}
+
+bool Graph::HasBox(const std::string& id) const { return boxes_.count(id) > 0; }
+
+std::vector<std::string> Graph::BoxIds() const { return insertion_order_; }
+
+Status Graph::CheckPortsExist(const std::string& box, size_t port, bool output,
+                              PortType* type_out) const {
+  TIOGA2_ASSIGN_OR_RETURN(const Box* b, GetBox(box));
+  std::vector<PortType> ports = output ? b->OutputTypes() : b->InputTypes();
+  if (port >= ports.size()) {
+    return Status::OutOfRange("box '" + box + "' (" + b->type_name() + ") has no " +
+                              (output ? "output" : "input") + " port " +
+                              std::to_string(port));
+  }
+  *type_out = ports[port];
+  return Status::OK();
+}
+
+bool Graph::WouldCreateCycle(const std::string& from, const std::string& to) const {
+  if (from == to) return true;
+  // DFS from `to` along existing edges; a path back to `from` means a cycle.
+  std::set<std::string> visited;
+  std::vector<std::string> stack = {to};
+  while (!stack.empty()) {
+    std::string current = stack.back();
+    stack.pop_back();
+    if (current == from) return true;
+    if (!visited.insert(current).second) continue;
+    for (const Edge& edge : edges_) {
+      if (edge.from_box == current) stack.push_back(edge.to_box);
+    }
+  }
+  return false;
+}
+
+Status Graph::Connect(const std::string& from, size_t from_port, const std::string& to,
+                      size_t to_port) {
+  PortType from_type = PortType::Relation();
+  PortType to_type = PortType::Relation();
+  TIOGA2_RETURN_IF_ERROR(CheckPortsExist(from, from_port, /*output=*/true, &from_type));
+  TIOGA2_RETURN_IF_ERROR(CheckPortsExist(to, to_port, /*output=*/false, &to_type));
+  if (!PortType::Connectable(from_type, to_type)) {
+    return Status::TypeError("cannot connect " + from + ":" + std::to_string(from_port) +
+                             " (" + from_type.ToString() + ") to " + to + ":" +
+                             std::to_string(to_port) + " (" + to_type.ToString() + ")");
+  }
+  if (IncomingEdge(to, to_port).has_value()) {
+    return Status::FailedPrecondition("input " + to + ":" + std::to_string(to_port) +
+                                      " is already connected");
+  }
+  if (WouldCreateCycle(from, to)) {
+    return Status::FailedPrecondition("connecting " + from + " to " + to +
+                                      " would create a cycle");
+  }
+  edges_.push_back(Edge{from, from_port, to, to_port});
+  return Status::OK();
+}
+
+Status Graph::Disconnect(const std::string& to, size_t to_port) {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].to_box == to && edges_[i].to_port == to_port) {
+      edges_.erase(edges_.begin() + static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no edge into " + to + ":" + std::to_string(to_port));
+}
+
+std::optional<Edge> Graph::IncomingEdge(const std::string& to, size_t to_port) const {
+  for (const Edge& edge : edges_) {
+    if (edge.to_box == to && edge.to_port == to_port) return edge;
+  }
+  return std::nullopt;
+}
+
+std::vector<Edge> Graph::OutgoingEdges(const std::string& from) const {
+  std::vector<Edge> out;
+  for (const Edge& edge : edges_) {
+    if (edge.from_box == from) out.push_back(edge);
+  }
+  return out;
+}
+
+Status Graph::DeleteBox(const std::string& id) {
+  TIOGA2_ASSIGN_OR_RETURN(const Box* box, GetBox(id));
+  std::vector<Edge> outgoing = OutgoingEdges(id);
+
+  auto erase_box = [this, &id] {
+    boxes_.erase(id);
+    positions_.erase(id);
+    insertion_order_.erase(
+        std::remove(insertion_order_.begin(), insertion_order_.end(), id),
+        insertion_order_.end());
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [&id](const Edge& e) {
+                                  return e.from_box == id || e.to_box == id;
+                                }),
+                 edges_.end());
+  };
+
+  // Rule (1): no outputs connected to other boxes.
+  if (outgoing.empty()) {
+    erase_box();
+    return Status::OK();
+  }
+
+  // Rule (2): single input and single output of the same type — splice the
+  // predecessor to the successors.
+  std::vector<PortType> inputs = box->InputTypes();
+  std::vector<PortType> outputs = box->OutputTypes();
+  if (inputs.size() == 1 && outputs.size() == 1 && inputs[0] == outputs[0]) {
+    std::optional<Edge> incoming = IncomingEdge(id, 0);
+    if (!incoming.has_value()) {
+      return Status::FailedPrecondition(
+          "cannot delete box '" + id +
+          "': successors would be left dangling (its input is unconnected)");
+    }
+    std::vector<Edge> spliced;
+    for (const Edge& edge : outgoing) {
+      spliced.push_back(
+          Edge{incoming->from_box, incoming->from_port, edge.to_box, edge.to_port});
+    }
+    erase_box();
+    edges_.insert(edges_.end(), spliced.begin(), spliced.end());
+    return Status::OK();
+  }
+
+  return Status::FailedPrecondition(
+      "cannot delete box '" + id + "' (" + box->type_name() +
+      "): it feeds other boxes and is not a single-input single-output box of "
+      "matching type (§4.1 deletion rules)");
+}
+
+Status Graph::ReplaceBox(const std::string& id, BoxPtr replacement) {
+  if (replacement == nullptr) return Status::InvalidArgument("replacement is null");
+  TIOGA2_ASSIGN_OR_RETURN(const Box* original, GetBox(id));
+  std::vector<PortType> old_in = original->InputTypes();
+  std::vector<PortType> old_out = original->OutputTypes();
+  std::vector<PortType> new_in = replacement->InputTypes();
+  std::vector<PortType> new_out = replacement->OutputTypes();
+  if (old_in.size() != new_in.size() || old_out.size() != new_out.size()) {
+    return Status::TypeError("Replace Box: port arity differs");
+  }
+  for (size_t i = 0; i < old_in.size(); ++i) {
+    if (!(old_in[i] == new_in[i])) {
+      return Status::TypeError("Replace Box: input port " + std::to_string(i) +
+                               " type differs (" + old_in[i].ToString() + " vs " +
+                               new_in[i].ToString() + ")");
+    }
+  }
+  for (size_t i = 0; i < old_out.size(); ++i) {
+    if (!(old_out[i] == new_out[i])) {
+      return Status::TypeError("Replace Box: output port " + std::to_string(i) +
+                               " type differs (" + old_out[i].ToString() + " vs " +
+                               new_out[i].ToString() + ")");
+    }
+  }
+  boxes_[id] = std::move(replacement);
+  return Status::OK();
+}
+
+Result<std::string> Graph::InsertT(const std::string& to, size_t to_port) {
+  std::optional<Edge> edge = IncomingEdge(to, to_port);
+  if (!edge.has_value()) {
+    return Status::NotFound("no edge into " + to + ":" + std::to_string(to_port) +
+                            " to insert a T on");
+  }
+  PortType edge_type = PortType::Relation();
+  TIOGA2_RETURN_IF_ERROR(
+      CheckPortsExist(edge->from_box, edge->from_port, /*output=*/true, &edge_type));
+  TIOGA2_ASSIGN_OR_RETURN(std::string t_id, AddBox(std::make_unique<TBox>(edge_type)));
+  TIOGA2_RETURN_IF_ERROR(Disconnect(to, to_port));
+  TIOGA2_RETURN_IF_ERROR(Connect(edge->from_box, edge->from_port, t_id, 0));
+  TIOGA2_RETURN_IF_ERROR(Connect(t_id, 0, to, to_port));
+  return t_id;
+}
+
+Result<std::vector<std::string>> Graph::TopologicalOrder() const {
+  std::map<std::string, size_t> in_degree;
+  for (const std::string& id : insertion_order_) in_degree[id] = 0;
+  for (const Edge& edge : edges_) ++in_degree[edge.to_box];
+  std::vector<std::string> ready;
+  for (const std::string& id : insertion_order_) {
+    if (in_degree[id] == 0) ready.push_back(id);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    std::string id = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(id);
+    for (const Edge& edge : edges_) {
+      if (edge.from_box != id) continue;
+      if (--in_degree[edge.to_box] == 0) ready.push_back(edge.to_box);
+    }
+  }
+  if (order.size() != insertion_order_.size()) {
+    return Status::Internal("graph contains a cycle");
+  }
+  return order;
+}
+
+std::vector<std::string> Graph::BoxesWithDanglingInputs() const {
+  std::vector<std::string> dangling;
+  for (const std::string& id : insertion_order_) {
+    const Box& box = *boxes_.at(id);
+    size_t inputs = box.InputTypes().size();
+    for (size_t port = 0; port < inputs; ++port) {
+      if (!IncomingEdge(id, port).has_value()) {
+        dangling.push_back(id);
+        break;
+      }
+    }
+  }
+  return dangling;
+}
+
+std::string Graph::ToString() const {
+  std::string out;
+  for (const std::string& id : insertion_order_) {
+    out += id + ": " + boxes_.at(id)->ToString() + "\n";
+  }
+  for (const Edge& edge : edges_) {
+    out += "  " + edge.from_box + ":" + std::to_string(edge.from_port) + " -> " +
+           edge.to_box + ":" + std::to_string(edge.to_port) + "\n";
+  }
+  return out;
+}
+
+}  // namespace tioga2::dataflow

@@ -1,0 +1,122 @@
+#ifndef TIOGA2_DATAFLOW_GRAPH_H_
+#define TIOGA2_DATAFLOW_GRAPH_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/box.h"
+
+namespace tioga2::dataflow {
+
+/// A directed edge connecting an output port to an input port.
+struct Edge {
+  std::string from_box;
+  size_t from_port = 0;
+  std::string to_box;
+  size_t to_port = 0;
+
+  friend bool operator==(const Edge& a, const Edge& b) = default;
+};
+
+/// A boxes-and-arrows program (§2): a DAG of typed boxes. The graph owns its
+/// boxes; all edits are validated (type checking on Connect, the §4.1
+/// deletion rules on DeleteBox) so that "every result of a user action has a
+/// valid visual representation".
+class Graph {
+ public:
+  Graph() = default;
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
+  /// Deep copy (clones every box). Used by the undo stack.
+  Graph Clone() const;
+
+  // ---- Structure ----
+
+  /// Adds a box, generating an id ("b1", "b2", ...) unless `id` is given.
+  /// Returns the id.
+  Result<std::string> AddBox(BoxPtr box, const std::string& id = "");
+
+  /// Looks up a box.
+  Result<const Box*> GetBox(const std::string& id) const;
+  bool HasBox(const std::string& id) const;
+
+  /// All box ids, in insertion order.
+  std::vector<std::string> BoxIds() const;
+  size_t num_boxes() const { return boxes_.size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Connects `from:from_port` to `to:to_port`. Fails on type mismatch
+  /// (§2: "any attempt to connect an output to an input of incompatible
+  /// type is a type error"), on an already-wired input, and on cycles.
+  Status Connect(const std::string& from, size_t from_port, const std::string& to,
+                 size_t to_port);
+
+  /// Removes the edge feeding `to:to_port`.
+  Status Disconnect(const std::string& to, size_t to_port);
+
+  /// The edge feeding an input, if wired.
+  std::optional<Edge> IncomingEdge(const std::string& to, size_t to_port) const;
+
+  /// All edges leaving any output of `from`.
+  std::vector<Edge> OutgoingEdges(const std::string& from) const;
+
+  // ---- Program editing (Figure 2 semantics) ----
+
+  /// Delete Box (§4.1): allowed iff (1) the box has no outputs connected to
+  /// other boxes, or (2) it has a single input and single output of the same
+  /// type, in which case its predecessor is spliced to its successors.
+  Status DeleteBox(const std::string& id);
+
+  /// Replace Box (§4.1): swaps in a box with compatible port types
+  /// (identical arity; each port type equal).
+  Status ReplaceBox(const std::string& id, BoxPtr replacement);
+
+  /// Inserts a T box on the edge feeding `to:to_port` (§4.1): the edge is
+  /// split, the T passes the value through, and the T's second output is
+  /// left free for a viewer or another box. Returns the T's id.
+  Result<std::string> InsertT(const std::string& to, size_t to_port);
+
+  // ---- Queries ----
+
+  /// Box ids in a topological order (sources first).
+  Result<std::vector<std::string>> TopologicalOrder() const;
+
+  /// True iff adding from→to would create a cycle.
+  bool WouldCreateCycle(const std::string& from, const std::string& to) const;
+
+  /// Ids of boxes with at least one unconnected input (not runnable).
+  std::vector<std::string> BoxesWithDanglingInputs() const;
+
+  /// One-line-per-box listing for debugging.
+  std::string ToString() const;
+
+  // ---- Program window layout (§3) ----
+  // The boxes-and-arrows diagram is itself drawn in the program window;
+  // positions are pure presentation metadata carried with the program.
+
+  /// Records where box `id` sits on the program canvas.
+  Status SetBoxPosition(const std::string& id, double x, double y);
+
+  /// The recorded position, if one was set (drag-and-drop or load).
+  std::optional<std::pair<double, double>> BoxPosition(const std::string& id) const;
+
+ private:
+  Status CheckPortsExist(const std::string& box, size_t port, bool output,
+                         PortType* type_out) const;
+
+  std::map<std::string, BoxPtr> boxes_;
+  std::vector<std::string> insertion_order_;
+  std::vector<Edge> edges_;
+  std::map<std::string, std::pair<double, double>> positions_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_GRAPH_H_

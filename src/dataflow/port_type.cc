@@ -1,0 +1,113 @@
+#include "dataflow/port_type.h"
+
+#include "common/str_util.h"
+
+namespace tioga2::dataflow {
+
+bool PortType::Connectable(const PortType& from, const PortType& to) {
+  if (from.kind_ == Kind::kScalar || to.kind_ == Kind::kScalar) {
+    if (from.kind_ != Kind::kScalar || to.kind_ != Kind::kScalar) return false;
+    return types::IsImplicitlyConvertible(from.scalar_type_, to.scalar_type_);
+  }
+  // R ≤ C ≤ G (the §2 equivalences R = Composite(R), C = Group(C)).
+  auto rank = [](Kind kind) {
+    switch (kind) {
+      case Kind::kRelation: return 0;
+      case Kind::kComposite: return 1;
+      case Kind::kGroup: return 2;
+      default: return 3;
+    }
+  };
+  return rank(from.kind_) <= rank(to.kind_);
+}
+
+std::string PortType::ToString() const {
+  switch (kind_) {
+    case Kind::kRelation: return "R";
+    case Kind::kComposite: return "C";
+    case Kind::kGroup: return "G";
+    case Kind::kScalar: return "scalar:" + types::DataTypeToString(scalar_type_);
+  }
+  return "?";
+}
+
+bool PortType::FromString(const std::string& text, PortType* out) {
+  if (text == "R") {
+    *out = Relation();
+    return true;
+  }
+  if (text == "C") {
+    *out = CompositeT();
+    return true;
+  }
+  if (text == "G") {
+    *out = GroupT();
+    return true;
+  }
+  if (StartsWith(text, "scalar:")) {
+    types::DataType type;
+    if (!types::DataTypeFromString(text.substr(7), &type)) return false;
+    *out = Scalar(type);
+    return true;
+  }
+  return false;
+}
+
+PortType BoxValueType(const BoxValue& value) {
+  if (std::holds_alternative<types::Value>(value)) {
+    const types::Value& v = std::get<types::Value>(value);
+    return PortType::Scalar(v.is_null() ? types::DataType::kFloat : v.type());
+  }
+  const display::Displayable& displayable = std::get<display::Displayable>(value);
+  if (std::holds_alternative<display::DisplayRelation>(displayable)) {
+    return PortType::Relation();
+  }
+  if (std::holds_alternative<display::Composite>(displayable)) {
+    return PortType::CompositeT();
+  }
+  return PortType::GroupT();
+}
+
+Result<BoxValue> CoerceBoxValue(const BoxValue& value, const PortType& target) {
+  PortType actual = BoxValueType(value);
+  if (!PortType::Connectable(actual, target)) {
+    return Status::TypeError("cannot use a " + actual.ToString() + " value where " +
+                             target.ToString() + " is expected");
+  }
+  if (target.kind() == PortType::Kind::kScalar) {
+    TIOGA2_ASSIGN_OR_RETURN(types::Value v, AsScalar(value));
+    if (v.is_null()) return BoxValue(v);
+    TIOGA2_ASSIGN_OR_RETURN(types::Value cast, v.CastTo(target.scalar_type()));
+    return BoxValue(std::move(cast));
+  }
+  const display::Displayable& displayable = std::get<display::Displayable>(value);
+  switch (target.kind()) {
+    case PortType::Kind::kRelation:
+      return value;  // already an R by Connectable
+    case PortType::Kind::kComposite: {
+      TIOGA2_ASSIGN_OR_RETURN(display::Composite composite,
+                              display::AsComposite(displayable));
+      return BoxValue(display::Displayable(std::move(composite)));
+    }
+    case PortType::Kind::kGroup:
+      return BoxValue(display::Displayable(display::AsGroup(displayable)));
+    default:
+      return Status::Internal("unreachable coercion target");
+  }
+}
+
+Result<display::Displayable> AsDisplayable(const BoxValue& value) {
+  if (!std::holds_alternative<display::Displayable>(value)) {
+    return Status::TypeError("expected a displayable value, got a scalar");
+  }
+  return std::get<display::Displayable>(value);
+}
+
+Result<types::Value> AsScalar(const BoxValue& value) {
+  if (!std::holds_alternative<types::Value>(value)) {
+    return Status::TypeError("expected a scalar value, got a displayable");
+  }
+  return std::get<types::Value>(value);
+}
+
+}  // namespace tioga2::dataflow

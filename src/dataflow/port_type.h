@@ -1,0 +1,71 @@
+#ifndef TIOGA2_DATAFLOW_PORT_TYPE_H_
+#define TIOGA2_DATAFLOW_PORT_TYPE_H_
+
+#include <string>
+#include <variant>
+
+#include "display/displayable.h"
+#include "types/value.h"
+
+namespace tioga2::dataflow {
+
+/// The type of a box input or output (§2: "box inputs and outputs are typed
+/// and edges connect outputs to inputs of compatible types"). A port carries
+/// either a displayable (R, C, or G) or a scalar runtime parameter.
+class PortType {
+ public:
+  enum class Kind { kRelation, kComposite, kGroup, kScalar };
+
+  static PortType Relation() { return PortType(Kind::kRelation); }
+  static PortType CompositeT() { return PortType(Kind::kComposite); }
+  static PortType GroupT() { return PortType(Kind::kGroup); }
+  static PortType Scalar(types::DataType type) {
+    PortType t(Kind::kScalar);
+    t.scalar_type_ = type;
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_displayable() const { return kind_ != Kind::kScalar; }
+  types::DataType scalar_type() const { return scalar_type_; }
+
+  /// True iff an output of type `from` may feed an input of type `to`.
+  /// Displayables use the §2 equivalences upward: R ≤ C ≤ G. Scalars allow
+  /// the int → float widening.
+  static bool Connectable(const PortType& from, const PortType& to);
+
+  /// "R", "C", "G", or "scalar:<type>".
+  std::string ToString() const;
+
+  /// Parses the inverse of ToString.
+  static bool FromString(const std::string& text, PortType* out);
+
+  friend bool operator==(const PortType& a, const PortType& b) {
+    return a.kind_ == b.kind_ &&
+           (a.kind_ != Kind::kScalar || a.scalar_type_ == b.scalar_type_);
+  }
+
+ private:
+  explicit PortType(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  types::DataType scalar_type_ = types::DataType::kFloat;
+};
+
+/// A runtime value flowing along an edge.
+using BoxValue = std::variant<display::Displayable, types::Value>;
+
+/// The most specific PortType describing `value`.
+PortType BoxValueType(const BoxValue& value);
+
+/// Coerces `value` to satisfy an input of type `target` (applying the R → C
+/// → G equivalences and int → float). Fails if not Connectable.
+Result<BoxValue> CoerceBoxValue(const BoxValue& value, const PortType& target);
+
+/// Unwraps helpers; each fails with TypeError when the variant mismatches.
+Result<display::Displayable> AsDisplayable(const BoxValue& value);
+Result<types::Value> AsScalar(const BoxValue& value);
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_PORT_TYPE_H_

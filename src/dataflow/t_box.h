@@ -1,0 +1,43 @@
+#ifndef TIOGA2_DATAFLOW_T_BOX_H_
+#define TIOGA2_DATAFLOW_T_BOX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/box.h"
+
+namespace tioga2::dataflow {
+
+/// The T box of §4.1: "simply passes its input unchanged to both outputs,
+/// and allows another box, for example a viewer, to be connected". This is
+/// what lets a viewer be installed on any edge of a diagram — the debugging
+/// improvement Tioga lacked (§1.1 problem 2).
+class TBox : public Box {
+ public:
+  explicit TBox(PortType type) : type_(type) {}
+
+  std::string type_name() const override { return "T"; }
+  std::vector<PortType> InputTypes() const override { return {type_}; }
+  std::vector<PortType> OutputTypes() const override { return {type_, type_}; }
+
+  Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
+                                     const ExecContext& ctx) const override {
+    (void)ctx;
+    return std::vector<BoxValue>{inputs[0], inputs[0]};
+  }
+
+  std::map<std::string, std::string> Params() const override {
+    return {{"type", type_.ToString()}};
+  }
+
+  std::unique_ptr<Box> Clone() const override { return std::make_unique<TBox>(type_); }
+
+ private:
+  PortType type_;
+};
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_T_BOX_H_

@@ -1,0 +1,224 @@
+#include "db/aggregates.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace tioga2::db {
+
+using types::DataType;
+using types::Value;
+
+std::string AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+bool AggFnFromString(const std::string& text, AggFn* out) {
+  static constexpr std::pair<const char*, AggFn> kNames[] = {
+      {"count", AggFn::kCount}, {"sum", AggFn::kSum}, {"avg", AggFn::kAvg},
+      {"min", AggFn::kMin},     {"max", AggFn::kMax},
+  };
+  for (const auto& [name, fn] : kNames) {
+    if (text == name) {
+      *out = fn;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::string> TupleKey(const Tuple& tuple, const std::vector<size_t>& columns) {
+  std::string key;
+  for (size_t c : columns) {
+    if (c >= tuple.size()) return Status::Internal("TupleKey column out of range");
+    const Value& v = tuple[c];
+    if (v.is_null()) {
+      key += "\x01n";
+    } else if (v.is_int() || v.is_float()) {
+      // Unify 2 and 2.0.
+      key += "\x01#" + FormatDouble(v.AsDouble());
+    } else if (v.is_display()) {
+      return Status::TypeError("display values cannot be grouping keys");
+    } else {
+      key += "\x01v" + v.ToString();
+    }
+  }
+  return key;
+}
+
+namespace {
+
+/// Running state of one aggregate within one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  Value extreme;  // min or max so far
+};
+
+DataType AggResultType(const AggSpec& spec, DataType column_type) {
+  switch (spec.fn) {
+    case AggFn::kCount:
+      return DataType::kInt;
+    case AggFn::kSum:
+    case AggFn::kAvg:
+      return DataType::kFloat;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return column_type;
+  }
+  return DataType::kFloat;
+}
+
+}  // namespace
+
+Result<RelationPtr> GroupBy(const RelationPtr& input,
+                            const std::vector<std::string>& keys,
+                            const std::vector<AggSpec>& aggs) {
+  const Schema& schema = *input->schema();
+  std::vector<size_t> key_columns;
+  std::vector<Column> out_columns;
+  for (const std::string& key : keys) {
+    TIOGA2_ASSIGN_OR_RETURN(size_t index, schema.ColumnIndex(key));
+    if (schema.column(index).type == DataType::kDisplay) {
+      return Status::TypeError("display column '" + key + "' cannot be a grouping key");
+    }
+    key_columns.push_back(index);
+    out_columns.push_back(schema.column(index));
+  }
+  std::vector<size_t> agg_columns;
+  for (const AggSpec& spec : aggs) {
+    if (spec.output_name.empty()) {
+      return Status::InvalidArgument("aggregate output name must be non-empty");
+    }
+    size_t index = 0;
+    DataType column_type = DataType::kInt;
+    if (spec.fn != AggFn::kCount) {
+      TIOGA2_ASSIGN_OR_RETURN(index, schema.ColumnIndex(spec.column));
+      column_type = schema.column(index).type;
+      if (spec.fn == AggFn::kSum || spec.fn == AggFn::kAvg) {
+        if (!types::IsNumericType(column_type)) {
+          return Status::TypeError(AggFnToString(spec.fn) + "(" + spec.column +
+                                   ") needs a numeric column");
+        }
+      } else if (column_type == DataType::kDisplay) {
+        return Status::TypeError("display columns cannot be aggregated");
+      }
+    }
+    agg_columns.push_back(index);
+    out_columns.push_back(Column{spec.output_name, AggResultType(spec, column_type)});
+  }
+  TIOGA2_ASSIGN_OR_RETURN(Schema out_schema, Schema::Make(std::move(out_columns)));
+
+  struct Group {
+    Tuple key_values;
+    std::vector<AggState> states;
+  };
+  std::unordered_map<std::string, size_t> index_by_key;
+  std::vector<Group> groups;
+  for (const Tuple& row : input->rows()) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string key, TupleKey(row, key_columns));
+    auto [it, inserted] = index_by_key.emplace(key, groups.size());
+    if (inserted) {
+      Group group;
+      for (size_t c : key_columns) group.key_values.push_back(row[c]);
+      group.states.resize(aggs.size());
+      groups.push_back(std::move(group));
+    }
+    Group& group = groups[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      AggState& state = group.states[a];
+      if (aggs[a].fn == AggFn::kCount) {
+        ++state.count;
+        continue;
+      }
+      const Value& v = row[agg_columns[a]];
+      if (v.is_null()) continue;
+      switch (aggs[a].fn) {
+        case AggFn::kSum:
+        case AggFn::kAvg:
+          state.sum += v.AsDouble();
+          ++state.count;
+          break;
+        case AggFn::kMin:
+        case AggFn::kMax: {
+          if (state.count == 0) {
+            state.extreme = v;
+          } else {
+            TIOGA2_ASSIGN_OR_RETURN(int cmp, v.Compare(state.extreme));
+            if ((aggs[a].fn == AggFn::kMin && cmp < 0) ||
+                (aggs[a].fn == AggFn::kMax && cmp > 0)) {
+              state.extreme = v;
+            }
+          }
+          ++state.count;
+          break;
+        }
+        case AggFn::kCount:
+          break;
+      }
+    }
+  }
+
+  RelationBuilder builder(std::make_shared<const Schema>(std::move(out_schema)));
+  builder.Reserve(groups.size());
+  for (const Group& group : groups) {
+    Tuple row = group.key_values;
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& state = group.states[a];
+      switch (aggs[a].fn) {
+        case AggFn::kCount:
+          row.push_back(Value::Int(state.count));
+          break;
+        case AggFn::kSum:
+          row.push_back(state.count == 0 ? Value::Null() : Value::Float(state.sum));
+          break;
+        case AggFn::kAvg:
+          row.push_back(state.count == 0
+                            ? Value::Null()
+                            : Value::Float(state.sum / static_cast<double>(state.count)));
+          break;
+        case AggFn::kMin:
+        case AggFn::kMax:
+          row.push_back(state.count == 0 ? Value::Null() : state.extreme);
+          break;
+      }
+    }
+    builder.AddRowUnchecked(std::move(row));
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> Distinct(const RelationPtr& input) {
+  std::vector<size_t> all_columns(input->schema()->num_columns());
+  for (size_t i = 0; i < all_columns.size(); ++i) all_columns[i] = i;
+  std::unordered_map<std::string, bool> seen;
+  RelationBuilder builder(input->schema());
+  for (const Tuple& row : input->rows()) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string key, TupleKey(row, all_columns));
+    if (seen.emplace(std::move(key), true).second) builder.AddRowUnchecked(row);
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> UnionAll(const RelationPtr& first, const RelationPtr& second) {
+  if (!(*first->schema() == *second->schema())) {
+    return Status::TypeError("UnionAll needs identical schemas: " +
+                             first->schema()->ToString() + " vs " +
+                             second->schema()->ToString());
+  }
+  RelationBuilder builder(first->schema());
+  builder.Reserve(first->num_rows() + second->num_rows());
+  for (const Tuple& row : first->rows()) builder.AddRowUnchecked(row);
+  for (const Tuple& row : second->rows()) builder.AddRowUnchecked(row);
+  return builder.Build();
+}
+
+}  // namespace tioga2::db

@@ -1,0 +1,72 @@
+#include "db/catalog.h"
+
+namespace tioga2::db {
+
+Status Catalog::RegisterTable(const std::string& name, RelationPtr relation) {
+  if (name.empty()) return Status::InvalidArgument("table name must be non-empty");
+  if (relation == nullptr) return Status::InvalidArgument("relation must be non-null");
+  auto [it, inserted] = tables_.emplace(name, TableEntry{std::move(relation), 1});
+  if (!inserted) return Status::AlreadyExists("table '" + name + "' already exists");
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(const std::string& name, RelationPtr relation) {
+  if (relation == nullptr) return Status::InvalidArgument("relation must be non-null");
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  if (!(*it->second.relation->schema() == *relation->schema())) {
+    return Status::TypeError("ReplaceTable may not change the schema of '" + name +
+                             "': have " + it->second.relation->schema()->ToString() +
+                             ", got " + relation->schema()->ToString());
+  }
+  it->second.relation = std::move(relation);
+  ++it->second.version;
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("no table named '" + name + "'");
+  return Status::OK();
+}
+
+Result<RelationPtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  return it->second.relation;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+Result<uint64_t> Catalog::TableVersion(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  return it->second.version;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+void Catalog::SaveProgram(const std::string& name, std::string serialized) {
+  programs_[name] = std::move(serialized);
+}
+
+Result<std::string> Catalog::GetProgram(const std::string& name) const {
+  auto it = programs_.find(name);
+  if (it == programs_.end()) return Status::NotFound("no program named '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> Catalog::ListPrograms() const {
+  std::vector<std::string> names;
+  names.reserve(programs_.size());
+  for (const auto& [name, program] : programs_) names.push_back(name);
+  return names;
+}
+
+}  // namespace tioga2::db

@@ -1,0 +1,72 @@
+#ifndef TIOGA2_DB_CATALOG_H_
+#define TIOGA2_DB_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/relation.h"
+
+namespace tioga2::db {
+
+/// The system catalog: named base tables plus saved programs. This plays the
+/// role POSTGRES plays for Tioga-2 — "for every relation known to the
+/// Tioga-2 system there is a box of the same name" (§4), and "Save Program:
+/// save the current program in the database" (Figure 2).
+///
+/// Each table carries a version counter bumped on every update; the dataflow
+/// engine uses it to invalidate memoized box outputs after a §8 update.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Catalogs are identity objects shared by reference.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a new table; fails if the name is taken.
+  Status RegisterTable(const std::string& name, RelationPtr relation);
+
+  /// Replaces the contents of an existing table (schema may not change) and
+  /// bumps its version. This is the install step of the §8 update machinery.
+  Status ReplaceTable(const std::string& name, RelationPtr relation);
+
+  /// Removes a table.
+  Status DropTable(const std::string& name);
+
+  /// Looks up a table by name.
+  Result<RelationPtr> GetTable(const std::string& name) const;
+
+  /// True iff a table named `name` exists.
+  bool HasTable(const std::string& name) const;
+
+  /// The version counter of a table (starts at 1; bumped by ReplaceTable).
+  Result<uint64_t> TableVersion(const std::string& name) const;
+
+  /// Names of all tables, sorted (the "menu of all tables available", §3).
+  std::vector<std::string> ListTables() const;
+
+  /// Stores a serialized program under `name`, overwriting silently (Save
+  /// Program, Figure 2).
+  void SaveProgram(const std::string& name, std::string serialized);
+
+  /// Fetches a saved program.
+  Result<std::string> GetProgram(const std::string& name) const;
+
+  /// Names of all saved programs, sorted.
+  std::vector<std::string> ListPrograms() const;
+
+ private:
+  struct TableEntry {
+    RelationPtr relation;
+    uint64_t version = 1;
+  };
+  std::map<std::string, TableEntry> tables_;
+  std::map<std::string, std::string> programs_;
+};
+
+}  // namespace tioga2::db
+
+#endif  // TIOGA2_DB_CATALOG_H_

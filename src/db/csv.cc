@@ -1,0 +1,134 @@
+#include "db/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace tioga2::db {
+
+using types::DataType;
+using types::Value;
+
+namespace {
+
+/// Splits one CSV line on commas, honoring double-quoted cells (which may
+/// contain commas and escaped quotes).
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      cell += c;
+      if (c == '\\' && i + 1 < line.size()) {
+        cell += line[i + 1];
+        ++i;
+      } else if (c == '"') {
+        in_quotes = false;
+      }
+    } else if (c == '"') {
+      cell += c;
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote in CSV line: " + line);
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+}  // namespace
+
+Result<std::string> RelationToCsv(const Relation& relation) {
+  std::string out;
+  const Schema& schema = *relation.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type == DataType::kDisplay) {
+      return Status::InvalidArgument("display column '" + schema.column(c).name +
+                                     "' cannot be serialized to CSV");
+    }
+    if (c > 0) out += ',';
+    out += schema.column(c).name + ":" + types::DataTypeToString(schema.column(c).type);
+  }
+  out += '\n';
+  for (const Tuple& row : relation.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += row[c].ToString();  // strings arrive quoted, which is CSV-safe here
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<RelationPtr> RelationFromCsv(const std::string& csv) {
+  std::istringstream stream(csv);
+  std::string line;
+  if (!std::getline(stream, line)) return Status::ParseError("empty CSV input");
+
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> header_cells, SplitCsvLine(line));
+  std::vector<Column> columns;
+  for (const std::string& cell : header_cells) {
+    std::vector<std::string> parts = StrSplit(cell, ':');
+    if (parts.size() != 2) {
+      return Status::ParseError("CSV header cell '" + cell + "' is not name:type");
+    }
+    DataType type;
+    if (!types::DataTypeFromString(parts[1], &type)) {
+      return Status::ParseError("unknown type '" + parts[1] + "' in CSV header");
+    }
+    columns.push_back(Column{parts[0], type});
+  }
+  TIOGA2_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+  auto schema_ptr = std::make_shared<const Schema>(std::move(schema));
+  RelationBuilder builder(schema_ptr);
+
+  size_t line_number = 1;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> cells, SplitCsvLine(line));
+    if (cells.size() != schema_ptr->num_columns()) {
+      return Status::ParseError("CSV line " + std::to_string(line_number) + " has " +
+                                std::to_string(cells.size()) + " cells, want " +
+                                std::to_string(schema_ptr->num_columns()));
+    }
+    Tuple row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (StripWhitespace(cells[c]) == "null") {
+        row.push_back(Value::Null());
+        continue;
+      }
+      TIOGA2_ASSIGN_OR_RETURN(Value v, Value::Parse(schema_ptr->column(c).type, cells[c]));
+      row.push_back(std::move(v));
+    }
+    TIOGA2_RETURN_IF_ERROR(builder.AddRow(std::move(row)));
+  }
+  return builder.Build();
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path) {
+  TIOGA2_ASSIGN_OR_RETURN(std::string csv, RelationToCsv(relation));
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << csv;
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<RelationPtr> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return RelationFromCsv(buffer.str());
+}
+
+}  // namespace tioga2::db

@@ -1,0 +1,25 @@
+#ifndef TIOGA2_DB_CSV_H_
+#define TIOGA2_DB_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "db/relation.h"
+
+namespace tioga2::db {
+
+/// Serializes a relation to typed CSV: a header of "name:type" cells
+/// followed by one row per tuple. Strings are quoted; display columns are
+/// rejected (display attributes are computed, never stored — §5.1).
+Result<std::string> RelationToCsv(const Relation& relation);
+
+/// Parses typed CSV produced by RelationToCsv.
+Result<RelationPtr> RelationFromCsv(const std::string& csv);
+
+/// File convenience wrappers.
+Status WriteCsvFile(const Relation& relation, const std::string& path);
+Result<RelationPtr> ReadCsvFile(const std::string& path);
+
+}  // namespace tioga2::db
+
+#endif  // TIOGA2_DB_CSV_H_

@@ -1,0 +1,260 @@
+#include "db/operators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace tioga2::db {
+
+using types::DataType;
+using types::Value;
+
+expr::TypeEnv SchemaEnv(const SchemaPtr& schema) {
+  return [schema](const std::string& name) -> std::optional<expr::AttrInfo> {
+    std::optional<size_t> index = schema->FindColumn(name);
+    if (!index.has_value()) return std::nullopt;
+    return expr::AttrInfo{schema->column(*index).type, *index};
+  };
+}
+
+Result<expr::CompiledExpr> CompilePredicate(const SchemaPtr& schema,
+                                            const std::string& predicate_source) {
+  TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
+                          expr::CompiledExpr::Compile(predicate_source, SchemaEnv(schema)));
+  if (predicate.result_type() != DataType::kBool) {
+    return Status::TypeError("predicate '" + predicate_source + "' has type " +
+                             types::DataTypeToString(predicate.result_type()) +
+                             ", want bool");
+  }
+  return predicate;
+}
+
+Result<RelationPtr> Project(const RelationPtr& input,
+                            const std::vector<std::string>& columns) {
+  std::vector<size_t> indices;
+  std::vector<Column> out_columns;
+  indices.reserve(columns.size());
+  for (const std::string& name : columns) {
+    TIOGA2_ASSIGN_OR_RETURN(size_t index, input->schema()->ColumnIndex(name));
+    indices.push_back(index);
+    out_columns.push_back(input->schema()->column(index));
+  }
+  TIOGA2_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(out_columns)));
+  RelationBuilder builder(std::make_shared<const Schema>(std::move(schema)));
+  builder.Reserve(input->num_rows());
+  for (const Tuple& row : input->rows()) {
+    Tuple out;
+    out.reserve(indices.size());
+    for (size_t index : indices) out.push_back(row[index]);
+    builder.AddRowUnchecked(std::move(out));
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> Restrict(const RelationPtr& input,
+                             const expr::CompiledExpr& predicate) {
+  if (predicate.result_type() != DataType::kBool) {
+    return Status::TypeError("Restrict predicate must be bool");
+  }
+  RelationBuilder builder(input->schema());
+  for (const Tuple& row : input->rows()) {
+    expr::TupleAccessor accessor(row);
+    TIOGA2_ASSIGN_OR_RETURN(Value keep, predicate.Eval(accessor));
+    if (!keep.is_null() && keep.bool_value()) builder.AddRowUnchecked(row);
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> Restrict(const RelationPtr& input,
+                             const std::string& predicate_source) {
+  TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
+                          CompilePredicate(input->schema(), predicate_source));
+  return Restrict(input, predicate);
+}
+
+Result<RelationPtr> Sample(const RelationPtr& input, double probability, uint64_t seed) {
+  if (probability < 0.0 || probability > 1.0) {
+    return Status::InvalidArgument("sampling probability must be in [0, 1], got " +
+                                   std::to_string(probability));
+  }
+  Rng rng(seed);
+  RelationBuilder builder(input->schema());
+  for (const Tuple& row : input->rows()) {
+    if (rng.NextDouble() < probability) builder.AddRowUnchecked(row);
+  }
+  return builder.Build();
+}
+
+Result<SchemaPtr> JoinOutputSchema(const SchemaPtr& left, const SchemaPtr& right) {
+  std::vector<Column> columns = left->columns();
+  for (const Column& column : right->columns()) {
+    Column out = column;
+    if (left->HasColumn(out.name)) out.name += "_2";
+    columns.push_back(std::move(out));
+  }
+  TIOGA2_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+  return std::make_shared<const Schema>(std::move(schema));
+}
+
+namespace {
+
+/// If `predicate` is exactly `left_col = right_col` (one stored attribute on
+/// each side of the join boundary), returns their indices for a hash join.
+struct EquiJoinKey {
+  size_t left_index;
+  size_t right_index;  // index within the right relation
+};
+
+std::optional<EquiJoinKey> DetectEquiJoin(const expr::ExprNode& root,
+                                          size_t left_width, size_t out_width) {
+  if (root.kind != expr::ExprNode::Kind::kBinary ||
+      root.binary_op != expr::BinaryOp::kEq) {
+    return std::nullopt;
+  }
+  const expr::ExprNode& a = *root.children[0];
+  const expr::ExprNode& b = *root.children[1];
+  if (a.kind != expr::ExprNode::Kind::kAttributeRef ||
+      b.kind != expr::ExprNode::Kind::kAttributeRef) {
+    return std::nullopt;
+  }
+  if (!a.stored_index.has_value() || !b.stored_index.has_value()) return std::nullopt;
+  size_t ai = *a.stored_index;
+  size_t bi = *b.stored_index;
+  if (ai >= out_width || bi >= out_width) return std::nullopt;
+  if (ai < left_width && bi >= left_width) {
+    return EquiJoinKey{ai, bi - left_width};
+  }
+  if (bi < left_width && ai >= left_width) {
+    return EquiJoinKey{bi, ai - left_width};
+  }
+  return std::nullopt;
+}
+
+std::string HashKey(const Value& v) {
+  // Values hash by canonical text; int/float unify so that 2 joins with 2.0.
+  if (v.is_null()) return "\0null";
+  if (v.is_int() || v.is_float()) {
+    double d = v.AsDouble();
+    if (d == static_cast<int64_t>(d)) return "n" + std::to_string(static_cast<int64_t>(d));
+    return "n" + std::to_string(d);
+  }
+  return "v" + v.ToString();
+}
+
+Tuple ConcatTuples(const Tuple& left, const Tuple& right) {
+  Tuple out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Result<RelationPtr> RunNestedLoop(const RelationPtr& left, const RelationPtr& right,
+                                  const SchemaPtr& out_schema,
+                                  const expr::CompiledExpr& predicate) {
+  RelationBuilder builder(out_schema);
+  for (const Tuple& lrow : left->rows()) {
+    for (const Tuple& rrow : right->rows()) {
+      Tuple combined = ConcatTuples(lrow, rrow);
+      expr::TupleAccessor accessor(combined);
+      TIOGA2_ASSIGN_OR_RETURN(Value keep, predicate.Eval(accessor));
+      if (!keep.is_null() && keep.bool_value()) {
+        builder.AddRowUnchecked(std::move(combined));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
+                        const std::string& predicate_source) {
+  TIOGA2_ASSIGN_OR_RETURN(SchemaPtr out_schema,
+                          JoinOutputSchema(left->schema(), right->schema()));
+  TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
+                          CompilePredicate(out_schema, predicate_source));
+
+  std::optional<EquiJoinKey> key = DetectEquiJoin(
+      predicate.root(), left->schema()->num_columns(), out_schema->num_columns());
+  if (!key.has_value()) {
+    TIOGA2_ASSIGN_OR_RETURN(RelationPtr rel,
+                            RunNestedLoop(left, right, out_schema, predicate));
+    return JoinResult{std::move(rel), JoinAlgorithm::kNestedLoop};
+  }
+
+  // Hash join: build on the smaller input, probe with the larger.
+  const bool build_left = left->num_rows() <= right->num_rows();
+  const RelationPtr& build = build_left ? left : right;
+  const RelationPtr& probe = build_left ? right : left;
+  size_t build_key = build_left ? key->left_index : key->right_index;
+  size_t probe_key = build_left ? key->right_index : key->left_index;
+
+  std::unordered_multimap<std::string, size_t> table;
+  table.reserve(build->num_rows());
+  for (size_t i = 0; i < build->num_rows(); ++i) {
+    const Value& v = build->row(i)[build_key];
+    if (v.is_null()) continue;  // nulls never join
+    table.emplace(HashKey(v), i);
+  }
+  RelationBuilder builder(out_schema);
+  for (const Tuple& probe_row : probe->rows()) {
+    const Value& v = probe_row[probe_key];
+    if (v.is_null()) continue;
+    auto [begin, end] = table.equal_range(HashKey(v));
+    for (auto it = begin; it != end; ++it) {
+      const Tuple& build_row = build->row(it->second);
+      // Hash collisions across types are resolved by a real equality check.
+      if (!build_row[build_key].Equals(v)) continue;
+      builder.AddRowUnchecked(build_left ? ConcatTuples(build_row, probe_row)
+                                         : ConcatTuples(probe_row, build_row));
+    }
+  }
+  return JoinResult{builder.Build(), JoinAlgorithm::kHash};
+}
+
+Result<RelationPtr> NestedLoopJoin(const RelationPtr& left, const RelationPtr& right,
+                                   const std::string& predicate_source) {
+  TIOGA2_ASSIGN_OR_RETURN(SchemaPtr out_schema,
+                          JoinOutputSchema(left->schema(), right->schema()));
+  TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
+                          CompilePredicate(out_schema, predicate_source));
+  return RunNestedLoop(left, right, out_schema, predicate);
+}
+
+Result<RelationPtr> Sort(const RelationPtr& input, const std::string& column,
+                         bool ascending) {
+  TIOGA2_ASSIGN_OR_RETURN(size_t index, input->schema()->ColumnIndex(column));
+  if (input->schema()->column(index).type == DataType::kDisplay) {
+    return Status::TypeError("cannot sort by a display column");
+  }
+  std::vector<size_t> order(input->num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  Status failure = Status::OK();
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    Result<int> cmp = input->row(a)[index].Compare(input->row(b)[index]);
+    if (!cmp.ok()) {
+      if (failure.ok()) failure = cmp.status();
+      return false;
+    }
+    return ascending ? cmp.value() < 0 : cmp.value() > 0;
+  });
+  TIOGA2_RETURN_IF_ERROR(failure);
+  RelationBuilder builder(input->schema());
+  builder.Reserve(input->num_rows());
+  for (size_t i : order) builder.AddRowUnchecked(input->row(i));
+  return builder.Build();
+}
+
+Result<RelationPtr> Limit(const RelationPtr& input, size_t n) {
+  RelationBuilder builder(input->schema());
+  size_t count = std::min(n, input->num_rows());
+  builder.Reserve(count);
+  for (size_t i = 0; i < count; ++i) builder.AddRowUnchecked(input->row(i));
+  return builder.Build();
+}
+
+}  // namespace tioga2::db

@@ -1,0 +1,77 @@
+#ifndef TIOGA2_DB_OPERATORS_H_
+#define TIOGA2_DB_OPERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/relation.h"
+#include "expr/expr.h"
+
+namespace tioga2::db {
+
+/// Builds a TypeEnv exposing the stored columns of `schema` (for compiling
+/// predicates and attribute definitions against a plain relation).
+expr::TypeEnv SchemaEnv(const SchemaPtr& schema);
+
+/// Compiles `predicate_source` against `schema` and requires a bool result.
+Result<expr::CompiledExpr> CompilePredicate(const SchemaPtr& schema,
+                                            const std::string& predicate_source);
+
+/// Standard projection (§4.2, Figure 3): keeps `columns` in the given order.
+/// Duplicate tuples are retained (this is SELECT-list projection, not set
+/// projection), matching the paper's "projecting out unneeded fields".
+Result<RelationPtr> Project(const RelationPtr& input,
+                            const std::vector<std::string>& columns);
+
+/// Filters to tuples for which `predicate` evaluates to true; a null
+/// predicate result rejects the tuple (SQL WHERE semantics).
+Result<RelationPtr> Restrict(const RelationPtr& input,
+                             const expr::CompiledExpr& predicate);
+
+/// Convenience overload that compiles the predicate from source.
+Result<RelationPtr> Restrict(const RelationPtr& input,
+                             const std::string& predicate_source);
+
+/// Bernoulli sample: each tuple is retained independently with
+/// `probability` (§4.2: "each input is retained with a user-specified
+/// probability"). Deterministic for a given seed.
+Result<RelationPtr> Sample(const RelationPtr& input, double probability, uint64_t seed);
+
+/// The join algorithm actually used by Join (reported for benchmarks).
+enum class JoinAlgorithm { kHash, kNestedLoop };
+
+/// Result of a join together with the algorithm the planner picked.
+struct JoinResult {
+  RelationPtr relation;
+  JoinAlgorithm algorithm;
+};
+
+/// Joins two relations on a predicate written over the *output* schema
+/// (left columns then right columns; any right column whose name collides
+/// with a left column is renamed with a "_2" suffix). If the predicate is a
+/// single equality between one left and one right column, a hash join is
+/// used; otherwise a nested-loop join.
+Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
+                        const std::string& predicate_source);
+
+/// Forces the nested-loop path regardless of predicate shape (for the
+/// hash-vs-nested-loop ablation benchmark).
+Result<RelationPtr> NestedLoopJoin(const RelationPtr& left, const RelationPtr& right,
+                                   const std::string& predicate_source);
+
+/// Sorts by `column` (ascending or descending); nulls sort first.
+Result<RelationPtr> Sort(const RelationPtr& input, const std::string& column,
+                         bool ascending = true);
+
+/// Keeps the first `n` tuples.
+Result<RelationPtr> Limit(const RelationPtr& input, size_t n);
+
+/// The schema a Join over these inputs produces (left then right, right
+/// collisions suffixed "_2"). Exposed so callers can compile predicates.
+Result<SchemaPtr> JoinOutputSchema(const SchemaPtr& left, const SchemaPtr& right);
+
+}  // namespace tioga2::db
+
+#endif  // TIOGA2_DB_OPERATORS_H_

@@ -1,0 +1,90 @@
+#include "db/relation.h"
+
+#include <utility>
+
+namespace tioga2::db {
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t c = 0; c < schema_->num_columns(); ++c) {
+    if (c > 0) out += " | ";
+    out += schema_->column(c).name;
+  }
+  out += "\n";
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows_[r][c].ToString();
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+RelationBuilder::RelationBuilder(SchemaPtr schema)
+    : relation_(std::make_shared<Relation>(std::move(schema))) {}
+
+Status RelationBuilder::AddRow(Tuple row) {
+  const Schema& schema = *relation_->schema_;
+  if (row.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match schema " +
+        schema.ToString());
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].is_null()) continue;
+    if (row[c].type() != schema.column(c).type) {
+      // Allow implicit int → float widening at insert time.
+      if (row[c].is_int() && schema.column(c).type == types::DataType::kFloat) {
+        row[c] = types::Value::Float(static_cast<double>(row[c].int_value()));
+        continue;
+      }
+      return Status::TypeError("column '" + schema.column(c).name + "' expects " +
+                               types::DataTypeToString(schema.column(c).type) + ", got " +
+                               types::DataTypeToString(row[c].type()));
+    }
+  }
+  relation_->rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void RelationBuilder::AddRowUnchecked(Tuple row) {
+  relation_->rows_.push_back(std::move(row));
+}
+
+void RelationBuilder::Reserve(size_t n) { relation_->rows_.reserve(n); }
+
+RelationPtr RelationBuilder::Build() {
+  RelationPtr result = std::move(relation_);
+  relation_ = std::make_shared<Relation>(result->schema());
+  return result;
+}
+
+Result<RelationPtr> MakeRelation(std::vector<Column> columns, std::vector<Tuple> rows) {
+  TIOGA2_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+  RelationBuilder builder(std::make_shared<const Schema>(std::move(schema)));
+  builder.Reserve(rows.size());
+  for (Tuple& row : rows) {
+    TIOGA2_RETURN_IF_ERROR(builder.AddRow(std::move(row)));
+  }
+  return builder.Build();
+}
+
+bool RelationEquals(const Relation& a, const Relation& b) {
+  if (!(*a.schema() == *b.schema())) return false;
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    const Tuple& ra = a.row(r);
+    const Tuple& rb = b.row(r);
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (!ra[c].Equals(rb[c])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tioga2::db

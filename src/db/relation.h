@@ -1,0 +1,88 @@
+#ifndef TIOGA2_DB_RELATION_H_
+#define TIOGA2_DB_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/schema.h"
+#include "types/value.h"
+
+namespace tioga2::db {
+
+/// One row: values positionally aligned with a Schema.
+using Tuple = std::vector<types::Value>;
+
+class Relation;
+using RelationPtr = std::shared_ptr<const Relation>;
+
+/// An in-memory row-store relation. Relations are built once via
+/// RelationBuilder and immutable afterwards; all query operators produce new
+/// relations. This gives the dataflow engine's memoization (the basis of the
+/// paper's "immediate visual feedback") value semantics for free.
+class Relation {
+ public:
+  /// An empty relation over `schema`.
+  explicit Relation(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  /// The schema. Never null.
+  const SchemaPtr& schema() const { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_->num_columns(); }
+
+  /// Row `i`; i < num_rows().
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Value at row `r`, column `c`.
+  const types::Value& at(size_t r, size_t c) const { return rows_[r][c]; }
+
+  /// A table rendering ("name | name\n----\nv | v ..."), the shape produced
+  /// by a "terminal monitor" (§5.2); used for debugging and golden tests.
+  std::string ToString(size_t max_rows = 20) const;
+
+  friend class RelationBuilder;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Tuple> rows_;
+};
+
+/// Accumulates tuples for a new Relation, type-checking each row against the
+/// schema (nulls are allowed in any column).
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(SchemaPtr schema);
+
+  /// Appends a row after checking arity and column types.
+  Status AddRow(Tuple row);
+
+  /// Appends a row without checks. Only for operators that construct rows
+  /// directly from already-checked relations (hot path).
+  void AddRowUnchecked(Tuple row);
+
+  /// Reserves capacity for `n` rows.
+  void Reserve(size_t n);
+
+  size_t num_rows() const { return relation_->rows_.size(); }
+  const SchemaPtr& schema() const { return relation_->schema_; }
+
+  /// Finishes and returns the relation; the builder is left empty.
+  RelationPtr Build();
+
+ private:
+  std::shared_ptr<Relation> relation_;
+};
+
+/// Convenience: builds a relation from columns and rows, failing on any
+/// schema or type mismatch.
+Result<RelationPtr> MakeRelation(std::vector<Column> columns, std::vector<Tuple> rows);
+
+/// Structural equality: same schema, same rows in the same order.
+bool RelationEquals(const Relation& a, const Relation& b);
+
+}  // namespace tioga2::db
+
+#endif  // TIOGA2_DB_RELATION_H_

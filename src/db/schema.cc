@@ -1,0 +1,60 @@
+#include "db/schema.h"
+
+#include <unordered_set>
+
+namespace tioga2::db {
+
+Result<Schema> Schema::Make(std::vector<Column> columns) {
+  std::unordered_set<std::string> seen;
+  for (const Column& column : columns) {
+    if (column.name.empty()) {
+      return Status::InvalidArgument("column names must be non-empty");
+    }
+    if (!seen.insert(column.name).second) {
+      return Status::AlreadyExists("duplicate column name '" + column.name + "'");
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  std::optional<size_t> index = FindColumn(name);
+  if (!index.has_value()) {
+    return Status::NotFound("no column named '" + name + "' in " + ToString());
+  }
+  return *index;
+}
+
+Result<Schema> Schema::AddColumn(Column column) const {
+  std::vector<Column> columns = columns_;
+  columns.push_back(std::move(column));
+  return Make(std::move(columns));
+}
+
+Result<Schema> Schema::RemoveColumn(size_t i) const {
+  if (i >= columns_.size()) {
+    return Status::OutOfRange("column index " + std::to_string(i) + " out of range");
+  }
+  std::vector<Column> columns = columns_;
+  columns.erase(columns.begin() + static_cast<ptrdiff_t>(i));
+  return Schema(std::move(columns));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name + ":" + types::DataTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace tioga2::db

@@ -1,0 +1,72 @@
+#ifndef TIOGA2_DB_SCHEMA_H_
+#define TIOGA2_DB_SCHEMA_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/data_type.h"
+
+namespace tioga2::db {
+
+/// One column of a relation: a name and an atomic type.
+struct Column {
+  std::string name;
+  types::DataType type;
+
+  friend bool operator==(const Column& a, const Column& b) = default;
+};
+
+/// An ordered list of uniquely named columns. Schemas are immutable and
+/// shared between a relation and all tuples/operators derived from it.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema, failing on duplicate or empty column names.
+  static Result<Schema> Make(std::vector<Column> columns);
+
+  /// Number of columns.
+  size_t num_columns() const { return columns_.size(); }
+
+  /// The columns in order.
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Column at position `i` (bounds-unchecked hot path; i < num_columns()).
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name`, if present.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True iff a column named `name` exists.
+  bool HasColumn(const std::string& name) const {
+    return FindColumn(name).has_value();
+  }
+
+  /// A new schema with `column` appended; fails if the name collides.
+  Result<Schema> AddColumn(Column column) const;
+
+  /// A new schema without column `i`.
+  Result<Schema> RemoveColumn(size_t i) const;
+
+  /// "(name:type, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) = default;
+
+ private:
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  std::vector<Column> columns_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace tioga2::db
+
+#endif  // TIOGA2_DB_SCHEMA_H_

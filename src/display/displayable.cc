@@ -1,0 +1,150 @@
+#include "display/displayable.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tioga2::display {
+
+Composite::Composite(DisplayRelation relation) {
+  entries_.push_back(CompositeEntry{std::move(relation), {}});
+}
+
+size_t Composite::Dimension() const {
+  size_t dimension = 0;
+  for (const CompositeEntry& entry : entries_) {
+    dimension = std::max(dimension, entry.relation.Dimension());
+  }
+  return std::max<size_t>(dimension, 2);
+}
+
+bool Composite::DimensionsMatch() const {
+  for (const CompositeEntry& entry : entries_) {
+    if (entry.relation.Dimension() != Dimension()) return false;
+  }
+  return true;
+}
+
+Composite Composite::Overlay(const Composite& other, const std::vector<double>& offset,
+                             bool* dimension_mismatch) const {
+  Composite combined = *this;
+  for (CompositeEntry entry : other.entries_) {
+    // Accumulate the overlay offset on top of any existing member offset.
+    for (size_t d = 0; d < offset.size(); ++d) {
+      if (entry.offset.size() <= d) entry.offset.resize(d + 1, 0.0);
+      entry.offset[d] += offset[d];
+    }
+    combined.entries_.push_back(std::move(entry));
+  }
+  if (dimension_mismatch != nullptr) {
+    *dimension_mismatch = !combined.DimensionsMatch();
+  }
+  return combined;
+}
+
+Result<Composite> Composite::Shuffle(size_t index) const {
+  if (index >= entries_.size()) {
+    return Status::OutOfRange("composite member " + std::to_string(index) +
+                              " out of range");
+  }
+  Composite out = *this;
+  CompositeEntry entry = std::move(out.entries_[index]);
+  out.entries_.erase(out.entries_.begin() + static_cast<ptrdiff_t>(index));
+  out.entries_.push_back(std::move(entry));
+  return out;
+}
+
+Result<size_t> Composite::FindMember(const std::string& name) const {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].relation.name() == name) {
+      if (found.has_value()) {
+        return Status::FailedPrecondition("composite has several members named '" +
+                                          name + "'");
+      }
+      found = i;
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("no composite member named '" + name + "'");
+  }
+  return *found;
+}
+
+Group::Group(Composite composite) { members_.push_back(std::move(composite)); }
+
+Group::Group(std::vector<Composite> members, GroupLayout layout, size_t tabular_columns)
+    : members_(std::move(members)),
+      layout_(layout),
+      tabular_columns_(tabular_columns == 0 ? 1 : tabular_columns) {}
+
+std::pair<size_t, size_t> Group::CellOf(size_t index) const {
+  switch (layout_) {
+    case GroupLayout::kHorizontal:
+      return {0, index};
+    case GroupLayout::kVertical:
+      return {index, 0};
+    case GroupLayout::kTabular:
+      return {index / tabular_columns_, index % tabular_columns_};
+  }
+  return {0, index};
+}
+
+std::pair<size_t, size_t> Group::GridShape() const {
+  if (members_.empty()) return {0, 0};
+  switch (layout_) {
+    case GroupLayout::kHorizontal:
+      return {1, members_.size()};
+    case GroupLayout::kVertical:
+      return {members_.size(), 1};
+    case GroupLayout::kTabular: {
+      size_t columns = std::min(tabular_columns_, members_.size());
+      size_t rows = (members_.size() + tabular_columns_ - 1) / tabular_columns_;
+      return {rows, columns};
+    }
+  }
+  return {1, members_.size()};
+}
+
+Result<Composite> AsComposite(const Displayable& displayable) {
+  if (std::holds_alternative<DisplayRelation>(displayable)) {
+    return Composite(std::get<DisplayRelation>(displayable));
+  }
+  if (std::holds_alternative<Composite>(displayable)) {
+    return std::get<Composite>(displayable);
+  }
+  const Group& group = std::get<Group>(displayable);
+  if (group.size() == 1) return group.members()[0];
+  return Status::FailedPrecondition(
+      "a group of " + std::to_string(group.size()) +
+      " composites cannot be used as a composite; select one member first");
+}
+
+Group AsGroup(const Displayable& displayable) {
+  if (std::holds_alternative<Group>(displayable)) return std::get<Group>(displayable);
+  if (std::holds_alternative<Composite>(displayable)) {
+    return Group(std::get<Composite>(displayable));
+  }
+  return Group(Composite(std::get<DisplayRelation>(displayable)));
+}
+
+Result<DisplayRelation> AsRelation(const Displayable& displayable) {
+  if (std::holds_alternative<DisplayRelation>(displayable)) {
+    return std::get<DisplayRelation>(displayable);
+  }
+  TIOGA2_ASSIGN_OR_RETURN(Composite composite, AsComposite(displayable));
+  if (composite.size() == 1 && composite.entries()[0].offset.empty()) {
+    return composite.entries()[0].relation;
+  }
+  if (composite.size() == 1) return composite.entries()[0].relation;
+  return Status::FailedPrecondition(
+      "a composite of " + std::to_string(composite.size()) +
+      " relations cannot be used as a relation; select one member first");
+}
+
+std::string DisplayableKindName(const Displayable& displayable) {
+  if (std::holds_alternative<DisplayRelation>(displayable)) return "relation";
+  if (std::holds_alternative<Composite>(displayable)) return "composite";
+  return "group";
+}
+
+}  // namespace tioga2::display

@@ -1,0 +1,124 @@
+#ifndef TIOGA2_DISPLAY_DISPLAYABLE_H_
+#define TIOGA2_DISPLAY_DISPLAYABLE_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "display/display_relation.h"
+
+namespace tioga2::display {
+
+/// One member of a composite: an extended relation plus the n-dimensional
+/// offset applied to its locations ("the relative position of one overlay to
+/// another may be given by an explicit n-dimensional offset", §6.1). The
+/// offset vector may be shorter than the relation's dimension; missing
+/// entries are zero.
+struct CompositeEntry {
+  DisplayRelation relation;
+  std::vector<double> offset;
+
+  /// Offset along dimension `dim` (0 when unspecified).
+  double OffsetAt(size_t dim) const { return dim < offset.size() ? offset[dim] : 0.0; }
+};
+
+/// The displayable type C of §2: an overlay of relations sharing a viewing
+/// space. "The viewer renders each of the relations in order on the canvas;
+/// thus, the order of the relations specifies the drawing order."
+class Composite {
+ public:
+  Composite() = default;
+
+  /// A composite of one relation — the R = Composite(R) equivalence of §2.
+  explicit Composite(DisplayRelation relation);
+
+  const std::vector<CompositeEntry>& entries() const { return entries_; }
+  std::vector<CompositeEntry>& mutable_entries() { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// The composite's dimension: the maximum member dimension. Members with
+  /// fewer dimensions are "treated as invariant in the extra dimensions"
+  /// (§6.1) — the Louisiana map stays put while the Altitude slider moves.
+  size_t Dimension() const;
+
+  /// True iff all members have equal dimension; Overlay warns otherwise.
+  bool DimensionsMatch() const;
+
+  /// Overlays `other` on top of this composite (drawn later, hence above),
+  /// shifting it by `offset`. Returns the combined composite and sets
+  /// `*dimension_mismatch` when the §6.1 warning applies.
+  Composite Overlay(const Composite& other, const std::vector<double>& offset,
+                    bool* dimension_mismatch = nullptr) const;
+
+  /// Shuffle (§6.1): moves member `index` to the top of the drawing order
+  /// (the end of the list, drawn last).
+  Result<Composite> Shuffle(size_t index) const;
+
+  /// Finds the (unique) member whose relation has `name`; NotFound if absent
+  /// or ambiguous.
+  Result<size_t> FindMember(const std::string& name) const;
+
+ private:
+  std::vector<CompositeEntry> entries_;
+};
+
+/// How a group lays out its composites (§7.3): "groups can be displayed
+/// side-by-side, arranged vertically, or laid out in a tabular fashion".
+enum class GroupLayout { kHorizontal, kVertical, kTabular };
+
+/// The displayable type G of §2: composites shown side by side, each with
+/// its own pan/zoom position.
+class Group {
+ public:
+  Group() = default;
+
+  /// The C = Group(C) equivalence of §2.
+  explicit Group(Composite composite);
+
+  Group(std::vector<Composite> members, GroupLayout layout, size_t tabular_columns = 2);
+
+  const std::vector<Composite>& members() const { return members_; }
+  std::vector<Composite>& mutable_members() { return members_; }
+  size_t size() const { return members_.size(); }
+
+  GroupLayout layout() const { return layout_; }
+  void set_layout(GroupLayout layout) { layout_ = layout; }
+
+  /// Number of columns when layout is kTabular.
+  size_t tabular_columns() const { return tabular_columns_; }
+  void set_tabular_columns(size_t columns) { tabular_columns_ = columns == 0 ? 1 : columns; }
+
+  /// Grid position (row, column) of member `index` under the layout.
+  std::pair<size_t, size_t> CellOf(size_t index) const;
+
+  /// Grid extent (rows, columns) of the whole group.
+  std::pair<size_t, size_t> GridShape() const;
+
+ private:
+  std::vector<Composite> members_;
+  GroupLayout layout_ = GroupLayout::kHorizontal;
+  size_t tabular_columns_ = 2;
+};
+
+/// Any displayable: R, C, or G (§2). The coercion helpers implement the
+/// type equivalences R = Composite(R) and C = Group(C).
+using Displayable = std::variant<DisplayRelation, Composite, Group>;
+
+/// Widens any displayable to a composite; a Group input must have exactly
+/// one member (otherwise the caller must select one — see ui::Session).
+Result<Composite> AsComposite(const Displayable& displayable);
+
+/// Widens any displayable to a group.
+Group AsGroup(const Displayable& displayable);
+
+/// Narrow accessor: the single relation of a trivial displayable. Fails if
+/// the displayable holds more than one relation.
+Result<DisplayRelation> AsRelation(const Displayable& displayable);
+
+/// "relation" / "composite" / "group".
+std::string DisplayableKindName(const Displayable& displayable);
+
+}  // namespace tioga2::display
+
+#endif  // TIOGA2_DISPLAY_DISPLAYABLE_H_

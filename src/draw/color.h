@@ -1,0 +1,41 @@
+#ifndef TIOGA2_DRAW_COLOR_H_
+#define TIOGA2_DRAW_COLOR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tioga2::draw {
+
+/// An RGB color. Every primitive drawable carries a color (§5.1).
+struct Color {
+  uint8_t r = 0;
+  uint8_t g = 0;
+  uint8_t b = 0;
+
+  friend bool operator==(const Color& a, const Color& b) = default;
+};
+
+/// Named colors used by defaults and the data generators.
+inline constexpr Color kBlack{0, 0, 0};
+inline constexpr Color kWhite{255, 255, 255};
+inline constexpr Color kRed{200, 30, 30};
+inline constexpr Color kGreen{30, 160, 60};
+inline constexpr Color kBlue{40, 70, 200};
+inline constexpr Color kGray{128, 128, 128};
+inline constexpr Color kLightGray{210, 210, 210};
+inline constexpr Color kOrange{230, 140, 20};
+inline constexpr Color kPurple{130, 60, 180};
+
+/// Formats as "#rrggbb".
+std::string ColorToHex(const Color& color);
+
+/// Parses "#rrggbb"; returns false on malformed input.
+bool ColorFromHex(const std::string& hex, Color* out);
+
+/// Linear interpolation between two colors, t clamped to [0,1]. Used by
+/// data-driven color ramps in display expressions.
+Color LerpColor(const Color& a, const Color& b, double t);
+
+}  // namespace tioga2::draw
+
+#endif  // TIOGA2_DRAW_COLOR_H_

@@ -1,0 +1,222 @@
+#include "draw/drawable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace tioga2::draw {
+
+void BBox::Union(const BBox& other) {
+  min_x = std::min(min_x, other.min_x);
+  min_y = std::min(min_y, other.min_y);
+  max_x = std::max(max_x, other.max_x);
+  max_y = std::max(max_y, other.max_y);
+}
+
+void BBox::Extend(double x, double y) {
+  min_x = std::min(min_x, x);
+  min_y = std::min(min_y, y);
+  max_x = std::max(max_x, x);
+  max_y = std::max(max_y, y);
+}
+
+bool BBox::Contains(double x, double y) const {
+  return x >= min_x && x <= max_x && y >= min_y && y <= max_y;
+}
+
+bool BBox::Intersects(const BBox& other) const {
+  return min_x <= other.max_x && other.min_x <= max_x && min_y <= other.max_y &&
+         other.min_y <= max_y;
+}
+
+std::string DrawableKindToString(DrawableKind kind) {
+  switch (kind) {
+    case DrawableKind::kPoint:
+      return "point";
+    case DrawableKind::kLine:
+      return "line";
+    case DrawableKind::kRectangle:
+      return "rectangle";
+    case DrawableKind::kCircle:
+      return "circle";
+    case DrawableKind::kPolygon:
+      return "polygon";
+    case DrawableKind::kText:
+      return "text";
+    case DrawableKind::kViewer:
+      return "viewer";
+  }
+  return "unknown";
+}
+
+bool DrawableKindFromString(const std::string& text, DrawableKind* out) {
+  static constexpr std::pair<const char*, DrawableKind> kNames[] = {
+      {"point", DrawableKind::kPoint},         {"line", DrawableKind::kLine},
+      {"rectangle", DrawableKind::kRectangle}, {"circle", DrawableKind::kCircle},
+      {"polygon", DrawableKind::kPolygon},     {"text", DrawableKind::kText},
+      {"viewer", DrawableKind::kViewer},
+  };
+  for (const auto& [name, kind] : kNames) {
+    if (text == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+BBox Drawable::Bounds() const {
+  BBox box{offset_x, offset_y, offset_x, offset_y};
+  switch (kind) {
+    case DrawableKind::kPoint:
+      break;
+    case DrawableKind::kLine:
+      box.Extend(offset_x + a, offset_y + b);
+      break;
+    case DrawableKind::kRectangle:
+    case DrawableKind::kViewer:
+      box.Extend(offset_x + a, offset_y + b);
+      break;
+    case DrawableKind::kCircle:
+      box = BBox{offset_x - a, offset_y - a, offset_x + a, offset_y + a};
+      break;
+    case DrawableKind::kPolygon:
+      for (const Point& p : points) box.Extend(offset_x + p.x, offset_y + p.y);
+      break;
+    case DrawableKind::kText:
+      // Approximate: glyphs are 0.6*height wide on the 5x7 raster font grid.
+      box.Extend(offset_x + 0.6 * a * static_cast<double>(text.size()), offset_y + a);
+      break;
+  }
+  return box;
+}
+
+Drawable MakePoint(Color color, int thickness) {
+  Drawable d;
+  d.kind = DrawableKind::kPoint;
+  d.color = color;
+  d.style.thickness = thickness;
+  return d;
+}
+
+Drawable MakeLine(double dx, double dy, Color color, int thickness) {
+  Drawable d;
+  d.kind = DrawableKind::kLine;
+  d.color = color;
+  d.style.thickness = thickness;
+  d.a = dx;
+  d.b = dy;
+  return d;
+}
+
+Drawable MakeRectangle(double width, double height, Color color, FillMode fill) {
+  Drawable d;
+  d.kind = DrawableKind::kRectangle;
+  d.color = color;
+  d.style.fill = fill;
+  d.a = width;
+  d.b = height;
+  return d;
+}
+
+Drawable MakeCircle(double radius, Color color, FillMode fill) {
+  Drawable d;
+  d.kind = DrawableKind::kCircle;
+  d.color = color;
+  d.style.fill = fill;
+  d.a = radius;
+  return d;
+}
+
+Drawable MakePolygon(std::vector<Point> points, Color color, FillMode fill) {
+  Drawable d;
+  d.kind = DrawableKind::kPolygon;
+  d.color = color;
+  d.style.fill = fill;
+  d.points = std::move(points);
+  return d;
+}
+
+Drawable MakeText(std::string text, double height, Color color) {
+  Drawable d;
+  d.kind = DrawableKind::kText;
+  d.color = color;
+  d.text = std::move(text);
+  d.a = height;
+  return d;
+}
+
+Drawable MakeViewer(double width, double height, WormholeSpec wormhole) {
+  Drawable d;
+  d.kind = DrawableKind::kViewer;
+  d.a = width;
+  d.b = height;
+  d.wormhole = std::move(wormhole);
+  return d;
+}
+
+DrawableList MakeDrawableList(std::vector<Drawable> drawables) {
+  return std::make_shared<const std::vector<Drawable>>(std::move(drawables));
+}
+
+BBox DrawableListBounds(const DrawableList& list) {
+  BBox box{0, 0, 0, 0};
+  if (list == nullptr || list->empty()) return box;
+  box = (*list)[0].Bounds();
+  for (size_t i = 1; i < list->size(); ++i) box.Union((*list)[i].Bounds());
+  return box;
+}
+
+DrawableList CombineDrawableLists(const DrawableList& first, const DrawableList& second,
+                                  double offset_x, double offset_y) {
+  std::vector<Drawable> combined;
+  if (first != nullptr) combined = *first;
+  if (second != nullptr) {
+    for (Drawable d : *second) {
+      d.offset_x += offset_x;
+      d.offset_y += offset_y;
+      combined.push_back(std::move(d));
+    }
+  }
+  return MakeDrawableList(std::move(combined));
+}
+
+bool DrawableListEquals(const DrawableList& a, const DrawableList& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return (a == nullptr || a->empty()) && (b == nullptr || b->empty());
+  return *a == *b;
+}
+
+std::string DrawableListToString(const DrawableList& list) {
+  std::string out = "[";
+  if (list != nullptr) {
+    for (size_t i = 0; i < list->size(); ++i) {
+      if (i > 0) out += ", ";
+      const Drawable& d = (*list)[i];
+      out += DrawableKindToString(d.kind);
+      switch (d.kind) {
+        case DrawableKind::kCircle:
+          out += "(r=" + FormatDouble(d.a) + "," + ColorToHex(d.color) + ")";
+          break;
+        case DrawableKind::kText:
+          out += "(" + QuoteString(d.text) + ")";
+          break;
+        case DrawableKind::kRectangle:
+        case DrawableKind::kViewer:
+        case DrawableKind::kLine:
+          out += "(" + FormatDouble(d.a) + "x" + FormatDouble(d.b) + ")";
+          break;
+        case DrawableKind::kPolygon:
+          out += "(" + std::to_string(d.points.size()) + " pts)";
+          break;
+        case DrawableKind::kPoint:
+          break;
+      }
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace tioga2::draw

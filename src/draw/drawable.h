@@ -1,0 +1,150 @@
+#ifndef TIOGA2_DRAW_DRAWABLE_H_
+#define TIOGA2_DRAW_DRAWABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "draw/color.h"
+
+namespace tioga2::draw {
+
+/// A 2-D point in world coordinates.
+struct Point {
+  double x = 0;
+  double y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) = default;
+};
+
+/// Axis-aligned bounding box in world coordinates.
+struct BBox {
+  double min_x = 0;
+  double min_y = 0;
+  double max_x = 0;
+  double max_y = 0;
+
+  /// Expands this box to cover `other`.
+  void Union(const BBox& other);
+  /// Expands this box to cover point (x, y).
+  void Extend(double x, double y);
+  /// True iff (x, y) lies inside (inclusive).
+  bool Contains(double x, double y) const;
+  /// True iff the two boxes overlap (inclusive).
+  bool Intersects(const BBox& other) const;
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+
+  friend bool operator==(const BBox& a, const BBox& b) = default;
+};
+
+/// Stroke pattern of a drawable's outline.
+enum class LineStyle { kSolid, kDashed, kDotted };
+
+/// Whether a closed shape is filled or stroked.
+enum class FillMode { kOutline, kFilled };
+
+/// Visual style carried by every primitive drawable (§5.1).
+struct Style {
+  LineStyle line = LineStyle::kSolid;
+  FillMode fill = FillMode::kOutline;
+  int thickness = 1;
+
+  friend bool operator==(const Style& a, const Style& b) = default;
+};
+
+/// The primitive drawables of §5.1: "point, line, rectangle, circle,
+/// polygon, text, and viewer". A viewer drawable implements a wormhole (§6.2).
+enum class DrawableKind { kPoint, kLine, kRectangle, kCircle, kPolygon, kText, kViewer };
+
+/// Returns e.g. "circle" for kCircle.
+std::string DrawableKindToString(DrawableKind kind);
+
+/// Parses the inverse of DrawableKindToString; returns false if unknown.
+bool DrawableKindFromString(const std::string& text, DrawableKind* out);
+
+/// Parameters of a viewer drawable (§6.2): "a viewer drawable requires
+/// several parameters, including the size for the viewer, a destination
+/// canvas, the elevation from which the canvas is viewed, and the initial
+/// location". The destination is referenced by canvas name, resolved by the
+/// viewer runtime when the user flies through.
+struct WormholeSpec {
+  std::string destination_canvas;
+  double initial_x = 0;
+  double initial_y = 0;
+  double elevation = 1.0;
+
+  friend bool operator==(const WormholeSpec& a, const WormholeSpec& b) = default;
+};
+
+/// One primitive drawable. The interpretation of the geometry fields depends
+/// on `kind`:
+///   kPoint     — a dot of `style.thickness` pixels at the offset.
+///   kLine      — a segment from the offset to offset + (a, b).
+///   kRectangle — width `a`, height `b`, lower-left corner at the offset.
+///   kCircle    — radius `a`, centered at the offset.
+///   kPolygon   — vertices `points` relative to the offset.
+///   kText      — string `text` at height `a` world units, anchored at offset.
+///   kViewer    — a wormhole window of width `a`, height `b`; see `wormhole`.
+///
+/// The offset positions the drawable relative to the tuple's location
+/// attributes so that "multiple drawables need not be stacked directly one
+/// atop the other" (§5.1).
+struct Drawable {
+  DrawableKind kind = DrawableKind::kPoint;
+  double offset_x = 0;
+  double offset_y = 0;
+  Color color = kBlack;
+  Style style;
+  double a = 0;
+  double b = 0;
+  std::vector<Point> points;
+  std::string text;
+  WormholeSpec wormhole;
+
+  /// Bounding box in world units, relative to the tuple location (i.e. the
+  /// offset is included but the tuple location is not).
+  BBox Bounds() const;
+
+  friend bool operator==(const Drawable& a, const Drawable& b) = default;
+};
+
+/// Factory helpers for each drawable kind.
+Drawable MakePoint(Color color = kBlack, int thickness = 2);
+Drawable MakeLine(double dx, double dy, Color color = kBlack, int thickness = 1);
+Drawable MakeRectangle(double width, double height, Color color = kBlack,
+                       FillMode fill = FillMode::kOutline);
+Drawable MakeCircle(double radius, Color color = kBlack,
+                    FillMode fill = FillMode::kOutline);
+Drawable MakePolygon(std::vector<Point> points, Color color = kBlack,
+                     FillMode fill = FillMode::kOutline);
+Drawable MakeText(std::string text, double height, Color color = kBlack);
+Drawable MakeViewer(double width, double height, WormholeSpec wormhole);
+
+/// A display attribute value: "a list of primitive drawable objects ...
+/// the list order specifies the drawing order" (§5.1). Shared and immutable
+/// so that copying tuples and values stays cheap.
+using DrawableList = std::shared_ptr<const std::vector<Drawable>>;
+
+/// Builds a DrawableList from drawables.
+DrawableList MakeDrawableList(std::vector<Drawable> drawables);
+
+/// The union of the member drawables' bounds; the empty list yields a
+/// degenerate box at the origin.
+BBox DrawableListBounds(const DrawableList& list);
+
+/// Concatenates two display lists; `second` draws after (on top of) `first`.
+/// `offset` shifts every drawable of `second` — this is the Combine Displays
+/// primitive of §5.3.
+DrawableList CombineDrawableLists(const DrawableList& first, const DrawableList& second,
+                                  double offset_x, double offset_y);
+
+/// Structural equality (drawable lists compare by contents, not pointer).
+bool DrawableListEquals(const DrawableList& a, const DrawableList& b);
+
+/// Human-readable one-line rendering, e.g. "[circle(r=2,#c81e1e), text(\"LAX\")]".
+std::string DrawableListToString(const DrawableList& list);
+
+}  // namespace tioga2::draw
+
+#endif  // TIOGA2_DRAW_DRAWABLE_H_

@@ -1,0 +1,262 @@
+#include "expr/analyzer.h"
+
+#include <utility>
+#include <vector>
+
+#include "expr/builtins.h"
+
+namespace tioga2::expr {
+
+using types::DataType;
+
+TypeEnv MakeSchemaTypeEnv(
+    const std::vector<std::pair<std::string, DataType>>& columns) {
+  return [columns](const std::string& name) -> std::optional<AttrInfo> {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].first == name) return AttrInfo{columns[i].second, i};
+    }
+    return std::nullopt;
+  };
+}
+
+namespace {
+
+bool IsNullLiteral(const ExprNode& node) {
+  return node.kind == ExprNode::Kind::kLiteral && node.literal.is_null();
+}
+
+std::string At(const ExprNode& node) {
+  return " at offset " + std::to_string(node.position);
+}
+
+bool IsNumeric(DataType t) { return t == DataType::kInt || t == DataType::kFloat; }
+
+/// Unifies the types of two sibling subexpressions (if/coalesce branches,
+/// comparison operands). Null literals adopt the other side's type.
+Result<DataType> Unify(ExprNode* a, ExprNode* b) {
+  if (IsNullLiteral(*a) && IsNullLiteral(*b)) {
+    return Status::TypeError("cannot infer a type for null" + At(*a));
+  }
+  if (IsNullLiteral(*a)) {
+    a->result_type = b->result_type;
+    return b->result_type;
+  }
+  if (IsNullLiteral(*b)) {
+    b->result_type = a->result_type;
+    return a->result_type;
+  }
+  if (a->result_type == b->result_type) return a->result_type;
+  if (IsNumeric(a->result_type) && IsNumeric(b->result_type)) return DataType::kFloat;
+  return Status::TypeError("mismatched types " +
+                           types::DataTypeToString(a->result_type) + " and " +
+                           types::DataTypeToString(b->result_type) + At(*a));
+}
+
+Status AnalyzeCall(ExprNode* node, const TypeEnv& env);
+
+Status Analyze(ExprNode* node, const TypeEnv& env) {
+  switch (node->kind) {
+    case ExprNode::Kind::kLiteral:
+      if (!node->literal.is_null()) node->result_type = node->literal.type();
+      // Null literals get a type from context (Unify) or stay untyped, in
+      // which case evaluation simply yields null.
+      return Status::OK();
+    case ExprNode::Kind::kAttributeRef: {
+      std::optional<AttrInfo> info = env(node->name);
+      if (!info.has_value()) {
+        return Status::NotFound("unknown attribute '" + node->name + "'" + At(*node));
+      }
+      node->result_type = info->type;
+      node->stored_index = info->stored_index;
+      return Status::OK();
+    }
+    case ExprNode::Kind::kUnary: {
+      TIOGA2_RETURN_IF_ERROR(Analyze(node->children[0].get(), env));
+      DataType t = node->children[0]->result_type;
+      if (node->unary_op == UnaryOp::kNeg) {
+        if (!IsNumeric(t) && !IsNullLiteral(*node->children[0])) {
+          return Status::TypeError("unary '-' needs a numeric operand, got " +
+                                   types::DataTypeToString(t) + At(*node));
+        }
+        node->result_type = IsNullLiteral(*node->children[0]) ? DataType::kFloat : t;
+      } else {
+        if (t != DataType::kBool && !IsNullLiteral(*node->children[0])) {
+          return Status::TypeError("'not' needs a bool operand, got " +
+                                   types::DataTypeToString(t) + At(*node));
+        }
+        node->result_type = DataType::kBool;
+      }
+      return Status::OK();
+    }
+    case ExprNode::Kind::kBinary: {
+      ExprNode* lhs = node->children[0].get();
+      ExprNode* rhs = node->children[1].get();
+      TIOGA2_RETURN_IF_ERROR(Analyze(lhs, env));
+      TIOGA2_RETURN_IF_ERROR(Analyze(rhs, env));
+      DataType lt = lhs->result_type;
+      DataType rt = rhs->result_type;
+      switch (node->binary_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          if ((lt != DataType::kBool && !IsNullLiteral(*lhs)) ||
+              (rt != DataType::kBool && !IsNullLiteral(*rhs))) {
+            return Status::TypeError("'and'/'or' need bool operands" + At(*node));
+          }
+          node->result_type = DataType::kBool;
+          return Status::OK();
+        case BinaryOp::kEq:
+        case BinaryOp::kNe: {
+          TIOGA2_ASSIGN_OR_RETURN(DataType unified, Unify(lhs, rhs));
+          (void)unified;
+          node->result_type = DataType::kBool;
+          return Status::OK();
+        }
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          TIOGA2_ASSIGN_OR_RETURN(DataType unified, Unify(lhs, rhs));
+          if (unified == DataType::kDisplay) {
+            return Status::TypeError("display values have no ordering" + At(*node));
+          }
+          node->result_type = DataType::kBool;
+          return Status::OK();
+        }
+        case BinaryOp::kAdd:
+          // Overloaded: numeric+numeric, string+string (concatenation),
+          // display+display (Combine Displays, §5.3), date+int.
+          if (lt == DataType::kString && rt == DataType::kString) {
+            node->result_type = DataType::kString;
+            return Status::OK();
+          }
+          if (lt == DataType::kDisplay && rt == DataType::kDisplay) {
+            node->result_type = DataType::kDisplay;
+            return Status::OK();
+          }
+          if (lt == DataType::kDate && rt == DataType::kInt) {
+            node->result_type = DataType::kDate;
+            return Status::OK();
+          }
+          [[fallthrough]];
+        case BinaryOp::kSub:
+          if (node->binary_op == BinaryOp::kSub) {
+            if (lt == DataType::kDate && rt == DataType::kDate) {
+              node->result_type = DataType::kInt;  // difference in days
+              return Status::OK();
+            }
+            if (lt == DataType::kDate && rt == DataType::kInt) {
+              node->result_type = DataType::kDate;
+              return Status::OK();
+            }
+          }
+          [[fallthrough]];
+        case BinaryOp::kMul:
+          if (IsNumeric(lt) && IsNumeric(rt)) {
+            node->result_type = (lt == DataType::kInt && rt == DataType::kInt)
+                                    ? DataType::kInt
+                                    : DataType::kFloat;
+            return Status::OK();
+          }
+          return Status::TypeError(
+              "operator '" + BinaryOpToString(node->binary_op) + "' cannot combine " +
+              types::DataTypeToString(lt) + " and " + types::DataTypeToString(rt) +
+              At(*node));
+        case BinaryOp::kDiv:
+          if (IsNumeric(lt) && IsNumeric(rt)) {
+            node->result_type = DataType::kFloat;
+            return Status::OK();
+          }
+          return Status::TypeError("'/' needs numeric operands" + At(*node));
+        case BinaryOp::kMod:
+          if (lt == DataType::kInt && rt == DataType::kInt) {
+            node->result_type = DataType::kInt;
+            return Status::OK();
+          }
+          return Status::TypeError("'%' needs int operands" + At(*node));
+      }
+      return Status::Internal("unhandled binary op");
+    }
+    case ExprNode::Kind::kCall:
+      return AnalyzeCall(node, env);
+  }
+  return Status::Internal("unhandled expression node kind");
+}
+
+Status AnalyzeCall(ExprNode* node, const TypeEnv& env) {
+  for (ExprNodePtr& child : node->children) {
+    TIOGA2_RETURN_IF_ERROR(Analyze(child.get(), env));
+  }
+
+  // Special forms with context-dependent result types.
+  if (node->name == "if") {
+    if (node->children.size() != 3) {
+      return Status::TypeError("if() takes (condition, then, else)" + At(*node));
+    }
+    if (node->children[0]->result_type != DataType::kBool &&
+        !IsNullLiteral(*node->children[0])) {
+      return Status::TypeError("if() condition must be bool" + At(*node));
+    }
+    TIOGA2_ASSIGN_OR_RETURN(
+        DataType unified, Unify(node->children[1].get(), node->children[2].get()));
+    node->result_type = unified;
+    return Status::OK();
+  }
+  if (node->name == "coalesce") {
+    if (node->children.size() != 2) {
+      return Status::TypeError("coalesce() takes two arguments" + At(*node));
+    }
+    TIOGA2_ASSIGN_OR_RETURN(
+        DataType unified, Unify(node->children[0].get(), node->children[1].get()));
+    node->result_type = unified;
+    return Status::OK();
+  }
+
+  const std::vector<const BuiltinOverload*>& overloads = LookupBuiltins(node->name);
+  if (overloads.empty()) {
+    return Status::NotFound("unknown function '" + node->name + "'" + At(*node));
+  }
+  for (const BuiltinOverload* overload : overloads) {
+    size_t fixed = overload->params.size();
+    bool arity_ok = overload->variadic_tail ? node->children.size() >= fixed
+                                            : node->children.size() == fixed;
+    if (!arity_ok) continue;
+    bool types_ok = true;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      ParamType param = overload->params[std::min(i, fixed - 1)];
+      const ExprNode& arg = *node->children[i];
+      if (IsNullLiteral(arg)) continue;  // null binds to any parameter
+      if (!ParamMatches(param, arg.result_type)) {
+        types_ok = false;
+        break;
+      }
+    }
+    if (!types_ok) continue;
+    node->overload = overload;
+    if (overload->result_rule == ResultRule::kNumericPromote) {
+      bool all_int = true;
+      for (const ExprNodePtr& arg : node->children) {
+        if (arg->result_type != DataType::kInt) all_int = false;
+      }
+      node->result_type = all_int ? DataType::kInt : DataType::kFloat;
+    } else {
+      node->result_type = overload->result_type;
+    }
+    return Status::OK();
+  }
+  std::string got = "(";
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    if (i > 0) got += ", ";
+    got += IsNullLiteral(*node->children[i])
+               ? "null"
+               : types::DataTypeToString(node->children[i]->result_type);
+  }
+  got += ")";
+  return Status::TypeError("no overload of '" + node->name + "' matches arguments " +
+                           got + At(*node));
+}
+
+}  // namespace
+
+Status AnalyzeExpr(ExprNode* node, const TypeEnv& env) { return Analyze(node, env); }
+
+}  // namespace tioga2::expr

@@ -1,0 +1,41 @@
+#ifndef TIOGA2_EXPR_ANALYZER_H_
+#define TIOGA2_EXPR_ANALYZER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "expr/ast.h"
+
+namespace tioga2::expr {
+
+/// What the analyzer knows about one attribute visible to an expression.
+struct AttrInfo {
+  types::DataType type;
+  /// Index of the attribute in the stored tuple, or nullopt for a computed
+  /// attribute that the evaluator must fetch by name (the "methods defining
+  /// additional attributes" of §2).
+  std::optional<size_t> stored_index;
+};
+
+/// Maps attribute names to their type/location; returns nullopt for unknown
+/// names. Supplied by the relation layer (stored columns) or the display
+/// layer (stored columns + computed attributes).
+using TypeEnv = std::function<std::optional<AttrInfo>(const std::string&)>;
+
+/// Builds a TypeEnv over a bare schema-like column list: name i maps to
+/// stored index i.
+TypeEnv MakeSchemaTypeEnv(const std::vector<std::pair<std::string, types::DataType>>& columns);
+
+/// Type-checks `node` in `env`, filling in result_type, stored_index, and
+/// overload annotations. On success the tree is ready for EvalExpr.
+///
+/// Special forms handled here (not in the builtin registry):
+///   if(cond, a, b)   — cond:bool; result unifies a and b.
+///   coalesce(a, b)   — result unifies a and b.
+Status AnalyzeExpr(ExprNode* node, const TypeEnv& env);
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_ANALYZER_H_

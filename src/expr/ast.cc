@@ -1,0 +1,95 @@
+#include "expr/ast.h"
+
+namespace tioga2::expr {
+
+std::string BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+ExprNodePtr CloneExpr(const ExprNode& node) {
+  auto copy = std::make_unique<ExprNode>();
+  copy->kind = node.kind;
+  copy->literal = node.literal;
+  copy->name = node.name;
+  copy->unary_op = node.unary_op;
+  copy->binary_op = node.binary_op;
+  copy->position = node.position;
+  copy->result_type = node.result_type;
+  copy->stored_index = node.stored_index;
+  copy->overload = node.overload;
+  copy->children.reserve(node.children.size());
+  for (const ExprNodePtr& child : node.children) {
+    copy->children.push_back(CloneExpr(*child));
+  }
+  return copy;
+}
+
+std::string ExprToString(const ExprNode& node) {
+  switch (node.kind) {
+    case ExprNode::Kind::kLiteral:
+      return node.literal.ToString();
+    case ExprNode::Kind::kAttributeRef:
+      return node.name;
+    case ExprNode::Kind::kUnary:
+      if (node.unary_op == UnaryOp::kNeg) {
+        return "(-" + ExprToString(*node.children[0]) + ")";
+      }
+      return "(not " + ExprToString(*node.children[0]) + ")";
+    case ExprNode::Kind::kBinary:
+      return "(" + ExprToString(*node.children[0]) + " " +
+             BinaryOpToString(node.binary_op) + " " + ExprToString(*node.children[1]) +
+             ")";
+    case ExprNode::Kind::kCall: {
+      std::string out = node.name + "(";
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ExprToString(*node.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+void CollectRefs(const ExprNode& node, std::vector<std::string>* out) {
+  if (node.kind == ExprNode::Kind::kAttributeRef) out->push_back(node.name);
+  for (const ExprNodePtr& child : node.children) CollectRefs(*child, out);
+}
+}  // namespace
+
+std::vector<std::string> CollectAttributeRefs(const ExprNode& node) {
+  std::vector<std::string> refs;
+  CollectRefs(node, &refs);
+  return refs;
+}
+
+Status RemapStoredAttributeIndices(
+    ExprNode* node, const std::function<Result<size_t>(size_t)>& remap) {
+  if (node->kind == ExprNode::Kind::kAttributeRef && node->stored_index.has_value()) {
+    TIOGA2_ASSIGN_OR_RETURN(size_t new_index, remap(*node->stored_index));
+    node->stored_index = new_index;
+  }
+  for (ExprNodePtr& child : node->children) {
+    TIOGA2_RETURN_IF_ERROR(RemapStoredAttributeIndices(child.get(), remap));
+  }
+  return Status::OK();
+}
+
+}  // namespace tioga2::expr

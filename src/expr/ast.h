@@ -1,0 +1,76 @@
+#ifndef TIOGA2_EXPR_AST_H_
+#define TIOGA2_EXPR_AST_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace tioga2::expr {
+
+struct BuiltinOverload;  // builtins.h
+
+/// Binary operators, lowest-level IR of the expression language.
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMod, kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+
+/// Unary operators.
+enum class UnaryOp { kNeg, kNot };
+
+/// Surface syntax of a binary operator, e.g. "+".
+std::string BinaryOpToString(BinaryOp op);
+
+/// A node in an expression tree. A single tagged struct keeps the walker
+/// code small; only the fields relevant to `kind` are meaningful.
+struct ExprNode {
+  enum class Kind { kLiteral, kAttributeRef, kUnary, kBinary, kCall };
+
+  Kind kind = Kind::kLiteral;
+
+  // kLiteral
+  types::Value literal;
+
+  // kAttributeRef: attribute name; kCall: function name.
+  std::string name;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+
+  // Operands / call arguments.
+  std::vector<std::unique_ptr<ExprNode>> children;
+
+  size_t position = 0;  // source offset, for diagnostics
+
+  // ---- Filled in by the analyzer ----
+  types::DataType result_type = types::DataType::kBool;
+  // kAttributeRef: position in the stored schema, if the attribute is stored;
+  // nullopt means a computed attribute resolved by name at evaluation time.
+  std::optional<size_t> stored_index;
+  // kCall: the resolved builtin overload.
+  const BuiltinOverload* overload = nullptr;
+};
+
+using ExprNodePtr = std::unique_ptr<ExprNode>;
+
+/// Deep copy.
+ExprNodePtr CloneExpr(const ExprNode& node);
+
+/// Re-parseable source rendering (parenthesized conservatively).
+std::string ExprToString(const ExprNode& node);
+
+/// Names of all attributes referenced anywhere in the tree.
+std::vector<std::string> CollectAttributeRefs(const ExprNode& node);
+
+/// Rewrites every stored attribute index in the tree through `remap`
+/// (used when a projection renumbers the base schema). `remap` returns the
+/// new index or an error if the referenced column was dropped.
+Status RemapStoredAttributeIndices(
+    ExprNode* node, const std::function<Result<size_t>(size_t)>& remap);
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_AST_H_

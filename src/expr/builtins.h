@@ -1,0 +1,59 @@
+#ifndef TIOGA2_EXPR_BUILTINS_H_
+#define TIOGA2_EXPR_BUILTINS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace tioga2::expr {
+
+/// Parameter type pattern for overload matching.
+enum class ParamType {
+  kBool,
+  kInt,
+  kFloat,    // accepts int via implicit widening
+  kString,
+  kDate,
+  kDisplay,
+  kNumeric,  // int or float, passed through unwidened
+  kAny,
+};
+
+/// How the result type of a call is derived.
+enum class ResultRule {
+  kFixed,           // always `result_type`
+  kNumericPromote,  // int if all numeric arguments are int, else float
+};
+
+/// One callable overload of a builtin function. Builtins are the "big
+/// programmer" extension point retained from Tioga (§1.2 principle 5):
+/// expression-level functions registered once and usable in any box.
+struct BuiltinOverload {
+  std::string name;
+  std::vector<ParamType> params;
+  /// If true, the final entry of `params` may repeat zero or more times
+  /// (used by polygon(x1, y1, x2, y2, ...)).
+  bool variadic_tail = false;
+  ResultRule result_rule = ResultRule::kFixed;
+  types::DataType result_type = types::DataType::kFloat;
+  /// If true, the implementation receives null arguments verbatim; otherwise
+  /// any null argument makes the call evaluate to null without invoking it.
+  bool null_opaque = false;
+  std::function<Result<types::Value>(const std::vector<types::Value>&)> eval;
+};
+
+/// True iff a value of `type` may be bound to `param` (identity or int→float).
+bool ParamMatches(ParamType param, types::DataType type);
+
+/// All overloads registered under `name` (empty if unknown).
+const std::vector<const BuiltinOverload*>& LookupBuiltins(const std::string& name);
+
+/// Names of every registered builtin, sorted (for documentation/UI menus).
+std::vector<std::string> AllBuiltinNames();
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_BUILTINS_H_

@@ -1,0 +1,190 @@
+#include "expr/evaluator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "draw/drawable.h"
+#include "expr/builtins.h"
+
+namespace tioga2::expr {
+
+using types::DataType;
+using types::Value;
+
+Result<Value> TupleAccessor::GetStored(size_t index) const {
+  if (index >= tuple_.size()) {
+    return Status::Internal("stored attribute index out of range");
+  }
+  return tuple_[index];
+}
+
+Result<Value> TupleAccessor::GetNamed(const std::string& name) const {
+  return Status::NotFound("no computed attribute '" + name +
+                          "' on a plain relation tuple");
+}
+
+namespace {
+
+Result<Value> EvalBinary(const ExprNode& node, const RowAccessor& row);
+Result<Value> EvalCall(const ExprNode& node, const RowAccessor& row);
+
+Result<Value> Eval(const ExprNode& node, const RowAccessor& row) {
+  switch (node.kind) {
+    case ExprNode::Kind::kLiteral:
+      return node.literal;
+    case ExprNode::Kind::kAttributeRef:
+      if (node.stored_index.has_value()) return row.GetStored(*node.stored_index);
+      return row.GetNamed(node.name);
+    case ExprNode::Kind::kUnary: {
+      TIOGA2_ASSIGN_OR_RETURN(Value v, Eval(*node.children[0], row));
+      if (v.is_null()) return Value::Null();
+      if (node.unary_op == UnaryOp::kNeg) {
+        if (v.is_int()) return Value::Int(-v.int_value());
+        return Value::Float(-v.float_value());
+      }
+      return Value::Bool(!v.bool_value());
+    }
+    case ExprNode::Kind::kBinary:
+      return EvalBinary(node, row);
+    case ExprNode::Kind::kCall:
+      return EvalCall(node, row);
+  }
+  return Status::Internal("unhandled node kind in EvalExpr");
+}
+
+Result<Value> EvalBinary(const ExprNode& node, const RowAccessor& row) {
+  BinaryOp op = node.binary_op;
+
+  // Three-valued and/or with short-circuiting.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    TIOGA2_ASSIGN_OR_RETURN(Value lhs, Eval(*node.children[0], row));
+    if (!lhs.is_null()) {
+      bool l = lhs.bool_value();
+      if (op == BinaryOp::kAnd && !l) return Value::Bool(false);
+      if (op == BinaryOp::kOr && l) return Value::Bool(true);
+    }
+    TIOGA2_ASSIGN_OR_RETURN(Value rhs, Eval(*node.children[1], row));
+    if (rhs.is_null()) {
+      // lhs is null or the neutral element; result is null unless rhs decides.
+      return Value::Null();
+    }
+    bool r = rhs.bool_value();
+    if (op == BinaryOp::kAnd && !r) return Value::Bool(false);
+    if (op == BinaryOp::kOr && r) return Value::Bool(true);
+    if (lhs.is_null()) return Value::Null();
+    return Value::Bool(op == BinaryOp::kAnd ? (lhs.bool_value() && r)
+                                            : (lhs.bool_value() || r));
+  }
+
+  TIOGA2_ASSIGN_OR_RETURN(Value lhs, Eval(*node.children[0], row));
+  TIOGA2_ASSIGN_OR_RETURN(Value rhs, Eval(*node.children[1], row));
+
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      bool eq = lhs.Equals(rhs);
+      return Value::Bool(op == BinaryOp::kEq ? eq : !eq);
+    }
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      TIOGA2_ASSIGN_OR_RETURN(int cmp, lhs.Compare(rhs));
+      switch (op) {
+        case BinaryOp::kLt: return Value::Bool(cmp < 0);
+        case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+        case BinaryOp::kGt: return Value::Bool(cmp > 0);
+        default: return Value::Bool(cmp >= 0);
+      }
+    }
+    default:
+      break;
+  }
+
+  // Arithmetic: null-propagating.
+  if (lhs.is_null() || rhs.is_null()) return Value::Null();
+
+  // String concatenation.
+  if (op == BinaryOp::kAdd && lhs.is_string() && rhs.is_string()) {
+    return Value::String(lhs.string_value() + rhs.string_value());
+  }
+  // Display combination (Combine Displays at zero offset; use offset() for
+  // an explicit offset).
+  if (op == BinaryOp::kAdd && lhs.is_display() && rhs.is_display()) {
+    return Value::Display(
+        draw::CombineDrawableLists(lhs.display_value(), rhs.display_value(), 0, 0));
+  }
+  // Date arithmetic.
+  if (lhs.is_date()) {
+    if (op == BinaryOp::kAdd && rhs.is_int()) {
+      return Value::DateVal(lhs.date_value().AddDays(rhs.int_value()));
+    }
+    if (op == BinaryOp::kSub && rhs.is_int()) {
+      return Value::DateVal(lhs.date_value().AddDays(-rhs.int_value()));
+    }
+    if (op == BinaryOp::kSub && rhs.is_date()) {
+      return Value::Int(lhs.date_value().DaysValue() - rhs.date_value().DaysValue());
+    }
+  }
+
+  bool both_int = lhs.is_int() && rhs.is_int();
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (both_int) return Value::Int(lhs.int_value() + rhs.int_value());
+      return Value::Float(lhs.AsDouble() + rhs.AsDouble());
+    case BinaryOp::kSub:
+      if (both_int) return Value::Int(lhs.int_value() - rhs.int_value());
+      return Value::Float(lhs.AsDouble() - rhs.AsDouble());
+    case BinaryOp::kMul:
+      if (both_int) return Value::Int(lhs.int_value() * rhs.int_value());
+      return Value::Float(lhs.AsDouble() * rhs.AsDouble());
+    case BinaryOp::kDiv: {
+      double denominator = rhs.AsDouble();
+      if (denominator == 0) return Value::Null();
+      return Value::Float(lhs.AsDouble() / denominator);
+    }
+    case BinaryOp::kMod: {
+      if (rhs.int_value() == 0) return Value::Null();
+      return Value::Int(lhs.int_value() % rhs.int_value());
+    }
+    default:
+      return Status::Internal("unhandled binary operator at evaluation");
+  }
+}
+
+Result<Value> EvalCall(const ExprNode& node, const RowAccessor& row) {
+  // Special forms.
+  if (node.name == "if") {
+    TIOGA2_ASSIGN_OR_RETURN(Value cond, Eval(*node.children[0], row));
+    if (cond.is_null()) return Value::Null();
+    return Eval(*node.children[cond.bool_value() ? 1 : 2], row);
+  }
+  if (node.name == "coalesce") {
+    TIOGA2_ASSIGN_OR_RETURN(Value first, Eval(*node.children[0], row));
+    if (!first.is_null()) return first;
+    return Eval(*node.children[1], row);
+  }
+
+  const BuiltinOverload* overload = node.overload;
+  if (overload == nullptr) {
+    return Status::Internal("call to '" + node.name + "' was not analyzed");
+  }
+  std::vector<Value> args;
+  args.reserve(node.children.size());
+  for (const ExprNodePtr& child : node.children) {
+    TIOGA2_ASSIGN_OR_RETURN(Value v, Eval(*child, row));
+    if (v.is_null() && !overload->null_opaque) return Value::Null();
+    args.push_back(std::move(v));
+  }
+  return overload->eval(args);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const ExprNode& node, const RowAccessor& row) {
+  return Eval(node, row);
+}
+
+}  // namespace tioga2::expr

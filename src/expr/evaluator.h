@@ -1,0 +1,50 @@
+#ifndef TIOGA2_EXPR_EVALUATOR_H_
+#define TIOGA2_EXPR_EVALUATOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "db/relation.h"
+#include "expr/ast.h"
+
+namespace tioga2::expr {
+
+/// Supplies attribute values for one tuple during expression evaluation.
+/// The relation layer implements it over a stored tuple; the display layer
+/// adds computed attributes (location/display methods) with memoization.
+class RowAccessor {
+ public:
+  virtual ~RowAccessor() = default;
+
+  /// Value of the stored attribute at `index` (resolved by the analyzer).
+  virtual Result<types::Value> GetStored(size_t index) const = 0;
+
+  /// Value of the computed attribute `name`.
+  virtual Result<types::Value> GetNamed(const std::string& name) const = 0;
+};
+
+/// RowAccessor over a plain stored tuple. GetNamed fails: a bare relation
+/// has no computed attributes.
+class TupleAccessor : public RowAccessor {
+ public:
+  /// `tuple` must outlive the accessor.
+  explicit TupleAccessor(const db::Tuple& tuple) : tuple_(tuple) {}
+
+  Result<types::Value> GetStored(size_t index) const override;
+  Result<types::Value> GetNamed(const std::string& name) const override;
+
+ private:
+  const db::Tuple& tuple_;
+};
+
+/// Evaluates an analyzed expression tree for one row.
+///
+/// Null semantics (SQL-flavored): arithmetic and comparisons with a null
+/// operand yield null; and/or are three-valued (false and null = false,
+/// true or null = true); division or modulo by zero yields null rather than
+/// an error so that one bad tuple cannot take down a visualization.
+Result<types::Value> EvalExpr(const ExprNode& node, const RowAccessor& row);
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_EVALUATOR_H_

@@ -1,0 +1,34 @@
+#include "expr/expr.h"
+
+#include "expr/optimizer.h"
+#include "expr/parser.h"
+
+namespace tioga2::expr {
+
+Result<CompiledExpr> CompiledExpr::Compile(const std::string& source,
+                                           const TypeEnv& env) {
+  TIOGA2_ASSIGN_OR_RETURN(ExprNodePtr ast, ParseExpr(source));
+  TIOGA2_RETURN_IF_ERROR(AnalyzeExpr(ast.get(), env));
+  TIOGA2_RETURN_IF_ERROR(FoldConstants(ast.get()).status());
+  return CompiledExpr(std::move(ast), source);
+}
+
+Result<CompiledExpr> CompiledExpr::FromAst(ExprNodePtr ast, const TypeEnv& env) {
+  TIOGA2_RETURN_IF_ERROR(AnalyzeExpr(ast.get(), env));
+  std::string source = ExprToString(*ast);  // capture before folding
+  TIOGA2_RETURN_IF_ERROR(FoldConstants(ast.get()).status());
+  return CompiledExpr(std::move(ast), std::move(source));
+}
+
+CompiledExpr::CompiledExpr(const CompiledExpr& other)
+    : root_(CloneExpr(*other.root_)), source_(other.source_) {}
+
+CompiledExpr& CompiledExpr::operator=(const CompiledExpr& other) {
+  if (this != &other) {
+    root_ = CloneExpr(*other.root_);
+    source_ = other.source_;
+  }
+  return *this;
+}
+
+}  // namespace tioga2::expr

@@ -1,0 +1,58 @@
+#ifndef TIOGA2_EXPR_EXPR_H_
+#define TIOGA2_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "expr/analyzer.h"
+#include "expr/ast.h"
+#include "expr/evaluator.h"
+
+namespace tioga2::expr {
+
+/// A parsed, type-checked, ready-to-evaluate expression. This is the unit
+/// in which restriction predicates (§4.2), join predicates, and computed
+/// attribute definitions (§5) are stored inside boxes, and the unit in which
+/// they are serialized into saved programs.
+class CompiledExpr {
+ public:
+  /// Parses and analyzes `source` against `env`.
+  static Result<CompiledExpr> Compile(const std::string& source, const TypeEnv& env);
+
+  /// Analyzes an already-built AST (used by programmatic box construction).
+  static Result<CompiledExpr> FromAst(ExprNodePtr ast, const TypeEnv& env);
+
+  CompiledExpr(const CompiledExpr& other);
+  CompiledExpr& operator=(const CompiledExpr& other);
+  CompiledExpr(CompiledExpr&&) noexcept = default;
+  CompiledExpr& operator=(CompiledExpr&&) noexcept = default;
+
+  /// Result type established by the analyzer.
+  types::DataType result_type() const { return root_->result_type; }
+
+  /// Evaluates for one row.
+  Result<types::Value> Eval(const RowAccessor& row) const {
+    return EvalExpr(*root_, row);
+  }
+
+  /// Re-parseable source form (used for program serialization and display).
+  const std::string& source() const { return source_; }
+
+  const ExprNode& root() const { return *root_; }
+
+  /// Mutable tree access for index remapping after projections. Callers must
+  /// preserve the analyzed invariants (types and overload bindings).
+  ExprNode* mutable_root() { return root_.get(); }
+
+ private:
+  CompiledExpr(ExprNodePtr root, std::string source)
+      : root_(std::move(root)), source_(std::move(source)) {}
+
+  ExprNodePtr root_;
+  std::string source_;
+};
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_EXPR_H_

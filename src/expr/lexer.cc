@@ -1,0 +1,225 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tioga2::expr {
+
+std::string TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kNull: return "'null'";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto push = [&](TokenKind kind, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(source[i])) ++i;
+      std::string word = source.substr(start, i - start);
+      Token t;
+      t.position = start;
+      if (word == "true") {
+        t.kind = TokenKind::kTrue;
+      } else if (word == "false") {
+        t.kind = TokenKind::kFalse;
+      } else if (word == "null") {
+        t.kind = TokenKind::kNull;
+      } else if (word == "and") {
+        t.kind = TokenKind::kAnd;
+      } else if (word == "or") {
+        t.kind = TokenKind::kOr;
+      } else if (word == "not") {
+        t.kind = TokenKind::kNot;
+      } else {
+        t.kind = TokenKind::kIdentifier;
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      if (i < n && source[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t exp_start = i + 1;
+        size_t j = exp_start;
+        if (j < n && (source[j] == '+' || source[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+        }
+      }
+      std::string number = source.substr(start, i - start);
+      Token t;
+      t.position = start;
+      if (is_float) {
+        t.kind = TokenKind::kFloatLiteral;
+        t.float_value = std::strtod(number.c_str(), nullptr);
+      } else {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(number.c_str(), &end, 10);
+        if (errno != 0) {
+          return Status::ParseError("integer literal out of range at offset " +
+                                    std::to_string(start));
+        }
+        t.kind = TokenKind::kIntLiteral;
+        t.int_value = v;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      std::string decoded;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        char d = source[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\\') {
+          if (i + 1 >= n) break;
+          char esc = source[i + 1];
+          if (esc == '\\') {
+            decoded += '\\';
+          } else if (esc == '"') {
+            decoded += '"';
+          } else if (esc == 'n') {
+            decoded += '\n';
+          } else {
+            return Status::ParseError("unknown escape '\\" + std::string(1, esc) +
+                                      "' at offset " + std::to_string(i));
+          }
+          i += 2;
+        } else {
+          decoded += d;
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(decoded);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '+': push(TokenKind::kPlus, start); ++i; break;
+      case '-': push(TokenKind::kMinus, start); ++i; break;
+      case '*': push(TokenKind::kStar, start); ++i; break;
+      case '/': push(TokenKind::kSlash, start); ++i; break;
+      case '%': push(TokenKind::kPercent, start); ++i; break;
+      case '(': push(TokenKind::kLParen, start); ++i; break;
+      case ')': push(TokenKind::kRParen, start); ++i; break;
+      case ',': push(TokenKind::kComma, start); ++i; break;
+      case '=':
+        ++i;
+        if (i < n && source[i] == '=') ++i;
+        push(TokenKind::kEq, start);
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNe, start);
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " + std::to_string(start) +
+                                    " (use 'not' or '!=')");
+        }
+        break;
+      case '<':
+        ++i;
+        if (i < n && source[i] == '=') {
+          push(TokenKind::kLe, start);
+          ++i;
+        } else if (i < n && source[i] == '>') {
+          push(TokenKind::kNe, start);
+          ++i;
+        } else {
+          push(TokenKind::kLt, start);
+        }
+        break;
+      case '>':
+        ++i;
+        if (i < n && source[i] == '=') {
+          push(TokenKind::kGe, start);
+          ++i;
+        } else {
+          push(TokenKind::kGt, start);
+        }
+        break;
+      default:
+        return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace tioga2::expr

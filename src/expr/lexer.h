@@ -1,0 +1,18 @@
+#ifndef TIOGA2_EXPR_LEXER_H_
+#define TIOGA2_EXPR_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/token.h"
+
+namespace tioga2::expr {
+
+/// Tokenizes an expression string. Returns the token list terminated by a
+/// kEnd token, or a ParseError pointing at the offending byte.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_LEXER_H_

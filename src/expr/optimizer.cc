@@ -1,0 +1,80 @@
+#include "expr/optimizer.h"
+
+#include "expr/evaluator.h"
+
+namespace tioga2::expr {
+
+namespace {
+
+/// Accessor for compile-time evaluation: any attribute access means the
+/// subtree is not constant (must not happen — callers check first).
+class NoRowAccessor : public RowAccessor {
+ public:
+  Result<types::Value> GetStored(size_t index) const override {
+    (void)index;
+    return Status::Internal("constant folding touched a stored attribute");
+  }
+  Result<types::Value> GetNamed(const std::string& name) const override {
+    return Status::Internal("constant folding touched attribute '" + name + "'");
+  }
+};
+
+/// Whether this node (with already-constant children) may be evaluated at
+/// compile time.
+bool Foldable(const ExprNode& node) {
+  switch (node.kind) {
+    case ExprNode::Kind::kLiteral:
+    case ExprNode::Kind::kAttributeRef:
+      return false;  // literals need no fold; refs are non-constant
+    case ExprNode::Kind::kUnary:
+    case ExprNode::Kind::kBinary:
+      return true;
+    case ExprNode::Kind::kCall:
+      // Builtins are pure; the special forms (if/coalesce) fold as well.
+      return node.overload != nullptr || node.name == "if" || node.name == "coalesce";
+  }
+  return false;
+}
+
+bool IsLiteral(const ExprNode& node) { return node.kind == ExprNode::Kind::kLiteral; }
+
+Result<size_t> Fold(ExprNode* node) {
+  size_t folded = 0;
+  for (ExprNodePtr& child : node->children) {
+    TIOGA2_ASSIGN_OR_RETURN(size_t child_folds, Fold(child.get()));
+    folded += child_folds;
+  }
+  // A zero-argument call (e.g. point()) is constant; operators always have
+  // operands.
+  bool all_literal_children = node->children.empty()
+                                  ? node->kind == ExprNode::Kind::kCall
+                                  : true;
+  for (const ExprNodePtr& child : node->children) {
+    if (!IsLiteral(*child)) all_literal_children = false;
+  }
+  if (!all_literal_children || !Foldable(*node)) return folded;
+
+  NoRowAccessor no_row;
+  Result<types::Value> value = EvalExpr(*node, no_row);
+  if (!value.ok()) {
+    // Leave the node as-is; the error belongs to evaluation time.
+    return folded;
+  }
+  types::DataType result_type = node->result_type;
+  node->kind = ExprNode::Kind::kLiteral;
+  node->literal = std::move(value).value();
+  node->children.clear();
+  node->name.clear();
+  node->overload = nullptr;
+  node->result_type = result_type;
+  return folded + 1;
+}
+
+}  // namespace
+
+Result<size_t> FoldConstants(ExprNode* node) {
+  if (node == nullptr) return Status::InvalidArgument("node must be non-null");
+  return Fold(node);
+}
+
+}  // namespace tioga2::expr

@@ -1,0 +1,23 @@
+#ifndef TIOGA2_EXPR_OPTIMIZER_H_
+#define TIOGA2_EXPR_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "expr/ast.h"
+
+namespace tioga2::expr {
+
+/// Constant-folds an analyzed expression tree in place: any subtree whose
+/// leaves are all literals evaluates once at compile time and is replaced by
+/// its value. Attribute definitions are evaluated per tuple per render, so
+/// folding e.g. the color ramp endpoints of
+///   circle(0.05, lerp_color("#1e46c8", "#c81e1e", 0.5), true)
+/// removes the whole call from the per-tuple path.
+///
+/// Subtrees whose compile-time evaluation fails (e.g. a malformed color
+/// literal) are left unfolded so the error surfaces at evaluation time with
+/// the usual per-tuple semantics. Returns the number of nodes replaced.
+Result<size_t> FoldConstants(ExprNode* node);
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_OPTIMIZER_H_

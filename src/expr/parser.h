@@ -1,0 +1,27 @@
+#ifndef TIOGA2_EXPR_PARSER_H_
+#define TIOGA2_EXPR_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "expr/ast.h"
+
+namespace tioga2::expr {
+
+/// Parses an expression string into an (unanalyzed) AST.
+///
+/// Grammar (precedence low to high):
+///   expr     := or_expr
+///   or_expr  := and_expr ( "or" and_expr )*
+///   and_expr := not_expr ( "and" not_expr )*
+///   not_expr := "not" not_expr | cmp_expr
+///   cmp_expr := add_expr ( ("="|"!="|"<"|"<="|">"|">=") add_expr )?
+///   add_expr := mul_expr ( ("+"|"-") mul_expr )*
+///   mul_expr := unary ( ("*"|"/"|"%") unary )*
+///   unary    := "-" unary | primary
+///   primary  := literal | identifier | identifier "(" args ")" | "(" expr ")"
+Result<ExprNodePtr> ParseExpr(const std::string& source);
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_PARSER_H_

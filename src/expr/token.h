@@ -1,0 +1,54 @@
+#ifndef TIOGA2_EXPR_TOKEN_H_
+#define TIOGA2_EXPR_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tioga2::expr {
+
+/// Lexical token kinds of the Tioga-2 expression language. The language is
+/// the "general query language" of §5.3 in which restriction predicates,
+/// join predicates, and attribute definitions are written.
+enum class TokenKind {
+  kEnd,
+  kIdentifier,   // column or function name
+  kIntLiteral,   // 42
+  kFloatLiteral, // 3.5
+  kStringLiteral,// "text"
+  kTrue,
+  kFalse,
+  kNull,
+  kAnd,
+  kOr,
+  kNot,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kEq,      // = or ==
+  kNe,      // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLParen,
+  kRParen,
+  kComma,
+};
+
+/// One token with its source position (byte offset, for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier name or decoded string literal
+  int64_t int_value = 0;  // kIntLiteral
+  double float_value = 0; // kFloatLiteral
+  size_t position = 0;
+};
+
+/// Human-readable token name for diagnostics.
+std::string TokenKindToString(TokenKind kind);
+
+}  // namespace tioga2::expr
+
+#endif  // TIOGA2_EXPR_TOKEN_H_

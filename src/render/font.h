@@ -1,0 +1,24 @@
+#ifndef TIOGA2_RENDER_FONT_H_
+#define TIOGA2_RENDER_FONT_H_
+
+#include <array>
+#include <cstdint>
+
+namespace tioga2::render {
+
+/// Glyph metrics of the built-in 5x7 bitmap font used for text drawables.
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+/// Horizontal advance between glyph origins, in glyph cells.
+inline constexpr int kGlyphAdvance = 6;
+
+/// Returns the 7 row bitmasks (bit 4 = leftmost column) for `c`. Characters
+/// without a glyph render as a hollow box.
+const std::array<uint8_t, 7>& GlyphFor(char c);
+
+/// True iff a real glyph (not the fallback box) exists for `c`.
+bool HasGlyph(char c);
+
+}  // namespace tioga2::render
+
+#endif  // TIOGA2_RENDER_FONT_H_

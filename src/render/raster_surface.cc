@@ -1,0 +1,232 @@
+#include "render/raster_surface.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "render/font.h"
+
+namespace tioga2::render {
+
+namespace {
+
+/// True iff this step of a dash pattern should be drawn.
+bool DashOn(const draw::LineStyle style, int step) {
+  switch (style) {
+    case draw::LineStyle::kSolid:
+      return true;
+    case draw::LineStyle::kDashed:
+      return (step / 4) % 2 == 0;
+    case draw::LineStyle::kDotted:
+      return step % 3 == 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+void RasterSurface::PlotDevice(int x, int y, int thickness, const draw::Color& color) {
+  if (thickness <= 1) {
+    if (!transform_.Clipped(x, y)) fb_->Set(x, y, color);
+    return;
+  }
+  int half = thickness / 2;
+  for (int dy = -half; dy <= half; ++dy) {
+    for (int dx = -half; dx <= half; ++dx) {
+      if (!transform_.Clipped(x + dx, y + dy)) fb_->Set(x + dx, y + dy, color);
+    }
+  }
+}
+
+void RasterSurface::Plot(double x, double y, int thickness, const draw::Color& color) {
+  transform_.Apply(&x, &y);
+  PlotDevice(static_cast<int>(std::lround(x)), static_cast<int>(std::lround(y)),
+             thickness, color);
+}
+
+void RasterSurface::DrawPoint(double x, double y, int thickness,
+                              const draw::Color& color) {
+  Plot(x, y, std::max(1, thickness), color);
+}
+
+void RasterSurface::DrawLine(double x1, double y1, double x2, double y2,
+                             const draw::Style& style, const draw::Color& color) {
+  transform_.Apply(&x1, &y1);
+  transform_.Apply(&x2, &y2);
+  int ix1 = static_cast<int>(std::lround(x1));
+  int iy1 = static_cast<int>(std::lround(y1));
+  int ix2 = static_cast<int>(std::lround(x2));
+  int iy2 = static_cast<int>(std::lround(y2));
+
+  int dx = std::abs(ix2 - ix1);
+  int dy = -std::abs(iy2 - iy1);
+  int sx = ix1 < ix2 ? 1 : -1;
+  int sy = iy1 < iy2 ? 1 : -1;
+  int err = dx + dy;
+  int x = ix1;
+  int y = iy1;
+  int step = 0;
+  while (true) {
+    if (DashOn(style.line, step)) PlotDevice(x, y, style.thickness, color);
+    if (x == ix2 && y == iy2) break;
+    int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y += sy;
+    }
+    ++step;
+  }
+}
+
+void RasterSurface::DrawRect(double x, double y, double w, double h,
+                             const draw::Style& style, const draw::Color& color) {
+  if (style.fill == draw::FillMode::kFilled) {
+    double x0 = x;
+    double y0 = y;
+    double x1 = x + w;
+    double y1 = y + h;
+    transform_.Apply(&x0, &y0);
+    transform_.Apply(&x1, &y1);
+    if (x1 < x0) std::swap(x0, x1);
+    if (y1 < y0) std::swap(y0, y1);
+    int ix0 = static_cast<int>(std::lround(x0));
+    int iy0 = static_cast<int>(std::lround(y0));
+    int ix1 = static_cast<int>(std::lround(x1));
+    int iy1 = static_cast<int>(std::lround(y1));
+    for (int py = iy0; py <= iy1; ++py) {
+      for (int px = ix0; px <= ix1; ++px) {
+        if (!transform_.Clipped(px, py)) fb_->Set(px, py, color);
+      }
+    }
+    return;
+  }
+  DrawLine(x, y, x + w, y, style, color);
+  DrawLine(x + w, y, x + w, y + h, style, color);
+  DrawLine(x + w, y + h, x, y + h, style, color);
+  DrawLine(x, y + h, x, y, style, color);
+}
+
+void RasterSurface::DrawCircle(double cx, double cy, double radius,
+                               const draw::Style& style, const draw::Color& color) {
+  transform_.Apply(&cx, &cy);
+  double r = transform_.ApplyLength(radius);
+  int icx = static_cast<int>(std::lround(cx));
+  int icy = static_cast<int>(std::lround(cy));
+  int ir = static_cast<int>(std::lround(std::fabs(r)));
+  if (ir == 0) {
+    PlotDevice(icx, icy, style.thickness, color);
+    return;
+  }
+  if (style.fill == draw::FillMode::kFilled) {
+    for (int dy = -ir; dy <= ir; ++dy) {
+      int span = static_cast<int>(std::floor(std::sqrt(
+          static_cast<double>(ir) * ir - static_cast<double>(dy) * dy)));
+      for (int dx = -span; dx <= span; ++dx) {
+        if (!transform_.Clipped(icx + dx, icy + dy)) {
+          fb_->Set(icx + dx, icy + dy, color);
+        }
+      }
+    }
+    return;
+  }
+  // Midpoint circle.
+  int x = ir;
+  int y = 0;
+  int err = 1 - ir;
+  while (x >= y) {
+    const int px[8] = {icx + x, icx - x, icx + x, icx - x,
+                       icx + y, icx - y, icx + y, icx - y};
+    const int py[8] = {icy + y, icy + y, icy - y, icy - y,
+                       icy + x, icy + x, icy - x, icy - x};
+    for (int i = 0; i < 8; ++i) PlotDevice(px[i], py[i], style.thickness, color);
+    ++y;
+    if (err < 0) {
+      err += 2 * y + 1;
+    } else {
+      --x;
+      err += 2 * (y - x) + 1;
+    }
+  }
+}
+
+void RasterSurface::DrawPolygon(const std::vector<draw::Point>& points,
+                                const draw::Style& style, const draw::Color& color) {
+  if (points.size() < 2) return;
+  if (style.fill == draw::FillMode::kFilled && points.size() >= 3) {
+    // Transform vertices once, then even-odd scanline fill.
+    std::vector<draw::Point> device;
+    device.reserve(points.size());
+    double min_y = 1e300;
+    double max_y = -1e300;
+    for (const draw::Point& p : points) {
+      double x = p.x;
+      double y = p.y;
+      transform_.Apply(&x, &y);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+      device.push_back(draw::Point{x, y});
+    }
+    int iy0 = static_cast<int>(std::ceil(min_y));
+    int iy1 = static_cast<int>(std::floor(max_y));
+    for (int py = iy0; py <= iy1; ++py) {
+      double scan = py + 0.5;
+      std::vector<double> crossings;
+      for (size_t i = 0; i < device.size(); ++i) {
+        const draw::Point& a = device[i];
+        const draw::Point& b = device[(i + 1) % device.size()];
+        if ((a.y <= scan && b.y > scan) || (b.y <= scan && a.y > scan)) {
+          double t = (scan - a.y) / (b.y - a.y);
+          crossings.push_back(a.x + t * (b.x - a.x));
+        }
+      }
+      std::sort(crossings.begin(), crossings.end());
+      for (size_t i = 0; i + 1 < crossings.size(); i += 2) {
+        int px0 = static_cast<int>(std::ceil(crossings[i]));
+        int px1 = static_cast<int>(std::floor(crossings[i + 1]));
+        for (int px = px0; px <= px1; ++px) {
+          if (!transform_.Clipped(px, py)) fb_->Set(px, py, color);
+        }
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    DrawLine(points[i].x, points[i].y, points[i + 1].x, points[i + 1].y, style, color);
+  }
+  if (points.size() >= 3) {
+    DrawLine(points.back().x, points.back().y, points[0].x, points[0].y, style, color);
+  }
+}
+
+void RasterSurface::DrawText(const std::string& text, double x, double y, double height,
+                             const draw::Color& color) {
+  transform_.Apply(&x, &y);
+  double h = transform_.ApplyLength(height);
+  // Integral per-pixel scale keeps glyphs crisp; at least 1.
+  int scale = std::max(1, static_cast<int>(std::lround(h / kGlyphHeight)));
+  int origin_x = static_cast<int>(std::lround(x));
+  // (x, y) anchors the glyph box's bottom-left; rows render upward from it.
+  int origin_y = static_cast<int>(std::lround(y)) - kGlyphHeight * scale + scale;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const std::array<uint8_t, 7>& glyph = GlyphFor(text[i]);
+    int gx = origin_x + static_cast<int>(i) * kGlyphAdvance * scale;
+    for (int row = 0; row < kGlyphHeight; ++row) {
+      uint8_t bits = glyph[static_cast<size_t>(row)];
+      for (int col = 0; col < kGlyphWidth; ++col) {
+        if ((bits & (1 << (4 - col))) == 0) continue;
+        for (int sy = 0; sy < scale; ++sy) {
+          for (int sx = 0; sx < scale; ++sx) {
+            int px = gx + col * scale + sx;
+            int py = origin_y + row * scale + sy;
+            if (!transform_.Clipped(px, py)) fb_->Set(px, py, color);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace tioga2::render

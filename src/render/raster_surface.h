@@ -1,0 +1,54 @@
+#ifndef TIOGA2_RENDER_RASTER_SURFACE_H_
+#define TIOGA2_RENDER_RASTER_SURFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "render/framebuffer.h"
+#include "render/surface.h"
+
+namespace tioga2::render {
+
+/// Software rasterizer drawing into a Framebuffer: Bresenham lines (with
+/// dash patterns), midpoint circles, even-odd scanline polygon fill, and
+/// bitmap-font text.
+class RasterSurface : public Surface {
+ public:
+  /// `framebuffer` must outlive the surface.
+  explicit RasterSurface(Framebuffer* framebuffer) : fb_(framebuffer) {}
+
+  int width() const override { return fb_->width(); }
+  int height() const override { return fb_->height(); }
+
+  void Clear(const draw::Color& color) override { fb_->Clear(color); }
+  void DrawPoint(double x, double y, int thickness, const draw::Color& color) override;
+  void DrawLine(double x1, double y1, double x2, double y2, const draw::Style& style,
+                const draw::Color& color) override;
+  void DrawRect(double x, double y, double w, double h, const draw::Style& style,
+                const draw::Color& color) override;
+  void DrawCircle(double cx, double cy, double radius, const draw::Style& style,
+                  const draw::Color& color) override;
+  void DrawPolygon(const std::vector<draw::Point>& points, const draw::Style& style,
+                   const draw::Color& color) override;
+  void DrawText(const std::string& text, double x, double y, double height,
+                const draw::Color& color) override;
+
+  void PushViewport(const DeviceRect& target, double source_width,
+                    double source_height) override {
+    transform_.Push(target, source_width, source_height);
+  }
+  void PopViewport() override { transform_.Pop(); }
+
+ private:
+  /// Writes a transformed, clipped pixel block of side `thickness`.
+  void Plot(double x, double y, int thickness, const draw::Color& color);
+  /// Plot in already-transformed device coordinates.
+  void PlotDevice(int x, int y, int thickness, const draw::Color& color);
+
+  Framebuffer* fb_;
+  TransformStack transform_;
+};
+
+}  // namespace tioga2::render
+
+#endif  // TIOGA2_RENDER_RASTER_SURFACE_H_

@@ -1,0 +1,53 @@
+#include "render/surface.h"
+
+#include <algorithm>
+
+namespace tioga2::render {
+
+void TransformStack::Push(const DeviceRect& target, double source_width,
+                          double source_height) {
+  const Frame& outer = Top();
+  Frame frame;
+  double sx = source_width > 0 ? target.width / source_width : 1.0;
+  double sy = source_height > 0 ? target.height / source_height : 1.0;
+  // Uniform scale preserves aspect (wormholes show an undistorted view).
+  double s = std::min(sx, sy);
+  frame.scale = outer.scale * s;
+  frame.tx = outer.tx + target.x * outer.scale;
+  frame.ty = outer.ty + target.y * outer.scale;
+  // Clip to the target rect expressed in final device coordinates, and
+  // intersect with any outer clip.
+  frame.clip_x0 = outer.tx + target.x * outer.scale;
+  frame.clip_y0 = outer.ty + target.y * outer.scale;
+  frame.clip_x1 = frame.clip_x0 + target.width * outer.scale;
+  frame.clip_y1 = frame.clip_y0 + target.height * outer.scale;
+  frame.has_clip = true;
+  if (outer.has_clip) {
+    frame.clip_x0 = std::max(frame.clip_x0, outer.clip_x0);
+    frame.clip_y0 = std::max(frame.clip_y0, outer.clip_y0);
+    frame.clip_x1 = std::min(frame.clip_x1, outer.clip_x1);
+    frame.clip_y1 = std::min(frame.clip_y1, outer.clip_y1);
+  }
+  frames_.push_back(frame);
+}
+
+void TransformStack::Pop() {
+  if (!frames_.empty()) frames_.pop_back();
+}
+
+void TransformStack::Apply(double* x, double* y) const {
+  const Frame& frame = Top();
+  *x = *x * frame.scale + frame.tx;
+  *y = *y * frame.scale + frame.ty;
+}
+
+double TransformStack::ApplyLength(double length) const { return length * Top().scale; }
+
+bool TransformStack::Clipped(double x, double y) const {
+  const Frame& frame = Top();
+  if (!frame.has_clip) return false;
+  return x < frame.clip_x0 || x > frame.clip_x1 || y < frame.clip_y0 ||
+         y > frame.clip_y1;
+}
+
+}  // namespace tioga2::render

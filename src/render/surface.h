@@ -1,0 +1,94 @@
+#ifndef TIOGA2_RENDER_SURFACE_H_
+#define TIOGA2_RENDER_SURFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "draw/color.h"
+#include "draw/drawable.h"
+
+namespace tioga2::render {
+
+/// A rectangle in device coordinates (pixels, y grows downward).
+struct DeviceRect {
+  double x = 0;
+  double y = 0;
+  double width = 0;
+  double height = 0;
+};
+
+/// An output backend for rendered canvases. Coordinates are device
+/// coordinates; the viewer layer maps world space through its camera before
+/// calling a Surface. Implementations: RasterSurface (software framebuffer)
+/// and SvgSurface (vector output).
+///
+/// PushViewport/PopViewport establish a nested coordinate frame used by
+/// wormhole drawables (§6.2): everything drawn between the push and the pop
+/// is translated/scaled into `target` as if `source_width`×`source_height`
+/// device units filled it, and clipped to it.
+class Surface {
+ public:
+  virtual ~Surface() = default;
+
+  virtual int width() const = 0;
+  virtual int height() const = 0;
+
+  /// Fills the whole surface with `color`.
+  virtual void Clear(const draw::Color& color) = 0;
+
+  virtual void DrawPoint(double x, double y, int thickness,
+                         const draw::Color& color) = 0;
+  virtual void DrawLine(double x1, double y1, double x2, double y2,
+                        const draw::Style& style, const draw::Color& color) = 0;
+  virtual void DrawRect(double x, double y, double w, double h,
+                        const draw::Style& style, const draw::Color& color) = 0;
+  virtual void DrawCircle(double cx, double cy, double radius,
+                          const draw::Style& style, const draw::Color& color) = 0;
+  /// `points` are absolute device coordinates.
+  virtual void DrawPolygon(const std::vector<draw::Point>& points,
+                           const draw::Style& style, const draw::Color& color) = 0;
+  /// Draws `text` with its baseline-left anchor at (x, y); `height` is the
+  /// glyph height in device units.
+  virtual void DrawText(const std::string& text, double x, double y, double height,
+                        const draw::Color& color) = 0;
+
+  virtual void PushViewport(const DeviceRect& target, double source_width,
+                            double source_height) = 0;
+  virtual void PopViewport() = 0;
+};
+
+/// Shared transform-stack bookkeeping for Surface implementations.
+class TransformStack {
+ public:
+  struct Frame {
+    double scale = 1;
+    double tx = 0;
+    double ty = 0;
+    // Clip rectangle in final device coordinates.
+    double clip_x0 = 0, clip_y0 = 0, clip_x1 = 0, clip_y1 = 0;
+    bool has_clip = false;
+  };
+
+  /// Current composite frame (identity when the stack is empty).
+  const Frame& Top() const { return frames_.empty() ? identity_ : frames_.back(); }
+
+  void Push(const DeviceRect& target, double source_width, double source_height);
+  void Pop();
+
+  /// Maps a point through the current transform.
+  void Apply(double* x, double* y) const;
+  /// Scales a length through the current transform.
+  double ApplyLength(double length) const;
+  /// True iff (x, y) — already transformed — survives the current clip.
+  bool Clipped(double x, double y) const;
+
+  bool Empty() const { return frames_.empty(); }
+
+ private:
+  Frame identity_;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace tioga2::render
+
+#endif  // TIOGA2_RENDER_SURFACE_H_

@@ -1,0 +1,156 @@
+#include "render/svg_surface.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace tioga2::render {
+
+namespace {
+
+std::string F(double v) { return FormatDouble(v); }
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string DashAttr(draw::LineStyle style) {
+  switch (style) {
+    case draw::LineStyle::kSolid:
+      return "";
+    case draw::LineStyle::kDashed:
+      return " stroke-dasharray=\"6,4\"";
+    case draw::LineStyle::kDotted:
+      return " stroke-dasharray=\"1,3\"";
+  }
+  return "";
+}
+
+}  // namespace
+
+SvgSurface::SvgSurface(int width, int height)
+    : width_(std::max(1, width)), height_(std::max(1, height)) {}
+
+void SvgSurface::Clear(const draw::Color& color) {
+  body_.clear();
+  open_groups_ = 0;
+  body_ += "<rect x=\"0\" y=\"0\" width=\"" + std::to_string(width_) + "\" height=\"" +
+           std::to_string(height_) + "\" fill=\"" + draw::ColorToHex(color) + "\"/>\n";
+}
+
+std::string SvgSurface::StyleAttrs(const draw::Style& style,
+                                   const draw::Color& color) const {
+  std::string hex = draw::ColorToHex(color);
+  if (style.fill == draw::FillMode::kFilled) {
+    return " fill=\"" + hex + "\" stroke=\"none\"";
+  }
+  return " fill=\"none\" stroke=\"" + hex + "\" stroke-width=\"" +
+         std::to_string(std::max(1, style.thickness)) + "\"" + DashAttr(style.line);
+}
+
+void SvgSurface::DrawPoint(double x, double y, int thickness, const draw::Color& color) {
+  body_ += "<circle cx=\"" + F(x) + "\" cy=\"" + F(y) + "\" r=\"" +
+           F(std::max(1, thickness) / 2.0) + "\" fill=\"" + draw::ColorToHex(color) +
+           "\"/>\n";
+}
+
+void SvgSurface::DrawLine(double x1, double y1, double x2, double y2,
+                          const draw::Style& style, const draw::Color& color) {
+  body_ += "<line x1=\"" + F(x1) + "\" y1=\"" + F(y1) + "\" x2=\"" + F(x2) +
+           "\" y2=\"" + F(y2) + "\" stroke=\"" + draw::ColorToHex(color) +
+           "\" stroke-width=\"" + std::to_string(std::max(1, style.thickness)) + "\"" +
+           DashAttr(style.line) + "/>\n";
+}
+
+void SvgSurface::DrawRect(double x, double y, double w, double h,
+                          const draw::Style& style, const draw::Color& color) {
+  if (w < 0) {
+    x += w;
+    w = -w;
+  }
+  if (h < 0) {
+    y += h;
+    h = -h;
+  }
+  body_ += "<rect x=\"" + F(x) + "\" y=\"" + F(y) + "\" width=\"" + F(w) +
+           "\" height=\"" + F(h) + "\"" + StyleAttrs(style, color) + "/>\n";
+}
+
+void SvgSurface::DrawCircle(double cx, double cy, double radius,
+                            const draw::Style& style, const draw::Color& color) {
+  body_ += "<circle cx=\"" + F(cx) + "\" cy=\"" + F(cy) + "\" r=\"" +
+           F(std::fabs(radius)) + "\"" + StyleAttrs(style, color) + "/>\n";
+}
+
+void SvgSurface::DrawPolygon(const std::vector<draw::Point>& points,
+                             const draw::Style& style, const draw::Color& color) {
+  if (points.size() < 2) return;
+  std::string coords;
+  for (const draw::Point& p : points) {
+    if (!coords.empty()) coords += " ";
+    coords += F(p.x) + "," + F(p.y);
+  }
+  body_ += "<polygon points=\"" + coords + "\"" + StyleAttrs(style, color) + "/>\n";
+}
+
+void SvgSurface::DrawText(const std::string& text, double x, double y, double height,
+                          const draw::Color& color) {
+  body_ += "<text x=\"" + F(x) + "\" y=\"" + F(y) + "\" font-size=\"" + F(height) +
+           "\" font-family=\"monospace\" fill=\"" + draw::ColorToHex(color) + "\">" +
+           EscapeXml(text) + "</text>\n";
+}
+
+void SvgSurface::PushViewport(const DeviceRect& target, double source_width,
+                              double source_height) {
+  double sx = source_width > 0 ? target.width / source_width : 1.0;
+  double sy = source_height > 0 ? target.height / source_height : 1.0;
+  double s = std::min(sx, sy);
+  int clip_id = clip_counter_++;
+  body_ += "<clipPath id=\"clip" + std::to_string(clip_id) + "\"><rect x=\"" +
+           F(target.x) + "\" y=\"" + F(target.y) + "\" width=\"" + F(target.width) +
+           "\" height=\"" + F(target.height) + "\"/></clipPath>\n";
+  body_ += "<g clip-path=\"url(#clip" + std::to_string(clip_id) + ")\" transform=\"" +
+           "translate(" + F(target.x) + "," + F(target.y) + ") scale(" + F(s) + ")\">\n";
+  ++open_groups_;
+}
+
+void SvgSurface::PopViewport() {
+  if (open_groups_ > 0) {
+    body_ += "</g>\n";
+    --open_groups_;
+  }
+}
+
+std::string SvgSurface::ToSvg() const {
+  std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    std::to_string(width_) + "\" height=\"" + std::to_string(height_) +
+                    "\" viewBox=\"0 0 " + std::to_string(width_) + " " +
+                    std::to_string(height_) + "\">\n";
+  out += body_;
+  for (int i = 0; i < open_groups_; ++i) out += "</g>\n";
+  out += "</svg>\n";
+  return out;
+}
+
+Status SvgSurface::WriteSvg(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << ToSvg();
+  if (!out.good()) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace tioga2::render

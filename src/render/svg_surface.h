@@ -1,0 +1,57 @@
+#ifndef TIOGA2_RENDER_SVG_SURFACE_H_
+#define TIOGA2_RENDER_SVG_SURFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "render/surface.h"
+
+namespace tioga2::render {
+
+/// A vector backend emitting SVG 1.1. Wormhole viewports become nested
+/// <g> elements with clip paths; the output is a faithful, scalable record
+/// of the same draw calls the rasterizer receives.
+class SvgSurface : public Surface {
+ public:
+  SvgSurface(int width, int height);
+
+  int width() const override { return width_; }
+  int height() const override { return height_; }
+
+  void Clear(const draw::Color& color) override;
+  void DrawPoint(double x, double y, int thickness, const draw::Color& color) override;
+  void DrawLine(double x1, double y1, double x2, double y2, const draw::Style& style,
+                const draw::Color& color) override;
+  void DrawRect(double x, double y, double w, double h, const draw::Style& style,
+                const draw::Color& color) override;
+  void DrawCircle(double cx, double cy, double radius, const draw::Style& style,
+                  const draw::Color& color) override;
+  void DrawPolygon(const std::vector<draw::Point>& points, const draw::Style& style,
+                   const draw::Color& color) override;
+  void DrawText(const std::string& text, double x, double y, double height,
+                const draw::Color& color) override;
+
+  void PushViewport(const DeviceRect& target, double source_width,
+                    double source_height) override;
+  void PopViewport() override;
+
+  /// The complete SVG document.
+  std::string ToSvg() const;
+
+  /// Writes the document to a file.
+  Status WriteSvg(const std::string& path) const;
+
+ private:
+  std::string StyleAttrs(const draw::Style& style, const draw::Color& color) const;
+
+  int width_;
+  int height_;
+  int open_groups_ = 0;
+  int clip_counter_ = 0;
+  std::string body_;
+};
+
+}  // namespace tioga2::render
+
+#endif  // TIOGA2_RENDER_SVG_SURFACE_H_

@@ -1,0 +1,58 @@
+#include "tioga2/environment.h"
+
+#include "db/csv.h"
+
+namespace tioga2 {
+
+Environment::Environment() : session_(std::make_unique<ui::Session>(&catalog_)) {}
+
+Status Environment::LoadDemoData(size_t extra_stations, size_t num_days, uint64_t seed) {
+  return data::LoadDemoData(&catalog_, extra_stations, num_days, seed);
+}
+
+Status Environment::ImportCsvTable(const std::string& table, const std::string& path) {
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, db::ReadCsvFile(path));
+  return catalog_.RegisterTable(table, std::move(relation));
+}
+
+Status Environment::ExportCsvTable(const std::string& table, const std::string& path) {
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog_.GetTable(table));
+  return db::WriteCsvFile(*relation, path);
+}
+
+Result<viewer::Viewer*> Environment::GetViewer(const std::string& canvas_name) {
+  auto it = viewers_.find(canvas_name);
+  if (it != viewers_.end()) return it->second.get();
+  auto created = std::make_unique<viewer::Viewer>("viewer:" + canvas_name, canvas_name,
+                                                  &session_->registry());
+  TIOGA2_RETURN_IF_ERROR(created->Refresh());
+  viewer::Viewer* raw = created.get();
+  viewers_[canvas_name] = std::move(created);
+  return raw;
+}
+
+Result<viewer::RenderStats> Environment::RenderViewer(viewer::Viewer* viewer, int width,
+                                                      int height,
+                                                      const std::string& ppm_path) {
+  render::Framebuffer framebuffer(width, height);
+  render::RasterSurface surface(&framebuffer);
+  TIOGA2_ASSIGN_OR_RETURN(viewer::RenderStats stats, viewer->RenderTo(&surface));
+  if (!ppm_path.empty()) {
+    TIOGA2_RETURN_IF_ERROR(framebuffer.WritePpm(ppm_path));
+  }
+  return stats;
+}
+
+Result<std::string> Environment::RenderViewerSvg(viewer::Viewer* viewer, int width,
+                                                 int height,
+                                                 const std::string& svg_path) {
+  render::SvgSurface surface(width, height);
+  surface.Clear(draw::kWhite);
+  TIOGA2_RETURN_IF_ERROR(viewer->RenderTo(&surface).status());
+  if (!svg_path.empty()) {
+    TIOGA2_RETURN_IF_ERROR(surface.WriteSvg(svg_path));
+  }
+  return surface.ToSvg();
+}
+
+}  // namespace tioga2

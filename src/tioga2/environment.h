@@ -1,0 +1,66 @@
+#ifndef TIOGA2_TIOGA2_ENVIRONMENT_H_
+#define TIOGA2_TIOGA2_ENVIRONMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "data/generators.h"
+#include "db/catalog.h"
+#include "render/framebuffer.h"
+#include "render/raster_surface.h"
+#include "render/svg_surface.h"
+#include "ui/session.h"
+#include "viewer/viewer.h"
+
+namespace tioga2 {
+
+/// The top-level facade tying the whole system together: a catalog, a
+/// direct-manipulation session over one boxes-and-arrows program, and the
+/// viewers looking at its canvases. This is the object a Tioga-2 application
+/// (GUI shell, example program, or benchmark) holds.
+class Environment {
+ public:
+  Environment();
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  db::Catalog& catalog() { return catalog_; }
+  ui::Session& session() { return *session_; }
+
+  /// Loads the demo dataset of the paper's running example (§4): Stations,
+  /// Observations, LouisianaMap, and Employees.
+  Status LoadDemoData(size_t extra_stations = 200, size_t num_days = 365,
+                      uint64_t seed = 42);
+
+  /// Registers a table from a typed CSV file (header "name:type", see
+  /// db/csv.h) — the path by which a downstream user brings their own data.
+  Status ImportCsvTable(const std::string& table, const std::string& path);
+
+  /// Writes a catalog table to a typed CSV file.
+  Status ExportCsvTable(const std::string& table, const std::string& path);
+
+  /// Creates (or returns the existing) viewer onto `canvas_name`.
+  Result<viewer::Viewer*> GetViewer(const std::string& canvas_name);
+
+  /// Renders a viewer into a fresh framebuffer, returning the render stats.
+  /// Writes a PPM file when `ppm_path` is non-empty.
+  Result<viewer::RenderStats> RenderViewer(viewer::Viewer* viewer, int width,
+                                           int height,
+                                           const std::string& ppm_path = "");
+
+  /// Renders a viewer through the SVG backend; writes when path non-empty.
+  Result<std::string> RenderViewerSvg(viewer::Viewer* viewer, int width, int height,
+                                      const std::string& svg_path = "");
+
+ private:
+  db::Catalog catalog_;
+  std::unique_ptr<ui::Session> session_;
+  std::map<std::string, std::unique_ptr<viewer::Viewer>> viewers_;
+};
+
+}  // namespace tioga2
+
+#endif  // TIOGA2_TIOGA2_ENVIRONMENT_H_

@@ -1,0 +1,26 @@
+#ifndef TIOGA2_TIOGA2_TIOGA2_H_
+#define TIOGA2_TIOGA2_TIOGA2_H_
+
+/// Umbrella header: the public API surface of the Tioga-2 library.
+///
+/// Most applications only need Environment (which owns the catalog, the
+/// direct-manipulation Session, and the viewers); the individual headers
+/// are exposed for programs that compose the layers themselves.
+
+#include "boxes/box_registry.h"      // box construction + Apply Box matching
+#include "boxes/program_io.h"        // Save/Load Program serialization
+#include "db/aggregates.h"           // GroupBy / Distinct / UnionAll
+#include "db/csv.h"                  // typed CSV import/export
+#include "db/operators.h"            // relational operators
+#include "display/displayable.h"     // R / C / G displayable algebra
+#include "expr/expr.h"               // the attribute & predicate language
+#include "render/raster_surface.h"   // software rasterizer -> PPM
+#include "render/svg_surface.h"      // SVG backend
+#include "tioga2/environment.h"      // top-level facade
+#include "ui/program_renderer.h"     // the program window (boxes-and-arrows)
+#include "ui/session.h"              // the direct-manipulation session
+#include "update/update.h"           // §8 update machinery
+#include "viewer/elevation_map.h"    // elevation map widget
+#include "viewer/viewer.h"           // canvases, wormholes, mirrors, ...
+
+#endif  // TIOGA2_TIOGA2_TIOGA2_H_

@@ -1,0 +1,49 @@
+#include "types/data_type.h"
+
+#include <utility>
+
+namespace tioga2::types {
+
+std::string DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt:
+      return "int";
+    case DataType::kFloat:
+      return "float";
+    case DataType::kString:
+      return "string";
+    case DataType::kDate:
+      return "date";
+    case DataType::kDisplay:
+      return "display";
+  }
+  return "unknown";
+}
+
+bool DataTypeFromString(const std::string& text, DataType* out) {
+  static constexpr std::pair<const char*, DataType> kNames[] = {
+      {"bool", DataType::kBool},     {"int", DataType::kInt},
+      {"float", DataType::kFloat},   {"string", DataType::kString},
+      {"date", DataType::kDate},     {"display", DataType::kDisplay},
+  };
+  for (const auto& [name, type] : kNames) {
+    if (text == name) {
+      *out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsNumericType(DataType type) {
+  return type == DataType::kInt || type == DataType::kFloat;
+}
+
+bool IsImplicitlyConvertible(DataType from, DataType to) {
+  if (from == to) return true;
+  return from == DataType::kInt && to == DataType::kFloat;
+}
+
+}  // namespace tioga2::types

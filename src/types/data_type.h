@@ -1,0 +1,37 @@
+#ifndef TIOGA2_TYPES_DATA_TYPE_H_
+#define TIOGA2_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace tioga2::types {
+
+/// The atomic column types of the object-relational engine. Location
+/// attributes must be kFloat (§2: "location attributes are represented by
+/// floating point numbers"); display attributes are kDisplay (a list of
+/// primitive drawables, §5.1).
+enum class DataType {
+  kBool,
+  kInt,
+  kFloat,
+  kString,
+  kDate,
+  kDisplay,
+};
+
+/// "bool", "int", "float", "string", "date", "display".
+std::string DataTypeToString(DataType type);
+
+/// Inverse of DataTypeToString; returns false if unknown.
+bool DataTypeFromString(const std::string& text, DataType* out);
+
+/// True for kInt and kFloat — the types accepted by Scale/Translate
+/// Attribute (§5.3) and usable as location attributes after coercion.
+bool IsNumericType(DataType type);
+
+/// True if a value of `from` may be implicitly widened to `to`
+/// (identity, or int → float).
+bool IsImplicitlyConvertible(DataType from, DataType to);
+
+}  // namespace tioga2::types
+
+#endif  // TIOGA2_TYPES_DATA_TYPE_H_

@@ -1,0 +1,49 @@
+#ifndef TIOGA2_TYPES_DATE_H_
+#define TIOGA2_TYPES_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tioga2::types {
+
+/// A calendar date, stored as days since the Unix epoch (1970-01-01).
+/// The Observations relation of the paper's running example is keyed by
+/// date; location attributes derived from dates convert through DaysValue().
+class Date {
+ public:
+  /// The epoch, 1970-01-01.
+  Date() = default;
+
+  /// From a day count relative to 1970-01-01 (may be negative).
+  explicit Date(int64_t days) : days_(days) {}
+
+  /// From a civil (proleptic Gregorian) date. Out-of-range month/day values
+  /// are normalized arithmetically (e.g. month 13 rolls into the next year).
+  static Date FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD"; returns false on malformed input.
+  static bool Parse(const std::string& text, Date* out);
+
+  /// Days since the epoch.
+  int64_t DaysValue() const { return days_; }
+
+  /// Civil components.
+  int Year() const;
+  int Month() const;
+  int Day() const;
+
+  /// Formats as "YYYY-MM-DD".
+  std::string ToString() const;
+
+  Date AddDays(int64_t days) const { return Date(days_ + days); }
+
+  friend bool operator==(const Date& a, const Date& b) = default;
+  friend auto operator<=>(const Date& a, const Date& b) = default;
+
+ private:
+  int64_t days_ = 0;
+};
+
+}  // namespace tioga2::types
+
+#endif  // TIOGA2_TYPES_DATE_H_

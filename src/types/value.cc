@@ -1,0 +1,148 @@
+#include "types/value.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace tioga2::types {
+
+DataType Value::type() const {
+  if (is_bool()) return DataType::kBool;
+  if (is_int()) return DataType::kInt;
+  if (is_float()) return DataType::kFloat;
+  if (is_string()) return DataType::kString;
+  if (is_date()) return DataType::kDate;
+  if (is_display()) return DataType::kDisplay;
+  std::abort();  // type() on null
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_value());
+  return float_value();
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (type() == target) return *this;
+  if (type() == DataType::kInt && target == DataType::kFloat) {
+    return Value::Float(static_cast<double>(int_value()));
+  }
+  return Status::TypeError("cannot convert " + DataTypeToString(type()) + " to " +
+                           DataTypeToString(target));
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_display() && other.is_display()) {
+    return draw::DrawableListEquals(display_value(), other.display_value());
+  }
+  // Numeric cross-type equality: 2 == 2.0.
+  if ((is_int() || is_float()) && (other.is_int() || other.is_float())) {
+    return AsDouble() == other.AsDouble();
+  }
+  return repr_ == other.repr_;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+  if ((is_int() || is_float()) && (other.is_int() || other.is_float())) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type() != other.type()) {
+    return Status::TypeError("cannot compare " + DataTypeToString(type()) + " with " +
+                             DataTypeToString(other.type()));
+  }
+  switch (type()) {
+    case DataType::kBool: {
+      int a = bool_value() ? 1 : 0;
+      int b = other.bool_value() ? 1 : 0;
+      return a - b;
+    }
+    case DataType::kString: {
+      int cmp = string_value().compare(other.string_value());
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    case DataType::kDate: {
+      if (date_value() < other.date_value()) return -1;
+      if (other.date_value() < date_value()) return 1;
+      return 0;
+    }
+    default:
+      return Status::TypeError("values of type " + DataTypeToString(type()) +
+                               " have no ordering");
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "null";
+  switch (type()) {
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt:
+      return std::to_string(int_value());
+    case DataType::kFloat:
+      return FormatDouble(float_value());
+    case DataType::kString:
+      return QuoteString(string_value());
+    case DataType::kDate:
+      return date_value().ToString();
+    case DataType::kDisplay:
+      return draw::DrawableListToString(display_value());
+  }
+  return "?";
+}
+
+Result<Value> Value::Parse(DataType type, const std::string& text) {
+  std::string trimmed(StripWhitespace(text));
+  switch (type) {
+    case DataType::kBool:
+      if (trimmed == "true" || trimmed == "1") return Value::Bool(true);
+      if (trimmed == "false" || trimmed == "0") return Value::Bool(false);
+      return Status::ParseError("not a bool: '" + text + "'");
+    case DataType::kInt: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(trimmed.c_str(), &end, 10);
+      if (errno != 0 || end == trimmed.c_str() || *end != '\0') {
+        return Status::ParseError("not an int: '" + text + "'");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kFloat: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(trimmed.c_str(), &end);
+      if (errno != 0 || end == trimmed.c_str() || *end != '\0') {
+        return Status::ParseError("not a float: '" + text + "'");
+      }
+      return Value::Float(v);
+    }
+    case DataType::kString: {
+      if (!trimmed.empty() && trimmed.front() == '"') {
+        std::string unquoted;
+        if (!UnquoteString(trimmed, &unquoted)) {
+          return Status::ParseError("malformed quoted string: '" + text + "'");
+        }
+        return Value::String(std::move(unquoted));
+      }
+      return Value::String(std::string(trimmed));
+    }
+    case DataType::kDate: {
+      Date date;
+      if (!Date::Parse(trimmed, &date)) {
+        return Status::ParseError("not a date (want YYYY-MM-DD): '" + text + "'");
+      }
+      return Value::DateVal(date);
+    }
+    case DataType::kDisplay:
+      return Status::ParseError("display values cannot be parsed from text");
+  }
+  return Status::Internal("unhandled type in Value::Parse");
+}
+
+}  // namespace tioga2::types

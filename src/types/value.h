@@ -1,0 +1,88 @@
+#ifndef TIOGA2_TYPES_VALUE_H_
+#define TIOGA2_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "draw/drawable.h"
+#include "types/data_type.h"
+#include "types/date.h"
+
+namespace tioga2::types {
+
+/// A dynamically typed cell value: one of the atomic types of DataType, or
+/// null. Nulls arise from outer-ish operations (e.g. a failed attribute
+/// lookup) and compare less than every non-null value of the same type.
+class Value {
+ public:
+  /// Constructs a null value.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Float(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value DateVal(Date v) { return Value(Repr(v)); }
+  static Value Display(draw::DrawableList v) { return Value(Repr(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_float() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_date() const { return std::holds_alternative<Date>(repr_); }
+  bool is_display() const { return std::holds_alternative<draw::DrawableList>(repr_); }
+
+  /// The DataType of a non-null value. Must not be called on null.
+  DataType type() const;
+
+  /// Typed accessors. Each must only be called when the value holds that
+  /// type (checked; aborts otherwise — a type-checker bug, not user error).
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double float_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+  const Date& date_value() const { return std::get<Date>(repr_); }
+  const draw::DrawableList& display_value() const {
+    return std::get<draw::DrawableList>(repr_);
+  }
+
+  /// Numeric view: int and float values as double. Must be numeric.
+  double AsDouble() const;
+
+  /// Widens this value to `target` if IsImplicitlyConvertible allows it.
+  Result<Value> CastTo(DataType target) const;
+
+  /// Structural equality (display lists compare by contents).
+  bool Equals(const Value& other) const;
+
+  /// Total order within a type: null < everything; bool false < true;
+  /// numerics by magnitude (int and float are inter-comparable); strings
+  /// lexicographic; dates chronological. Comparing other cross-type pairs or
+  /// display values is a TypeError.
+  Result<int> Compare(const Value& other) const;
+
+  /// Human-readable rendering used by the default displays of §5.2 and by
+  /// error messages: 42, 3.5, "text", true, 1995-07-14, [circle(...)].
+  std::string ToString() const;
+
+  /// Parses `text` as a value of `type`. Used by CSV import and the §8
+  /// default update functions (the dialog's textual entry path).
+  static Result<Value> Parse(DataType type, const std::string& text);
+
+  friend bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+
+ private:
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string, Date,
+                            draw::DrawableList>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace tioga2::types
+
+#endif  // TIOGA2_TYPES_VALUE_H_

@@ -1,0 +1,113 @@
+#include "ui/program_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tioga2::ui {
+
+using dataflow::Edge;
+using dataflow::Graph;
+
+namespace {
+
+constexpr double kBoxWidth = 110;
+constexpr double kBoxHeight = 34;
+constexpr double kColumnGap = 50;
+constexpr double kRowGap = 18;
+constexpr double kMargin = 12;
+
+/// Topological depth of every box: sources at 0, each consumer one past its
+/// deepest producer.
+Result<std::map<std::string, int>> Depths(const Graph& graph) {
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> order, graph.TopologicalOrder());
+  std::map<std::string, int> depth;
+  for (const std::string& id : order) depth[id] = 0;
+  for (const std::string& id : order) {
+    for (const Edge& edge : graph.edges()) {
+      if (edge.to_box != id) continue;
+      depth[id] = std::max(depth[id], depth[edge.from_box] + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace
+
+Result<ProgramLayout> RenderProgram(const Graph& graph, render::Surface* surface) {
+  if (surface == nullptr) return Status::InvalidArgument("surface must be non-null");
+  ProgramLayout layout;
+  using DepthMap = std::map<std::string, int>;
+  TIOGA2_ASSIGN_OR_RETURN(DepthMap depths, Depths(graph));
+
+  // Assign rects: explicit positions win; the rest stack per depth column.
+  std::map<int, int> next_row;
+  for (const std::string& id : graph.BoxIds()) {
+    std::optional<std::pair<double, double>> position = graph.BoxPosition(id);
+    double x = 0;
+    double y = 0;
+    if (position.has_value()) {
+      x = position->first;
+      y = position->second;
+    } else {
+      int depth = depths[id];
+      int row = next_row[depth]++;
+      x = kMargin + depth * (kBoxWidth + kColumnGap);
+      y = kMargin + row * (kBoxHeight + kRowGap);
+    }
+    layout.box_rects[id] = render::DeviceRect{x, y, kBoxWidth, kBoxHeight};
+  }
+
+  // Edges first, under the boxes.
+  draw::Style edge_style;
+  for (const Edge& edge : graph.edges()) {
+    const render::DeviceRect& from = layout.box_rects.at(edge.from_box);
+    const render::DeviceRect& to = layout.box_rects.at(edge.to_box);
+    TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* from_box, graph.GetBox(edge.from_box));
+    TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* to_box, graph.GetBox(edge.to_box));
+    // Fan output/input attachment points down the box's right/left side.
+    size_t out_count = std::max<size_t>(1, from_box->OutputTypes().size());
+    size_t in_count = std::max<size_t>(1, to_box->InputTypes().size());
+    double y0 = from.y + from.height * (static_cast<double>(edge.from_port) + 1) /
+                             (static_cast<double>(out_count) + 1);
+    double y1 = to.y + to.height * (static_cast<double>(edge.to_port) + 1) /
+                           (static_cast<double>(in_count) + 1);
+    double x0 = from.x + from.width;
+    double x1 = to.x;
+    surface->DrawLine(x0, y0, x1, y1, edge_style, draw::kGray);
+    // A small arrow head at the input side.
+    surface->DrawLine(x1, y1, x1 - 5, y1 - 3, edge_style, draw::kGray);
+    surface->DrawLine(x1, y1, x1 - 5, y1 + 3, edge_style, draw::kGray);
+  }
+
+  // Boxes: white fill, black border, type name (viewer boxes double-framed).
+  draw::Style fill;
+  fill.fill = draw::FillMode::kFilled;
+  draw::Style border;
+  for (const std::string& id : graph.BoxIds()) {
+    const render::DeviceRect& rect = layout.box_rects.at(id);
+    TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* box, graph.GetBox(id));
+    surface->DrawRect(rect.x, rect.y, rect.width, rect.height, fill, draw::kWhite);
+    surface->DrawRect(rect.x, rect.y, rect.width, rect.height, border, draw::kBlack);
+    if (box->type_name() == "Viewer") {
+      surface->DrawRect(rect.x + 3, rect.y + 3, rect.width - 6, rect.height - 6,
+                        border, draw::kBlack);
+    }
+    // Type name on the first line, box id on the second.
+    surface->DrawText(box->type_name(), rect.x + 6, rect.y + 15, 8, draw::kBlack);
+    surface->DrawText(id, rect.x + 6, rect.y + 28, 7, draw::kGray);
+  }
+  return layout;
+}
+
+std::optional<std::string> HitTestProgram(const ProgramLayout& layout, double dx,
+                                          double dy) {
+  for (const auto& [id, rect] : layout.box_rects) {
+    if (dx >= rect.x && dx <= rect.x + rect.width && dy >= rect.y &&
+        dy <= rect.y + rect.height) {
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tioga2::ui

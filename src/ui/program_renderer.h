@@ -1,0 +1,33 @@
+#ifndef TIOGA2_UI_PROGRAM_RENDERER_H_
+#define TIOGA2_UI_PROGRAM_RENDERER_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "dataflow/graph.h"
+#include "render/surface.h"
+
+namespace tioga2::ui {
+
+/// Where each box of the program window landed (device coordinates), for
+/// click dispatch back onto the diagram.
+struct ProgramLayout {
+  std::map<std::string, render::DeviceRect> box_rects;
+};
+
+/// Renders the boxes-and-arrows diagram — the program window of §3 / Figure
+/// 1 — onto a surface. Boxes with recorded positions (Graph::BoxPosition)
+/// are honored; the rest are auto-laid-out left to right by topological
+/// depth, stacking parallel boxes vertically. Edges draw as lines from
+/// output to input sides; viewer boxes get a double border.
+Result<ProgramLayout> RenderProgram(const dataflow::Graph& graph,
+                                    render::Surface* surface);
+
+/// The box under a click in the program window, if any.
+std::optional<std::string> HitTestProgram(const ProgramLayout& layout, double dx,
+                                          double dy);
+
+}  // namespace tioga2::ui
+
+#endif  // TIOGA2_UI_PROGRAM_RENDERER_H_

@@ -1,0 +1,309 @@
+#include "ui/session.h"
+
+#include <algorithm>
+
+#include "boxes/composite_boxes.h"
+#include "boxes/program_io.h"
+#include "boxes/relational_boxes.h"
+
+namespace tioga2::ui {
+
+using dataflow::Edge;
+using dataflow::Graph;
+
+Session::Session(db::Catalog* catalog)
+    : catalog_(catalog), engine_(catalog), updates_(catalog) {}
+
+void Session::Snapshot() {
+  undo_stack_.push_back(graph_.Clone());
+  // Bound memory: the paper specifies a single undo button; we keep a
+  // generous but finite history.
+  constexpr size_t kMaxUndo = 64;
+  if (undo_stack_.size() > kMaxUndo) undo_stack_.erase(undo_stack_.begin());
+}
+
+void Session::NewProgram() {
+  Snapshot();
+  graph_ = Graph();
+}
+
+Result<std::map<std::string, std::string>> Session::AddProgram(const std::string& name) {
+  TIOGA2_ASSIGN_OR_RETURN(std::string serialized, catalog_->GetProgram(name));
+  TIOGA2_ASSIGN_OR_RETURN(Graph loaded, boxes::DeserializeProgram(serialized));
+  Snapshot();
+  // Remap ids that collide with the current program.
+  std::map<std::string, std::string> mapping;
+  for (const std::string& id : loaded.BoxIds()) {
+    std::string new_id = id;
+    int suffix = 1;
+    while (graph_.HasBox(new_id)) new_id = id + "_" + std::to_string(suffix++);
+    mapping[id] = new_id;
+    TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* box, loaded.GetBox(id));
+    TIOGA2_RETURN_IF_ERROR(graph_.AddBox(box->Clone(), new_id).status());
+  }
+  for (const Edge& edge : loaded.edges()) {
+    TIOGA2_RETURN_IF_ERROR(graph_.Connect(mapping.at(edge.from_box), edge.from_port,
+                                          mapping.at(edge.to_box), edge.to_port));
+  }
+  // Re-register canvases for any viewer boxes in the loaded program.
+  for (const auto& [old_id, new_id] : mapping) {
+    TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* box, graph_.GetBox(new_id));
+    if (const auto* viewer_box = dynamic_cast<const boxes::ViewerBox*>(box)) {
+      std::string canvas = viewer_box->canvas();
+      std::string viewer_id = new_id;
+      registry_.Register(canvas, [this, viewer_id]() -> Result<display::Displayable> {
+        std::optional<Edge> edge = graph_.IncomingEdge(viewer_id, 0);
+        if (!edge.has_value()) {
+          return Status::FailedPrecondition("viewer '" + viewer_id +
+                                            "' has no input connected");
+        }
+        TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxValue value,
+                                engine_.Evaluate(graph_, edge->from_box, edge->from_port));
+        return dataflow::AsDisplayable(value);
+      });
+    }
+  }
+  return mapping;
+}
+
+Status Session::LoadProgram(const std::string& name) {
+  // Validate before clearing so a failed load keeps the current program.
+  TIOGA2_ASSIGN_OR_RETURN(std::string serialized, catalog_->GetProgram(name));
+  TIOGA2_RETURN_IF_ERROR(boxes::DeserializeProgram(serialized).status());
+  NewProgram();
+  Status added = AddProgram(name).status();
+  if (!added.ok()) {
+    (void)Undo();
+    return added;
+  }
+  return Status::OK();
+}
+
+Status Session::SaveProgram(const std::string& name) {
+  TIOGA2_ASSIGN_OR_RETURN(std::string serialized, boxes::SerializeProgram(graph_));
+  catalog_->SaveProgram(name, serialized);
+  return Status::OK();
+}
+
+Result<std::string> Session::AddBox(const std::string& type_name,
+                                    const std::map<std::string, std::string>& params) {
+  TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxPtr box, boxes::MakeBox(type_name, params));
+  Snapshot();
+  return graph_.AddBox(std::move(box));
+}
+
+Result<std::string> Session::AddTable(const std::string& table) {
+  if (!catalog_->HasTable(table)) {
+    return Status::NotFound("no table named '" + table +
+                            "' (menu of tables: use ListTables())");
+  }
+  return AddBox("Table", {{"table", table}});
+}
+
+Status Session::Connect(const std::string& from, size_t from_port, const std::string& to,
+                        size_t to_port) {
+  Snapshot();
+  Status status = graph_.Connect(from, from_port, to, to_port);
+  if (!status.ok()) undo_stack_.pop_back();
+  return status;
+}
+
+Result<std::vector<std::string>> Session::ApplyBoxCandidates(
+    const std::vector<std::pair<std::string, size_t>>& outputs) const {
+  std::vector<dataflow::PortType> types;
+  for (const auto& [box_id, port] : outputs) {
+    TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* box, graph_.GetBox(box_id));
+    std::vector<dataflow::PortType> out_types = box->OutputTypes();
+    if (port >= out_types.size()) {
+      return Status::OutOfRange("box '" + box_id + "' has no output " +
+                                std::to_string(port));
+    }
+    types.push_back(out_types[port]);
+  }
+  return boxes::ApplyBoxCandidates(types);
+}
+
+Result<std::string> Session::ApplyBox(
+    const std::string& type_name, const std::map<std::string, std::string>& params,
+    const std::vector<std::pair<std::string, size_t>>& inputs,
+    const std::string& member, size_t group_member) {
+  TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxPtr box, boxes::MakeBox(type_name, params));
+
+  // The §2 overloading: an R -> R box applied to a C or G edge is lifted to
+  // operate on the selected relation inside the displayable.
+  std::vector<dataflow::PortType> box_inputs = box->InputTypes();
+  std::vector<dataflow::PortType> box_outputs = box->OutputTypes();
+  bool relational_unary =
+      box_inputs.size() == 1 && box_outputs.size() == 1 &&
+      box_inputs[0].kind() == dataflow::PortType::Kind::kRelation &&
+      box_outputs[0].kind() == dataflow::PortType::Kind::kRelation;
+  if (relational_unary && inputs.size() == 1) {
+    TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* from, graph_.GetBox(inputs[0].first));
+    std::vector<dataflow::PortType> from_outputs = from->OutputTypes();
+    if (inputs[0].second >= from_outputs.size()) {
+      return Status::OutOfRange("box '" + inputs[0].first + "' has no output " +
+                                std::to_string(inputs[0].second));
+    }
+    dataflow::PortType edge_type = from_outputs[inputs[0].second];
+    if (edge_type.kind() != dataflow::PortType::Kind::kRelation) {
+      if (member.empty()) {
+        return Status::FailedPrecondition(
+            "applying an R -> R box to a " + edge_type.ToString() +
+            " edge needs the target relation name (the composite-member "
+            "selection of §2)");
+      }
+      box = std::make_unique<boxes::LiftBox>(std::move(box), edge_type, group_member,
+                                             member);
+    }
+  }
+
+  Snapshot();
+  TIOGA2_ASSIGN_OR_RETURN(std::string id, graph_.AddBox(std::move(box)));
+  for (size_t port = 0; port < inputs.size(); ++port) {
+    Status connected =
+        graph_.Connect(inputs[port].first, inputs[port].second, id, port);
+    if (!connected.ok()) {
+      graph_ = std::move(undo_stack_.back());
+      undo_stack_.pop_back();
+      return connected;
+    }
+  }
+  return id;
+}
+
+Status Session::DeleteBox(const std::string& id) {
+  Snapshot();
+  Status status = graph_.DeleteBox(id);
+  if (!status.ok()) undo_stack_.pop_back();
+  return status;
+}
+
+Status Session::ReplaceBox(const std::string& id, const std::string& type_name,
+                           const std::map<std::string, std::string>& params) {
+  TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxPtr box, boxes::MakeBox(type_name, params));
+  Snapshot();
+  Status status = graph_.ReplaceBox(id, std::move(box));
+  if (!status.ok()) undo_stack_.pop_back();
+  return status;
+}
+
+Result<std::string> Session::InsertT(const std::string& to, size_t to_port) {
+  Snapshot();
+  Result<std::string> result = graph_.InsertT(to, to_port);
+  if (!result.ok()) undo_stack_.pop_back();
+  return result;
+}
+
+Status Session::Encapsulate(const std::vector<std::string>& box_ids,
+                            const std::vector<std::string>& hole_ids,
+                            const std::string& name) {
+  if (library_.count(name) > 0) {
+    return Status::AlreadyExists("encapsulated box '" + name + "' already defined");
+  }
+  TIOGA2_ASSIGN_OR_RETURN(std::unique_ptr<dataflow::EncapsulatedBox> box,
+                          dataflow::EncapsulateSubgraph(graph_, box_ids, hole_ids, name));
+  library_[name] = std::move(box);
+  return Status::OK();
+}
+
+Result<std::string> Session::InsertEncapsulated(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::map<std::string, std::string>>>&
+        hole_fillers) {
+  auto it = library_.find(name);
+  if (it == library_.end()) {
+    return Status::NotFound("no encapsulated box named '" + name + "'");
+  }
+  std::vector<dataflow::BoxPtr> fillers;
+  for (const auto& [type_name, params] : hole_fillers) {
+    TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxPtr filler, boxes::MakeBox(type_name, params));
+    fillers.push_back(std::move(filler));
+  }
+  dataflow::BoxPtr instance;
+  if (fillers.empty() && it->second->HoleIds().empty()) {
+    instance = it->second->Clone();
+  } else {
+    TIOGA2_ASSIGN_OR_RETURN(std::unique_ptr<dataflow::EncapsulatedBox> filled,
+                            it->second->FillHoles(std::move(fillers)));
+    instance = std::move(filled);
+  }
+  Snapshot();
+  return graph_.AddBox(std::move(instance));
+}
+
+std::vector<std::string> Session::EncapsulatedNames() const {
+  std::vector<std::string> names;
+  names.reserve(library_.size());
+  for (const auto& [name, box] : library_) names.push_back(name);
+  return names;
+}
+
+Status Session::Undo() {
+  if (undo_stack_.empty()) return Status::FailedPrecondition("nothing to undo");
+  graph_ = std::move(undo_stack_.back());
+  undo_stack_.pop_back();
+  return Status::OK();
+}
+
+Result<std::string> Session::AddViewer(const std::string& from, size_t from_port,
+                                       const std::string& canvas_name) {
+  TIOGA2_ASSIGN_OR_RETURN(std::string viewer_id,
+                          AddBox("Viewer", {{"canvas", canvas_name}}));
+  Status connected = graph_.Connect(from, from_port, viewer_id, 0);
+  if (!connected.ok()) {
+    (void)graph_.DeleteBox(viewer_id);
+    undo_stack_.pop_back();
+    return connected;
+  }
+  registry_.Register(canvas_name, [this, viewer_id]() -> Result<display::Displayable> {
+    std::optional<Edge> edge = graph_.IncomingEdge(viewer_id, 0);
+    if (!edge.has_value()) {
+      return Status::FailedPrecondition("viewer '" + viewer_id +
+                                        "' has no input connected");
+    }
+    TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxValue value,
+                            engine_.Evaluate(graph_, edge->from_box, edge->from_port));
+    return dataflow::AsDisplayable(value);
+  });
+  return viewer_id;
+}
+
+Status Session::RemoveViewer(const std::string& viewer_box_id) {
+  TIOGA2_ASSIGN_OR_RETURN(const dataflow::Box* box, graph_.GetBox(viewer_box_id));
+  const auto* viewer_box = dynamic_cast<const boxes::ViewerBox*>(box);
+  if (viewer_box == nullptr) {
+    return Status::InvalidArgument("box '" + viewer_box_id + "' is not a Viewer");
+  }
+  std::string canvas = viewer_box->canvas();
+  TIOGA2_RETURN_IF_ERROR(DeleteBox(viewer_box_id));  // viewers are sinks: rule (1)
+  registry_.Unregister(canvas);
+  return Status::OK();
+}
+
+Result<display::Displayable> Session::EvaluateCanvas(const std::string& canvas_name) {
+  return registry_.Resolve(canvas_name);
+}
+
+Status Session::ClickUpdate(const std::string& canvas_name, const viewer::Hit& hit,
+                            const std::string& table,
+                            const std::map<std::string, std::string>& inputs) {
+  TIOGA2_ASSIGN_OR_RETURN(display::Displayable content, EvaluateCanvas(canvas_name));
+  display::Group group = display::AsGroup(content);
+  if (hit.group_member >= group.size()) {
+    return Status::OutOfRange("hit names a group member that no longer exists");
+  }
+  const display::Composite& composite = group.members()[hit.group_member];
+  if (hit.member >= composite.size()) {
+    return Status::OutOfRange("hit names a composite member that no longer exists");
+  }
+  const display::DisplayRelation& relation = composite.entries()[hit.member].relation;
+  if (hit.row >= relation.num_rows()) {
+    return Status::OutOfRange("hit names a row that no longer exists");
+  }
+  // Locate the clicked (derived) tuple in the base table by value and
+  // install the update; the bumped table version invalidates every cached
+  // box so the canvas re-renders with the new value (§8).
+  return updates_.ApplyUpdateByMatch(table, relation.base()->row(hit.row), inputs);
+}
+
+}  // namespace tioga2::ui

@@ -1,0 +1,120 @@
+#include "update/update.h"
+
+namespace tioga2::update {
+
+using types::DataType;
+using types::Value;
+
+UpdateManager::UpdateManager(db::Catalog* catalog) : catalog_(catalog) {
+  // Default update functions: parse the dialog input as the field's type.
+  for (DataType type :
+       {DataType::kBool, DataType::kInt, DataType::kFloat, DataType::kString,
+        DataType::kDate}) {
+    type_functions_[type] = [type](const Value& old_value,
+                                   const std::string& input) -> Result<Value> {
+      (void)old_value;
+      return Value::Parse(type, input);
+    };
+  }
+  // Display values are computed, never stored, hence never updatable.
+  type_functions_[DataType::kDisplay] = [](const Value&,
+                                           const std::string&) -> Result<Value> {
+    return Status::FailedPrecondition("display attributes are computed and cannot be "
+                                      "updated (§5.1)");
+  };
+}
+
+void UpdateManager::SetTypeUpdateFunction(DataType type, FieldUpdateFn fn) {
+  type_functions_[type] = std::move(fn);
+}
+
+void UpdateManager::SetColumnUpdateFunction(const std::string& table,
+                                            const std::string& column,
+                                            FieldUpdateFn fn) {
+  column_functions_[table + "." + column] = std::move(fn);
+}
+
+const FieldUpdateFn& UpdateManager::ResolveUpdateFunction(const std::string& table,
+                                                          const std::string& column,
+                                                          DataType type) const {
+  auto column_it = column_functions_.find(table + "." + column);
+  if (column_it != column_functions_.end()) return column_it->second;
+  return type_functions_.at(type);
+}
+
+Result<db::Tuple> UpdateManager::BuildUpdatedTuple(
+    const std::string& table, size_t row,
+    const std::map<std::string, std::string>& inputs) const {
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog_->GetTable(table));
+  if (row >= relation->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range in '" +
+                              table + "'");
+  }
+  db::Tuple updated = relation->row(row);
+  for (const auto& [column, input] : inputs) {
+    TIOGA2_ASSIGN_OR_RETURN(size_t index, relation->schema()->ColumnIndex(column));
+    DataType type = relation->schema()->column(index).type;
+    const FieldUpdateFn& fn = ResolveUpdateFunction(table, column, type);
+    TIOGA2_ASSIGN_OR_RETURN(Value new_value, fn(updated[index], input));
+    if (!new_value.is_null() && new_value.type() != type) {
+      TIOGA2_ASSIGN_OR_RETURN(new_value, new_value.CastTo(type));
+    }
+    updated[index] = std::move(new_value);
+  }
+  return updated;
+}
+
+Status UpdateManager::ApplyUpdate(const std::string& table, size_t row,
+                                  const std::map<std::string, std::string>& inputs) {
+  TIOGA2_ASSIGN_OR_RETURN(db::Tuple updated, BuildUpdatedTuple(table, row, inputs));
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog_->GetTable(table));
+  db::RelationBuilder builder(relation->schema());
+  builder.Reserve(relation->num_rows());
+  for (size_t r = 0; r < relation->num_rows(); ++r) {
+    builder.AddRowUnchecked(r == row ? updated : relation->row(r));
+  }
+  return catalog_->ReplaceTable(table, builder.Build());
+}
+
+Result<std::vector<UpdateManager::DialogField>> UpdateManager::DescribeTuple(
+    const std::string& table, size_t row) const {
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog_->GetTable(table));
+  if (row >= relation->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range in '" +
+                              table + "'");
+  }
+  std::vector<DialogField> fields;
+  const db::Schema& schema = *relation->schema();
+  fields.reserve(schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    DialogField field;
+    field.column = schema.column(c).name;
+    field.type = schema.column(c).type;
+    field.current_value = relation->at(row, c).ToString();
+    field.updatable = field.type != DataType::kDisplay;
+    fields.push_back(std::move(field));
+  }
+  return fields;
+}
+
+Status UpdateManager::ApplyUpdateByMatch(const std::string& table,
+                                         const db::Tuple& original,
+                                         const std::map<std::string, std::string>& inputs) {
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog_->GetTable(table));
+  for (size_t r = 0; r < relation->num_rows(); ++r) {
+    const db::Tuple& candidate = relation->row(r);
+    if (candidate.size() != original.size()) continue;
+    bool equal = true;
+    for (size_t c = 0; c < candidate.size(); ++c) {
+      if (!candidate[c].Equals(original[c])) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return ApplyUpdate(table, r, inputs);
+  }
+  return Status::NotFound("no tuple in '" + table +
+                          "' matches the clicked screen object");
+}
+
+}  // namespace tioga2::update

@@ -1,0 +1,86 @@
+#ifndef TIOGA2_UPDATE_UPDATE_H_
+#define TIOGA2_UPDATE_UPDATE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/catalog.h"
+
+namespace tioga2::update {
+
+/// An update function (§8): given the field's current value and the user's
+/// textual input from the update dialog, produces the new value. "For each
+/// primitive type, the type definer is required to write an update function"
+/// — defaults exist for every DataType (parse the input as that type); both
+/// per-type and per-column functions can be replaced to give an update
+/// system "a desired look and feel".
+using FieldUpdateFn =
+    std::function<Result<types::Value>(const types::Value& old_value,
+                                       const std::string& input)>;
+
+/// The generic update procedure of §8. When the user clicks a screen object
+/// the viewer layer hit-tests back to a tuple; UpdateManager engages the
+/// (simulated) dialog — a map from column name to textual input — builds the
+/// new tuple using the per-field update functions, and installs it in the
+/// base table via an SQL-style update (Catalog::ReplaceTable, which bumps
+/// the table version so every memoized box downstream recomputes).
+class UpdateManager {
+ public:
+  /// `catalog` must outlive the manager.
+  explicit UpdateManager(db::Catalog* catalog);
+
+  /// Replaces the default update function for a primitive type.
+  void SetTypeUpdateFunction(types::DataType type, FieldUpdateFn fn);
+
+  /// Replaces the update function for one column of one table (the
+  /// "customized look and feel" hook).
+  void SetColumnUpdateFunction(const std::string& table, const std::string& column,
+                               FieldUpdateFn fn);
+
+  /// The update function that would handle (table, column of given type).
+  const FieldUpdateFn& ResolveUpdateFunction(const std::string& table,
+                                             const std::string& column,
+                                             types::DataType type) const;
+
+  /// Builds the updated tuple for row `row` of `table` from dialog inputs
+  /// (column name → text). Columns absent from `inputs` keep their value.
+  Result<db::Tuple> BuildUpdatedTuple(const std::string& table, size_t row,
+                                      const std::map<std::string, std::string>& inputs) const;
+
+  /// Builds and installs the update for a known row index.
+  Status ApplyUpdate(const std::string& table, size_t row,
+                     const std::map<std::string, std::string>& inputs);
+
+  /// Installs an update for the first base tuple equal to `original` —
+  /// the path used from a canvas hit, where the clicked tuple came from a
+  /// derived relation and is located in the base table by value.
+  Status ApplyUpdateByMatch(const std::string& table, const db::Tuple& original,
+                            const std::map<std::string, std::string>& inputs);
+
+  /// One row of the §8 update dialog: the field's name, type, current value
+  /// (rendered), and whether the resolved update function can change it.
+  struct DialogField {
+    std::string column;
+    types::DataType type;
+    std::string current_value;
+    bool updatable;
+  };
+
+  /// The dialog contents for row `row` of `table` — what the generic update
+  /// procedure shows the user before collecting inputs ("the function
+  /// engages a dialog with the user to construct a new tuple", §8).
+  Result<std::vector<DialogField>> DescribeTuple(const std::string& table,
+                                                 size_t row) const;
+
+ private:
+  db::Catalog* catalog_;
+  std::map<types::DataType, FieldUpdateFn> type_functions_;
+  std::map<std::string, FieldUpdateFn> column_functions_;  // "table.column"
+};
+
+}  // namespace tioga2::update
+
+#endif  // TIOGA2_UPDATE_UPDATE_H_

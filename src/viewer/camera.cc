@@ -1,0 +1,91 @@
+#include "viewer/camera.h"
+
+#include <algorithm>
+
+namespace tioga2::viewer {
+
+namespace {
+constexpr double kMinElevation = 1e-9;
+}  // namespace
+
+Camera::Camera(double center_x, double center_y, double elevation, int viewport_w,
+               int viewport_h)
+    : center_x_(center_x),
+      center_y_(center_y),
+      elevation_(std::max(elevation, kMinElevation)),
+      viewport_w_(std::max(1, viewport_w)),
+      viewport_h_(std::max(1, viewport_h)) {}
+
+Camera Camera::Fit(const draw::BBox& world, int viewport_w, int viewport_h,
+                   double margin_fraction) {
+  double cx = (world.min_x + world.max_x) / 2;
+  double cy = (world.min_y + world.max_y) / 2;
+  double height = world.Height();
+  double width = world.Width();
+  double aspect = viewport_h > 0 ? static_cast<double>(viewport_w) / viewport_h : 1.0;
+  // The elevation must cover the world height, and the world width once
+  // translated through the viewport aspect ratio.
+  double needed = std::max(height, aspect > 0 ? width / aspect : width);
+  if (needed <= 0) needed = 1.0;
+  needed *= 1.0 + 2.0 * margin_fraction;
+  return Camera(cx, cy, needed, viewport_w, viewport_h);
+}
+
+void Camera::WorldToDevice(double wx, double wy, double* dx, double* dy) const {
+  double s = Scale();
+  *dx = (wx - center_x_) * s + viewport_w_ / 2.0;
+  *dy = viewport_h_ / 2.0 - (wy - center_y_) * s;
+}
+
+void Camera::DeviceToWorld(double dx, double dy, double* wx, double* wy) const {
+  double s = Scale();
+  *wx = (dx - viewport_w_ / 2.0) / s + center_x_;
+  *wy = center_y_ - (dy - viewport_h_ / 2.0) / s;
+}
+
+draw::BBox Camera::VisibleWorld() const {
+  double half_h = elevation_ / 2.0;
+  double half_w = half_h * viewport_w_ / viewport_h_;
+  return draw::BBox{center_x_ - half_w, center_y_ - half_h, center_x_ + half_w,
+                    center_y_ + half_h};
+}
+
+void Camera::Pan(double dx, double dy) {
+  center_x_ += dx;
+  center_y_ += dy;
+}
+
+void Camera::MoveTo(double x, double y) {
+  center_x_ = x;
+  center_y_ = y;
+}
+
+void Camera::Zoom(double factor) {
+  if (factor <= 0) return;
+  elevation_ = std::max(elevation_ / factor, kMinElevation);
+}
+
+void Camera::SetElevation(double elevation) {
+  elevation_ = std::max(elevation, kMinElevation);
+}
+
+void Camera::SetSlider(size_t dim, SliderRange range) {
+  if (dim < 2) return;
+  size_t index = dim - 2;
+  if (sliders_.size() <= index) sliders_.resize(index + 1);
+  sliders_[index] = range;
+}
+
+std::optional<SliderRange> Camera::Slider(size_t dim) const {
+  if (dim < 2) return std::nullopt;
+  size_t index = dim - 2;
+  if (index >= sliders_.size()) return std::nullopt;
+  return sliders_[index];
+}
+
+bool Camera::SliderAccepts(size_t dim, double value) const {
+  std::optional<SliderRange> range = Slider(dim);
+  return !range.has_value() || range->Contains(value);
+}
+
+}  // namespace tioga2::viewer

@@ -1,0 +1,94 @@
+#ifndef TIOGA2_VIEWER_CAMERA_H_
+#define TIOGA2_VIEWER_CAMERA_H_
+
+#include <optional>
+#include <vector>
+
+#include "draw/drawable.h"
+
+namespace tioga2::viewer {
+
+/// The visible interval of one slider dimension (§3: "canvas slider bars
+/// control panning in any remaining dimensions").
+struct SliderRange {
+  double lo = -1e300;
+  double hi = 1e300;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+
+  friend bool operator==(const SliderRange& a, const SliderRange& b) = default;
+};
+
+/// The n+1-dimensional viewer position of §2: a 2-D center for the screen
+/// dimensions, ranges for the n-2 slider dimensions, and the elevation.
+///
+/// Elevation semantics: the elevation is the height of the world-space
+/// window visible in the viewport, so zooming in (descending toward the
+/// canvas) decreases it; reaching zero elevation is the wormhole
+/// pass-through condition of §6.2.
+class Camera {
+ public:
+  Camera() = default;
+  Camera(double center_x, double center_y, double elevation, int viewport_w,
+         int viewport_h);
+
+  /// Frames `world` with a margin; elevation = padded world height.
+  static Camera Fit(const draw::BBox& world, int viewport_w, int viewport_h,
+                    double margin_fraction = 0.05);
+
+  double center_x() const { return center_x_; }
+  double center_y() const { return center_y_; }
+  double elevation() const { return elevation_; }
+  int viewport_width() const { return viewport_w_; }
+  int viewport_height() const { return viewport_h_; }
+
+  /// Pixels per world unit.
+  double Scale() const { return viewport_h_ / elevation_; }
+
+  /// World (y-up) to device (y-down) coordinates.
+  void WorldToDevice(double wx, double wy, double* dx, double* dy) const;
+  void DeviceToWorld(double dx, double dy, double* wx, double* wy) const;
+
+  /// The world rectangle visible through the viewport.
+  draw::BBox VisibleWorld() const;
+
+  /// Pans by a world-space delta.
+  void Pan(double dx, double dy);
+
+  /// Moves the center to (x, y).
+  void MoveTo(double x, double y);
+
+  /// Multiplies the zoom by `factor` (> 1 zooms in, i.e. divides the
+  /// elevation). Elevation is clamped to stay positive.
+  void Zoom(double factor);
+
+  /// Sets the elevation directly (clamped positive).
+  void SetElevation(double elevation);
+
+  // ---- Slider dimensions (location dims 2, 3, ...) ----
+
+  /// Sets the visible range of slider dimension `dim` (dim >= 2).
+  void SetSlider(size_t dim, SliderRange range);
+
+  /// The range of slider dimension `dim`, if one has been set.
+  std::optional<SliderRange> Slider(size_t dim) const;
+
+  /// True iff a location value passes the slider filter for `dim`
+  /// (dims without a configured slider accept everything).
+  bool SliderAccepts(size_t dim, double value) const;
+
+  friend bool operator==(const Camera& a, const Camera& b) = default;
+
+ private:
+  double center_x_ = 0;
+  double center_y_ = 0;
+  double elevation_ = 100;
+  int viewport_w_ = 640;
+  int viewport_h_ = 480;
+  // sliders_[i] is the range for location dimension i + 2.
+  std::vector<std::optional<SliderRange>> sliders_;
+};
+
+}  // namespace tioga2::viewer
+
+#endif  // TIOGA2_VIEWER_CAMERA_H_

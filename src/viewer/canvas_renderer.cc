@@ -1,0 +1,294 @@
+#include "viewer/canvas_renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tioga2::viewer {
+
+using display::Composite;
+using display::CompositeEntry;
+
+RenderStats& RenderStats::operator+=(const RenderStats& other) {
+  tuples_total += other.tuples_total;
+  tuples_drawn += other.tuples_drawn;
+  tuples_culled_slider += other.tuples_culled_slider;
+  tuples_culled_viewport += other.tuples_culled_viewport;
+  relations_skipped += other.relations_skipped;
+  tuple_errors += other.tuple_errors;
+  wormholes_rendered += other.wormholes_rendered;
+  return *this;
+}
+
+namespace {
+
+/// World-to-device projection for one render pass; handles the horizontal
+/// mirroring of rear-view renders (§6.3).
+struct Projector {
+  const Camera& camera;
+  bool mirror = false;
+
+  void ToDevice(double wx, double wy, double* dx, double* dy) const {
+    camera.WorldToDevice(wx, wy, dx, dy);
+    if (mirror) *dx = camera.viewport_width() - *dx;
+  }
+  double Length(double world) const { return world * camera.Scale(); }
+};
+
+/// Whether a relation participates in this pass given its elevation range:
+/// the top side shows ranges containing the camera elevation, the underside
+/// (rear view mirror) shows ranges containing the negated elevation (§6.3).
+bool ElevationVisible(const display::ElevationRange& range, const Camera& camera,
+                      bool underside) {
+  return range.Contains(underside ? -camera.elevation() : camera.elevation());
+}
+
+/// Visibility decision for one tuple; shared by rendering and hit-testing.
+enum class TupleVisibility { kVisible, kSliderCulled, kViewportCulled, kError };
+
+TupleVisibility ClassifyTuple(const display::DisplayRelation& relation,
+                              const CompositeEntry& entry, const Camera& camera,
+                              size_t row, std::vector<double>* location_out,
+                              draw::DrawableList* display_out) {
+  Result<std::vector<double>> location = relation.LocationOf(row);
+  if (!location.ok()) return TupleVisibility::kError;
+  std::vector<double>& loc = *location_out;
+  loc = std::move(location).value();
+  for (size_t d = 0; d < loc.size(); ++d) loc[d] += entry.OffsetAt(d);
+  for (size_t d = 2; d < loc.size(); ++d) {
+    if (!camera.SliderAccepts(d, loc[d])) return TupleVisibility::kSliderCulled;
+  }
+  Result<draw::DrawableList> displayed = relation.DisplayOf(row);
+  if (!displayed.ok()) return TupleVisibility::kError;
+  *display_out = std::move(displayed).value();
+  draw::BBox bounds = draw::DrawableListBounds(*display_out);
+  bounds.min_x += loc[0];
+  bounds.max_x += loc[0];
+  bounds.min_y += loc[1];
+  bounds.max_y += loc[1];
+  if (!bounds.Intersects(camera.VisibleWorld())) {
+    return TupleVisibility::kViewportCulled;
+  }
+  return TupleVisibility::kVisible;
+}
+
+Status RenderDrawable(const draw::Drawable& drawable, double wx, double wy,
+                      const Projector& projector, render::Surface* surface,
+                      const RenderOptions& options, RenderStats* stats);
+
+Status RenderDisplayList(const draw::DrawableList& list, double wx, double wy,
+                         const Projector& projector, render::Surface* surface,
+                         const RenderOptions& options, RenderStats* stats) {
+  if (list == nullptr) return Status::OK();
+  for (const draw::Drawable& drawable : *list) {
+    TIOGA2_RETURN_IF_ERROR(
+        RenderDrawable(drawable, wx, wy, projector, surface, options, stats));
+  }
+  return Status::OK();
+}
+
+Status RenderWormhole(const draw::Drawable& drawable, double ax, double ay,
+                      const Projector& projector, render::Surface* surface,
+                      const RenderOptions& options, RenderStats* stats) {
+  // Device rectangle of the viewer window (world rect is anchored at its
+  // lower-left corner, like kRectangle).
+  double dx0 = 0;
+  double dy0 = 0;
+  projector.ToDevice(ax, ay + drawable.b, &dx0, &dy0);  // top-left in device space
+  double w = projector.Length(drawable.a);
+  double h = projector.Length(drawable.b);
+  render::DeviceRect target{dx0, dy0, w, h};
+
+  // Frame: light fill plus border, so an unresolvable wormhole still shows.
+  draw::Style fill_style;
+  fill_style.fill = draw::FillMode::kFilled;
+  surface->DrawRect(dx0, dy0, w, h, fill_style, draw::kWhite);
+
+  if (options.wormhole_depth > 0 && options.registry != nullptr &&
+      options.registry->Has(drawable.wormhole.destination_canvas)) {
+    TIOGA2_ASSIGN_OR_RETURN(
+        display::Displayable destination,
+        options.registry->Resolve(drawable.wormhole.destination_canvas));
+    // Render the first composite of the destination through the wormhole's
+    // initial position (§6.2: destination canvas, elevation, location).
+    display::Group group = display::AsGroup(destination);
+    if (!group.members().empty()) {
+      const Composite& inner = group.members()[0];
+      // Nominal inner viewport: match the wormhole's aspect at ~256 px.
+      int inner_w = 256;
+      int inner_h = h > 0 && w > 0
+                        ? std::max(1, static_cast<int>(std::lround(256.0 * h / w)))
+                        : 256;
+      Camera inner_camera(drawable.wormhole.initial_x, drawable.wormhole.initial_y,
+                          drawable.wormhole.elevation, inner_w, inner_h);
+      RenderOptions inner_options = options;
+      inner_options.wormhole_depth = options.wormhole_depth - 1;
+      inner_options.underside = false;
+      surface->PushViewport(target, inner_w, inner_h);
+      Result<RenderStats> inner_stats =
+          RenderComposite(inner, inner_camera, surface, inner_options);
+      surface->PopViewport();
+      TIOGA2_RETURN_IF_ERROR(inner_stats.status());
+      *stats += inner_stats.value();
+      ++stats->wormholes_rendered;
+    }
+  }
+
+  draw::Style border;
+  border.thickness = 1;
+  surface->DrawRect(dx0, dy0, w, h, border, draw::kGray);
+  return Status::OK();
+}
+
+Status RenderDrawable(const draw::Drawable& drawable, double wx, double wy,
+                      const Projector& projector, render::Surface* surface,
+                      const RenderOptions& options, RenderStats* stats) {
+  double ax = wx + drawable.offset_x;
+  double ay = wy + drawable.offset_y;
+  double dx = 0;
+  double dy = 0;
+  projector.ToDevice(ax, ay, &dx, &dy);
+  switch (drawable.kind) {
+    case draw::DrawableKind::kPoint:
+      surface->DrawPoint(dx, dy, drawable.style.thickness, drawable.color);
+      return Status::OK();
+    case draw::DrawableKind::kLine: {
+      double ex = 0;
+      double ey = 0;
+      projector.ToDevice(ax + drawable.a, ay + drawable.b, &ex, &ey);
+      surface->DrawLine(dx, dy, ex, ey, drawable.style, drawable.color);
+      return Status::OK();
+    }
+    case draw::DrawableKind::kRectangle: {
+      // World rect anchored at lower-left; device rect needs its top-left.
+      double tx = 0;
+      double ty = 0;
+      projector.ToDevice(ax, ay + drawable.b, &tx, &ty);
+      surface->DrawRect(tx, ty, projector.Length(drawable.a),
+                        projector.Length(drawable.b), drawable.style, drawable.color);
+      return Status::OK();
+    }
+    case draw::DrawableKind::kCircle:
+      surface->DrawCircle(dx, dy, projector.Length(drawable.a), drawable.style,
+                          drawable.color);
+      return Status::OK();
+    case draw::DrawableKind::kPolygon: {
+      std::vector<draw::Point> device;
+      device.reserve(drawable.points.size());
+      for (const draw::Point& p : drawable.points) {
+        double px = 0;
+        double py = 0;
+        projector.ToDevice(ax + p.x, ay + p.y, &px, &py);
+        device.push_back(draw::Point{px, py});
+      }
+      surface->DrawPolygon(device, drawable.style, drawable.color);
+      return Status::OK();
+    }
+    case draw::DrawableKind::kText:
+      surface->DrawText(drawable.text, dx, dy, projector.Length(drawable.a),
+                        drawable.color);
+      return Status::OK();
+    case draw::DrawableKind::kViewer:
+      return RenderWormhole(drawable, ax, ay, projector, surface, options, stats);
+  }
+  return Status::Internal("unhandled drawable kind");
+}
+
+}  // namespace
+
+Result<RenderStats> RenderComposite(const Composite& composite, const Camera& camera,
+                                    render::Surface* surface,
+                                    const RenderOptions& options) {
+  RenderStats stats;
+  Projector projector{camera, options.underside};
+  for (const CompositeEntry& entry : composite.entries()) {
+    const display::DisplayRelation& relation = entry.relation;
+    if (!ElevationVisible(relation.elevation_range(), camera, options.underside)) {
+      ++stats.relations_skipped;
+      continue;
+    }
+    stats.tuples_total += relation.num_rows();
+    for (size_t row = 0; row < relation.num_rows(); ++row) {
+      std::vector<double> location;
+      draw::DrawableList display_list;
+      switch (ClassifyTuple(relation, entry, camera, row, &location, &display_list)) {
+        case TupleVisibility::kError:
+          ++stats.tuple_errors;
+          continue;
+        case TupleVisibility::kSliderCulled:
+          ++stats.tuples_culled_slider;
+          continue;
+        case TupleVisibility::kViewportCulled:
+          ++stats.tuples_culled_viewport;
+          continue;
+        case TupleVisibility::kVisible:
+          break;
+      }
+      TIOGA2_RETURN_IF_ERROR(RenderDisplayList(display_list, location[0], location[1],
+                                               projector, surface, options, &stats));
+      if (display_list != nullptr && !display_list->empty()) ++stats.tuples_drawn;
+    }
+  }
+  return stats;
+}
+
+Result<std::optional<Hit>> HitTest(const Composite& composite, const Camera& camera,
+                                   double dx, double dy) {
+  double wx = 0;
+  double wy = 0;
+  camera.DeviceToWorld(dx, dy, &wx, &wy);
+  // Iterate topmost-first: later members draw above earlier ones, and later
+  // rows above earlier rows.
+  for (size_t m = composite.size(); m-- > 0;) {
+    const CompositeEntry& entry = composite.entries()[m];
+    const display::DisplayRelation& relation = entry.relation;
+    if (!ElevationVisible(relation.elevation_range(), camera, /*underside=*/false)) {
+      continue;
+    }
+    for (size_t row = relation.num_rows(); row-- > 0;) {
+      std::vector<double> location;
+      draw::DrawableList display_list;
+      if (ClassifyTuple(relation, entry, camera, row, &location, &display_list) !=
+          TupleVisibility::kVisible) {
+        continue;
+      }
+      draw::BBox bounds = draw::DrawableListBounds(display_list);
+      if (bounds.Contains(wx - location[0], wy - location[1])) {
+        return std::optional<Hit>(Hit{m, 0, row, relation.name()});
+      }
+    }
+  }
+  return std::optional<Hit>();
+}
+
+Result<std::optional<draw::WormholeSpec>> FindWormholeAt(const Composite& composite,
+                                                         const Camera& camera,
+                                                         double wx, double wy) {
+  for (size_t m = composite.size(); m-- > 0;) {
+    const CompositeEntry& entry = composite.entries()[m];
+    const display::DisplayRelation& relation = entry.relation;
+    if (!ElevationVisible(relation.elevation_range(), camera, /*underside=*/false)) {
+      continue;
+    }
+    for (size_t row = relation.num_rows(); row-- > 0;) {
+      std::vector<double> location;
+      draw::DrawableList display_list;
+      if (ClassifyTuple(relation, entry, camera, row, &location, &display_list) !=
+          TupleVisibility::kVisible) {
+        continue;
+      }
+      if (display_list == nullptr) continue;
+      for (size_t i = display_list->size(); i-- > 0;) {
+        const draw::Drawable& d = (*display_list)[i];
+        if (d.kind != draw::DrawableKind::kViewer) continue;
+        double x0 = location[0] + d.offset_x;
+        double y0 = location[1] + d.offset_y;
+        if (wx >= x0 && wx <= x0 + d.a && wy >= y0 && wy <= y0 + d.b) {
+          return std::optional<draw::WormholeSpec>(d.wormhole);
+        }
+      }
+    }
+  }
+  return std::optional<draw::WormholeSpec>();
+}
+
+}  // namespace tioga2::viewer

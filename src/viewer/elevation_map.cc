@@ -1,0 +1,86 @@
+#include "viewer/elevation_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tioga2::viewer {
+
+namespace {
+
+/// The elevation scale shown by the widget: covers every finite bound and
+/// the current elevation, with headroom.
+double ScaleMax(const std::vector<ElevationBar>& bars, double current_elevation) {
+  double max_elevation = std::max(current_elevation, 1.0);
+  for (const ElevationBar& bar : bars) {
+    if (std::isfinite(bar.max_elevation)) {
+      max_elevation = std::max(max_elevation, bar.max_elevation);
+    }
+    if (std::isfinite(bar.min_elevation)) {
+      max_elevation = std::max(max_elevation, bar.min_elevation);
+    }
+  }
+  return max_elevation * 1.1;
+}
+
+}  // namespace
+
+Status RenderElevationMap(const std::vector<ElevationBar>& bars,
+                          double current_elevation, const render::DeviceRect& rect,
+                          render::Surface* surface) {
+  if (surface == nullptr) return Status::InvalidArgument("surface must be non-null");
+  draw::Style frame;
+  surface->DrawRect(rect.x, rect.y, rect.width, rect.height, frame, draw::kBlack);
+  if (bars.empty()) return Status::OK();
+
+  double scale_max = ScaleMax(bars, current_elevation);
+  double row_height = rect.height / static_cast<double>(bars.size());
+  auto x_of = [&](double elevation) {
+    double clamped = std::clamp(elevation, 0.0, scale_max);
+    return rect.x + rect.width * (clamped / scale_max);
+  };
+
+  draw::Style filled;
+  filled.fill = draw::FillMode::kFilled;
+  for (size_t i = 0; i < bars.size(); ++i) {
+    const ElevationBar& bar = bars[i];
+    // Drawing order reads bottom-up: order 0 at the bottom.
+    double row_top = rect.y + rect.height - row_height * static_cast<double>(i + 1);
+    double x0 = x_of(std::isfinite(bar.min_elevation) ? bar.min_elevation : 0.0);
+    double x1 = x_of(std::isfinite(bar.max_elevation) ? bar.max_elevation : scale_max);
+    double pad = row_height * 0.2;
+    surface->DrawRect(x0, row_top + pad, std::max(1.0, x1 - x0),
+                      std::max(1.0, row_height - 2 * pad), filled, draw::kGray);
+    surface->DrawText(bar.relation_name, rect.x + 2, row_top + row_height - pad - 1,
+                      std::max(7.0, row_height * 0.4), draw::kBlack);
+  }
+
+  // The elevation control: a dashed vertical line at the current elevation
+  // (§3: "an elevation control (a dashed line through the elevation map)").
+  draw::Style dashed;
+  dashed.line = draw::LineStyle::kDashed;
+  double cx = x_of(current_elevation);
+  surface->DrawLine(cx, rect.y, cx, rect.y + rect.height, dashed, draw::kRed);
+  return Status::OK();
+}
+
+std::optional<size_t> HitTestElevationMap(const std::vector<ElevationBar>& bars,
+                                          const render::DeviceRect& rect, double dx,
+                                          double dy, double* elevation_out) {
+  if (bars.empty()) return std::nullopt;
+  if (dx < rect.x || dx > rect.x + rect.width || dy < rect.y ||
+      dy > rect.y + rect.height) {
+    return std::nullopt;
+  }
+  double scale_max = ScaleMax(bars, 1.0);
+  if (elevation_out != nullptr) {
+    *elevation_out = (dx - rect.x) / rect.width * scale_max;
+  }
+  double row_height = rect.height / static_cast<double>(bars.size());
+  // Rows draw bottom-up.
+  size_t row_from_top = static_cast<size_t>(
+      std::min<double>(static_cast<double>(bars.size()) - 1,
+                       std::max(0.0, (dy - rect.y) / row_height)));
+  return bars.size() - 1 - row_from_top;
+}
+
+}  // namespace tioga2::viewer

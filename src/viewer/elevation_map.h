@@ -1,0 +1,33 @@
+#ifndef TIOGA2_VIEWER_ELEVATION_MAP_H_
+#define TIOGA2_VIEWER_ELEVATION_MAP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "render/surface.h"
+#include "viewer/viewer.h"
+
+namespace tioga2::viewer {
+
+/// Draws the elevation map widget (§6.1): "a bar-chart display of the
+/// maximum/minimum elevations and drawing order of all elements of a
+/// composite on the current canvas", with the elevation control — "a dashed
+/// line through the elevation map" (§3) — marking the current elevation.
+///
+/// Layout: one horizontal bar per composite member, bottom bar drawn first
+/// in the composite (drawing order reads bottom-up); the x axis spans
+/// elevations [0, max] with unbounded ranges clamped to the scale.
+Status RenderElevationMap(const std::vector<ElevationBar>& bars,
+                          double current_elevation, const render::DeviceRect& rect,
+                          render::Surface* surface);
+
+/// The widget's inverse mapping for direct manipulation: which bar (if any)
+/// and which elevation a click at (dx, dy) addresses. Returns the bar index
+/// and writes the clicked elevation; nullopt when the click misses all bars.
+std::optional<size_t> HitTestElevationMap(const std::vector<ElevationBar>& bars,
+                                          const render::DeviceRect& rect, double dx,
+                                          double dy, double* elevation_out);
+
+}  // namespace tioga2::viewer
+
+#endif  // TIOGA2_VIEWER_ELEVATION_MAP_H_

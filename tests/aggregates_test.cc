@@ -1,0 +1,216 @@
+// Tests for GroupBy / Distinct / UnionAll and their boxes.
+
+#include <gtest/gtest.h>
+
+#include "boxes/box_registry.h"
+#include "boxes/query_boxes.h"
+#include "dataflow/engine.h"
+#include "db/aggregates.h"
+#include "db/catalog.h"
+
+namespace tioga2::db {
+namespace {
+
+using types::DataType;
+using types::Value;
+
+RelationPtr Sales() {
+  return MakeRelation(
+             {Column{"region", DataType::kString}, Column{"product", DataType::kString},
+              Column{"units", DataType::kInt}, Column{"price", DataType::kFloat}},
+             {
+                 {Value::String("west"), Value::String("hat"), Value::Int(3),
+                  Value::Float(10.0)},
+                 {Value::String("west"), Value::String("bag"), Value::Int(1),
+                  Value::Float(25.0)},
+                 {Value::String("east"), Value::String("hat"), Value::Int(5),
+                  Value::Float(9.0)},
+                 {Value::String("east"), Value::String("hat"), Value::Null(),
+                  Value::Float(11.0)},
+             })
+      .value();
+}
+
+TEST(GroupByTest, CountSumAvgMinMax) {
+  auto grouped = GroupBy(Sales(), {"region"},
+                         {AggSpec{AggFn::kCount, "", "n"},
+                          AggSpec{AggFn::kSum, "units", "total_units"},
+                          AggSpec{AggFn::kAvg, "price", "avg_price"},
+                          AggSpec{AggFn::kMin, "price", "min_price"},
+                          AggSpec{AggFn::kMax, "product", "max_product"}});
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  const Relation& r = **grouped;
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.schema()->ToString(),
+            "(region:string, n:int, total_units:float, avg_price:float, "
+            "min_price:float, max_product:string)");
+  // Groups appear in first-seen order: west then east.
+  EXPECT_EQ(r.at(0, 0).string_value(), "west");
+  EXPECT_EQ(r.at(0, 1).int_value(), 2);
+  EXPECT_DOUBLE_EQ(r.at(0, 2).float_value(), 4.0);
+  EXPECT_DOUBLE_EQ(r.at(0, 3).float_value(), 17.5);
+  EXPECT_DOUBLE_EQ(r.at(0, 4).float_value(), 10.0);
+  EXPECT_EQ(r.at(0, 5).string_value(), "hat");
+  // East: null units skipped by sum; count counts rows.
+  EXPECT_EQ(r.at(1, 1).int_value(), 2);
+  EXPECT_DOUBLE_EQ(r.at(1, 2).float_value(), 5.0);
+}
+
+TEST(GroupByTest, MultipleKeys) {
+  auto grouped = GroupBy(Sales(), {"region", "product"},
+                         {AggSpec{AggFn::kCount, "", "n"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ((*grouped)->num_rows(), 3u);  // west-hat, west-bag, east-hat
+}
+
+TEST(GroupByTest, EmptyKeysIsGlobalAggregate) {
+  auto grouped =
+      GroupBy(Sales(), {}, {AggSpec{AggFn::kSum, "units", "total"}});
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ((*grouped)->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ((*grouped)->at(0, 0).float_value(), 9.0);
+}
+
+TEST(GroupByTest, AllNullColumnYieldsNullAggregate) {
+  auto relation = MakeRelation({Column{"k", DataType::kString},
+                                Column{"v", DataType::kInt}},
+                               {{Value::String("a"), Value::Null()}})
+                      .value();
+  auto grouped = GroupBy(relation, {"k"}, {AggSpec{AggFn::kSum, "v", "s"},
+                                           AggSpec{AggFn::kMin, "v", "m"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_TRUE((*grouped)->at(0, 1).is_null());
+  EXPECT_TRUE((*grouped)->at(0, 2).is_null());
+}
+
+TEST(GroupByTest, Validation) {
+  EXPECT_TRUE(GroupBy(Sales(), {"nope"}, {AggSpec{AggFn::kCount, "", "n"}})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(GroupBy(Sales(), {"region"}, {AggSpec{AggFn::kSum, "product", "s"}})
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(GroupBy(Sales(), {"region"}, {AggSpec{AggFn::kCount, "", ""}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GroupByTest, NumericKeysUnify) {
+  auto relation = MakeRelation({Column{"k", DataType::kFloat}},
+                               {{Value::Float(2.0)}, {Value::Float(2.0)},
+                                {Value::Float(3.0)}})
+                      .value();
+  auto grouped = GroupBy(relation, {"k"}, {AggSpec{AggFn::kCount, "", "n"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ((*grouped)->num_rows(), 2u);
+}
+
+TEST(DistinctTest, RemovesDuplicatesKeepsFirst) {
+  auto relation = MakeRelation({Column{"a", DataType::kInt},
+                                Column{"b", DataType::kString}},
+                               {{Value::Int(1), Value::String("x")},
+                                {Value::Int(1), Value::String("x")},
+                                {Value::Int(1), Value::String("y")},
+                                {Value::Null(), Value::Null()},
+                                {Value::Null(), Value::Null()}})
+                      .value();
+  auto distinct = Distinct(relation);
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ((*distinct)->num_rows(), 3u);
+}
+
+TEST(UnionAllTest, AppendsAndChecksSchema) {
+  auto a = MakeRelation({Column{"v", DataType::kInt}}, {{Value::Int(1)}}).value();
+  auto b = MakeRelation({Column{"v", DataType::kInt}}, {{Value::Int(2)}}).value();
+  auto merged = UnionAll(a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ((*merged)->num_rows(), 2u);
+  auto c = MakeRelation({Column{"w", DataType::kInt}}, {}).value();
+  EXPECT_TRUE(UnionAll(a, c).status().IsTypeError());
+}
+
+TEST(AggFnTest, NamesRoundTrip) {
+  for (AggFn fn : {AggFn::kCount, AggFn::kSum, AggFn::kAvg, AggFn::kMin, AggFn::kMax}) {
+    AggFn parsed;
+    ASSERT_TRUE(AggFnFromString(AggFnToString(fn), &parsed));
+    EXPECT_EQ(parsed, fn);
+  }
+  AggFn unused;
+  EXPECT_FALSE(AggFnFromString("median", &unused));
+}
+
+TEST(AggSpecParseTest, RoundTrip) {
+  auto specs = boxes::ParseAggSpecs("count::n;sum:units:total;min:price:cheapest");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  EXPECT_EQ(specs->size(), 3u);
+  EXPECT_EQ(boxes::AggSpecsToString(*specs),
+            "count::n;sum:units:total;min:price:cheapest");
+  EXPECT_TRUE(boxes::ParseAggSpecs("bogus:units:x").status().IsParseError());
+  EXPECT_TRUE(boxes::ParseAggSpecs("sum::x").status().IsParseError());
+  EXPECT_TRUE(boxes::ParseAggSpecs("sum:units").status().IsParseError());
+  EXPECT_TRUE(boxes::ParseAggSpecs("").status().IsInvalidArgument());
+}
+
+TEST(QueryBoxesTest, GroupByBoxThroughEngine) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("Sales", Sales()).ok());
+  dataflow::Graph graph;
+  std::string table = graph.AddBox(boxes::MakeBox("Table", {{"table", "Sales"}})
+                                       .value())
+                          .value();
+  std::string group =
+      graph
+          .AddBox(boxes::MakeBox("GroupBy", {{"keys", "region"},
+                                             {"aggs", "count::n;sum:units:total"}})
+                      .value())
+          .value();
+  ASSERT_TRUE(graph.Connect(table, 0, group, 0).ok());
+  dataflow::Engine engine(&catalog);
+  auto value = engine.Evaluate(graph, group, 0);
+  ASSERT_TRUE(value.ok()) << value.status().ToString();
+  auto relation =
+      display::AsRelation(std::get<display::Displayable>(*value)).value();
+  EXPECT_EQ(relation.num_rows(), 2u);
+  EXPECT_EQ(relation.name(), "Sales_by");
+}
+
+TEST(QueryBoxesTest, SortLimitDistinctUnionBoxes) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("Sales", Sales()).ok());
+  dataflow::Graph graph;
+  std::string table =
+      graph.AddBox(boxes::MakeBox("Table", {{"table", "Sales"}}).value()).value();
+  std::string sorted =
+      graph
+          .AddBox(boxes::MakeBox("Sort", {{"column", "units"}, {"ascending", "false"}})
+                      .value())
+          .value();
+  std::string limited =
+      graph.AddBox(boxes::MakeBox("Limit", {{"n", "2"}}).value()).value();
+  ASSERT_TRUE(graph.Connect(table, 0, sorted, 0).ok());
+  ASSERT_TRUE(graph.Connect(sorted, 0, limited, 0).ok());
+  dataflow::Engine engine(&catalog);
+  auto value = engine.Evaluate(graph, limited, 0).value();
+  auto relation =
+      display::AsRelation(std::get<display::Displayable>(value)).value();
+  ASSERT_EQ(relation.num_rows(), 2u);
+  EXPECT_EQ(relation.base()->at(0, 2).int_value(), 5);  // sorted descending
+
+  std::string table2 =
+      graph.AddBox(boxes::MakeBox("Table", {{"table", "Sales"}}).value()).value();
+  std::string both =
+      graph.AddBox(boxes::MakeBox("UnionAll", {}).value()).value();
+  ASSERT_TRUE(graph.Connect(limited, 0, both, 0).ok());
+  ASSERT_TRUE(graph.Connect(table2, 0, both, 1).ok());
+  std::string distinct =
+      graph.AddBox(boxes::MakeBox("Distinct", {}).value()).value();
+  ASSERT_TRUE(graph.Connect(both, 0, distinct, 0).ok());
+  auto distinct_value = engine.Evaluate(graph, distinct, 0).value();
+  auto distinct_relation =
+      display::AsRelation(std::get<display::Displayable>(distinct_value)).value();
+  // 2 + 4 rows with the 2 limited ones duplicated -> 4 distinct.
+  EXPECT_EQ(distinct_relation.num_rows(), 4u);
+}
+
+}  // namespace
+}  // namespace tioga2::db

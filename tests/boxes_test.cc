@@ -1,0 +1,297 @@
+// Tests for the concrete box library: the Figure 3 database boxes, the
+// Figure 5 attribute boxes, and the §6/§7 composite boxes (Overlay, Shuffle,
+// Stitch, Replicate, Lift).
+
+#include <gtest/gtest.h>
+
+#include "boxes/attribute_boxes.h"
+#include "boxes/composite_boxes.h"
+#include "boxes/relational_boxes.h"
+#include "dataflow/engine.h"
+#include "db/relation.h"
+
+namespace tioga2::boxes {
+namespace {
+
+using dataflow::Engine;
+using dataflow::Graph;
+using db::Column;
+using display::Composite;
+using display::DisplayRelation;
+using display::Group;
+using types::DataType;
+using types::Value;
+
+class BoxesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cities =
+        db::MakeRelation(
+            {Column{"name", DataType::kString}, Column{"lon", DataType::kFloat},
+             Column{"lat", DataType::kFloat}, Column{"pop", DataType::kInt}},
+            {
+                {Value::String("NOLA"), Value::Float(-90.1), Value::Float(30.0),
+                 Value::Int(497)},
+                {Value::String("BR"), Value::Float(-91.2), Value::Float(30.4),
+                 Value::Int(227)},
+                {Value::String("SHV"), Value::Float(-93.8), Value::Float(32.5),
+                 Value::Int(188)},
+            })
+            .value();
+    ASSERT_TRUE(catalog_.RegisterTable("Cities", cities).ok());
+    auto visits = db::MakeRelation({Column{"city", DataType::kString},
+                                    Column{"count", DataType::kInt}},
+                                   {{Value::String("NOLA"), Value::Int(4)},
+                                    {Value::String("SHV"), Value::Int(2)}})
+                      .value();
+    ASSERT_TRUE(catalog_.RegisterTable("Visits", visits).ok());
+  }
+
+  Result<DisplayRelation> EvalRelation(const Graph& graph, const std::string& box,
+                                       size_t port = 0) {
+    Engine engine(&catalog_);
+    TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxValue value, engine.Evaluate(graph, box, port));
+    TIOGA2_ASSIGN_OR_RETURN(display::Displayable displayable,
+                            dataflow::AsDisplayable(value));
+    return display::AsRelation(displayable);
+  }
+
+  Result<Group> EvalGroup(const Graph& graph, const std::string& box) {
+    Engine engine(&catalog_);
+    TIOGA2_ASSIGN_OR_RETURN(dataflow::BoxValue value, engine.Evaluate(graph, box, 0));
+    TIOGA2_ASSIGN_OR_RETURN(display::Displayable displayable,
+                            dataflow::AsDisplayable(value));
+    return display::AsGroup(displayable);
+  }
+
+  db::Catalog catalog_;
+};
+
+TEST_F(BoxesTest, TableBoxProducesDefaults) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  DisplayRelation rel = EvalRelation(graph, table).value();
+  EXPECT_EQ(rel.name(), "Cities");
+  EXPECT_EQ(rel.num_rows(), 3u);
+  EXPECT_EQ(rel.Dimension(), 2u);
+}
+
+TEST_F(BoxesTest, ProjectBoxKeepsColumns) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string project = graph.AddBox(std::make_unique<ProjectBox>(
+                                         std::vector<std::string>{"name", "pop"}))
+                            .value();
+  ASSERT_TRUE(graph.Connect(table, 0, project, 0).ok());
+  DisplayRelation rel = EvalRelation(graph, project).value();
+  EXPECT_EQ(rel.base()->schema()->ToString(), "(name:string, pop:int)");
+}
+
+TEST_F(BoxesTest, JoinBoxUsesOutputSchemaNames) {
+  Graph graph;
+  std::string cities = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string visits = graph.AddBox(std::make_unique<TableBox>("Visits")).value();
+  std::string join = graph.AddBox(std::make_unique<JoinBox>("name = city")).value();
+  ASSERT_TRUE(graph.Connect(cities, 0, join, 0).ok());
+  ASSERT_TRUE(graph.Connect(visits, 0, join, 1).ok());
+  DisplayRelation rel = EvalRelation(graph, join).value();
+  EXPECT_EQ(rel.num_rows(), 2u);
+  EXPECT_TRUE(rel.base()->schema()->HasColumn("count"));
+  EXPECT_EQ(rel.name(), "Cities_Visits");
+}
+
+TEST_F(BoxesTest, AttributeBoxChain) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string add =
+      graph.AddBox(std::make_unique<AddAttributeBox>("dbl", "pop * 2")).value();
+  std::string scale =
+      graph.AddBox(std::make_unique<ScaleAttributeBox>("dbl", 0.5)).value();
+  std::string set_x = graph.AddBox(std::make_unique<SetLocationBox>(0, "lon")).value();
+  std::string rename = graph.AddBox(std::make_unique<SetNameBox>("pretty")).value();
+  ASSERT_TRUE(graph.Connect(table, 0, add, 0).ok());
+  ASSERT_TRUE(graph.Connect(add, 0, scale, 0).ok());
+  ASSERT_TRUE(graph.Connect(scale, 0, set_x, 0).ok());
+  ASSERT_TRUE(graph.Connect(set_x, 0, rename, 0).ok());
+  DisplayRelation rel = EvalRelation(graph, rename).value();
+  EXPECT_DOUBLE_EQ(rel.AttributeValue(0, "dbl")->AsDouble(), 497.0);
+  EXPECT_DOUBLE_EQ(rel.LocationOf(0).value()[0], -90.1);
+  EXPECT_EQ(rel.name(), "pretty");
+}
+
+TEST_F(BoxesTest, SetRangeBoxSetsElevations) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string range = graph.AddBox(std::make_unique<SetRangeBox>(0, 50)).value();
+  ASSERT_TRUE(graph.Connect(table, 0, range, 0).ok());
+  DisplayRelation rel = EvalRelation(graph, range).value();
+  EXPECT_EQ(rel.elevation_range().min, 0);
+  EXPECT_EQ(rel.elevation_range().max, 50);
+}
+
+TEST_F(BoxesTest, OverlayBoxWarnsOnDimensionMismatch) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string b = graph.AddBox(std::make_unique<TableBox>("Visits")).value();
+  std::string dim =
+      graph.AddBox(std::make_unique<AddLocationDimensionBox>("pop")).value();
+  std::string overlay =
+      graph.AddBox(std::make_unique<OverlayBox>(std::vector<double>{})).value();
+  ASSERT_TRUE(graph.Connect(a, 0, dim, 0).ok());
+  ASSERT_TRUE(graph.Connect(dim, 0, overlay, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, 0, overlay, 1).ok());
+  Engine engine(&catalog_);
+  ASSERT_TRUE(engine.Evaluate(graph, overlay, 0).ok());
+  ASSERT_EQ(engine.warnings().size(), 1u);
+  EXPECT_NE(engine.warnings()[0].find("dimension"), std::string::npos);
+}
+
+TEST_F(BoxesTest, OverlayBoxAppliesOffset) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string b = graph.AddBox(std::make_unique<TableBox>("Visits")).value();
+  std::string overlay =
+      graph.AddBox(std::make_unique<OverlayBox>(std::vector<double>{5, -3})).value();
+  ASSERT_TRUE(graph.Connect(a, 0, overlay, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, 0, overlay, 1).ok());
+  Engine engine(&catalog_);
+  auto value = engine.Evaluate(graph, overlay, 0).value();
+  Composite composite =
+      display::AsComposite(std::get<display::Displayable>(value)).value();
+  ASSERT_EQ(composite.size(), 2u);
+  EXPECT_DOUBLE_EQ(composite.entries()[1].OffsetAt(0), 5);
+  EXPECT_DOUBLE_EQ(composite.entries()[1].OffsetAt(1), -3);
+}
+
+TEST_F(BoxesTest, ShuffleBoxReordersByName) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string b = graph.AddBox(std::make_unique<TableBox>("Visits")).value();
+  std::string overlay =
+      graph.AddBox(std::make_unique<OverlayBox>(std::vector<double>{})).value();
+  std::string shuffle = graph.AddBox(std::make_unique<ShuffleBox>("Cities")).value();
+  ASSERT_TRUE(graph.Connect(a, 0, overlay, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, 0, overlay, 1).ok());
+  ASSERT_TRUE(graph.Connect(overlay, 0, shuffle, 0).ok());
+  Engine engine(&catalog_);
+  auto value = engine.Evaluate(graph, shuffle, 0).value();
+  Composite composite =
+      display::AsComposite(std::get<display::Displayable>(value)).value();
+  EXPECT_EQ(composite.entries()[1].relation.name(), "Cities");  // moved to top
+}
+
+TEST_F(BoxesTest, StitchBoxBuildsGroup) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string b = graph.AddBox(std::make_unique<TableBox>("Visits")).value();
+  std::string stitch =
+      graph.AddBox(std::make_unique<StitchBox>(2, display::GroupLayout::kVertical, 1))
+          .value();
+  ASSERT_TRUE(graph.Connect(a, 0, stitch, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, 0, stitch, 1).ok());
+  Group group = EvalGroup(graph, stitch).value();
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_EQ(group.layout(), display::GroupLayout::kVertical);
+}
+
+TEST_F(BoxesTest, ReplicateBoxPartitionsTabular) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string replicate =
+      graph.AddBox(std::make_unique<ReplicateBox>(
+                       std::vector<std::string>{"pop <= 200", "pop > 200"},
+                       std::vector<std::string>{"lat < 31", "lat >= 31"}))
+          .value();
+  ASSERT_TRUE(graph.Connect(table, 0, replicate, 0).ok());
+  Group group = EvalGroup(graph, replicate).value();
+  ASSERT_EQ(group.size(), 4u);
+  EXPECT_EQ(group.layout(), display::GroupLayout::kTabular);
+  EXPECT_EQ(group.tabular_columns(), 2u);
+  // Row 0: pop<=200 x {lat<31 (none), lat>=31 (SHV)}.
+  EXPECT_EQ(group.members()[0].entries()[0].relation.num_rows(), 0u);
+  EXPECT_EQ(group.members()[1].entries()[0].relation.num_rows(), 1u);
+  // Row 1: pop>200 x {lat<31 -> NOLA, BR}, {lat>=31 -> none}.
+  EXPECT_EQ(group.members()[2].entries()[0].relation.num_rows(), 2u);
+  EXPECT_EQ(group.members()[3].entries()[0].relation.num_rows(), 0u);
+}
+
+TEST_F(BoxesTest, ReplicateRowsOnlyIsVertical) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string replicate = graph.AddBox(std::make_unique<ReplicateBox>(
+                                           std::vector<std::string>{"pop <= 200",
+                                                                    "pop > 200"},
+                                           std::vector<std::string>{}))
+                              .value();
+  ASSERT_TRUE(graph.Connect(table, 0, replicate, 0).ok());
+  Group group = EvalGroup(graph, replicate).value();
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_EQ(group.layout(), display::GroupLayout::kVertical);
+}
+
+TEST_F(BoxesTest, LiftBoxAppliesInnerOpToCompositeMember) {
+  // Overlay Cities and Visits, then Restrict *only Cities* through a Lift —
+  // the §2 operator-overloading story.
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string b = graph.AddBox(std::make_unique<TableBox>("Visits")).value();
+  std::string overlay =
+      graph.AddBox(std::make_unique<OverlayBox>(std::vector<double>{})).value();
+  auto inner = std::make_unique<RestrictBox>("pop > 200");
+  std::string lift =
+      graph.AddBox(std::make_unique<LiftBox>(std::move(inner),
+                                             dataflow::PortType::CompositeT(), 0,
+                                             "Cities"))
+          .value();
+  ASSERT_TRUE(graph.Connect(a, 0, overlay, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, 0, overlay, 1).ok());
+  ASSERT_TRUE(graph.Connect(overlay, 0, lift, 0).ok());
+  Engine engine(&catalog_);
+  auto value = engine.Evaluate(graph, lift, 0).value();
+  Composite composite =
+      display::AsComposite(std::get<display::Displayable>(value)).value();
+  ASSERT_EQ(composite.size(), 2u);
+  EXPECT_EQ(composite.entries()[0].relation.num_rows(), 2u);  // Cities filtered
+  EXPECT_EQ(composite.entries()[1].relation.num_rows(), 2u);  // Visits untouched
+}
+
+TEST_F(BoxesTest, SwitchBoxOutputsPartition) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string sw = graph.AddBox(std::make_unique<SwitchBox>("pop > 200")).value();
+  ASSERT_TRUE(graph.Connect(table, 0, sw, 0).ok());
+  EXPECT_EQ(EvalRelation(graph, sw, 0)->num_rows(), 2u);
+  EXPECT_EQ(EvalRelation(graph, sw, 1)->num_rows(), 1u);
+}
+
+TEST_F(BoxesTest, ConstBoxProducesScalar) {
+  Graph graph;
+  std::string c =
+      graph.AddBox(std::make_unique<ConstBox>(DataType::kFloat, "2.5")).value();
+  Engine engine(&catalog_);
+  auto value = engine.Evaluate(graph, c, 0).value();
+  EXPECT_DOUBLE_EQ(dataflow::AsScalar(value)->float_value(), 2.5);
+  // Malformed constant text surfaces at fire time.
+  std::string bad = graph.AddBox(std::make_unique<ConstBox>(DataType::kInt, "x")).value();
+  EXPECT_TRUE(engine.Evaluate(graph, bad, 0).status().IsParseError());
+}
+
+TEST_F(BoxesTest, ViewerBoxIsSink) {
+  ViewerBox viewer("main");
+  EXPECT_TRUE(viewer.OutputTypes().empty());
+  EXPECT_EQ(viewer.InputTypes().size(), 1u);
+  EXPECT_EQ(viewer.canvas(), "main");
+}
+
+TEST_F(BoxesTest, ErrorsPropagateThroughEngine) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("Cities")).value();
+  std::string bad =
+      graph.AddBox(std::make_unique<RestrictBox>("nonexistent > 1")).value();
+  ASSERT_TRUE(graph.Connect(table, 0, bad, 0).ok());
+  Engine engine(&catalog_);
+  EXPECT_TRUE(engine.Evaluate(graph, bad, 0).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace tioga2::boxes

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "viewer/camera.h"
+
+namespace tioga2::viewer {
+namespace {
+
+TEST(CameraTest, CenterMapsToViewportCenter) {
+  Camera camera(10, 20, 100, 640, 480);
+  double dx = 0;
+  double dy = 0;
+  camera.WorldToDevice(10, 20, &dx, &dy);
+  EXPECT_DOUBLE_EQ(dx, 320);
+  EXPECT_DOUBLE_EQ(dy, 240);
+}
+
+TEST(CameraTest, YAxisFlips) {
+  Camera camera(0, 0, 100, 100, 100);
+  double dx = 0;
+  double dy = 0;
+  camera.WorldToDevice(0, 10, &dx, &dy);  // up in world
+  EXPECT_LT(dy, 50);                       // is up (smaller y) on screen
+  camera.WorldToDevice(0, -10, &dx, &dy);
+  EXPECT_GT(dy, 50);
+}
+
+TEST(CameraTest, ScaleIsViewportHeightOverElevation) {
+  Camera camera(0, 0, 50, 200, 100);
+  EXPECT_DOUBLE_EQ(camera.Scale(), 2.0);  // 100 px / 50 world units
+}
+
+TEST(CameraTest, RoundTripWorldDevice) {
+  Camera camera(-90.5, 30.25, 3.5, 640, 480);
+  for (double wx : {-92.0, -90.5, -89.1}) {
+    for (double wy : {29.0, 30.25, 31.7}) {
+      double dx = 0;
+      double dy = 0;
+      camera.WorldToDevice(wx, wy, &dx, &dy);
+      double back_x = 0;
+      double back_y = 0;
+      camera.DeviceToWorld(dx, dy, &back_x, &back_y);
+      EXPECT_NEAR(back_x, wx, 1e-9);
+      EXPECT_NEAR(back_y, wy, 1e-9);
+    }
+  }
+}
+
+TEST(CameraTest, VisibleWorldMatchesElevationAndAspect) {
+  Camera camera(0, 0, 100, 200, 100);  // aspect 2:1
+  draw::BBox visible = camera.VisibleWorld();
+  EXPECT_DOUBLE_EQ(visible.Height(), 100);
+  EXPECT_DOUBLE_EQ(visible.Width(), 200);
+  EXPECT_DOUBLE_EQ(visible.min_x, -100);
+  EXPECT_DOUBLE_EQ(visible.max_y, 50);
+}
+
+TEST(CameraTest, PanAndMoveTo) {
+  Camera camera(0, 0, 10, 100, 100);
+  camera.Pan(3, -4);
+  EXPECT_DOUBLE_EQ(camera.center_x(), 3);
+  EXPECT_DOUBLE_EQ(camera.center_y(), -4);
+  camera.MoveTo(7, 8);
+  EXPECT_DOUBLE_EQ(camera.center_x(), 7);
+}
+
+TEST(CameraTest, ZoomDescends) {
+  Camera camera(0, 0, 100, 100, 100);
+  camera.Zoom(2.0);  // zoom in halves the elevation
+  EXPECT_DOUBLE_EQ(camera.elevation(), 50);
+  camera.Zoom(0.5);  // zoom out
+  EXPECT_DOUBLE_EQ(camera.elevation(), 100);
+  camera.Zoom(-1.0);  // ignored
+  EXPECT_DOUBLE_EQ(camera.elevation(), 100);
+  camera.SetElevation(0);  // clamped positive
+  EXPECT_GT(camera.elevation(), 0);
+}
+
+TEST(CameraTest, SliderFiltering) {
+  Camera camera(0, 0, 10, 100, 100);
+  // Without a slider every value passes.
+  EXPECT_TRUE(camera.SliderAccepts(2, 12345));
+  camera.SetSlider(2, SliderRange{0, 100});
+  EXPECT_TRUE(camera.SliderAccepts(2, 50));
+  EXPECT_TRUE(camera.SliderAccepts(2, 0));
+  EXPECT_FALSE(camera.SliderAccepts(2, 101));
+  // Other dims unaffected.
+  EXPECT_TRUE(camera.SliderAccepts(3, 999));
+  camera.SetSlider(4, SliderRange{-1, 1});
+  EXPECT_FALSE(camera.SliderAccepts(4, 2));
+  EXPECT_TRUE(camera.Slider(3) == std::nullopt);
+  // Dims < 2 are screen dimensions, not sliders.
+  camera.SetSlider(0, SliderRange{0, 1});
+  EXPECT_TRUE(camera.Slider(0) == std::nullopt);
+}
+
+TEST(CameraTest, FitFramesWorld) {
+  draw::BBox world{-94, 29, -89, 33};
+  Camera camera = Camera::Fit(world, 640, 480);
+  draw::BBox visible = camera.VisibleWorld();
+  EXPECT_LE(visible.min_x, world.min_x);
+  EXPECT_GE(visible.max_x, world.max_x);
+  EXPECT_LE(visible.min_y, world.min_y);
+  EXPECT_GE(visible.max_y, world.max_y);
+  EXPECT_DOUBLE_EQ(camera.center_x(), -91.5);
+  EXPECT_DOUBLE_EQ(camera.center_y(), 31);
+}
+
+TEST(CameraTest, FitDegenerateWorld) {
+  draw::BBox point{5, 5, 5, 5};
+  Camera camera = Camera::Fit(point, 100, 100);
+  EXPECT_GT(camera.elevation(), 0);
+  EXPECT_TRUE(camera.VisibleWorld().Contains(5, 5));
+}
+
+TEST(CameraTest, FitWideWorldUsesAspect) {
+  // A world much wider than tall must still fit horizontally.
+  draw::BBox wide{0, 0, 100, 1};
+  Camera camera = Camera::Fit(wide, 200, 100);
+  draw::BBox visible = camera.VisibleWorld();
+  EXPECT_GE(visible.Width(), 100);
+}
+
+}  // namespace
+}  // namespace tioga2::viewer

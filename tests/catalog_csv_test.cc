@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "db/catalog.h"
+#include "db/csv.h"
+
+namespace tioga2::db {
+namespace {
+
+using types::DataType;
+using types::Value;
+
+RelationPtr SmallTable() {
+  return MakeRelation({Column{"id", DataType::kInt}, Column{"name", DataType::kString}},
+                      {{Value::Int(1), Value::String("a")},
+                       {Value::Int(2), Value::String("b")}})
+      .value();
+}
+
+TEST(CatalogTest, RegisterAndGet) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("T", SmallTable()).ok());
+  EXPECT_TRUE(catalog.HasTable("T"));
+  EXPECT_FALSE(catalog.HasTable("U"));
+  EXPECT_EQ(catalog.GetTable("T").value()->num_rows(), 2u);
+  EXPECT_TRUE(catalog.GetTable("U").status().IsNotFound());
+  EXPECT_TRUE(catalog.RegisterTable("T", SmallTable()).IsAlreadyExists());
+  EXPECT_TRUE(catalog.RegisterTable("", SmallTable()).IsInvalidArgument());
+}
+
+TEST(CatalogTest, VersionBumpsOnReplace) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("T", SmallTable()).ok());
+  EXPECT_EQ(catalog.TableVersion("T").value(), 1u);
+  ASSERT_TRUE(catalog.ReplaceTable("T", SmallTable()).ok());
+  EXPECT_EQ(catalog.TableVersion("T").value(), 2u);
+  EXPECT_TRUE(catalog.TableVersion("missing").status().IsNotFound());
+}
+
+TEST(CatalogTest, ReplaceRejectsSchemaChange) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("T", SmallTable()).ok());
+  auto different =
+      MakeRelation({Column{"other", DataType::kFloat}}, {{Value::Float(1)}}).value();
+  EXPECT_TRUE(catalog.ReplaceTable("T", different).IsTypeError());
+  EXPECT_TRUE(catalog.ReplaceTable("missing", SmallTable()).IsNotFound());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("T", SmallTable()).ok());
+  ASSERT_TRUE(catalog.DropTable("T").ok());
+  EXPECT_FALSE(catalog.HasTable("T"));
+  EXPECT_TRUE(catalog.DropTable("T").IsNotFound());
+}
+
+TEST(CatalogTest, ListTablesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("zeta", SmallTable()).ok());
+  ASSERT_TRUE(catalog.RegisterTable("alpha", SmallTable()).ok());
+  EXPECT_EQ(catalog.ListTables(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(CatalogTest, ProgramsStoreAndOverwrite) {
+  Catalog catalog;
+  catalog.SaveProgram("p", "v1");
+  catalog.SaveProgram("p", "v2");
+  EXPECT_EQ(catalog.GetProgram("p").value(), "v2");
+  EXPECT_TRUE(catalog.GetProgram("q").status().IsNotFound());
+  catalog.SaveProgram("a", "x");
+  EXPECT_EQ(catalog.ListPrograms(), (std::vector<std::string>{"a", "p"}));
+}
+
+TEST(CsvTest, RoundTripAllTypes) {
+  auto relation =
+      MakeRelation({Column{"flag", DataType::kBool}, Column{"n", DataType::kInt},
+                    Column{"x", DataType::kFloat}, Column{"s", DataType::kString},
+                    Column{"d", DataType::kDate}},
+                   {{Value::Bool(true), Value::Int(-3), Value::Float(2.25),
+                     Value::String("with, comma"),
+                     Value::DateVal(types::Date::FromYmd(1995, 7, 14))},
+                    {Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+                     Value::Null()}})
+          .value();
+  std::string csv = RelationToCsv(*relation).value();
+  auto parsed = RelationFromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << csv;
+  EXPECT_TRUE(RelationEquals(*relation, **parsed));
+}
+
+TEST(CsvTest, QuotedStringsSurviveCommasAndQuotes) {
+  auto relation = MakeRelation({Column{"s", DataType::kString}},
+                               {{Value::String("a,b")}, {Value::String("say \"hi\"")}})
+                      .value();
+  auto parsed = RelationFromCsv(RelationToCsv(*relation).value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(RelationEquals(*relation, **parsed));
+}
+
+TEST(CsvTest, DisplayColumnsRejected) {
+  auto relation =
+      MakeRelation({Column{"d", DataType::kDisplay}},
+                   {{Value::Display(draw::MakeDrawableList({}))}})
+          .value();
+  EXPECT_TRUE(RelationToCsv(*relation).status().IsInvalidArgument());
+}
+
+TEST(CsvTest, MalformedInputsRejected) {
+  EXPECT_TRUE(RelationFromCsv("").status().IsParseError());
+  EXPECT_TRUE(RelationFromCsv("id\n1\n").status().IsParseError());        // no type
+  EXPECT_TRUE(RelationFromCsv("id:blob\n1\n").status().IsParseError());   // bad type
+  EXPECT_TRUE(RelationFromCsv("id:int\n1,2\n").status().IsParseError());  // arity
+  EXPECT_TRUE(RelationFromCsv("id:int\nabc\n").status().IsParseError());  // bad value
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto parsed = RelationFromCsv("id:int\n1\n\n2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->num_rows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/tioga2_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*SmallTable(), path).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(RelationEquals(*SmallTable(), **loaded));
+  std::remove(path.c_str());
+  EXPECT_TRUE(ReadCsvFile(path).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace tioga2::db

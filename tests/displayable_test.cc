@@ -1,0 +1,144 @@
+// Tests for composites, groups, and the R = C(R), C = G(C) equivalences (§2).
+
+#include <gtest/gtest.h>
+
+#include "display/displayable.h"
+
+namespace tioga2::display {
+namespace {
+
+using db::Column;
+using db::MakeRelation;
+using types::DataType;
+using types::Value;
+
+DisplayRelation NamedRelation(const std::string& name, size_t dims = 2) {
+  auto base = MakeRelation({Column{"v", DataType::kFloat}},
+                           {{Value::Float(1)}, {Value::Float(2)}})
+                  .value();
+  DisplayRelation rel = DisplayRelation::WithDefaults(name, base).value();
+  for (size_t d = 2; d < dims; ++d) {
+    rel = rel.AddLocationDimension("v").value();
+  }
+  return rel;
+}
+
+TEST(CompositeTest, SingletonFromRelation) {
+  Composite composite(NamedRelation("A"));
+  EXPECT_EQ(composite.size(), 1u);
+  EXPECT_EQ(composite.Dimension(), 2u);
+  EXPECT_TRUE(composite.DimensionsMatch());
+}
+
+TEST(CompositeTest, OverlayConcatsInDrawingOrder) {
+  Composite below(NamedRelation("A"));
+  Composite above(NamedRelation("B"));
+  bool mismatch = true;
+  Composite combined = below.Overlay(above, {}, &mismatch);
+  EXPECT_FALSE(mismatch);
+  ASSERT_EQ(combined.size(), 2u);
+  EXPECT_EQ(combined.entries()[0].relation.name(), "A");
+  EXPECT_EQ(combined.entries()[1].relation.name(), "B");  // drawn on top
+}
+
+TEST(CompositeTest, OverlayOffsetAccumulates) {
+  Composite base(NamedRelation("A"));
+  Composite other(NamedRelation("B"));
+  Composite once = base.Overlay(other, {1.0, 2.0});
+  Composite twice = Composite(NamedRelation("C")).Overlay(once, {10.0, 20.0});
+  // B's offset is now (11, 22); A's is (10, 20).
+  EXPECT_DOUBLE_EQ(twice.entries()[1].OffsetAt(0), 10.0);
+  EXPECT_DOUBLE_EQ(twice.entries()[2].OffsetAt(0), 11.0);
+  EXPECT_DOUBLE_EQ(twice.entries()[2].OffsetAt(1), 22.0);
+  EXPECT_DOUBLE_EQ(twice.entries()[2].OffsetAt(5), 0.0);  // missing dims are 0
+}
+
+TEST(CompositeTest, DimensionMismatchFlagged) {
+  Composite flat(NamedRelation("Map", 2));
+  Composite deep(NamedRelation("Stations", 3));
+  bool mismatch = false;
+  Composite combined = flat.Overlay(deep, {}, &mismatch);
+  EXPECT_TRUE(mismatch);
+  EXPECT_EQ(combined.Dimension(), 3u);  // max of members (§6.1)
+  EXPECT_FALSE(combined.DimensionsMatch());
+}
+
+TEST(CompositeTest, ShuffleMovesToTop) {
+  Composite composite =
+      Composite(NamedRelation("A")).Overlay(Composite(NamedRelation("B")), {});
+  composite = composite.Overlay(Composite(NamedRelation("C")), {});
+  Composite shuffled = composite.Shuffle(0).value();
+  EXPECT_EQ(shuffled.entries()[0].relation.name(), "B");
+  EXPECT_EQ(shuffled.entries()[2].relation.name(), "A");  // A now on top
+  EXPECT_TRUE(composite.Shuffle(9).status().IsOutOfRange());
+}
+
+TEST(CompositeTest, FindMemberByName) {
+  Composite composite =
+      Composite(NamedRelation("A")).Overlay(Composite(NamedRelation("B")), {});
+  EXPECT_EQ(composite.FindMember("B").value(), 1u);
+  EXPECT_TRUE(composite.FindMember("Z").status().IsNotFound());
+  Composite dup = composite.Overlay(Composite(NamedRelation("A")), {});
+  EXPECT_TRUE(dup.FindMember("A").status().IsFailedPrecondition());
+}
+
+TEST(GroupTest, LayoutCells) {
+  std::vector<Composite> members;
+  for (int i = 0; i < 6; ++i) members.emplace_back(NamedRelation("m"));
+  Group horizontal(members, GroupLayout::kHorizontal);
+  EXPECT_EQ(horizontal.GridShape(), (std::pair<size_t, size_t>{1, 6}));
+  EXPECT_EQ(horizontal.CellOf(4), (std::pair<size_t, size_t>{0, 4}));
+
+  Group vertical(members, GroupLayout::kVertical);
+  EXPECT_EQ(vertical.GridShape(), (std::pair<size_t, size_t>{6, 1}));
+  EXPECT_EQ(vertical.CellOf(4), (std::pair<size_t, size_t>{4, 0}));
+
+  Group tabular(members, GroupLayout::kTabular, 3);
+  EXPECT_EQ(tabular.GridShape(), (std::pair<size_t, size_t>{2, 3}));
+  EXPECT_EQ(tabular.CellOf(4), (std::pair<size_t, size_t>{1, 1}));
+}
+
+TEST(GroupTest, TabularPartialLastRow) {
+  std::vector<Composite> members;
+  for (int i = 0; i < 5; ++i) members.emplace_back(NamedRelation("m"));
+  Group tabular(members, GroupLayout::kTabular, 2);
+  EXPECT_EQ(tabular.GridShape(), (std::pair<size_t, size_t>{3, 2}));
+  EXPECT_EQ(tabular.CellOf(4), (std::pair<size_t, size_t>{2, 0}));
+}
+
+TEST(GroupTest, ZeroColumnsClampedToOne) {
+  Group group({Composite(NamedRelation("a"))}, GroupLayout::kTabular, 0);
+  EXPECT_EQ(group.tabular_columns(), 1u);
+  group.set_tabular_columns(0);
+  EXPECT_EQ(group.tabular_columns(), 1u);
+}
+
+TEST(CoercionTest, RelationWidens) {
+  Displayable relation = NamedRelation("A");
+  Composite as_composite = AsComposite(relation).value();
+  EXPECT_EQ(as_composite.size(), 1u);
+  Group as_group = AsGroup(relation);
+  EXPECT_EQ(as_group.size(), 1u);
+  EXPECT_EQ(DisplayableKindName(relation), "relation");
+}
+
+TEST(CoercionTest, SingletonGroupNarrows) {
+  Displayable group = Group(Composite(NamedRelation("A")));
+  EXPECT_TRUE(AsComposite(group).ok());
+  EXPECT_TRUE(AsRelation(group).ok());
+  EXPECT_EQ(AsRelation(group)->name(), "A");
+  EXPECT_EQ(DisplayableKindName(group), "group");
+}
+
+TEST(CoercionTest, MultiMemberNarrowingFails) {
+  Composite two =
+      Composite(NamedRelation("A")).Overlay(Composite(NamedRelation("B")), {});
+  Displayable composite = two;
+  EXPECT_TRUE(AsRelation(composite).status().IsFailedPrecondition());
+  std::vector<Composite> members{two, two};
+  Displayable group = Group(members, GroupLayout::kHorizontal);
+  EXPECT_TRUE(AsComposite(group).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace tioga2::display

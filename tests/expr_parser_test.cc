@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "expr/lexer.h"
+#include "expr/parser.h"
+
+namespace tioga2::expr {
+namespace {
+
+TEST(LexerTest, TokenizesOperators) {
+  auto tokens = Tokenize("+ - * / % = != < <= > >= ( ) ,").value();
+  std::vector<TokenKind> kinds;
+  for (const Token& token : tokens) kinds.push_back(token.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                       TokenKind::kSlash, TokenKind::kPercent, TokenKind::kEq,
+                       TokenKind::kNe, TokenKind::kLt, TokenKind::kLe, TokenKind::kGt,
+                       TokenKind::kGe, TokenKind::kLParen, TokenKind::kRParen,
+                       TokenKind::kComma, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, AlternativeOperatorSpellings) {
+  auto tokens = Tokenize("== <>").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEq);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNe);
+}
+
+TEST(LexerTest, KeywordsVsIdentifiers) {
+  auto tokens = Tokenize("true false null and or not andx").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kTrue);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFalse);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNull);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kAnd);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kOr);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kNot);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[6].text, "andx");
+}
+
+TEST(LexerTest, NumberForms) {
+  auto tokens = Tokenize("42 3.5 .25 1e3 2E-2 7.").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloatLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 0.02);
+  EXPECT_DOUBLE_EQ(tokens[5].float_value, 7.0);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize("\"say \\\"hi\\\"\\n\"").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "say \"hi\"\n");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("\"unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a ! b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("\"bad \\q escape\"").status().IsParseError());
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  auto tokens = Tokenize("ab + cd").value();
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 3u);
+  EXPECT_EQ(tokens[2].position, 5u);
+}
+
+std::string Reparse(const std::string& source) {
+  auto ast = ParseExpr(source);
+  EXPECT_TRUE(ast.ok()) << source << ": " << ast.status().ToString();
+  return ast.ok() ? ExprToString(**ast) : "<error>";
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  EXPECT_EQ(Reparse("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(Reparse("(1 + 2) * 3"), "((1 + 2) * 3)");
+}
+
+TEST(ParserTest, ComparisonBindsLooserThanArithmetic) {
+  EXPECT_EQ(Reparse("a + 1 < b * 2"), "((a + 1) < (b * 2))");
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  EXPECT_EQ(Reparse("a or b and c"), "(a or (b and c))");
+  EXPECT_EQ(Reparse("not a and b"), "((not a) and b)");
+  EXPECT_EQ(Reparse("not (a and b)"), "(not (a and b))");
+}
+
+TEST(ParserTest, UnaryMinus) {
+  EXPECT_EQ(Reparse("-x + 1"), "((-x) + 1)");
+  EXPECT_EQ(Reparse("--3"), "(-(-3))");
+  EXPECT_EQ(Reparse("2 * -3"), "(2 * (-3))");
+}
+
+TEST(ParserTest, CallsWithArguments) {
+  EXPECT_EQ(Reparse("min(a, b + 1)"), "min(a, (b + 1))");
+  EXPECT_EQ(Reparse("point()"), "point()");
+  EXPECT_EQ(Reparse("if(a > 0, 1, 2)"), "if((a > 0), 1, 2)");
+}
+
+TEST(ParserTest, LiteralsRoundTrip) {
+  EXPECT_EQ(Reparse("true"), "true");
+  EXPECT_EQ(Reparse("null"), "null");
+  EXPECT_EQ(Reparse("\"text\""), "\"text\"");
+  EXPECT_EQ(Reparse("2.5"), "2.5");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(ParseExpr("").status().IsParseError());
+  EXPECT_TRUE(ParseExpr("1 +").status().IsParseError());
+  EXPECT_TRUE(ParseExpr("(1").status().IsParseError());
+  EXPECT_TRUE(ParseExpr("f(1,").status().IsParseError());
+  EXPECT_TRUE(ParseExpr("f(1 2)").status().IsParseError());
+  EXPECT_TRUE(ParseExpr("1 2").status().IsParseError());  // trailing garbage
+}
+
+TEST(ParserTest, ChainedComparisonRejected) {
+  // Comparison is non-associative: a < b < c is a syntax error (the parser
+  // stops after one comparison and the rest fails the end-of-input check).
+  EXPECT_TRUE(ParseExpr("a < b < c").status().IsParseError());
+}
+
+TEST(ParserTest, CollectAttributeRefs) {
+  auto ast = ParseExpr("a + min(b, c * a)").value();
+  std::vector<std::string> refs = CollectAttributeRefs(*ast);
+  EXPECT_EQ(refs, (std::vector<std::string>{"a", "b", "c", "a"}));
+}
+
+TEST(ParserTest, CloneIsDeepAndEqual) {
+  auto ast = ParseExpr("if(a > 0, a * 2, -a)").value();
+  auto clone = CloneExpr(*ast);
+  EXPECT_EQ(ExprToString(*ast), ExprToString(*clone));
+  // Mutating the clone must not affect the original.
+  clone->children[0]->children[0]->name = "mutated";
+  EXPECT_NE(ExprToString(*ast), ExprToString(*clone));
+}
+
+class ParserRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTripTest, PrintedFormReparsesToSameTree) {
+  auto first = ParseExpr(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string printed = ExprToString(**first);
+  auto second = ParseExpr(printed);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ(printed, ExprToString(**second));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, ParserRoundTripTest,
+    ::testing::Values("1 + 2 * 3 - 4 / 5", "a and not b or c", "x % 2 = 0",
+                      "substr(name, 0, 3)", "circle(2.5, \"#ff0000\", true)",
+                      "if(isnull(v), 0.0, v * 1.5)", "-(-x)",
+                      "date(\"1995-01-01\") + 30", "a <= b", "a != b",
+                      "offset(text(name, 10), 1, -2)"));
+
+}  // namespace
+}  // namespace tioga2::expr

@@ -1,0 +1,380 @@
+// End-to-end reproductions of the paper's Figures 7-11, built through the
+// Session exactly as the paper's user would build them, then rendered and
+// asserted on. (Figures 1 and 4 live in integration_pipeline_test.cc.)
+
+#include <gtest/gtest.h>
+
+#include "tioga2/environment.h"
+
+namespace tioga2 {
+namespace {
+
+class FiguresTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(env_.LoadDemoData(/*extra_stations=*/50, /*num_days=*/730).ok());
+  }
+
+  /// Builds the Figure 4 station scatter ending at box `out`; returns the
+  /// final box id.
+  std::string BuildStationScatter() {
+    ui::Session& session = env_.session();
+    std::string stations = session.AddTable("Stations").value();
+    std::string restrict =
+        session.AddBox("Restrict", {{"predicate", "state = \"LA\""}}).value();
+    std::string set_x =
+        session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "longitude"}}).value();
+    std::string set_y =
+        session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "latitude"}}).value();
+    std::string slider =
+        session.AddBox("AddLocationDimension", {{"attr", "altitude"}}).value();
+    EXPECT_TRUE(session.Connect(stations, 0, restrict, 0).ok());
+    EXPECT_TRUE(session.Connect(restrict, 0, set_x, 0).ok());
+    EXPECT_TRUE(session.Connect(set_x, 0, set_y, 0).ok());
+    EXPECT_TRUE(session.Connect(set_y, 0, slider, 0).ok());
+    return slider;
+  }
+
+  /// The Louisiana map relation displayed as line segments.
+  std::string BuildMapBranch() {
+    ui::Session& session = env_.session();
+    std::string map = session.AddTable("LouisianaMap").value();
+    std::string set_x = session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "x"}}).value();
+    std::string set_y = session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "y"}}).value();
+    std::string lines =
+        session.AddBox("AddAttribute",
+                       {{"name", "seg"}, {"definition", "line(dx, dy, \"#808080\")"}})
+            .value();
+    std::string set_display = session.AddBox("SetDisplay", {{"attr", "seg"}}).value();
+    std::string name = session.AddBox("SetName", {{"name", "Map"}}).value();
+    EXPECT_TRUE(session.Connect(map, 0, set_x, 0).ok());
+    EXPECT_TRUE(session.Connect(set_x, 0, set_y, 0).ok());
+    EXPECT_TRUE(session.Connect(set_y, 0, lines, 0).ok());
+    EXPECT_TRUE(session.Connect(lines, 0, set_display, 0).ok());
+    EXPECT_TRUE(session.Connect(set_display, 0, name, 0).ok());
+    return name;
+  }
+
+  Environment env_;
+};
+
+TEST_F(FiguresTest, Figure7DrilldownOverlayWithRanges) {
+  ui::Session& session = env_.session();
+  std::string scatter = BuildStationScatter();
+
+  // High-elevation display: just circles (visible above elevation 2).
+  std::string circles =
+      session.AddBox("AddAttribute",
+                     {{"name", "c"}, {"definition", "circle(0.05, \"#c81e1e\", true)"}})
+          .value();
+  std::string circles_display = session.AddBox("SetDisplay", {{"attr", "c"}}).value();
+  std::string circles_range =
+      session.AddBox("SetRange", {{"min", "2"}, {"max", "1000"}}).value();
+  std::string circles_name = session.AddBox("SetName", {{"name", "Dots"}}).value();
+  ASSERT_TRUE(session.Connect(scatter, 0, circles, 0).ok());
+  ASSERT_TRUE(session.Connect(circles, 0, circles_display, 0).ok());
+  ASSERT_TRUE(session.Connect(circles_display, 0, circles_range, 0).ok());
+  ASSERT_TRUE(session.Connect(circles_range, 0, circles_name, 0).ok());
+
+  // Low-elevation display: circles plus names (visible at or below 2) —
+  // "station names disappear at high elevations, where they would be
+  // illegible" (§6.1).
+  std::string t = session.InsertT(circles, 0).value();
+  std::string labeled =
+      session
+          .AddBox("AddAttribute",
+                  {{"name", "l"},
+                   {"definition",
+                    "circle(0.05, \"#c81e1e\", true) + offset(text(name, 0.1), -0.2, "
+                    "-0.2)"}})
+          .value();
+  std::string labeled_display = session.AddBox("SetDisplay", {{"attr", "l"}}).value();
+  std::string labeled_range =
+      session.AddBox("SetRange", {{"min", "0"}, {"max", "2"}}).value();
+  std::string labeled_name = session.AddBox("SetName", {{"name", "Labels"}}).value();
+  ASSERT_TRUE(session.Connect(t, 1, labeled, 0).ok());
+  ASSERT_TRUE(session.Connect(labeled, 0, labeled_display, 0).ok());
+  ASSERT_TRUE(session.Connect(labeled_display, 0, labeled_range, 0).ok());
+  ASSERT_TRUE(session.Connect(labeled_range, 0, labeled_name, 0).ok());
+
+  // Overlay: map + dots + labels.
+  std::string map = BuildMapBranch();
+  std::string overlay1 = session.AddBox("Overlay", {{"offset", ""}}).value();
+  std::string overlay2 = session.AddBox("Overlay", {{"offset", ""}}).value();
+  ASSERT_TRUE(session.Connect(map, 0, overlay1, 0).ok());
+  ASSERT_TRUE(session.Connect(circles_name, 0, overlay1, 1).ok());
+  ASSERT_TRUE(session.Connect(overlay1, 0, overlay2, 0).ok());
+  ASSERT_TRUE(session.Connect(labeled_name, 0, overlay2, 1).ok());
+  ASSERT_TRUE(session.AddViewer(overlay2, 0, "fig7").ok());
+
+  // The §6.1 dimension-mismatch warning fires (map is 2-D, stations 3-D).
+  ASSERT_TRUE(session.EvaluateCanvas("fig7").ok());
+  EXPECT_FALSE(session.LastWarnings().empty());
+
+  auto viewer = env_.GetViewer("fig7");
+  ASSERT_TRUE(viewer.ok()) << viewer.status().ToString();
+
+  // High elevation: dots and map visible, labels culled.
+  (*viewer)->mutable_camera()->MoveTo(-91.5, 31.0);
+  (*viewer)->mutable_camera()->SetElevation(5.0);
+  auto high = env_.RenderViewer(*viewer, 640, 480, "");
+  ASSERT_TRUE(high.ok()) << high.status().ToString();
+  EXPECT_EQ(high->relations_skipped, 1u);  // Labels out of range
+  EXPECT_GT(high->tuples_drawn, 15u);      // map segments + 15 dots
+
+  // Drill down below elevation 2: labels appear, dots disappear.
+  (*viewer)->mutable_camera()->SetElevation(1.5);
+  auto low = env_.RenderViewer(*viewer, 640, 480, "");
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->relations_skipped, 1u);  // Dots now out of range
+
+  // Elevation map model reflects the three members (§6.1).
+  auto bars = (*viewer)->ElevationMap(0).value();
+  ASSERT_EQ(bars.size(), 3u);
+  EXPECT_EQ(bars[0].relation_name, "Map");
+  EXPECT_EQ(bars[1].relation_name, "Dots");
+  EXPECT_EQ(bars[2].relation_name, "Labels");
+  EXPECT_DOUBLE_EQ(bars[1].min_elevation, 2.0);
+  EXPECT_DOUBLE_EQ(bars[2].max_elevation, 2.0);
+}
+
+TEST_F(FiguresTest, Figure8WormholesToTemperatureCanvas) {
+  ui::Session& session = env_.session();
+
+  // Destination: temperature vs time for all stations.
+  std::string obs = session.AddTable("Observations").value();
+  std::string time_x =
+      session.AddBox("AddAttribute",
+                     {{"name", "t"}, {"definition", "float(days(obs_date))"}})
+          .value();
+  std::string set_x = session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "t"}}).value();
+  std::string set_y =
+      session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "temperature"}}).value();
+  std::string dots =
+      session.AddBox("AddAttribute", {{"name", "d"}, {"definition", "point(\"#1e46c8\")"}})
+          .value();
+  std::string set_display = session.AddBox("SetDisplay", {{"attr", "d"}}).value();
+  ASSERT_TRUE(session.Connect(obs, 0, time_x, 0).ok());
+  ASSERT_TRUE(session.Connect(time_x, 0, set_x, 0).ok());
+  ASSERT_TRUE(session.Connect(set_x, 0, set_y, 0).ok());
+  ASSERT_TRUE(session.Connect(set_y, 0, dots, 0).ok());
+  ASSERT_TRUE(session.Connect(dots, 0, set_display, 0).ok());
+  ASSERT_TRUE(session.AddViewer(set_display, 0, "temps").ok());
+
+  // Source: stations whose display is a wormhole into "temps", initially
+  // positioned at the station's own data (x = first day, y = 60F).
+  std::string scatter = BuildStationScatter();
+  std::string holes =
+      session
+          .AddBox("AddAttribute",
+                  {{"name", "w"},
+                   {"definition",
+                    "viewer(0.5, 0.5, \"temps\", 5480.0, 60.0, 80.0)"}})
+          .value();
+  std::string holes_display = session.AddBox("SetDisplay", {{"attr", "w"}}).value();
+  ASSERT_TRUE(session.Connect(scatter, 0, holes, 0).ok());
+  ASSERT_TRUE(session.Connect(holes, 0, holes_display, 0).ok());
+  ASSERT_TRUE(session.AddViewer(holes_display, 0, "fig8").ok());
+
+  auto viewer = env_.GetViewer("fig8");
+  ASSERT_TRUE(viewer.ok()) << viewer.status().ToString();
+  // Render with nested wormhole canvases.
+  (*viewer)->mutable_camera()->MoveTo(-90.0, 30.1);
+  (*viewer)->mutable_camera()->SetElevation(2.0);
+  auto stats = env_.RenderViewer(*viewer, 400, 400, "");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->wormholes_rendered, 0u);
+
+  // Fly through the New Orleans wormhole: descend over it.
+  (*viewer)->mutable_camera()->MoveTo(-90.08 + 0.25, 29.95 + 0.25);
+  (*viewer)->mutable_camera()->SetElevation(0.5);
+  auto passed = (*viewer)->TryPassThrough(/*pass_elevation=*/1.0);
+  ASSERT_TRUE(passed.ok()) << passed.status().ToString();
+  EXPECT_TRUE(*passed);
+  EXPECT_EQ((*viewer)->canvas_name(), "temps");
+  EXPECT_DOUBLE_EQ((*viewer)->camera().elevation(), 80.0);
+  ASSERT_EQ((*viewer)->travel_history().size(), 1u);
+  EXPECT_EQ((*viewer)->travel_history()[0].canvas_name, "fig8");
+
+  // The rear view mirror renders (§6.3) and travel back works.
+  render::Framebuffer mirror(200, 200, draw::kWhite);
+  render::RasterSurface mirror_surface(&mirror);
+  EXPECT_TRUE((*viewer)->RenderRearView(&mirror_surface).ok());
+  EXPECT_TRUE((*viewer)->TravelBack().value());
+  EXPECT_EQ((*viewer)->canvas_name(), "fig8");
+}
+
+TEST_F(FiguresTest, Figure9MagnifyingGlassAlternativeDisplay) {
+  ui::Session& session = env_.session();
+  std::string obs = session.AddTable("Observations").value();
+  std::string one_station =
+      session.AddBox("Restrict", {{"predicate", "station_id = 1"}}).value();
+  std::string time_x =
+      session.AddBox("AddAttribute",
+                     {{"name", "t"}, {"definition", "float(days(obs_date))"}})
+          .value();
+  std::string set_x = session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "t"}}).value();
+  std::string set_y =
+      session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "temperature"}}).value();
+  // Main display: temperature points; alternative: precipitation bars, the
+  // §7.2 Figure 9 setup (switched inside the glass via Swap/SetDisplay).
+  std::string temp_dots =
+      session.AddBox("AddAttribute",
+                     {{"name", "temp_d"}, {"definition", "point(\"#c81e1e\")"}})
+          .value();
+  std::string precip_bars =
+      session
+          .AddBox("AddAttribute",
+                  {{"name", "precip_d"},
+                   {"definition",
+                    "rect(0.8, precipitation * 20.0, \"#1e46c8\", true)"}})
+          .value();
+  std::string set_display = session.AddBox("SetDisplay", {{"attr", "temp_d"}}).value();
+  ASSERT_TRUE(session.Connect(obs, 0, one_station, 0).ok());
+  ASSERT_TRUE(session.Connect(one_station, 0, time_x, 0).ok());
+  ASSERT_TRUE(session.Connect(time_x, 0, set_x, 0).ok());
+  ASSERT_TRUE(session.Connect(set_x, 0, set_y, 0).ok());
+  ASSERT_TRUE(session.Connect(set_y, 0, temp_dots, 0).ok());
+  ASSERT_TRUE(session.Connect(temp_dots, 0, precip_bars, 0).ok());
+  ASSERT_TRUE(session.Connect(precip_bars, 0, set_display, 0).ok());
+  ASSERT_TRUE(session.AddViewer(set_display, 0, "fig9").ok());
+
+  auto viewer = env_.GetViewer("fig9");
+  ASSERT_TRUE(viewer.ok()) << viewer.status().ToString();
+  ASSERT_TRUE((*viewer)->FitContent(600, 400).ok());
+  viewer::MagnifyingGlass glass;
+  glass.rect = render::DeviceRect{200, 100, 200, 200};
+  glass.zoom = 3.0;
+  glass.display_attribute = "precip_d";
+  (*viewer)->AddMagnifyingGlass(glass);
+  render::Framebuffer fb(600, 400, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  auto stats = (*viewer)->RenderTo(&surface);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Red temperature points outside the glass, blue precipitation inside.
+  EXPECT_GT(fb.CountPixels(draw::Color{0xC8, 0x1E, 0x1E}), 0u);
+  EXPECT_GT(fb.CountPixels(draw::Color{0x1E, 0x46, 0xC8}), 0u);
+}
+
+TEST_F(FiguresTest, Figure10StitchWithSlaving) {
+  ui::Session& session = env_.session();
+  // Two branches over Observations for station 1: temperature and precip.
+  std::string obs = session.AddTable("Observations").value();
+  std::string one = session.AddBox("Restrict", {{"predicate", "station_id = 1"}}).value();
+  ASSERT_TRUE(session.Connect(obs, 0, one, 0).ok());
+  std::string t = session.InsertT(one, 0).value();
+
+  auto build_branch = [&](const std::string& from, size_t port,
+                          const std::string& y_attr, const std::string& name) {
+    std::string time_x =
+        session.AddBox("AddAttribute",
+                       {{"name", "t"}, {"definition", "float(days(obs_date))"}})
+            .value();
+    std::string set_x =
+        session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "t"}}).value();
+    std::string set_y =
+        session.AddBox("SetLocation", {{"dim", "1"}, {"attr", y_attr}}).value();
+    std::string named = session.AddBox("SetName", {{"name", name}}).value();
+    EXPECT_TRUE(session.Connect(from, port, time_x, 0).ok());
+    EXPECT_TRUE(session.Connect(time_x, 0, set_x, 0).ok());
+    EXPECT_TRUE(session.Connect(set_x, 0, set_y, 0).ok());
+    EXPECT_TRUE(session.Connect(set_y, 0, named, 0).ok());
+    return named;
+  };
+  std::string temp_branch = build_branch(t, 0, "temperature", "Temp");
+  std::string precip_branch = build_branch(t, 1, "precipitation", "Precip");
+
+  std::string stitch = session
+                           .AddBox("Stitch", {{"arity", "2"},
+                                              {"layout", "vertical"},
+                                              {"columns", "1"}})
+                           .value();
+  ASSERT_TRUE(session.Connect(temp_branch, 0, stitch, 0).ok());
+  ASSERT_TRUE(session.Connect(precip_branch, 0, stitch, 1).ok());
+  ASSERT_TRUE(session.AddViewer(stitch, 0, "fig10").ok());
+
+  auto content = session.EvaluateCanvas("fig10");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  display::Group group = display::AsGroup(*content);
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group.layout(), display::GroupLayout::kVertical);
+
+  // Group member cameras are independent until slaved through the viewer.
+  auto viewer = env_.GetViewer("fig10");
+  ASSERT_TRUE(viewer.ok());
+  ASSERT_EQ((*viewer)->num_members(), 2u);
+  // "Whenever the user changes the date range under temperature, the
+  // precipitation display changes to display the same date range" (§7.3):
+  // model by slaving a second viewer of the same canvas.
+  render::Framebuffer fb(400, 400, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  ASSERT_TRUE((*viewer)->FitContent(400, 400).ok());
+  auto stats = (*viewer)->RenderTo(&surface);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->tuples_drawn, 100u);
+}
+
+TEST_F(FiguresTest, Figure11ReplicateByYear) {
+  ui::Session& session = env_.session();
+  std::string obs = session.AddTable("Observations").value();
+  std::string one = session.AddBox("Restrict", {{"predicate", "station_id = 1"}}).value();
+  std::string time_x =
+      session.AddBox("AddAttribute",
+                     {{"name", "t"}, {"definition", "float(days(obs_date))"}})
+          .value();
+  std::string set_x = session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "t"}}).value();
+  std::string set_y =
+      session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "temperature"}}).value();
+  // Data runs 1985-1986; replicate into the two years (the paper's
+  // "records for years prior to 1990 and after 1990" adapted to our data).
+  std::string replicate =
+      session
+          .AddBox("Replicate", {{"rows",
+                                 "year(obs_date) = 1985;year(obs_date) = 1986"},
+                                {"columns", ""}})
+          .value();
+  ASSERT_TRUE(session.Connect(obs, 0, one, 0).ok());
+  ASSERT_TRUE(session.Connect(one, 0, time_x, 0).ok());
+  ASSERT_TRUE(session.Connect(time_x, 0, set_x, 0).ok());
+  ASSERT_TRUE(session.Connect(set_x, 0, set_y, 0).ok());
+  ASSERT_TRUE(session.Connect(set_y, 0, replicate, 0).ok());
+  ASSERT_TRUE(session.AddViewer(replicate, 0, "fig11").ok());
+
+  auto content = session.EvaluateCanvas("fig11");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  display::Group group = display::AsGroup(*content);
+  ASSERT_EQ(group.size(), 2u);
+  // The two partitions cover the data: 365 + 365 = 730 days.
+  size_t total = 0;
+  for (const display::Composite& member : group.members()) {
+    total += member.entries()[0].relation.num_rows();
+  }
+  EXPECT_EQ(total, 730u);
+  EXPECT_EQ(group.members()[0].entries()[0].relation.num_rows(), 365u);
+
+  // Employees salary x department tabular replicate (the §7.4 example).
+  std::string employees = session.AddTable("Employees").value();
+  std::string tabular =
+      session
+          .AddBox("Replicate",
+                  {{"rows", "salary <= 5000;salary > 5000"},
+                   {"columns",
+                    "department = \"shoe\";department = \"toy\";department = "
+                    "\"candy\";department = \"hardware\""}})
+          .value();
+  ASSERT_TRUE(session.Connect(employees, 0, tabular, 0).ok());
+  ASSERT_TRUE(session.AddViewer(tabular, 0, "salaries").ok());
+  auto salaries = session.EvaluateCanvas("salaries");
+  ASSERT_TRUE(salaries.ok());
+  display::Group grid = display::AsGroup(*salaries);
+  EXPECT_EQ(grid.size(), 8u);
+  EXPECT_EQ(grid.GridShape(), (std::pair<size_t, size_t>{2, 4}));
+  size_t employees_total = 0;
+  for (const display::Composite& member : grid.members()) {
+    employees_total += member.entries()[0].relation.num_rows();
+  }
+  EXPECT_EQ(employees_total, 200u);  // partitions are exhaustive and disjoint
+}
+
+}  // namespace
+}  // namespace tioga2

@@ -1,0 +1,148 @@
+// Tests for the synthetic demo datasets substituting the paper's Louisiana
+// weather data (see DESIGN.md §1).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generators.h"
+#include "db/operators.h"
+
+namespace tioga2::data {
+namespace {
+
+TEST(StationsTest, NamedLouisianaStationsPresent) {
+  auto stations = MakeStations(/*extra_stations=*/50, 7).value();
+  EXPECT_EQ(stations->num_rows(), 15u + 50u);
+  auto la = db::Restrict(stations, "state = \"LA\"").value();
+  EXPECT_GE(la->num_rows(), 15u);
+  auto nola = db::Restrict(stations, "name = \"NEW ORLEANS\"").value();
+  ASSERT_EQ(nola->num_rows(), 1u);
+  size_t lon = nola->schema()->ColumnIndex("longitude").value();
+  size_t lat = nola->schema()->ColumnIndex("latitude").value();
+  EXPECT_NEAR(nola->at(0, lon).float_value(), -90.08, 0.01);
+  EXPECT_NEAR(nola->at(0, lat).float_value(), 29.95, 0.01);
+}
+
+TEST(StationsTest, DeterministicAndUniqueIds) {
+  auto a = MakeStations(30, 9).value();
+  auto b = MakeStations(30, 9).value();
+  EXPECT_TRUE(db::RelationEquals(*a, *b));
+  auto c = MakeStations(30, 10).value();
+  EXPECT_FALSE(db::RelationEquals(*a, *c));
+  std::set<int64_t> ids;
+  for (size_t r = 0; r < a->num_rows(); ++r) ids.insert(a->at(r, 0).int_value());
+  EXPECT_EQ(ids.size(), a->num_rows());
+}
+
+TEST(StationsTest, CoordinatesInContinentalRange) {
+  auto stations = MakeStations(200, 3).value();
+  size_t lon = stations->schema()->ColumnIndex("longitude").value();
+  size_t lat = stations->schema()->ColumnIndex("latitude").value();
+  for (size_t r = 0; r < stations->num_rows(); ++r) {
+    EXPECT_GE(stations->at(r, lon).float_value(), -125.0);
+    EXPECT_LE(stations->at(r, lon).float_value(), -69.0);
+    EXPECT_GE(stations->at(r, lat).float_value(), 25.0);
+    EXPECT_LE(stations->at(r, lat).float_value(), 49.0);
+  }
+}
+
+TEST(ObservationsTest, OneRowPerStationPerDay) {
+  auto stations = MakeStations(5, 7).value();
+  auto obs = MakeObservations(*stations, types::Date::FromYmd(1985, 1, 1), 10, 8)
+                 .value();
+  EXPECT_EQ(obs->num_rows(), stations->num_rows() * 10);
+}
+
+TEST(ObservationsTest, TemperaturesSeasonalAndPlausible) {
+  auto stations = MakeStations(0, 7).value();  // Louisiana only
+  auto obs = MakeObservations(*stations, types::Date::FromYmd(1985, 1, 1), 365, 8)
+                 .value();
+  size_t temp = obs->schema()->ColumnIndex("temperature").value();
+  size_t date = obs->schema()->ColumnIndex("obs_date").value();
+  double january_sum = 0;
+  int january_count = 0;
+  double july_sum = 0;
+  int july_count = 0;
+  for (size_t r = 0; r < obs->num_rows(); ++r) {
+    double t = obs->at(r, temp).float_value();
+    EXPECT_GT(t, -30.0);
+    EXPECT_LT(t, 120.0);
+    int month = obs->at(r, date).date_value().Month();
+    if (month == 1) {
+      january_sum += t;
+      ++january_count;
+    } else if (month == 7) {
+      july_sum += t;
+      ++july_count;
+    }
+  }
+  ASSERT_GT(january_count, 0);
+  ASSERT_GT(july_count, 0);
+  // Louisiana summers are hotter than winters by a wide margin.
+  EXPECT_GT(july_sum / july_count, january_sum / january_count + 15.0);
+}
+
+TEST(ObservationsTest, PrecipitationNonNegativeAndBursty) {
+  auto stations = MakeStations(0, 7).value();
+  auto obs = MakeObservations(*stations, types::Date::FromYmd(1985, 1, 1), 200, 8)
+                 .value();
+  size_t precip = obs->schema()->ColumnIndex("precipitation").value();
+  size_t dry = 0;
+  for (size_t r = 0; r < obs->num_rows(); ++r) {
+    double p = obs->at(r, precip).float_value();
+    EXPECT_GE(p, 0.0);
+    if (p == 0.0) ++dry;
+  }
+  // Most days are dry, but not all.
+  EXPECT_GT(dry, obs->num_rows() / 3);
+  EXPECT_LT(dry, obs->num_rows());
+}
+
+TEST(LouisianaMapTest, ClosedOutlineOfSegments) {
+  auto map = MakeLouisianaMap().value();
+  EXPECT_GT(map->num_rows(), 20u);
+  // Segments chain: each row's endpoint is the next row's start.
+  for (size_t r = 0; r + 1 < map->num_rows(); ++r) {
+    double end_x = map->at(r, 0).float_value() + map->at(r, 2).float_value();
+    double end_y = map->at(r, 1).float_value() + map->at(r, 3).float_value();
+    EXPECT_NEAR(end_x, map->at(r + 1, 0).float_value(), 1e-9);
+    EXPECT_NEAR(end_y, map->at(r + 1, 1).float_value(), 1e-9);
+  }
+  // The outline closes on itself.
+  size_t last = map->num_rows() - 1;
+  double close_x = map->at(last, 0).float_value() + map->at(last, 2).float_value();
+  double close_y = map->at(last, 1).float_value() + map->at(last, 3).float_value();
+  EXPECT_NEAR(close_x, map->at(0, 0).float_value(), 1e-9);
+  EXPECT_NEAR(close_y, map->at(0, 1).float_value(), 1e-9);
+}
+
+TEST(EmployeesTest, DepartmentsAndSalaries) {
+  auto employees = MakeEmployees(200, 5).value();
+  EXPECT_EQ(employees->num_rows(), 200u);
+  size_t dept = employees->schema()->ColumnIndex("department").value();
+  size_t salary = employees->schema()->ColumnIndex("salary").value();
+  std::set<std::string> departments;
+  for (size_t r = 0; r < employees->num_rows(); ++r) {
+    departments.insert(employees->at(r, dept).string_value());
+    EXPECT_GE(employees->at(r, salary).float_value(), 2000.0);
+    EXPECT_LE(employees->at(r, salary).float_value(), 10000.0);
+  }
+  EXPECT_EQ(departments.size(), 4u);  // shoe, toy, candy, hardware
+  // The §7.4 salary partition has members on both sides.
+  EXPECT_GT(db::Restrict(employees, "salary <= 5000").value()->num_rows(), 0u);
+  EXPECT_GT(db::Restrict(employees, "salary > 5000").value()->num_rows(), 0u);
+}
+
+TEST(LoadDemoDataTest, RegistersAllTables) {
+  db::Catalog catalog;
+  ASSERT_TRUE(LoadDemoData(&catalog, 10, 5, 1).ok());
+  EXPECT_EQ(catalog.ListTables(),
+            (std::vector<std::string>{"Employees", "LouisianaMap", "Observations",
+                                      "Stations"}));
+  // Loading twice collides.
+  EXPECT_TRUE(LoadDemoData(&catalog, 10, 5, 1).IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace tioga2::data

@@ -1,0 +1,276 @@
+// Tests for the boxes-and-arrows graph: type-checked wiring (§2), and the
+// §4.1 program-editing rules (Delete Box, Replace Box, T insertion).
+
+#include <gtest/gtest.h>
+
+#include "boxes/composite_boxes.h"
+#include "boxes/relational_boxes.h"
+#include "dataflow/graph.h"
+#include "dataflow/t_box.h"
+
+namespace tioga2::dataflow {
+namespace {
+
+using boxes::ProjectBox;
+using boxes::RestrictBox;
+using boxes::SampleBox;
+using boxes::StitchBox;
+using boxes::TableBox;
+using boxes::ViewerBox;
+
+TEST(GraphTest, AddBoxGeneratesIds) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string b = graph.AddBox(std::make_unique<TableBox>("U")).value();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(graph.HasBox(a));
+  EXPECT_EQ(graph.num_boxes(), 2u);
+  EXPECT_EQ(graph.BoxIds(), (std::vector<std::string>{a, b}));
+}
+
+TEST(GraphTest, ExplicitIdsAndCollisions) {
+  Graph graph;
+  ASSERT_TRUE(graph.AddBox(std::make_unique<TableBox>("T"), "src").ok());
+  EXPECT_TRUE(
+      graph.AddBox(std::make_unique<TableBox>("U"), "src").status().IsAlreadyExists());
+  EXPECT_TRUE(graph.AddBox(nullptr, "x").status().IsInvalidArgument());
+  EXPECT_TRUE(graph.GetBox("missing").status().IsNotFound());
+}
+
+TEST(GraphTest, ConnectTypeChecks) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string restrict = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  std::string viewer = graph.AddBox(std::make_unique<ViewerBox>("c")).value();
+  // R -> R fine; R -> G (viewer) fine via subtyping.
+  EXPECT_TRUE(graph.Connect(table, 0, restrict, 0).ok());
+  EXPECT_TRUE(graph.Connect(restrict, 0, viewer, 0).ok());
+  // Viewer has no outputs.
+  EXPECT_TRUE(graph.Connect(viewer, 0, restrict, 0).IsOutOfRange());
+  // Input already wired.
+  EXPECT_TRUE(graph.Connect(table, 0, restrict, 0).IsFailedPrecondition());
+}
+
+TEST(GraphTest, GroupOutputCannotFeedRelationInput) {
+  Graph graph;
+  std::string stitch =
+      graph.AddBox(std::make_unique<StitchBox>(1, display::GroupLayout::kHorizontal, 1))
+          .value();
+  std::string restrict = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  EXPECT_TRUE(graph.Connect(stitch, 0, restrict, 0).IsTypeError());
+}
+
+TEST(GraphTest, CycleRejected) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  std::string b = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(a, 0, b, 0).ok());
+  EXPECT_TRUE(graph.WouldCreateCycle(b, a));
+  EXPECT_TRUE(graph.Connect(b, 0, a, 0).IsFailedPrecondition());
+  // Self-loop.
+  std::string c = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  EXPECT_TRUE(graph.Connect(c, 0, c, 0).IsFailedPrecondition());
+}
+
+TEST(GraphTest, DisconnectRemovesEdge) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string b = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(a, 0, b, 0).ok());
+  EXPECT_TRUE(graph.IncomingEdge(b, 0).has_value());
+  ASSERT_TRUE(graph.Disconnect(b, 0).ok());
+  EXPECT_FALSE(graph.IncomingEdge(b, 0).has_value());
+  EXPECT_TRUE(graph.Disconnect(b, 0).IsNotFound());
+}
+
+TEST(GraphTest, DeleteLeafBoxAllowed) {
+  // Rule (1): a box with no outputs connected to other boxes may be deleted.
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string b = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(a, 0, b, 0).ok());
+  ASSERT_TRUE(graph.DeleteBox(b).ok());
+  EXPECT_FALSE(graph.HasBox(b));
+  EXPECT_TRUE(graph.edges().empty());
+}
+
+TEST(GraphTest, DeleteSplicesSingleInSingleOut) {
+  // Rule (2): deleting a R->R box splices its predecessor to its successors.
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string mid = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  std::string sink1 = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  std::string sink2 = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(table, 0, mid, 0).ok());
+  ASSERT_TRUE(graph.Connect(mid, 0, sink1, 0).ok());
+  ASSERT_TRUE(graph.Connect(mid, 0, sink2, 0).ok());
+  ASSERT_TRUE(graph.DeleteBox(mid).ok());
+  EXPECT_EQ(graph.IncomingEdge(sink1, 0)->from_box, table);
+  EXPECT_EQ(graph.IncomingEdge(sink2, 0)->from_box, table);
+}
+
+TEST(GraphTest, DeleteFeedingMultiPortBoxRejected) {
+  // A Table box (0 inputs) feeding another box violates both rules.
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string sink = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(table, 0, sink, 0).ok());
+  EXPECT_TRUE(graph.DeleteBox(table).IsFailedPrecondition());
+  // After removing the edge, deletion is fine.
+  ASSERT_TRUE(graph.Disconnect(sink, 0).ok());
+  EXPECT_TRUE(graph.DeleteBox(table).ok());
+}
+
+TEST(GraphTest, DeleteSpliceNeedsConnectedInput) {
+  Graph graph;
+  std::string mid = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  std::string sink = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(mid, 0, sink, 0).ok());
+  // mid's own input is dangling; splicing would leave sink dangling.
+  EXPECT_TRUE(graph.DeleteBox(mid).IsFailedPrecondition());
+}
+
+TEST(GraphTest, ReplaceBoxChecksSignature) {
+  Graph graph;
+  std::string box = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  // Same signature (R -> R): allowed.
+  EXPECT_TRUE(graph.ReplaceBox(box, std::make_unique<SampleBox>(0.5, 1)).ok());
+  EXPECT_EQ((*graph.GetBox(box))->type_name(), "Sample");
+  // Different arity: rejected.
+  EXPECT_TRUE(graph.ReplaceBox(box, std::make_unique<TableBox>("T")).IsTypeError());
+  EXPECT_TRUE(graph.ReplaceBox("missing", std::make_unique<TableBox>("T")).IsNotFound());
+}
+
+TEST(GraphTest, InsertTSplitsEdge) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string sink = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(table, 0, sink, 0).ok());
+  std::string t = graph.InsertT(sink, 0).value();
+  EXPECT_EQ((*graph.GetBox(t))->type_name(), "T");
+  EXPECT_EQ(graph.IncomingEdge(t, 0)->from_box, table);
+  EXPECT_EQ(graph.IncomingEdge(sink, 0)->from_box, t);
+  // The T's second output is free for a viewer (§4.1).
+  std::string viewer = graph.AddBox(std::make_unique<ViewerBox>("debug")).value();
+  EXPECT_TRUE(graph.Connect(t, 1, viewer, 0).ok());
+  EXPECT_TRUE(graph.InsertT(sink, 1).status().IsNotFound());  // no such edge
+}
+
+TEST(GraphTest, TopologicalOrderRespectsEdges) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string b = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  std::string c = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(a, 0, b, 0).ok());
+  ASSERT_TRUE(graph.Connect(b, 0, c, 0).ok());
+  std::vector<std::string> order = graph.TopologicalOrder().value();
+  auto position = [&order](const std::string& id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(position(a), position(b));
+  EXPECT_LT(position(b), position(c));
+}
+
+TEST(GraphTest, DanglingInputsReported) {
+  Graph graph;
+  std::string table = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string wired = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  std::string dangling = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(table, 0, wired, 0).ok());
+  EXPECT_EQ(graph.BoxesWithDanglingInputs(), (std::vector<std::string>{dangling}));
+}
+
+TEST(GraphTest, CloneIsDeep) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string b = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(a, 0, b, 0).ok());
+  Graph copy = graph.Clone();
+  ASSERT_TRUE(copy.DeleteBox(b).ok());
+  EXPECT_TRUE(graph.HasBox(b));  // original untouched
+  EXPECT_EQ(graph.edges().size(), 1u);
+  EXPECT_TRUE(copy.edges().empty());
+}
+
+TEST(GraphTest, ToStringListsBoxesAndEdges) {
+  Graph graph;
+  std::string a = graph.AddBox(std::make_unique<TableBox>("Stations")).value();
+  std::string b = graph.AddBox(std::make_unique<RestrictBox>("true")).value();
+  ASSERT_TRUE(graph.Connect(a, 0, b, 0).ok());
+  std::string text = graph.ToString();
+  EXPECT_NE(text.find("Table(table=Stations)"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+TEST(PortTypeTest, SubtypingLattice) {
+  EXPECT_TRUE(PortType::Connectable(PortType::Relation(), PortType::Relation()));
+  EXPECT_TRUE(PortType::Connectable(PortType::Relation(), PortType::CompositeT()));
+  EXPECT_TRUE(PortType::Connectable(PortType::Relation(), PortType::GroupT()));
+  EXPECT_TRUE(PortType::Connectable(PortType::CompositeT(), PortType::GroupT()));
+  EXPECT_FALSE(PortType::Connectable(PortType::CompositeT(), PortType::Relation()));
+  EXPECT_FALSE(PortType::Connectable(PortType::GroupT(), PortType::CompositeT()));
+}
+
+TEST(PortTypeTest, ScalarRules) {
+  PortType i = PortType::Scalar(types::DataType::kInt);
+  PortType f = PortType::Scalar(types::DataType::kFloat);
+  PortType s = PortType::Scalar(types::DataType::kString);
+  EXPECT_TRUE(PortType::Connectable(i, f));  // widening
+  EXPECT_FALSE(PortType::Connectable(f, i));
+  EXPECT_FALSE(PortType::Connectable(s, f));
+  EXPECT_FALSE(PortType::Connectable(i, PortType::Relation()));
+  EXPECT_FALSE(PortType::Connectable(PortType::Relation(), i));
+}
+
+TEST(PortTypeTest, CoerceBoxValueWidensDisplayables) {
+  auto base = db::MakeRelation({db::Column{"v", types::DataType::kInt}},
+                               {{types::Value::Int(1)}})
+                  .value();
+  display::DisplayRelation relation =
+      display::DisplayRelation::WithDefaults("R", base).value();
+  BoxValue value{display::Displayable(relation)};
+  // R -> C.
+  auto as_composite = CoerceBoxValue(value, PortType::CompositeT());
+  ASSERT_TRUE(as_composite.ok());
+  EXPECT_TRUE(std::holds_alternative<display::Composite>(
+      std::get<display::Displayable>(*as_composite)));
+  // R -> G.
+  auto as_group = CoerceBoxValue(value, PortType::GroupT());
+  ASSERT_TRUE(as_group.ok());
+  EXPECT_TRUE(std::holds_alternative<display::Group>(
+      std::get<display::Displayable>(*as_group)));
+  // G -> R is rejected statically.
+  EXPECT_TRUE(CoerceBoxValue(*as_group, PortType::Relation()).status().IsTypeError());
+  // Scalars widen int -> float and reject the reverse.
+  BoxValue scalar{types::Value::Int(3)};
+  auto widened = CoerceBoxValue(scalar, PortType::Scalar(types::DataType::kFloat));
+  ASSERT_TRUE(widened.ok());
+  EXPECT_DOUBLE_EQ(AsScalar(*widened)->float_value(), 3.0);
+  BoxValue fp{types::Value::Float(3.5)};
+  EXPECT_TRUE(CoerceBoxValue(fp, PortType::Scalar(types::DataType::kInt))
+                  .status()
+                  .IsTypeError());
+  // Displayable <-> scalar never coerce.
+  EXPECT_TRUE(CoerceBoxValue(value, PortType::Scalar(types::DataType::kInt))
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(AsScalar(value).status().IsTypeError());
+  EXPECT_TRUE(AsDisplayable(scalar).status().IsTypeError());
+}
+
+TEST(PortTypeTest, StringRoundTrip) {
+  for (const PortType& type :
+       {PortType::Relation(), PortType::CompositeT(), PortType::GroupT(),
+        PortType::Scalar(types::DataType::kInt),
+        PortType::Scalar(types::DataType::kDisplay)}) {
+    PortType parsed = PortType::Relation();
+    ASSERT_TRUE(PortType::FromString(type.ToString(), &parsed)) << type.ToString();
+    EXPECT_TRUE(parsed == type);
+  }
+  PortType unused = PortType::Relation();
+  EXPECT_FALSE(PortType::FromString("Q", &unused));
+  EXPECT_FALSE(PortType::FromString("scalar:blob", &unused));
+}
+
+}  // namespace
+}  // namespace tioga2::dataflow

@@ -1,0 +1,144 @@
+// End-to-end integration tests: build the paper's running example (§4,
+// Figures 1/4) programmatically through the Session, evaluate it through the
+// lazy engine, and render it through both backends.
+
+#include <gtest/gtest.h>
+
+#include "tioga2/environment.h"
+
+namespace tioga2 {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(env_.LoadDemoData(/*extra_stations=*/100, /*num_days=*/60).ok());
+  }
+
+  Environment env_;
+};
+
+TEST_F(PipelineTest, Figure1DefaultTableView) {
+  ui::Session& session = env_.session();
+  auto stations = session.AddTable("Stations");
+  ASSERT_TRUE(stations.ok()) << stations.status().ToString();
+  auto restrict = session.AddBox("Restrict", {{"predicate", "state = \"LA\""}});
+  ASSERT_TRUE(restrict.ok()) << restrict.status().ToString();
+  ASSERT_TRUE(session.Connect(*stations, 0, *restrict, 0).ok());
+  auto viewer_box = session.AddViewer(*restrict, 0, "fig1");
+  ASSERT_TRUE(viewer_box.ok()) << viewer_box.status().ToString();
+
+  auto content = session.EvaluateCanvas("fig1");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  auto relation = display::AsRelation(*content);
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->num_rows(), 15u);  // the named Louisiana stations
+  // Default display (§5.2): x = 0, y = sequence number, textual display.
+  auto loc = relation->LocationOf(3);
+  ASSERT_TRUE(loc.ok()) << loc.status().ToString();
+  EXPECT_DOUBLE_EQ((*loc)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*loc)[1], 3.0);
+  auto display_list = relation->DisplayOf(0);
+  ASSERT_TRUE(display_list.ok());
+  EXPECT_EQ((*display_list)->size(), relation->base()->schema()->num_columns());
+
+  // Render it.
+  auto viewer = env_.GetViewer("fig1");
+  ASSERT_TRUE(viewer.ok()) << viewer.status().ToString();
+  ASSERT_TRUE((*viewer)->FitContent(640, 480).ok());
+  auto stats = env_.RenderViewer(*viewer, 640, 480);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->tuples_drawn, 0u);
+  EXPECT_EQ(stats->tuple_errors, 0u);
+}
+
+TEST_F(PipelineTest, Figure4ScatterWithAltitudeSlider) {
+  ui::Session& session = env_.session();
+  auto stations = session.AddTable("Stations");
+  auto restrict = session.AddBox("Restrict", {{"predicate", "state = \"LA\""}});
+  ASSERT_TRUE(session.Connect(*stations, 0, *restrict, 0).ok());
+  // Map (longitude, latitude) to (x, y) and add the Altitude slider.
+  auto set_x = session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "longitude"}});
+  auto set_y = session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "latitude"}});
+  auto slider = session.AddBox("AddLocationDimension", {{"attr", "altitude"}});
+  // Display: circle plus the station name below it.
+  auto add_circle = session.AddBox(
+      "AddAttribute", {{"name", "circ"}, {"definition", "circle(0.05, \"#c81e1e\", true)"}});
+  auto add_label = session.AddBox(
+      "AddAttribute",
+      {{"name", "label"}, {"definition", "offset(text(name, 0.12), -0.2, -0.25)"}});
+  auto combine = session.AddBox("CombineDisplays", {{"name", "dots"},
+                                                    {"first", "circ"},
+                                                    {"second", "label"},
+                                                    {"dx", "0"},
+                                                    {"dy", "0"}});
+  auto set_display = session.AddBox("SetDisplay", {{"attr", "dots"}});
+  ASSERT_TRUE(session.Connect(*restrict, 0, *set_x, 0).ok());
+  ASSERT_TRUE(session.Connect(*set_x, 0, *set_y, 0).ok());
+  ASSERT_TRUE(session.Connect(*set_y, 0, *slider, 0).ok());
+  ASSERT_TRUE(session.Connect(*slider, 0, *add_circle, 0).ok());
+  ASSERT_TRUE(session.Connect(*add_circle, 0, *add_label, 0).ok());
+  ASSERT_TRUE(session.Connect(*add_label, 0, *combine, 0).ok());
+  ASSERT_TRUE(session.Connect(*combine, 0, *set_display, 0).ok());
+  ASSERT_TRUE(session.AddViewer(*set_display, 0, "fig4").ok());
+
+  auto content = session.EvaluateCanvas("fig4");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  auto relation = display::AsRelation(*content);
+  ASSERT_TRUE(relation.ok()) << relation.status().ToString();
+  EXPECT_EQ(relation->Dimension(), 3u);  // x, y, altitude
+
+  // New Orleans is at (-90.08, 29.95).
+  auto loc = relation->LocationOf(0);
+  ASSERT_TRUE(loc.ok()) << loc.status().ToString();
+  EXPECT_DOUBLE_EQ((*loc)[0], -90.08);
+  EXPECT_DOUBLE_EQ((*loc)[1], 29.95);
+
+  auto viewer = env_.GetViewer("fig4");
+  ASSERT_TRUE(viewer.ok());
+  ASSERT_TRUE((*viewer)->FitContent(640, 480).ok());
+  auto stats = env_.RenderViewer(*viewer, 640, 480);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tuples_drawn, 15u);
+  EXPECT_EQ(stats->tuple_errors, 0u);
+
+  // The altitude slider culls high stations: only stations below 100 ft.
+  (*viewer)->SetSlider(2, viewer::SliderRange{0, 100});
+  auto filtered = env_.RenderViewer(*viewer, 640, 480);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT(filtered->tuples_drawn, 15u);
+  EXPECT_GT(filtered->tuples_culled_slider, 0u);
+  EXPECT_EQ(filtered->tuples_drawn + filtered->tuples_culled_slider, 15u);
+}
+
+TEST_F(PipelineTest, LazyEngineMemoizesAcrossRenders) {
+  ui::Session& session = env_.session();
+  auto stations = session.AddTable("Stations");
+  auto restrict = session.AddBox("Restrict", {{"predicate", "state = \"LA\""}});
+  ASSERT_TRUE(session.Connect(*stations, 0, *restrict, 0).ok());
+  ASSERT_TRUE(session.AddViewer(*restrict, 0, "memo").ok());
+
+  ASSERT_TRUE(session.EvaluateCanvas("memo").ok());
+  uint64_t fired_first = session.engine().stats().boxes_fired;
+  ASSERT_TRUE(session.EvaluateCanvas("memo").ok());
+  uint64_t fired_second = session.engine().stats().boxes_fired;
+  EXPECT_EQ(fired_first, fired_second) << "second evaluation should be fully cached";
+  EXPECT_GT(session.engine().stats().cache_hits, 0u);
+}
+
+TEST_F(PipelineTest, SvgBackendProducesDocument) {
+  ui::Session& session = env_.session();
+  auto stations = session.AddTable("Stations");
+  ASSERT_TRUE(session.AddViewer(*stations, 0, "svg").ok());
+  auto viewer = env_.GetViewer("svg");
+  ASSERT_TRUE(viewer.ok());
+  ASSERT_TRUE((*viewer)->FitContent(320, 240).ok());
+  auto svg = env_.RenderViewerSvg(*viewer, 320, 240);
+  ASSERT_TRUE(svg.ok()) << svg.status().ToString();
+  EXPECT_NE(svg->find("<svg"), std::string::npos);
+  EXPECT_NE(svg->find("<text"), std::string::npos);
+  EXPECT_NE(svg->find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tioga2

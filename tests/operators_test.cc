@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "db/operators.h"
+
+namespace tioga2::db {
+namespace {
+
+using types::DataType;
+using types::Value;
+
+RelationPtr People() {
+  return MakeRelation(
+             {Column{"id", DataType::kInt}, Column{"name", DataType::kString},
+              Column{"age", DataType::kInt}, Column{"score", DataType::kFloat}},
+             {
+                 {Value::Int(1), Value::String("ann"), Value::Int(30), Value::Float(1.5)},
+                 {Value::Int(2), Value::String("bob"), Value::Int(25), Value::Float(2.5)},
+                 {Value::Int(3), Value::String("cat"), Value::Int(35), Value::Float(0.5)},
+                 {Value::Int(4), Value::String("dan"), Value::Null(), Value::Float(3.5)},
+             })
+      .value();
+}
+
+RelationPtr Orders() {
+  return MakeRelation({Column{"person", DataType::kInt},
+                       Column{"item", DataType::kString}},
+                      {
+                          {Value::Int(1), Value::String("hat")},
+                          {Value::Int(1), Value::String("bag")},
+                          {Value::Int(3), Value::String("pen")},
+                          {Value::Int(9), Value::String("orphan")},
+                      })
+      .value();
+}
+
+TEST(ProjectTest, KeepsColumnsInOrder) {
+  auto projected = Project(People(), {"name", "id"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ((*projected)->schema()->ToString(), "(name:string, id:int)");
+  EXPECT_EQ((*projected)->num_rows(), 4u);
+  EXPECT_EQ((*projected)->at(0, 0).string_value(), "ann");
+  EXPECT_EQ((*projected)->at(0, 1).int_value(), 1);
+}
+
+TEST(ProjectTest, UnknownColumnFails) {
+  EXPECT_TRUE(Project(People(), {"nope"}).status().IsNotFound());
+}
+
+TEST(ProjectTest, DuplicateColumnInListFails) {
+  // Projecting the same column twice would create duplicate names.
+  EXPECT_TRUE(Project(People(), {"id", "id"}).status().IsAlreadyExists());
+}
+
+TEST(RestrictTest, FiltersByPredicate) {
+  auto result = Restrict(People(), "age >= 30");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->num_rows(), 2u);  // ann, cat; dan's null age rejected
+}
+
+TEST(RestrictTest, NullPredicateResultRejectsTuple) {
+  auto result = Restrict(People(), "age > 0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 3u);  // dan's null age is not > 0
+}
+
+TEST(RestrictTest, StringAndCompoundPredicates) {
+  auto result = Restrict(People(), "name = \"bob\" or score > 3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 2u);
+}
+
+TEST(RestrictTest, NonBoolPredicateIsTypeError) {
+  EXPECT_TRUE(Restrict(People(), "age + 1").status().IsTypeError());
+}
+
+TEST(RestrictTest, MalformedPredicateIsParseError) {
+  EXPECT_TRUE(Restrict(People(), "age >=").status().IsParseError());
+}
+
+TEST(SampleTest, ProbabilityZeroAndOne) {
+  EXPECT_EQ(Sample(People(), 0.0, 7).value()->num_rows(), 0u);
+  EXPECT_EQ(Sample(People(), 1.0, 7).value()->num_rows(), 4u);
+}
+
+TEST(SampleTest, DeterministicForSeed) {
+  auto a = Sample(People(), 0.5, 99).value();
+  auto b = Sample(People(), 0.5, 99).value();
+  EXPECT_TRUE(RelationEquals(*a, *b));
+}
+
+TEST(SampleTest, RejectsBadProbability) {
+  EXPECT_TRUE(Sample(People(), -0.1, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(Sample(People(), 1.1, 1).status().IsInvalidArgument());
+}
+
+TEST(SampleTest, ProportionRoughlyMatches) {
+  RelationBuilder builder(People()->schema());
+  for (int i = 0; i < 4000; ++i) {
+    builder.AddRowUnchecked(People()->row(static_cast<size_t>(i % 4)));
+  }
+  RelationPtr big = builder.Build();
+  auto sampled = Sample(big, 0.25, 5).value();
+  EXPECT_NEAR(static_cast<double>(sampled->num_rows()) / 4000.0, 0.25, 0.03);
+}
+
+TEST(JoinTest, HashJoinOnEquality) {
+  auto result = Join(People(), Orders(), "id = person");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->algorithm, JoinAlgorithm::kHash);
+  EXPECT_EQ(result->relation->num_rows(), 3u);  // ann x2, cat x1
+  EXPECT_EQ(result->relation->schema()->ToString(),
+            "(id:int, name:string, age:int, score:float, person:int, item:string)");
+}
+
+TEST(JoinTest, NestedLoopForNonEqui) {
+  auto result = Join(People(), Orders(), "id < person");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->algorithm, JoinAlgorithm::kNestedLoop);
+  // pairs with id < person: ids {1,2,3} vs persons {1,1,3,9}:
+  // id=1: person 3,9 -> 2; id=2: 3,9 -> 2; id=3: 9 -> 1; id=4 (null age fine) person 9 -> 1
+  EXPECT_EQ(result->relation->num_rows(), 6u);
+}
+
+TEST(JoinTest, AlgorithmsAgree) {
+  auto hash = Join(People(), Orders(), "id = person").value();
+  auto loop = NestedLoopJoin(People(), Orders(), "id = person").value();
+  ASSERT_EQ(hash.relation->num_rows(), loop->num_rows());
+  // The hash join may emit rows in a different order; compare as multisets
+  // of rendered rows.
+  auto render = [](const Relation& r) {
+    std::vector<std::string> rows;
+    for (size_t i = 0; i < r.num_rows(); ++i) {
+      std::string row;
+      for (const auto& v : r.row(i)) row += v.ToString() + "|";
+      rows.push_back(row);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  EXPECT_EQ(render(*hash.relation), render(*loop));
+}
+
+TEST(JoinTest, NameCollisionsGetSuffix) {
+  auto result = Join(People(), People(), "id = id_2");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->relation->schema()->HasColumn("name_2"));
+  EXPECT_EQ(result->relation->num_rows(), 4u);  // self equi-join on key
+}
+
+TEST(JoinTest, NullsNeverJoin) {
+  auto left = MakeRelation({Column{"k", DataType::kInt}},
+                           {{Value::Null()}, {Value::Int(1)}})
+                  .value();
+  auto right = MakeRelation({Column{"j", DataType::kInt}},
+                            {{Value::Null()}, {Value::Int(1)}})
+                   .value();
+  auto result = Join(left, right, "k = j");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relation->num_rows(), 1u);
+}
+
+TEST(SortTest, AscendingAndDescending) {
+  auto asc = Sort(People(), "score").value();
+  EXPECT_DOUBLE_EQ(asc->at(0, 3).float_value(), 0.5);
+  EXPECT_DOUBLE_EQ(asc->at(3, 3).float_value(), 3.5);
+  auto desc = Sort(People(), "score", /*ascending=*/false).value();
+  EXPECT_DOUBLE_EQ(desc->at(0, 3).float_value(), 3.5);
+}
+
+TEST(SortTest, NullsSortFirst) {
+  auto sorted = Sort(People(), "age").value();
+  EXPECT_TRUE(sorted->at(0, 2).is_null());
+}
+
+TEST(SortTest, StableOnTies) {
+  auto relation = MakeRelation({Column{"k", DataType::kInt},
+                                Column{"tag", DataType::kString}},
+                               {{Value::Int(1), Value::String("first")},
+                                {Value::Int(1), Value::String("second")}})
+                      .value();
+  auto sorted = Sort(relation, "k").value();
+  EXPECT_EQ(sorted->at(0, 1).string_value(), "first");
+  EXPECT_EQ(sorted->at(1, 1).string_value(), "second");
+}
+
+TEST(LimitTest, TruncatesAndClamps) {
+  EXPECT_EQ(Limit(People(), 2).value()->num_rows(), 2u);
+  EXPECT_EQ(Limit(People(), 0).value()->num_rows(), 0u);
+  EXPECT_EQ(Limit(People(), 100).value()->num_rows(), 4u);
+}
+
+class SampleSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SampleSweepTest, RetainedFractionTracksProbability) {
+  RelationBuilder builder(People()->schema());
+  constexpr int kRows = 8000;
+  for (int i = 0; i < kRows; ++i) {
+    builder.AddRowUnchecked(People()->row(static_cast<size_t>(i % 4)));
+  }
+  auto sampled = Sample(builder.Build(), GetParam(), 1234).value();
+  EXPECT_NEAR(static_cast<double>(sampled->num_rows()) / kRows, GetParam(), 0.025);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, SampleSweepTest,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace tioga2::db

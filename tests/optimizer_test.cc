@@ -1,0 +1,146 @@
+// Tests for the constant-folding optimizer and its interaction with
+// CompiledExpr semantics.
+
+#include <gtest/gtest.h>
+
+#include "db/relation.h"
+#include "expr/expr.h"
+#include "expr/optimizer.h"
+#include "expr/parser.h"
+
+namespace tioga2::expr {
+namespace {
+
+using types::DataType;
+using types::Value;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest()
+      : env_(MakeSchemaTypeEnv({{"n", DataType::kInt}, {"s", DataType::kString}})),
+        row_{Value::Int(5), Value::String("x")},
+        accessor_(row_) {}
+
+  /// Parses + analyzes without folding.
+  ExprNodePtr Analyzed(const std::string& source) {
+    ExprNodePtr ast = ParseExpr(source).value();
+    EXPECT_TRUE(AnalyzeExpr(ast.get(), env_).ok());
+    return ast;
+  }
+
+  TypeEnv env_;
+  db::Tuple row_;
+  TupleAccessor accessor_;
+};
+
+TEST_F(OptimizerTest, FoldsPureArithmetic) {
+  ExprNodePtr ast = Analyzed("1 + 2 * 3");
+  size_t folded = FoldConstants(ast.get()).value();
+  EXPECT_GE(folded, 2u);
+  ASSERT_EQ(ast->kind, ExprNode::Kind::kLiteral);
+  EXPECT_EQ(ast->literal.int_value(), 7);
+  EXPECT_EQ(ast->result_type, DataType::kInt);
+}
+
+TEST_F(OptimizerTest, FoldsOnlyConstantSubtrees) {
+  ExprNodePtr ast = Analyzed("n + (2 * 3)");
+  FoldConstants(ast.get()).value();
+  ASSERT_EQ(ast->kind, ExprNode::Kind::kBinary);
+  EXPECT_EQ(ast->children[0]->kind, ExprNode::Kind::kAttributeRef);
+  ASSERT_EQ(ast->children[1]->kind, ExprNode::Kind::kLiteral);
+  EXPECT_EQ(ast->children[1]->literal.int_value(), 6);
+  // Semantics unchanged.
+  EXPECT_EQ(EvalExpr(*ast, accessor_)->int_value(), 11);
+}
+
+TEST_F(OptimizerTest, FoldsCallsIncludingZeroArg) {
+  ExprNodePtr call = Analyzed("lerp_color(\"#000000\", \"#ffffff\", 0.5)");
+  FoldConstants(call.get()).value();
+  EXPECT_EQ(call->kind, ExprNode::Kind::kLiteral);
+  EXPECT_TRUE(call->literal.is_string());
+
+  ExprNodePtr zero_arg = Analyzed("point()");
+  FoldConstants(zero_arg.get()).value();
+  EXPECT_EQ(zero_arg->kind, ExprNode::Kind::kLiteral);
+  EXPECT_TRUE(zero_arg->literal.is_display());
+}
+
+TEST_F(OptimizerTest, FoldsIfAndBooleans) {
+  ExprNodePtr ast = Analyzed("if(1 < 2, 10, 20)");
+  FoldConstants(ast.get()).value();
+  ASSERT_EQ(ast->kind, ExprNode::Kind::kLiteral);
+  EXPECT_EQ(ast->literal.int_value(), 10);
+
+  ExprNodePtr boolean = Analyzed("true and not false");
+  FoldConstants(boolean.get()).value();
+  ASSERT_EQ(boolean->kind, ExprNode::Kind::kLiteral);
+  EXPECT_TRUE(boolean->literal.bool_value());
+}
+
+TEST_F(OptimizerTest, DivisionByZeroFoldsToNull) {
+  // Matches evaluation-time semantics exactly.
+  ExprNodePtr ast = Analyzed("1 / 0");
+  FoldConstants(ast.get()).value();
+  ASSERT_EQ(ast->kind, ExprNode::Kind::kLiteral);
+  EXPECT_TRUE(ast->literal.is_null());
+}
+
+TEST_F(OptimizerTest, FailingConstantLeftForRuntime) {
+  // A bad color string: folding must not turn a per-tuple error into a
+  // compile error; the node stays a call.
+  ExprNodePtr ast = Analyzed("circle(1, \"notacolor\")");
+  FoldConstants(ast.get()).value();
+  EXPECT_EQ(ast->kind, ExprNode::Kind::kCall);
+  EXPECT_TRUE(EvalExpr(*ast, accessor_).status().IsInvalidArgument());
+}
+
+TEST_F(OptimizerTest, AttributeRefsNeverFold) {
+  ExprNodePtr ast = Analyzed("n");
+  EXPECT_EQ(FoldConstants(ast.get()).value(), 0u);
+  EXPECT_EQ(ast->kind, ExprNode::Kind::kAttributeRef);
+}
+
+TEST_F(OptimizerTest, CompileFoldsTransparently) {
+  CompiledExpr compiled =
+      CompiledExpr::Compile("n + 60 * 60 * 24", env_).value();
+  // The folded constant is invisible except through the root shape.
+  EXPECT_EQ(compiled.Eval(accessor_)->int_value(), 5 + 86400);
+  EXPECT_EQ(compiled.root().children[1]->kind, ExprNode::Kind::kLiteral);
+  // The original source is preserved for serialization.
+  EXPECT_EQ(compiled.source(), "n + 60 * 60 * 24");
+}
+
+class FoldEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FoldEquivalenceTest, FoldedAndUnfoldedAgree) {
+  TypeEnv env = MakeSchemaTypeEnv(
+      {{"n", DataType::kInt}, {"x", DataType::kFloat}, {"s", DataType::kString}});
+  db::Tuple row{Value::Int(7), Value::Float(2.5), Value::String("Tioga")};
+  TupleAccessor accessor(row);
+
+  ExprNodePtr plain = ParseExpr(GetParam()).value();
+  ASSERT_TRUE(AnalyzeExpr(plain.get(), env).ok());
+  ExprNodePtr folded = CloneExpr(*plain);
+  ASSERT_TRUE(FoldConstants(folded.get()).ok());
+
+  Result<Value> a = EvalExpr(*plain, accessor);
+  Result<Value> b = EvalExpr(*folded, accessor);
+  ASSERT_EQ(a.ok(), b.ok()) << GetParam();
+  if (a.ok()) {
+    EXPECT_TRUE(a->Equals(*b)) << GetParam() << ": " << a->ToString() << " vs "
+                               << b->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Expressions, FoldEquivalenceTest,
+    ::testing::Values("1 + 2 * n", "x * (3.0 / 4.0)", "min(2, 3) + n",
+                      "if(n > 0, 1 + 1, 2 + 2)", "s + (\"a\" + \"b\")",
+                      "sqrt(16.0) + x", "circle(1 + 1) + point()",
+                      "lerp_color(\"#000000\", \"#ffffff\", 0.25)",
+                      "coalesce(null, 5) + n", "abs(-3) * abs(3)",
+                      "date(\"1990-01-01\") + (10 + 20)",
+                      "not (1 > 2) and n > 0"));
+
+}  // namespace
+}  // namespace tioga2::expr

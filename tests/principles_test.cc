@@ -1,0 +1,114 @@
+// Tests for the §1.2 guiding principles, exercised as a user narrative:
+// after *every* incremental operation the canvas must evaluate and render —
+// "every result of a user action has a valid visual representation".
+
+#include <gtest/gtest.h>
+
+#include "boxes/program_io.h"
+#include "tioga2/environment.h"
+
+namespace tioga2 {
+namespace {
+
+class PrinciplesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(env_.LoadDemoData(/*extra_stations=*/30, /*num_days=*/20).ok());
+  }
+
+  /// Asserts the canvas is evaluable and renderable right now.
+  void ExpectValidVisualization(const std::string& canvas) {
+    auto content = env_.session().EvaluateCanvas(canvas);
+    ASSERT_TRUE(content.ok()) << content.status().ToString();
+    auto viewer = env_.GetViewer(canvas);
+    ASSERT_TRUE(viewer.ok()) << viewer.status().ToString();
+    ASSERT_TRUE((*viewer)->Refresh().ok());
+    ASSERT_TRUE((*viewer)->FitContent(160, 120).ok());
+    render::Framebuffer fb(160, 120, draw::kWhite);
+    render::RasterSurface surface(&fb);
+    auto stats = (*viewer)->RenderTo(&surface);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  }
+
+  Environment env_;
+};
+
+TEST_F(PrinciplesTest, EveryIncrementalStepStaysVisualizable) {
+  ui::Session& session = env_.session();
+  // Step 0: a bare table with the §5.2 defaults is already visualizable.
+  std::string previous = session.AddTable("Stations").value();
+  ASSERT_TRUE(session.AddViewer(previous, 0, "steps").ok());
+  ExpectValidVisualization("steps");
+
+  // Each subsequent §4/§5/§6 operation re-routes the viewer one box later
+  // and must keep the canvas valid.
+  const std::vector<std::pair<std::string, std::map<std::string, std::string>>>
+      kSteps = {
+          {"Restrict", {{"predicate", "state = \"LA\""}}},
+          {"Project", {{"columns", "name,longitude,latitude,altitude"}}},
+          {"SetLocation", {{"dim", "0"}, {"attr", "longitude"}}},
+          {"SetLocation", {{"dim", "1"}, {"attr", "latitude"}}},
+          {"AddLocationDimension", {{"attr", "altitude"}}},
+          {"AddAttribute",
+           {{"name", "dot"}, {"definition", "circle(0.05, \"#c81e1e\", true)"}}},
+          {"AddAttribute",
+           {{"name", "label"}, {"definition", "offset(text(name, 0.1), -0.2, -0.2)"}}},
+          {"CombineDisplays",
+           {{"name", "both"}, {"first", "dot"}, {"second", "label"}, {"dx", "0"},
+            {"dy", "0"}}},
+          {"SetDisplay", {{"attr", "both"}}},
+          {"ScaleAttribute", {{"name", "altitude"}, {"factor", "0.3048"}}},
+          {"SetRange", {{"min", "0"}, {"max", "100"}}},
+          {"SetName", {{"name", "LA stations"}}},
+          {"Sample", {{"probability", "0.9"}, {"seed", "4"}}},
+          {"Sort", {{"column", "name"}, {"ascending", "true"}}},
+          {"Limit", {{"n", "12"}}},
+      };
+  int step = 0;
+  for (const auto& [type, params] : kSteps) {
+    SCOPED_TRACE("step " + std::to_string(step++) + ": " + type);
+    auto box = session.ApplyBox(type, params, {{previous, 0}});
+    ASSERT_TRUE(box.ok()) << box.status().ToString();
+    previous = *box;
+    // Move the viewer onto the new frontier, as the incremental user does.
+    std::string viewer_box = session.AddViewer(previous, 0, "steps").value();
+    ExpectValidVisualization("steps");
+    ASSERT_TRUE(session.RemoveViewer(viewer_box).ok());
+    ASSERT_TRUE(session.AddViewer(previous, 0, "steps").ok());
+  }
+}
+
+TEST_F(PrinciplesTest, UndoAfterEveryStepAlsoStaysVisualizable) {
+  ui::Session& session = env_.session();
+  std::string stations = session.AddTable("Stations").value();
+  ASSERT_TRUE(session.AddViewer(stations, 0, "undoable").ok());
+  ExpectValidVisualization("undoable");
+  size_t depth = session.UndoDepth();
+  auto restrict = session.ApplyBox("Restrict", {{"predicate", "altitude > 100"}},
+                                   {{stations, 0}});
+  ASSERT_TRUE(restrict.ok());
+  ExpectValidVisualization("undoable");
+  // Undo the apply; the canvas still points at the table and stays valid.
+  while (session.UndoDepth() > depth) {
+    ASSERT_TRUE(session.Undo().ok());
+  }
+  ExpectValidVisualization("undoable");
+}
+
+TEST_F(PrinciplesTest, NoInferenceEveryOperationIsDeterministic) {
+  // Principle 4: "no complex inference procedure" — the same operation
+  // sequence always produces the same program text and the same pixels.
+  auto build = [this](int which) {
+    (void)which;
+    ui::Session session(&env_.catalog());
+    std::string stations = session.AddTable("Stations").value();
+    auto restrict = session.ApplyBox("Restrict", {{"predicate", "state = \"LA\""}},
+                                     {{stations, 0}});
+    EXPECT_TRUE(restrict.ok());
+    return boxes::SerializeProgram(session.graph()).value();
+  };
+  EXPECT_EQ(build(1), build(2));
+}
+
+}  // namespace
+}  // namespace tioga2

@@ -1,0 +1,329 @@
+// Property-based tests: randomized round-trips and invariants across the
+// expression language, program serialization, CSV, cameras, and grouping
+// keys. All randomness is seeded per test-parameter, so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "boxes/box_registry.h"
+#include "boxes/program_io.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "dataflow/engine.h"
+#include "db/aggregates.h"
+#include "db/csv.h"
+#include "expr/expr.h"
+#include "expr/optimizer.h"
+#include "expr/parser.h"
+#include "viewer/camera.h"
+
+namespace tioga2 {
+namespace {
+
+using types::DataType;
+using types::Value;
+
+// ---------------------------------------------------------------------------
+// Random expression round-trip and fold equivalence.
+// ---------------------------------------------------------------------------
+
+/// Generates a random well-typed numeric/boolean expression over attributes
+/// n:int and x:float.
+std::string RandomNumericExpr(Rng* rng, int depth) {
+  if (depth <= 0) {
+    switch (rng->NextBounded(4)) {
+      case 0: return "n";
+      case 1: return "x";
+      case 2: return std::to_string(rng->NextBounded(100));
+      default: return FormatDouble(static_cast<double>(rng->NextBounded(1000)) / 8.0);
+    }
+  }
+  switch (rng->NextBounded(6)) {
+    case 0:
+      return "(" + RandomNumericExpr(rng, depth - 1) + " + " +
+             RandomNumericExpr(rng, depth - 1) + ")";
+    case 1:
+      return "(" + RandomNumericExpr(rng, depth - 1) + " - " +
+             RandomNumericExpr(rng, depth - 1) + ")";
+    case 2:
+      return "(" + RandomNumericExpr(rng, depth - 1) + " * " +
+             RandomNumericExpr(rng, depth - 1) + ")";
+    case 3:
+      return "(" + RandomNumericExpr(rng, depth - 1) + " / " +
+             RandomNumericExpr(rng, depth - 1) + ")";
+    case 4:
+      return "min(" + RandomNumericExpr(rng, depth - 1) + ", " +
+             RandomNumericExpr(rng, depth - 1) + ")";
+    default:
+      return "if(" + RandomNumericExpr(rng, depth - 1) + " > " +
+             RandomNumericExpr(rng, depth - 1) + ", " +
+             RandomNumericExpr(rng, depth - 1) + ", " +
+             RandomNumericExpr(rng, depth - 1) + ")";
+  }
+}
+
+class RandomExprTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomExprTest, PrintParseRoundTripIsStable) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    std::string source = RandomNumericExpr(&rng, 3);
+    auto first = expr::ParseExpr(source);
+    ASSERT_TRUE(first.ok()) << source;
+    std::string printed = expr::ExprToString(**first);
+    auto second = expr::ParseExpr(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(printed, expr::ExprToString(**second)) << source;
+  }
+}
+
+TEST_P(RandomExprTest, FoldingPreservesSemantics) {
+  Rng rng(GetParam() * 31 + 7);
+  expr::TypeEnv env = expr::MakeSchemaTypeEnv(
+      {{"n", DataType::kInt}, {"x", DataType::kFloat}});
+  for (int i = 0; i < 25; ++i) {
+    std::string source = RandomNumericExpr(&rng, 3);
+    expr::ExprNodePtr plain = expr::ParseExpr(source).value();
+    auto analyzed = expr::AnalyzeExpr(plain.get(), env);
+    ASSERT_TRUE(analyzed.ok()) << source;
+    expr::ExprNodePtr folded = expr::CloneExpr(*plain);
+    ASSERT_TRUE(expr::FoldConstants(folded.get()).ok());
+
+    db::Tuple row{Value::Int(static_cast<int64_t>(rng.NextBounded(20)) - 10),
+                  Value::Float(rng.Uniform(-5, 5))};
+    expr::TupleAccessor accessor(row);
+    Result<Value> a = expr::EvalExpr(*plain, accessor);
+    Result<Value> b = expr::EvalExpr(*folded, accessor);
+    ASSERT_EQ(a.ok(), b.ok()) << source;
+    if (a.ok()) {
+      if (a->is_null() || b->is_null()) {
+        EXPECT_EQ(a->is_null(), b->is_null()) << source;
+      } else if (a->is_float() || b->is_float()) {
+        EXPECT_NEAR(a->AsDouble(), b->AsDouble(),
+                    1e-9 * std::max(1.0, std::fabs(a->AsDouble())))
+            << source;
+      } else {
+        EXPECT_TRUE(a->Equals(*b)) << source;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExprTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Random program serialization round-trip.
+// ---------------------------------------------------------------------------
+
+/// Builds a random R -> R chain-with-branches program over a one-column
+/// schema; every box type used here is parameterized validly.
+dataflow::Graph RandomProgram(Rng* rng, size_t boxes) {
+  dataflow::Graph graph;
+  std::vector<std::string> relation_outputs;
+  std::string table =
+      graph.AddBox(boxes::MakeBox("Table", {{"table", "T"}}).value()).value();
+  relation_outputs.push_back(table);
+  for (size_t i = 0; i < boxes; ++i) {
+    std::string from =
+        relation_outputs[rng->NextBounded(relation_outputs.size())];
+    std::string id;
+    switch (rng->NextBounded(5)) {
+      case 0:
+        id = graph
+                 .AddBox(boxes::MakeBox(
+                             "Restrict",
+                             {{"predicate",
+                               "v > " + std::to_string(rng->NextBounded(10))}})
+                             .value())
+                 .value();
+        break;
+      case 1:
+        id = graph
+                 .AddBox(boxes::MakeBox("Sample",
+                                        {{"probability", "0.5"},
+                                         {"seed", std::to_string(rng->NextBounded(99))}})
+                             .value())
+                 .value();
+        break;
+      case 2:
+        id = graph
+                 .AddBox(boxes::MakeBox("Limit",
+                                        {{"n", std::to_string(rng->NextBounded(20))}})
+                             .value())
+                 .value();
+        break;
+      case 3:
+        id = graph
+                 .AddBox(boxes::MakeBox("Sort", {{"column", "v"},
+                                                 {"ascending", "true"}})
+                             .value())
+                 .value();
+        break;
+      default:
+        id = graph.AddBox(boxes::MakeBox("Distinct", {}).value()).value();
+        break;
+    }
+    EXPECT_TRUE(graph.Connect(from, 0, id, 0).ok());
+    relation_outputs.push_back(id);
+    if (rng->NextBounded(4) == 0) {
+      EXPECT_TRUE(graph.SetBoxPosition(id, rng->Uniform(0, 500), rng->Uniform(0, 300))
+                      .ok());
+    }
+  }
+  return graph;
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgramTest, SerializationIsAFixedPoint) {
+  Rng rng(GetParam());
+  dataflow::Graph graph = RandomProgram(&rng, 12);
+  std::string once = boxes::SerializeProgram(graph).value();
+  dataflow::Graph loaded = boxes::DeserializeProgram(once).value();
+  std::string twice = boxes::SerializeProgram(loaded).value();
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(graph.num_boxes(), loaded.num_boxes());
+  EXPECT_EQ(graph.edges().size(), loaded.edges().size());
+}
+
+TEST_P(RandomProgramTest, LoadedProgramEvaluatesIdentically) {
+  db::Catalog catalog;
+  auto table = db::MakeRelation({db::Column{"v", DataType::kInt}},
+                                {{Value::Int(1)},
+                                 {Value::Int(2)},
+                                 {Value::Int(3)},
+                                 {Value::Int(4)},
+                                 {Value::Int(5)},
+                                 {Value::Int(6)}})
+                   .value();
+  ASSERT_TRUE(catalog.RegisterTable("T", table).ok());
+  Rng rng(GetParam() + 1000);
+  dataflow::Graph graph = RandomProgram(&rng, 10);
+  dataflow::Graph loaded =
+      boxes::DeserializeProgram(boxes::SerializeProgram(graph).value()).value();
+  dataflow::Engine engine_a(&catalog);
+  dataflow::Engine engine_b(&catalog);
+  for (const std::string& id : graph.BoxIds()) {
+    auto a = engine_a.Evaluate(graph, id, 0);
+    auto b = engine_b.Evaluate(loaded, id, 0);
+    ASSERT_EQ(a.ok(), b.ok()) << id;
+    if (!a.ok()) continue;
+    auto rel_a = display::AsRelation(std::get<display::Displayable>(*a)).value();
+    auto rel_b = display::AsRelation(std::get<display::Displayable>(*b)).value();
+    EXPECT_TRUE(db::RelationEquals(*rel_a.base(), *rel_b.base())) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// Camera projection properties.
+// ---------------------------------------------------------------------------
+
+class RandomCameraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomCameraTest, ProjectionRoundTripsAndPreservesOrientation) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    viewer::Camera camera(rng.Uniform(-1000, 1000), rng.Uniform(-1000, 1000),
+                          rng.Uniform(0.01, 1000),
+                          static_cast<int>(rng.NextBounded(1000)) + 8,
+                          static_cast<int>(rng.NextBounded(1000)) + 8);
+    double wx = rng.Uniform(-2000, 2000);
+    double wy = rng.Uniform(-2000, 2000);
+    double dx = 0;
+    double dy = 0;
+    camera.WorldToDevice(wx, wy, &dx, &dy);
+    double bx = 0;
+    double by = 0;
+    camera.DeviceToWorld(dx, dy, &bx, &by);
+    EXPECT_NEAR(bx, wx, 1e-6 * std::max(1.0, std::fabs(wx)));
+    EXPECT_NEAR(by, wy, 1e-6 * std::max(1.0, std::fabs(wy)));
+    // Moving up in the world moves up (smaller y) on the screen.
+    double dy_above = 0;
+    double unused = 0;
+    camera.WorldToDevice(wx, wy + 1, &unused, &dy_above);
+    EXPECT_LT(dy_above, dy);
+    // The visible world always contains the camera center.
+    EXPECT_TRUE(camera.VisibleWorld().Contains(camera.center_x(), camera.center_y()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCameraTest, ::testing::Values(7, 77, 777));
+
+// ---------------------------------------------------------------------------
+// Grouping-key and CSV properties over random tuples.
+// ---------------------------------------------------------------------------
+
+Value RandomValue(Rng* rng, DataType type) {
+  if (rng->NextBounded(8) == 0) return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(rng->NextBounded(2) == 1);
+    case DataType::kInt:
+      return Value::Int(static_cast<int64_t>(rng->NextBounded(7)) - 3);
+    case DataType::kFloat:
+      return Value::Float(static_cast<double>(rng->NextBounded(5)) / 2.0);
+    case DataType::kString:
+      return Value::String(std::string(1, static_cast<char>('a' + rng->NextBounded(4))));
+    case DataType::kDate:
+      return Value::DateVal(types::Date(static_cast<int64_t>(rng->NextBounded(100))));
+    default:
+      return Value::Null();
+  }
+}
+
+class RandomTupleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomTupleTest, TupleKeyAgreesWithEquality) {
+  Rng rng(GetParam());
+  const std::vector<DataType> kTypes = {DataType::kInt, DataType::kString,
+                                        DataType::kFloat};
+  std::vector<size_t> columns = {0, 1, 2};
+  for (int i = 0; i < 200; ++i) {
+    db::Tuple a;
+    db::Tuple b;
+    for (DataType type : kTypes) {
+      a.push_back(RandomValue(&rng, type));
+      b.push_back(RandomValue(&rng, type));
+    }
+    std::string key_a = db::TupleKey(a, columns).value();
+    std::string key_b = db::TupleKey(b, columns).value();
+    bool equal = true;
+    for (size_t c = 0; c < a.size(); ++c) {
+      if (!a[c].Equals(b[c])) equal = false;
+    }
+    EXPECT_EQ(equal, key_a == key_b);
+  }
+}
+
+TEST_P(RandomTupleTest, CsvRoundTripsRandomRelations) {
+  Rng rng(GetParam() * 13);
+  const std::vector<db::Column> columns = {
+      {"b", DataType::kBool},   {"i", DataType::kInt},  {"f", DataType::kFloat},
+      {"s", DataType::kString}, {"d", DataType::kDate},
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<db::Tuple> rows;
+    size_t n = rng.NextBounded(12);
+    for (size_t r = 0; r < n; ++r) {
+      db::Tuple row;
+      for (const db::Column& column : columns) {
+        row.push_back(RandomValue(&rng, column.type));
+      }
+      rows.push_back(std::move(row));
+    }
+    auto relation = db::MakeRelation(columns, rows).value();
+    auto parsed = db::RelationFromCsv(db::RelationToCsv(*relation).value());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(db::RelationEquals(*relation, **parsed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTupleTest, ::testing::Values(3, 33, 333));
+
+}  // namespace
+}  // namespace tioga2

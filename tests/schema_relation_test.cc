@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "db/relation.h"
+#include "db/schema.h"
+
+namespace tioga2::db {
+namespace {
+
+using types::DataType;
+using types::Value;
+
+Schema TwoColumnSchema() {
+  return Schema::Make({Column{"id", DataType::kInt}, Column{"name", DataType::kString}})
+      .value();
+}
+
+TEST(SchemaTest, MakeValidatesNames) {
+  EXPECT_TRUE(Schema::Make({Column{"a", DataType::kInt}}).ok());
+  EXPECT_TRUE(Schema::Make({Column{"a", DataType::kInt}, Column{"a", DataType::kFloat}})
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(Schema::Make({Column{"", DataType::kInt}}).status().IsInvalidArgument());
+  EXPECT_TRUE(Schema::Make({}).ok());  // empty schema is legal
+}
+
+TEST(SchemaTest, Lookup) {
+  Schema schema = TwoColumnSchema();
+  EXPECT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(schema.FindColumn("name"), std::optional<size_t>(1));
+  EXPECT_EQ(schema.FindColumn("missing"), std::nullopt);
+  EXPECT_EQ(schema.ColumnIndex("id").value(), 0u);
+  EXPECT_TRUE(schema.ColumnIndex("missing").status().IsNotFound());
+  EXPECT_TRUE(schema.HasColumn("id"));
+  EXPECT_FALSE(schema.HasColumn("ID"));  // case sensitive
+}
+
+TEST(SchemaTest, AddAndRemoveColumn) {
+  Schema schema = TwoColumnSchema();
+  Schema wider = schema.AddColumn(Column{"score", DataType::kFloat}).value();
+  EXPECT_EQ(wider.num_columns(), 3u);
+  EXPECT_TRUE(schema.AddColumn(Column{"id", DataType::kInt}).status().IsAlreadyExists());
+  Schema narrower = wider.RemoveColumn(0).value();
+  EXPECT_EQ(narrower.num_columns(), 2u);
+  EXPECT_FALSE(narrower.HasColumn("id"));
+  EXPECT_TRUE(wider.RemoveColumn(9).status().IsOutOfRange());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TwoColumnSchema().ToString(), "(id:int, name:string)");
+}
+
+TEST(RelationBuilderTest, TypeChecksRows) {
+  RelationBuilder builder(std::make_shared<const Schema>(TwoColumnSchema()));
+  EXPECT_TRUE(builder.AddRow({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_TRUE(builder.AddRow({Value::Null(), Value::Null()}).ok());  // nulls allowed
+  EXPECT_TRUE(builder.AddRow({Value::Int(1)}).IsInvalidArgument());  // arity
+  EXPECT_TRUE(
+      builder.AddRow({Value::String("x"), Value::String("a")}).IsTypeError());
+  RelationPtr relation = builder.Build();
+  EXPECT_EQ(relation->num_rows(), 2u);
+}
+
+TEST(RelationBuilderTest, IntWidensToFloatColumn) {
+  auto relation = MakeRelation({Column{"v", DataType::kFloat}}, {{Value::Int(3)}});
+  ASSERT_TRUE(relation.ok());
+  EXPECT_TRUE((*relation)->at(0, 0).is_float());
+  EXPECT_DOUBLE_EQ((*relation)->at(0, 0).float_value(), 3.0);
+}
+
+TEST(RelationBuilderTest, BuildResetsBuilder) {
+  RelationBuilder builder(std::make_shared<const Schema>(TwoColumnSchema()));
+  ASSERT_TRUE(builder.AddRow({Value::Int(1), Value::String("a")}).ok());
+  RelationPtr first = builder.Build();
+  EXPECT_EQ(first->num_rows(), 1u);
+  ASSERT_TRUE(builder.AddRow({Value::Int(2), Value::String("b")}).ok());
+  RelationPtr second = builder.Build();
+  EXPECT_EQ(second->num_rows(), 1u);
+  EXPECT_EQ(second->at(0, 0).int_value(), 2);
+  EXPECT_EQ(first->num_rows(), 1u);  // first build unaffected
+}
+
+TEST(RelationTest, AccessorsAndToString) {
+  auto relation = MakeRelation({Column{"id", DataType::kInt},
+                                Column{"name", DataType::kString}},
+                               {{Value::Int(1), Value::String("a")},
+                                {Value::Int(2), Value::String("b")}})
+                      .value();
+  EXPECT_EQ(relation->num_rows(), 2u);
+  EXPECT_EQ(relation->num_columns(), 2u);
+  EXPECT_EQ(relation->at(1, 1).string_value(), "b");
+  std::string text = relation->ToString();
+  EXPECT_NE(text.find("id | name"), std::string::npos);
+  EXPECT_NE(text.find("\"a\""), std::string::npos);
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  RelationBuilder builder(
+      std::make_shared<const Schema>(Schema::Make({Column{"v", DataType::kInt}}).value()));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(builder.AddRow({Value::Int(i)}).ok());
+  }
+  std::string text = builder.Build()->ToString(/*max_rows=*/5);
+  EXPECT_NE(text.find("25 more rows"), std::string::npos);
+}
+
+TEST(RelationTest, EqualityStructural) {
+  auto make = [](int64_t v) {
+    return MakeRelation({Column{"v", DataType::kInt}}, {{Value::Int(v)}}).value();
+  };
+  EXPECT_TRUE(RelationEquals(*make(1), *make(1)));
+  EXPECT_FALSE(RelationEquals(*make(1), *make(2)));
+  auto different_schema =
+      MakeRelation({Column{"w", DataType::kInt}}, {{Value::Int(1)}}).value();
+  EXPECT_FALSE(RelationEquals(*make(1), *different_schema));
+}
+
+}  // namespace
+}  // namespace tioga2::db

@@ -1,0 +1,270 @@
+// Tests for the headless direct-manipulation Session: the Figure 2 program
+// operations, undo, viewer canvases, Apply Box menus, and encapsulation
+// through the session library.
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "ui/session.h"
+
+namespace tioga2::ui {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        data::LoadDemoData(&catalog_, /*extra_stations=*/20, /*num_days=*/10, 7).ok());
+    session_ = std::make_unique<Session>(&catalog_);
+  }
+
+  Result<size_t> CanvasRows(const std::string& canvas) {
+    TIOGA2_ASSIGN_OR_RETURN(display::Displayable content,
+                            session_->EvaluateCanvas(canvas));
+    TIOGA2_ASSIGN_OR_RETURN(display::DisplayRelation relation,
+                            display::AsRelation(content));
+    return relation.num_rows();
+  }
+
+  db::Catalog catalog_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(SessionTest, MenusListTablesAndBoxes) {
+  std::vector<std::string> tables = session_->ListTables();
+  EXPECT_NE(std::find(tables.begin(), tables.end(), "Stations"), tables.end());
+  EXPECT_NE(std::find(tables.begin(), tables.end(), "Observations"), tables.end());
+  EXPECT_GT(session_->ListBoxTypes().size(), 20u);
+}
+
+TEST_F(SessionTest, AddTableValidatesCatalog) {
+  EXPECT_TRUE(session_->AddTable("Stations").ok());
+  EXPECT_TRUE(session_->AddTable("Nope").status().IsNotFound());
+}
+
+TEST_F(SessionTest, BuildEvaluateEditLoop) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string restrict =
+      session_->AddBox("Restrict", {{"predicate", "state = \"LA\""}}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, restrict, 0).ok());
+  ASSERT_TRUE(session_->AddViewer(restrict, 0, "main").ok());
+  EXPECT_EQ(CanvasRows("main").value(), 15u);
+  // Incremental edit: replace the Restrict box; the canvas updates.
+  ASSERT_TRUE(session_->ReplaceBox(restrict, "Restrict",
+                                   {{"predicate", "state = \"LA\" and altitude < 50"}})
+                  .ok());
+  EXPECT_LT(CanvasRows("main").value(), 15u);
+}
+
+TEST_F(SessionTest, UndoRestoresProgram) {
+  std::string stations = session_->AddTable("Stations").value();
+  size_t before = session_->graph().num_boxes();
+  ASSERT_TRUE(session_->AddBox("Restrict", {{"predicate", "true"}}).ok());
+  EXPECT_EQ(session_->graph().num_boxes(), before + 1);
+  ASSERT_TRUE(session_->Undo().ok());
+  EXPECT_EQ(session_->graph().num_boxes(), before);
+  EXPECT_TRUE(session_->graph().HasBox(stations));
+}
+
+TEST_F(SessionTest, UndoStackUnwindsMultipleSteps) {
+  ASSERT_TRUE(session_->AddTable("Stations").ok());
+  ASSERT_TRUE(session_->AddTable("Observations").ok());
+  ASSERT_TRUE(session_->Undo().ok());
+  ASSERT_TRUE(session_->Undo().ok());
+  EXPECT_EQ(session_->graph().num_boxes(), 0u);
+  EXPECT_TRUE(session_->Undo().IsFailedPrecondition());
+}
+
+TEST_F(SessionTest, FailedOperationsDoNotPolluteUndo) {
+  ASSERT_TRUE(session_->AddTable("Stations").ok());
+  size_t depth = session_->UndoDepth();
+  EXPECT_FALSE(session_->Connect("zzz", 0, "yyy", 0).ok());
+  EXPECT_EQ(session_->UndoDepth(), depth);
+  EXPECT_FALSE(session_->DeleteBox("zzz").ok());
+  EXPECT_EQ(session_->UndoDepth(), depth);
+}
+
+TEST_F(SessionTest, DeleteBoxEnforcesRules) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string restrict =
+      session_->AddBox("Restrict", {{"predicate", "true"}}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, restrict, 0).ok());
+  // Table feeds another box: not deletable.
+  EXPECT_TRUE(session_->DeleteBox(stations).IsFailedPrecondition());
+  // Leaf restrict: deletable.
+  EXPECT_TRUE(session_->DeleteBox(restrict).ok());
+}
+
+TEST_F(SessionTest, InsertTAllowsDebugViewer) {
+  // The §1.1 problem-2 fix: install a viewer on any edge.
+  std::string stations = session_->AddTable("Stations").value();
+  std::string restrict =
+      session_->AddBox("Restrict", {{"predicate", "state = \"LA\""}}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, restrict, 0).ok());
+  std::string t = session_->InsertT(restrict, 0).value();
+  ASSERT_TRUE(session_->AddViewer(t, 1, "debug").ok());
+  ASSERT_TRUE(session_->AddViewer(restrict, 0, "final").ok());
+  // The debug canvas sees the unfiltered data, the final one the filtered.
+  EXPECT_GT(CanvasRows("debug").value(), CanvasRows("final").value());
+}
+
+TEST_F(SessionTest, ApplyBoxCandidatesForEdges) {
+  std::string stations = session_->AddTable("Stations").value();
+  auto single = session_->ApplyBoxCandidates({{stations, 0}}).value();
+  EXPECT_NE(std::find(single.begin(), single.end(), "Restrict"), single.end());
+  std::string observations = session_->AddTable("Observations").value();
+  auto pair =
+      session_->ApplyBoxCandidates({{stations, 0}, {observations, 0}}).value();
+  EXPECT_NE(std::find(pair.begin(), pair.end(), "Join"), pair.end());
+  EXPECT_TRUE(session_->ApplyBoxCandidates({{stations, 7}}).status().IsOutOfRange());
+  EXPECT_TRUE(session_->ApplyBoxCandidates({{"zzz", 0}}).status().IsNotFound());
+}
+
+TEST_F(SessionTest, ApplyBoxWiresInputs) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string observations = session_->AddTable("Observations").value();
+  auto join = session_->ApplyBox("Join", {{"predicate", "station_id = station_id_2"}},
+                                 {{stations, 0}, {observations, 0}});
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  EXPECT_EQ(session_->graph().IncomingEdge(*join, 0)->from_box, stations);
+  EXPECT_EQ(session_->graph().IncomingEdge(*join, 1)->from_box, observations);
+  ASSERT_TRUE(session_->AddViewer(*join, 0, "joined").ok());
+  EXPECT_GT(CanvasRows("joined").value(), 0u);
+}
+
+TEST_F(SessionTest, ApplyBoxLiftsRelationalOpOntoComposite) {
+  // Overlay stations and the map; applying Restrict to the composite edge
+  // lifts it onto the named member (§2's operator overloading).
+  std::string stations = session_->AddTable("Stations").value();
+  std::string map = session_->AddTable("LouisianaMap").value();
+  auto overlay =
+      session_->ApplyBox("Overlay", {{"offset", ""}}, {{stations, 0}, {map, 0}});
+  ASSERT_TRUE(overlay.ok());
+  // Without a member selection the system must ask (§2).
+  EXPECT_TRUE(session_
+                  ->ApplyBox("Restrict", {{"predicate", "state = \"LA\""}},
+                             {{*overlay, 0}})
+                  .status()
+                  .IsFailedPrecondition());
+  auto lifted = session_->ApplyBox("Restrict", {{"predicate", "state = \"LA\""}},
+                                   {{*overlay, 0}}, "Stations");
+  ASSERT_TRUE(lifted.ok()) << lifted.status().ToString();
+  EXPECT_EQ(session_->graph().GetBox(*lifted).value()->type_name(), "Lift");
+  ASSERT_TRUE(session_->AddViewer(*lifted, 0, "lifted").ok());
+  auto content = session_->EvaluateCanvas("lifted");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  auto composite = display::AsComposite(*content).value();
+  ASSERT_EQ(composite.size(), 2u);
+  EXPECT_EQ(composite.entries()[0].relation.num_rows(), 15u);  // filtered
+  EXPECT_GT(composite.entries()[1].relation.num_rows(), 15u);  // map untouched
+}
+
+TEST_F(SessionTest, ApplyBoxRollsBackOnBadWiring) {
+  std::string stations = session_->AddTable("Stations").value();
+  size_t boxes_before = session_->graph().num_boxes();
+  // Join needs two inputs; wiring a viewer output (none) fails cleanly.
+  auto bad = session_->ApplyBox("Join", {{"predicate", "a = b"}},
+                                {{stations, 0}, {stations, 7}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(session_->graph().num_boxes(), boxes_before);
+}
+
+TEST_F(SessionTest, SaveAddLoadProgramRoundTrip) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string restrict =
+      session_->AddBox("Restrict", {{"predicate", "state = \"LA\""}}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, restrict, 0).ok());
+  ASSERT_TRUE(session_->AddViewer(restrict, 0, "saved_canvas").ok());
+  ASSERT_TRUE(session_->SaveProgram("la_stations").ok());
+
+  // Load replaces the program; the canvas still evaluates afterwards.
+  ASSERT_TRUE(session_->LoadProgram("la_stations").ok());
+  EXPECT_EQ(CanvasRows("saved_canvas").value(), 15u);
+  EXPECT_TRUE(session_->LoadProgram("missing").IsNotFound());
+
+  // AddProgram merges and remaps ids on collision.
+  auto mapping = session_->AddProgram("la_stations");
+  ASSERT_TRUE(mapping.ok()) << mapping.status().ToString();
+  EXPECT_EQ(session_->graph().num_boxes(), 6u);  // two copies of 3 boxes
+}
+
+TEST_F(SessionTest, EncapsulateAndReuse) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string restrict =
+      session_->AddBox("Restrict", {{"predicate", "state = \"LA\""}}).value();
+  std::string project =
+      session_->AddBox("Project", {{"columns", "name,longitude,latitude"}}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, restrict, 0).ok());
+  ASSERT_TRUE(session_->Connect(restrict, 0, project, 0).ok());
+  ASSERT_TRUE(session_->Encapsulate({restrict, project}, {}, "la_slice").ok());
+  EXPECT_EQ(session_->EncapsulatedNames(), (std::vector<std::string>{"la_slice"}));
+  EXPECT_TRUE(session_->Encapsulate({restrict}, {}, "la_slice").IsAlreadyExists());
+
+  std::string instance = session_->InsertEncapsulated("la_slice", {}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, instance, 0).ok());
+  ASSERT_TRUE(session_->AddViewer(instance, 0, "sliced").ok());
+  EXPECT_EQ(CanvasRows("sliced").value(), 15u);
+  EXPECT_TRUE(session_->InsertEncapsulated("ghost", {}).status().IsNotFound());
+}
+
+TEST_F(SessionTest, EncapsulateWithHoleFilledAtInsert) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string hole = session_->AddBox("Restrict", {{"predicate", "true"}}).value();
+  std::string cap =
+      session_->AddBox("Project", {{"columns", "name,state"}}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, hole, 0).ok());
+  ASSERT_TRUE(session_->Connect(hole, 0, cap, 0).ok());
+  ASSERT_TRUE(session_->Encapsulate({hole, cap}, {hole}, "filter_project").ok());
+
+  std::string instance =
+      session_
+          ->InsertEncapsulated("filter_project",
+                               {{"Restrict", {{"predicate", "state = \"TX\""}}}})
+          .value();
+  ASSERT_TRUE(session_->Connect(stations, 0, instance, 0).ok());
+  ASSERT_TRUE(session_->AddViewer(instance, 0, "tx").ok());
+  auto content = session_->EvaluateCanvas("tx");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  auto relation = display::AsRelation(*content).value();
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    EXPECT_EQ(relation.AttributeValue(r, "state")->string_value(), "TX");
+  }
+}
+
+TEST_F(SessionTest, RemoveViewerUnregistersCanvas) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string viewer_box = session_->AddViewer(stations, 0, "gone").value();
+  ASSERT_TRUE(session_->EvaluateCanvas("gone").ok());
+  ASSERT_TRUE(session_->RemoveViewer(viewer_box).ok());
+  EXPECT_FALSE(session_->graph().HasBox(viewer_box));
+  EXPECT_TRUE(session_->EvaluateCanvas("gone").status().IsNotFound());
+  // Only viewer boxes qualify.
+  EXPECT_TRUE(session_->RemoveViewer(stations).IsInvalidArgument());
+  EXPECT_TRUE(session_->RemoveViewer("zzz").IsNotFound());
+}
+
+TEST_F(SessionTest, NewProgramClearsAndIsUndoable) {
+  ASSERT_TRUE(session_->AddTable("Stations").ok());
+  session_->NewProgram();
+  EXPECT_EQ(session_->graph().num_boxes(), 0u);
+  ASSERT_TRUE(session_->Undo().ok());
+  EXPECT_EQ(session_->graph().num_boxes(), 1u);
+}
+
+TEST_F(SessionTest, OverlayWarningSurfaces) {
+  std::string stations = session_->AddTable("Stations").value();
+  std::string slider =
+      session_->AddBox("AddLocationDimension", {{"attr", "altitude"}}).value();
+  std::string map = session_->AddTable("LouisianaMap").value();
+  std::string overlay = session_->AddBox("Overlay", {{"offset", ""}}).value();
+  ASSERT_TRUE(session_->Connect(stations, 0, slider, 0).ok());
+  ASSERT_TRUE(session_->Connect(slider, 0, overlay, 0).ok());
+  ASSERT_TRUE(session_->Connect(map, 0, overlay, 1).ok());
+  ASSERT_TRUE(session_->AddViewer(overlay, 0, "warned").ok());
+  ASSERT_TRUE(session_->EvaluateCanvas("warned").ok());
+  ASSERT_EQ(session_->LastWarnings().size(), 1u);
+  EXPECT_NE(session_->LastWarnings()[0].find("dimension"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tioga2::ui

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tioga2 {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("no table named 'Foo'");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+  EXPECT_FALSE(status.IsTypeError());
+  EXPECT_EQ(status.message(), "no table named 'Foo'");
+  EXPECT_EQ(status.ToString(), "NotFound: no table named 'Foo'");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status original = Status::TypeError("mismatch");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  Status assigned;
+  assigned = original;
+  EXPECT_EQ(assigned, original);
+  EXPECT_FALSE(assigned.ok());
+  // The original survives modifications of the copy.
+  assigned = Status::OK();
+  EXPECT_TRUE(assigned.ok());
+  EXPECT_TRUE(original.IsTypeError());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::TypeError("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kTypeError), "TypeError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> result = std::string("hello");
+  EXPECT_EQ(result.value_or("fallback"), "hello");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  std::unique_ptr<int> owned = std::move(result).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+Result<int> Half(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> Quarter(int v) {
+  TIOGA2_ASSIGN_OR_RETURN(int half, Half(v));
+  TIOGA2_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(Quarter(8).value(), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2 = 3 is odd
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status CheckAll(int a, int b) {
+  TIOGA2_RETURN_IF_ERROR(FailIfNegative(a));
+  TIOGA2_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(CheckAll(1, 2).ok());
+  EXPECT_TRUE(CheckAll(-1, 2).IsOutOfRange());
+  EXPECT_TRUE(CheckAll(1, -2).IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace tioga2

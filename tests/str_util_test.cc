@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+
+namespace tioga2 {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, EmptyPiecesPreserved) {
+  EXPECT_EQ(StrSplit(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(StrSplitTest, EmptyInputYieldsOneEmptyPiece) {
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrJoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(StrJoin(pieces, ","), "x,y,z");
+  EXPECT_EQ(StrSplit(StrJoin(pieces, ","), ','), pieces);
+}
+
+TEST(StrJoinTest, EmptyAndSingle) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("word"), "word");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("inner.param", "inner."));
+  EXPECT_FALSE(StartsWith("inner", "inner."));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(AsciiToLowerTest, LowersOnlyAscii) {
+  EXPECT_EQ(AsciiToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(FormatDoubleTest, IntegralValuesHaveNoFraction) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-42.0), "-42");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(FormatDoubleTest, FractionsKeepPrecision) {
+  EXPECT_EQ(FormatDouble(3.25), "3.25");
+  EXPECT_EQ(FormatDouble(0.125), "0.125");
+}
+
+TEST(FormatDoubleTest, RoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 3456.789123456789, -2.2250738585072014e-308,
+                   1.7976931348623157e308, 6.02214076e23}) {
+    std::string text = FormatDouble(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(FormatDoubleTest, SpecialValues) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(QuoteStringTest, RoundTrip) {
+  for (const std::string& input :
+       {std::string("plain"), std::string(""), std::string("with \"quotes\""),
+        std::string("back\\slash"), std::string("new\nline"),
+        std::string("all \"of\\it\"\n")}) {
+    std::string quoted = QuoteString(input);
+    std::string decoded;
+    ASSERT_TRUE(UnquoteString(quoted, &decoded)) << quoted;
+    EXPECT_EQ(decoded, input);
+  }
+}
+
+TEST(QuoteStringTest, MalformedInputsRejected) {
+  std::string out;
+  EXPECT_FALSE(UnquoteString("noquotes", &out));
+  EXPECT_FALSE(UnquoteString("\"unterminated", &out));
+  EXPECT_FALSE(UnquoteString("\"bad\\x\"", &out));
+  EXPECT_FALSE(UnquoteString("\"inner\"quote\"", &out));
+  EXPECT_FALSE(UnquoteString("\"dangling\\\"", &out));
+  EXPECT_FALSE(UnquoteString("", &out));
+  EXPECT_FALSE(UnquoteString("\"", &out));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng rng(0);
+  EXPECT_NE(rng.NextUint64(), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(11);
+  bool seen[5] = {false, false, false, false, false};
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = rng.NextBounded(5);
+    ASSERT_LT(v, 5u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, RoughlyUniformMean) {
+  Rng rng(2024);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace tioga2

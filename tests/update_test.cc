@@ -1,0 +1,197 @@
+// Tests for the §8 update machinery: default and custom update functions,
+// the generic update procedure, and the click-to-update path through a
+// canvas hit.
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "render/framebuffer.h"
+#include "render/raster_surface.h"
+#include "ui/session.h"
+#include "update/update.h"
+#include "viewer/viewer.h"
+
+namespace tioga2::update {
+namespace {
+
+using db::Column;
+using db::MakeRelation;
+using types::DataType;
+using types::Value;
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto inventory =
+        MakeRelation({Column{"item", DataType::kString},
+                      Column{"on_hand", DataType::kInt},
+                      Column{"price", DataType::kFloat}},
+                     {{Value::String("hat"), Value::Int(12), Value::Float(9.5)},
+                      {Value::String("bag"), Value::Int(3), Value::Float(20.0)}})
+            .value();
+    ASSERT_TRUE(catalog_.RegisterTable("Inventory", inventory).ok());
+  }
+
+  db::Catalog catalog_;
+};
+
+TEST_F(UpdateTest, DefaultUpdateParsesFieldType) {
+  UpdateManager updates(&catalog_);
+  ASSERT_TRUE(updates.ApplyUpdate("Inventory", 0, {{"on_hand", "10"}}).ok());
+  auto table = catalog_.GetTable("Inventory").value();
+  EXPECT_EQ(table->at(0, 1).int_value(), 10);
+  // Untouched fields keep their values.
+  EXPECT_EQ(table->at(0, 0).string_value(), "hat");
+  EXPECT_DOUBLE_EQ(table->at(0, 2).float_value(), 9.5);
+}
+
+TEST_F(UpdateTest, MultipleFieldsInOneDialog) {
+  UpdateManager updates(&catalog_);
+  ASSERT_TRUE(
+      updates.ApplyUpdate("Inventory", 1, {{"on_hand", "7"}, {"price", "18.25"}}).ok());
+  auto table = catalog_.GetTable("Inventory").value();
+  EXPECT_EQ(table->at(1, 1).int_value(), 7);
+  EXPECT_DOUBLE_EQ(table->at(1, 2).float_value(), 18.25);
+}
+
+TEST_F(UpdateTest, UpdateBumpsTableVersion) {
+  UpdateManager updates(&catalog_);
+  uint64_t before = catalog_.TableVersion("Inventory").value();
+  ASSERT_TRUE(updates.ApplyUpdate("Inventory", 0, {{"on_hand", "1"}}).ok());
+  EXPECT_EQ(catalog_.TableVersion("Inventory").value(), before + 1);
+}
+
+TEST_F(UpdateTest, ValidationErrors) {
+  UpdateManager updates(&catalog_);
+  EXPECT_TRUE(updates.ApplyUpdate("Nope", 0, {{"x", "1"}}).IsNotFound());
+  EXPECT_TRUE(updates.ApplyUpdate("Inventory", 99, {{"on_hand", "1"}}).IsOutOfRange());
+  EXPECT_TRUE(
+      updates.ApplyUpdate("Inventory", 0, {{"missing_col", "1"}}).IsNotFound());
+  EXPECT_TRUE(
+      updates.ApplyUpdate("Inventory", 0, {{"on_hand", "not a number"}}).IsParseError());
+  // Failed updates leave the table untouched.
+  EXPECT_EQ(catalog_.GetTable("Inventory").value()->at(0, 1).int_value(), 12);
+}
+
+TEST_F(UpdateTest, CustomTypeUpdateFunction) {
+  UpdateManager updates(&catalog_);
+  // An int update function with a "delta" look and feel: "+n" adds.
+  updates.SetTypeUpdateFunction(
+      DataType::kInt,
+      [](const Value& old_value, const std::string& input) -> Result<Value> {
+        if (!input.empty() && input[0] == '+') {
+          TIOGA2_ASSIGN_OR_RETURN(Value delta,
+                                  Value::Parse(DataType::kInt, input.substr(1)));
+          return Value::Int(old_value.int_value() + delta.int_value());
+        }
+        return Value::Parse(DataType::kInt, input);
+      });
+  ASSERT_TRUE(updates.ApplyUpdate("Inventory", 0, {{"on_hand", "+5"}}).ok());
+  EXPECT_EQ(catalog_.GetTable("Inventory").value()->at(0, 1).int_value(), 17);
+}
+
+TEST_F(UpdateTest, ColumnFunctionOverridesTypeFunction) {
+  UpdateManager updates(&catalog_);
+  updates.SetColumnUpdateFunction(
+      "Inventory", "price",
+      [](const Value& old_value, const std::string& input) -> Result<Value> {
+        (void)input;  // "freeze price" policy
+        return old_value;
+      });
+  ASSERT_TRUE(updates.ApplyUpdate("Inventory", 0, {{"price", "999"}}).ok());
+  EXPECT_DOUBLE_EQ(catalog_.GetTable("Inventory").value()->at(0, 2).float_value(), 9.5);
+  // Other columns still use the defaults.
+  ASSERT_TRUE(updates.ApplyUpdate("Inventory", 0, {{"on_hand", "4"}}).ok());
+  EXPECT_EQ(catalog_.GetTable("Inventory").value()->at(0, 1).int_value(), 4);
+}
+
+TEST_F(UpdateTest, ApplyUpdateByMatchFindsTuple) {
+  UpdateManager updates(&catalog_);
+  db::Tuple bag = catalog_.GetTable("Inventory").value()->row(1);
+  ASSERT_TRUE(updates.ApplyUpdateByMatch("Inventory", bag, {{"on_hand", "0"}}).ok());
+  EXPECT_EQ(catalog_.GetTable("Inventory").value()->at(1, 1).int_value(), 0);
+  // A tuple that no longer exists cannot be matched.
+  EXPECT_TRUE(
+      updates.ApplyUpdateByMatch("Inventory", bag, {{"on_hand", "5"}}).IsNotFound());
+}
+
+TEST_F(UpdateTest, DescribeTupleShowsDialogContents) {
+  UpdateManager updates(&catalog_);
+  auto fields = updates.DescribeTuple("Inventory", 1);
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[0].column, "item");
+  EXPECT_EQ((*fields)[0].current_value, "\"bag\"");
+  EXPECT_TRUE((*fields)[0].updatable);
+  EXPECT_EQ((*fields)[1].column, "on_hand");
+  EXPECT_EQ((*fields)[1].current_value, "3");
+  EXPECT_EQ((*fields)[1].type, DataType::kInt);
+  EXPECT_TRUE(updates.DescribeTuple("Inventory", 99).status().IsOutOfRange());
+  EXPECT_TRUE(updates.DescribeTuple("Nope", 0).status().IsNotFound());
+}
+
+TEST_F(UpdateTest, DisplayFieldsNotUpdatable) {
+  UpdateManager updates(&catalog_);
+  const FieldUpdateFn& fn =
+      updates.ResolveUpdateFunction("Inventory", "whatever", DataType::kDisplay);
+  EXPECT_TRUE(fn(Value::Null(), "x").status().IsFailedPrecondition());
+}
+
+TEST(ClickUpdateTest, HitToUpdateToRecomputedCanvas) {
+  // End-to-end §8: click a station dot, decrease a value, observe every
+  // downstream canvas recompute.
+  db::Catalog catalog;
+  ASSERT_TRUE(data::LoadDemoData(&catalog, /*extra_stations=*/0, /*num_days=*/5, 3).ok());
+  ui::Session session(&catalog);
+  std::string stations = session.AddTable("Stations").value();
+  std::string set_x =
+      session.AddBox("SetLocation", {{"dim", "0"}, {"attr", "longitude"}}).value();
+  std::string set_y =
+      session.AddBox("SetLocation", {{"dim", "1"}, {"attr", "latitude"}}).value();
+  std::string dots =
+      session.AddBox("AddAttribute",
+                     {{"name", "dot"}, {"definition", "circle(0.2, \"#ff0000\", true)"}})
+          .value();
+  std::string set_display = session.AddBox("SetDisplay", {{"attr", "dot"}}).value();
+  ASSERT_TRUE(session.Connect(stations, 0, set_x, 0).ok());
+  ASSERT_TRUE(session.Connect(set_x, 0, set_y, 0).ok());
+  ASSERT_TRUE(session.Connect(set_y, 0, dots, 0).ok());
+  ASSERT_TRUE(session.Connect(dots, 0, set_display, 0).ok());
+  ASSERT_TRUE(session.AddViewer(set_display, 0, "map").ok());
+
+  viewer::Viewer viewer("v", "map", &session.registry());
+  ASSERT_TRUE(viewer.FitContent(400, 400).ok());
+  render::Framebuffer fb(400, 400, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  ASSERT_TRUE(viewer.RenderTo(&surface).ok());
+
+  // Click on New Orleans: project its world location to the device.
+  double dx = 0;
+  double dy = 0;
+  viewer.camera().WorldToDevice(-90.08, 29.95, &dx, &dy);
+  auto hit = viewer.HitTestAt(&surface, dx, dy).value();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->relation_name, "Stations");
+
+  // The §8 dialog: change the altitude of the clicked station.
+  ASSERT_TRUE(session.ClickUpdate("map", *hit, "Stations", {{"altitude", "123"}}).ok());
+  auto table = catalog.GetTable("Stations").value();
+  size_t alt = table->schema()->ColumnIndex("altitude").value();
+  bool found = false;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (table->at(r, 0).int_value() == 1) {  // New Orleans is station_id 1
+      EXPECT_DOUBLE_EQ(table->at(r, alt).float_value(), 123.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // The canvas recomputes against the updated table (version bump).
+  auto content = session.EvaluateCanvas("map");
+  ASSERT_TRUE(content.ok());
+  auto relation = display::AsRelation(*content).value();
+  EXPECT_DOUBLE_EQ(relation.AttributeValue(0, "altitude")->AsDouble(), 123.0);
+}
+
+}  // namespace
+}  // namespace tioga2::update

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "types/value.h"
+
+namespace tioga2::types {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "null");
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+}
+
+TEST(ValueTest, TypedConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(-5).int_value(), -5);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).float_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::DateVal(Date::FromYmd(1995, 7, 14)).date_value().Year(), 1995);
+}
+
+TEST(ValueTest, TypeReporting) {
+  EXPECT_EQ(Value::Bool(false).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(1).type(), DataType::kInt);
+  EXPECT_EQ(Value::Float(1).type(), DataType::kFloat);
+  EXPECT_EQ(Value::String("").type(), DataType::kString);
+  EXPECT_EQ(Value::DateVal(Date()).type(), DataType::kDate);
+  EXPECT_EQ(Value::Display(draw::MakeDrawableList({})).type(), DataType::kDisplay);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value::Int(2).Equals(Value::Float(2.0)));
+  EXPECT_FALSE(Value::Int(2).Equals(Value::Float(2.5)));
+  EXPECT_TRUE(Value::Float(3.0).Equals(Value::Int(3)));
+}
+
+TEST(ValueTest, DisplayEqualityIsStructural) {
+  auto a = Value::Display(draw::MakeDrawableList({draw::MakeCircle(2.0)}));
+  auto b = Value::Display(draw::MakeDrawableList({draw::MakeCircle(2.0)}));
+  auto c = Value::Display(draw::MakeDrawableList({draw::MakeCircle(3.0)}));
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Int(2)).value(), -1);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)).value(), 0);
+  EXPECT_EQ(Value::Float(2.5).Compare(Value::Int(2)).value(), 1);
+}
+
+TEST(ValueTest, CompareStringsAndDates) {
+  EXPECT_LT(Value::String("apple").Compare(Value::String("banana")).value(), 0);
+  EXPECT_GT(Value::DateVal(Date::FromYmd(1995, 1, 2))
+                .Compare(Value::DateVal(Date::FromYmd(1995, 1, 1)))
+                .value(),
+            0);
+}
+
+TEST(ValueTest, CompareBools) {
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)).value(), 0);
+  EXPECT_EQ(Value::Bool(true).Compare(Value::Bool(true)).value(), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_EQ(Value::Null().Compare(Value::Int(0)).value(), -1);
+  EXPECT_EQ(Value::Int(0).Compare(Value::Null()).value(), 1);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()).value(), 0);
+}
+
+TEST(ValueTest, CrossTypeCompareIsError) {
+  EXPECT_TRUE(Value::String("x").Compare(Value::Int(1)).status().IsTypeError());
+  EXPECT_TRUE(Value::Bool(true).Compare(Value::DateVal(Date())).status().IsTypeError());
+}
+
+TEST(ValueTest, DisplayHasNoOrdering) {
+  auto d = Value::Display(draw::MakeDrawableList({}));
+  EXPECT_TRUE(d.Compare(d).status().IsTypeError());
+}
+
+TEST(ValueTest, CastIntToFloat) {
+  auto cast = Value::Int(7).CastTo(DataType::kFloat);
+  ASSERT_TRUE(cast.ok());
+  EXPECT_DOUBLE_EQ(cast->float_value(), 7.0);
+}
+
+TEST(ValueTest, CastIdentityAndFailure) {
+  EXPECT_TRUE(Value::String("x").CastTo(DataType::kString).ok());
+  EXPECT_TRUE(Value::Float(1.5).CastTo(DataType::kInt).status().IsTypeError());
+  EXPECT_TRUE(Value::String("1").CastTo(DataType::kInt).status().IsTypeError());
+}
+
+TEST(ValueTest, CastNullIsNull) {
+  auto cast = Value::Null().CastTo(DataType::kInt);
+  ASSERT_TRUE(cast.ok());
+  EXPECT_TRUE(cast->is_null());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Float(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Float(3.0).ToString(), "3");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::DateVal(Date::FromYmd(1995, 7, 14)).ToString(), "1995-07-14");
+}
+
+TEST(ValueParseTest, ParsesEachType) {
+  EXPECT_EQ(Value::Parse(DataType::kBool, "true")->bool_value(), true);
+  EXPECT_EQ(Value::Parse(DataType::kBool, "0")->bool_value(), false);
+  EXPECT_EQ(Value::Parse(DataType::kInt, " -12 ")->int_value(), -12);
+  EXPECT_DOUBLE_EQ(Value::Parse(DataType::kFloat, "2.5e1")->float_value(), 25.0);
+  EXPECT_EQ(Value::Parse(DataType::kString, "plain")->string_value(), "plain");
+  EXPECT_EQ(Value::Parse(DataType::kString, "\"quoted text\"")->string_value(),
+            "quoted text");
+  EXPECT_EQ(Value::Parse(DataType::kDate, "1990-06-15")->date_value().Month(), 6);
+}
+
+TEST(ValueParseTest, RejectsMalformed) {
+  EXPECT_TRUE(Value::Parse(DataType::kBool, "yes").status().IsParseError());
+  EXPECT_TRUE(Value::Parse(DataType::kInt, "12x").status().IsParseError());
+  EXPECT_TRUE(Value::Parse(DataType::kInt, "").status().IsParseError());
+  EXPECT_TRUE(Value::Parse(DataType::kFloat, "abc").status().IsParseError());
+  EXPECT_TRUE(Value::Parse(DataType::kDate, "1990/01/01").status().IsParseError());
+  EXPECT_TRUE(Value::Parse(DataType::kDisplay, "circle").status().IsParseError());
+}
+
+TEST(ValueParseTest, RoundTripsThroughToString) {
+  for (const Value& v :
+       {Value::Bool(false), Value::Int(99), Value::Float(-1.25),
+        Value::String("round trip"), Value::DateVal(Date::FromYmd(2001, 12, 31))}) {
+    auto parsed = Value::Parse(v.type(), v.ToString());
+    ASSERT_TRUE(parsed.ok()) << v.ToString();
+    EXPECT_TRUE(parsed->Equals(v)) << v.ToString();
+  }
+}
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  for (DataType type : {DataType::kBool, DataType::kInt, DataType::kFloat,
+                        DataType::kString, DataType::kDate, DataType::kDisplay}) {
+    DataType parsed;
+    ASSERT_TRUE(DataTypeFromString(DataTypeToString(type), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+  DataType unused;
+  EXPECT_FALSE(DataTypeFromString("blob", &unused));
+}
+
+TEST(DataTypeTest, NumericAndConvertible) {
+  EXPECT_TRUE(IsNumericType(DataType::kInt));
+  EXPECT_TRUE(IsNumericType(DataType::kFloat));
+  EXPECT_FALSE(IsNumericType(DataType::kString));
+  EXPECT_TRUE(IsImplicitlyConvertible(DataType::kInt, DataType::kFloat));
+  EXPECT_FALSE(IsImplicitlyConvertible(DataType::kFloat, DataType::kInt));
+  EXPECT_TRUE(IsImplicitlyConvertible(DataType::kDate, DataType::kDate));
+}
+
+}  // namespace
+}  // namespace tioga2::types

@@ -1,0 +1,336 @@
+// Tests for the Viewer: navigation, wormhole fly-through with travel
+// history and rear view mirrors (§6.2, §6.3), slaving (§7.1), magnifying
+// glasses (§7.2), and group member cameras (§2).
+
+#include <gtest/gtest.h>
+
+#include "db/relation.h"
+#include "render/framebuffer.h"
+#include "render/raster_surface.h"
+#include "viewer/viewer.h"
+
+namespace tioga2::viewer {
+namespace {
+
+using db::Column;
+using db::MakeRelation;
+using display::Composite;
+using display::DisplayRelation;
+using display::Group;
+using types::DataType;
+using types::Value;
+
+DisplayRelation Dot(const std::string& name, double x, double y, double radius,
+                    const std::string& color) {
+  auto base = MakeRelation({Column{"px", DataType::kFloat}, Column{"py", DataType::kFloat}},
+                           {{Value::Float(x), Value::Float(y)}})
+                  .value();
+  return DisplayRelation::WithDefaults(name, base)
+      .value()
+      .SetLocationAttribute(0, "px")
+      .value()
+      .SetLocationAttribute(1, "py")
+      .value()
+      .AddAttribute("dot", "circle(" + std::to_string(radius) + ", \"" + color +
+                               "\", true)")
+      .value()
+      .SetDisplayAttribute("dot")
+      .value();
+}
+
+class ViewerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // "home": a red dot displaying a wormhole to "away"; the underside of
+    // home carries a blue marker for the rear view mirror.
+    registry_.Register("home", [this]() -> Result<display::Displayable> {
+      auto base =
+          MakeRelation({Column{"px", DataType::kFloat}}, {{Value::Float(0)}}).value();
+      DisplayRelation wormhole_rel =
+          DisplayRelation::WithDefaults("holes", base)
+              .value()
+              .SetLocationAttribute(0, "px")
+              .value()
+              .AddAttribute("w", "viewer(4, 4, \"away\", 7, 8, 5.0)")
+              .value()
+              .SetDisplayAttribute("w")
+              .value();
+      // Centered under the wormhole so the mirror (focused where the user
+      // departed) can see it.
+      DisplayRelation underside =
+          Dot("underside", 2, 2, 2, "#0000ff").SetElevationRange(-100, 0);
+      Composite composite(wormhole_rel);
+      composite = composite.Overlay(Composite(underside), {});
+      return display::Displayable(composite);
+    });
+    registry_.Register("away", []() -> Result<display::Displayable> {
+      return display::Displayable(Dot("green", 7, 8, 3, "#00ff00"));
+    });
+    registry_.Register("pair", []() -> Result<display::Displayable> {
+      std::vector<Composite> members;
+      members.emplace_back(Dot("left", 0, 0, 2, "#ff0000"));
+      members.emplace_back(Dot("right", 0, 0, 2, "#0000ff"));
+      return display::Displayable(
+          Group(members, display::GroupLayout::kHorizontal));
+    });
+  }
+
+  CanvasRegistry registry_;
+};
+
+TEST_F(ViewerTest, RefreshBindsContent) {
+  Viewer viewer("v", "home", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  EXPECT_EQ(viewer.num_members(), 1u);
+  EXPECT_EQ(viewer.content().members()[0].size(), 2u);
+  Viewer missing("v", "nope", &registry_);
+  EXPECT_TRUE(missing.Refresh().IsNotFound());
+}
+
+TEST_F(ViewerTest, PassThroughRequiresLowElevationAndWormhole) {
+  Viewer viewer("v", "home", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  // Hover over the wormhole (world (0,0)-(4,4)) but too high.
+  viewer.mutable_camera()->MoveTo(2, 2);
+  viewer.mutable_camera()->SetElevation(50);
+  EXPECT_FALSE(viewer.TryPassThrough().value());
+  // Descend to pass-through elevation.
+  viewer.mutable_camera()->SetElevation(0.5);
+  EXPECT_TRUE(viewer.TryPassThrough().value());
+  EXPECT_EQ(viewer.canvas_name(), "away");
+  // Landed at the wormhole's initial position and elevation (§6.2).
+  EXPECT_DOUBLE_EQ(viewer.camera().center_x(), 7);
+  EXPECT_DOUBLE_EQ(viewer.camera().center_y(), 8);
+  EXPECT_DOUBLE_EQ(viewer.camera().elevation(), 5.0);
+  ASSERT_EQ(viewer.travel_history().size(), 1u);
+  EXPECT_EQ(viewer.travel_history()[0].canvas_name, "home");
+}
+
+TEST_F(ViewerTest, PassThroughMissesWhenNotOverWormhole) {
+  Viewer viewer("v", "home", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  viewer.mutable_camera()->MoveTo(50, 50);
+  viewer.mutable_camera()->SetElevation(0.5);
+  EXPECT_FALSE(viewer.TryPassThrough().value());
+  EXPECT_EQ(viewer.canvas_name(), "home");
+}
+
+TEST_F(ViewerTest, TravelBackRestoresCamera) {
+  Viewer viewer("v", "home", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  viewer.mutable_camera()->MoveTo(2, 2);
+  viewer.mutable_camera()->SetElevation(0.5);
+  ASSERT_TRUE(viewer.TryPassThrough().value());
+  ASSERT_TRUE(viewer.TravelBack().value());
+  EXPECT_EQ(viewer.canvas_name(), "home");
+  EXPECT_DOUBLE_EQ(viewer.camera().center_x(), 2);
+  EXPECT_DOUBLE_EQ(viewer.camera().elevation(), 0.5);
+  EXPECT_TRUE(viewer.travel_history().empty());
+  EXPECT_FALSE(viewer.TravelBack().value());  // nothing left
+}
+
+TEST_F(ViewerTest, RearViewShowsUndersideOfDepartedCanvas) {
+  Viewer viewer("v", "home", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  render::Framebuffer fb(100, 100, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  // Before any travel the mirror is blank.
+  auto empty_stats = viewer.RenderRearView(&surface).value();
+  EXPECT_EQ(empty_stats.tuples_drawn, 0u);
+  EXPECT_EQ(fb.CountPixels(draw::Color{0, 0, 255}), 0u);
+
+  viewer.mutable_camera()->MoveTo(0, 0);
+  viewer.mutable_camera()->SetElevation(0.5);
+  // Move over the wormhole area: the hole spans (0,0)-(4,4).
+  viewer.mutable_camera()->MoveTo(2, 2);
+  ASSERT_TRUE(viewer.TryPassThrough().value());
+  auto stats = viewer.RenderRearView(&surface).value();
+  // The underside marker (blue, range [-100, 0]) is visible in the mirror.
+  EXPECT_EQ(stats.tuples_drawn, 1u);
+  EXPECT_GT(fb.CountPixels(draw::Color{0, 0, 255}), 0u);
+}
+
+TEST_F(ViewerTest, SlavingPropagatesNavigation) {
+  Viewer a("a", "away", &registry_);
+  Viewer b("b", "away", &registry_);
+  ASSERT_TRUE(a.Refresh().ok());
+  ASSERT_TRUE(b.Refresh().ok());
+  ASSERT_TRUE(a.SlaveTo(&b).ok());
+  double b_x = b.camera().center_x();
+  double b_elev = b.camera().elevation();
+  a.Pan(3, -1);
+  a.Zoom(2.0);
+  EXPECT_DOUBLE_EQ(b.camera().center_x(), b_x + 3);
+  EXPECT_DOUBLE_EQ(b.camera().elevation(), b_elev / 2);
+  // Mutual slaving must not recurse forever.
+  ASSERT_TRUE(b.SlaveTo(&a).ok());
+  a.Pan(1, 0);
+  EXPECT_GT(a.num_slaves(), 0u);
+  // Unslave severs both directions.
+  a.Unslave(&b);
+  double after = b.camera().center_x();
+  a.Pan(5, 0);
+  EXPECT_DOUBLE_EQ(b.camera().center_x(), after);
+}
+
+TEST_F(ViewerTest, SlavingChecksValidity) {
+  Viewer a("a", "away", &registry_);
+  ASSERT_TRUE(a.Refresh().ok());
+  EXPECT_TRUE(a.SlaveTo(&a).IsInvalidArgument());
+  EXPECT_TRUE(a.SlaveTo(nullptr).IsInvalidArgument());
+}
+
+TEST_F(ViewerTest, GroupMembersHaveIndependentCameras) {
+  Viewer viewer("v", "pair", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  ASSERT_EQ(viewer.num_members(), 2u);
+  ASSERT_TRUE(viewer.SetActiveMember(0).ok());
+  viewer.Pan(10, 0);
+  ASSERT_TRUE(viewer.SetActiveMember(1).ok());
+  viewer.Pan(-5, 0);
+  EXPECT_DOUBLE_EQ(viewer.camera_of(0).center_x(), 10);
+  EXPECT_DOUBLE_EQ(viewer.camera_of(1).center_x(), -5);
+  EXPECT_TRUE(viewer.SetActiveMember(5).IsOutOfRange());
+}
+
+TEST_F(ViewerTest, RenderGroupSplitsViewport) {
+  Viewer viewer("v", "pair", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  for (size_t m = 0; m < 2; ++m) {
+    viewer.mutable_camera_of(m)->MoveTo(0, 0);
+    viewer.mutable_camera_of(m)->SetElevation(10);
+  }
+  render::Framebuffer fb(200, 100, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  auto stats = viewer.RenderTo(&surface).value();
+  EXPECT_EQ(stats.tuples_drawn, 2u);
+  // Left cell shows red, right cell blue.
+  EXPECT_GT(fb.CountPixels(draw::Color{255, 0, 0}), 0u);
+  EXPECT_GT(fb.CountPixels(draw::Color{0, 0, 255}), 0u);
+  // Red only on the left half.
+  bool red_on_right = false;
+  for (int x = 100; x < 200 && !red_on_right; ++x) {
+    for (int y = 0; y < 100; ++y) {
+      if (fb.Get(x, y) == (draw::Color{255, 0, 0})) {
+        red_on_right = true;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(red_on_right);
+}
+
+TEST_F(ViewerTest, ElevationMapReflectsRanges) {
+  Viewer viewer("v", "home", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  auto bars = viewer.ElevationMap(0).value();
+  ASSERT_EQ(bars.size(), 2u);
+  EXPECT_EQ(bars[0].relation_name, "holes");
+  EXPECT_EQ(bars[1].relation_name, "underside");
+  EXPECT_EQ(bars[1].max_elevation, 0);
+  EXPECT_EQ(bars[1].drawing_order, 1u);
+  EXPECT_TRUE(viewer.ElevationMap(9).status().IsOutOfRange());
+}
+
+TEST_F(ViewerTest, MagnifyingGlassMagnifies) {
+  Viewer viewer("v", "away", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  viewer.mutable_camera()->MoveTo(7, 8);
+  viewer.mutable_camera()->SetElevation(100);  // dot is tiny
+  render::Framebuffer fb(100, 100, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  ASSERT_TRUE(viewer.RenderTo(&surface).ok());
+  size_t plain_green = fb.CountPixels(draw::Color{0, 255, 0});
+
+  MagnifyingGlass glass;
+  glass.rect = render::DeviceRect{25, 25, 50, 50};  // centered over the dot
+  glass.zoom = 10.0;
+  size_t index = viewer.AddMagnifyingGlass(glass);
+  fb.Clear(draw::kWhite);
+  ASSERT_TRUE(viewer.RenderTo(&surface).ok());
+  size_t magnified_green = fb.CountPixels(draw::Color{0, 255, 0});
+  EXPECT_GT(magnified_green, plain_green * 4);
+
+  ASSERT_TRUE(viewer.RemoveMagnifyingGlass(index).ok());
+  EXPECT_TRUE(viewer.RemoveMagnifyingGlass(9).IsOutOfRange());
+  EXPECT_TRUE(viewer.magnifying_glasses().empty());
+}
+
+TEST_F(ViewerTest, MagnifyingGlassAlternativeDisplay) {
+  // Figure 9: the glass shows an alternative display attribute.
+  registry_.Register("alt", []() -> Result<display::Displayable> {
+    DisplayRelation rel = Dot("data", 0, 0, 2, "#ff0000")
+                              .AddAttribute("precip", "circle(2, \"#0000ff\", true)")
+                              .value();
+    return display::Displayable(rel);
+  });
+  Viewer viewer("v", "alt", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  viewer.mutable_camera()->MoveTo(0, 0);
+  viewer.mutable_camera()->SetElevation(10);
+  MagnifyingGlass glass;
+  glass.rect = render::DeviceRect{30, 30, 40, 40};
+  glass.zoom = 2.0;
+  glass.display_attribute = "precip";
+  viewer.AddMagnifyingGlass(glass);
+  render::Framebuffer fb(100, 100, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  ASSERT_TRUE(viewer.RenderTo(&surface).ok());
+  // Outside the glass: red (main display). Inside: blue (alternative).
+  EXPECT_GT(fb.CountPixels(draw::Color{255, 0, 0}), 0u);
+  EXPECT_GT(fb.CountPixels(draw::Color{0, 0, 255}), 0u);
+}
+
+TEST_F(ViewerTest, HitTestAtRoutesToGroupMember) {
+  Viewer viewer("v", "pair", &registry_);
+  ASSERT_TRUE(viewer.Refresh().ok());
+  for (size_t m = 0; m < 2; ++m) {
+    viewer.mutable_camera_of(m)->MoveTo(0, 0);
+    viewer.mutable_camera_of(m)->SetElevation(10);
+  }
+  render::Framebuffer fb(200, 100, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  // Center of the left cell.
+  auto left = viewer.HitTestAt(&surface, 50, 50).value();
+  ASSERT_TRUE(left.has_value());
+  EXPECT_EQ(left->group_member, 0u);
+  EXPECT_EQ(left->relation_name, "left");
+  // Center of the right cell.
+  auto right = viewer.HitTestAt(&surface, 150, 50).value();
+  ASSERT_TRUE(right.has_value());
+  EXPECT_EQ(right->group_member, 1u);
+  EXPECT_EQ(right->relation_name, "right");
+  // Empty corner.
+  auto miss = viewer.HitTestAt(&surface, 5, 5).value();
+  EXPECT_FALSE(miss.has_value());
+}
+
+TEST_F(ViewerTest, CloneViewIsIndependent) {
+  Viewer original("v", "away", &registry_);
+  ASSERT_TRUE(original.Refresh().ok());
+  original.mutable_camera()->MoveTo(7, 8);
+  original.mutable_camera()->SetElevation(3);
+  original.AddMagnifyingGlass(MagnifyingGlass{});
+  std::unique_ptr<Viewer> clone = original.CloneView("v2");
+  EXPECT_EQ(clone->canvas_name(), "away");
+  EXPECT_DOUBLE_EQ(clone->camera().center_x(), 7);
+  EXPECT_DOUBLE_EQ(clone->camera().elevation(), 3);
+  EXPECT_EQ(clone->magnifying_glasses().size(), 1u);
+  // Independent navigation after cloning.
+  clone->Pan(10, 0);
+  EXPECT_DOUBLE_EQ(original.camera().center_x(), 7);
+  EXPECT_DOUBLE_EQ(clone->camera().center_x(), 17);
+  // The clone can render on its own.
+  render::Framebuffer fb(50, 50, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  EXPECT_TRUE(clone->RenderTo(&surface).ok());
+}
+
+TEST_F(ViewerTest, FitContentCoversData) {
+  Viewer viewer("v", "away", &registry_);
+  ASSERT_TRUE(viewer.FitContent(100, 100).ok());
+  EXPECT_TRUE(viewer.camera().VisibleWorld().Contains(7, 8));
+}
+
+}  // namespace
+}  // namespace tioga2::viewer

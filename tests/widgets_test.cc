@@ -1,0 +1,156 @@
+// Tests for the UI widget models: the elevation map (§6.1/§3) and the
+// program-window renderer (§3, the other half of Figure 1).
+
+#include <gtest/gtest.h>
+
+#include "boxes/program_io.h"
+#include "render/framebuffer.h"
+#include "render/raster_surface.h"
+#include "ui/program_renderer.h"
+#include "ui/session.h"
+#include "viewer/elevation_map.h"
+
+#include "data/generators.h"
+
+namespace tioga2 {
+namespace {
+
+std::vector<viewer::ElevationBar> SampleBars() {
+  return {
+      viewer::ElevationBar{"Map", 0, 100, 0},
+      viewer::ElevationBar{"Dots", 2, 100, 1},
+      viewer::ElevationBar{"Labels", 0, 2, 2},
+  };
+}
+
+TEST(ElevationMapWidgetTest, RendersBarsAndControl) {
+  render::Framebuffer fb(200, 100, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  render::DeviceRect rect{10, 10, 180, 80};
+  ASSERT_TRUE(
+      viewer::RenderElevationMap(SampleBars(), /*current_elevation=*/5.0, rect,
+                                 &surface)
+          .ok());
+  // Gray bars and the red dashed control line rendered some ink.
+  EXPECT_GT(fb.CountPixels(draw::kGray), 100u);
+  EXPECT_GT(fb.CountPixels(draw::kRed), 5u);
+  EXPECT_GT(fb.CountPixels(draw::kBlack), 50u);  // frame + labels
+}
+
+TEST(ElevationMapWidgetTest, EmptyBarsJustFrame) {
+  render::Framebuffer fb(100, 50, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  ASSERT_TRUE(viewer::RenderElevationMap({}, 1.0, render::DeviceRect{0, 0, 99, 49},
+                                         &surface)
+                  .ok());
+  EXPECT_EQ(fb.CountPixels(draw::kRed), 0u);
+  EXPECT_GT(fb.CountPixels(draw::kBlack), 0u);
+}
+
+TEST(ElevationMapWidgetTest, NullSurfaceRejected) {
+  EXPECT_TRUE(viewer::RenderElevationMap(SampleBars(), 1.0,
+                                         render::DeviceRect{0, 0, 10, 10}, nullptr)
+                  .IsInvalidArgument());
+}
+
+TEST(ElevationMapWidgetTest, HitTestMapsRowsBottomUp) {
+  render::DeviceRect rect{0, 0, 100, 90};
+  double elevation = 0;
+  // Top third of the widget = last bar (highest drawing order).
+  auto top = viewer::HitTestElevationMap(SampleBars(), rect, 50, 10, &elevation);
+  ASSERT_TRUE(top.has_value());
+  EXPECT_EQ(*top, 2u);
+  // Bottom third = drawing order 0.
+  auto bottom = viewer::HitTestElevationMap(SampleBars(), rect, 50, 85, &elevation);
+  ASSERT_TRUE(bottom.has_value());
+  EXPECT_EQ(*bottom, 0u);
+  // Clicks outside return nothing.
+  EXPECT_FALSE(
+      viewer::HitTestElevationMap(SampleBars(), rect, 150, 10, &elevation).has_value());
+  // The x coordinate maps to an elevation on the widget scale.
+  viewer::HitTestElevationMap(SampleBars(), rect, 0, 10, &elevation);
+  EXPECT_NEAR(elevation, 0.0, 1e-9);
+  viewer::HitTestElevationMap(SampleBars(), rect, 100, 10, &elevation);
+  EXPECT_GT(elevation, 99.0);
+}
+
+class ProgramRendererTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(data::LoadDemoData(&catalog_, 10, 5, 3).ok());
+    session_ = std::make_unique<ui::Session>(&catalog_);
+    stations_ = session_->AddTable("Stations").value();
+    restrict_ =
+        session_->AddBox("Restrict", {{"predicate", "state = \"LA\""}}).value();
+    ASSERT_TRUE(session_->Connect(stations_, 0, restrict_, 0).ok());
+    viewer_ = session_->AddViewer(restrict_, 0, "main").value();
+  }
+
+  db::Catalog catalog_;
+  std::unique_ptr<ui::Session> session_;
+  std::string stations_;
+  std::string restrict_;
+  std::string viewer_;
+};
+
+TEST_F(ProgramRendererTest, AutoLayoutOrdersByDepth) {
+  render::Framebuffer fb(640, 200, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  auto layout = ui::RenderProgram(session_->graph(), &surface);
+  ASSERT_TRUE(layout.ok()) << layout.status().ToString();
+  ASSERT_EQ(layout->box_rects.size(), 3u);
+  EXPECT_LT(layout->box_rects.at(stations_).x, layout->box_rects.at(restrict_).x);
+  EXPECT_LT(layout->box_rects.at(restrict_).x, layout->box_rects.at(viewer_).x);
+  // Something rendered.
+  EXPECT_GT(fb.CountPixels(draw::kBlack), 100u);
+}
+
+TEST_F(ProgramRendererTest, ExplicitPositionsHonored) {
+  ASSERT_TRUE(session_->graph().BoxPosition(stations_) == std::nullopt);
+  dataflow::Graph graph = session_->graph().Clone();
+  ASSERT_TRUE(graph.SetBoxPosition(stations_, 300, 150).ok());
+  render::Framebuffer fb(640, 300, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  auto layout = ui::RenderProgram(graph, &surface);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout->box_rects.at(stations_).x, 300);
+  EXPECT_DOUBLE_EQ(layout->box_rects.at(stations_).y, 150);
+  EXPECT_TRUE(graph.SetBoxPosition("missing", 0, 0).IsNotFound());
+}
+
+TEST_F(ProgramRendererTest, PositionsSurviveSaveLoad) {
+  dataflow::Graph graph = session_->graph().Clone();
+  ASSERT_TRUE(graph.SetBoxPosition(restrict_, 42.5, 77).ok());
+  std::string serialized = boxes::SerializeProgram(graph).value();
+  EXPECT_NE(serialized.find("pos " + restrict_ + " 42.5 77"), std::string::npos);
+  dataflow::Graph loaded = boxes::DeserializeProgram(serialized).value();
+  auto position = loaded.BoxPosition(restrict_);
+  ASSERT_TRUE(position.has_value());
+  EXPECT_DOUBLE_EQ(position->first, 42.5);
+  EXPECT_DOUBLE_EQ(position->second, 77);
+}
+
+TEST_F(ProgramRendererTest, PositionsClonedAndErased) {
+  dataflow::Graph graph = session_->graph().Clone();
+  ASSERT_TRUE(graph.SetBoxPosition(viewer_, 5, 5).ok());
+  dataflow::Graph copy = graph.Clone();
+  EXPECT_TRUE(copy.BoxPosition(viewer_).has_value());
+  ASSERT_TRUE(copy.DeleteBox(viewer_).ok());
+  EXPECT_FALSE(copy.BoxPosition(viewer_).has_value());
+  EXPECT_TRUE(graph.BoxPosition(viewer_).has_value());  // original untouched
+}
+
+TEST_F(ProgramRendererTest, HitTestFindsBox) {
+  render::Framebuffer fb(640, 200, draw::kWhite);
+  render::RasterSurface surface(&fb);
+  auto layout = ui::RenderProgram(session_->graph(), &surface).value();
+  const render::DeviceRect& rect = layout.box_rects.at(restrict_);
+  auto hit = ui::HitTestProgram(layout, rect.x + rect.width / 2,
+                                rect.y + rect.height / 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, restrict_);
+  EXPECT_FALSE(ui::HitTestProgram(layout, 639, 199).has_value());
+}
+
+}  // namespace
+}  // namespace tioga2

@@ -136,6 +136,37 @@ void BM_UpdateThenRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_UpdateThenRecompute)->Arg(100)->Arg(1000);
 
+void BM_InvalidationScope(benchmark::State& state) {
+  // Ablation for the §8 invalidation policy: after a single-table update,
+  // ClickUpdate evicts only the boxes downstream of the edited table
+  // (InvalidateDownstreamOf), so canvases over other tables stay memoized.
+  // arg 0 = targeted invalidation, arg 1 = the old InvalidateAll behavior.
+  Environment env;
+  MustOk(env.LoadDemoData(2000, 5), "load");
+  SetUpStore(&env, 1000);
+  BuildScatter(&env, "stations");  // unrelated canvas over the Stations table
+  ui::Session& session = env.session();
+  MustOk(session.EvaluateCanvas("store").status(), "warm store");
+  MustOk(session.EvaluateCanvas("stations").status(), "warm stations");
+  bool targeted = state.range(0) == 0;
+  int64_t counter = 0;
+  for (auto _ : state) {
+    MustOk(session.updates().ApplyUpdate(
+               "Inventory", 0, {{"on_hand", std::to_string(counter++ % 50)}}),
+           "update");
+    if (targeted) {
+      session.engine().InvalidateDownstreamOf(session.graph(), "Inventory");
+    } else {
+      session.engine().InvalidateAll();
+    }
+    benchmark::DoNotOptimize(session.EvaluateCanvas("store"));
+    benchmark::DoNotOptimize(session.EvaluateCanvas("stations"));
+  }
+  state.SetLabel(targeted ? "downstream-only(stations stays warm)"
+                          : "invalidate-all(stations recomputes)");
+}
+BENCHMARK(BM_InvalidationScope)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace tioga2::bench
 

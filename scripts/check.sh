@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, run the full test suite, then rebuild the tree
+# with ThreadSanitizer and run the concurrency tests (the runtime scheduler
+# and the session server) under it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== tsan: runtime + session server tests =="
+cmake -B build-tsan -S . -DTIOGA2_TSAN=ON >/dev/null
+cmake --build build-tsan -j --target \
+  runtime_test session_server_test runtime_determinism_test
+(cd build-tsan && ctest --output-on-failure -R 'runtime|session_server')
+
+echo "OK"

@@ -32,6 +32,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -96,6 +100,12 @@ Status Status::Internal(std::string message) {
 }
 Status Status::IOError(std::string message) {
   return Status(StatusCode::kIOError, std::move(message));
+}
+Status Status::Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status Status::DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace tioga2

@@ -23,6 +23,10 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  // Server-side conditions (runtime::SessionServer): transient overload
+  // rejection (backpressure) and per-request deadline expiry.
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code`, e.g. "TypeError".
@@ -57,6 +61,8 @@ class Status {
   static Status Unimplemented(std::string message);
   static Status Internal(std::string message);
   static Status IOError(std::string message);
+  static Status Unavailable(std::string message);
+  static Status DeadlineExceeded(std::string message);
 
   /// True iff this status represents success.
   bool ok() const { return state_ == nullptr; }
@@ -78,6 +84,8 @@ class Status {
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

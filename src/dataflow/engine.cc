@@ -1,39 +1,13 @@
 #include "dataflow/engine.h"
 
 #include <algorithm>
+#include <set>
+
+#include "dataflow/stamp.h"
 
 namespace tioga2::dataflow {
 
-namespace {
-
-uint64_t HashCombine(uint64_t seed, uint64_t value) {
-  // 64-bit variant of boost::hash_combine.
-  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
-}
-
-uint64_t HashString(const std::string& text) {
-  // FNV-1a.
-  uint64_t hash = 1469598103934665603ULL;
-  for (char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
-}
-
-uint64_t BoxSignature(const Box& box, const ExecContext& ctx) {
-  uint64_t hash = HashString(box.type_name());
-  for (const auto& [key, value] : box.Params()) {
-    hash = HashCombine(hash, HashString(key));
-    hash = HashCombine(hash, HashString(value));
-  }
-  hash = HashCombine(hash, HashString(box.CacheSalt(ctx)));
-  return hash;
-}
-
-}  // namespace
-
-Result<const Engine::CacheEntry*> Engine::EvaluateBox(
+Result<MemoCache::EntryPtr> Engine::EvaluateBox(
     const Graph& graph, const std::string& box_id,
     std::vector<std::string>* eval_stack) {
   if (std::find(eval_stack->begin(), eval_stack->end(), box_id) != eval_stack->end()) {
@@ -49,8 +23,9 @@ Result<const Engine::CacheEntry*> Engine::EvaluateBox(
   eval_stack->push_back(box_id);
   uint64_t stamp = BoxSignature(*box, ctx);
   std::vector<PortType> input_types = box->InputTypes();
-  std::vector<BoxValue> inputs;
-  inputs.reserve(input_types.size());
+  std::vector<MemoCache::EntryPtr> upstream_entries;
+  std::vector<size_t> upstream_ports;
+  upstream_entries.reserve(input_types.size());
   for (size_t port = 0; port < input_types.size(); ++port) {
     std::optional<Edge> edge = graph.IncomingEdge(box_id, port);
     if (!edge.has_value()) {
@@ -59,12 +34,12 @@ Result<const Engine::CacheEntry*> Engine::EvaluateBox(
                                         ") input " + std::to_string(port) +
                                         " is not connected");
     }
-    Result<const CacheEntry*> upstream = EvaluateBox(graph, edge->from_box, eval_stack);
+    Result<MemoCache::EntryPtr> upstream = EvaluateBox(graph, edge->from_box, eval_stack);
     if (!upstream.ok()) {
       eval_stack->pop_back();
       return upstream.status();
     }
-    const CacheEntry* entry = upstream.value();
+    MemoCache::EntryPtr entry = std::move(upstream).value();
     stamp = HashCombine(stamp, entry->stamp);
     stamp = HashCombine(stamp, edge->from_port);
     stamp = HashCombine(stamp, port);
@@ -73,22 +48,26 @@ Result<const Engine::CacheEntry*> Engine::EvaluateBox(
       return Status::Internal("box '" + edge->from_box + "' produced no output " +
                               std::to_string(edge->from_port));
     }
-    Result<BoxValue> coerced =
-        CoerceBoxValue(entry->outputs[edge->from_port], input_types[port]);
-    if (!coerced.ok()) {
-      eval_stack->pop_back();
-      return coerced.status();
-    }
-    inputs.push_back(std::move(coerced).value());
+    upstream_entries.push_back(std::move(entry));
+    upstream_ports.push_back(edge->from_port);
   }
   eval_stack->pop_back();
 
-  auto cached = cache_.find(box_id);
-  if (cached != cache_.end() && cached->second.stamp == stamp) {
+  if (MemoCache::EntryPtr cached = cache_->Lookup(box_id, stamp)) {
     ++stats_.cache_hits;
-    return static_cast<const CacheEntry*>(&cached->second);
+    return cached;
   }
 
+  // Cache miss: coerce the inputs and fire.
+  std::vector<BoxValue> inputs;
+  inputs.reserve(input_types.size());
+  for (size_t port = 0; port < input_types.size(); ++port) {
+    TIOGA2_ASSIGN_OR_RETURN(
+        BoxValue coerced,
+        CoerceBoxValue(upstream_entries[port]->outputs[upstream_ports[port]],
+                       input_types[port]));
+    inputs.push_back(std::move(coerced));
+  }
   Result<std::vector<BoxValue>> outputs = box->Fire(inputs, ctx);
   for (std::string& warning : ctx.warnings) warnings_.push_back(std::move(warning));
   TIOGA2_RETURN_IF_ERROR(outputs.status());
@@ -98,10 +77,7 @@ Result<const Engine::CacheEntry*> Engine::EvaluateBox(
                             std::to_string(outputs->size()) + " outputs, declared " +
                             std::to_string(box->OutputTypes().size()));
   }
-  CacheEntry& entry = cache_[box_id];
-  entry.stamp = stamp;
-  entry.outputs = std::move(outputs).value();
-  return static_cast<const CacheEntry*>(&entry);
+  return cache_->Insert(box_id, stamp, std::move(outputs).value());
 }
 
 Result<BoxValue> Engine::Evaluate(const Graph& graph, const std::string& box_id,
@@ -109,7 +85,7 @@ Result<BoxValue> Engine::Evaluate(const Graph& graph, const std::string& box_id,
   ++stats_.evaluations;
   warnings_.clear();
   std::vector<std::string> eval_stack;
-  TIOGA2_ASSIGN_OR_RETURN(const CacheEntry* entry,
+  TIOGA2_ASSIGN_OR_RETURN(MemoCache::EntryPtr entry,
                           EvaluateBox(graph, box_id, &eval_stack));
   if (output_port >= entry->outputs.size()) {
     return Status::OutOfRange("box '" + box_id + "' has no output " +
@@ -122,11 +98,17 @@ Status Engine::EvaluateAll(const Graph& graph) {
   ++stats_.evaluations;
   warnings_.clear();
   TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> order, graph.TopologicalOrder());
-  // Skip boxes that transitively depend on a dangling input.
+  // Skip boxes that transitively depend on a dangling input — reported via
+  // stats().boxes_skipped and a warning per box, not silently dropped.
   std::vector<std::string> dangling = graph.BoxesWithDanglingInputs();
   std::vector<std::string> blocked = dangling;
   for (const std::string& id : order) {
-    if (std::find(blocked.begin(), blocked.end(), id) != blocked.end()) continue;
+    if (std::find(blocked.begin(), blocked.end(), id) != blocked.end()) {
+      ++stats_.boxes_skipped;
+      warnings_.push_back("EvaluateAll: skipped box '" + id +
+                          "' (dangling input, cannot fire)");
+      continue;
+    }
     bool upstream_blocked = false;
     std::vector<PortType> input_types;
     TIOGA2_ASSIGN_OR_RETURN(const Box* box, graph.GetBox(id));
@@ -140,12 +122,52 @@ Status Engine::EvaluateAll(const Graph& graph) {
     }
     if (upstream_blocked) {
       blocked.push_back(id);
+      ++stats_.boxes_skipped;
+      warnings_.push_back("EvaluateAll: skipped box '" + id +
+                          "' (upstream of it has a dangling input)");
       continue;
     }
     std::vector<std::string> eval_stack;
     TIOGA2_RETURN_IF_ERROR(EvaluateBox(graph, id, &eval_stack).status());
   }
   return Status::OK();
+}
+
+std::vector<std::string> BoxesDownstreamOfTable(const Graph& graph,
+                                                const std::string& table) {
+  // Source boxes reading `table`, then the transitive downstream closure.
+  std::set<std::string> affected;
+  std::vector<std::string> frontier;
+  for (const std::string& id : graph.BoxIds()) {
+    Result<const Box*> box = graph.GetBox(id);
+    if (!box.ok()) continue;
+    if (box.value()->type_name() != "Table") continue;
+    auto params = box.value()->Params();
+    auto it = params.find("table");
+    if (it != params.end() && it->second == table) {
+      affected.insert(id);
+      frontier.push_back(id);
+    }
+  }
+  while (!frontier.empty()) {
+    std::string id = std::move(frontier.back());
+    frontier.pop_back();
+    for (const Edge& edge : graph.OutgoingEdges(id)) {
+      if (affected.insert(edge.to_box).second) frontier.push_back(edge.to_box);
+    }
+  }
+  return std::vector<std::string>(affected.begin(), affected.end());
+}
+
+size_t Engine::InvalidateDownstreamOf(const Graph& graph, const std::string& table) {
+  size_t evicted = 0;
+  for (const std::string& id : BoxesDownstreamOfTable(graph, table)) {
+    if (cache_->StampOf(id).has_value()) {
+      cache_->Erase(id);
+      ++evicted;
+    }
+  }
+  return evicted;
 }
 
 }  // namespace tioga2::dataflow

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "dataflow/graph.h"
+#include "dataflow/memo_cache.h"
 
 namespace tioga2::dataflow {
 
@@ -17,7 +17,8 @@ namespace tioga2::dataflow {
 struct EngineStats {
   uint64_t boxes_fired = 0;
   uint64_t cache_hits = 0;
-  uint64_t evaluations = 0;  // Evaluate() calls
+  uint64_t evaluations = 0;     // Evaluate() calls
+  uint64_t boxes_skipped = 0;   // EvaluateAll: dangling-input boxes not fired
 };
 
 /// Demand-driven, memoizing evaluator for boxes-and-arrows programs.
@@ -28,51 +29,78 @@ struct EngineStats {
 /// that hashes the box's parameters, its inputs' stamps, and any catalog
 /// state it reads (table versions); an edit to one box therefore re-fires
 /// only the boxes downstream of the edit.
+///
+/// The memo cache lives in a MemoCache that may be shared with other
+/// evaluators (notably runtime::ParallelEngine, which keys entries with the
+/// same stamps — see dataflow/stamp.h). The Engine itself is not
+/// thread-safe: one Engine serves one caller at a time, and concurrency is
+/// layered on top by runtime::SessionServer.
 class Engine {
  public:
   /// `catalog` must outlive the engine; may be null for graphs without
   /// source boxes. `encap_inputs` binds InputStub boxes when evaluating the
-  /// inner graph of an EncapsulatedBox.
+  /// inner graph of an EncapsulatedBox. When `shared_cache` is non-null the
+  /// engine memoizes into it instead of a private cache (the pointee must
+  /// outlive the engine).
   explicit Engine(const db::Catalog* catalog,
-                  const std::vector<BoxValue>* encap_inputs = nullptr)
-      : catalog_(catalog), encap_inputs_(encap_inputs) {}
+                  const std::vector<BoxValue>* encap_inputs = nullptr,
+                  MemoCache* shared_cache = nullptr)
+      : catalog_(catalog),
+        encap_inputs_(encap_inputs),
+        cache_(shared_cache != nullptr ? shared_cache : &owned_cache_) {}
 
   /// Evaluates one output port (lazy).
   Result<BoxValue> Evaluate(const Graph& graph, const std::string& box_id,
                             size_t output_port);
 
   /// Evaluates every output of every box in topological order (the eager
-  /// baseline for the ablation benchmark). Boxes with dangling inputs are
-  /// skipped (they cannot fire).
+  /// baseline for the ablation benchmark). Boxes with dangling inputs (and
+  /// boxes downstream of them) cannot fire; they are counted in
+  /// stats().boxes_skipped and reported through warnings().
   Status EvaluateAll(const Graph& graph);
 
   /// Drops all cached outputs.
-  void InvalidateAll() { cache_.clear(); }
+  void InvalidateAll() { cache_->Clear(); }
+
+  /// Drops the cached outputs of every box downstream of a source box
+  /// reading `table` (including the source itself) — the §8 update path:
+  /// after a single-table edit only dependent entries need evicting, the
+  /// rest of the memo cache stays warm. Returns the number of entries
+  /// evicted.
+  size_t InvalidateDownstreamOf(const Graph& graph, const std::string& table);
 
   const EngineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EngineStats{}; }
+
+  /// The memo cache (shared or owned). Exposed so callers can share it with
+  /// a runtime::ParallelEngine or inspect stamps.
+  MemoCache& cache() { return *cache_; }
+  const MemoCache& cache() const { return *cache_; }
 
   /// Warnings raised by boxes during the most recent evaluation (e.g. the
   /// Overlay dimension-mismatch warning of §6.1).
   const std::vector<std::string>& warnings() const { return warnings_; }
 
  private:
-  struct CacheEntry {
-    uint64_t stamp = 0;
-    std::vector<BoxValue> outputs;
-  };
-
-  /// Evaluates all outputs of a box, via the cache. Returns the outputs and
-  /// the box's stamp.
-  Result<const CacheEntry*> EvaluateBox(const Graph& graph, const std::string& box_id,
-                                        std::vector<std::string>* eval_stack);
+  /// Evaluates all outputs of a box, via the cache. Returns the immutable
+  /// cache entry holding the outputs and the box's stamp.
+  Result<MemoCache::EntryPtr> EvaluateBox(const Graph& graph,
+                                          const std::string& box_id,
+                                          std::vector<std::string>* eval_stack);
 
   const db::Catalog* catalog_;
   const std::vector<BoxValue>* encap_inputs_ = nullptr;
-  std::unordered_map<std::string, CacheEntry> cache_;
+  MemoCache owned_cache_;
+  MemoCache* cache_;  // owned_cache_ or an external shared cache
   EngineStats stats_;
   std::vector<std::string> warnings_;
 };
+
+/// Ids of the source boxes reading `table` plus their transitive downstream
+/// closure — the set of boxes whose cached outputs a single-table edit can
+/// invalidate. Shared by Engine and runtime::ParallelEngine.
+std::vector<std::string> BoxesDownstreamOfTable(const Graph& graph,
+                                                const std::string& table);
 
 }  // namespace tioga2::dataflow
 

@@ -1,0 +1,66 @@
+#ifndef TIOGA2_DATAFLOW_MEMO_CACHE_H_
+#define TIOGA2_DATAFLOW_MEMO_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/port_type.h"
+
+namespace tioga2::dataflow {
+
+/// Thread-safe memo store for box outputs, keyed by box id and guarded by a
+/// stamp (see dataflow/stamp.h). Extracted from Engine so that one cache can
+/// be shared between a serial Engine, a runtime::ParallelEngine, and any
+/// number of worker threads: entries are immutable and handed out as
+/// shared_ptr, so a reader holding an entry is never invalidated by a
+/// concurrent insert or eviction.
+///
+/// The cache holds at most one entry per box id — a re-fire after an edit or
+/// a table-version bump overwrites the stale entry — so its footprint is
+/// bounded by the program size, not the evaluation history.
+class MemoCache {
+ public:
+  struct Entry {
+    uint64_t stamp = 0;
+    std::vector<BoxValue> outputs;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  MemoCache() = default;
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  /// The entry for `box_id` iff it carries exactly `stamp`; null otherwise.
+  EntryPtr Lookup(const std::string& box_id, uint64_t stamp) const;
+
+  /// Installs outputs for `box_id` under `stamp` and returns the stored
+  /// entry. If a concurrent evaluation already installed the same stamp the
+  /// existing entry is kept and returned (box firing is deterministic, so
+  /// both copies are identical).
+  EntryPtr Insert(const std::string& box_id, uint64_t stamp,
+                  std::vector<BoxValue> outputs);
+
+  /// The stamp cached for `box_id`, if any (regardless of validity).
+  std::optional<uint64_t> StampOf(const std::string& box_id) const;
+
+  /// Drops one box's entry. Idempotent.
+  void Erase(const std::string& box_id);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, EntryPtr> entries_;
+};
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_MEMO_CACHE_H_

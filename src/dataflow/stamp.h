@@ -1,0 +1,47 @@
+#ifndef TIOGA2_DATAFLOW_STAMP_H_
+#define TIOGA2_DATAFLOW_STAMP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dataflow/box.h"
+
+namespace tioga2::dataflow {
+
+// The stamp algebra shared by the serial Engine and runtime::ParallelEngine.
+// Both evaluators MUST key their memo-cache entries with the exact same
+// stamps so that a cache populated by one is valid for the other, and so
+// that serial and parallel evaluation are bit-identical (asserted by
+// runtime_determinism_test).
+
+/// 64-bit variant of boost::hash_combine.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a.
+inline uint64_t HashString(const std::string& text) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// The box's own contribution to its stamp: type, parameters, and any
+/// catalog state it reads (CacheSalt — e.g. the version of the table a
+/// source box scans).
+inline uint64_t BoxSignature(const Box& box, const ExecContext& ctx) {
+  uint64_t hash = HashString(box.type_name());
+  for (const auto& [key, value] : box.Params()) {
+    hash = HashCombine(hash, HashString(key));
+    hash = HashCombine(hash, HashString(value));
+  }
+  hash = HashCombine(hash, HashString(box.CacheSalt(ctx)));
+  return hash;
+}
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_STAMP_H_

@@ -1,0 +1,135 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tioga2::runtime {
+
+namespace {
+
+size_t BucketFor(double micros) {
+  if (micros < 1.0) return 0;
+  size_t bucket = 1 + static_cast<size_t>(std::log2(micros));
+  return std::min(bucket, LatencyHistogram::kNumBuckets - 1);
+}
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0) micros = 0;
+  ++buckets_[BucketFor(micros)];
+  ++count_;
+  sum_micros_ += micros;
+  max_micros_ = std::max(max_micros_, micros);
+}
+
+double LatencyHistogram::QuantileUpperBoundMicros(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return i == 0 ? 1.0 : std::pow(2.0, static_cast<double>(i));
+    }
+  }
+  return max_micros_;
+}
+
+std::string LatencyHistogram::ToJson() const {
+  std::string json = "{\"count\":" + std::to_string(count_);
+  json += ",\"mean_us\":" + FormatDouble(mean_micros());
+  json += ",\"max_us\":" + FormatDouble(max_micros_);
+  json += ",\"p50_us\":" + FormatDouble(QuantileUpperBoundMicros(0.5));
+  json += ",\"p99_us\":" + FormatDouble(QuantileUpperBoundMicros(0.99));
+  json += ",\"buckets\":[";
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (i > 0) json += ',';
+    json += std::to_string(buckets_[i]);
+  }
+  json += "]}";
+  return json;
+}
+
+void Metrics::RecordBoxFire(const std::string& box_type, double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  box_fires_[box_type].Record(micros);
+  ++counters_.boxes_fired;
+}
+
+void Metrics::RecordCacheHit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.cache_hits;
+}
+
+void Metrics::RecordCacheMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.cache_misses;
+}
+
+void Metrics::RecordQueueDepth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.max_queue_depth = std::max(counters_.max_queue_depth, depth);
+}
+
+void Metrics::RecordRequestComplete(double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  request_latency_.Record(micros);
+  ++counters_.requests_completed;
+}
+
+void Metrics::RecordRequestRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.requests_rejected;
+}
+
+void Metrics::RecordRequestTimedOut() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.requests_timed_out;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::string Metrics::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string json = "{";
+  json += "\"cache\":{\"hits\":" + std::to_string(counters_.cache_hits) +
+          ",\"misses\":" + std::to_string(counters_.cache_misses) + "}";
+  json += ",\"requests\":{\"completed\":" +
+          std::to_string(counters_.requests_completed) +
+          ",\"rejected\":" + std::to_string(counters_.requests_rejected) +
+          ",\"timed_out\":" + std::to_string(counters_.requests_timed_out) +
+          ",\"latency\":" + request_latency_.ToJson() + "}";
+  json += ",\"queue\":{\"max_depth\":" +
+          std::to_string(counters_.max_queue_depth) + "}";
+  json += ",\"box_fires\":{";
+  bool first = true;
+  for (const auto& [type, histogram] : box_fires_) {
+    if (!first) json += ',';
+    first = false;
+    json += "\"" + type + "\":" + histogram.ToJson();
+  }
+  json += "}}";
+  return json;
+}
+
+void Metrics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  box_fires_.clear();
+  request_latency_ = LatencyHistogram{};
+  counters_ = MetricsSnapshot{};
+}
+
+}  // namespace tioga2::runtime

@@ -1,0 +1,89 @@
+#ifndef TIOGA2_RUNTIME_METRICS_H_
+#define TIOGA2_RUNTIME_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace tioga2::runtime {
+
+/// A log2-bucketed latency histogram (microseconds). Bucket i counts
+/// observations in [2^(i-1), 2^i) µs; the first bucket is [0, 1) µs and the
+/// last absorbs everything beyond. Cheap enough to record per box firing.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 24;  // up to ~8.4 s
+
+  void Record(double micros);
+
+  uint64_t count() const { return count_; }
+  double sum_micros() const { return sum_micros_; }
+  double max_micros() const { return max_micros_; }
+  double mean_micros() const {
+    return count_ == 0 ? 0.0 : sum_micros_ / static_cast<double>(count_);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]) —
+  /// a coarse but monotone percentile estimate.
+  double QuantileUpperBoundMicros(double q) const;
+
+  /// {"count":N,"mean_us":...,"max_us":...,"p50_us":...,"p99_us":...,
+  ///  "buckets":[...]}
+  std::string ToJson() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double sum_micros_ = 0;
+  double max_micros_ = 0;
+};
+
+/// Counters snapshot for quick assertions (see Metrics::snapshot()).
+struct MetricsSnapshot {
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t boxes_fired = 0;
+  uint64_t requests_completed = 0;
+  uint64_t requests_rejected = 0;
+  uint64_t requests_timed_out = 0;
+  size_t max_queue_depth = 0;
+};
+
+/// The observability surface of the runtime: per-box-type fire latency
+/// histograms, memo-cache hit/miss counters, request outcomes, and queue
+/// depth. All methods are thread-safe; benches export ToJson() into
+/// bench_out/.
+class Metrics {
+ public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void RecordBoxFire(const std::string& box_type, double micros);
+  void RecordCacheHit();
+  void RecordCacheMiss();
+  void RecordQueueDepth(size_t depth);
+  void RecordRequestComplete(double micros);
+  void RecordRequestRejected();
+  void RecordRequestTimedOut();
+
+  MetricsSnapshot snapshot() const;
+
+  /// The whole surface as a JSON object:
+  /// {"cache":{...},"requests":{...},"queue":{...},"box_fires":{"Restrict":{...}}}
+  std::string ToJson() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, LatencyHistogram> box_fires_;
+  LatencyHistogram request_latency_;
+  MetricsSnapshot counters_;
+};
+
+}  // namespace tioga2::runtime
+
+#endif  // TIOGA2_RUNTIME_METRICS_H_

@@ -1,0 +1,141 @@
+#ifndef TIOGA2_RUNTIME_PARALLEL_ENGINE_H_
+#define TIOGA2_RUNTIME_PARALLEL_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/engine.h"
+#include "dataflow/graph.h"
+#include "dataflow/memo_cache.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
+
+namespace tioga2::runtime {
+
+/// Snapshot of the parallel engine's counters (mirrors dataflow::EngineStats).
+struct ParallelEngineStats {
+  uint64_t boxes_fired = 0;
+  uint64_t cache_hits = 0;
+  uint64_t evaluations = 0;
+  uint64_t boxes_skipped = 0;
+};
+
+/// A dependency-counting parallel evaluator for boxes-and-arrows programs.
+///
+/// Evaluate() partitions the transitive input closure of the demanded box
+/// into ready sets: every box whose inputs are all available is fired
+/// concurrently on the ThreadPool, and a finished box decrements its
+/// dependents' counts, releasing them as they become ready. The calling
+/// thread participates in draining the ready queue, so evaluation makes
+/// progress (and cannot deadlock) even when every pool worker is occupied —
+/// e.g. when a SessionServer handler running on the pool evaluates through
+/// this engine.
+///
+/// Memoization uses the same stamp algebra as the serial dataflow::Engine
+/// (dataflow/stamp.h) and the same MemoCache entry format, so a cache may be
+/// shared between the two: serial and parallel evaluation are bit-identical
+/// in both outputs and stamps (asserted by runtime_determinism_test).
+///
+/// One Evaluate/EvaluateAll call runs at a time per instance (like the
+/// serial Engine); concurrency across clients is layered on top by
+/// SessionServer, with each session evaluating through its own engine into
+/// the shared cache.
+class ParallelEngine {
+ public:
+  /// `catalog` and `pool` must outlive the engine. When `shared_cache` is
+  /// non-null the engine memoizes into it instead of a private cache; pass a
+  /// serial Engine's cache() to share memoized results across both. Metrics,
+  /// if given, receives per-box fire latencies and cache hit/miss counts.
+  ParallelEngine(const db::Catalog* catalog, ThreadPool* pool,
+                 dataflow::MemoCache* shared_cache = nullptr,
+                 Metrics* metrics = nullptr)
+      : catalog_(catalog),
+        pool_(pool),
+        cache_(shared_cache != nullptr ? shared_cache : &owned_cache_),
+        metrics_(metrics) {}
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Evaluates one output port, firing independent upstream boxes
+  /// concurrently. Identical results and error messages to
+  /// dataflow::Engine::Evaluate.
+  Result<dataflow::BoxValue> Evaluate(const dataflow::Graph& graph,
+                                      const std::string& box_id,
+                                      size_t output_port);
+
+  /// Evaluates every runnable box in the graph concurrently. Boxes with
+  /// dangling inputs (and boxes downstream of them) are counted in
+  /// stats().boxes_skipped and reported through warnings(), matching the
+  /// serial Engine.
+  Status EvaluateAll(const dataflow::Graph& graph);
+
+  /// Drops all cached outputs.
+  void InvalidateAll() { cache_->Clear(); }
+
+  /// Drops the cached outputs of every box downstream of a source box
+  /// reading `table`. Returns the number of entries evicted.
+  size_t InvalidateDownstreamOf(const dataflow::Graph& graph,
+                                const std::string& table);
+
+  ParallelEngineStats stats() const;
+  void ResetStats();
+
+  /// The memo cache (shared or owned).
+  dataflow::MemoCache& cache() { return *cache_; }
+  const dataflow::MemoCache& cache() const { return *cache_; }
+
+  /// Warnings from the most recent evaluation. Fire warnings are sorted by
+  /// (box id, text) so the result is deterministic regardless of the firing
+  /// interleaving; EvaluateAll skip warnings precede them in topological
+  /// order, as in the serial Engine.
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+ private:
+  struct Plan;
+  struct RunState;
+
+  /// Builds the dependency plan for `targets`: their transitive input
+  /// closures, with per-box resolved input edges and dependent lists.
+  Status BuildPlan(const dataflow::Graph& graph,
+                   const std::vector<std::string>& targets, Plan* plan) const;
+
+  /// Runs a plan to completion on the pool + calling thread. On success,
+  /// fills `done` with the cache entry of every box in the plan.
+  Status RunPlan(
+      Plan* plan,
+      std::unordered_map<std::string, dataflow::MemoCache::EntryPtr>* done);
+
+  /// A pool task that claims one ready box, if any, and fires it. Touches
+  /// only `state` until a box is claimed, so stale tickets left in the pool
+  /// queue after RunPlan returns are harmless.
+  std::function<void()> MakeTicket(Plan* plan,
+                                   std::shared_ptr<RunState> state);
+
+  /// Evaluates one box (cache lookup or fire), records the result, and
+  /// releases any dependents that became ready.
+  void FireBox(Plan* plan, const std::shared_ptr<RunState>& state,
+               const std::string& box_id);
+
+  const db::Catalog* catalog_;
+  ThreadPool* pool_;
+  dataflow::MemoCache owned_cache_;
+  dataflow::MemoCache* cache_;  // owned_cache_ or an external shared cache
+  Metrics* metrics_ = nullptr;
+
+  std::atomic<uint64_t> boxes_fired_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> boxes_skipped_{0};
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace tioga2::runtime
+
+#endif  // TIOGA2_RUNTIME_PARALLEL_ENGINE_H_

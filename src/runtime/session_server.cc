@@ -1,0 +1,140 @@
+#include "runtime/session_server.h"
+
+#include <utility>
+
+namespace tioga2::runtime {
+
+Result<viewer::Viewer*> Session::GetViewer(const std::string& canvas_name) {
+  auto it = viewers_.find(canvas_name);
+  if (it != viewers_.end()) return it->second.get();
+  if (!ui_.registry().Has(canvas_name)) {
+    return Status::NotFound("no canvas named '" + canvas_name + "'");
+  }
+  auto viewer = std::make_unique<viewer::Viewer>("viewer:" + canvas_name,
+                                                 canvas_name, &ui_.registry());
+  TIOGA2_RETURN_IF_ERROR(viewer->Refresh());
+  viewer::Viewer* raw = viewer.get();
+  viewers_[canvas_name] = std::move(viewer);
+  return raw;
+}
+
+SessionServer::SessionServer(db::Catalog* catalog, Options options)
+    : catalog_(catalog),
+      options_(options),
+      pool_(options.num_threads == 0 ? 1 : options.num_threads) {}
+
+SessionServer::~SessionServer() = default;
+
+Result<std::string> SessionServer::OpenSession(const std::string& id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::string session_id = id;
+  if (session_id.empty()) {
+    session_id = "s" + std::to_string(next_session_++);
+  }
+  if (sessions_.count(session_id) > 0) {
+    return Status::AlreadyExists("session '" + session_id + "' already open");
+  }
+  sessions_[session_id] = std::make_shared<Session>(session_id, catalog_);
+  return session_id;
+}
+
+Status SessionServer::CloseSession(const std::string& id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no session '" + id + "'");
+  }
+  return Status::OK();
+}
+
+size_t SessionServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<Session> SessionServer::FindSession(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::future<Status> SessionServer::Submit(const std::string& session_id,
+                                          Handler handler, Access access,
+                                          std::chrono::milliseconds deadline) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = promise->get_future();
+
+  std::shared_ptr<Session> session = FindSession(session_id);
+  if (session == nullptr) {
+    promise->set_value(Status::NotFound("no session '" + session_id + "'"));
+    return future;
+  }
+
+  // Admission control: reject immediately at the bound instead of queueing
+  // unboundedly or blocking the caller.
+  size_t in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (in_flight >= options_.queue_bound) {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.RecordRequestRejected();
+    promise->set_value(Status::Unavailable(
+        "server at capacity (" + std::to_string(options_.queue_bound) +
+        " requests in flight); retry later"));
+    return future;
+  }
+  metrics_.RecordQueueDepth(in_flight + 1);
+
+  std::chrono::milliseconds effective_deadline =
+      deadline.count() > 0 ? deadline : options_.default_deadline;
+  std::chrono::steady_clock::time_point expires_at{};
+  bool has_deadline = effective_deadline.count() > 0;
+  if (has_deadline) {
+    expires_at = std::chrono::steady_clock::now() + effective_deadline;
+  }
+
+  pool_.Submit([this, session = std::move(session),
+                handler = std::move(handler), access, has_deadline, expires_at,
+                promise] {
+    if (has_deadline && std::chrono::steady_clock::now() >= expires_at) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      metrics_.RecordRequestTimedOut();
+      promise->set_value(
+          Status::DeadlineExceeded("request expired before a worker ran it"));
+      return;
+    }
+    auto start = std::chrono::steady_clock::now();
+    Status status;
+    {
+      // One client at a time per session; readers-writer over the catalog.
+      std::lock_guard<std::mutex> session_lock(session->mu_);
+      if (access == Access::kWrite) {
+        std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+        status = handler(*session);
+      } else {
+        std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+        status = handler(*session);
+      }
+    }
+    double micros = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.RecordRequestComplete(micros);
+    promise->set_value(std::move(status));
+  });
+  return future;
+}
+
+Result<display::Displayable> SessionServer::EvaluateCanvas(
+    const std::string& session_id, const std::string& canvas_name) {
+  auto result = std::make_shared<Result<display::Displayable>>(
+      Status::Internal("canvas evaluation did not run"));
+  std::future<Status> future =
+      Submit(session_id, [canvas_name, result](Session& session) {
+        *result = session.ui().EvaluateCanvas(canvas_name);
+        return result->status();
+      });
+  Status status = future.get();
+  if (!status.ok()) return status;
+  return std::move(*result);
+}
+
+}  // namespace tioga2::runtime

@@ -1,0 +1,149 @@
+#ifndef TIOGA2_RUNTIME_SESSION_SERVER_H_
+#define TIOGA2_RUNTIME_SESSION_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "display/displayable.h"
+#include "runtime/metrics.h"
+#include "runtime/thread_pool.h"
+#include "ui/session.h"
+#include "viewer/viewer.h"
+
+namespace tioga2::runtime {
+
+/// One client's state on the server: a ui::Session (program, engine, canvas
+/// registry, undo stack) plus the viewers the client has opened. Requests
+/// for one session are serialized by the server (a per-session mutex), so a
+/// handler may use the ui::Session freely; distinct sessions run
+/// concurrently.
+class Session {
+ public:
+  Session(std::string id, db::Catalog* catalog)
+      : id_(std::move(id)), ui_(catalog) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const std::string& id() const { return id_; }
+  ui::Session& ui() { return ui_; }
+
+  /// Creates (or returns the existing) viewer onto `canvas_name`, like
+  /// Environment::GetViewer but per client.
+  Result<viewer::Viewer*> GetViewer(const std::string& canvas_name);
+
+ private:
+  friend class SessionServer;
+
+  std::string id_;
+  ui::Session ui_;
+  std::map<std::string, std::unique_ptr<viewer::Viewer>> viewers_;
+  std::mutex mu_;  // serializes this client's requests
+};
+
+/// Multiplexes N client sessions over one ThreadPool against one shared
+/// catalog — the runtime for the paper's multi-user picture (§7: several
+/// viewers, possibly several users, over the same database).
+///
+/// Concurrency policy:
+///  - Distinct sessions run concurrently; requests within one session are
+///    serialized by the session's mutex (a client is a single logical
+///    thread).
+///  - The shared catalog is guarded by a readers-writer lock: Access::kRead
+///    handlers (evaluation, rendering) share it; Access::kWrite handlers
+///    (§8 updates via ReplaceTable) take it exclusively.
+///  - Admission control is bounded and non-blocking: when `queue_bound`
+///    requests are already in flight, Submit immediately resolves the
+///    request with Status::Unavailable instead of queueing or blocking
+///    (backpressure is the caller's signal to retry later).
+///  - A request carries an optional deadline, checked when a worker dequeues
+///    it; an expired request resolves with Status::DeadlineExceeded without
+///    running its handler.
+class SessionServer {
+ public:
+  /// Catalog access a handler needs: kRead handlers run concurrently with
+  /// each other, kWrite handlers run exclusively.
+  enum class Access { kRead, kWrite };
+
+  struct Options {
+    size_t num_threads = 4;
+    /// Max requests accepted but not yet finished; beyond it Submit rejects.
+    size_t queue_bound = 64;
+    /// Applied to requests submitted without a deadline; zero = none.
+    std::chrono::milliseconds default_deadline{0};
+  };
+
+  /// A request body. The Status it returns is delivered through the future.
+  using Handler = std::function<Status(Session&)>;
+
+  /// `catalog` must outlive the server.
+  explicit SessionServer(db::Catalog* catalog) : SessionServer(catalog, Options{}) {}
+  SessionServer(db::Catalog* catalog, Options options);
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Opens a session; generates an id ("s1", "s2", ...) unless one is given.
+  /// Returns the id.
+  Result<std::string> OpenSession(const std::string& id = "");
+
+  /// Closes a session. Requests already in flight for it finish normally
+  /// (they hold a reference); new Submits fail with NotFound.
+  Status CloseSession(const std::string& id);
+
+  size_t num_sessions() const;
+
+  /// Enqueues `handler` for `session_id`. Returns a future resolving to the
+  /// handler's Status — or Unavailable (rejected at the queue bound),
+  /// DeadlineExceeded (expired before a worker picked it up), or NotFound
+  /// (no such session). Never blocks.
+  std::future<Status> Submit(const std::string& session_id, Handler handler,
+                             Access access = Access::kRead,
+                             std::chrono::milliseconds deadline =
+                                 std::chrono::milliseconds{0});
+
+  /// Blocking convenience: evaluates the displayable on `canvas_name` in
+  /// `session_id` through the session's engine.
+  Result<display::Displayable> EvaluateCanvas(const std::string& session_id,
+                                              const std::string& canvas_name);
+
+  Metrics& metrics() { return metrics_; }
+  ThreadPool& pool() { return pool_; }
+  db::Catalog* catalog() { return catalog_; }
+  const Options& options() const { return options_; }
+
+ private:
+  std::shared_ptr<Session> FindSession(const std::string& id) const;
+
+  db::Catalog* catalog_;
+  Options options_;
+  Metrics metrics_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_ = 1;
+
+  /// Readers-writer lock over the shared catalog (kRead vs kWrite handlers).
+  std::shared_mutex catalog_mu_;
+
+  /// Requests accepted but not yet finished (admission control).
+  std::atomic<size_t> in_flight_{0};
+
+  /// Declared last so it is destroyed FIRST: the destructor drains queued
+  /// requests and joins the workers while every other member is still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace tioga2::runtime
+
+#endif  // TIOGA2_RUNTIME_SESSION_SERVER_H_

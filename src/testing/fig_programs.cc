@@ -1,0 +1,405 @@
+#include "testing/fig_programs.h"
+
+#include <cstdio>
+#include <initializer_list>
+#include <map>
+#include <utility>
+
+#include "types/value.h"
+
+namespace tioga2::testing {
+namespace {
+
+using BoxSpec = std::pair<std::string, std::map<std::string, std::string>>;
+
+/// Status-propagating builder for linear box chains (the bench files use an
+/// exit-on-error equivalent; tests need the error back).
+class Chain {
+ public:
+  explicit Chain(ui::Session* session) : session_(session) {}
+
+  /// Starts a chain at a table source; returns the table box id.
+  Result<std::string> Table(const std::string& table) {
+    return session_->AddTable(table);
+  }
+
+  /// Appends `boxes` one after another starting from `from`; returns the id
+  /// of the last box.
+  Result<std::string> Extend(std::string from,
+                             std::initializer_list<BoxSpec> boxes) {
+    for (const auto& [type, params] : boxes) {
+      TIOGA2_ASSIGN_OR_RETURN(std::string id, session_->AddBox(type, params));
+      TIOGA2_RETURN_IF_ERROR(session_->Connect(from, 0, id, 0));
+      from = id;
+    }
+    return from;
+  }
+
+ private:
+  ui::Session* session_;
+};
+
+Status BuildFig1(Environment* env) {
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string stations, chain.Table("Stations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string tail,
+      chain.Extend(stations, {{"Restrict", {{"predicate", "state = \"LA\""}}}}));
+  return session.AddViewer(tail, 0, "fig1").status();
+}
+
+Status BuildFig3(Environment* env) {
+  // The §4.2 database operations as program boxes: Restrict + Sample feeding
+  // a Join (a diamond over two tables), plus a Project branch.
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string stations, chain.Table("Stations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string la,
+      chain.Extend(stations, {{"Restrict", {{"predicate", "state = \"LA\""}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(std::string observations, chain.Table("Observations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string sampled,
+      chain.Extend(observations,
+                   {{"Sample", {{"probability", "0.5"}, {"seed", "7"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string join,
+      session.AddBox("Join", {{"predicate", "station_id = station_id_2"}}));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(la, 0, join, 0));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(sampled, 0, join, 1));
+  TIOGA2_RETURN_IF_ERROR(session.AddViewer(join, 0, "fig3").status());
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string projected,
+      chain.Extend(stations,
+                   {{"Project", {{"columns", "station_id,name,state"}}}}));
+  return session.AddViewer(projected, 0, "fig3proj").status();
+}
+
+Status BuildFig4(Environment* env) {
+  // The Figure 4 Louisiana scatter (same shape as bench_common's
+  // BuildScatter).
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string stations, chain.Table("Stations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string tail,
+      chain.Extend(
+          stations,
+          {{"Restrict", {{"predicate", "state = \"LA\""}}},
+           {"SetLocation", {{"dim", "0"}, {"attr", "longitude"}}},
+           {"SetLocation", {{"dim", "1"}, {"attr", "latitude"}}},
+           {"AddLocationDimension", {{"attr", "altitude"}}},
+           {"AddAttribute",
+            {{"name", "dot"}, {"definition", "circle(0.05, \"#c81e1e\", true)"}}},
+           {"SetDisplay", {{"attr", "dot"}}}}));
+  return session.AddViewer(tail, 0, "fig4").status();
+}
+
+Status BuildFig5(Environment* env) {
+  // The Figure 5 attribute operations as a box chain.
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string stations, chain.Table("Stations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string tail,
+      chain.Extend(
+          stations,
+          {{"AddAttribute",
+            {{"name", "half_alt"}, {"definition", "altitude / 2"}}},
+           {"SetAttribute",
+            {{"name", "half_alt"}, {"definition", "altitude / 4"}}},
+           {"ScaleAttribute", {{"name", "longitude"}, {"factor", "1.5"}}},
+           {"TranslateAttribute", {{"name", "latitude"}, {"delta", "-29"}}},
+           {"AddAttribute", {{"name", "dot"}, {"definition", "circle(2)"}}},
+           {"AddAttribute",
+            {{"name", "label"}, {"definition", "text(name, 8)"}}},
+           {"CombineDisplays",
+            {{"name", "both"},
+             {"first", "dot"},
+             {"second", "label"},
+             {"dx", "0"},
+             {"dy", "-10"}}},
+           {"SetDisplay", {{"attr", "both"}}},
+           {"SwapAttributes", {{"a", "longitude"}, {"b", "latitude"}}}}));
+  return session.AddViewer(tail, 0, "fig5").status();
+}
+
+Status BuildFig7(Environment* env) {
+  // Figure 7 drill-down: map + dots + labels with elevation ranges.
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string stations, chain.Table("Stations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string scatter,
+      chain.Extend(stations,
+                   {{"Restrict", {{"predicate", "state = \"LA\""}}},
+                    {"SetLocation", {{"dim", "0"}, {"attr", "longitude"}}},
+                    {"SetLocation", {{"dim", "1"}, {"attr", "latitude"}}},
+                    {"AddLocationDimension", {{"attr", "altitude"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string dots,
+      chain.Extend(
+          scatter,
+          {{"AddAttribute",
+            {{"name", "c"},
+             {"definition", "circle(0.05, \"#c81e1e\", true)"}}},
+           {"SetDisplay", {{"attr", "c"}}},
+           {"SetRange", {{"min", "2"}, {"max", "1000"}}},
+           {"SetName", {{"name", "Dots"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string labels,
+      chain.Extend(
+          scatter,
+          {{"AddAttribute",
+            {{"name", "l"},
+             {"definition",
+              "circle(0.05, \"#c81e1e\", true) + offset(text(name, 0.1), "
+              "-0.25, -0.2)"}}},
+           {"SetDisplay", {{"attr", "l"}}},
+           {"SetRange", {{"min", "0"}, {"max", "2"}}},
+           {"SetName", {{"name", "Labels"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(std::string map_table, chain.Table("LouisianaMap"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string map,
+      chain.Extend(
+          map_table,
+          {{"SetLocation", {{"dim", "0"}, {"attr", "x"}}},
+           {"SetLocation", {{"dim", "1"}, {"attr", "y"}}},
+           {"AddAttribute",
+            {{"name", "seg"}, {"definition", "line(dx, dy, \"#646464\")"}}},
+           {"SetDisplay", {{"attr", "seg"}}},
+           {"SetName", {{"name", "Map"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(std::string overlay1,
+                          session.AddBox("Overlay", {{"offset", ""}}));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(map, 0, overlay1, 0));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(dots, 0, overlay1, 1));
+  TIOGA2_ASSIGN_OR_RETURN(std::string overlay2,
+                          session.AddBox("Overlay", {{"offset", ""}}));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(overlay1, 0, overlay2, 0));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(labels, 0, overlay2, 1));
+  return session.AddViewer(overlay2, 0, "fig7").status();
+}
+
+Status BuildFig8(Environment* env) {
+  // Figure 8 wormholes: a destination canvas plus the source overlay.
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string observations, chain.Table("Observations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string temps,
+      chain.Extend(
+          observations,
+          {{"AddAttribute",
+            {{"name", "t"}, {"definition", "float(days(obs_date))"}}},
+           {"SetLocation", {{"dim", "0"}, {"attr", "t"}}},
+           {"SetLocation", {{"dim", "1"}, {"attr", "temperature"}}},
+           {"AddAttribute",
+            {{"name", "d"}, {"definition", "point(\"#1e46c8\")"}}},
+           {"SetDisplay", {{"attr", "d"}}}}));
+  TIOGA2_RETURN_IF_ERROR(session.AddViewer(temps, 0, "temps").status());
+  TIOGA2_ASSIGN_OR_RETURN(std::string stations, chain.Table("Stations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string scatter,
+      chain.Extend(stations,
+                   {{"Restrict", {{"predicate", "state = \"LA\""}}},
+                    {"SetLocation", {{"dim", "0"}, {"attr", "longitude"}}},
+                    {"SetLocation", {{"dim", "1"}, {"attr", "latitude"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string holes,
+      chain.Extend(
+          scatter,
+          {{"AddAttribute",
+            {{"name", "w"},
+             {"definition",
+              "viewer(0.5, 0.4, \"temps\", 5480.0, 60.0, 80.0)"}}},
+           {"SetDisplay", {{"attr", "w"}}},
+           {"SetName", {{"name", "Holes"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string underside,
+      chain.Extend(
+          scatter,
+          {{"AddAttribute",
+            {{"name", "u"},
+             {"definition", "circle(0.1, \"#808080\", true)"}}},
+           {"SetDisplay", {{"attr", "u"}}},
+           {"SetRange", {{"min", "-1000"}, {"max", "0"}}},
+           {"SetName", {{"name", "Underside"}}}}));
+  TIOGA2_ASSIGN_OR_RETURN(std::string overlay,
+                          session.AddBox("Overlay", {{"offset", ""}}));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(holes, 0, overlay, 0));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(underside, 0, overlay, 1));
+  return session.AddViewer(overlay, 0, "fig8").status();
+}
+
+Status BuildFig9(Environment* env) {
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string observations, chain.Table("Observations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string tail,
+      chain.Extend(
+          observations,
+          {{"Restrict", {{"predicate", "station_id = 1"}}},
+           {"AddAttribute",
+            {{"name", "t"}, {"definition", "float(days(obs_date))"}}},
+           {"SetLocation", {{"dim", "0"}, {"attr", "t"}}},
+           {"SetLocation", {{"dim", "1"}, {"attr", "temperature"}}},
+           {"AddAttribute",
+            {{"name", "temp_d"}, {"definition", "point(\"#c81e1e\")"}}},
+           {"AddAttribute",
+            {{"name", "precip_d"},
+             {"definition",
+              "rect(0.9, precipitation * 15.0, \"#1e46c8\", true)"}}},
+           {"SetDisplay", {{"attr", "temp_d"}}}}));
+  return session.AddViewer(tail, 0, "fig9").status();
+}
+
+Status BuildFig10(Environment* env) {
+  // Figure 10 stitched viewers: temperature | precipitation for station 1.
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string observations, chain.Table("Observations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string one,
+      chain.Extend(observations,
+                   {{"Restrict", {{"predicate", "station_id = 1"}}}}));
+  auto branch = [&](const std::string& y_attr, const std::string& color,
+                    const std::string& name) -> Result<std::string> {
+    return chain.Extend(
+        one,
+        {{"AddAttribute",
+          {{"name", "t"}, {"definition", "float(days(obs_date))"}}},
+         {"SetLocation", {{"dim", "0"}, {"attr", "t"}}},
+         {"SetLocation", {{"dim", "1"}, {"attr", y_attr}}},
+         {"AddAttribute",
+          {{"name", "d"}, {"definition", "point(\"" + color + "\")"}}},
+         {"SetDisplay", {{"attr", "d"}}},
+         {"SetName", {{"name", name}}}});
+  };
+  TIOGA2_ASSIGN_OR_RETURN(std::string temperature,
+                          branch("temperature", "#c81e1e", "Temperature"));
+  TIOGA2_ASSIGN_OR_RETURN(std::string precipitation,
+                          branch("precipitation", "#1e46c8", "Precipitation"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string stitch,
+      session.AddBox("Stitch", {{"arity", "2"},
+                                {"layout", "vertical"},
+                                {"columns", "1"}}));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(temperature, 0, stitch, 0));
+  TIOGA2_RETURN_IF_ERROR(session.Connect(precipitation, 0, stitch, 1));
+  return session.AddViewer(stitch, 0, "fig10").status();
+}
+
+Status BuildFig11(Environment* env) {
+  // Figure 11 replicated viewers: observations by year, employees in a
+  // salary x department grid.
+  ui::Session& session = env->session();
+  Chain chain(&session);
+  TIOGA2_ASSIGN_OR_RETURN(std::string observations, chain.Table("Observations"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string by_year,
+      chain.Extend(
+          observations,
+          {{"Restrict", {{"predicate", "station_id = 1"}}},
+           {"Replicate",
+            {{"rows", "year(obs_date) = 1985;year(obs_date) = 1986"},
+             {"columns", ""}}}}));
+  TIOGA2_RETURN_IF_ERROR(session.AddViewer(by_year, 0, "years").status());
+  TIOGA2_ASSIGN_OR_RETURN(std::string employees, chain.Table("Employees"));
+  TIOGA2_ASSIGN_OR_RETURN(
+      std::string grid,
+      chain.Extend(
+          employees,
+          {{"Replicate",
+            {{"rows",
+              "department = \"shoe\";department = \"toy\";department = "
+              "\"candy\";department = \"hardware\""},
+             {"columns", "salary <= 5000;salary > 5000"}}}}));
+  return session.AddViewer(grid, 0, "salaries").status();
+}
+
+std::string Hex(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+void AppendRelation(const display::DisplayRelation& relation, std::string* out) {
+  *out += "R{name=" + relation.name();
+  *out += ";display=" + relation.display_name();
+  *out += ";locations=";
+  for (const std::string& location : relation.location_names()) {
+    *out += location + ",";
+  }
+  *out += ";range=[" + Hex(relation.elevation_range().min) + "," +
+          Hex(relation.elevation_range().max) + "]";
+  *out += ";attrs=";
+  for (const display::Attribute& attribute : relation.attributes()) {
+    *out += attribute.name + ":" +
+            types::DataTypeToString(attribute.type) + ":" +
+            std::to_string(static_cast<int>(attribute.source)) + ":" +
+            std::to_string(attribute.stored_index) + ":" +
+            attribute.combine_first + ":" + attribute.combine_second + ":" +
+            Hex(attribute.combine_dx) + ":" + Hex(attribute.combine_dy) + ":" +
+            Hex(attribute.scale) + ":" + Hex(attribute.translate) + "|";
+  }
+  *out += ";rows=" + std::to_string(relation.num_rows());
+  *out += ";base=" + relation.base()->ToString(relation.num_rows() + 1);
+  *out += "}";
+}
+
+void AppendComposite(const display::Composite& composite, std::string* out) {
+  *out += "C{";
+  for (const display::CompositeEntry& entry : composite.entries()) {
+    AppendRelation(entry.relation, out);
+    *out += "@[";
+    for (double offset : entry.offset) *out += Hex(offset) + ",";
+    *out += "];";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::vector<FigProgram> AllFigPrograms() {
+  return {
+      {"fig01", 200, 10, BuildFig1, {"fig1"}},
+      {"fig03", 100, 10, BuildFig3, {"fig3", "fig3proj"}},
+      {"fig04", 100, 10, BuildFig4, {"fig4"}},
+      {"fig05", 100, 10, BuildFig5, {"fig5"}},
+      {"fig07", 100, 10, BuildFig7, {"fig7"}},
+      {"fig08", 20, 60, BuildFig8, {"temps", "fig8"}},
+      {"fig09", 10, 120, BuildFig9, {"fig9"}},
+      {"fig10", 10, 120, BuildFig10, {"fig10"}},
+      {"fig11", 10, 365, BuildFig11, {"years", "salaries"}},
+  };
+}
+
+std::string FingerprintDisplayable(const display::Displayable& displayable) {
+  std::string out;
+  if (const auto* relation = std::get_if<display::DisplayRelation>(&displayable)) {
+    AppendRelation(*relation, &out);
+  } else if (const auto* composite = std::get_if<display::Composite>(&displayable)) {
+    AppendComposite(*composite, &out);
+  } else {
+    const auto& group = std::get<display::Group>(displayable);
+    out += "G{layout=" + std::to_string(static_cast<int>(group.layout())) +
+           ";columns=" + std::to_string(group.tabular_columns()) + ";";
+    for (const display::Composite& member : group.members()) {
+      AppendComposite(member, &out);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+std::string FingerprintBoxValue(const dataflow::BoxValue& value) {
+  if (const auto* displayable = std::get_if<display::Displayable>(&value)) {
+    return "D:" + FingerprintDisplayable(*displayable);
+  }
+  const auto& scalar = std::get<types::Value>(value);
+  return "V:" + types::DataTypeToString(scalar.type()) + ":" + scalar.ToString();
+}
+
+}  // namespace tioga2::testing

@@ -31,6 +31,11 @@ Result<viewer::Viewer*> Environment::GetViewer(const std::string& canvas_name) {
   return raw;
 }
 
+std::unique_ptr<runtime::SessionServer> Environment::CreateServer(
+    runtime::SessionServer::Options options) {
+  return std::make_unique<runtime::SessionServer>(&catalog_, options);
+}
+
 Result<viewer::RenderStats> Environment::RenderViewer(viewer::Viewer* viewer, int width,
                                                       int height,
                                                       const std::string& ppm_path) {

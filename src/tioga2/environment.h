@@ -11,6 +11,7 @@
 #include "render/framebuffer.h"
 #include "render/raster_surface.h"
 #include "render/svg_surface.h"
+#include "runtime/session_server.h"
 #include "ui/session.h"
 #include "viewer/viewer.h"
 
@@ -44,6 +45,13 @@ class Environment {
 
   /// Creates (or returns the existing) viewer onto `canvas_name`.
   Result<viewer::Viewer*> GetViewer(const std::string& canvas_name);
+
+  /// Creates a multi-session server over this environment's catalog. The
+  /// server's sessions are independent of `session()`; they share only the
+  /// catalog (guarded by the server's readers-writer lock). The Environment
+  /// must outlive the returned server.
+  std::unique_ptr<runtime::SessionServer> CreateServer(
+      runtime::SessionServer::Options options = runtime::SessionServer::Options{});
 
   /// Renders a viewer into a fresh framebuffer, returning the render stats.
   /// Writes a PPM file when `ppm_path` is non-empty.

@@ -301,9 +301,13 @@ Status Session::ClickUpdate(const std::string& canvas_name, const viewer::Hit& h
     return Status::OutOfRange("hit names a row that no longer exists");
   }
   // Locate the clicked (derived) tuple in the base table by value and
-  // install the update; the bumped table version invalidates every cached
-  // box so the canvas re-renders with the new value (§8).
-  return updates_.ApplyUpdateByMatch(table, relation.base()->row(hit.row), inputs);
+  // install the update (§8). The bumped table version already changes the
+  // stamps of boxes reading `table`; evicting exactly their downstream
+  // closure keeps every other canvas's memoized results warm.
+  TIOGA2_RETURN_IF_ERROR(
+      updates_.ApplyUpdateByMatch(table, relation.base()->row(hit.row), inputs));
+  engine_.InvalidateDownstreamOf(graph_, table);
+  return Status::OK();
 }
 
 }  // namespace tioga2::ui

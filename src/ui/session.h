@@ -138,7 +138,8 @@ class Session {
   /// The click-to-update path: `hit` (from Viewer::HitTestAt) identifies a
   /// tuple of a derived relation shown on a canvas; `table` names the base
   /// table it came from; `inputs` simulates the §8 dialog. Installs the
-  /// update, bumping the table version so every canvas recomputes.
+  /// update and invalidates exactly the boxes downstream of `table`, so
+  /// affected canvases recompute while unrelated ones stay memoized.
   Status ClickUpdate(const std::string& canvas_name, const viewer::Hit& hit,
                      const std::string& table,
                      const std::map<std::string, std::string>& inputs);

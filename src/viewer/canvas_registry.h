@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,12 @@ namespace tioga2::viewer {
 /// (§6.2) name their destination canvas; the registry resolves the name when
 /// the wormhole is rendered or flown through. Providers are functions so
 /// that resolution pulls through the (lazy) dataflow engine.
+///
+/// The registration map is mutex-guarded so concurrent sessions (see
+/// runtime::SessionServer) can resolve while another registers. Resolve
+/// copies the provider out and invokes it OUTSIDE the lock: providers run
+/// engine evaluations whose rendering may re-enter Resolve for a wormhole
+/// destination, which would deadlock if the lock were held.
 class CanvasRegistry {
  public:
   using Provider = std::function<Result<display::Displayable>()>;
@@ -38,6 +45,7 @@ class CanvasRegistry {
   std::vector<std::string> Names() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Provider> providers_;
 };
 

@@ -156,6 +156,34 @@ TEST_F(EngineTest, EagerEvaluatesAllAndSkipsDangling) {
   ASSERT_TRUE(engine.EvaluateAll(graph_).ok());
   // table, a, b fired; dangling and its downstream skipped.
   EXPECT_EQ(engine.stats().boxes_fired, 3u);
+  EXPECT_EQ(engine.stats().boxes_skipped, 2u);
+  // Each skipped box is reported so the GUI can flag it (§3).
+  EXPECT_EQ(engine.warnings().size(), 2u);
+}
+
+TEST_F(EngineTest, InvalidateDownstreamOfEvictsOnlyAffectedBoxes) {
+  // Two independent chains over two tables; editing U must leave T's chain
+  // memoized (§8: other canvases stay warm after a single-table update).
+  auto other = db::MakeRelation({Column{"w", DataType::kInt}},
+                                {{Value::Int(10)}, {Value::Int(20)}})
+                   .value();
+  ASSERT_TRUE(catalog_.RegisterTable("U", other).ok());
+  std::string t = graph_.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string t_tail = graph_.AddBox(std::make_unique<RestrictBox>("v > 1")).value();
+  std::string u = graph_.AddBox(std::make_unique<TableBox>("U")).value();
+  std::string u_tail = graph_.AddBox(std::make_unique<RestrictBox>("w > 5")).value();
+  ASSERT_TRUE(graph_.Connect(t, 0, t_tail, 0).ok());
+  ASSERT_TRUE(graph_.Connect(u, 0, u_tail, 0).ok());
+  Engine engine(&catalog_);
+  ASSERT_TRUE(RowsOf(&engine, t_tail).ok());
+  ASSERT_TRUE(RowsOf(&engine, u_tail).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 4u);
+  // Evicts exactly U's chain: the table box and its downstream restrict.
+  EXPECT_EQ(engine.InvalidateDownstreamOf(graph_, "U"), 2u);
+  ASSERT_TRUE(RowsOf(&engine, u_tail).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 6u);  // u + u_tail re-fired
+  ASSERT_TRUE(RowsOf(&engine, t_tail).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 6u);  // T's chain stayed memoized
 }
 
 TEST_F(EngineTest, InvalidateAllForcesRecompute) {

@@ -1,0 +1,98 @@
+// Serial/parallel equivalence over the full figure suite: every figure
+// program evaluates to bit-identical outputs and stamps whether it runs
+// through the serial dataflow::Engine or the ParallelEngine at 1, 2, or 8
+// threads. This is the guarantee that lets SessionServer schedule work on a
+// pool without changing what any user sees.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boxes/relational_boxes.h"
+#include "runtime/parallel_engine.h"
+#include "runtime/thread_pool.h"
+#include "testing/fig_programs.h"
+#include "tioga2/environment.h"
+
+namespace tioga2::testing {
+namespace {
+
+/// A canvas evaluation target: the edge feeding a viewer box.
+struct Target {
+  std::string canvas;
+  std::string from;
+  size_t from_port = 0;
+};
+
+std::vector<Target> TargetsOf(const dataflow::Graph& graph) {
+  std::vector<Target> targets;
+  for (const std::string& id : graph.BoxIds()) {
+    const auto* viewer =
+        dynamic_cast<const boxes::ViewerBox*>(graph.GetBox(id).value());
+    if (viewer == nullptr) continue;
+    std::optional<dataflow::Edge> edge = graph.IncomingEdge(id, 0);
+    if (!edge.has_value()) continue;
+    targets.push_back(Target{viewer->canvas(), edge->from_box, edge->from_port});
+  }
+  return targets;
+}
+
+/// Builds `program` into a fresh environment.
+std::unique_ptr<Environment> BuildEnv(const FigProgram& program) {
+  auto env = std::make_unique<Environment>();
+  EXPECT_TRUE(env->LoadDemoData(program.extra_stations, program.num_days).ok())
+      << program.name;
+  Status built = program.build(env.get());
+  EXPECT_TRUE(built.ok()) << program.name << ": " << built.message();
+  return env;
+}
+
+TEST(RuntimeDeterminismTest, ParallelMatchesSerialOnEveryFigProgram) {
+  for (const FigProgram& program : AllFigPrograms()) {
+    SCOPED_TRACE(program.name);
+    // Serial reference: evaluate every canvas target through the session's
+    // engine, recording output fingerprints and the resulting stamp map.
+    auto serial_env = BuildEnv(program);
+    ui::Session& serial_session = serial_env->session();
+    std::vector<Target> targets = TargetsOf(serial_session.graph());
+    ASSERT_EQ(targets.size(), program.canvases.size());
+    std::map<std::string, std::string> expected;
+    for (const Target& t : targets) {
+      auto value = serial_session.engine().Evaluate(serial_session.graph(),
+                                                    t.from, t.from_port);
+      ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+      expected[t.canvas] = FingerprintBoxValue(value.value());
+    }
+    std::map<std::string, std::optional<uint64_t>> expected_stamps;
+    for (const std::string& id : serial_session.graph().BoxIds()) {
+      expected_stamps[id] = serial_session.engine().cache().StampOf(id);
+    }
+
+    for (size_t num_threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(num_threads));
+      // A fresh environment regenerates identical demo data (seeded), so
+      // the parallel run starts from the same tables and versions.
+      auto env = BuildEnv(program);
+      ui::Session& session = env->session();
+      runtime::ThreadPool pool(num_threads);
+      runtime::ParallelEngine engine(session.catalog(), &pool);
+      for (const Target& t : TargetsOf(session.graph())) {
+        auto value = engine.Evaluate(session.graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+        ASSERT_EQ(expected.count(t.canvas), 1u);
+        EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas))
+            << t.canvas;
+      }
+      for (const std::string& id : session.graph().BoxIds()) {
+        ASSERT_EQ(expected_stamps.count(id), 1u) << id;
+        EXPECT_EQ(engine.cache().StampOf(id), expected_stamps.at(id)) << id;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tioga2::testing

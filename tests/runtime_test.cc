@@ -1,0 +1,251 @@
+// Tests for the concurrent evaluation runtime: the ThreadPool, and the
+// ParallelEngine's equivalence with the serial dataflow::Engine (same
+// results, same stamps, same error messages — only the schedule differs).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+
+#include "boxes/relational_boxes.h"
+#include "dataflow/engine.h"
+#include "db/relation.h"
+#include "runtime/metrics.h"
+#include "runtime/parallel_engine.h"
+#include "runtime/thread_pool.h"
+
+namespace tioga2::runtime {
+namespace {
+
+using boxes::RestrictBox;
+using boxes::TableBox;
+using dataflow::BoxValue;
+using dataflow::Engine;
+using dataflow::Graph;
+using db::Column;
+using types::DataType;
+using types::Value;
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitFurtherTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([&] {
+      count.fetch_add(1);
+      pool.Submit([&] { count.fetch_add(1); });
+    });
+  }
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = db::MakeRelation({Column{"v", DataType::kInt}},
+                                  {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)},
+                                   {Value::Int(4)}})
+                     .value();
+    ASSERT_TRUE(catalog_.RegisterTable("T", table).ok());
+  }
+
+  /// table -> restrict("v > 1"), returning the restrict's id.
+  std::string BuildChain() {
+    std::string table = graph_.AddBox(std::make_unique<TableBox>("T")).value();
+    std::string restrict =
+        graph_.AddBox(std::make_unique<RestrictBox>("v > 1")).value();
+    EXPECT_TRUE(graph_.Connect(table, 0, restrict, 0).ok());
+    return restrict;
+  }
+
+  static Result<size_t> RowsOf(Result<BoxValue> value) {
+    TIOGA2_ASSIGN_OR_RETURN(BoxValue v, std::move(value));
+    TIOGA2_ASSIGN_OR_RETURN(display::Displayable d, dataflow::AsDisplayable(v));
+    TIOGA2_ASSIGN_OR_RETURN(display::DisplayRelation r, display::AsRelation(d));
+    return r.num_rows();
+  }
+
+  db::Catalog catalog_;
+  Graph graph_;
+  ThreadPool pool_{4};
+};
+
+TEST_F(ParallelEngineTest, MatchesSerialResultsAndStamps) {
+  std::string tail = BuildChain();
+  Engine serial(&catalog_);
+  ParallelEngine parallel(&catalog_, &pool_);
+  EXPECT_EQ(RowsOf(serial.Evaluate(graph_, tail, 0)).value(), 3u);
+  EXPECT_EQ(RowsOf(parallel.Evaluate(graph_, tail, 0)).value(), 3u);
+  // Identical stamp algebra: both caches hold the same stamps per box.
+  std::vector<std::string> order = graph_.TopologicalOrder().value();
+  for (const std::string& id : order) {
+    ASSERT_TRUE(serial.cache().StampOf(id).has_value()) << id;
+    EXPECT_EQ(serial.cache().StampOf(id), parallel.cache().StampOf(id)) << id;
+  }
+}
+
+TEST_F(ParallelEngineTest, WideFanOutMatchesSerial) {
+  // One table feeding 16 restricts feeding nothing — all 16 fire
+  // concurrently; results must match the serial engine box for box.
+  std::string table = graph_.AddBox(std::make_unique<TableBox>("T")).value();
+  std::vector<std::string> tails;
+  for (int i = 0; i < 16; ++i) {
+    std::string r = graph_
+                        .AddBox(std::make_unique<RestrictBox>(
+                            "v > " + std::to_string(i % 4)))
+                        .value();
+    ASSERT_TRUE(graph_.Connect(table, 0, r, 0).ok());
+    tails.push_back(r);
+  }
+  Engine serial(&catalog_);
+  ParallelEngine parallel(&catalog_, &pool_);
+  for (const std::string& tail : tails) {
+    EXPECT_EQ(RowsOf(serial.Evaluate(graph_, tail, 0)).value(),
+              RowsOf(parallel.Evaluate(graph_, tail, 0)).value())
+        << tail;
+    EXPECT_EQ(serial.cache().StampOf(tail), parallel.cache().StampOf(tail));
+  }
+}
+
+TEST_F(ParallelEngineTest, SharesCacheWithSerialEngine) {
+  std::string tail = BuildChain();
+  Engine serial(&catalog_);
+  // Parallel engine memoizing into the serial engine's cache.
+  ParallelEngine parallel(&catalog_, &pool_, &serial.cache());
+  ASSERT_TRUE(RowsOf(parallel.Evaluate(graph_, tail, 0)).ok());
+  EXPECT_EQ(parallel.stats().boxes_fired, 2u);
+  // The serial engine finds everything memoized: zero fires, two hits.
+  ASSERT_TRUE(RowsOf(serial.Evaluate(graph_, tail, 0)).ok());
+  EXPECT_EQ(serial.stats().boxes_fired, 0u);
+  EXPECT_GE(serial.stats().cache_hits, 1u);
+  // And the reverse direction: serial work is visible to the parallel engine.
+  serial.InvalidateAll();
+  ASSERT_TRUE(RowsOf(serial.Evaluate(graph_, tail, 0)).ok());
+  parallel.ResetStats();
+  ASSERT_TRUE(RowsOf(parallel.Evaluate(graph_, tail, 0)).ok());
+  EXPECT_EQ(parallel.stats().boxes_fired, 0u);
+}
+
+TEST_F(ParallelEngineTest, ErrorMessagesMatchSerial) {
+  std::string lone =
+      graph_.AddBox(std::make_unique<RestrictBox>("v > 0")).value();
+  Engine serial(&catalog_);
+  ParallelEngine parallel(&catalog_, &pool_);
+  Status serial_status = serial.Evaluate(graph_, lone, 0).status();
+  Status parallel_status = parallel.Evaluate(graph_, lone, 0).status();
+  EXPECT_TRUE(serial_status.IsFailedPrecondition());
+  EXPECT_TRUE(parallel_status.IsFailedPrecondition());
+  EXPECT_EQ(serial_status.message(), parallel_status.message());
+
+  // Missing table, bad output port, unknown box: same codes as serial.
+  std::string bad = graph_.AddBox(std::make_unique<TableBox>("Nope")).value();
+  EXPECT_TRUE(parallel.Evaluate(graph_, bad, 0).status().IsNotFound());
+  std::string table = graph_.AddBox(std::make_unique<TableBox>("T")).value();
+  Status oor = parallel.Evaluate(graph_, table, 3).status();
+  EXPECT_TRUE(oor.IsOutOfRange());
+  EXPECT_EQ(oor.message(),
+            serial.Evaluate(graph_, table, 3).status().message());
+  EXPECT_TRUE(parallel.Evaluate(graph_, "missing", 0).status().IsNotFound());
+}
+
+TEST_F(ParallelEngineTest, EvaluateAllSkipsDanglingLikeSerial) {
+  std::string table = graph_.AddBox(std::make_unique<TableBox>("T")).value();
+  std::string a = graph_.AddBox(std::make_unique<RestrictBox>("v > 1")).value();
+  std::string dangling =
+      graph_.AddBox(std::make_unique<RestrictBox>("v > 3")).value();
+  std::string downstream =
+      graph_.AddBox(std::make_unique<RestrictBox>("v > 4")).value();
+  ASSERT_TRUE(graph_.Connect(table, 0, a, 0).ok());
+  ASSERT_TRUE(graph_.Connect(dangling, 0, downstream, 0).ok());
+  Engine serial(&catalog_);
+  ASSERT_TRUE(serial.EvaluateAll(graph_).ok());
+  ParallelEngine parallel(&catalog_, &pool_);
+  ASSERT_TRUE(parallel.EvaluateAll(graph_).ok());
+  EXPECT_EQ(parallel.stats().boxes_fired, serial.stats().boxes_fired);
+  EXPECT_EQ(parallel.stats().boxes_skipped, serial.stats().boxes_skipped);
+  EXPECT_EQ(parallel.stats().boxes_skipped, 2u);
+  EXPECT_EQ(parallel.warnings(), serial.warnings());
+}
+
+TEST_F(ParallelEngineTest, MemoizesAcrossEvaluations) {
+  std::string tail = BuildChain();
+  ParallelEngine engine(&catalog_, &pool_);
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, tail, 0)).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 2u);
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, tail, 0)).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 2u);
+  EXPECT_GE(engine.stats().cache_hits, 1u);
+}
+
+TEST_F(ParallelEngineTest, InvalidateDownstreamOfEvictsOnlyAffectedBoxes) {
+  auto other = db::MakeRelation({Column{"w", DataType::kInt}},
+                                {{Value::Int(10)}, {Value::Int(20)}})
+                   .value();
+  ASSERT_TRUE(catalog_.RegisterTable("U", other).ok());
+  std::string t_tail = BuildChain();
+  std::string u = graph_.AddBox(std::make_unique<TableBox>("U")).value();
+  std::string u_tail =
+      graph_.AddBox(std::make_unique<RestrictBox>("w > 5")).value();
+  ASSERT_TRUE(graph_.Connect(u, 0, u_tail, 0).ok());
+  ParallelEngine engine(&catalog_, &pool_);
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, t_tail, 0)).ok());
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, u_tail, 0)).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 4u);
+  EXPECT_EQ(engine.InvalidateDownstreamOf(graph_, "U"), 2u);
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, u_tail, 0)).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 6u);  // U's chain re-fired
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, t_tail, 0)).ok());
+  EXPECT_EQ(engine.stats().boxes_fired, 6u);  // T's chain stayed memoized
+}
+
+TEST_F(ParallelEngineTest, RecordsMetrics) {
+  std::string tail = BuildChain();
+  Metrics metrics;
+  ParallelEngine engine(&catalog_, &pool_, nullptr, &metrics);
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, tail, 0)).ok());
+  ASSERT_TRUE(RowsOf(engine.Evaluate(graph_, tail, 0)).ok());
+  MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.boxes_fired, 2u);
+  EXPECT_EQ(snap.cache_misses, 2u);
+  EXPECT_GE(snap.cache_hits, 1u);
+  // JSON export contains every section and the fired box types.
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue\""), std::string::npos);
+  EXPECT_NE(json.find("\"box_fires\""), std::string::npos);
+  EXPECT_NE(json.find("\"Table\""), std::string::npos);
+  EXPECT_NE(json.find("\"Restrict\""), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, QuantilesAndCounts) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(10);  // 10 µs
+  h.Record(100000);                            // one 100 ms outlier
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_EQ(h.max_micros(), 100000u);
+  // p50 lands in the 10 µs bucket; its upper bound is well under the outlier.
+  EXPECT_LE(h.QuantileUpperBoundMicros(0.5), 64u);
+  EXPECT_GE(h.QuantileUpperBoundMicros(0.999), 65536u);
+}
+
+}  // namespace
+}  // namespace tioga2::runtime

@@ -1,0 +1,235 @@
+// Tests for the multi-session server: session lifecycle, concurrent
+// sessions over one catalog, bounded admission (reject, never block),
+// deadlines, and read/write catalog exclusion.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "db/catalog.h"
+#include "db/relation.h"
+#include "runtime/session_server.h"
+
+namespace tioga2::runtime {
+namespace {
+
+using db::Column;
+using types::DataType;
+using types::Value;
+
+class SessionServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = db::MakeRelation({Column{"v", DataType::kInt}},
+                                  {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)},
+                                   {Value::Int(4)}})
+                     .value();
+    ASSERT_TRUE(catalog_.RegisterTable("T", table).ok());
+  }
+
+  /// Builds T -> Restrict(v > 1) -> viewer on canvas `canvas` inside `s`.
+  static Status BuildProgram(Session& s, const std::string& canvas) {
+    ui::Session& ui = s.ui();
+    TIOGA2_ASSIGN_OR_RETURN(std::string table, ui.AddTable("T"));
+    TIOGA2_ASSIGN_OR_RETURN(std::string restrict,
+                            ui.AddBox("Restrict", {{"predicate", "v > 1"}}));
+    TIOGA2_RETURN_IF_ERROR(ui.Connect(table, 0, restrict, 0));
+    TIOGA2_RETURN_IF_ERROR(ui.AddViewer(restrict, 0, canvas).status());
+    return Status::OK();
+  }
+
+  db::Catalog catalog_;
+};
+
+TEST_F(SessionServerTest, SessionLifecycle) {
+  SessionServer server(&catalog_);
+  EXPECT_EQ(server.OpenSession().value(), "s1");
+  EXPECT_EQ(server.OpenSession().value(), "s2");
+  EXPECT_EQ(server.OpenSession("alice").value(), "alice");
+  EXPECT_TRUE(server.OpenSession("alice").status().IsAlreadyExists());
+  EXPECT_EQ(server.num_sessions(), 3u);
+  EXPECT_TRUE(server.CloseSession("s1").ok());
+  EXPECT_TRUE(server.CloseSession("s1").IsNotFound());
+  EXPECT_EQ(server.num_sessions(), 2u);
+  // Submitting to a closed (or unknown) session resolves NotFound.
+  auto fut = server.Submit("s1", [](Session&) { return Status::OK(); });
+  EXPECT_TRUE(fut.get().IsNotFound());
+}
+
+TEST_F(SessionServerTest, EvaluatesCanvasThroughSession) {
+  SessionServer server(&catalog_);
+  std::string id = server.OpenSession().value();
+  auto built = server.Submit(id, [](Session& s) { return BuildProgram(s, "c"); });
+  ASSERT_TRUE(built.get().ok());
+  auto displayable = server.EvaluateCanvas(id, "c");
+  ASSERT_TRUE(displayable.ok());
+  auto relation = display::AsRelation(displayable.value());
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation.value().num_rows(), 3u);
+  // The session's viewer surface works too.
+  auto viewed = server.Submit(id, [](Session& s) {
+    TIOGA2_ASSIGN_OR_RETURN(viewer::Viewer * v, s.GetViewer("c"));
+    return v != nullptr ? Status::OK() : Status::Internal("null viewer");
+  });
+  EXPECT_TRUE(viewed.get().ok());
+  EXPECT_GE(server.metrics().snapshot().requests_completed, 3u);
+}
+
+TEST_F(SessionServerTest, SessionsAreIsolated) {
+  SessionServer server(&catalog_);
+  std::string a = server.OpenSession().value();
+  std::string b = server.OpenSession().value();
+  ASSERT_TRUE(
+      server.Submit(a, [](Session& s) { return BuildProgram(s, "c"); }).get().ok());
+  // Session b never built a program: its canvas registry is empty.
+  EXPECT_TRUE(server.EvaluateCanvas(b, "c").status().IsNotFound());
+  EXPECT_TRUE(server.EvaluateCanvas(a, "c").ok());
+}
+
+TEST_F(SessionServerTest, SustainsEightConcurrentSessions) {
+  SessionServer::Options options;
+  options.num_threads = 4;
+  SessionServer server(&catalog_, options);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(server.OpenSession().value());
+  std::vector<std::future<Status>> futures;
+  for (const std::string& id : ids) {
+    futures.push_back(
+        server.Submit(id, [](Session& s) { return BuildProgram(s, "c"); }));
+    // Several evaluation requests per session, interleaved across sessions.
+    for (int r = 0; r < 3; ++r) {
+      futures.push_back(server.Submit(id, [](Session& s) {
+        return s.ui().EvaluateCanvas("c").status();
+      }));
+    }
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.requests_completed, futures.size());
+  EXPECT_EQ(snap.requests_rejected, 0u);
+}
+
+TEST_F(SessionServerTest, RejectsBeyondQueueBoundWithoutBlocking) {
+  SessionServer::Options options;
+  options.num_threads = 2;
+  options.queue_bound = 2;
+  SessionServer server(&catalog_, options);
+  std::string id = server.OpenSession().value();
+  // Two handlers park on a latch, filling the bound.
+  std::promise<void> release;
+  std::shared_future<void> latch = release.get_future().share();
+  auto first = server.Submit(id, [latch](Session&) {
+    latch.wait();
+    return Status::OK();
+  });
+  auto second = server.Submit(id, [latch](Session&) {
+    latch.wait();
+    return Status::OK();
+  });
+  // The third is rejected immediately — Submit resolves without blocking.
+  auto start = std::chrono::steady_clock::now();
+  auto third = server.Submit(id, [](Session&) { return Status::OK(); });
+  Status rejected = third.get();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(rejected.IsUnavailable()) << rejected.message();
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  release.set_value();
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_TRUE(second.get().ok());
+  MetricsSnapshot snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.requests_rejected, 1u);
+  EXPECT_EQ(snap.requests_completed, 2u);
+  // Capacity freed: new requests are admitted again.
+  EXPECT_TRUE(server.Submit(id, [](Session&) { return Status::OK(); }).get().ok());
+}
+
+TEST_F(SessionServerTest, ExpiredRequestResolvesDeadlineExceeded) {
+  SessionServer::Options options;
+  options.num_threads = 1;
+  SessionServer server(&catalog_, options);
+  std::string id = server.OpenSession().value();
+  // Occupy the only worker long enough for the deadline to pass.
+  auto slow = server.Submit(id, [](Session&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return Status::OK();
+  });
+  auto expired = server.Submit(
+      id, [](Session&) { return Status::OK(); }, SessionServer::Access::kRead,
+      std::chrono::milliseconds(1));
+  EXPECT_TRUE(slow.get().ok());
+  EXPECT_TRUE(expired.get().IsDeadlineExceeded());
+  EXPECT_GE(server.metrics().snapshot().requests_timed_out, 1u);
+}
+
+TEST_F(SessionServerTest, WriteHandlersUpdateSharedCatalog) {
+  SessionServer server(&catalog_);
+  std::string writer = server.OpenSession().value();
+  std::string reader = server.OpenSession().value();
+  ASSERT_TRUE(server.Submit(reader, [](Session& s) { return BuildProgram(s, "c"); })
+                  .get()
+                  .ok());
+  ASSERT_EQ(display::AsRelation(server.EvaluateCanvas(reader, "c").value())
+                .value()
+                .num_rows(),
+            3u);
+  // A kWrite handler replaces T exclusively; readers then see the new rows
+  // (the table-version stamp invalidates the memoized chain).
+  auto wrote = server.Submit(
+      writer,
+      [](Session& s) {
+        auto updated = db::MakeRelation({Column{"v", DataType::kInt}},
+                                        {{Value::Int(7)}, {Value::Int(8)}});
+        TIOGA2_RETURN_IF_ERROR(updated.status());
+        return s.ui().catalog()->ReplaceTable("T", updated.value());
+      },
+      SessionServer::Access::kWrite);
+  ASSERT_TRUE(wrote.get().ok());
+  EXPECT_EQ(display::AsRelation(server.EvaluateCanvas(reader, "c").value())
+                .value()
+                .num_rows(),
+            2u);
+}
+
+TEST_F(SessionServerTest, ConcurrentReadersAndWritersStayConsistent) {
+  SessionServer::Options options;
+  options.num_threads = 4;
+  options.queue_bound = 256;
+  SessionServer server(&catalog_, options);
+  std::vector<std::string> readers;
+  for (int i = 0; i < 4; ++i) {
+    std::string id = server.OpenSession().value();
+    ASSERT_TRUE(
+        server.Submit(id, [](Session& s) { return BuildProgram(s, "c"); }).get().ok());
+    readers.push_back(id);
+  }
+  std::string writer = server.OpenSession().value();
+  std::vector<std::future<Status>> futures;
+  for (int round = 0; round < 5; ++round) {
+    futures.push_back(server.Submit(
+        writer,
+        [round](Session& s) {
+          std::vector<std::vector<Value>> rows;
+          for (int v = 0; v <= round; ++v) rows.push_back({Value::Int(v + 2)});
+          auto updated =
+              db::MakeRelation({Column{"v", DataType::kInt}}, std::move(rows));
+          TIOGA2_RETURN_IF_ERROR(updated.status());
+          return s.ui().catalog()->ReplaceTable("T", updated.value());
+        },
+        SessionServer::Access::kWrite));
+    for (const std::string& id : readers) {
+      futures.push_back(server.Submit(id, [](Session& s) {
+        // Readers overlap with writers; the rwlock keeps each evaluation
+        // against one consistent table version.
+        return s.ui().EvaluateCanvas("c").status();
+      }));
+    }
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(server.metrics().snapshot().requests_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace tioga2::runtime

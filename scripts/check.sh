@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, run the full test suite, then rebuild the tree
-# with ThreadSanitizer and run the concurrency tests (the runtime scheduler
-# and the session server) under it.
+# The single verification entry point (see README "Verifying a change"):
+#   1. tier 1 — build everything and run the full test suite;
+#   2. tsan   — rebuild with ThreadSanitizer and run the concurrency tests
+#               (runtime scheduler, session server, determinism);
+#   3. asan   — rebuild with Address+UB sanitizers and run the columnar /
+#               batch-evaluation tests (the paths that index raw column
+#               vectors through selection vectors).
+# Pass --fast to run tier 1 only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +15,22 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "OK (fast)"
+  exit 0
+fi
+
 echo "== tsan: runtime + session server tests =="
 cmake -B build-tsan -S . -DTIOGA2_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target \
   runtime_test session_server_test runtime_determinism_test
 (cd build-tsan && ctest --output-on-failure -R 'runtime|session_server')
+
+echo "== asan: columnar + batch evaluation tests =="
+cmake -B build-asan -S . -DTIOGA2_ASAN=ON >/dev/null
+cmake --build build-asan -j --target \
+  columnar_test batch_eval_test operators_test display_relation_test
+(cd build-asan && ctest --output-on-failure \
+  -R 'columnar_test|batch_eval_test|operators_test|display_relation_test')
 
 echo "OK"

@@ -23,6 +23,18 @@ namespace tioga2::dataflow {
 /// The cache holds at most one entry per box id — a re-fire after an edit or
 /// a table-version bump overwrites the stale entry — so its footprint is
 /// bounded by the program size, not the evaluation history.
+///
+/// Contract with dataflow/stamp.h: an entry is valid iff its stamp equals
+/// the stamp recomputed from the current program, so correctness rests on
+/// two properties. (a) Stamps cover every input a box firing reads —
+/// catalog state goes through Box::CacheSalt. (b) Box firing is a pure,
+/// deterministic function of the stamped inputs: two evaluators producing
+/// the same stamp may trade entries, and Insert can keep the first of two
+/// concurrently computed entries precisely because both are guaranteed
+/// byte-identical. Evaluation strategy (scalar or vectorized, row or
+/// columnar, serial or parallel) is invisible to this cache; nothing about
+/// a Relation's lazily materialized columnar() view participates in
+/// stamping or equality.
 class MemoCache {
  public:
   struct Entry {

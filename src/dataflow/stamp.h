@@ -13,6 +13,25 @@ namespace tioga2::dataflow {
 // stamps so that a cache populated by one is valid for the other, and so
 // that serial and parallel evaluation are bit-identical (asserted by
 // runtime_determinism_test).
+//
+// The stamp/memoization contract (see also DESIGN.md "The stamp contract"):
+//
+//   stamp(box) = HashCombine(BoxSignature(box, ctx),
+//                            stamp(input_1), ..., stamp(input_n))
+//   with inputs folded in port order by the engines.
+//
+// 1. A stamp is a pure function of the *program*: box type, parameters,
+//    catalog state the box declares via CacheSalt (e.g. table versions),
+//    and the stamps of its inputs. It never inspects the produced values.
+// 2. Consequently a stamp is independent of *how* a value was computed or
+//    represented: scalar vs vectorized evaluation, row vs columnar access,
+//    serial vs parallel scheduling must all yield byte-identical outputs
+//    for the same stamp (enforced by determinism_test and
+//    runtime_determinism_test over every figure program). An optimization
+//    that changes output bytes is a correctness bug, not a new cache key.
+// 3. Any new source of nondeterminism a box depends on (a table version, a
+//    random seed, a file mtime) must be folded into CacheSalt — never read
+//    out-of-band — or stale cache entries will be served after it changes.
 
 /// 64-bit variant of boost::hash_combine.
 inline uint64_t HashCombine(uint64_t seed, uint64_t value) {

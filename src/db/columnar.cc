@@ -1,0 +1,99 @@
+#include "db/columnar.h"
+
+#include "db/relation.h"
+
+namespace tioga2::db {
+
+using types::DataType;
+using types::Value;
+
+types::Value ColumnVector::ValueAt(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(bools[row] != 0);
+    case DataType::kInt:
+      return Value::Int(ints[row]);
+    case DataType::kFloat:
+      return Value::Float(floats[row]);
+    case DataType::kString:
+      return Value::String(strings[row]);
+    case DataType::kDate:
+      return Value::DateVal(types::Date(dates[row]));
+    case DataType::kDisplay:
+      return boxed[row];
+  }
+  return Value::Null();
+}
+
+ColumnVector MaterializeColumn(const std::vector<std::vector<types::Value>>& rows,
+                               size_t column, types::DataType type) {
+  ColumnVector out;
+  out.type = type;
+  out.num_rows = rows.size();
+  const size_t n = rows.size();
+  switch (type) {
+    case DataType::kBool:
+      out.bools.resize(n);
+      break;
+    case DataType::kInt:
+      out.ints.resize(n);
+      break;
+    case DataType::kFloat:
+      out.floats.resize(n);
+      break;
+    case DataType::kString:
+      out.strings.resize(n);
+      break;
+    case DataType::kDate:
+      out.dates.resize(n);
+      break;
+    case DataType::kDisplay:
+      out.boxed.resize(n);
+      break;
+  }
+  for (size_t r = 0; r < n; ++r) {
+    const Value& v = rows[r][column];
+    if (v.is_null()) {
+      if (out.null_bits.empty()) out.null_bits.resize((n + 63) / 64, 0);
+      out.null_bits[r >> 6] |= uint64_t{1} << (r & 63);
+      continue;
+    }
+    switch (type) {
+      case DataType::kBool:
+        out.bools[r] = v.bool_value() ? 1 : 0;
+        break;
+      case DataType::kInt:
+        out.ints[r] = v.int_value();
+        break;
+      case DataType::kFloat:
+        out.floats[r] = v.float_value();
+        break;
+      case DataType::kString:
+        out.strings[r] = v.string_value();
+        break;
+      case DataType::kDate:
+        out.dates[r] = v.date_value().DaysValue();
+        break;
+      case DataType::kDisplay:
+        out.boxed[r] = v;
+        break;
+    }
+  }
+  return out;
+}
+
+ColumnarTable::ColumnarTable(const Relation* relation)
+    : relation_(relation),
+      once_(relation->num_columns()),
+      columns_(relation->num_columns()) {}
+
+const ColumnVector& ColumnarTable::column(size_t c) const {
+  std::call_once(once_[c], [this, c] {
+    columns_[c] =
+        MaterializeColumn(relation_->rows(), c, relation_->schema()->column(c).type);
+  });
+  return columns_[c];
+}
+
+}  // namespace tioga2::db

@@ -1,0 +1,84 @@
+#ifndef TIOGA2_DB_COLUMNAR_H_
+#define TIOGA2_DB_COLUMNAR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "types/value.h"
+
+namespace tioga2::db {
+
+class Relation;
+
+/// One column of a relation materialized as a typed vector plus a packed
+/// null bitmap. Exactly one of the typed vectors is populated (the one
+/// matching `type`); null rows hold a default-constructed element so that
+/// vector positions stay aligned with row numbers. Display columns are kept
+/// boxed (a DrawableList is a shared_ptr, so "boxed" is one pointer copy).
+///
+/// ColumnVectors are immutable after construction and derived from the row
+/// store, never the other way around: the rows remain the canonical value of
+/// a Relation (see ARCHITECTURE.md, "Row vs columnar representation").
+struct ColumnVector {
+  types::DataType type = types::DataType::kBool;
+  size_t num_rows = 0;
+
+  /// Packed null bitmap: bit r of word r/64 is 1 iff row r is null. Empty
+  /// when the column has no nulls (the common case — skip the test).
+  std::vector<uint64_t> null_bits;
+
+  std::vector<uint8_t> bools;     // kBool
+  std::vector<int64_t> ints;      // kInt
+  std::vector<double> floats;     // kFloat
+  std::vector<std::string> strings;  // kString
+  std::vector<int64_t> dates;     // kDate, as days since epoch
+  std::vector<types::Value> boxed;   // kDisplay
+
+  bool has_nulls() const { return !null_bits.empty(); }
+
+  bool IsNull(size_t row) const {
+    return has_nulls() && ((null_bits[row >> 6] >> (row & 63)) & 1) != 0;
+  }
+
+  /// Reconstructs the boxed value of row `row` — bit-identical to the value
+  /// stored in the originating tuple (asserted by columnar_test's round-trip
+  /// property).
+  types::Value ValueAt(size_t row) const;
+};
+
+/// The lazily materialized columnar image of a Relation. Columns are built
+/// independently on first access (a Sort touching one key column does not
+/// pay for materializing strings or display lists it never reads), guarded
+/// by per-column once_flags so concurrent readers — the ParallelEngine fires
+/// independent boxes over shared base relations — see each column built
+/// exactly once.
+class ColumnarTable {
+ public:
+  /// `relation` must outlive the table (the table is owned by it).
+  explicit ColumnarTable(const Relation* relation);
+
+  ColumnarTable(const ColumnarTable&) = delete;
+  ColumnarTable& operator=(const ColumnarTable&) = delete;
+
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Column `c`, materializing it from the row store on first use.
+  const ColumnVector& column(size_t c) const;
+
+ private:
+  const Relation* relation_;
+  mutable std::vector<std::once_flag> once_;
+  mutable std::vector<ColumnVector> columns_;
+};
+
+/// Builds one typed column from rows (exposed for tests; Relation callers go
+/// through Relation::columnar()).
+ColumnVector MaterializeColumn(const std::vector<std::vector<types::Value>>& rows,
+                               size_t column, types::DataType type);
+
+}  // namespace tioga2::db
+
+#endif  // TIOGA2_DB_COLUMNAR_H_

@@ -26,13 +26,35 @@ Result<RelationPtr> Project(const RelationPtr& input,
                             const std::vector<std::string>& columns);
 
 /// Filters to tuples for which `predicate` evaluates to true; a null
-/// predicate result rejects the tuple (SQL WHERE semantics).
+/// predicate result rejects the tuple (SQL WHERE semantics). Runs the
+/// vectorized path (expr::BatchEvaluator over the relation's columnar view,
+/// kBatchSize rows at a time) unless vectorized execution is disabled, in
+/// which case it evaluates tuple-at-a-time. Both paths produce bit-identical
+/// relations; the toggle exists for benchmarking and equivalence tests.
 Result<RelationPtr> Restrict(const RelationPtr& input,
                              const expr::CompiledExpr& predicate);
 
 /// Convenience overload that compiles the predicate from source.
 Result<RelationPtr> Restrict(const RelationPtr& input,
                              const std::string& predicate_source);
+
+/// Tuple-at-a-time Restrict — the scalar baseline the vectorized path is
+/// benchmarked and property-tested against.
+Result<RelationPtr> RestrictScalar(const RelationPtr& input,
+                                   const expr::CompiledExpr& predicate);
+
+/// Evaluates `predicate` for one row; true ⇔ the row is kept (predicate
+/// result is non-null true). Shared by RestrictScalar and the nested-loop
+/// join so WHERE semantics are defined in exactly one place.
+Result<bool> PredicateKeeps(const expr::CompiledExpr& predicate,
+                            const expr::RowAccessor& row);
+
+/// Globally enables/disables the vectorized operator paths (Restrict, Sort
+/// key comparison). Defaults to enabled; tests flip it to compare the two
+/// paths. Not thread-safe against in-flight queries — set it at a quiet
+/// point.
+void SetVectorizedExecutionEnabled(bool enabled);
+bool VectorizedExecutionEnabled();
 
 /// Bernoulli sample: each tuple is retained independently with
 /// `probability` (§4.2: "each input is retained with a user-specified

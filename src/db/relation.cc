@@ -25,6 +25,12 @@ std::string Relation::ToString(size_t max_rows) const {
   return out;
 }
 
+const ColumnarTable& Relation::columnar() const {
+  std::call_once(columnar_once_,
+                 [this] { columnar_ = std::make_unique<const ColumnarTable>(this); });
+  return *columnar_;
+}
+
 RelationBuilder::RelationBuilder(SchemaPtr schema)
     : relation_(std::make_shared<Relation>(std::move(schema))) {}
 

@@ -2,10 +2,12 @@
 #define TIOGA2_DB_RELATION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "db/columnar.h"
 #include "db/schema.h"
 #include "types/value.h"
 
@@ -17,10 +19,17 @@ using Tuple = std::vector<types::Value>;
 class Relation;
 using RelationPtr = std::shared_ptr<const Relation>;
 
-/// An in-memory row-store relation. Relations are built once via
-/// RelationBuilder and immutable afterwards; all query operators produce new
-/// relations. This gives the dataflow engine's memoization (the basis of the
-/// paper's "immediate visual feedback") value semantics for free.
+/// An in-memory relation. Relations are built once via RelationBuilder and
+/// immutable afterwards; all query operators produce new relations. This
+/// gives the dataflow engine's memoization (the basis of the paper's
+/// "immediate visual feedback") value semantics for free.
+///
+/// The row store is the canonical representation; columnar() exposes a
+/// lazily materialized per-column typed view (vectors + null bitmaps) that
+/// the vectorized operators and expr::BatchEvaluator scan. The columnar view
+/// is a pure cache: it never diverges from the rows, and operators that copy
+/// tuples between relations keep values bit-identical regardless of which
+/// representation produced the decision (see ARCHITECTURE.md).
 class Relation {
  public:
   /// An empty relation over `schema`.
@@ -39,6 +48,11 @@ class Relation {
   /// Value at row `r`, column `c`.
   const types::Value& at(size_t r, size_t c) const { return rows_[r][c]; }
 
+  /// The columnar view of this relation, materialized (per column) on first
+  /// use. Thread-safe: concurrent box firings over a shared base relation
+  /// build each column exactly once.
+  const ColumnarTable& columnar() const;
+
   /// A table rendering ("name | name\n----\nv | v ..."), the shape produced
   /// by a "terminal monitor" (§5.2); used for debugging and golden tests.
   std::string ToString(size_t max_rows = 20) const;
@@ -48,6 +62,8 @@ class Relation {
  private:
   SchemaPtr schema_;
   std::vector<Tuple> rows_;
+  mutable std::once_flag columnar_once_;
+  mutable std::unique_ptr<const ColumnarTable> columnar_;
 };
 
 /// Accumulates tuples for a new Relation, type-checking each row against the

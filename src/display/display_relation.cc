@@ -1,11 +1,13 @@
 #include "display/display_relation.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "db/operators.h"
+#include "expr/batch.h"
 
 namespace tioga2::display {
 
@@ -16,6 +18,19 @@ namespace {
 
 /// Width in world units of the default text rendering (§5.2).
 constexpr double kDefaultTextHeight = 10.0;
+
+/// Applies an attribute's accumulated Scale/Translate transform to one
+/// value: identity transforms return the value untouched (preserving its
+/// runtime type), anything else produces Float(v * scale + translate).
+Result<Value> ApplyTransform(const Attribute& attr, Value v) {
+  if (attr.scale == 1.0 && attr.translate == 0.0) return v;
+  if (v.is_null()) return v;
+  if (!v.is_int() && !v.is_float()) {
+    return Status::TypeError("Scale/Translate applied to non-numeric attribute '" +
+                             attr.name + "'");
+  }
+  return Value::Float(v.AsDouble() * attr.scale + attr.translate);
+}
 
 /// RowAccessor over one tuple of a DisplayRelation: stored attributes read
 /// the base tuple (with Scale/Translate transforms applied), computed
@@ -60,16 +75,6 @@ class DisplayRowAccessor : public expr::RowAccessor {
   }
 
  private:
-  static Result<Value> ApplyTransform(const Attribute& attr, Value v) {
-    if (attr.scale == 1.0 && attr.translate == 0.0) return v;
-    if (v.is_null()) return v;
-    if (!v.is_int() && !v.is_float()) {
-      return Status::TypeError("Scale/Translate applied to non-numeric attribute '" +
-                               attr.name + "'");
-    }
-    return Value::Float(v.AsDouble() * attr.scale + attr.translate);
-  }
-
   Result<Value> EvalAttribute(const Attribute& attr) const {
     switch (attr.source) {
       case AttrSource::kStored:
@@ -116,6 +121,65 @@ class DisplayRowAccessor : public expr::RowAccessor {
   size_t row_;
   mutable std::unordered_map<std::string, Value> memo_;
   mutable std::unordered_set<std::string> in_progress_;
+};
+
+/// BatchSource over a DisplayRelation: stored attributes come from the base
+/// relation's columnar view, with Scale/Translate transforms materialized
+/// into owned float columns on first use; computed attributes fall back to
+/// the per-row DisplayRowAccessor. The per-row fallback builds a fresh
+/// accessor per row, so its memo does not span attributes the way the
+/// scalar Restrict accessor's does — values are identical, only repeated
+/// references re-evaluate.
+class DisplayBatchSource : public expr::BatchSource {
+ public:
+  /// `relation` must outlive the source.
+  explicit DisplayBatchSource(const DisplayRelation& relation) : relation_(relation) {}
+
+  size_t num_rows() const override { return relation_.num_rows(); }
+
+  const db::ColumnVector* StoredColumn(size_t index) const override {
+    const Attribute* transform = nullptr;
+    for (const Attribute& attr : relation_.attributes()) {
+      if (attr.source == AttrSource::kStored && attr.stored_index == index &&
+          !(attr.scale == 1.0 && attr.translate == 0.0)) {
+        transform = &attr;
+        break;
+      }
+    }
+    const db::ColumnVector& base = relation_.base()->columnar().column(index);
+    if (transform == nullptr) return &base;
+    if (base.type != DataType::kInt && base.type != DataType::kFloat) {
+      return nullptr;  // the per-row path reports the TypeError
+    }
+    auto it = transformed_.find(index);
+    if (it != transformed_.end()) return it->second.get();
+    auto col = std::make_unique<db::ColumnVector>();
+    col->type = DataType::kFloat;
+    col->num_rows = base.num_rows;
+    col->null_bits = base.null_bits;
+    col->floats.resize(base.num_rows);
+    for (size_t r = 0; r < base.num_rows; ++r) {
+      if (base.IsNull(r)) continue;
+      double v = base.type == DataType::kInt ? static_cast<double>(base.ints[r])
+                                             : base.floats[r];
+      col->floats[r] = v * transform->scale + transform->translate;
+    }
+    return transformed_.emplace(index, std::move(col)).first->second.get();
+  }
+
+  Result<Value> StoredAt(size_t index, size_t row) const override {
+    DisplayRowAccessor accessor(relation_, row);
+    return accessor.GetStored(index);
+  }
+
+  Result<Value> NamedAt(const std::string& name, size_t row) const override {
+    DisplayRowAccessor accessor(relation_, row);
+    return accessor.GetNamed(name);
+  }
+
+ private:
+  const DisplayRelation& relation_;
+  mutable std::unordered_map<size_t, std::unique_ptr<db::ColumnVector>> transformed_;
 };
 
 }  // namespace
@@ -198,6 +262,69 @@ Result<Value> DisplayRelation::AttributeValue(size_t row, const std::string& nam
   }
   DisplayRowAccessor accessor(*this, row);
   return accessor.GetNamed(name);
+}
+
+Result<std::vector<Value>> DisplayRelation::AttributeValues(
+    const std::string& name) const {
+  const Attribute* attr = FindAttribute(name);
+  if (attr == nullptr) {
+    return Status::NotFound("no attribute '" + name + "' on relation '" + name_ + "'");
+  }
+  const size_t n = num_rows();
+  std::vector<Value> out;
+  out.reserve(n);
+  if (db::VectorizedExecutionEnabled()) {
+    expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
+    if (attr->source == AttrSource::kRowNumber) {
+      ++metrics.display_attr_batches;
+      metrics.display_attr_rows += n;
+      for (size_t r = 0; r < n; ++r) {
+        TIOGA2_ASSIGN_OR_RETURN(
+            Value v, ApplyTransform(*attr, Value::Float(static_cast<double>(r))));
+        out.push_back(std::move(v));
+      }
+      return out;
+    }
+    if (attr->source == AttrSource::kStored) {
+      DisplayBatchSource source(*this);
+      // StoredColumn applies the Scale/Translate transform; nullptr means a
+      // transformed non-numeric column, whose TypeError the per-row path
+      // below reports.
+      const db::ColumnVector* col = source.StoredColumn(attr->stored_index);
+      if (col != nullptr) {
+        ++metrics.display_attr_batches;
+        metrics.display_attr_rows += n;
+        for (size_t r = 0; r < n; ++r) out.push_back(col->ValueAt(r));
+        return out;
+      }
+    }
+    if (attr->source == AttrSource::kExpr) {
+      ++metrics.display_attr_batches;
+      metrics.display_attr_rows += n;
+      DisplayBatchSource source(*this);
+      expr::BatchEvaluator evaluator(source);
+      expr::Selection sel;
+      for (size_t begin = 0; begin < n; begin += expr::kBatchSize) {
+        size_t end = std::min(begin + expr::kBatchSize, n);
+        expr::IdentitySelection(begin, end, &sel);
+        TIOGA2_ASSIGN_OR_RETURN(expr::Vec vec,
+                                evaluator.Eval(attr->definition->root(), sel));
+        for (size_t k = 0; k < sel.size(); ++k) {
+          TIOGA2_ASSIGN_OR_RETURN(Value v, ApplyTransform(*attr, vec.ValueAt(k)));
+          out.push_back(std::move(v));
+        }
+      }
+      metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
+      metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+      return out;
+    }
+  }
+  out.clear();
+  for (size_t r = 0; r < n; ++r) {
+    TIOGA2_ASSIGN_OR_RETURN(Value v, AttributeValue(r, name));
+    out.push_back(std::move(v));
+  }
+  return out;
 }
 
 Result<std::vector<double>> DisplayRelation::LocationOf(size_t row) const {
@@ -462,10 +589,28 @@ Result<DisplayRelation> DisplayRelation::Restrict(const std::string& predicate) 
     return Status::TypeError("Restrict predicate '" + predicate + "' must be bool");
   }
   db::RelationBuilder builder(base_->schema());
-  for (size_t r = 0; r < num_rows(); ++r) {
-    DisplayRowAccessor accessor(*this, r);
-    TIOGA2_ASSIGN_OR_RETURN(Value keep, compiled.Eval(accessor));
-    if (!keep.is_null() && keep.bool_value()) builder.AddRowUnchecked(base_->row(r));
+  if (db::VectorizedExecutionEnabled()) {
+    expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
+    metrics.restrict_rows += num_rows();
+    DisplayBatchSource source(*this);
+    expr::BatchEvaluator evaluator(source);
+    expr::Selection sel;
+    for (size_t begin = 0; begin < num_rows(); begin += expr::kBatchSize) {
+      size_t end = std::min(begin + expr::kBatchSize, num_rows());
+      expr::IdentitySelection(begin, end, &sel);
+      TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
+                              evaluator.FilterTrue(compiled.root(), sel));
+      for (uint32_t r : kept) builder.AddRowUnchecked(base_->row(r));
+      ++metrics.restrict_batches;
+    }
+    metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
+    metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+  } else {
+    for (size_t r = 0; r < num_rows(); ++r) {
+      DisplayRowAccessor accessor(*this, r);
+      TIOGA2_ASSIGN_OR_RETURN(Value keep, compiled.Eval(accessor));
+      if (!keep.is_null() && keep.bool_value()) builder.AddRowUnchecked(base_->row(r));
+    }
   }
   DisplayRelation out = *this;
   out.base_ = builder.Build();

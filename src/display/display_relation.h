@@ -117,6 +117,14 @@ class DisplayRelation {
   /// reference other attributes; reference cycles are detected and reported.
   Result<types::Value> AttributeValue(size_t row, const std::string& name) const;
 
+  /// Evaluates attribute `name` for every base row at once — the batch
+  /// "method" path. Stored and expression attributes run through the
+  /// expr::BatchEvaluator over the base relation's columnar view (with
+  /// Scale/Translate transforms applied vectorized); combine/default-display
+  /// attributes fall back to per-row evaluation. Element r is bit-identical
+  /// to AttributeValue(r, name).
+  Result<std::vector<types::Value>> AttributeValues(const std::string& name) const;
+
   /// The tuple's position in n-space: one double per location dimension.
   /// Null or non-numeric locations are an error.
   Result<std::vector<double>> LocationOf(size_t row) const;

@@ -1,0 +1,730 @@
+#include "expr/batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "db/relation.h"
+#include "expr/builtins.h"
+#include "expr/evaluator.h"
+
+namespace tioga2::expr {
+
+using types::DataType;
+using types::Value;
+
+void IdentitySelection(size_t begin, size_t end, Selection* sel) {
+  sel->clear();
+  sel->reserve(end - begin);
+  for (size_t r = begin; r < end; ++r) sel->push_back(static_cast<uint32_t>(r));
+}
+
+bool Vec::IsNull(size_t k) const {
+  switch (rep) {
+    case Rep::kConst:
+      return cval.is_null();
+    case Rep::kView:
+      return view->IsNull((*view_sel)[k]);
+    case Rep::kOwned:
+      if (!boxed.empty()) return boxed[k].is_null();
+      return !null_bits.empty() && ((null_bits[k >> 6] >> (k & 63)) & 1) != 0;
+  }
+  return false;
+}
+
+Value Vec::ValueAt(size_t k) const {
+  switch (rep) {
+    case Rep::kConst:
+      return cval;
+    case Rep::kView:
+      return view->ValueAt((*view_sel)[k]);
+    case Rep::kOwned:
+      break;
+  }
+  if (!boxed.empty()) return boxed[k];
+  if (IsNull(k)) return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(bools[k] != 0);
+    case DataType::kInt:
+      return Value::Int(ints[k]);
+    case DataType::kFloat:
+      return Value::Float(floats[k]);
+    case DataType::kString:
+      return Value::String(strings[k]);
+    case DataType::kDate:
+      return Value::DateVal(types::Date(dates[k]));
+    case DataType::kDisplay:
+      break;  // typed display vecs are never built; display stays boxed
+  }
+  return Value::Null();
+}
+
+Vec Vec::Const(Value v, size_t n) {
+  Vec out;
+  out.rep = Rep::kConst;
+  out.size = n;
+  if (!v.is_null()) out.type = v.type();
+  out.cval = std::move(v);
+  return out;
+}
+
+Vec Vec::OwnedBoxed(std::vector<Value> values) {
+  Vec out;
+  out.rep = Rep::kOwned;
+  out.size = values.size();
+  out.boxed = std::move(values);
+  return out;
+}
+
+void Vec::SetNull(size_t k) {
+  if (null_bits.empty()) null_bits.resize((size + 63) / 64, 0);
+  null_bits[k >> 6] |= uint64_t{1} << (k & 63);
+}
+
+size_t RelationBatchSource::num_rows() const { return relation_.num_rows(); }
+
+const db::ColumnVector* RelationBatchSource::StoredColumn(size_t index) const {
+  return &relation_.columnar().column(index);
+}
+
+Result<Value> RelationBatchSource::StoredAt(size_t index, size_t row) const {
+  if (index >= relation_.num_columns()) {
+    return Status::Internal("stored attribute index out of range");
+  }
+  return relation_.at(row, index);
+}
+
+Result<Value> RelationBatchSource::NamedAt(const std::string& name, size_t) const {
+  return Status::NotFound("no computed attribute '" + name +
+                          "' on a plain relation tuple");
+}
+
+BatchMetrics& BatchMetrics::Global() {
+  static BatchMetrics* metrics = new BatchMetrics();
+  return *metrics;
+}
+
+void BatchMetrics::Reset() {
+  restrict_batches = 0;
+  restrict_rows = 0;
+  restrict_scalar_rows = 0;
+  sort_key_batches = 0;
+  sort_scalar_fallbacks = 0;
+  display_attr_batches = 0;
+  display_attr_rows = 0;
+  render_location_batches = 0;
+  render_scalar_fallbacks = 0;
+  nodes_vectorized = 0;
+  nodes_fallback = 0;
+}
+
+namespace {
+
+/// The vec-level runtime type, when uniform: the type every non-null element
+/// has at runtime. nullopt for boxed vecs (per-element types may differ) and
+/// null constants (no runtime type at all).
+std::optional<DataType> UniformType(const Vec& v) {
+  switch (v.rep) {
+    case Vec::Rep::kConst:
+      if (v.cval.is_null()) return std::nullopt;
+      return v.cval.type();
+    case Vec::Rep::kView:
+      return v.view->type;
+    case Vec::Rep::kOwned:
+      if (!v.boxed.empty()) return std::nullopt;
+      return v.type;
+  }
+  return std::nullopt;
+}
+
+double ReadDouble(const Vec& v, size_t k) {
+  switch (v.rep) {
+    case Vec::Rep::kConst:
+      return v.cval.AsDouble();
+    case Vec::Rep::kView: {
+      size_t row = (*v.view_sel)[k];
+      return v.view->type == DataType::kInt ? static_cast<double>(v.view->ints[row])
+                                            : v.view->floats[row];
+    }
+    case Vec::Rep::kOwned:
+      return v.type == DataType::kInt ? static_cast<double>(v.ints[k]) : v.floats[k];
+  }
+  return 0;
+}
+
+int64_t ReadInt(const Vec& v, size_t k) {
+  switch (v.rep) {
+    case Vec::Rep::kConst:
+      return v.cval.int_value();
+    case Vec::Rep::kView:
+      return v.view->ints[(*v.view_sel)[k]];
+    case Vec::Rep::kOwned:
+      return v.ints[k];
+  }
+  return 0;
+}
+
+bool ReadBool(const Vec& v, size_t k) {
+  switch (v.rep) {
+    case Vec::Rep::kConst:
+      return v.cval.bool_value();
+    case Vec::Rep::kView:
+      return v.view->bools[(*v.view_sel)[k]] != 0;
+    case Vec::Rep::kOwned:
+      if (!v.boxed.empty()) return v.boxed[k].bool_value();
+      return v.bools[k] != 0;
+  }
+  return false;
+}
+
+const std::string& ReadString(const Vec& v, size_t k) {
+  switch (v.rep) {
+    case Vec::Rep::kConst:
+      return v.cval.string_value();
+    case Vec::Rep::kView:
+      return v.view->strings[(*v.view_sel)[k]];
+    case Vec::Rep::kOwned:
+      return v.strings[k];
+  }
+  return v.cval.string_value();
+}
+
+int64_t ReadDateDays(const Vec& v, size_t k) {
+  switch (v.rep) {
+    case Vec::Rep::kConst:
+      return v.cval.date_value().DaysValue();
+    case Vec::Rep::kView:
+      return v.view->dates[(*v.view_sel)[k]];
+    case Vec::Rep::kOwned:
+      return v.dates[k];
+  }
+  return 0;
+}
+
+Vec MakeTypedVec(DataType type, size_t n) {
+  Vec out;
+  out.rep = Vec::Rep::kOwned;
+  out.type = type;
+  out.size = n;
+  switch (type) {
+    case DataType::kBool:
+      out.bools.resize(n);
+      break;
+    case DataType::kInt:
+      out.ints.resize(n);
+      break;
+    case DataType::kFloat:
+      out.floats.resize(n);
+      break;
+    case DataType::kString:
+      out.strings.resize(n);
+      break;
+    case DataType::kDate:
+      out.dates.resize(n);
+      break;
+    case DataType::kDisplay:
+      out.boxed.resize(n);
+      break;
+  }
+  return out;
+}
+
+/// Converts a boxed Vec to a typed one when every non-null element has the
+/// same primitive runtime type (all-null becomes a null constant). Uniformity
+/// is checked at runtime, not taken from the analyzer: `if`/`coalesce` may
+/// return Int where Float was declared, and the typed form must mirror what
+/// the scalar evaluator actually produced.
+void PromoteIfUniform(Vec* v) {
+  if (!v->is_boxed()) return;
+  std::optional<DataType> t;
+  for (const Value& value : v->boxed) {
+    if (value.is_null()) continue;
+    DataType vt = value.type();
+    if (vt == DataType::kDisplay) return;  // display stays boxed
+    if (!t.has_value()) {
+      t = vt;
+    } else if (*t != vt) {
+      return;
+    }
+  }
+  if (!t.has_value()) {
+    *v = Vec::Const(Value::Null(), v->size);
+    return;
+  }
+  Vec typed = MakeTypedVec(*t, v->size);
+  for (size_t k = 0; k < v->boxed.size(); ++k) {
+    const Value& value = v->boxed[k];
+    if (value.is_null()) {
+      typed.SetNull(k);
+      continue;
+    }
+    switch (*t) {
+      case DataType::kBool:
+        typed.bools[k] = value.bool_value() ? 1 : 0;
+        break;
+      case DataType::kInt:
+        typed.ints[k] = value.int_value();
+        break;
+      case DataType::kFloat:
+        typed.floats[k] = value.float_value();
+        break;
+      case DataType::kString:
+        typed.strings[k] = value.string_value();
+        break;
+      case DataType::kDate:
+        typed.dates[k] = value.date_value().DaysValue();
+        break;
+      case DataType::kDisplay:
+        break;  // unreachable: display returned above
+    }
+  }
+  *v = std::move(typed);
+}
+
+}  // namespace
+
+Result<Vec> BatchEvaluator::Eval(const ExprNode& node, const Selection& sel) {
+  switch (node.kind) {
+    case ExprNode::Kind::kLiteral:
+      ++stats_.vectorized_nodes;
+      return Vec::Const(node.literal, sel.size());
+    case ExprNode::Kind::kAttributeRef:
+      return EvalAttribute(node, sel);
+    case ExprNode::Kind::kUnary: {
+      TIOGA2_ASSIGN_OR_RETURN(Vec v, Eval(*node.children[0], sel));
+      const size_t n = sel.size();
+      if (v.rep == Vec::Rep::kConst) {
+        ++stats_.vectorized_nodes;
+        return Vec::Const(ApplyUnaryOp(node.unary_op, v.cval), n);
+      }
+      std::optional<DataType> t = UniformType(v);
+      if (node.unary_op == UnaryOp::kNeg && t.has_value() && IsNumericType(*t)) {
+        ++stats_.vectorized_nodes;
+        Vec out = MakeTypedVec(*t, n);
+        for (size_t k = 0; k < n; ++k) {
+          if (v.IsNull(k)) {
+            out.SetNull(k);
+          } else if (*t == DataType::kInt) {
+            out.ints[k] = -ReadInt(v, k);
+          } else {
+            out.floats[k] = -ReadDouble(v, k);
+          }
+        }
+        return out;
+      }
+      if (node.unary_op == UnaryOp::kNot && t == DataType::kBool) {
+        ++stats_.vectorized_nodes;
+        Vec out = MakeTypedVec(DataType::kBool, n);
+        for (size_t k = 0; k < n; ++k) {
+          if (v.IsNull(k)) {
+            out.SetNull(k);
+          } else {
+            out.bools[k] = ReadBool(v, k) ? 0 : 1;
+          }
+        }
+        return out;
+      }
+      ++stats_.fallback_nodes;
+      std::vector<Value> values;
+      values.reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        values.push_back(ApplyUnaryOp(node.unary_op, v.ValueAt(k)));
+      }
+      Vec out = Vec::OwnedBoxed(std::move(values));
+      PromoteIfUniform(&out);
+      return out;
+    }
+    case ExprNode::Kind::kBinary:
+      if (node.binary_op == BinaryOp::kAnd || node.binary_op == BinaryOp::kOr) {
+        return EvalAndOr(node, sel);
+      }
+      return EvalBinary(node, sel);
+    case ExprNode::Kind::kCall:
+      return EvalCall(node, sel);
+  }
+  return Status::Internal("unhandled node kind in BatchEvaluator");
+}
+
+Result<Vec> BatchEvaluator::EvalAttribute(const ExprNode& node, const Selection& sel) {
+  if (node.stored_index.has_value()) {
+    const db::ColumnVector* column = source_.StoredColumn(*node.stored_index);
+    if (column != nullptr) {
+      ++stats_.vectorized_nodes;
+      Vec out;
+      out.rep = Vec::Rep::kView;
+      out.type = column->type;
+      out.size = sel.size();
+      out.view = column;
+      out.view_sel = &sel;
+      return out;
+    }
+    ++stats_.fallback_nodes;
+    std::vector<Value> values;
+    values.reserve(sel.size());
+    for (uint32_t row : sel) {
+      TIOGA2_ASSIGN_OR_RETURN(Value v, source_.StoredAt(*node.stored_index, row));
+      values.push_back(std::move(v));
+    }
+    Vec out = Vec::OwnedBoxed(std::move(values));
+    PromoteIfUniform(&out);
+    return out;
+  }
+  ++stats_.fallback_nodes;
+  std::vector<Value> values;
+  values.reserve(sel.size());
+  for (uint32_t row : sel) {
+    TIOGA2_ASSIGN_OR_RETURN(Value v, source_.NamedAt(node.name, row));
+    values.push_back(std::move(v));
+  }
+  Vec out = Vec::OwnedBoxed(std::move(values));
+  PromoteIfUniform(&out);
+  return out;
+}
+
+Result<Vec> BatchEvaluator::EvalBinary(const ExprNode& node, const Selection& sel) {
+  BinaryOp op = node.binary_op;
+  TIOGA2_ASSIGN_OR_RETURN(Vec lhs, Eval(*node.children[0], sel));
+  TIOGA2_ASSIGN_OR_RETURN(Vec rhs, Eval(*node.children[1], sel));
+  const size_t n = sel.size();
+
+  // A null constant operand makes every comparison and arithmetic result
+  // null (the scalar evaluator's null propagation).
+  if ((lhs.rep == Vec::Rep::kConst && lhs.cval.is_null()) ||
+      (rhs.rep == Vec::Rep::kConst && rhs.cval.is_null())) {
+    ++stats_.vectorized_nodes;
+    return Vec::Const(Value::Null(), n);
+  }
+
+  std::optional<DataType> lt = UniformType(lhs);
+  std::optional<DataType> rt = UniformType(rhs);
+  const bool both_numeric = lt.has_value() && rt.has_value() &&
+                            IsNumericType(*lt) && IsNumericType(*rt);
+
+  const bool is_comparison =
+      op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
+      op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
+
+  if (is_comparison) {
+    // Same comparable class on both sides → typed loop; results mirror
+    // Value::Equals/Compare exactly (all numeric pairs compare as double,
+    // including int with int).
+    enum class Cmp { kNumeric, kString, kDate, kBool, kNone };
+    Cmp mode = Cmp::kNone;
+    if (both_numeric) {
+      mode = Cmp::kNumeric;
+    } else if (lt == DataType::kString && rt == DataType::kString) {
+      mode = Cmp::kString;
+    } else if (lt == DataType::kDate && rt == DataType::kDate) {
+      mode = Cmp::kDate;
+    } else if (lt == DataType::kBool && rt == DataType::kBool) {
+      mode = Cmp::kBool;
+    }
+    if (mode != Cmp::kNone) {
+      ++stats_.vectorized_nodes;
+      Vec out = MakeTypedVec(DataType::kBool, n);
+      for (size_t k = 0; k < n; ++k) {
+        if (lhs.IsNull(k) || rhs.IsNull(k)) {
+          out.SetNull(k);
+          continue;
+        }
+        int cmp = 0;
+        switch (mode) {
+          case Cmp::kNumeric: {
+            double a = ReadDouble(lhs, k);
+            double b = ReadDouble(rhs, k);
+            cmp = a < b ? -1 : (a > b ? 1 : 0);
+            break;
+          }
+          case Cmp::kString: {
+            int c = ReadString(lhs, k).compare(ReadString(rhs, k));
+            cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+            break;
+          }
+          case Cmp::kDate: {
+            int64_t a = ReadDateDays(lhs, k);
+            int64_t b = ReadDateDays(rhs, k);
+            cmp = a < b ? -1 : (a > b ? 1 : 0);
+            break;
+          }
+          case Cmp::kBool: {
+            int a = ReadBool(lhs, k) ? 1 : 0;
+            int b = ReadBool(rhs, k) ? 1 : 0;
+            cmp = a - b;
+            break;
+          }
+          case Cmp::kNone:
+            break;
+        }
+        bool result = false;
+        switch (op) {
+          case BinaryOp::kEq: result = cmp == 0; break;
+          case BinaryOp::kNe: result = cmp != 0; break;
+          case BinaryOp::kLt: result = cmp < 0; break;
+          case BinaryOp::kLe: result = cmp <= 0; break;
+          case BinaryOp::kGt: result = cmp > 0; break;
+          default: result = cmp >= 0; break;
+        }
+        out.bools[k] = result ? 1 : 0;
+      }
+      return out;
+    }
+  } else if (both_numeric) {
+    // Arithmetic over numeric vecs. The int/float decision comes from the
+    // vecs' *runtime* types (not the analyzer), so an `if` that returned
+    // Int where Float was declared still yields the same Value kinds as the
+    // scalar evaluator.
+    const bool both_int = *lt == DataType::kInt && *rt == DataType::kInt;
+    if (op == BinaryOp::kAdd || op == BinaryOp::kSub || op == BinaryOp::kMul) {
+      ++stats_.vectorized_nodes;
+      Vec out = MakeTypedVec(both_int ? DataType::kInt : DataType::kFloat, n);
+      for (size_t k = 0; k < n; ++k) {
+        if (lhs.IsNull(k) || rhs.IsNull(k)) {
+          out.SetNull(k);
+          continue;
+        }
+        if (both_int) {
+          int64_t a = ReadInt(lhs, k);
+          int64_t b = ReadInt(rhs, k);
+          out.ints[k] = op == BinaryOp::kAdd   ? a + b
+                        : op == BinaryOp::kSub ? a - b
+                                               : a * b;
+        } else {
+          double a = ReadDouble(lhs, k);
+          double b = ReadDouble(rhs, k);
+          out.floats[k] = op == BinaryOp::kAdd   ? a + b
+                          : op == BinaryOp::kSub ? a - b
+                                                 : a * b;
+        }
+      }
+      return out;
+    }
+    if (op == BinaryOp::kDiv) {
+      ++stats_.vectorized_nodes;
+      Vec out = MakeTypedVec(DataType::kFloat, n);
+      for (size_t k = 0; k < n; ++k) {
+        if (lhs.IsNull(k) || rhs.IsNull(k)) {
+          out.SetNull(k);
+          continue;
+        }
+        double b = ReadDouble(rhs, k);
+        if (b == 0) {
+          out.SetNull(k);
+        } else {
+          out.floats[k] = ReadDouble(lhs, k) / b;
+        }
+      }
+      return out;
+    }
+    if (op == BinaryOp::kMod && both_int) {
+      ++stats_.vectorized_nodes;
+      Vec out = MakeTypedVec(DataType::kInt, n);
+      for (size_t k = 0; k < n; ++k) {
+        if (lhs.IsNull(k) || rhs.IsNull(k)) {
+          out.SetNull(k);
+          continue;
+        }
+        int64_t b = ReadInt(rhs, k);
+        if (b == 0) {
+          out.SetNull(k);
+        } else {
+          out.ints[k] = ReadInt(lhs, k) % b;
+        }
+      }
+      return out;
+    }
+  }
+
+  // Uncovered operand combination (strings +, dates, display, mixed boxed):
+  // element-wise through the shared scalar kernel.
+  ++stats_.fallback_nodes;
+  std::vector<Value> values;
+  values.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    TIOGA2_ASSIGN_OR_RETURN(Value v, ApplyBinaryOp(op, lhs.ValueAt(k), rhs.ValueAt(k)));
+    values.push_back(std::move(v));
+  }
+  Vec out = Vec::OwnedBoxed(std::move(values));
+  PromoteIfUniform(&out);
+  return out;
+}
+
+Result<Vec> BatchEvaluator::EvalAndOr(const ExprNode& node, const Selection& sel) {
+  const BinaryOp op = node.binary_op;
+  const bool is_and = op == BinaryOp::kAnd;
+  TIOGA2_ASSIGN_OR_RETURN(Vec lhs, Eval(*node.children[0], sel));
+  const size_t n = sel.size();
+
+  // Rows where the left operand decides short-circuit past the right one,
+  // so the right operand is evaluated only where the scalar evaluator would
+  // evaluate it (same error surface, same cost profile).
+  auto decisive = [&](size_t k) {
+    if (lhs.IsNull(k)) return false;
+    bool l = ReadBool(lhs, k);
+    return is_and ? !l : l;
+  };
+  Selection need;
+  for (size_t k = 0; k < n; ++k) {
+    if (!decisive(k)) need.push_back(sel[k]);
+  }
+
+  ++stats_.vectorized_nodes;
+  Vec out = MakeTypedVec(DataType::kBool, n);
+  if (need.empty()) {
+    for (size_t k = 0; k < n; ++k) out.bools[k] = is_and ? 0 : 1;
+    return out;
+  }
+  TIOGA2_ASSIGN_OR_RETURN(Vec rhs, Eval(*node.children[1], need));
+  size_t ri = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (decisive(k)) {
+      out.bools[k] = is_and ? 0 : 1;
+      continue;
+    }
+    const bool lnull = lhs.IsNull(k);
+    const bool rnull = rhs.IsNull(ri);
+    const bool r = rnull ? false : ReadBool(rhs, ri);
+    ++ri;
+    if (is_and) {
+      // Non-decisive lhs is null or true.
+      if (!rnull && !r) {
+        out.bools[k] = 0;
+      } else if (lnull || rnull) {
+        out.SetNull(k);
+      } else {
+        out.bools[k] = 1;
+      }
+    } else {
+      // Non-decisive lhs is null or false.
+      if (!rnull && r) {
+        out.bools[k] = 1;
+      } else if (lnull || rnull) {
+        out.SetNull(k);
+      } else {
+        out.bools[k] = 0;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Vec> BatchEvaluator::EvalCall(const ExprNode& node, const Selection& sel) {
+  const size_t n = sel.size();
+  if (node.name == "if") {
+    TIOGA2_ASSIGN_OR_RETURN(Vec cond, Eval(*node.children[0], sel));
+    Selection then_sel, else_sel;
+    for (size_t k = 0; k < n; ++k) {
+      if (cond.IsNull(k)) continue;
+      (ReadBool(cond, k) ? then_sel : else_sel).push_back(sel[k]);
+    }
+    Vec then_vec, else_vec;
+    if (!then_sel.empty()) {
+      TIOGA2_ASSIGN_OR_RETURN(then_vec, Eval(*node.children[1], then_sel));
+    }
+    if (!else_sel.empty()) {
+      TIOGA2_ASSIGN_OR_RETURN(else_vec, Eval(*node.children[2], else_sel));
+    }
+    ++stats_.vectorized_nodes;
+    std::vector<Value> values;
+    values.reserve(n);
+    size_t ti = 0, ei = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (cond.IsNull(k)) {
+        values.push_back(Value::Null());
+      } else if (ReadBool(cond, k)) {
+        values.push_back(then_vec.ValueAt(ti++));
+      } else {
+        values.push_back(else_vec.ValueAt(ei++));
+      }
+    }
+    Vec out = Vec::OwnedBoxed(std::move(values));
+    PromoteIfUniform(&out);
+    return out;
+  }
+  if (node.name == "coalesce") {
+    TIOGA2_ASSIGN_OR_RETURN(Vec first, Eval(*node.children[0], sel));
+    Selection null_sel;
+    for (size_t k = 0; k < n; ++k) {
+      if (first.IsNull(k)) null_sel.push_back(sel[k]);
+    }
+    ++stats_.vectorized_nodes;
+    if (null_sel.empty()) return first;
+    TIOGA2_ASSIGN_OR_RETURN(Vec second, Eval(*node.children[1], null_sel));
+    std::vector<Value> values;
+    values.reserve(n);
+    size_t si = 0;
+    for (size_t k = 0; k < n; ++k) {
+      if (first.IsNull(k)) {
+        values.push_back(second.ValueAt(si++));
+      } else {
+        values.push_back(first.ValueAt(k));
+      }
+    }
+    Vec out = Vec::OwnedBoxed(std::move(values));
+    PromoteIfUniform(&out);
+    return out;
+  }
+
+  const BuiltinOverload* overload = node.overload;
+  if (overload == nullptr) {
+    return Status::Internal("call to '" + node.name + "' was not analyzed");
+  }
+  std::vector<Vec> args;
+  args.reserve(node.children.size());
+  for (const ExprNodePtr& child : node.children) {
+    TIOGA2_ASSIGN_OR_RETURN(Vec v, Eval(*child, sel));
+    args.push_back(std::move(v));
+  }
+  // Builtins run element-wise on the vectorized operands.
+  ++stats_.fallback_nodes;
+  std::vector<Value> values;
+  values.reserve(n);
+  std::vector<Value> row_args(args.size());
+  for (size_t k = 0; k < n; ++k) {
+    bool null_arg = false;
+    for (size_t a = 0; a < args.size(); ++a) {
+      row_args[a] = args[a].ValueAt(k);
+      if (row_args[a].is_null()) null_arg = true;
+    }
+    if (null_arg && !overload->null_opaque) {
+      values.push_back(Value::Null());
+      continue;
+    }
+    TIOGA2_ASSIGN_OR_RETURN(Value v, overload->eval(row_args));
+    values.push_back(std::move(v));
+  }
+  Vec out = Vec::OwnedBoxed(std::move(values));
+  PromoteIfUniform(&out);
+  return out;
+}
+
+Result<Selection> BatchEvaluator::FilterTrue(const ExprNode& pred, const Selection& sel) {
+  if (pred.kind == ExprNode::Kind::kBinary && pred.binary_op == BinaryOp::kAnd) {
+    // Conjunct narrowing: rows rejected by the left conjunct never see the
+    // right one. (A row where the left conjunct is null is also dropped:
+    // null AND x is never true.)
+    TIOGA2_ASSIGN_OR_RETURN(Selection left, FilterTrue(*pred.children[0], sel));
+    if (left.empty()) return left;
+    return FilterTrue(*pred.children[1], left);
+  }
+  if (pred.kind == ExprNode::Kind::kBinary && pred.binary_op == BinaryOp::kOr) {
+    TIOGA2_ASSIGN_OR_RETURN(Selection left_true, FilterTrue(*pred.children[0], sel));
+    Selection rest;
+    rest.reserve(sel.size() - left_true.size());
+    std::set_difference(sel.begin(), sel.end(), left_true.begin(), left_true.end(),
+                        std::back_inserter(rest));
+    TIOGA2_ASSIGN_OR_RETURN(Selection right_true, FilterTrue(*pred.children[1], rest));
+    Selection out;
+    out.reserve(left_true.size() + right_true.size());
+    std::merge(left_true.begin(), left_true.end(), right_true.begin(),
+               right_true.end(), std::back_inserter(out));
+    return out;
+  }
+  TIOGA2_ASSIGN_OR_RETURN(Vec v, Eval(pred, sel));
+  Selection out;
+  for (size_t k = 0; k < sel.size(); ++k) {
+    if (!v.IsNull(k) && ReadBool(v, k)) out.push_back(sel[k]);
+  }
+  return out;
+}
+
+}  // namespace tioga2::expr

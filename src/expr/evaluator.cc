@@ -37,12 +37,7 @@ Result<Value> Eval(const ExprNode& node, const RowAccessor& row) {
       return row.GetNamed(node.name);
     case ExprNode::Kind::kUnary: {
       TIOGA2_ASSIGN_OR_RETURN(Value v, Eval(*node.children[0], row));
-      if (v.is_null()) return Value::Null();
-      if (node.unary_op == UnaryOp::kNeg) {
-        if (v.is_int()) return Value::Int(-v.int_value());
-        return Value::Float(-v.float_value());
-      }
-      return Value::Bool(!v.bool_value());
+      return ApplyUnaryOp(node.unary_op, v);
     }
     case ExprNode::Kind::kBinary:
       return EvalBinary(node, row);
@@ -55,7 +50,8 @@ Result<Value> Eval(const ExprNode& node, const RowAccessor& row) {
 Result<Value> EvalBinary(const ExprNode& node, const RowAccessor& row) {
   BinaryOp op = node.binary_op;
 
-  // Three-valued and/or with short-circuiting.
+  // Three-valued and/or with short-circuiting; the combine itself lives in
+  // ApplyBinaryOp so the batch evaluator shares it.
   if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
     TIOGA2_ASSIGN_OR_RETURN(Value lhs, Eval(*node.children[0], row));
     if (!lhs.is_null()) {
@@ -64,22 +60,69 @@ Result<Value> EvalBinary(const ExprNode& node, const RowAccessor& row) {
       if (op == BinaryOp::kOr && l) return Value::Bool(true);
     }
     TIOGA2_ASSIGN_OR_RETURN(Value rhs, Eval(*node.children[1], row));
-    if (rhs.is_null()) {
-      // lhs is null or the neutral element; result is null unless rhs decides.
-      return Value::Null();
-    }
-    bool r = rhs.bool_value();
-    if (op == BinaryOp::kAnd && !r) return Value::Bool(false);
-    if (op == BinaryOp::kOr && r) return Value::Bool(true);
-    if (lhs.is_null()) return Value::Null();
-    return Value::Bool(op == BinaryOp::kAnd ? (lhs.bool_value() && r)
-                                            : (lhs.bool_value() || r));
+    return ApplyBinaryOp(op, lhs, rhs);
   }
 
   TIOGA2_ASSIGN_OR_RETURN(Value lhs, Eval(*node.children[0], row));
   TIOGA2_ASSIGN_OR_RETURN(Value rhs, Eval(*node.children[1], row));
+  return ApplyBinaryOp(op, lhs, rhs);
+}
 
+Result<Value> EvalCall(const ExprNode& node, const RowAccessor& row) {
+  // Special forms.
+  if (node.name == "if") {
+    TIOGA2_ASSIGN_OR_RETURN(Value cond, Eval(*node.children[0], row));
+    if (cond.is_null()) return Value::Null();
+    return Eval(*node.children[cond.bool_value() ? 1 : 2], row);
+  }
+  if (node.name == "coalesce") {
+    TIOGA2_ASSIGN_OR_RETURN(Value first, Eval(*node.children[0], row));
+    if (!first.is_null()) return first;
+    return Eval(*node.children[1], row);
+  }
+
+  const BuiltinOverload* overload = node.overload;
+  if (overload == nullptr) {
+    return Status::Internal("call to '" + node.name + "' was not analyzed");
+  }
+  std::vector<Value> args;
+  args.reserve(node.children.size());
+  for (const ExprNodePtr& child : node.children) {
+    TIOGA2_ASSIGN_OR_RETURN(Value v, Eval(*child, row));
+    if (v.is_null() && !overload->null_opaque) return Value::Null();
+    args.push_back(std::move(v));
+  }
+  return overload->eval(args);
+}
+
+}  // namespace
+
+Value ApplyUnaryOp(UnaryOp op, const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (op == UnaryOp::kNeg) {
+    if (v.is_int()) return Value::Int(-v.int_value());
+    return Value::Float(-v.float_value());
+  }
+  return Value::Bool(!v.bool_value());
+}
+
+Result<Value> ApplyBinaryOp(BinaryOp op, const Value& lhs, const Value& rhs) {
   switch (op) {
+    // Three-valued and/or from both operands. A decisive non-null operand
+    // (false for and, true for or) wins even when the other side is null,
+    // matching EvalExpr's short-circuit behavior.
+    case BinaryOp::kAnd: {
+      if (!lhs.is_null() && !lhs.bool_value()) return Value::Bool(false);
+      if (!rhs.is_null() && !rhs.bool_value()) return Value::Bool(false);
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      return Value::Bool(true);
+    }
+    case BinaryOp::kOr: {
+      if (!lhs.is_null() && lhs.bool_value()) return Value::Bool(true);
+      if (!rhs.is_null() && rhs.bool_value()) return Value::Bool(true);
+      if (lhs.is_null() || rhs.is_null()) return Value::Null();
+      return Value::Bool(false);
+    }
     case BinaryOp::kEq:
     case BinaryOp::kNe: {
       if (lhs.is_null() || rhs.is_null()) return Value::Null();
@@ -153,35 +196,6 @@ Result<Value> EvalBinary(const ExprNode& node, const RowAccessor& row) {
       return Status::Internal("unhandled binary operator at evaluation");
   }
 }
-
-Result<Value> EvalCall(const ExprNode& node, const RowAccessor& row) {
-  // Special forms.
-  if (node.name == "if") {
-    TIOGA2_ASSIGN_OR_RETURN(Value cond, Eval(*node.children[0], row));
-    if (cond.is_null()) return Value::Null();
-    return Eval(*node.children[cond.bool_value() ? 1 : 2], row);
-  }
-  if (node.name == "coalesce") {
-    TIOGA2_ASSIGN_OR_RETURN(Value first, Eval(*node.children[0], row));
-    if (!first.is_null()) return first;
-    return Eval(*node.children[1], row);
-  }
-
-  const BuiltinOverload* overload = node.overload;
-  if (overload == nullptr) {
-    return Status::Internal("call to '" + node.name + "' was not analyzed");
-  }
-  std::vector<Value> args;
-  args.reserve(node.children.size());
-  for (const ExprNodePtr& child : node.children) {
-    TIOGA2_ASSIGN_OR_RETURN(Value v, Eval(*child, row));
-    if (v.is_null() && !overload->null_opaque) return Value::Null();
-    args.push_back(std::move(v));
-  }
-  return overload->eval(args);
-}
-
-}  // namespace
 
 Result<Value> EvalExpr(const ExprNode& node, const RowAccessor& row) {
   return Eval(node, row);

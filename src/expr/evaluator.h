@@ -45,6 +45,19 @@ class TupleAccessor : public RowAccessor {
 /// an error so that one bad tuple cannot take down a visualization.
 Result<types::Value> EvalExpr(const ExprNode& node, const RowAccessor& row);
 
+/// Applies one unary operator to an already-evaluated operand. This is the
+/// single definition of unary semantics: EvalExpr calls it per row and the
+/// BatchEvaluator calls it for operands it could not keep in typed vectors,
+/// so the two paths cannot drift apart.
+types::Value ApplyUnaryOp(UnaryOp op, const types::Value& v);
+
+/// Applies one binary operator to already-evaluated operands — the shared
+/// scalar kernel of EvalExpr and the BatchEvaluator's boxed fallback.
+/// For kAnd/kOr this computes the three-valued result from both operands;
+/// EvalExpr short-circuits before calling it when the left operand decides.
+Result<types::Value> ApplyBinaryOp(BinaryOp op, const types::Value& lhs,
+                                   const types::Value& rhs);
+
 }  // namespace tioga2::expr
 
 #endif  // TIOGA2_EXPR_EVALUATOR_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "expr/batch.h"
+
 namespace tioga2::runtime {
 
 namespace {
@@ -99,7 +101,13 @@ void Metrics::RecordRequestTimedOut() {
 
 MetricsSnapshot Metrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  MetricsSnapshot snap = counters_;
+  const expr::BatchMetrics& batch = expr::BatchMetrics::Global();
+  snap.batch_restrict_batches = batch.restrict_batches.load();
+  snap.batch_restrict_rows = batch.restrict_rows.load();
+  snap.batch_nodes_vectorized = batch.nodes_vectorized.load();
+  snap.batch_nodes_fallback = batch.nodes_fallback.load();
+  return snap;
 }
 
 std::string Metrics::ToJson() const {
@@ -121,6 +129,25 @@ std::string Metrics::ToJson() const {
     first = false;
     json += "\"" + type + "\":" + histogram.ToJson();
   }
+  json += "}";
+  const expr::BatchMetrics& batch = expr::BatchMetrics::Global();
+  json += ",\"batch_eval\":{";
+  json += "\"restrict_batches\":" + std::to_string(batch.restrict_batches.load());
+  json += ",\"restrict_rows\":" + std::to_string(batch.restrict_rows.load());
+  json += ",\"restrict_scalar_rows\":" +
+          std::to_string(batch.restrict_scalar_rows.load());
+  json += ",\"sort_key_batches\":" + std::to_string(batch.sort_key_batches.load());
+  json += ",\"sort_scalar_fallbacks\":" +
+          std::to_string(batch.sort_scalar_fallbacks.load());
+  json += ",\"display_attr_batches\":" +
+          std::to_string(batch.display_attr_batches.load());
+  json += ",\"display_attr_rows\":" + std::to_string(batch.display_attr_rows.load());
+  json += ",\"render_location_batches\":" +
+          std::to_string(batch.render_location_batches.load());
+  json += ",\"render_scalar_fallbacks\":" +
+          std::to_string(batch.render_scalar_fallbacks.load());
+  json += ",\"nodes_vectorized\":" + std::to_string(batch.nodes_vectorized.load());
+  json += ",\"nodes_fallback\":" + std::to_string(batch.nodes_fallback.load());
   json += "}}";
   return json;
 }
@@ -130,6 +157,7 @@ void Metrics::Reset() {
   box_fires_.clear();
   request_latency_ = LatencyHistogram{};
   counters_ = MetricsSnapshot{};
+  expr::BatchMetrics::Global().Reset();
 }
 
 }  // namespace tioga2::runtime

@@ -49,6 +49,12 @@ struct MetricsSnapshot {
   uint64_t requests_rejected = 0;
   uint64_t requests_timed_out = 0;
   size_t max_queue_depth = 0;
+  // Vectorized execution counters, copied from expr::BatchMetrics::Global()
+  // at snapshot time (they are process-wide, not per-Metrics; see below).
+  uint64_t batch_restrict_batches = 0;
+  uint64_t batch_restrict_rows = 0;
+  uint64_t batch_nodes_vectorized = 0;
+  uint64_t batch_nodes_fallback = 0;
 };
 
 /// The observability surface of the runtime: per-box-type fire latency
@@ -69,12 +75,24 @@ class Metrics {
   void RecordRequestRejected();
   void RecordRequestTimedOut();
 
+  /// Includes the process-wide expr::BatchMetrics counters (vectorized
+  /// operator batches, fallback rows). Those counters are global — shared
+  /// across Metrics instances — because the db layer, which records them,
+  /// cannot depend on runtime.
   MetricsSnapshot snapshot() const;
 
   /// The whole surface as a JSON object:
-  /// {"cache":{...},"requests":{...},"queue":{...},"box_fires":{"Restrict":{...}}}
+  /// {"cache":{...},"requests":{...},"queue":{...},
+  ///  "box_fires":{"Restrict":{...}},"batch_eval":{...}}
+  /// The "batch_eval" section reports the vectorized execution counters:
+  /// batches run per operator (restrict/sort/display/render) and how many
+  /// expression nodes executed as typed loops versus element-wise fallback.
   std::string ToJson() const;
 
+  /// Zeroes all counters and histograms, including the process-wide
+  /// expr::BatchMetrics (so two Metrics instances resetting concurrently
+  /// would clobber each other's batch counters — benches and tests reset
+  /// once, up front).
   void Reset();
 
  private:

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "db/operators.h"
+#include "expr/batch.h"
+
 namespace tioga2::viewer {
 
 using display::Composite;
@@ -45,14 +48,51 @@ bool ElevationVisible(const display::ElevationRange& range, const Camera& camera
 /// Visibility decision for one tuple; shared by rendering and hit-testing.
 enum class TupleVisibility { kVisible, kSliderCulled, kViewportCulled, kError };
 
+/// Per-relation location columns, precomputed once through the batch
+/// "method" path instead of per tuple. nullopt means the batch evaluation
+/// failed for some attribute; callers then use the per-row LocationOf path,
+/// which reproduces the scalar per-tuple error accounting.
+std::optional<std::vector<std::vector<types::Value>>> BatchLocations(
+    const display::DisplayRelation& relation) {
+  if (!db::VectorizedExecutionEnabled()) return std::nullopt;
+  std::vector<std::vector<types::Value>> columns;
+  columns.reserve(relation.location_names().size());
+  for (const std::string& name : relation.location_names()) {
+    Result<std::vector<types::Value>> column = relation.AttributeValues(name);
+    if (!column.ok()) {
+      ++expr::BatchMetrics::Global().render_scalar_fallbacks;
+      return std::nullopt;
+    }
+    columns.push_back(std::move(column).value());
+  }
+  ++expr::BatchMetrics::Global().render_location_batches;
+  return columns;
+}
+
 TupleVisibility ClassifyTuple(const display::DisplayRelation& relation,
                               const CompositeEntry& entry, const Camera& camera,
                               size_t row, std::vector<double>* location_out,
-                              draw::DrawableList* display_out) {
-  Result<std::vector<double>> location = relation.LocationOf(row);
-  if (!location.ok()) return TupleVisibility::kError;
+                              draw::DrawableList* display_out,
+                              const std::vector<std::vector<types::Value>>*
+                                  location_columns = nullptr) {
   std::vector<double>& loc = *location_out;
-  loc = std::move(location).value();
+  if (location_columns != nullptr) {
+    loc.clear();
+    loc.reserve(location_columns->size());
+    for (const std::vector<types::Value>& column : *location_columns) {
+      const types::Value& v = column[row];
+      // Same per-tuple conditions LocationOf rejects: null or non-numeric
+      // location values are tuple errors.
+      if (v.is_null() || (!v.is_int() && !v.is_float())) {
+        return TupleVisibility::kError;
+      }
+      loc.push_back(v.AsDouble());
+    }
+  } else {
+    Result<std::vector<double>> location = relation.LocationOf(row);
+    if (!location.ok()) return TupleVisibility::kError;
+    loc = std::move(location).value();
+  }
   for (size_t d = 0; d < loc.size(); ++d) loc[d] += entry.OffsetAt(d);
   for (size_t d = 2; d < loc.size(); ++d) {
     if (!camera.SliderAccepts(d, loc[d])) return TupleVisibility::kSliderCulled;
@@ -207,10 +247,15 @@ Result<RenderStats> RenderComposite(const Composite& composite, const Camera& ca
       continue;
     }
     stats.tuples_total += relation.num_rows();
+    std::optional<std::vector<std::vector<types::Value>>> location_columns =
+        BatchLocations(relation);
+    const std::vector<std::vector<types::Value>>* columns =
+        location_columns.has_value() ? &*location_columns : nullptr;
     for (size_t row = 0; row < relation.num_rows(); ++row) {
       std::vector<double> location;
       draw::DrawableList display_list;
-      switch (ClassifyTuple(relation, entry, camera, row, &location, &display_list)) {
+      switch (ClassifyTuple(relation, entry, camera, row, &location, &display_list,
+                            columns)) {
         case TupleVisibility::kError:
           ++stats.tuple_errors;
           continue;

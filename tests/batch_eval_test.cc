@@ -1,0 +1,383 @@
+// Vectorized-vs-scalar equivalence. The BatchEvaluator must be
+// observationally identical to the scalar EvalExpr — same runtime types,
+// same textual values, same null pattern, same accept/reject decisions —
+// so that flipping vectorized execution on can never change a memoized
+// fingerprint. Three layers of evidence:
+//   1. targeted Restrict/RestrictScalar comparisons over tricky operators,
+//   2. a randomized property test over generated relations and expressions,
+//   3. a full figure-program regression: fingerprints and stamps with
+//      vectorization on equal those with it off (the memoization oracle).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boxes/relational_boxes.h"
+#include "common/rng.h"
+#include "db/operators.h"
+#include "display/display_relation.h"
+#include "expr/batch.h"
+#include "expr/evaluator.h"
+#include "testing/fig_programs.h"
+#include "tioga2/environment.h"
+
+namespace tioga2 {
+namespace {
+
+using db::Column;
+using db::MakeRelation;
+using db::RelationPtr;
+using db::Tuple;
+using types::DataType;
+using types::Value;
+
+/// Restores the vectorized-execution toggle on scope exit.
+class VectorizedGuard {
+ public:
+  explicit VectorizedGuard(bool enabled) : saved_(db::VectorizedExecutionEnabled()) {
+    db::SetVectorizedExecutionEnabled(enabled);
+  }
+  ~VectorizedGuard() { db::SetVectorizedExecutionEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+RelationPtr Mixed() {
+  return MakeRelation(
+             {Column{"i", DataType::kInt}, Column{"f", DataType::kFloat},
+              Column{"s", DataType::kString}, Column{"b", DataType::kBool}},
+             {
+                 {Value::Int(1), Value::Float(0.5), Value::String("ann"),
+                  Value::Bool(true)},
+                 {Value::Int(-3), Value::Null(), Value::String("bob"),
+                  Value::Bool(false)},
+                 {Value::Null(), Value::Float(2.0), Value::Null(), Value::Null()},
+                 {Value::Int(0), Value::Float(-1.5), Value::String(""),
+                  Value::Bool(true)},
+                 {Value::Int(7), Value::Float(7.0), Value::String("ann"),
+                  Value::Null()},
+             })
+      .value();
+}
+
+void ExpectSameRestrict(const RelationPtr& rel, const std::string& predicate) {
+  SCOPED_TRACE(predicate);
+  auto compiled = db::CompilePredicate(rel->schema(), predicate);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto scalar = db::RestrictScalar(rel, compiled.value());
+  VectorizedGuard guard(true);
+  auto vectorized = db::Restrict(rel, compiled.value());
+  ASSERT_EQ(scalar.ok(), vectorized.ok());
+  if (!scalar.ok()) return;
+  EXPECT_TRUE(db::RelationEquals(**scalar, **vectorized))
+      << "scalar:\n"
+      << (*scalar)->ToString() << "vectorized:\n"
+      << (*vectorized)->ToString();
+}
+
+TEST(BatchRestrictTest, MatchesScalarOnOperatorZoo) {
+  RelationPtr rel = Mixed();
+  for (const char* predicate : {
+           "i > 0",
+           "f >= 0.5",
+           "i = 1",
+           "i != 1",
+           "i <= f",
+           "i + 1 > 0",
+           "i * 2 = i + i",
+           "i / 0 = 1",        // div by zero -> null -> reject
+           "i % 2 = 1",
+           "i % 0 = 0",        // mod by zero -> null -> reject
+           "-i < 0",
+           "not b",
+           "b and i > 0",
+           "b or i > 0",
+           "b and (i > 0 or f < 1.0)",
+           "s = \"ann\"",
+           "s != \"ann\"",
+           "s < \"b\"",
+           "s + \"x\" = \"annx\"",
+           "b = (i > 0)",
+           "if(b, i, 0 - i) > 0",
+           "coalesce(f, 0.0) > 0.0",
+           "abs(i) > 2",
+           "min(i, 2) = 2",
+       }) {
+    ExpectSameRestrict(rel, predicate);
+  }
+}
+
+TEST(BatchRestrictTest, EmptyRelation) {
+  RelationPtr empty =
+      MakeRelation({Column{"i", DataType::kInt}}, std::vector<Tuple>{}).value();
+  ExpectSameRestrict(empty, "i > 0");
+}
+
+TEST(BatchRestrictTest, BatchBoundary) {
+  // More rows than one kBatchSize chunk, with the keep/reject decision
+  // changing right at the boundary.
+  std::vector<Tuple> rows;
+  const size_t n = expr::kBatchSize * 2 + 17;
+  for (size_t r = 0; r < n; ++r) {
+    rows.push_back({r % 97 == 0 ? Value::Null() : Value::Int(static_cast<int64_t>(r))});
+  }
+  RelationPtr rel = MakeRelation({Column{"v", DataType::kInt}}, rows).value();
+  ExpectSameRestrict(rel, "v % 3 = 1 and v > 4000");
+}
+
+// ---- Randomized property test --------------------------------------------
+
+std::string RandomBoolExpr(Rng* rng, int depth);
+
+/// Random numeric leaf over columns i, j (int) and f (float), plus literals
+/// that include the div/mod-by-zero hazards.
+std::string RandomNumericLeaf(Rng* rng) {
+  switch (rng->NextUint64() % 5) {
+    case 0: return "i";
+    case 1: return "f";
+    case 2: return std::to_string(static_cast<int64_t>(rng->NextUint64() % 7) - 3);
+    case 3: return std::to_string(static_cast<int64_t>(rng->NextUint64() % 5)) + ".5";
+    default: return "j";
+  }
+}
+
+std::string RandomNumericExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->NextUint64() % 3 == 0) return RandomNumericLeaf(rng);
+  const char* ops[] = {"+", "-", "*", "/"};
+  std::string lhs = RandomNumericExpr(rng, depth - 1);
+  std::string rhs = RandomNumericExpr(rng, depth - 1);
+  switch (rng->NextUint64() % 6) {
+    case 0:
+      return "if(" + RandomBoolExpr(rng, 0) + ", " + lhs + ", " + rhs + ")";
+    case 1:
+      return "coalesce(" + lhs + ", " + rhs + ")";
+    default:
+      return "(" + lhs + " " + ops[rng->NextUint64() % 4] + " " + rhs + ")";
+  }
+}
+
+std::string RandomBoolExpr(Rng* rng, int depth) {
+  if (depth <= 0) {
+    const char* cmps[] = {"<", "<=", ">", ">=", "=", "!="};
+    return "(" + RandomNumericLeaf(rng) + " " + cmps[rng->NextUint64() % 6] + " " +
+           RandomNumericLeaf(rng) + ")";
+  }
+  const char* cmps[] = {"<", "<=", ">", ">=", "=", "!="};
+  switch (rng->NextUint64() % 4) {
+    case 0:
+      return "(" + RandomBoolExpr(rng, depth - 1) + " and " +
+             RandomBoolExpr(rng, depth - 1) + ")";
+    case 1:
+      return "(" + RandomBoolExpr(rng, depth - 1) + " or " +
+             RandomBoolExpr(rng, depth - 1) + ")";
+    case 2:
+      return "(not " + RandomBoolExpr(rng, depth - 1) + ")";
+    default:
+      return "(" + RandomNumericExpr(rng, depth - 1) + " " +
+             cmps[rng->NextUint64() % 6] + " " + RandomNumericExpr(rng, depth - 1) +
+             ")";
+  }
+}
+
+RelationPtr RandomRelation(Rng* rng) {
+  std::vector<Tuple> rows;
+  size_t n = 1 + rng->NextUint64() % 200;
+  for (size_t r = 0; r < n; ++r) {
+    Tuple row;
+    row.push_back(rng->NextUint64() % 8 == 0
+                      ? Value::Null()
+                      : Value::Int(static_cast<int64_t>(rng->NextUint64() % 21) - 10));
+    row.push_back(rng->NextUint64() % 8 == 0
+                      ? Value::Null()
+                      : Value::Float((static_cast<double>(rng->NextUint64() % 41) - 20) / 4.0));
+    row.push_back(rng->NextUint64() % 8 == 0
+                      ? Value::Null()
+                      : Value::Int(static_cast<int64_t>(rng->NextUint64() % 5) - 2));
+    rows.push_back(std::move(row));
+  }
+  return MakeRelation({Column{"i", DataType::kInt}, Column{"f", DataType::kFloat},
+                       Column{"j", DataType::kInt}},
+                      rows)
+      .value();
+}
+
+/// One textual form capturing runtime type + value + nullness.
+std::string Describe(const Value& v) {
+  if (v.is_null()) return "null";
+  return types::DataTypeToString(v.type()) + ":" + v.ToString();
+}
+
+TEST(BatchEvalPropertyTest, BatchEqualsScalarOnRandomExpressions) {
+  Rng rng(20260806);
+  size_t compared = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    RelationPtr rel = RandomRelation(&rng);
+    std::string source = (iter % 2 == 0) ? RandomBoolExpr(&rng, 3)
+                                         : RandomNumericExpr(&rng, 3);
+    SCOPED_TRACE(source);
+    auto compiled = expr::CompiledExpr::Compile(source, db::SchemaEnv(rel->schema()));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+    expr::RelationBatchSource batch_source(*rel);
+    expr::BatchEvaluator evaluator(batch_source);
+    expr::Selection sel;
+    expr::IdentitySelection(0, rel->num_rows(), &sel);
+    auto vec = evaluator.Eval(compiled->root(), sel);
+
+    // Scalar reference, row by row.
+    bool scalar_failed = false;
+    std::vector<Value> scalar_values;
+    for (size_t r = 0; r < rel->num_rows(); ++r) {
+      expr::TupleAccessor accessor(rel->row(r));
+      auto v = compiled->Eval(accessor);
+      if (!v.ok()) {
+        scalar_failed = true;
+        break;
+      }
+      scalar_values.push_back(std::move(v).value());
+    }
+
+    ASSERT_EQ(vec.ok(), !scalar_failed) << (vec.ok() ? "batch ok, scalar failed"
+                                                     : vec.status().ToString());
+    if (!vec.ok()) continue;
+    for (size_t r = 0; r < rel->num_rows(); ++r) {
+      EXPECT_EQ(Describe(vec->ValueAt(r)), Describe(scalar_values[r]))
+          << "row " << r;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 1000u);  // the test actually exercised something
+}
+
+// ---- Figure-program memo/stamp regression --------------------------------
+
+struct Target {
+  std::string canvas;
+  std::string from;
+  size_t from_port = 0;
+};
+
+std::vector<Target> TargetsOf(const dataflow::Graph& graph) {
+  std::vector<Target> targets;
+  for (const std::string& id : graph.BoxIds()) {
+    const auto* viewer =
+        dynamic_cast<const boxes::ViewerBox*>(graph.GetBox(id).value());
+    if (viewer == nullptr) continue;
+    std::optional<dataflow::Edge> edge = graph.IncomingEdge(id, 0);
+    if (!edge.has_value()) continue;
+    targets.push_back(Target{viewer->canvas(), edge->from_box, edge->from_port});
+  }
+  return targets;
+}
+
+TEST(BatchEvalStampRegressionTest, VectorizationCannotChangeFingerprintsOrStamps) {
+  for (const testing::FigProgram& program : testing::AllFigPrograms()) {
+    SCOPED_TRACE(program.name);
+
+    std::map<std::string, std::string> fingerprints[2];
+    std::map<std::string, std::optional<uint64_t>> stamps[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      VectorizedGuard guard(pass == 1);
+      Environment env;
+      ASSERT_TRUE(env.LoadDemoData(program.extra_stations, program.num_days).ok());
+      Status built = program.build(&env);
+      ASSERT_TRUE(built.ok()) << built.message();
+      ui::Session& session = env.session();
+      for (const Target& t : TargetsOf(session.graph())) {
+        auto value =
+            session.engine().Evaluate(session.graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+        fingerprints[pass][t.canvas] = testing::FingerprintBoxValue(value.value());
+      }
+      for (const std::string& id : session.graph().BoxIds()) {
+        stamps[pass][id] = session.engine().cache().StampOf(id);
+      }
+    }
+    EXPECT_EQ(fingerprints[0], fingerprints[1]);
+    EXPECT_EQ(stamps[0], stamps[1]);
+  }
+}
+
+// ---- DisplayRelation batch paths ------------------------------------------
+
+TEST(DisplayBatchTest, AttributeValuesMatchesAttributeValue) {
+  RelationPtr rel = Mixed();
+  auto dr = display::DisplayRelation::WithDefaults("mixed", rel);
+  ASSERT_TRUE(dr.ok());
+  auto with_attr = dr->AddAttribute("score", "i * 2 + coalesce(f, 0.0)");
+  ASSERT_TRUE(with_attr.ok()) << with_attr.status().ToString();
+  auto scaled = with_attr->ScaleAttribute("i", 2.0);
+  ASSERT_TRUE(scaled.ok());
+  const display::DisplayRelation& relation = scaled.value();
+  for (const char* name : {"i", "f", "s", "score", "_x", "_y"}) {
+    SCOPED_TRACE(name);
+    VectorizedGuard guard(true);
+    auto batch = relation.AttributeValues(name);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->size(), relation.num_rows());
+    for (size_t r = 0; r < relation.num_rows(); ++r) {
+      auto scalar = relation.AttributeValue(r, name);
+      ASSERT_TRUE(scalar.ok());
+      EXPECT_EQ(Describe((*batch)[r]), Describe(scalar.value())) << "row " << r;
+    }
+  }
+}
+
+TEST(DisplayBatchTest, RestrictMatchesScalarOverComputedAttributes) {
+  RelationPtr rel = Mixed();
+  auto dr = display::DisplayRelation::WithDefaults("mixed", rel);
+  ASSERT_TRUE(dr.ok());
+  auto with_attr = dr->AddAttribute("double_i", "i * 2");
+  ASSERT_TRUE(with_attr.ok());
+  const display::DisplayRelation& relation = with_attr.value();
+
+  std::optional<display::DisplayRelation> on;
+  std::optional<display::DisplayRelation> off;
+  {
+    VectorizedGuard guard(true);
+    auto result = relation.Restrict("double_i > 0 and b");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    on = std::move(result).value();
+  }
+  {
+    VectorizedGuard guard(false);
+    auto result = relation.Restrict("double_i > 0 and b");
+    ASSERT_TRUE(result.ok());
+    off = std::move(result).value();
+  }
+  EXPECT_TRUE(db::RelationEquals(*on->base(), *off->base()));
+}
+
+TEST(SortTest, VectorizedMatchesScalarIncludingNulls) {
+  RelationPtr rel = Mixed();
+  for (const char* column : {"i", "f", "s", "b"}) {
+    for (bool ascending : {true, false}) {
+      SCOPED_TRACE(std::string(column) + (ascending ? " asc" : " desc"));
+      std::optional<RelationPtr> on;
+      std::optional<RelationPtr> off;
+      {
+        VectorizedGuard guard(true);
+        auto result = db::Sort(rel, column, ascending);
+        ASSERT_TRUE(result.ok());
+        on = std::move(result).value();
+      }
+      {
+        VectorizedGuard guard(false);
+        auto result = db::Sort(rel, column, ascending);
+        ASSERT_TRUE(result.ok());
+        off = std::move(result).value();
+      }
+      EXPECT_TRUE(db::RelationEquals(**on, **off))
+          << "vectorized:\n"
+          << (*on)->ToString() << "scalar:\n"
+          << (*off)->ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tioga2

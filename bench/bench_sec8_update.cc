@@ -110,8 +110,10 @@ void BM_UpdateInstall(benchmark::State& state) {
   update::UpdateManager& updates = env.session().updates();
   int64_t counter = 0;
   for (auto _ : state) {
-    MustOk(updates.ApplyUpdate("Inventory", 0,
-                               {{"on_hand", std::to_string(counter++ % 50)}}),
+    MustOk(updates
+               .ApplyUpdate("Inventory", 0,
+                            {{"on_hand", std::to_string(counter++ % 50)}})
+               .status(),
            "update");
   }
   state.counters["items"] = static_cast<double>(state.range(0));
@@ -127,8 +129,10 @@ void BM_UpdateThenRecompute(benchmark::State& state) {
   MustOk(session.EvaluateCanvas("store").status(), "warm");
   int64_t counter = 0;
   for (auto _ : state) {
-    MustOk(session.updates().ApplyUpdate(
-               "Inventory", 0, {{"on_hand", std::to_string(counter++ % 50)}}),
+    MustOk(session.updates()
+               .ApplyUpdate("Inventory", 0,
+                            {{"on_hand", std::to_string(counter++ % 50)}})
+               .status(),
            "update");
     benchmark::DoNotOptimize(session.EvaluateCanvas("store"));
   }
@@ -151,8 +155,10 @@ void BM_InvalidationScope(benchmark::State& state) {
   bool targeted = state.range(0) == 0;
   int64_t counter = 0;
   for (auto _ : state) {
-    MustOk(session.updates().ApplyUpdate(
-               "Inventory", 0, {{"on_hand", std::to_string(counter++ % 50)}}),
+    MustOk(session.updates()
+               .ApplyUpdate("Inventory", 0,
+                            {{"on_hand", std::to_string(counter++ % 50)}})
+               .status(),
            "update");
     if (targeted) {
       session.engine().InvalidateDownstreamOf(session.graph(), "Inventory");

@@ -2,7 +2,8 @@
 # The single verification entry point (see README "Verifying a change"):
 #   1. tier 1 — build everything and run the full test suite;
 #   2. tsan   — rebuild with ThreadSanitizer and run the concurrency tests
-#               (runtime scheduler, session server, determinism);
+#               (runtime scheduler, session server, determinism, parallel
+#               delta propagation);
 #   3. asan   — rebuild with Address+UB sanitizers and run the columnar /
 #               batch-evaluation tests (the paths that index raw column
 #               vectors through selection vectors).
@@ -23,8 +24,9 @@ fi
 echo "== tsan: runtime + session server tests =="
 cmake -B build-tsan -S . -DTIOGA2_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target \
-  runtime_test session_server_test runtime_determinism_test
-(cd build-tsan && ctest --output-on-failure -R 'runtime|session_server')
+  runtime_test session_server_test runtime_determinism_test delta_update_test
+(cd build-tsan && ctest --output-on-failure \
+  -R 'runtime|session_server|delta_update')
 
 echo "== asan: columnar + batch evaluation tests =="
 cmake -B build-asan -S . -DTIOGA2_ASAN=ON >/dev/null

@@ -16,6 +16,16 @@ Result<std::vector<BoxValue>> UnaryRelationBox::Fire(const std::vector<BoxValue>
   return std::vector<BoxValue>{BoxValue(display::Displayable(std::move(output)))};
 }
 
+Result<std::optional<dataflow::DeltaFire>> UnaryRelationBox::ApplyDelta(
+    const std::vector<dataflow::DeltaInput>& inputs,
+    const std::vector<BoxValue>& old_outputs, const ExecContext& ctx) const {
+  (void)old_outputs;
+  std::vector<BoxValue> new_inputs{*inputs[0].new_value};
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<BoxValue> outputs, Fire(new_inputs, ctx));
+  return std::optional<dataflow::DeltaFire>(
+      dataflow::DeltaFire{std::move(outputs), {*inputs[0].delta}});
+}
+
 std::map<std::string, std::string> ScaleAttributeBox::Params() const {
   return {{"name", name_}, {"factor", FormatDouble(factor_)}};
 }

@@ -24,6 +24,13 @@ class UnaryRelationBox : public Box {
   std::vector<PortType> OutputTypes() const override { return {PortType::Relation()}; }
   Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
                                      const ExecContext& ctx) const override;
+  /// Every Figure-5 attribute operation is metadata-only: the base relation
+  /// passes through row-for-row, so the input edit script IS the output
+  /// edit script and re-firing costs O(attributes), not O(rows).
+  Result<std::optional<dataflow::DeltaFire>> ApplyDelta(
+      const std::vector<dataflow::DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
 
  protected:
   virtual Result<display::DisplayRelation> Apply(

@@ -49,6 +49,28 @@ std::map<std::string, std::string> OverlayBox::Params() const {
   return {{"offset", StrJoin(parts, ",")}};
 }
 
+Result<std::optional<dataflow::DeltaFire>> OverlayBox::ApplyDelta(
+    const std::vector<dataflow::DeltaInput>& inputs,
+    const std::vector<BoxValue>& old_outputs, const ExecContext& ctx) const {
+  (void)old_outputs;
+  // Overlay concatenates the member lists without touching any base rows:
+  // re-firing is O(members) and the input edit scripts pass through with
+  // the second input's member indices shifted past the first input's.
+  std::vector<BoxValue> new_inputs{*inputs[0].new_value, *inputs[1].new_value};
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<BoxValue> outputs, Fire(new_inputs, ctx));
+  TIOGA2_ASSIGN_OR_RETURN(Composite first, InputComposite(*inputs[0].new_value));
+  dataflow::ValueDelta merged;
+  for (const dataflow::MemberDelta& m : inputs[0].delta->members) {
+    merged.members.push_back(m);
+  }
+  for (dataflow::MemberDelta m : inputs[1].delta->members) {
+    m.member += first.size();
+    merged.members.push_back(std::move(m));
+  }
+  return std::optional<dataflow::DeltaFire>(
+      dataflow::DeltaFire{std::move(outputs), {std::move(merged)}});
+}
+
 Result<std::vector<BoxValue>> ShuffleBox::Fire(const std::vector<BoxValue>& inputs,
                                                const ExecContext& ctx) const {
   (void)ctx;
@@ -56,6 +78,28 @@ Result<std::vector<BoxValue>> ShuffleBox::Fire(const std::vector<BoxValue>& inpu
   TIOGA2_ASSIGN_OR_RETURN(size_t index, composite.FindMember(member_));
   TIOGA2_ASSIGN_OR_RETURN(Composite shuffled, composite.Shuffle(index));
   return std::vector<BoxValue>{BoxValue(Displayable(std::move(shuffled)))};
+}
+
+Result<std::optional<dataflow::DeltaFire>> ShuffleBox::ApplyDelta(
+    const std::vector<dataflow::DeltaInput>& inputs,
+    const std::vector<BoxValue>& old_outputs, const ExecContext& ctx) const {
+  (void)old_outputs;
+  std::vector<BoxValue> new_inputs{*inputs[0].new_value};
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<BoxValue> outputs, Fire(new_inputs, ctx));
+  TIOGA2_ASSIGN_OR_RETURN(Composite composite, InputComposite(*inputs[0].new_value));
+  TIOGA2_ASSIGN_OR_RETURN(size_t index, composite.FindMember(member_));
+  // Member `index` moved to the end; members after it shifted down one.
+  dataflow::ValueDelta remapped;
+  for (dataflow::MemberDelta m : inputs[0].delta->members) {
+    if (m.member == index) {
+      m.member = composite.size() - 1;
+    } else if (m.member > index) {
+      --m.member;
+    }
+    remapped.members.push_back(std::move(m));
+  }
+  return std::optional<dataflow::DeltaFire>(
+      dataflow::DeltaFire{std::move(outputs), {std::move(remapped)}});
 }
 
 StitchBox::StitchBox(size_t arity, GroupLayout layout, size_t tabular_columns)
@@ -82,6 +126,29 @@ std::map<std::string, std::string> StitchBox::Params() const {
           {"columns", std::to_string(tabular_columns_)}};
 }
 
+Result<std::optional<dataflow::DeltaFire>> StitchBox::ApplyDelta(
+    const std::vector<dataflow::DeltaInput>& inputs,
+    const std::vector<BoxValue>& old_outputs, const ExecContext& ctx) const {
+  (void)old_outputs;
+  std::vector<BoxValue> new_inputs;
+  new_inputs.reserve(inputs.size());
+  for (const dataflow::DeltaInput& input : inputs) {
+    new_inputs.push_back(*input.new_value);
+  }
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<BoxValue> outputs, Fire(new_inputs, ctx));
+  // Input p becomes group member p; its composite-local member indices are
+  // preserved.
+  dataflow::ValueDelta merged;
+  for (size_t p = 0; p < inputs.size(); ++p) {
+    for (dataflow::MemberDelta m : inputs[p].delta->members) {
+      m.group_member = p;
+      merged.members.push_back(std::move(m));
+    }
+  }
+  return std::optional<dataflow::DeltaFire>(
+      dataflow::DeltaFire{std::move(outputs), {std::move(merged)}});
+}
+
 ReplicateBox::ReplicateBox(std::vector<std::string> row_predicates,
                            std::vector<std::string> column_predicates)
     : row_predicates_(std::move(row_predicates)),
@@ -89,7 +156,6 @@ ReplicateBox::ReplicateBox(std::vector<std::string> row_predicates,
 
 Result<std::vector<BoxValue>> ReplicateBox::Fire(const std::vector<BoxValue>& inputs,
                                                  const ExecContext& ctx) const {
-  (void)ctx;
   TIOGA2_ASSIGN_OR_RETURN(Displayable displayable, dataflow::AsDisplayable(inputs[0]));
   TIOGA2_ASSIGN_OR_RETURN(DisplayRelation relation, display::AsRelation(displayable));
   if (row_predicates_.empty()) {
@@ -98,14 +164,16 @@ Result<std::vector<BoxValue>> ReplicateBox::Fire(const std::vector<BoxValue>& in
   std::vector<Composite> members;
   for (const std::string& row_predicate : row_predicates_) {
     if (column_predicates_.empty()) {
-      TIOGA2_ASSIGN_OR_RETURN(DisplayRelation part, relation.Restrict(row_predicate));
+      TIOGA2_ASSIGN_OR_RETURN(DisplayRelation part,
+                              relation.Restrict(row_predicate, ctx.policy));
       part.set_name(relation.name() + "[" + row_predicate + "]");
       members.emplace_back(std::move(part));
       continue;
     }
     for (const std::string& column_predicate : column_predicates_) {
       std::string predicate = "(" + row_predicate + ") and (" + column_predicate + ")";
-      TIOGA2_ASSIGN_OR_RETURN(DisplayRelation part, relation.Restrict(predicate));
+      TIOGA2_ASSIGN_OR_RETURN(DisplayRelation part,
+                              relation.Restrict(predicate, ctx.policy));
       part.set_name(relation.name() + "[" + predicate + "]");
       members.emplace_back(std::move(part));
     }

@@ -36,6 +36,12 @@ class OverlayBox : public Box {
   Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
                                      const ExecContext& ctx) const override;
   std::map<std::string, std::string> Params() const override;
+  /// Metadata-only with respect to base rows: re-fires (sharing bases) and
+  /// remaps the second input's member indices past the first's members.
+  Result<std::optional<dataflow::DeltaFire>> ApplyDelta(
+      const std::vector<dataflow::DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<OverlayBox>(offset_);
   }
@@ -61,6 +67,12 @@ class ShuffleBox : public Box {
   std::map<std::string, std::string> Params() const override {
     return {{"member", member_}};
   }
+  /// Re-fires (sharing bases) and permutes member indices the way the
+  /// shuffle moved the members.
+  Result<std::optional<dataflow::DeltaFire>> ApplyDelta(
+      const std::vector<dataflow::DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<ShuffleBox>(member_);
   }
@@ -82,6 +94,12 @@ class StitchBox : public Box {
   Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
                                      const ExecContext& ctx) const override;
   std::map<std::string, std::string> Params() const override;
+  /// Re-fires (sharing bases); input p's deltas become group-member-p
+  /// deltas in the stitched output.
+  Result<std::optional<dataflow::DeltaFire>> ApplyDelta(
+      const std::vector<dataflow::DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<StitchBox>(arity_, layout_, tabular_columns_);
   }

@@ -13,6 +13,8 @@ namespace tioga2::boxes {
 
 using dataflow::Box;
 using dataflow::BoxValue;
+using dataflow::DeltaFire;
+using dataflow::DeltaInput;
 using dataflow::ExecContext;
 using dataflow::PortType;
 
@@ -85,6 +87,13 @@ class SortBox : public Box {
   std::map<std::string, std::string> Params() const override {
     return {{"column", column_}, {"ascending", ascending_ ? "true" : "false"}};
   }
+  /// Single-row fast path: relocates the edited tuple by counting rows that
+  /// sort before it (O(n) compares, no re-sort) and splices the old output
+  /// with at most a delete+insert pair.
+  Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<SortBox>(column_, ascending_);
   }
@@ -107,6 +116,13 @@ class LimitBox : public Box {
   std::map<std::string, std::string> Params() const override {
     return {{"n", std::to_string(limit_)}};
   }
+  /// In-place updates within the first n rows splice the old output; edits
+  /// at or past the limit leave it untouched. Inserts/deletes shift rows
+  /// across the boundary and decline.
+  Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<LimitBox>(limit_);
   }

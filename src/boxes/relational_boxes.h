@@ -12,6 +12,8 @@ namespace tioga2::boxes {
 
 using dataflow::Box;
 using dataflow::BoxValue;
+using dataflow::DeltaFire;
+using dataflow::DeltaInput;
 using dataflow::ExecContext;
 using dataflow::PortType;
 
@@ -33,6 +35,13 @@ class TableBox : public Box {
     return {{"table", table_}};
   }
   std::string CacheSalt(const ExecContext& ctx) const override;
+  /// Accepts the pending table delta when it targets this box's table:
+  /// re-fires (sharing the catalog's relation) and emits the single-row
+  /// edit script downstream.
+  Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<TableBox>(table_);
   }
@@ -57,6 +66,12 @@ class RestrictBox : public Box {
   std::map<std::string, std::string> Params() const override {
     return {{"predicate", predicate_}};
   }
+  /// Single-row fast path: re-tests the predicate on the edited row only,
+  /// splicing the old output instead of re-filtering the whole relation.
+  Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<RestrictBox>(predicate_);
   }
@@ -76,6 +91,11 @@ class ProjectBox : public Box {
   Result<std::vector<BoxValue>> Fire(const std::vector<BoxValue>& inputs,
                                      const ExecContext& ctx) const override;
   std::map<std::string, std::string> Params() const override;
+  /// Projects just the edited tuples and splices the old output.
+  Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<ProjectBox>(columns_);
   }
@@ -148,6 +168,11 @@ class SwitchBox : public Box {
   std::map<std::string, std::string> Params() const override {
     return {{"predicate", predicate_}};
   }
+  /// Like Restrict's fast path, applied to both output ports.
+  Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override;
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<SwitchBox>(predicate_);
   }
@@ -197,6 +222,18 @@ class ViewerBox : public Box {
   }
   std::map<std::string, std::string> Params() const override {
     return {{"canvas", canvas_}};
+  }
+  /// Accepts trivially — the viewer has no outputs, so there is nothing to
+  /// maintain. Keeping the cached (empty) entry warm prevents a spurious
+  /// fallback for programs whose viewer was evaluated via EvaluateAll.
+  Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs,
+      const ExecContext& ctx) const override {
+    (void)inputs;
+    (void)old_outputs;
+    (void)ctx;
+    return std::optional<DeltaFire>(DeltaFire{});
   }
   std::unique_ptr<Box> Clone() const override {
     return std::make_unique<ViewerBox>(canvas_);

@@ -3,25 +3,55 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "dataflow/delta.h"
 #include "dataflow/port_type.h"
 #include "db/catalog.h"
+#include "db/exec_policy.h"
 
 namespace tioga2::dataflow {
 
 /// Context threaded through box firing: the catalog (for table sources and
 /// §8 updates), warnings accumulated for the user (e.g. the §6.1 overlay
-/// dimension-mismatch warning), and — inside encapsulated boxes — the values
-/// bound to the enclosing box's inputs.
+/// dimension-mismatch warning), the execution policy, and — inside
+/// encapsulated boxes — the values bound to the enclosing box's inputs.
 struct ExecContext {
   const db::Catalog* catalog = nullptr;
   /// Warnings surfaced to the UI; firing continues.
   mutable std::vector<std::string> warnings;
   /// Values of the enclosing encapsulated box's inputs (for InputStub).
   const std::vector<BoxValue>* encap_inputs = nullptr;
+  /// How to execute (scalar vs vectorized paths). Never affects output
+  /// bytes, so it stays out of the memo stamps.
+  db::ExecPolicy policy;
+  /// During delta propagation only: the table edit being propagated. Source
+  /// boxes use it to emit their own ValueDelta; null during normal firing.
+  const db::TableDelta* pending_delta = nullptr;
+};
+
+/// One input to Box::ApplyDelta: the value the box saw at its previous
+/// firing, the value it would see now, and the edit script between them.
+/// Both values are coerced to the input port's type, exactly as Fire's
+/// inputs are. `delta` is never null; an unchanged input carries an empty
+/// ValueDelta with old_value and new_value pointing at the same bytes.
+struct DeltaInput {
+  const BoxValue* old_value = nullptr;
+  const BoxValue* new_value = nullptr;
+  const ValueDelta* delta = nullptr;
+};
+
+/// The result of an accepted delta application: the box's new outputs —
+/// which MUST be byte-identical to what Fire(new inputs) would produce (the
+/// stamp contract, dataflow/stamp.h point 2) — and, per output port, the
+/// edit script relating them to the old outputs (consumed by downstream
+/// boxes and by the delta renderer).
+struct DeltaFire {
+  std::vector<BoxValue> outputs;
+  std::vector<ValueDelta> deltas;  // parallel to outputs
 };
 
 /// A primitive procedure in a boxes-and-arrows program (§2). Boxes are
@@ -56,6 +86,26 @@ class Box {
   virtual std::string CacheSalt(const ExecContext& ctx) const {
     (void)ctx;
     return "";
+  }
+
+  /// Incremental fast path for single-tuple §8 updates. Given old and new
+  /// input values related by per-input edit scripts, either maintain the old
+  /// outputs incrementally — returning a DeltaFire whose outputs are
+  /// byte-identical to a fresh Fire over the new inputs — or decline by
+  /// returning an empty optional, in which case the engine falls back to
+  /// evicting this box and everything downstream of it (full
+  /// recomputation). The default declines; boxes for which maintenance is
+  /// not cheaper than re-firing (Join, GroupBy, Distinct, ...) simply keep
+  /// the default. The engine never calls this when every input is unchanged
+  /// (it reuses the old outputs directly), so at least one input delta is
+  /// non-empty.
+  virtual Result<std::optional<DeltaFire>> ApplyDelta(
+      const std::vector<DeltaInput>& inputs,
+      const std::vector<BoxValue>& old_outputs, const ExecContext& ctx) const {
+    (void)inputs;
+    (void)old_outputs;
+    (void)ctx;
+    return std::optional<DeltaFire>();
   }
 
   virtual std::unique_ptr<Box> Clone() const = 0;

@@ -1,0 +1,67 @@
+#ifndef TIOGA2_DATAFLOW_DELTA_H_
+#define TIOGA2_DATAFLOW_DELTA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "db/relation.h"
+
+namespace tioga2::dataflow {
+
+/// One single-row edit of a relation value, in terms of base tuples. Ops
+/// form a sequential edit script: each op's `row` refers to the relation as
+/// it stands when that op applies — for kUpdate and kDelete the position of
+/// the old tuple, for kInsert the position the new tuple lands at.
+struct RowOp {
+  enum class Kind { kUpdate, kInsert, kDelete };
+  Kind kind = Kind::kUpdate;
+  size_t row = 0;
+  db::Tuple old_tuple;  // kUpdate / kDelete
+  db::Tuple new_tuple;  // kUpdate / kInsert
+};
+
+/// The edit script for one relation inside a displayable value:
+/// `group_member` indexes the composite within a group (0 for R/C values),
+/// `member` the entry within that composite (0 for R values). These indices
+/// line up with the R ≤ C ≤ G coercions of port_type.h, so a delta computed
+/// on an R output stays valid after the value is coerced to C or G.
+struct MemberDelta {
+  size_t group_member = 0;
+  size_t member = 0;
+  std::vector<RowOp> ops;
+};
+
+/// How a box output changed between two firings under a single-tuple §8
+/// update. An empty `members` list means the new value is byte-identical to
+/// the old one — the engine then reuses the old outputs verbatim under the
+/// new stamp, which is valid for every box (including joins and aggregates)
+/// because firing is a pure function of the inputs.
+///
+/// Deltas never describe metadata changes: attribute tables, designations,
+/// offsets, and layouts are functions of the *program*, which a §8 update
+/// does not touch. Only base rows move.
+struct ValueDelta {
+  std::vector<MemberDelta> members;
+  bool unchanged() const { return members.empty(); }
+};
+
+/// The ops of a delta that touches only the primary member ({0, 0} — the
+/// single relation of an R-typed value), or null if the delta is empty or
+/// spans other members. Relation-input boxes use this to recognize the
+/// edits they know how to maintain.
+inline const std::vector<RowOp>* PrimaryMemberOps(const ValueDelta& delta) {
+  if (delta.members.size() != 1) return nullptr;
+  const MemberDelta& m = delta.members[0];
+  if (m.group_member != 0 || m.member != 0 || m.ops.empty()) return nullptr;
+  return &m.ops;
+}
+
+/// Like PrimaryMemberOps but further requires exactly one op.
+inline const RowOp* SinglePrimaryOp(const ValueDelta& delta) {
+  const std::vector<RowOp>* ops = PrimaryMemberOps(delta);
+  return (ops != nullptr && ops->size() == 1) ? &(*ops)[0] : nullptr;
+}
+
+}  // namespace tioga2::dataflow
+
+#endif  // TIOGA2_DATAFLOW_DELTA_H_

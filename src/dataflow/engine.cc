@@ -18,6 +18,7 @@ Result<MemoCache::EntryPtr> Engine::EvaluateBox(
   ExecContext ctx;
   ctx.catalog = catalog_;
   ctx.encap_inputs = encap_inputs_;
+  ctx.policy = policy_.value_or(db::DefaultExecPolicy());
 
   // Evaluate inputs first (depth first), accumulating the stamp.
   eval_stack->push_back(box_id);
@@ -168,6 +169,32 @@ size_t Engine::InvalidateDownstreamOf(const Graph& graph, const std::string& tab
     }
   }
   return evicted;
+}
+
+Result<InvalidationResult> Engine::Invalidate(const Graph& graph,
+                                              const Invalidation& inv) {
+  InvalidationResult result;
+  switch (inv.scope()) {
+    case Invalidation::Scope::kAll:
+      result.entries_evicted = cache_->size();
+      cache_->Clear();
+      return result;
+    case Invalidation::Scope::kDownstreamOf:
+      result.entries_evicted = InvalidateDownstreamOf(graph, inv.table());
+      return result;
+    case Invalidation::Scope::kDelta: {
+      TIOGA2_ASSIGN_OR_RETURN(
+          result, PropagateDelta(graph, catalog_, inv.delta(), *cache_,
+                                 policy_.value_or(db::DefaultExecPolicy()),
+                                 encap_inputs_));
+      stats_.deltas_applied += result.deltas_applied;
+      stats_.delta_fallbacks += result.delta_fallbacks;
+      for (const std::string& warning : result.warnings)
+        warnings_.push_back(warning);
+      return result;
+    }
+  }
+  return Status::Internal("unknown invalidation scope");
 }
 
 }  // namespace tioga2::dataflow

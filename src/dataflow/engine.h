@@ -2,12 +2,16 @@
 #define TIOGA2_DATAFLOW_ENGINE_H_
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "dataflow/delta.h"
 #include "dataflow/graph.h"
 #include "dataflow/memo_cache.h"
+#include "db/exec_policy.h"
 
 namespace tioga2::dataflow {
 
@@ -19,6 +23,64 @@ struct EngineStats {
   uint64_t cache_hits = 0;
   uint64_t evaluations = 0;     // Evaluate() calls
   uint64_t boxes_skipped = 0;   // EvaluateAll: dangling-input boxes not fired
+  uint64_t deltas_applied = 0;  // boxes maintained incrementally (kDelta)
+  uint64_t delta_fallbacks = 0; // boxes that declined a delta and were evicted
+};
+
+/// A typed invalidation request — the one entry point for telling an engine
+/// that base data changed. Callers no longer choose the eviction scope
+/// themselves: they describe what happened (everything changed / one table
+/// changed / one tuple of one table changed) and the engine picks the
+/// cheapest sound strategy — full clear, downstream eviction, or
+/// delta propagation with per-box fallback.
+class Invalidation {
+ public:
+  enum class Scope { kAll, kDownstreamOf, kDelta };
+
+  /// Everything may have changed: drop the whole memo cache.
+  static Invalidation All() { return Invalidation(Scope::kAll); }
+
+  /// The named table changed in an unspecified way: evict its downstream
+  /// closure.
+  static Invalidation DownstreamOf(std::string table) {
+    Invalidation inv(Scope::kDownstreamOf);
+    inv.table_ = std::move(table);
+    return inv;
+  }
+
+  /// Exactly one tuple changed (a §8 update): propagate the delta through
+  /// downstream boxes, falling back to eviction per box.
+  static Invalidation Delta(db::TableDelta delta) {
+    Invalidation inv(Scope::kDelta);
+    inv.table_ = delta.table;
+    inv.delta_ = std::move(delta);
+    return inv;
+  }
+
+  Scope scope() const { return scope_; }
+  /// kDownstreamOf / kDelta: the table concerned.
+  const std::string& table() const { return table_; }
+  /// kDelta only.
+  const db::TableDelta& delta() const { return delta_; }
+
+ private:
+  explicit Invalidation(Scope scope) : scope_(scope) {}
+  Scope scope_;
+  std::string table_;
+  db::TableDelta delta_;
+};
+
+/// What an Invalidate call did.
+struct InvalidationResult {
+  size_t entries_evicted = 0;
+  size_t deltas_applied = 0;   // kDelta: boxes maintained incrementally
+  size_t delta_fallbacks = 0;  // kDelta: boxes that declined and were evicted
+  /// kDelta: per maintained box, the output edit scripts (one ValueDelta per
+  /// output port). Consumers (e.g. the delta renderer) look up the box
+  /// feeding their canvas here.
+  std::map<std::string, std::vector<ValueDelta>> box_deltas;
+  /// Warnings raised by boxes re-fired during delta maintenance.
+  std::vector<std::string> warnings;
 };
 
 /// Demand-driven, memoizing evaluator for boxes-and-arrows programs.
@@ -59,18 +121,36 @@ class Engine {
   /// stats().boxes_skipped and reported through warnings().
   Status EvaluateAll(const Graph& graph);
 
-  /// Drops all cached outputs.
+  /// The unified invalidation entry point: dispatches on the request's
+  /// scope. kAll clears the cache; kDownstreamOf evicts the table's
+  /// downstream closure; kDelta runs delta propagation (PropagateDelta),
+  /// maintaining cached outputs box-by-box and evicting only the boxes that
+  /// decline. Errors are reserved for malformed requests or corrupted
+  /// state; a delta that merely cannot be applied degrades to eviction and
+  /// still returns ok.
+  Result<InvalidationResult> Invalidate(const Graph& graph,
+                                        const Invalidation& inv);
+
+  /// Drops all cached outputs. DEPRECATED: use
+  /// Invalidate(graph, Invalidation::All()); kept for existing callers.
   void InvalidateAll() { cache_->Clear(); }
 
   /// Drops the cached outputs of every box downstream of a source box
   /// reading `table` (including the source itself) — the §8 update path:
   /// after a single-table edit only dependent entries need evicting, the
   /// rest of the memo cache stays warm. Returns the number of entries
-  /// evicted.
+  /// evicted. DEPRECATED: use Invalidate(graph,
+  /// Invalidation::DownstreamOf(table)).
   size_t InvalidateDownstreamOf(const Graph& graph, const std::string& table);
 
   const EngineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EngineStats{}; }
+
+  /// Per-engine execution policy. When unset the engine resolves
+  /// db::DefaultExecPolicy() at each firing, so the deprecated process-wide
+  /// toggle keeps working for callers that never opt in.
+  void set_exec_policy(db::ExecPolicy policy) { policy_ = policy; }
+  const std::optional<db::ExecPolicy>& exec_policy() const { return policy_; }
 
   /// The memo cache (shared or owned). Exposed so callers can share it with
   /// a runtime::ParallelEngine or inspect stamps.
@@ -94,6 +174,7 @@ class Engine {
   MemoCache* cache_;  // owned_cache_ or an external shared cache
   EngineStats stats_;
   std::vector<std::string> warnings_;
+  std::optional<db::ExecPolicy> policy_;
 };
 
 /// Ids of the source boxes reading `table` plus their transitive downstream
@@ -101,6 +182,19 @@ class Engine {
 /// invalidate. Shared by Engine and runtime::ParallelEngine.
 std::vector<std::string> BoxesDownstreamOfTable(const Graph& graph,
                                                 const std::string& table);
+
+/// Walks the boxes downstream of `delta.table` in topological order,
+/// offering each a Box::ApplyDelta fast path against its memoized entry and
+/// falling back to eviction for boxes that decline (or whose cached entry
+/// does not match the pre-update program). Maintained entries are re-keyed
+/// under their post-update stamps, so a subsequent Evaluate sees a warm
+/// cache and serial/parallel byte-identity is preserved. Shared by
+/// Engine::Invalidate and runtime::ParallelEngine::Invalidate. `catalog`
+/// must already reflect the post-update state (delta.new_version installed).
+Result<InvalidationResult> PropagateDelta(
+    const Graph& graph, const db::Catalog* catalog, const db::TableDelta& delta,
+    MemoCache& cache, const db::ExecPolicy& policy,
+    const std::vector<BoxValue>* encap_inputs = nullptr);
 
 }  // namespace tioga2::dataflow
 

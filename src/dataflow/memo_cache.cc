@@ -29,6 +29,12 @@ std::optional<uint64_t> MemoCache::StampOf(const std::string& box_id) const {
   return it->second->stamp;
 }
 
+MemoCache::EntryPtr MemoCache::Get(const std::string& box_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(box_id);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
 void MemoCache::Erase(const std::string& box_id) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.erase(box_id);

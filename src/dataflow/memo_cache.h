@@ -60,6 +60,11 @@ class MemoCache {
   /// The stamp cached for `box_id`, if any (regardless of validity).
   std::optional<uint64_t> StampOf(const std::string& box_id) const;
 
+  /// The entry for `box_id` regardless of its stamp, or null. Used by the
+  /// delta-propagation path, which validates the stamp itself against the
+  /// *pre-update* program before trusting the outputs.
+  EntryPtr Get(const std::string& box_id) const;
+
   /// Drops one box's entry. Idempotent.
   void Erase(const std::string& box_id);
 

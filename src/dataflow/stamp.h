@@ -48,17 +48,26 @@ inline uint64_t HashString(const std::string& text) {
   return hash;
 }
 
-/// The box's own contribution to its stamp: type, parameters, and any
-/// catalog state it reads (CacheSalt — e.g. the version of the table a
-/// source box scans).
-inline uint64_t BoxSignature(const Box& box, const ExecContext& ctx) {
+/// BoxSignature with an explicitly supplied salt. The delta-propagation
+/// path uses this to reconstruct what a Table box's signature *was* before
+/// a version bump (substituting the pre-update version for the current
+/// CacheSalt) so it can validate memoized entries against the pre-update
+/// program.
+inline uint64_t BoxSignatureWithSalt(const Box& box, const std::string& salt) {
   uint64_t hash = HashString(box.type_name());
   for (const auto& [key, value] : box.Params()) {
     hash = HashCombine(hash, HashString(key));
     hash = HashCombine(hash, HashString(value));
   }
-  hash = HashCombine(hash, HashString(box.CacheSalt(ctx)));
+  hash = HashCombine(hash, HashString(salt));
   return hash;
+}
+
+/// The box's own contribution to its stamp: type, parameters, and any
+/// catalog state it reads (CacheSalt — e.g. the version of the table a
+/// source box scans).
+inline uint64_t BoxSignature(const Box& box, const ExecContext& ctx) {
+  return BoxSignatureWithSalt(box, box.CacheSalt(ctx));
 }
 
 }  // namespace tioga2::dataflow

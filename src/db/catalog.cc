@@ -24,6 +24,37 @@ Status Catalog::ReplaceTable(const std::string& name, RelationPtr relation) {
   return Status::OK();
 }
 
+Result<TableDelta> Catalog::UpdateRow(const std::string& name, size_t row,
+                                      Tuple tuple) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  const RelationPtr& current = it->second.relation;
+  if (row >= current->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range in '" +
+                              name + "'");
+  }
+  TableDelta delta;
+  delta.table = name;
+  delta.row = row;
+  delta.old_tuple = current->row(row);
+  delta.new_tuple = tuple;
+  delta.old_version = it->second.version;
+  RelationBuilder builder(current->schema());
+  builder.Reserve(current->num_rows());
+  for (size_t r = 0; r < current->num_rows(); ++r) {
+    if (r == row) {
+      // The checked path validates the new tuple's arity and types.
+      TIOGA2_RETURN_IF_ERROR(builder.AddRow(tuple));
+    } else {
+      builder.AddRowUnchecked(current->row(r));
+    }
+  }
+  it->second.relation = builder.Build();
+  ++it->second.version;
+  delta.new_version = it->second.version;
+  return delta;
+}
+
 Status Catalog::DropTable(const std::string& name) {
   if (tables_.erase(name) == 0) return Status::NotFound("no table named '" + name + "'");
   return Status::OK();

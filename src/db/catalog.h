@@ -11,6 +11,21 @@
 
 namespace tioga2::db {
 
+/// A typed record of one single-tuple §8 update — the unit of incremental
+/// invalidation. Emitted by Catalog::UpdateRow and consumed by the dataflow
+/// engines' delta-propagation path (dataflow/delta.h): `row` is the position
+/// of the edited tuple in the table's row order (updates never reorder), and
+/// the version pair lets an engine verify that a memoized entry really
+/// corresponds to the pre-update table before maintaining it incrementally.
+struct TableDelta {
+  std::string table;
+  size_t row = 0;
+  Tuple old_tuple;
+  Tuple new_tuple;
+  uint64_t old_version = 0;
+  uint64_t new_version = 0;
+};
+
 /// The system catalog: named base tables plus saved programs. This plays the
 /// role POSTGRES plays for Tioga-2 — "for every relation known to the
 /// Tioga-2 system there is a box of the same name" (§4), and "Save Program:
@@ -32,6 +47,14 @@ class Catalog {
   /// Replaces the contents of an existing table (schema may not change) and
   /// bumps its version. This is the install step of the §8 update machinery.
   Status ReplaceTable(const std::string& name, RelationPtr relation);
+
+  /// Replaces one row of an existing table with `tuple` (type-checked
+  /// against the schema), bumps the version, and returns the TableDelta
+  /// describing the edit — the §8 single-tuple install step. Equivalent to
+  /// ReplaceTable with a relation differing in one row, but tells the
+  /// dataflow layer exactly what changed so it can propagate a delta
+  /// instead of recomputing.
+  Result<TableDelta> UpdateRow(const std::string& name, size_t row, Tuple tuple);
 
   /// Removes a table.
   Status DropTable(const std::string& name);

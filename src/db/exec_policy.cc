@@ -1,0 +1,21 @@
+#include "db/exec_policy.h"
+
+#include <atomic>
+
+namespace tioga2::db {
+
+namespace {
+std::atomic<bool> g_default_vectorized{true};
+}  // namespace
+
+ExecPolicy DefaultExecPolicy() {
+  ExecPolicy policy;
+  policy.vectorized = g_default_vectorized.load(std::memory_order_relaxed);
+  return policy;
+}
+
+void SetDefaultExecPolicy(const ExecPolicy& policy) {
+  g_default_vectorized.store(policy.vectorized, std::memory_order_relaxed);
+}
+
+}  // namespace tioga2::db

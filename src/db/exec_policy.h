@@ -1,0 +1,34 @@
+#ifndef TIOGA2_DB_EXEC_POLICY_H_
+#define TIOGA2_DB_EXEC_POLICY_H_
+
+namespace tioga2::db {
+
+/// Execution-strategy knobs threaded through the query operators, the
+/// display layer, and the renderer. A policy never changes output bytes —
+/// scalar and vectorized paths are bit-identical (property-tested) — it only
+/// selects how a value is computed, so it deliberately stays out of the memo
+/// stamps (see dataflow/stamp.h, point 2).
+///
+/// Policies are plain values carried by an evaluation context (the dataflow
+/// ExecContext, a render::RenderOptions, or an explicit operator argument),
+/// which makes them per-engine / per-session and safe to vary across
+/// concurrently running evaluations. The process-wide default exists for
+/// callers that predate the policy plumbing; `SetDefaultExecPolicy`
+/// supersedes the deprecated `SetVectorizedExecutionEnabled` global.
+struct ExecPolicy {
+  /// Run the vectorized operator paths (Restrict, Sort key comparison,
+  /// display-attribute batches, renderer location columns). Both settings
+  /// produce bit-identical results; the toggle exists for benchmarking and
+  /// equivalence tests.
+  bool vectorized = true;
+};
+
+/// The process-wide default policy, used whenever no explicit policy is
+/// threaded in (default operator arguments, engines without an override).
+/// Reads and writes are individually atomic.
+ExecPolicy DefaultExecPolicy();
+void SetDefaultExecPolicy(const ExecPolicy& policy);
+
+}  // namespace tioga2::db
+
+#endif  // TIOGA2_DB_EXEC_POLICY_H_

@@ -14,12 +14,12 @@ namespace tioga2::db {
 using types::DataType;
 using types::Value;
 
-namespace {
-std::atomic<bool> g_vectorized_enabled{true};
-}  // namespace
-
-void SetVectorizedExecutionEnabled(bool enabled) { g_vectorized_enabled = enabled; }
-bool VectorizedExecutionEnabled() { return g_vectorized_enabled.load(); }
+void SetVectorizedExecutionEnabled(bool enabled) {
+  ExecPolicy policy = DefaultExecPolicy();
+  policy.vectorized = enabled;
+  SetDefaultExecPolicy(policy);
+}
+bool VectorizedExecutionEnabled() { return DefaultExecPolicy().vectorized; }
 
 Result<bool> PredicateKeeps(const expr::CompiledExpr& predicate,
                             const expr::RowAccessor& row) {
@@ -85,8 +85,9 @@ Result<RelationPtr> RestrictScalar(const RelationPtr& input,
 }
 
 Result<RelationPtr> Restrict(const RelationPtr& input,
-                             const expr::CompiledExpr& predicate) {
-  if (!VectorizedExecutionEnabled()) return RestrictScalar(input, predicate);
+                             const expr::CompiledExpr& predicate,
+                             const ExecPolicy& policy) {
+  if (!policy.vectorized) return RestrictScalar(input, predicate);
   if (predicate.result_type() != DataType::kBool) {
     return Status::TypeError("Restrict predicate must be bool");
   }
@@ -110,10 +111,11 @@ Result<RelationPtr> Restrict(const RelationPtr& input,
 }
 
 Result<RelationPtr> Restrict(const RelationPtr& input,
-                             const std::string& predicate_source) {
+                             const std::string& predicate_source,
+                             const ExecPolicy& policy) {
   TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
                           CompilePredicate(input->schema(), predicate_source));
-  return Restrict(input, predicate);
+  return Restrict(input, predicate, policy);
 }
 
 Result<RelationPtr> Sample(const RelationPtr& input, double probability, uint64_t seed) {
@@ -301,14 +303,14 @@ int CompareColumnCells(const ColumnVector& col, size_t a, size_t b) {
 }  // namespace
 
 Result<RelationPtr> Sort(const RelationPtr& input, const std::string& column,
-                         bool ascending) {
+                         bool ascending, const ExecPolicy& policy) {
   TIOGA2_ASSIGN_OR_RETURN(size_t index, input->schema()->ColumnIndex(column));
   if (input->schema()->column(index).type == DataType::kDisplay) {
     return Status::TypeError("cannot sort by a display column");
   }
   std::vector<size_t> order(input->num_rows());
   std::iota(order.begin(), order.end(), 0);
-  if (VectorizedExecutionEnabled()) {
+  if (policy.vectorized) {
     // Sort key extraction through the columnar view: one typed column scan
     // instead of a Value variant dispatch per comparison.
     const ColumnVector& col = input->columnar().column(index);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "db/exec_policy.h"
 #include "db/relation.h"
 #include "expr/expr.h"
 
@@ -28,15 +29,17 @@ Result<RelationPtr> Project(const RelationPtr& input,
 /// Filters to tuples for which `predicate` evaluates to true; a null
 /// predicate result rejects the tuple (SQL WHERE semantics). Runs the
 /// vectorized path (expr::BatchEvaluator over the relation's columnar view,
-/// kBatchSize rows at a time) unless vectorized execution is disabled, in
-/// which case it evaluates tuple-at-a-time. Both paths produce bit-identical
-/// relations; the toggle exists for benchmarking and equivalence tests.
+/// kBatchSize rows at a time) unless `policy.vectorized` is false, in which
+/// case it evaluates tuple-at-a-time. Both paths produce bit-identical
+/// relations; the policy exists for benchmarking and equivalence tests.
 Result<RelationPtr> Restrict(const RelationPtr& input,
-                             const expr::CompiledExpr& predicate);
+                             const expr::CompiledExpr& predicate,
+                             const ExecPolicy& policy = DefaultExecPolicy());
 
 /// Convenience overload that compiles the predicate from source.
 Result<RelationPtr> Restrict(const RelationPtr& input,
-                             const std::string& predicate_source);
+                             const std::string& predicate_source,
+                             const ExecPolicy& policy = DefaultExecPolicy());
 
 /// Tuple-at-a-time Restrict — the scalar baseline the vectorized path is
 /// benchmarked and property-tested against.
@@ -49,10 +52,12 @@ Result<RelationPtr> RestrictScalar(const RelationPtr& input,
 Result<bool> PredicateKeeps(const expr::CompiledExpr& predicate,
                             const expr::RowAccessor& row);
 
-/// Globally enables/disables the vectorized operator paths (Restrict, Sort
-/// key comparison). Defaults to enabled; tests flip it to compare the two
-/// paths. Not thread-safe against in-flight queries — set it at a quiet
-/// point.
+/// DEPRECATED global toggle, kept for one release so existing benches and
+/// tests compile: forwards to db::SetDefaultExecPolicy /
+/// db::DefaultExecPolicy (see db/exec_policy.h). New code should thread an
+/// ExecPolicy through the evaluation context (dataflow::ExecContext,
+/// Engine::set_exec_policy, viewer::RenderOptions::policy) or pass it as an
+/// operator argument, which is per-session and safe under concurrency.
 void SetVectorizedExecutionEnabled(bool enabled);
 bool VectorizedExecutionEnabled();
 
@@ -83,9 +88,11 @@ Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
 Result<RelationPtr> NestedLoopJoin(const RelationPtr& left, const RelationPtr& right,
                                    const std::string& predicate_source);
 
-/// Sorts by `column` (ascending or descending); nulls sort first.
+/// Sorts by `column` (ascending or descending); nulls sort first. The
+/// policy picks columnar or row-store key comparison (bit-identical).
 Result<RelationPtr> Sort(const RelationPtr& input, const std::string& column,
-                         bool ascending = true);
+                         bool ascending = true,
+                         const ExecPolicy& policy = DefaultExecPolicy());
 
 /// Keeps the first `n` tuples.
 Result<RelationPtr> Limit(const RelationPtr& input, size_t n);

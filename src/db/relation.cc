@@ -80,6 +80,54 @@ Result<RelationPtr> MakeRelation(std::vector<Column> columns, std::vector<Tuple>
   return builder.Build();
 }
 
+Result<RelationPtr> WithRowReplaced(const RelationPtr& input, size_t row,
+                                    Tuple tuple) {
+  if (input == nullptr) return Status::InvalidArgument("input must be non-null");
+  if (row >= input->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  RelationBuilder builder(input->schema());
+  builder.Reserve(input->num_rows());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    if (r == row) {
+      TIOGA2_RETURN_IF_ERROR(builder.AddRow(std::move(tuple)));
+    } else {
+      builder.AddRowUnchecked(input->row(r));
+    }
+  }
+  return builder.Build();
+}
+
+Result<RelationPtr> WithRowInserted(const RelationPtr& input, size_t row,
+                                    Tuple tuple) {
+  if (input == nullptr) return Status::InvalidArgument("input must be non-null");
+  if (row > input->num_rows()) {
+    return Status::OutOfRange("insert position " + std::to_string(row) +
+                              " out of range");
+  }
+  RelationBuilder builder(input->schema());
+  builder.Reserve(input->num_rows() + 1);
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    if (r == row) TIOGA2_RETURN_IF_ERROR(builder.AddRow(tuple));
+    builder.AddRowUnchecked(input->row(r));
+  }
+  if (row == input->num_rows()) TIOGA2_RETURN_IF_ERROR(builder.AddRow(std::move(tuple)));
+  return builder.Build();
+}
+
+Result<RelationPtr> WithRowErased(const RelationPtr& input, size_t row) {
+  if (input == nullptr) return Status::InvalidArgument("input must be non-null");
+  if (row >= input->num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  RelationBuilder builder(input->schema());
+  builder.Reserve(input->num_rows() - 1);
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    if (r != row) builder.AddRowUnchecked(input->row(r));
+  }
+  return builder.Build();
+}
+
 bool RelationEquals(const Relation& a, const Relation& b) {
   if (!(*a.schema() == *b.schema())) return false;
   if (a.num_rows() != b.num_rows()) return false;

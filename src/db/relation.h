@@ -96,6 +96,15 @@ class RelationBuilder {
 /// schema or type mismatch.
 Result<RelationPtr> MakeRelation(std::vector<Column> columns, std::vector<Tuple> rows);
 
+/// Row-splice helpers for the delta-maintenance path (dataflow/delta.h).
+/// Each returns a new relation byte-identical to rebuilding the input with
+/// the one-row edit applied; the input is untouched. The edited tuple is
+/// type-checked against the schema; unchanged rows are copied unchecked.
+/// For inserts, `row` may equal num_rows() (append).
+Result<RelationPtr> WithRowReplaced(const RelationPtr& input, size_t row, Tuple tuple);
+Result<RelationPtr> WithRowInserted(const RelationPtr& input, size_t row, Tuple tuple);
+Result<RelationPtr> WithRowErased(const RelationPtr& input, size_t row);
+
 /// Structural equality: same schema, same rows in the same order.
 bool RelationEquals(const Relation& a, const Relation& b);
 

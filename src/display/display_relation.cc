@@ -265,7 +265,7 @@ Result<Value> DisplayRelation::AttributeValue(size_t row, const std::string& nam
 }
 
 Result<std::vector<Value>> DisplayRelation::AttributeValues(
-    const std::string& name) const {
+    const std::string& name, const db::ExecPolicy& policy) const {
   const Attribute* attr = FindAttribute(name);
   if (attr == nullptr) {
     return Status::NotFound("no attribute '" + name + "' on relation '" + name_ + "'");
@@ -273,7 +273,7 @@ Result<std::vector<Value>> DisplayRelation::AttributeValues(
   const size_t n = num_rows();
   std::vector<Value> out;
   out.reserve(n);
-  if (db::VectorizedExecutionEnabled()) {
+  if (policy.vectorized) {
     expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
     if (attr->source == AttrSource::kRowNumber) {
       ++metrics.display_attr_batches;
@@ -582,14 +582,15 @@ DisplayRelation DisplayRelation::SetElevationRange(double min, double max) const
   return out;
 }
 
-Result<DisplayRelation> DisplayRelation::Restrict(const std::string& predicate) const {
+Result<DisplayRelation> DisplayRelation::Restrict(
+    const std::string& predicate, const db::ExecPolicy& policy) const {
   TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr compiled,
                           expr::CompiledExpr::Compile(predicate, Env()));
   if (compiled.result_type() != DataType::kBool) {
     return Status::TypeError("Restrict predicate '" + predicate + "' must be bool");
   }
   db::RelationBuilder builder(base_->schema());
-  if (db::VectorizedExecutionEnabled()) {
+  if (policy.vectorized) {
     expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
     metrics.restrict_rows += num_rows();
     DisplayBatchSource source(*this);
@@ -615,6 +616,52 @@ Result<DisplayRelation> DisplayRelation::Restrict(const std::string& predicate) 
   DisplayRelation out = *this;
   out.base_ = builder.Build();
   return out;
+}
+
+Result<size_t> DisplayRelation::CountKept(const std::string& predicate,
+                                          size_t end,
+                                          const db::ExecPolicy& policy) const {
+  TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr compiled,
+                          expr::CompiledExpr::Compile(predicate, Env()));
+  if (compiled.result_type() != DataType::kBool) {
+    return Status::TypeError("predicate '" + predicate + "' must be bool");
+  }
+  end = std::min(end, num_rows());
+  size_t count = 0;
+  if (policy.vectorized) {
+    DisplayBatchSource source(*this);
+    expr::BatchEvaluator evaluator(source);
+    expr::Selection sel;
+    for (size_t begin = 0; begin < end; begin += expr::kBatchSize) {
+      size_t batch_end = std::min(begin + expr::kBatchSize, end);
+      expr::IdentitySelection(begin, batch_end, &sel);
+      TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
+                              evaluator.FilterTrue(compiled.root(), sel));
+      count += kept.size();
+    }
+  } else {
+    for (size_t r = 0; r < end; ++r) {
+      DisplayRowAccessor accessor(*this, r);
+      TIOGA2_ASSIGN_OR_RETURN(Value keep, compiled.Eval(accessor));
+      if (!keep.is_null() && keep.bool_value()) ++count;
+    }
+  }
+  return count;
+}
+
+Result<bool> DisplayRelation::KeepsRow(const std::string& predicate,
+                                       size_t row) const {
+  if (row >= num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr compiled,
+                          expr::CompiledExpr::Compile(predicate, Env()));
+  if (compiled.result_type() != DataType::kBool) {
+    return Status::TypeError("predicate '" + predicate + "' must be bool");
+  }
+  DisplayRowAccessor accessor(*this, row);
+  TIOGA2_ASSIGN_OR_RETURN(Value keep, compiled.Eval(accessor));
+  return !keep.is_null() && keep.bool_value();
 }
 
 Result<DisplayRelation> DisplayRelation::Project(

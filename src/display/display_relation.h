@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "db/exec_policy.h"
 #include "db/relation.h"
 #include "draw/drawable.h"
 #include "expr/expr.h"
@@ -122,8 +123,11 @@ class DisplayRelation {
   /// expr::BatchEvaluator over the base relation's columnar view (with
   /// Scale/Translate transforms applied vectorized); combine/default-display
   /// attributes fall back to per-row evaluation. Element r is bit-identical
-  /// to AttributeValue(r, name).
-  Result<std::vector<types::Value>> AttributeValues(const std::string& name) const;
+  /// to AttributeValue(r, name). `policy` selects scalar vs vectorized
+  /// evaluation and never changes the produced values.
+  Result<std::vector<types::Value>> AttributeValues(
+      const std::string& name,
+      const db::ExecPolicy& policy = db::DefaultExecPolicy()) const;
 
   /// The tuple's position in n-space: one double per location dimension.
   /// Null or non-numeric locations are an error.
@@ -191,7 +195,23 @@ class DisplayRelation {
   // ---- Relational operations over the extended relation ----
 
   /// Restrict: predicate over all (stored and computed) attributes.
-  Result<DisplayRelation> Restrict(const std::string& predicate) const;
+  /// `policy` selects scalar vs vectorized predicate evaluation; the output
+  /// bytes are identical either way.
+  Result<DisplayRelation> Restrict(
+      const std::string& predicate,
+      const db::ExecPolicy& policy = db::DefaultExecPolicy()) const;
+
+  /// Number of base rows in [0, end) kept by `predicate` — used by the
+  /// Restrict delta fast path to locate where an edited tuple lands in the
+  /// output without recomputing the full restriction. Agrees exactly with
+  /// Restrict's keep set (null predicate values drop the row).
+  Result<size_t> CountKept(
+      const std::string& predicate, size_t end,
+      const db::ExecPolicy& policy = db::DefaultExecPolicy()) const;
+
+  /// Whether `predicate` keeps base row `row`, with Restrict's exact
+  /// semantics (null → dropped).
+  Result<bool> KeepsRow(const std::string& predicate, size_t row) const;
 
   /// Project: keeps only the named stored columns. Computed attributes whose
   /// definitions reference dropped columns cause an error naming the

@@ -39,6 +39,12 @@ class RasterSurface : public Surface {
   }
   void PopViewport() override { transform_.Pop(); }
 
+  /// True per-pixel clipping: every drawing primitive already tests each
+  /// pixel against the transform stack's clip, so pixels outside `rect`
+  /// are provably untouched between PushClip and PopClip.
+  void PushClip(const DeviceRect& rect) override { transform_.PushClip(rect); }
+  void PopClip() override { transform_.Pop(); }
+
  private:
   /// Writes a transformed, clipped pixel block of side `thickness`.
   void Plot(double x, double y, int thickness, const draw::Color& color);

@@ -35,6 +35,23 @@ void TransformStack::Pop() {
   if (!frames_.empty()) frames_.pop_back();
 }
 
+void TransformStack::PushClip(const DeviceRect& rect) {
+  const Frame& outer = Top();
+  Frame frame = outer;  // transform unchanged; only the clip narrows
+  frame.clip_x0 = outer.tx + rect.x * outer.scale;
+  frame.clip_y0 = outer.ty + rect.y * outer.scale;
+  frame.clip_x1 = frame.clip_x0 + rect.width * outer.scale;
+  frame.clip_y1 = frame.clip_y0 + rect.height * outer.scale;
+  frame.has_clip = true;
+  if (outer.has_clip) {
+    frame.clip_x0 = std::max(frame.clip_x0, outer.clip_x0);
+    frame.clip_y0 = std::max(frame.clip_y0, outer.clip_y0);
+    frame.clip_x1 = std::min(frame.clip_x1, outer.clip_x1);
+    frame.clip_y1 = std::min(frame.clip_y1, outer.clip_y1);
+  }
+  frames_.push_back(frame);
+}
+
 void TransformStack::Apply(double* x, double* y) const {
   const Frame& frame = Top();
   *x = *x * frame.scale + frame.tx;

@@ -55,6 +55,15 @@ class Surface {
   virtual void PushViewport(const DeviceRect& target, double source_width,
                             double source_height) = 0;
   virtual void PopViewport() = 0;
+
+  /// Restricts subsequent drawing to `rect` (device coordinates, intersected
+  /// with any enclosing clip) without changing the coordinate transform —
+  /// the dirty-rectangle primitive behind incremental §8 repaints. The
+  /// default implementations are no-ops so that non-pixel backends (SVG)
+  /// simply draw everything; only backends with per-pixel clipping
+  /// (RasterSurface) get true partial repaints.
+  virtual void PushClip(const DeviceRect& rect) { (void)rect; }
+  virtual void PopClip() {}
 };
 
 /// Shared transform-stack bookkeeping for Surface implementations.
@@ -74,6 +83,10 @@ class TransformStack {
 
   void Push(const DeviceRect& target, double source_width, double source_height);
   void Pop();
+
+  /// Pushes a frame with the current transform but the clip narrowed to
+  /// `rect` (expressed in the current frame's coordinates). Pop() removes it.
+  void PushClip(const DeviceRect& rect);
 
   /// Maps a point through the current transform.
   void Apply(double* x, double* y) const;

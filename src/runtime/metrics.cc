@@ -83,6 +83,16 @@ void Metrics::RecordQueueDepth(size_t depth) {
   counters_.max_queue_depth = std::max(counters_.max_queue_depth, depth);
 }
 
+void Metrics::RecordDeltaApplied(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.deltas_applied += count;
+}
+
+void Metrics::RecordDeltaFallback(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.delta_fallbacks += count;
+}
+
 void Metrics::RecordRequestComplete(double micros) {
   std::lock_guard<std::mutex> lock(mu_);
   request_latency_.Record(micros);
@@ -122,6 +132,9 @@ std::string Metrics::ToJson() const {
           ",\"latency\":" + request_latency_.ToJson() + "}";
   json += ",\"queue\":{\"max_depth\":" +
           std::to_string(counters_.max_queue_depth) + "}";
+  json += ",\"invalidation\":{\"deltas_applied\":" +
+          std::to_string(counters_.deltas_applied) +
+          ",\"delta_fallbacks\":" + std::to_string(counters_.delta_fallbacks) + "}";
   json += ",\"box_fires\":{";
   bool first = true;
   for (const auto& [type, histogram] : box_fires_) {

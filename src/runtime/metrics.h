@@ -48,6 +48,10 @@ struct MetricsSnapshot {
   uint64_t requests_completed = 0;
   uint64_t requests_rejected = 0;
   uint64_t requests_timed_out = 0;
+  // Delta propagation outcomes (see dataflow::PropagateDelta): boxes whose
+  // cached outputs were maintained in place vs. evicted for recompute.
+  uint64_t deltas_applied = 0;
+  uint64_t delta_fallbacks = 0;
   size_t max_queue_depth = 0;
   // Vectorized execution counters, copied from expr::BatchMetrics::Global()
   // at snapshot time (they are process-wide, not per-Metrics; see below).
@@ -71,6 +75,8 @@ class Metrics {
   void RecordCacheHit();
   void RecordCacheMiss();
   void RecordQueueDepth(size_t depth);
+  void RecordDeltaApplied(uint64_t count = 1);
+  void RecordDeltaFallback(uint64_t count = 1);
   void RecordRequestComplete(double micros);
   void RecordRequestRejected();
   void RecordRequestTimedOut();

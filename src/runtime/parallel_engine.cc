@@ -108,6 +108,7 @@ void ParallelEngine::FireBox(Plan* plan,
   const Plan::Node& node = plan->nodes.at(box_id);
   dataflow::ExecContext ctx;
   ctx.catalog = catalog_;
+  ctx.policy = policy_.value_or(db::DefaultExecPolicy());
 
   Status failure;
   MemoCache::EntryPtr entry;
@@ -336,12 +337,44 @@ size_t ParallelEngine::InvalidateDownstreamOf(const Graph& graph,
   return evicted;
 }
 
+Result<dataflow::InvalidationResult> ParallelEngine::Invalidate(
+    const Graph& graph, const dataflow::Invalidation& inv) {
+  dataflow::InvalidationResult result;
+  switch (inv.scope()) {
+    case dataflow::Invalidation::Scope::kAll:
+      result.entries_evicted = cache_->size();
+      cache_->Clear();
+      return result;
+    case dataflow::Invalidation::Scope::kDownstreamOf:
+      result.entries_evicted = InvalidateDownstreamOf(graph, inv.table());
+      return result;
+    case dataflow::Invalidation::Scope::kDelta: {
+      TIOGA2_ASSIGN_OR_RETURN(
+          result, dataflow::PropagateDelta(graph, catalog_, inv.delta(), *cache_,
+                                           policy_.value_or(db::DefaultExecPolicy())));
+      deltas_applied_.fetch_add(result.deltas_applied, std::memory_order_relaxed);
+      delta_fallbacks_.fetch_add(result.delta_fallbacks, std::memory_order_relaxed);
+      if (metrics_ != nullptr) {
+        metrics_->RecordDeltaApplied(result.deltas_applied);
+        metrics_->RecordDeltaFallback(result.delta_fallbacks);
+      }
+      for (const std::string& warning : result.warnings) {
+        warnings_.push_back(warning);
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unknown invalidation scope");
+}
+
 ParallelEngineStats ParallelEngine::stats() const {
   ParallelEngineStats stats;
   stats.boxes_fired = boxes_fired_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.evaluations = evaluations_.load(std::memory_order_relaxed);
   stats.boxes_skipped = boxes_skipped_.load(std::memory_order_relaxed);
+  stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
+  stats.delta_fallbacks = delta_fallbacks_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -350,6 +383,8 @@ void ParallelEngine::ResetStats() {
   cache_hits_.store(0, std::memory_order_relaxed);
   evaluations_.store(0, std::memory_order_relaxed);
   boxes_skipped_.store(0, std::memory_order_relaxed);
+  deltas_applied_.store(0, std::memory_order_relaxed);
+  delta_fallbacks_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace tioga2::runtime

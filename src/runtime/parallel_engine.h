@@ -5,12 +5,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "dataflow/engine.h"
+#include "db/exec_policy.h"
 #include "dataflow/graph.h"
 #include "dataflow/memo_cache.h"
 #include "runtime/metrics.h"
@@ -24,6 +26,8 @@ struct ParallelEngineStats {
   uint64_t cache_hits = 0;
   uint64_t evaluations = 0;
   uint64_t boxes_skipped = 0;
+  uint64_t deltas_applied = 0;
+  uint64_t delta_fallbacks = 0;
 };
 
 /// A dependency-counting parallel evaluator for boxes-and-arrows programs.
@@ -77,12 +81,29 @@ class ParallelEngine {
   Status EvaluateAll(const dataflow::Graph& graph);
 
   /// Drops all cached outputs.
+  /// DEPRECATED: prefer Invalidate(graph, Invalidation::All()).
   void InvalidateAll() { cache_->Clear(); }
 
   /// Drops the cached outputs of every box downstream of a source box
   /// reading `table`. Returns the number of entries evicted.
+  /// DEPRECATED: prefer Invalidate(graph, Invalidation::DownstreamOf(table)).
   size_t InvalidateDownstreamOf(const dataflow::Graph& graph,
                                 const std::string& table);
+
+  /// The unified invalidation entry point, identical in semantics to
+  /// dataflow::Engine::Invalidate. Delta propagation (Invalidation::Delta)
+  /// runs serially on the calling thread — the cost is O(touched boxes) on a
+  /// single edited tuple, far below the plan-building overhead of a parallel
+  /// walk — but maintains this engine's cache (shared or owned), so the next
+  /// parallel Evaluate sees the maintained entries as cache hits.
+  Result<dataflow::InvalidationResult> Invalidate(
+      const dataflow::Graph& graph, const dataflow::Invalidation& inv);
+
+  /// Pins the execution policy used by boxes fired through this engine
+  /// (and by delta propagation). Unset, every fire resolves
+  /// db::DefaultExecPolicy() at fire time.
+  void set_exec_policy(db::ExecPolicy policy) { policy_ = policy; }
+  const std::optional<db::ExecPolicy>& exec_policy() const { return policy_; }
 
   ParallelEngineStats stats() const;
   void ResetStats();
@@ -129,10 +150,14 @@ class ParallelEngine {
   dataflow::MemoCache* cache_;  // owned_cache_ or an external shared cache
   Metrics* metrics_ = nullptr;
 
+  std::optional<db::ExecPolicy> policy_;
+
   std::atomic<uint64_t> boxes_fired_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> evaluations_{0};
   std::atomic<uint64_t> boxes_skipped_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
+  std::atomic<uint64_t> delta_fallbacks_{0};
   std::vector<std::string> warnings_;
 };
 

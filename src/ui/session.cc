@@ -301,13 +301,39 @@ Status Session::ClickUpdate(const std::string& canvas_name, const viewer::Hit& h
     return Status::OutOfRange("hit names a row that no longer exists");
   }
   // Locate the clicked (derived) tuple in the base table by value and
-  // install the update (§8). The bumped table version already changes the
-  // stamps of boxes reading `table`; evicting exactly their downstream
-  // closure keeps every other canvas's memoized results warm.
-  TIOGA2_RETURN_IF_ERROR(
+  // install the update (§8). The typed TableDelta drives delta propagation:
+  // boxes downstream of `table` are maintained in place where their type
+  // supports it and evicted otherwise, while every other canvas's memoized
+  // results stay warm.
+  TIOGA2_ASSIGN_OR_RETURN(
+      db::TableDelta delta,
       updates_.ApplyUpdateByMatch(table, relation.base()->row(hit.row), inputs));
-  engine_.InvalidateDownstreamOf(graph_, table);
+  TIOGA2_ASSIGN_OR_RETURN(
+      dataflow::InvalidationResult result,
+      engine_.Invalidate(graph_, dataflow::Invalidation::Delta(std::move(delta))));
+  last_invalidation_ = std::move(result);
   return Status::OK();
+}
+
+const dataflow::ValueDelta* Session::LastCanvasDelta(
+    const std::string& canvas_name) const {
+  if (!last_invalidation_.has_value()) return nullptr;
+  // The canvas is fed by the edge into its viewer box; the feeding box's
+  // recorded output delta (if it was delta-maintained) describes exactly how
+  // the canvas content changed.
+  for (const std::string& id : graph_.BoxIds()) {
+    Result<const dataflow::Box*> box = graph_.GetBox(id);
+    if (!box.ok()) continue;
+    const auto* viewer_box = dynamic_cast<const boxes::ViewerBox*>(box.value());
+    if (viewer_box == nullptr || viewer_box->canvas() != canvas_name) continue;
+    std::optional<dataflow::Edge> edge = graph_.IncomingEdge(id, 0);
+    if (!edge.has_value()) return nullptr;
+    auto it = last_invalidation_->box_deltas.find(edge->from_box);
+    if (it == last_invalidation_->box_deltas.end()) return nullptr;
+    if (edge->from_port >= it->second.size()) return nullptr;
+    return &it->second[edge->from_port];
+  }
+  return nullptr;
 }
 
 }  // namespace tioga2::ui

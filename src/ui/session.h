@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -138,11 +139,26 @@ class Session {
   /// The click-to-update path: `hit` (from Viewer::HitTestAt) identifies a
   /// tuple of a derived relation shown on a canvas; `table` names the base
   /// table it came from; `inputs` simulates the §8 dialog. Installs the
-  /// update and invalidates exactly the boxes downstream of `table`, so
-  /// affected canvases recompute while unrelated ones stay memoized.
+  /// update and propagates the resulting TableDelta through the program:
+  /// boxes with a delta fast path keep their memoized outputs maintained in
+  /// place, the rest are evicted, and unrelated canvases stay memoized.
   Status ClickUpdate(const std::string& canvas_name, const viewer::Hit& hit,
                      const std::string& table,
                      const std::map<std::string, std::string>& inputs);
+
+  /// The outcome of the most recent ClickUpdate's delta propagation
+  /// (counts, per-box edit scripts, warnings); empty until a ClickUpdate
+  /// succeeds.
+  const std::optional<dataflow::InvalidationResult>& LastInvalidation() const {
+    return last_invalidation_;
+  }
+
+  /// The edit script for the value feeding `canvas_name` from the most
+  /// recent ClickUpdate, or nullptr when that value was not delta-maintained
+  /// (no update yet, the feeding box fell back to recompute, or the canvas
+  /// does not exist). A renderer holding the canvas's previous Displayable
+  /// can repaint just the dirty screen regions it implies.
+  const dataflow::ValueDelta* LastCanvasDelta(const std::string& canvas_name) const;
 
   // ---- Introspection / menus (§3) ----
 
@@ -168,6 +184,7 @@ class Session {
   update::UpdateManager updates_;
   std::vector<dataflow::Graph> undo_stack_;
   std::map<std::string, std::unique_ptr<dataflow::EncapsulatedBox>> library_;
+  std::optional<dataflow::InvalidationResult> last_invalidation_;
 };
 
 }  // namespace tioga2::ui

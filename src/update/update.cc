@@ -64,16 +64,11 @@ Result<db::Tuple> UpdateManager::BuildUpdatedTuple(
   return updated;
 }
 
-Status UpdateManager::ApplyUpdate(const std::string& table, size_t row,
-                                  const std::map<std::string, std::string>& inputs) {
+Result<db::TableDelta> UpdateManager::ApplyUpdate(
+    const std::string& table, size_t row,
+    const std::map<std::string, std::string>& inputs) {
   TIOGA2_ASSIGN_OR_RETURN(db::Tuple updated, BuildUpdatedTuple(table, row, inputs));
-  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog_->GetTable(table));
-  db::RelationBuilder builder(relation->schema());
-  builder.Reserve(relation->num_rows());
-  for (size_t r = 0; r < relation->num_rows(); ++r) {
-    builder.AddRowUnchecked(r == row ? updated : relation->row(r));
-  }
-  return catalog_->ReplaceTable(table, builder.Build());
+  return catalog_->UpdateRow(table, row, std::move(updated));
 }
 
 Result<std::vector<UpdateManager::DialogField>> UpdateManager::DescribeTuple(
@@ -97,10 +92,11 @@ Result<std::vector<UpdateManager::DialogField>> UpdateManager::DescribeTuple(
   return fields;
 }
 
-Status UpdateManager::ApplyUpdateByMatch(const std::string& table,
-                                         const db::Tuple& original,
-                                         const std::map<std::string, std::string>& inputs) {
+Result<db::TableDelta> UpdateManager::ApplyUpdateByMatch(
+    const std::string& table, const db::Tuple& original,
+    const std::map<std::string, std::string>& inputs) {
   TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog_->GetTable(table));
+  std::vector<size_t> matches;
   for (size_t r = 0; r < relation->num_rows(); ++r) {
     const db::Tuple& candidate = relation->row(r);
     if (candidate.size() != original.size()) continue;
@@ -111,10 +107,19 @@ Status UpdateManager::ApplyUpdateByMatch(const std::string& table,
         break;
       }
     }
-    if (equal) return ApplyUpdate(table, r, inputs);
+    if (equal) matches.push_back(r);
   }
-  return Status::NotFound("no tuple in '" + table +
-                          "' matches the clicked screen object");
+  if (matches.empty()) {
+    return Status::NotFound("no tuple in '" + table +
+                            "' matches the clicked screen object");
+  }
+  if (matches.size() > 1) {
+    return Status::FailedPrecondition(
+        std::to_string(matches.size()) + " tuples in '" + table +
+        "' match the clicked screen object; a by-value match is ambiguous, so "
+        "the update was not applied (use ApplyUpdate with a row index)");
+  }
+  return ApplyUpdate(table, matches[0], inputs);
 }
 
 }  // namespace tioga2::update

@@ -50,15 +50,23 @@ class UpdateManager {
   Result<db::Tuple> BuildUpdatedTuple(const std::string& table, size_t row,
                                       const std::map<std::string, std::string>& inputs) const;
 
-  /// Builds and installs the update for a known row index.
-  Status ApplyUpdate(const std::string& table, size_t row,
-                     const std::map<std::string, std::string>& inputs);
+  /// Builds and installs the update for a known row index, via
+  /// Catalog::UpdateRow. The returned TableDelta is the typed record of
+  /// exactly what changed — feed it to Engine::Invalidate
+  /// (Invalidation::Delta) to maintain memoized outputs incrementally
+  /// instead of recomputing them.
+  Result<db::TableDelta> ApplyUpdate(const std::string& table, size_t row,
+                                     const std::map<std::string, std::string>& inputs);
 
-  /// Installs an update for the first base tuple equal to `original` —
+  /// Installs an update for the unique base tuple equal to `original` —
   /// the path used from a canvas hit, where the clicked tuple came from a
-  /// derived relation and is located in the base table by value.
-  Status ApplyUpdateByMatch(const std::string& table, const db::Tuple& original,
-                            const std::map<std::string, std::string>& inputs);
+  /// derived relation and is located in the base table by value. Errors
+  /// with NotFound when no tuple matches and with FailedPrecondition when
+  /// several do: a by-value match cannot tell which duplicate the user
+  /// clicked, and silently updating the first would edit an arbitrary one.
+  Result<db::TableDelta> ApplyUpdateByMatch(
+      const std::string& table, const db::Tuple& original,
+      const std::map<std::string, std::string>& inputs);
 
   /// One row of the §8 update dialog: the field's name, type, current value
   /// (rendered), and whether the resolved update function can change it.

@@ -53,12 +53,12 @@ enum class TupleVisibility { kVisible, kSliderCulled, kViewportCulled, kError };
 /// failed for some attribute; callers then use the per-row LocationOf path,
 /// which reproduces the scalar per-tuple error accounting.
 std::optional<std::vector<std::vector<types::Value>>> BatchLocations(
-    const display::DisplayRelation& relation) {
-  if (!db::VectorizedExecutionEnabled()) return std::nullopt;
+    const display::DisplayRelation& relation, const db::ExecPolicy& policy) {
+  if (!policy.vectorized) return std::nullopt;
   std::vector<std::vector<types::Value>> columns;
   columns.reserve(relation.location_names().size());
   for (const std::string& name : relation.location_names()) {
-    Result<std::vector<types::Value>> column = relation.AttributeValues(name);
+    Result<std::vector<types::Value>> column = relation.AttributeValues(name, policy);
     if (!column.ok()) {
       ++expr::BatchMetrics::Global().render_scalar_fallbacks;
       return std::nullopt;
@@ -240,6 +240,7 @@ Result<RenderStats> RenderComposite(const Composite& composite, const Camera& ca
                                     const RenderOptions& options) {
   RenderStats stats;
   Projector projector{camera, options.underside};
+  db::ExecPolicy policy = options.policy.value_or(db::DefaultExecPolicy());
   for (const CompositeEntry& entry : composite.entries()) {
     const display::DisplayRelation& relation = entry.relation;
     if (!ElevationVisible(relation.elevation_range(), camera, options.underside)) {
@@ -248,7 +249,7 @@ Result<RenderStats> RenderComposite(const Composite& composite, const Camera& ca
     }
     stats.tuples_total += relation.num_rows();
     std::optional<std::vector<std::vector<types::Value>>> location_columns =
-        BatchLocations(relation);
+        BatchLocations(relation, policy);
     const std::vector<std::vector<types::Value>>* columns =
         location_columns.has_value() ? &*location_columns : nullptr;
     for (size_t row = 0; row < relation.num_rows(); ++row) {

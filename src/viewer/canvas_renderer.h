@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "db/exec_policy.h"
 #include "display/displayable.h"
 #include "render/surface.h"
 #include "viewer/camera.h"
@@ -40,6 +41,11 @@ struct RenderOptions {
   /// Resolves wormhole destination canvases; may be null (wormholes are then
   /// drawn as frames).
   const CanvasRegistry* registry = nullptr;
+  /// Execution policy for batch location evaluation; unset resolves
+  /// db::DefaultExecPolicy() at render time. Both settings produce
+  /// bit-identical pixels; the policy only chooses between the vectorized
+  /// and scalar evaluation paths.
+  std::optional<db::ExecPolicy> policy;
 };
 
 /// Renders a composite through `camera` onto `surface`. Relations draw in

@@ -3,12 +3,113 @@
 #include <algorithm>
 #include <cmath>
 
+#include "render/font.h"
+
 namespace tioga2::viewer {
 
 namespace {
 constexpr int kDefaultViewportW = 640;
 constexpr int kDefaultViewportH = 480;
 constexpr int kMaxSlaveDepth = 8;
+
+/// Extra device pixels around every dirty rectangle, absorbing the rounding
+/// of world-to-pixel snapping in the rasterizer.
+constexpr double kDirtyPad = 2.0;
+
+/// A growable device-space bounding box for dirty-region accumulation.
+struct DirtyRect {
+  double x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  bool empty = true;
+
+  void Extend(double x, double y) {
+    if (empty) {
+      x0 = x1 = x;
+      y0 = y1 = y;
+      empty = false;
+      return;
+    }
+    x0 = std::min(x0, x);
+    x1 = std::max(x1, x);
+    y0 = std::min(y0, y);
+    y1 = std::max(y1, y);
+  }
+};
+
+/// Extends `dirty` with a conservative device-space bound of everything row
+/// `row` of `entry` can put on screen through `camera` within layout cell
+/// `cell`. Over-approximation is safe (a few extra pixels repaint); an
+/// under-approximation would leave stale pixels, so every bound here errs
+/// wide — in particular kText uses the rasterizer's integral glyph scale,
+/// whose painted width can exceed the world-space text bounds at low zoom.
+/// Returns false when `row` does not exist (caller must fall back to a full
+/// repaint); a tuple whose location/display fails to evaluate draws nothing
+/// and contributes no area.
+bool ExtendTupleDeviceBounds(const display::CompositeEntry& entry,
+                             const Camera& camera, const render::DeviceRect& cell,
+                             size_t row, DirtyRect* dirty) {
+  const display::DisplayRelation& relation = entry.relation;
+  if (row >= relation.num_rows()) return false;
+  Result<std::vector<double>> location = relation.LocationOf(row);
+  if (!location.ok() || location->size() < 2) return true;
+  double lx = (*location)[0] + entry.OffsetAt(0);
+  double ly = (*location)[1] + entry.OffsetAt(1);
+  Result<draw::DrawableList> display = relation.DisplayOf(row);
+  if (!display.ok() || *display == nullptr) return true;
+  for (const draw::Drawable& d : **display) {
+    double ax = lx + d.offset_x;
+    double ay = ly + d.offset_y;
+    double pad = static_cast<double>(std::max(1, d.style.thickness));
+    auto extend_world = [&](double wx, double wy) {
+      double dx = 0;
+      double dy = 0;
+      camera.WorldToDevice(wx, wy, &dx, &dy);
+      dirty->Extend(cell.x + dx - pad, cell.y + dy - pad);
+      dirty->Extend(cell.x + dx + pad, cell.y + dy + pad);
+    };
+    switch (d.kind) {
+      case draw::DrawableKind::kPoint:
+        extend_world(ax, ay);
+        break;
+      case draw::DrawableKind::kLine:
+      case draw::DrawableKind::kRectangle:
+      case draw::DrawableKind::kViewer:
+        extend_world(ax, ay);
+        extend_world(ax + d.a, ay + d.b);
+        break;
+      case draw::DrawableKind::kCircle: {
+        double r = std::fabs(camera.Scale() * d.a);
+        double dx = 0;
+        double dy = 0;
+        camera.WorldToDevice(ax, ay, &dx, &dy);
+        dirty->Extend(cell.x + dx - r - pad, cell.y + dy - r - pad);
+        dirty->Extend(cell.x + dx + r + pad, cell.y + dy + r + pad);
+        break;
+      }
+      case draw::DrawableKind::kPolygon:
+        if (d.points.empty()) {
+          extend_world(ax, ay);
+        } else {
+          for (const draw::Point& p : d.points) extend_world(ax + p.x, ay + p.y);
+        }
+        break;
+      case draw::DrawableKind::kText: {
+        double dx = 0;
+        double dy = 0;
+        camera.WorldToDevice(ax, ay, &dx, &dy);
+        double h = camera.Scale() * d.a;
+        double glyph_scale = std::max<double>(
+            1.0, static_cast<double>(std::lround(h / render::kGlyphHeight)));
+        double width = static_cast<double>(d.text.size()) *
+                       render::kGlyphAdvance * glyph_scale;
+        double height = (render::kGlyphHeight + 1) * glyph_scale;
+        dirty->Extend(cell.x + dx - pad, cell.y + dy - height - pad);
+        dirty->Extend(cell.x + dx + width + pad, cell.y + dy + glyph_scale + pad);
+        break;
+      }
+    }
+  }
+  return true;
+}
 }  // namespace
 
 Viewer::Viewer(std::string name, std::string canvas_name, const CanvasRegistry* registry)
@@ -291,6 +392,83 @@ Result<RenderStats> Viewer::RenderTo(render::Surface* surface,
     frame.thickness = 2;
     surface->DrawRect(glass.rect.x, glass.rect.y, glass.rect.width, glass.rect.height,
                       frame, draw::kBlack);
+  }
+  return stats;
+}
+
+Result<RenderStats> Viewer::RenderDeltaTo(render::Surface* surface,
+                                          const dataflow::ValueDelta& delta,
+                                          const draw::Color& background,
+                                          const RenderOptions& base_options) {
+  display::Group old_content = content_;
+  TIOGA2_RETURN_IF_ERROR(Refresh());
+  RenderOptions options = base_options;
+  if (options.registry == nullptr) options.registry = registry_;
+
+  // Byte-identical content: the previous render is already correct.
+  if (delta.unchanged()) return RenderStats{};
+
+  auto full_repaint = [&]() -> Result<RenderStats> {
+    surface->Clear(background);
+    return RenderTo(surface, base_options);
+  };
+
+  if (options.underside || !glasses_.empty() ||
+      content_.size() != old_content.size()) {
+    return full_repaint();
+  }
+
+  // One dirty rectangle per edited member, covering the old and new device
+  // footprints of every edited tuple.
+  std::vector<DirtyRect> rects;
+  for (const dataflow::MemberDelta& m : delta.members) {
+    if (m.ops.empty()) continue;
+    if (m.group_member >= content_.size() ||
+        m.member >= content_.members()[m.group_member].size() ||
+        m.member >= old_content.members()[m.group_member].size()) {
+      return full_repaint();
+    }
+    render::DeviceRect cell =
+        CellRect(m.group_member, surface->width(), surface->height());
+    const Camera& member_camera = cameras_[m.group_member];
+    Camera cell_camera(member_camera.center_x(), member_camera.center_y(),
+                       member_camera.elevation(),
+                       static_cast<int>(std::lround(cell.width)),
+                       static_cast<int>(std::lround(cell.height)));
+    const display::CompositeEntry& old_entry =
+        old_content.members()[m.group_member].entries()[m.member];
+    const display::CompositeEntry& new_entry =
+        content_.members()[m.group_member].entries()[m.member];
+    DirtyRect dirty;
+    for (const dataflow::RowOp& op : m.ops) {
+      // Inserts and deletes shift later rows; bounding them would mean
+      // diffing the whole tail, at which point a full repaint is simpler.
+      if (op.kind != dataflow::RowOp::Kind::kUpdate) return full_repaint();
+      if (!ExtendTupleDeviceBounds(old_entry, cell_camera, cell, op.row, &dirty) ||
+          !ExtendTupleDeviceBounds(new_entry, cell_camera, cell, op.row, &dirty)) {
+        return full_repaint();
+      }
+    }
+    if (!dirty.empty) rects.push_back(dirty);
+  }
+
+  // Repaint each dirty rectangle: erase to the background, then re-render
+  // the whole viewer under a pixel clip. Drawing order inside the clip is
+  // identical to a full render, so overlapping neighbours repaint exactly as
+  // they would from scratch; pixels outside the clip are untouched.
+  RenderStats stats;
+  for (const DirtyRect& r : rects) {
+    render::DeviceRect rect{r.x0 - kDirtyPad, r.y0 - kDirtyPad,
+                            (r.x1 - r.x0) + 2 * kDirtyPad,
+                            (r.y1 - r.y0) + 2 * kDirtyPad};
+    surface->PushClip(rect);
+    draw::Style fill;
+    fill.fill = draw::FillMode::kFilled;
+    surface->DrawRect(rect.x, rect.y, rect.width, rect.height, fill, background);
+    Result<RenderStats> pass = RenderTo(surface, options);
+    surface->PopClip();
+    TIOGA2_RETURN_IF_ERROR(pass.status());
+    stats += pass.value();
   }
   return stats;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "dataflow/delta.h"
 #include "display/displayable.h"
 #include "render/surface.h"
 #include "viewer/camera.h"
@@ -152,6 +153,24 @@ class Viewer {
   /// layout), then any magnifying glasses on top.
   Result<RenderStats> RenderTo(render::Surface* surface,
                                const RenderOptions& base_options = {}) const;
+
+  /// Incremental repaint after a §8 delta update. `surface` must still hold
+  /// the previous full render of this viewer (over `background`), with the
+  /// cameras unchanged since then; `delta` is the edit script for this
+  /// viewer's canvas (Session::LastCanvasDelta). The viewer re-resolves its
+  /// content, derives conservative device-space dirty rectangles from the
+  /// old and new versions of each edited tuple, and repaints only those
+  /// rectangles under a pixel clip — on a RasterSurface the result is
+  /// pixel-identical to a full Clear + RenderTo of the new content.
+  ///
+  /// Falls back to exactly that full repaint whenever the fast path cannot
+  /// bound the damage: a non-update row op (insert/delete), a structure
+  /// mismatch between old and new content, magnifying glasses, or underside
+  /// rendering.
+  Result<RenderStats> RenderDeltaTo(render::Surface* surface,
+                                    const dataflow::ValueDelta& delta,
+                                    const draw::Color& background = draw::kWhite,
+                                    const RenderOptions& base_options = {});
 
   /// Elevation map of group member `member` (§6.1).
   Result<std::vector<ElevationBar>> ElevationMap(size_t member) const;

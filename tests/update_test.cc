@@ -63,12 +63,14 @@ TEST_F(UpdateTest, UpdateBumpsTableVersion) {
 
 TEST_F(UpdateTest, ValidationErrors) {
   UpdateManager updates(&catalog_);
-  EXPECT_TRUE(updates.ApplyUpdate("Nope", 0, {{"x", "1"}}).IsNotFound());
-  EXPECT_TRUE(updates.ApplyUpdate("Inventory", 99, {{"on_hand", "1"}}).IsOutOfRange());
+  EXPECT_TRUE(updates.ApplyUpdate("Nope", 0, {{"x", "1"}}).status().IsNotFound());
   EXPECT_TRUE(
-      updates.ApplyUpdate("Inventory", 0, {{"missing_col", "1"}}).IsNotFound());
+      updates.ApplyUpdate("Inventory", 99, {{"on_hand", "1"}}).status().IsOutOfRange());
   EXPECT_TRUE(
-      updates.ApplyUpdate("Inventory", 0, {{"on_hand", "not a number"}}).IsParseError());
+      updates.ApplyUpdate("Inventory", 0, {{"missing_col", "1"}}).status().IsNotFound());
+  EXPECT_TRUE(updates.ApplyUpdate("Inventory", 0, {{"on_hand", "not a number"}})
+                  .status()
+                  .IsParseError());
   // Failed updates leave the table untouched.
   EXPECT_EQ(catalog_.GetTable("Inventory").value()->at(0, 1).int_value(), 12);
 }
@@ -108,11 +110,38 @@ TEST_F(UpdateTest, ColumnFunctionOverridesTypeFunction) {
 TEST_F(UpdateTest, ApplyUpdateByMatchFindsTuple) {
   UpdateManager updates(&catalog_);
   db::Tuple bag = catalog_.GetTable("Inventory").value()->row(1);
-  ASSERT_TRUE(updates.ApplyUpdateByMatch("Inventory", bag, {{"on_hand", "0"}}).ok());
+  auto delta = updates.ApplyUpdateByMatch("Inventory", bag, {{"on_hand", "0"}});
+  ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+  // The typed delta records exactly what changed.
+  EXPECT_EQ(delta->table, "Inventory");
+  EXPECT_EQ(delta->row, 1u);
+  EXPECT_EQ(delta->old_tuple[1].int_value(), 3);
+  EXPECT_EQ(delta->new_tuple[1].int_value(), 0);
+  EXPECT_EQ(delta->new_version, delta->old_version + 1);
   EXPECT_EQ(catalog_.GetTable("Inventory").value()->at(1, 1).int_value(), 0);
   // A tuple that no longer exists cannot be matched.
-  EXPECT_TRUE(
-      updates.ApplyUpdateByMatch("Inventory", bag, {{"on_hand", "5"}}).IsNotFound());
+  EXPECT_TRUE(updates.ApplyUpdateByMatch("Inventory", bag, {{"on_hand", "5"}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(UpdateTest, ApplyUpdateByMatchRejectsAmbiguousMatch) {
+  // Two identical tuples: a by-value match cannot tell which one the user
+  // clicked, so the update must be refused rather than applied arbitrarily.
+  auto dup =
+      MakeRelation({Column{"item", DataType::kString},
+                    Column{"on_hand", DataType::kInt}},
+                   {{Value::String("hat"), Value::Int(12)},
+                    {Value::String("hat"), Value::Int(12)}})
+          .value();
+  ASSERT_TRUE(catalog_.RegisterTable("Dup", dup).ok());
+  UpdateManager updates(&catalog_);
+  db::Tuple hat = catalog_.GetTable("Dup").value()->row(0);
+  auto result = updates.ApplyUpdateByMatch("Dup", hat, {{"on_hand", "1"}});
+  EXPECT_TRUE(result.status().IsFailedPrecondition()) << result.status().ToString();
+  // Neither duplicate was touched.
+  EXPECT_EQ(catalog_.GetTable("Dup").value()->at(0, 1).int_value(), 12);
+  EXPECT_EQ(catalog_.GetTable("Dup").value()->at(1, 1).int_value(), 12);
 }
 
 TEST_F(UpdateTest, DescribeTupleShowsDialogContents) {

@@ -6,7 +6,12 @@
 #               delta propagation);
 #   3. asan   — rebuild with Address+UB sanitizers and run the columnar /
 #               batch-evaluation tests (the paths that index raw column
-#               vectors through selection vectors).
+#               vectors through selection vectors);
+#   4. ubsan  — rebuild with UndefinedBehaviorSanitizer alone (unlike the
+#               asan pass it traps on the first finding instead of
+#               recovering) and run the join/operator tests — the class of
+#               bug this catches mechanically is the old HashKey
+#               out-of-range double->int64 cast.
 # Pass --fast to run tier 1 only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,5 +39,12 @@ cmake --build build-asan -j --target \
   columnar_test batch_eval_test operators_test display_relation_test
 (cd build-asan && ctest --output-on-failure \
   -R 'columnar_test|batch_eval_test|operators_test|display_relation_test')
+
+echo "== ubsan: join + operator tests =="
+cmake -B build-ubsan -S . -DTIOGA2_UBSAN=ON >/dev/null
+cmake --build build-ubsan -j --target \
+  join_test operators_test columnar_test batch_eval_test
+(cd build-ubsan && ctest --output-on-failure \
+  -R 'join_test|operators_test|columnar_test|batch_eval_test')
 
 echo "OK"

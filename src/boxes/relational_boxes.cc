@@ -265,11 +265,10 @@ std::map<std::string, std::string> SampleBox::Params() const {
 
 Result<std::vector<BoxValue>> JoinBox::Fire(const std::vector<BoxValue>& inputs,
                                             const ExecContext& ctx) const {
-  (void)ctx;
   TIOGA2_ASSIGN_OR_RETURN(DisplayRelation left, InputRelation(inputs[0]));
   TIOGA2_ASSIGN_OR_RETURN(DisplayRelation right, InputRelation(inputs[1]));
   TIOGA2_ASSIGN_OR_RETURN(db::JoinResult joined,
-                          db::Join(left.base(), right.base(), predicate_));
+                          db::Join(left.base(), right.base(), predicate_, ctx.policy));
   TIOGA2_ASSIGN_OR_RETURN(
       DisplayRelation output,
       DisplayRelation::WithDefaults(left.name() + "_" + right.name(),

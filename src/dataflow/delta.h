@@ -12,6 +12,13 @@ namespace tioga2::dataflow {
 /// form a sequential edit script: each op's `row` refers to the relation as
 /// it stands when that op applies — for kUpdate and kDelete the position of
 /// the old tuple, for kInsert the position the new tuple lands at.
+///
+/// Tuples are immutable and shared (db::TuplePtr): the WithRow* splice
+/// helpers that ApplyDelta implementations use reference every unchanged
+/// row of the old output rather than copying it, and splicing a *view*
+/// relation (a Restrict/Join output under the vectorized policy) first
+/// materializes its row store lazily — selection views share their parent's
+/// tuples, so even that step copies pointers, not values.
 struct RowOp {
   enum class Kind { kUpdate, kInsert, kDelete };
   Kind kind = Kind::kUpdate;

@@ -123,7 +123,8 @@ Result<RelationPtr> GroupBy(const RelationPtr& input,
   };
   std::unordered_map<std::string, size_t> index_by_key;
   std::vector<Group> groups;
-  for (const Tuple& row : input->rows()) {
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    const Tuple& row = input->row(r);
     TIOGA2_ASSIGN_OR_RETURN(std::string key, TupleKey(row, key_columns));
     auto [it, inserted] = index_by_key.emplace(key, groups.size());
     if (inserted) {
@@ -201,9 +202,11 @@ Result<RelationPtr> Distinct(const RelationPtr& input) {
   for (size_t i = 0; i < all_columns.size(); ++i) all_columns[i] = i;
   std::unordered_map<std::string, bool> seen;
   RelationBuilder builder(input->schema());
-  for (const Tuple& row : input->rows()) {
-    TIOGA2_ASSIGN_OR_RETURN(std::string key, TupleKey(row, all_columns));
-    if (seen.emplace(std::move(key), true).second) builder.AddRowUnchecked(row);
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string key, TupleKey(input->row(r), all_columns));
+    if (seen.emplace(std::move(key), true).second) {
+      builder.AddRowShared(input->row_ptr(r));
+    }
   }
   return builder.Build();
 }
@@ -216,8 +219,8 @@ Result<RelationPtr> UnionAll(const RelationPtr& first, const RelationPtr& second
   }
   RelationBuilder builder(first->schema());
   builder.Reserve(first->num_rows() + second->num_rows());
-  for (const Tuple& row : first->rows()) builder.AddRowUnchecked(row);
-  for (const Tuple& row : second->rows()) builder.AddRowUnchecked(row);
+  for (const TuplePtr& row : first->row_ptrs()) builder.AddRowShared(row);
+  for (const TuplePtr& row : second->row_ptrs()) builder.AddRowShared(row);
   return builder.Build();
 }
 

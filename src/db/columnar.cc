@@ -26,37 +26,50 @@ types::Value ColumnVector::ValueAt(size_t row) const {
   return Value::Null();
 }
 
-ColumnVector MaterializeColumn(const std::vector<std::vector<types::Value>>& rows,
-                               size_t column, types::DataType type) {
+namespace {
+
+void ResizeTyped(ColumnVector* out, size_t n) {
+  switch (out->type) {
+    case DataType::kBool:
+      out->bools.resize(n);
+      break;
+    case DataType::kInt:
+      out->ints.resize(n);
+      break;
+    case DataType::kFloat:
+      out->floats.resize(n);
+      break;
+    case DataType::kString:
+      out->strings.resize(n);
+      break;
+    case DataType::kDate:
+      out->dates.resize(n);
+      break;
+    case DataType::kDisplay:
+      out->boxed.resize(n);
+      break;
+  }
+}
+
+void SetNullBit(ColumnVector* out, size_t n, size_t r) {
+  if (out->null_bits.empty()) out->null_bits.resize((n + 63) / 64, 0);
+  out->null_bits[r >> 6] |= uint64_t{1} << (r & 63);
+}
+
+}  // namespace
+
+ColumnVector MaterializeColumn(
+    const std::vector<std::shared_ptr<const std::vector<types::Value>>>& rows,
+    size_t column, types::DataType type) {
   ColumnVector out;
   out.type = type;
   out.num_rows = rows.size();
   const size_t n = rows.size();
-  switch (type) {
-    case DataType::kBool:
-      out.bools.resize(n);
-      break;
-    case DataType::kInt:
-      out.ints.resize(n);
-      break;
-    case DataType::kFloat:
-      out.floats.resize(n);
-      break;
-    case DataType::kString:
-      out.strings.resize(n);
-      break;
-    case DataType::kDate:
-      out.dates.resize(n);
-      break;
-    case DataType::kDisplay:
-      out.boxed.resize(n);
-      break;
-  }
+  ResizeTyped(&out, n);
   for (size_t r = 0; r < n; ++r) {
-    const Value& v = rows[r][column];
+    const Value& v = (*rows[r])[column];
     if (v.is_null()) {
-      if (out.null_bits.empty()) out.null_bits.resize((n + 63) / 64, 0);
-      out.null_bits[r >> 6] |= uint64_t{1} << (r & 63);
+      SetNullBit(&out, n, r);
       continue;
     }
     switch (type) {
@@ -83,16 +96,83 @@ ColumnVector MaterializeColumn(const std::vector<std::vector<types::Value>>& row
   return out;
 }
 
+ColumnVector GatherColumn(const ColumnVector& src,
+                          const std::vector<uint32_t>& rows) {
+  ColumnVector out;
+  out.type = src.type;
+  out.num_rows = rows.size();
+  const size_t n = rows.size();
+  ResizeTyped(&out, n);
+  for (size_t k = 0; k < n; ++k) {
+    const size_t r = rows[k];
+    if (src.IsNull(r)) {
+      SetNullBit(&out, n, k);
+      continue;
+    }
+    switch (src.type) {
+      case DataType::kBool:
+        out.bools[k] = src.bools[r];
+        break;
+      case DataType::kInt:
+        out.ints[k] = src.ints[r];
+        break;
+      case DataType::kFloat:
+        out.floats[k] = src.floats[r];
+        break;
+      case DataType::kString:
+        out.strings[k] = src.strings[r];
+        break;
+      case DataType::kDate:
+        out.dates[k] = src.dates[r];
+        break;
+      case DataType::kDisplay:
+        out.boxed[k] = src.boxed[r];
+        break;
+    }
+  }
+  return out;
+}
+
+ColumnVector SplatCell(const ColumnVector& src, size_t row, size_t n) {
+  ColumnVector out;
+  out.type = src.type;
+  out.num_rows = n;
+  ResizeTyped(&out, n);
+  if (src.IsNull(row)) {
+    // Every row null: saturate the bitmap (bits past n are never read).
+    out.null_bits.assign((n + 63) / 64, ~uint64_t{0});
+    return out;
+  }
+  switch (src.type) {
+    case DataType::kBool:
+      out.bools.assign(n, src.bools[row]);
+      break;
+    case DataType::kInt:
+      out.ints.assign(n, src.ints[row]);
+      break;
+    case DataType::kFloat:
+      out.floats.assign(n, src.floats[row]);
+      break;
+    case DataType::kString:
+      out.strings.assign(n, src.strings[row]);
+      break;
+    case DataType::kDate:
+      out.dates.assign(n, src.dates[row]);
+      break;
+    case DataType::kDisplay:
+      out.boxed.assign(n, src.boxed[row]);
+      break;
+  }
+  return out;
+}
+
 ColumnarTable::ColumnarTable(const Relation* relation)
     : relation_(relation),
       once_(relation->num_columns()),
       columns_(relation->num_columns()) {}
 
 const ColumnVector& ColumnarTable::column(size_t c) const {
-  std::call_once(once_[c], [this, c] {
-    columns_[c] =
-        MaterializeColumn(relation_->rows(), c, relation_->schema()->column(c).type);
-  });
+  std::call_once(once_[c], [this, c] { columns_[c] = relation_->BuildColumn(c); });
   return columns_[c];
 }
 

@@ -2,6 +2,7 @@
 #define TIOGA2_DB_COLUMNAR_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -74,10 +75,24 @@ class ColumnarTable {
   mutable std::vector<ColumnVector> columns_;
 };
 
-/// Builds one typed column from rows (exposed for tests; Relation callers go
-/// through Relation::columnar()).
-ColumnVector MaterializeColumn(const std::vector<std::vector<types::Value>>& rows,
-                               size_t column, types::DataType type);
+/// Builds one typed column from shared rows (exposed for tests; Relation
+/// callers go through Relation::columnar()).
+ColumnVector MaterializeColumn(
+    const std::vector<std::shared_ptr<const std::vector<types::Value>>>& rows,
+    size_t column, types::DataType type);
+
+/// Gathers `rows` of `src` into a new ColumnVector of the same type —
+/// element k of the result is src[rows[k]]. This is how a selection or join
+/// view's columnar() builds its columns straight from the parents' typed
+/// vectors, without boxing a Value or touching any row store (exposed for
+/// tests).
+ColumnVector GatherColumn(const ColumnVector& src,
+                          const std::vector<uint32_t>& rows);
+
+/// A column of `n` rows, every element equal to src[row] (or all-null when
+/// src[row] is null). The batched nested-loop join broadcasts the fixed
+/// left-row cells over a block of right rows with this.
+ColumnVector SplatCell(const ColumnVector& src, size_t row, size_t n);
 
 }  // namespace tioga2::db
 

@@ -57,10 +57,10 @@ Result<std::string> RelationToCsv(const Relation& relation) {
     out += schema.column(c).name + ":" + types::DataTypeToString(schema.column(c).type);
   }
   out += '\n';
-  for (const Tuple& row : relation.rows()) {
-    for (size_t c = 0; c < row.size(); ++c) {
+  for (size_t r = 0; r < relation.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
       if (c > 0) out += ',';
-      out += row[c].ToString();  // strings arrive quoted, which is CSV-safe here
+      out += relation.at(r, c).ToString();  // strings arrive quoted, which is CSV-safe here
     }
     out += '\n';
   }

@@ -1,9 +1,10 @@
 #include "db/operators.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cstring>
+#include <limits>
+#include <memory>
 #include <numeric>
-#include <unordered_map>
 #include <utility>
 
 #include "common/rng.h"
@@ -60,10 +61,10 @@ Result<RelationPtr> Project(const RelationPtr& input,
   TIOGA2_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(out_columns)));
   RelationBuilder builder(std::make_shared<const Schema>(std::move(schema)));
   builder.Reserve(input->num_rows());
-  for (const Tuple& row : input->rows()) {
+  for (size_t r = 0; r < input->num_rows(); ++r) {
     Tuple out;
     out.reserve(indices.size());
-    for (size_t index : indices) out.push_back(row[index]);
+    for (size_t index : indices) out.push_back(input->at(r, index));
     builder.AddRowUnchecked(std::move(out));
   }
   return builder.Build();
@@ -76,10 +77,10 @@ Result<RelationPtr> RestrictScalar(const RelationPtr& input,
   }
   expr::BatchMetrics::Global().restrict_scalar_rows += input->num_rows();
   RelationBuilder builder(input->schema());
-  for (const Tuple& row : input->rows()) {
-    expr::TupleAccessor accessor(row);
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    expr::TupleAccessor accessor(input->row(r));
     TIOGA2_ASSIGN_OR_RETURN(bool keep, PredicateKeeps(predicate, accessor));
-    if (keep) builder.AddRowUnchecked(row);
+    if (keep) builder.AddRowShared(input->row_ptr(r));
   }
   return builder.Build();
 }
@@ -95,19 +96,22 @@ Result<RelationPtr> Restrict(const RelationPtr& input,
   metrics.restrict_rows += input->num_rows();
   expr::RelationBatchSource source(*input);
   expr::BatchEvaluator evaluator(source);
-  RelationBuilder builder(input->schema());
+  expr::Selection survivors;
   expr::Selection sel;
   for (size_t begin = 0; begin < input->num_rows(); begin += expr::kBatchSize) {
     size_t end = std::min(begin + expr::kBatchSize, input->num_rows());
     expr::IdentitySelection(begin, end, &sel);
     TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
                             evaluator.FilterTrue(predicate.root(), sel));
-    for (uint32_t r : kept) builder.AddRowUnchecked(input->row(r));
+    survivors.insert(survivors.end(), kept.begin(), kept.end());
     ++metrics.restrict_batches;
   }
   metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
   metrics.nodes_fallback += evaluator.stats().fallback_nodes;
-  return builder.Build();
+  // Surviving rows become a selection view over the input: no tuple is
+  // copied, and columnar() gathers the survivors straight from the input's
+  // typed columns.
+  return Relation::MakeSelectionView(input, std::move(survivors));
 }
 
 Result<RelationPtr> Restrict(const RelationPtr& input,
@@ -125,8 +129,8 @@ Result<RelationPtr> Sample(const RelationPtr& input, double probability, uint64_
   }
   Rng rng(seed);
   RelationBuilder builder(input->schema());
-  for (const Tuple& row : input->rows()) {
-    if (rng.NextDouble() < probability) builder.AddRowUnchecked(row);
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    if (rng.NextDouble() < probability) builder.AddRowShared(input->row_ptr(r));
   }
   return builder.Build();
 }
@@ -176,15 +180,228 @@ std::optional<EquiJoinKey> DetectEquiJoin(const expr::ExprNode& root,
   return std::nullopt;
 }
 
-std::string HashKey(const Value& v) {
-  // Values hash by canonical text; int/float unify so that 2 joins with 2.0.
-  if (v.is_null()) return "\0null";
-  if (v.is_int() || v.is_float()) {
-    double d = v.AsDouble();
-    if (d == static_cast<int64_t>(d)) return "n" + std::to_string(static_cast<int64_t>(d));
-    return "n" + std::to_string(d);
+// ---------------------------------------------------------------------------
+// Join-key hashing.
+//
+// Keys hash as a typed uint64_t over the canonical value — no per-row string
+// allocation (the old text key cost one std::string per probe and per build
+// row) and no narrowing casts (the old `d == static_cast<int64_t>(d)` test
+// was undefined behavior for keys outside int64 range, and
+// std::to_string(double)'s 6-digit rounding collided distinct float keys).
+//
+// The hash must be consistent with Value::Equals, which unifies numerics:
+// `2` joins `2.0`. So int and float keys both hash their AsDouble() image
+// (the int64→double conversion is well-defined for every value; ints beyond
+// 2^53 that round to the same double also compare equal under Equals, so
+// hashing the rounded image is exactly right). -0.0 is collapsed onto +0.0
+// before hashing because they compare equal. Equal values therefore hash
+// equal; distinct values may still collide and are resolved by a real
+// equality check at probe time.
+
+/// splitmix64 finalizer: a cheap full-avalanche mix.
+inline uint64_t MixHash(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Per-type seeds keep, say, Int(0) and Bool(false) from colliding by
+// construction.
+constexpr uint64_t kNumericSeed = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kBoolSeed = 0xa0761d6478bd642fULL;
+constexpr uint64_t kDateSeed = 0xe7037ed1a0b428dbULL;
+constexpr uint64_t kStringSeed = 0x8ebc6af09c88c6e3ULL;
+
+inline uint64_t HashNumericKey(double d) {
+  if (d == 0.0) d = 0.0;  // -0.0 and +0.0 compare equal → must hash equal
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return MixHash(bits ^ kNumericSeed);
+}
+
+inline uint64_t HashStringKey(const std::string& s) {
+  // FNV-1a, finalized through the mixer.
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
   }
-  return "v" + v.ToString();
+  return MixHash(h ^ kStringSeed);
+}
+
+/// Hash of a non-null scalar key (the row-store path).
+uint64_t HashKeyValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kInt:
+    case DataType::kFloat:
+      return HashNumericKey(v.AsDouble());
+    case DataType::kBool:
+      return MixHash(kBoolSeed ^ (v.bool_value() ? 1 : 0));
+    case DataType::kDate:
+      return MixHash(kDateSeed ^ static_cast<uint64_t>(v.date_value().DaysValue()));
+    case DataType::kString:
+      return HashStringKey(v.string_value());
+    case DataType::kDisplay:
+      return HashStringKey(v.ToString());
+  }
+  return 0;
+}
+
+/// Hash of a non-null key cell of a typed column (the columnar path). Must
+/// agree with HashKeyValue on every value — join_test checks the property.
+uint64_t HashKeyCell(const ColumnVector& col, size_t row) {
+  switch (col.type) {
+    case DataType::kInt:
+      return HashNumericKey(static_cast<double>(col.ints[row]));
+    case DataType::kFloat:
+      return HashNumericKey(col.floats[row]);
+    case DataType::kBool:
+      return MixHash(kBoolSeed ^ (col.bools[row] != 0 ? 1 : 0));
+    case DataType::kDate:
+      return MixHash(kDateSeed ^ static_cast<uint64_t>(col.dates[row]));
+    case DataType::kString:
+      return HashStringKey(col.strings[row]);
+    case DataType::kDisplay:
+      return HashStringKey(col.boxed[row].ToString());
+  }
+  return 0;
+}
+
+/// Equality of two non-null key cells, mirroring Value::Equals: numerics
+/// compare as double across int/float, other types require matching type.
+bool JoinCellsEqual(const ColumnVector& a, size_t ar, const ColumnVector& b,
+                    size_t br) {
+  const bool a_num = a.type == DataType::kInt || a.type == DataType::kFloat;
+  const bool b_num = b.type == DataType::kInt || b.type == DataType::kFloat;
+  if (a_num && b_num) {
+    double x = a.type == DataType::kInt ? static_cast<double>(a.ints[ar]) : a.floats[ar];
+    double y = b.type == DataType::kInt ? static_cast<double>(b.ints[br]) : b.floats[br];
+    return x == y;
+  }
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case DataType::kBool:
+      return a.bools[ar] == b.bools[br];
+    case DataType::kString:
+      return a.strings[ar] == b.strings[br];
+    case DataType::kDate:
+      return a.dates[ar] == b.dates[br];
+    case DataType::kDisplay:
+      return a.boxed[ar].Equals(b.boxed[br]);
+    case DataType::kInt:
+    case DataType::kFloat:
+      break;  // handled above
+  }
+  return false;
+}
+
+/// Compact chained hash table over the build side's non-null key rows:
+/// flat arrays, power-of-two buckets, no per-entry allocation. Entries are
+/// inserted in *descending* build-row order so each bucket chain enumerates
+/// candidates in ascending row order — one half of the left-major ordering
+/// contract.
+class JoinHashTable {
+ public:
+  template <typename IsNullFn, typename HashFn>
+  void Build(size_t n, const IsNullFn& is_null, const HashFn& hash) {
+    size_t buckets = 16;
+    while (buckets < 2 * n) buckets <<= 1;
+    mask_ = buckets - 1;
+    head_.assign(buckets, kEnd);
+    next_.reserve(n);
+    hashes_.reserve(n);
+    rows_.reserve(n);
+    for (size_t i = n; i-- > 0;) {
+      if (is_null(i)) continue;  // null keys never join
+      const uint64_t h = hash(i);
+      const size_t b = static_cast<size_t>(h) & mask_;
+      next_.push_back(head_[b]);
+      hashes_.push_back(h);
+      rows_.push_back(static_cast<uint32_t>(i));
+      head_[b] = static_cast<uint32_t>(rows_.size() - 1);
+    }
+  }
+
+  /// Calls `match(build_row)` for every entry whose full hash equals `h`,
+  /// in ascending build-row order.
+  template <typename MatchFn>
+  void ForEachCandidate(uint64_t h, const MatchFn& match) const {
+    for (uint32_t e = head_[static_cast<size_t>(h) & mask_]; e != kEnd;
+         e = next_[e]) {
+      if (hashes_[e] == h) match(rows_[e]);
+    }
+  }
+
+ private:
+  static constexpr uint32_t kEnd = std::numeric_limits<uint32_t>::max();
+  size_t mask_ = 0;
+  std::vector<uint32_t> head_;
+  std::vector<uint32_t> next_;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> rows_;
+};
+
+/// Matched (left row, right row) pairs, position-aligned.
+struct JoinPairs {
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+};
+
+/// Stable counting sort of the pairs by left row id. Probing emits pairs
+/// grouped by probe row, so when the probe side was the *right* input the
+/// pair list is right-major and must be reordered; stability keeps right ids
+/// ascending within each left id (the probe scanned them in order).
+void ReorderLeftMajor(size_t left_num_rows, JoinPairs* pairs) {
+  std::vector<uint32_t> offsets(left_num_rows + 1, 0);
+  for (uint32_t l : pairs->left) ++offsets[l + 1];
+  for (size_t i = 1; i <= left_num_rows; ++i) offsets[i] += offsets[i - 1];
+  std::vector<uint32_t> left(pairs->left.size());
+  std::vector<uint32_t> right(pairs->right.size());
+  for (size_t k = 0; k < pairs->left.size(); ++k) {
+    const uint32_t pos = offsets[pairs->left[k]]++;
+    left[pos] = pairs->left[k];
+    right[pos] = pairs->right[k];
+  }
+  pairs->left = std::move(left);
+  pairs->right = std::move(right);
+}
+
+/// Builds on one side, probes with the other, and returns matches in
+/// left-major order regardless of which side was built — the build-side
+/// choice is a cost heuristic and must never show up in output order (the
+/// old implementation emitted probe-major rows, so the order flipped when an
+/// update grew one input past the other).
+template <typename BuildNull, typename BuildHash, typename ProbeNull,
+          typename ProbeHash, typename EqualFn>
+JoinPairs HashJoinPairs(size_t left_num_rows, size_t build_num_rows,
+                        size_t probe_num_rows, bool build_left,
+                        const BuildNull& build_null, const BuildHash& build_hash,
+                        const ProbeNull& probe_null, const ProbeHash& probe_hash,
+                        const EqualFn& equal) {
+  JoinHashTable table;
+  table.Build(build_num_rows, build_null, build_hash);
+  JoinPairs pairs;
+  for (size_t j = 0; j < probe_num_rows; ++j) {
+    if (probe_null(j)) continue;
+    const uint64_t h = probe_hash(j);
+    table.ForEachCandidate(h, [&](uint32_t i) {
+      // Hash collisions are resolved by a real equality check.
+      if (!equal(i, j)) return;
+      if (build_left) {
+        pairs.left.push_back(i);
+        pairs.right.push_back(static_cast<uint32_t>(j));
+      } else {
+        pairs.left.push_back(static_cast<uint32_t>(j));
+        pairs.right.push_back(i);
+      }
+    });
+  }
+  if (build_left) ReorderLeftMajor(left_num_rows, &pairs);
+  return pairs;
 }
 
 Tuple ConcatTuples(const Tuple& left, const Tuple& right) {
@@ -199,9 +416,10 @@ Result<RelationPtr> RunNestedLoop(const RelationPtr& left, const RelationPtr& ri
                                   const SchemaPtr& out_schema,
                                   const expr::CompiledExpr& predicate) {
   RelationBuilder builder(out_schema);
-  for (const Tuple& lrow : left->rows()) {
-    for (const Tuple& rrow : right->rows()) {
-      Tuple combined = ConcatTuples(lrow, rrow);
+  for (size_t l = 0; l < left->num_rows(); ++l) {
+    const Tuple& lrow = left->row(l);
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      Tuple combined = ConcatTuples(lrow, right->row(r));
       expr::TupleAccessor accessor(combined);
       TIOGA2_ASSIGN_OR_RETURN(bool keep, PredicateKeeps(predicate, accessor));
       if (keep) builder.AddRowUnchecked(std::move(combined));
@@ -210,10 +428,98 @@ Result<RelationPtr> RunNestedLoop(const RelationPtr& left, const RelationPtr& ri
   return builder.Build();
 }
 
+/// BatchSource over one slice of the cross product: a fixed left row against
+/// every right row. Right columns borrow the right relation's columnar view;
+/// left columns materialize lazily as splats of the fixed left cell (only
+/// the columns the predicate actually references get splatted).
+class CrossBlockSource : public expr::BatchSource {
+ public:
+  CrossBlockSource(const Relation& left, const Relation& right)
+      : left_(left),
+        right_(right),
+        left_width_(left.schema()->num_columns()),
+        splats_(left_width_) {}
+
+  void SetLeftRow(size_t row) {
+    left_row_ = row;
+    for (auto& splat : splats_) splat.reset();
+  }
+
+  size_t num_rows() const override { return right_.num_rows(); }
+
+  const ColumnVector* StoredColumn(size_t index) const override {
+    if (index >= left_width_) {
+      return &right_.columnar().column(index - left_width_);
+    }
+    std::unique_ptr<ColumnVector>& splat = splats_[index];
+    if (splat == nullptr) {
+      splat = std::make_unique<ColumnVector>(SplatCell(
+          left_.columnar().column(index), left_row_, right_.num_rows()));
+    }
+    return splat.get();
+  }
+
+  Result<Value> StoredAt(size_t index, size_t row) const override {
+    if (index < left_width_) return left_.at(left_row_, index);
+    return right_.at(row, index - left_width_);
+  }
+
+  Result<Value> NamedAt(const std::string& name, size_t) const override {
+    return Status::NotFound("no computed attribute '" + name +
+                            "' on a join input");
+  }
+
+ private:
+  const Relation& left_;
+  const Relation& right_;
+  size_t left_width_;
+  size_t left_row_ = 0;
+  mutable std::vector<std::unique_ptr<ColumnVector>> splats_;
+};
+
+/// Vectorized nested loop: the predicate runs through expr::BatchEvaluator
+/// over kBatchSize blocks of right rows per left row, the way Restrict
+/// batches. Output order (left-major) matches the scalar nested loop.
+Result<RelationPtr> RunNestedLoopBatched(const RelationPtr& left,
+                                         const RelationPtr& right,
+                                         const SchemaPtr& out_schema,
+                                         const expr::CompiledExpr& predicate) {
+  expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
+  CrossBlockSource source(*left, *right);
+  JoinPairs pairs;
+  expr::Selection sel;
+  for (size_t l = 0; l < left->num_rows(); ++l) {
+    source.SetLeftRow(l);
+    expr::BatchEvaluator evaluator(source);
+    for (size_t begin = 0; begin < right->num_rows(); begin += expr::kBatchSize) {
+      const size_t end = std::min(begin + expr::kBatchSize, right->num_rows());
+      expr::IdentitySelection(begin, end, &sel);
+      TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
+                              evaluator.FilterTrue(predicate.root(), sel));
+      for (uint32_t r : kept) {
+        pairs.left.push_back(static_cast<uint32_t>(l));
+        pairs.right.push_back(r);
+      }
+      ++metrics.join_nested_batches;
+    }
+    metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
+    metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+  }
+  return Relation::MakeJoinView(out_schema, left, std::move(pairs.left), right,
+                                std::move(pairs.right));
+}
+
+// Row ids in views and selections are uint32.
+constexpr size_t kMaxJoinRows = std::numeric_limits<uint32_t>::max();
+
 }  // namespace
 
 Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
-                        const std::string& predicate_source) {
+                        const std::string& predicate_source,
+                        const ExecPolicy& policy) {
+  if (left->num_rows() > kMaxJoinRows || right->num_rows() > kMaxJoinRows) {
+    return Status::InvalidArgument("join input exceeds 2^32-1 rows");
+  }
   TIOGA2_ASSIGN_OR_RETURN(SchemaPtr out_schema,
                           JoinOutputSchema(left->schema(), right->schema()));
   TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
@@ -222,48 +528,75 @@ Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
   std::optional<EquiJoinKey> key = DetectEquiJoin(
       predicate.root(), left->schema()->num_columns(), out_schema->num_columns());
   if (!key.has_value()) {
-    TIOGA2_ASSIGN_OR_RETURN(RelationPtr rel,
-                            RunNestedLoop(left, right, out_schema, predicate));
+    TIOGA2_ASSIGN_OR_RETURN(
+        RelationPtr rel,
+        policy.vectorized ? RunNestedLoopBatched(left, right, out_schema, predicate)
+                          : RunNestedLoop(left, right, out_schema, predicate));
     return JoinResult{std::move(rel), JoinAlgorithm::kNestedLoop};
   }
 
-  // Hash join: build on the smaller input, probe with the larger.
+  // Hash join: build on the smaller input, probe with the larger. The
+  // build-side choice only affects cost — HashJoinPairs emits left-major
+  // order either way.
   const bool build_left = left->num_rows() <= right->num_rows();
   const RelationPtr& build = build_left ? left : right;
   const RelationPtr& probe = build_left ? right : left;
-  size_t build_key = build_left ? key->left_index : key->right_index;
-  size_t probe_key = build_left ? key->right_index : key->left_index;
+  const size_t build_key = build_left ? key->left_index : key->right_index;
+  const size_t probe_key = build_left ? key->right_index : key->left_index;
 
-  std::unordered_multimap<std::string, size_t> table;
-  table.reserve(build->num_rows());
-  for (size_t i = 0; i < build->num_rows(); ++i) {
-    const Value& v = build->row(i)[build_key];
-    if (v.is_null()) continue;  // nulls never join
-    table.emplace(HashKey(v), i);
+  expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
+  if (policy.vectorized) {
+    // Columnar path: hash typed key cells straight out of the inputs'
+    // column vectors and emit a join view — no tuple is materialized and no
+    // Value is boxed anywhere on this path.
+    metrics.join_hash_build_rows += build->num_rows();
+    metrics.join_hash_probe_rows += probe->num_rows();
+    const ColumnVector& bcol = build->columnar().column(build_key);
+    const ColumnVector& pcol = probe->columnar().column(probe_key);
+    JoinPairs pairs = HashJoinPairs(
+        left->num_rows(), build->num_rows(), probe->num_rows(), build_left,
+        [&](size_t i) { return bcol.IsNull(i); },
+        [&](size_t i) { return HashKeyCell(bcol, i); },
+        [&](size_t j) { return pcol.IsNull(j); },
+        [&](size_t j) { return HashKeyCell(pcol, j); },
+        [&](size_t i, size_t j) { return JoinCellsEqual(bcol, i, pcol, j); });
+    RelationPtr rel =
+        Relation::MakeJoinView(std::move(out_schema), left, std::move(pairs.left),
+                               right, std::move(pairs.right));
+    return JoinResult{std::move(rel), JoinAlgorithm::kHash};
   }
+
+  // Scalar oracle path: hash Values tuple-at-a-time, materialize rows.
+  JoinPairs pairs = HashJoinPairs(
+      left->num_rows(), build->num_rows(), probe->num_rows(), build_left,
+      [&](size_t i) { return build->at(i, build_key).is_null(); },
+      [&](size_t i) { return HashKeyValue(build->at(i, build_key)); },
+      [&](size_t j) { return probe->at(j, probe_key).is_null(); },
+      [&](size_t j) { return HashKeyValue(probe->at(j, probe_key)); },
+      [&](size_t i, size_t j) {
+        return build->at(i, build_key).Equals(probe->at(j, probe_key));
+      });
   RelationBuilder builder(out_schema);
-  for (const Tuple& probe_row : probe->rows()) {
-    const Value& v = probe_row[probe_key];
-    if (v.is_null()) continue;
-    auto [begin, end] = table.equal_range(HashKey(v));
-    for (auto it = begin; it != end; ++it) {
-      const Tuple& build_row = build->row(it->second);
-      // Hash collisions across types are resolved by a real equality check.
-      if (!build_row[build_key].Equals(v)) continue;
-      builder.AddRowUnchecked(build_left ? ConcatTuples(build_row, probe_row)
-                                         : ConcatTuples(probe_row, build_row));
-    }
+  builder.Reserve(pairs.left.size());
+  for (size_t k = 0; k < pairs.left.size(); ++k) {
+    builder.AddRowUnchecked(
+        ConcatTuples(left->row(pairs.left[k]), right->row(pairs.right[k])));
   }
   return JoinResult{builder.Build(), JoinAlgorithm::kHash};
 }
 
 Result<RelationPtr> NestedLoopJoin(const RelationPtr& left, const RelationPtr& right,
-                                   const std::string& predicate_source) {
+                                   const std::string& predicate_source,
+                                   const ExecPolicy& policy) {
+  if (left->num_rows() > kMaxJoinRows || right->num_rows() > kMaxJoinRows) {
+    return Status::InvalidArgument("join input exceeds 2^32-1 rows");
+  }
   TIOGA2_ASSIGN_OR_RETURN(SchemaPtr out_schema,
                           JoinOutputSchema(left->schema(), right->schema()));
   TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
                           CompilePredicate(out_schema, predicate_source));
-  return RunNestedLoop(left, right, out_schema, predicate);
+  return policy.vectorized ? RunNestedLoopBatched(left, right, out_schema, predicate)
+                           : RunNestedLoop(left, right, out_schema, predicate);
 }
 
 namespace {
@@ -308,33 +641,36 @@ Result<RelationPtr> Sort(const RelationPtr& input, const std::string& column,
   if (input->schema()->column(index).type == DataType::kDisplay) {
     return Status::TypeError("cannot sort by a display column");
   }
-  std::vector<size_t> order(input->num_rows());
-  std::iota(order.begin(), order.end(), 0);
   if (policy.vectorized) {
     // Sort key extraction through the columnar view: one typed column scan
-    // instead of a Value variant dispatch per comparison.
+    // instead of a Value variant dispatch per comparison. The permutation
+    // becomes a selection view — no tuple is copied or re-referenced.
     const ColumnVector& col = input->columnar().column(index);
     ++expr::BatchMetrics::Global().sort_key_batches;
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    std::vector<uint32_t> order(input->num_rows());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
       int cmp = CompareColumnCells(col, a, b);
       return ascending ? cmp < 0 : cmp > 0;
     });
-  } else {
-    ++expr::BatchMetrics::Global().sort_scalar_fallbacks;
-    Status failure = Status::OK();
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      Result<int> cmp = input->row(a)[index].Compare(input->row(b)[index]);
-      if (!cmp.ok()) {
-        if (failure.ok()) failure = cmp.status();
-        return false;
-      }
-      return ascending ? cmp.value() < 0 : cmp.value() > 0;
-    });
-    TIOGA2_RETURN_IF_ERROR(failure);
+    return Relation::MakeSelectionView(input, std::move(order));
   }
+  ++expr::BatchMetrics::Global().sort_scalar_fallbacks;
+  std::vector<size_t> order(input->num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  Status failure = Status::OK();
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    Result<int> cmp = input->at(a, index).Compare(input->at(b, index));
+    if (!cmp.ok()) {
+      if (failure.ok()) failure = cmp.status();
+      return false;
+    }
+    return ascending ? cmp.value() < 0 : cmp.value() > 0;
+  });
+  TIOGA2_RETURN_IF_ERROR(failure);
   RelationBuilder builder(input->schema());
   builder.Reserve(input->num_rows());
-  for (size_t i : order) builder.AddRowUnchecked(input->row(i));
+  for (size_t i : order) builder.AddRowShared(input->row_ptr(i));
   return builder.Build();
 }
 
@@ -342,7 +678,7 @@ Result<RelationPtr> Limit(const RelationPtr& input, size_t n) {
   RelationBuilder builder(input->schema());
   size_t count = std::min(n, input->num_rows());
   builder.Reserve(count);
-  for (size_t i = 0; i < count; ++i) builder.AddRowUnchecked(input->row(i));
+  for (size_t i = 0; i < count; ++i) builder.AddRowShared(input->row_ptr(i));
   return builder.Build();
 }
 

@@ -80,13 +80,32 @@ struct JoinResult {
 /// with a left column is renamed with a "_2" suffix). If the predicate is a
 /// single equality between one left and one right column, a hash join is
 /// used; otherwise a nested-loop join.
+///
+/// Ordering contract: output rows are always in left-major order — sorted by
+/// left row id, ties by right row id — regardless of which side the planner
+/// builds the hash table on and regardless of the execution policy. The
+/// order therefore cannot flip when an update grows one input past the
+/// other, which downstream fingerprint/stamp byte-identity depends on.
+///
+/// The vectorized path hashes typed key cells straight from the build side's
+/// ColumnVector and emits a join *view* (two row-id vectors over the
+/// inputs); the scalar path hashes Values tuple-at-a-time and materializes
+/// concatenated rows. Both produce value-identical relations (the scalar
+/// path is the oracle). Keys unify int/float (2 joins 2.0, matching
+/// Value::Equals); null keys never join; hash collisions are resolved by a
+/// real equality check.
 Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
-                        const std::string& predicate_source);
+                        const std::string& predicate_source,
+                        const ExecPolicy& policy = DefaultExecPolicy());
 
 /// Forces the nested-loop path regardless of predicate shape (for the
-/// hash-vs-nested-loop ablation benchmark).
+/// hash-vs-nested-loop ablation benchmark). Under a vectorized policy the
+/// predicate runs through expr::BatchEvaluator over cross-product blocks
+/// (one left row splatted against kBatchSize right rows at a time), the way
+/// Restrict batches; output order is left-major either way.
 Result<RelationPtr> NestedLoopJoin(const RelationPtr& left, const RelationPtr& right,
-                                   const std::string& predicate_source);
+                                   const std::string& predicate_source,
+                                   const ExecPolicy& policy = DefaultExecPolicy());
 
 /// Sorts by `column` (ascending or descending); nulls sort first. The
 /// policy picks columnar or row-store key comparison (bit-identical).

@@ -4,6 +4,63 @@
 
 namespace tioga2::db {
 
+RelationPtr Relation::MakeSelectionView(RelationPtr parent,
+                                        std::vector<uint32_t> rows) {
+  auto view = std::make_shared<Relation>(parent->schema());
+  view->left_parent_ = std::move(parent);
+  view->left_rows_ = std::move(rows);
+  view->left_width_ = view->schema_->num_columns();
+  return view;
+}
+
+RelationPtr Relation::MakeJoinView(SchemaPtr schema, RelationPtr left,
+                                   std::vector<uint32_t> left_rows,
+                                   RelationPtr right,
+                                   std::vector<uint32_t> right_rows) {
+  auto view = std::make_shared<Relation>(std::move(schema));
+  view->left_width_ = left->schema()->num_columns();
+  view->left_parent_ = std::move(left);
+  view->right_parent_ = std::move(right);
+  view->left_rows_ = std::move(left_rows);
+  view->right_rows_ = std::move(right_rows);
+  return view;
+}
+
+void Relation::EnsureRows() const {
+  if (!is_view()) return;
+  std::call_once(rows_once_, [this] {
+    std::vector<TuplePtr> rows;
+    rows.reserve(left_rows_.size());
+    if (right_parent_ == nullptr) {
+      // Selection view: surviving rows are the parent's tuples — share them.
+      for (uint32_t r : left_rows_) rows.push_back(left_parent_->row_ptr(r));
+    } else {
+      // Join view: concatenate once, when (and only when) a consumer asks
+      // for row-wise access.
+      for (size_t k = 0; k < left_rows_.size(); ++k) {
+        const Tuple& l = left_parent_->row(left_rows_[k]);
+        const Tuple& r = right_parent_->row(right_rows_[k]);
+        Tuple out;
+        out.reserve(l.size() + r.size());
+        out.insert(out.end(), l.begin(), l.end());
+        out.insert(out.end(), r.begin(), r.end());
+        rows.push_back(std::make_shared<Tuple>(std::move(out)));
+      }
+    }
+    rows_ = std::move(rows);
+  });
+}
+
+ColumnVector Relation::BuildColumn(size_t c) const {
+  const types::DataType type = schema_->column(c).type;
+  if (!is_view()) return MaterializeColumn(rows_, c, type);
+  if (right_parent_ == nullptr || c < left_width_) {
+    return GatherColumn(left_parent_->columnar().column(c), left_rows_);
+  }
+  return GatherColumn(right_parent_->columnar().column(c - left_width_),
+                      right_rows_);
+}
+
 std::string Relation::ToString(size_t max_rows) const {
   std::string out;
   for (size_t c = 0; c < schema_->num_columns(); ++c) {
@@ -11,16 +68,16 @@ std::string Relation::ToString(size_t max_rows) const {
     out += schema_->column(c).name;
   }
   out += "\n";
-  size_t shown = std::min(max_rows, rows_.size());
+  size_t shown = std::min(max_rows, num_rows());
   for (size_t r = 0; r < shown; ++r) {
-    for (size_t c = 0; c < rows_[r].size(); ++c) {
+    for (size_t c = 0; c < schema_->num_columns(); ++c) {
       if (c > 0) out += " | ";
-      out += rows_[r][c].ToString();
+      out += at(r, c).ToString();
     }
     out += "\n";
   }
-  if (shown < rows_.size()) {
-    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  if (shown < num_rows()) {
+    out += "... (" + std::to_string(num_rows() - shown) + " more rows)\n";
   }
   return out;
 }
@@ -54,11 +111,15 @@ Status RelationBuilder::AddRow(Tuple row) {
                                types::DataTypeToString(row[c].type()));
     }
   }
-  relation_->rows_.push_back(std::move(row));
+  relation_->rows_.push_back(std::make_shared<Tuple>(std::move(row)));
   return Status::OK();
 }
 
 void RelationBuilder::AddRowUnchecked(Tuple row) {
+  relation_->rows_.push_back(std::make_shared<Tuple>(std::move(row)));
+}
+
+void RelationBuilder::AddRowShared(TuplePtr row) {
   relation_->rows_.push_back(std::move(row));
 }
 
@@ -92,7 +153,7 @@ Result<RelationPtr> WithRowReplaced(const RelationPtr& input, size_t row,
     if (r == row) {
       TIOGA2_RETURN_IF_ERROR(builder.AddRow(std::move(tuple)));
     } else {
-      builder.AddRowUnchecked(input->row(r));
+      builder.AddRowShared(input->row_ptr(r));
     }
   }
   return builder.Build();
@@ -109,7 +170,7 @@ Result<RelationPtr> WithRowInserted(const RelationPtr& input, size_t row,
   builder.Reserve(input->num_rows() + 1);
   for (size_t r = 0; r < input->num_rows(); ++r) {
     if (r == row) TIOGA2_RETURN_IF_ERROR(builder.AddRow(tuple));
-    builder.AddRowUnchecked(input->row(r));
+    builder.AddRowShared(input->row_ptr(r));
   }
   if (row == input->num_rows()) TIOGA2_RETURN_IF_ERROR(builder.AddRow(std::move(tuple)));
   return builder.Build();
@@ -123,7 +184,7 @@ Result<RelationPtr> WithRowErased(const RelationPtr& input, size_t row) {
   RelationBuilder builder(input->schema());
   builder.Reserve(input->num_rows() - 1);
   for (size_t r = 0; r < input->num_rows(); ++r) {
-    if (r != row) builder.AddRowUnchecked(input->row(r));
+    if (r != row) builder.AddRowShared(input->row_ptr(r));
   }
   return builder.Build();
 }
@@ -132,10 +193,8 @@ bool RelationEquals(const Relation& a, const Relation& b) {
   if (!(*a.schema() == *b.schema())) return false;
   if (a.num_rows() != b.num_rows()) return false;
   for (size_t r = 0; r < a.num_rows(); ++r) {
-    const Tuple& ra = a.row(r);
-    const Tuple& rb = b.row(r);
-    for (size_t c = 0; c < ra.size(); ++c) {
-      if (!ra[c].Equals(rb[c])) return false;
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      if (!a.at(r, c).Equals(b.at(r, c))) return false;
     }
   }
   return true;

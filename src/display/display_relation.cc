@@ -589,32 +589,37 @@ Result<DisplayRelation> DisplayRelation::Restrict(
   if (compiled.result_type() != DataType::kBool) {
     return Status::TypeError("Restrict predicate '" + predicate + "' must be bool");
   }
-  db::RelationBuilder builder(base_->schema());
+  DisplayRelation out = *this;
   if (policy.vectorized) {
     expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
     metrics.restrict_rows += num_rows();
     DisplayBatchSource source(*this);
     expr::BatchEvaluator evaluator(source);
+    expr::Selection survivors;
     expr::Selection sel;
     for (size_t begin = 0; begin < num_rows(); begin += expr::kBatchSize) {
       size_t end = std::min(begin + expr::kBatchSize, num_rows());
       expr::IdentitySelection(begin, end, &sel);
       TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
                               evaluator.FilterTrue(compiled.root(), sel));
-      for (uint32_t r : kept) builder.AddRowUnchecked(base_->row(r));
+      survivors.insert(survivors.end(), kept.begin(), kept.end());
       ++metrics.restrict_batches;
     }
     metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
     metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+    // Survivors reference the base relation through a selection view — no
+    // tuple copies (the tuple-copy tax dominated restrict_half_selectivity
+    // in bench_out/fig03_columnar.json before this).
+    out.base_ = db::Relation::MakeSelectionView(base_, std::move(survivors));
   } else {
+    db::RelationBuilder builder(base_->schema());
     for (size_t r = 0; r < num_rows(); ++r) {
       DisplayRowAccessor accessor(*this, r);
       TIOGA2_ASSIGN_OR_RETURN(Value keep, compiled.Eval(accessor));
-      if (!keep.is_null() && keep.bool_value()) builder.AddRowUnchecked(base_->row(r));
+      if (!keep.is_null() && keep.bool_value()) builder.AddRowShared(base_->row_ptr(r));
     }
+    out.base_ = builder.Build();
   }
-  DisplayRelation out = *this;
-  out.base_ = builder.Build();
   return out;
 }
 

@@ -114,6 +114,9 @@ void BatchMetrics::Reset() {
   display_attr_rows = 0;
   render_location_batches = 0;
   render_scalar_fallbacks = 0;
+  join_hash_build_rows = 0;
+  join_hash_probe_rows = 0;
+  join_nested_batches = 0;
   nodes_vectorized = 0;
   nodes_fallback = 0;
 }

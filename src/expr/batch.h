@@ -124,6 +124,9 @@ struct BatchMetrics {
   std::atomic<uint64_t> display_attr_rows{0};
   std::atomic<uint64_t> render_location_batches{0};
   std::atomic<uint64_t> render_scalar_fallbacks{0};
+  std::atomic<uint64_t> join_hash_build_rows{0};
+  std::atomic<uint64_t> join_hash_probe_rows{0};
+  std::atomic<uint64_t> join_nested_batches{0};
   std::atomic<uint64_t> nodes_vectorized{0};
   std::atomic<uint64_t> nodes_fallback{0};
 

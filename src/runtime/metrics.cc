@@ -159,6 +159,12 @@ std::string Metrics::ToJson() const {
           std::to_string(batch.render_location_batches.load());
   json += ",\"render_scalar_fallbacks\":" +
           std::to_string(batch.render_scalar_fallbacks.load());
+  json += ",\"join_hash_build_rows\":" +
+          std::to_string(batch.join_hash_build_rows.load());
+  json += ",\"join_hash_probe_rows\":" +
+          std::to_string(batch.join_hash_probe_rows.load());
+  json += ",\"join_nested_batches\":" +
+          std::to_string(batch.join_nested_batches.load());
   json += ",\"nodes_vectorized\":" + std::to_string(batch.nodes_vectorized.load());
   json += ",\"nodes_fallback\":" + std::to_string(batch.nodes_fallback.load());
   json += "}}";

@@ -11,7 +11,12 @@
 #               asan pass it traps on the first finding instead of
 #               recovering) and run the join/operator tests — the class of
 #               bug this catches mechanically is the old HashKey
-#               out-of-range double->int64 cast.
+#               out-of-range double->int64 cast;
+#   5. nosimd — rebuild with -DTIOGA2_SIMD=OFF and rerun the full suite, so
+#               the scalar fallback path (the only path on machines where the
+#               SIMD tiers are compiled out) can never rot. The sanitizer
+#               passes above inherit the default SIMD=ON build and therefore
+#               sanitize the kernels themselves.
 # Pass --fast to run tier 1 only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,5 +51,10 @@ cmake --build build-ubsan -j --target \
   join_test operators_test columnar_test batch_eval_test
 (cd build-ubsan && ctest --output-on-failure \
   -R 'join_test|operators_test|columnar_test|batch_eval_test')
+
+echo "== nosimd: full suite with the SIMD tiers compiled out =="
+cmake -B build-nosimd -S . -DTIOGA2_SIMD=OFF >/dev/null
+cmake --build build-nosimd -j
+(cd build-nosimd && ctest --output-on-failure -j)
 
 echo "OK"

@@ -95,7 +95,7 @@ Result<RelationPtr> Restrict(const RelationPtr& input,
   expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
   metrics.restrict_rows += input->num_rows();
   expr::RelationBatchSource source(*input);
-  expr::BatchEvaluator evaluator(source);
+  expr::BatchEvaluator evaluator(source, policy);
   expr::Selection survivors;
   expr::Selection sel;
   for (size_t begin = 0; begin < input->num_rows(); begin += expr::kBatchSize) {
@@ -483,14 +483,15 @@ class CrossBlockSource : public expr::BatchSource {
 Result<RelationPtr> RunNestedLoopBatched(const RelationPtr& left,
                                          const RelationPtr& right,
                                          const SchemaPtr& out_schema,
-                                         const expr::CompiledExpr& predicate) {
+                                         const expr::CompiledExpr& predicate,
+                                         const ExecPolicy& policy) {
   expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
   CrossBlockSource source(*left, *right);
   JoinPairs pairs;
   expr::Selection sel;
   for (size_t l = 0; l < left->num_rows(); ++l) {
     source.SetLeftRow(l);
-    expr::BatchEvaluator evaluator(source);
+    expr::BatchEvaluator evaluator(source, policy);
     for (size_t begin = 0; begin < right->num_rows(); begin += expr::kBatchSize) {
       const size_t end = std::min(begin + expr::kBatchSize, right->num_rows());
       expr::IdentitySelection(begin, end, &sel);
@@ -530,7 +531,7 @@ Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
   if (!key.has_value()) {
     TIOGA2_ASSIGN_OR_RETURN(
         RelationPtr rel,
-        policy.vectorized ? RunNestedLoopBatched(left, right, out_schema, predicate)
+        policy.vectorized ? RunNestedLoopBatched(left, right, out_schema, predicate, policy)
                           : RunNestedLoop(left, right, out_schema, predicate));
     return JoinResult{std::move(rel), JoinAlgorithm::kNestedLoop};
   }
@@ -595,7 +596,7 @@ Result<RelationPtr> NestedLoopJoin(const RelationPtr& left, const RelationPtr& r
                           JoinOutputSchema(left->schema(), right->schema()));
   TIOGA2_ASSIGN_OR_RETURN(expr::CompiledExpr predicate,
                           CompilePredicate(out_schema, predicate_source));
-  return policy.vectorized ? RunNestedLoopBatched(left, right, out_schema, predicate)
+  return policy.vectorized ? RunNestedLoopBatched(left, right, out_schema, predicate, policy)
                            : RunNestedLoop(left, right, out_schema, predicate);
 }
 

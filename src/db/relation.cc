@@ -51,10 +51,36 @@ void Relation::EnsureRows() const {
   });
 }
 
+void Relation::EnsureComposedSelection() const {
+  std::call_once(compose_once_, [this] {
+    const Relation* base = left_parent_.get();
+    if (base->is_view() && base->right_parent_ == nullptr) {
+      // Chain of selection views (Restrict over Restrict over Limit, ...):
+      // fold the row maps so one gather reaches the base columns.
+      std::vector<uint32_t> rows = left_rows_;
+      do {
+        for (uint32_t& r : rows) r = base->left_rows_[r];
+        base = base->left_parent_.get();
+      } while (base->is_view() && base->right_parent_ == nullptr);
+      composed_rows_storage_ = std::move(rows);
+      compose_rows_ = &composed_rows_storage_;
+    } else {
+      compose_rows_ = &left_rows_;
+    }
+    compose_base_ = base;
+  });
+}
+
 ColumnVector Relation::BuildColumn(size_t c) const {
   const types::DataType type = schema_->column(c).type;
   if (!is_view()) return MaterializeColumn(rows_, c, type);
-  if (right_parent_ == nullptr || c < left_width_) {
+  if (right_parent_ == nullptr) {
+    // Selection view: gather once from the deepest non-selection ancestor's
+    // columns, skipping every intermediate view's columnar image.
+    EnsureComposedSelection();
+    return GatherColumn(compose_base_->columnar().column(c), *compose_rows_);
+  }
+  if (c < left_width_) {
     return GatherColumn(left_parent_->columnar().column(c), left_rows_);
   }
   return GatherColumn(right_parent_->columnar().column(c - left_width_),

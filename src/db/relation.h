@@ -132,6 +132,14 @@ class Relation {
   /// the row store, views gather through the selection.
   ColumnVector BuildColumn(size_t c) const;
 
+  /// Resolves the composed selection of a chain of selection views: fills
+  /// compose_base_/compose_rows_ so that this view's row k is
+  /// compose_base_->row((*compose_rows_)[k]) with compose_base_ the deepest
+  /// ancestor that is not itself a selection view. Lets a view-of-a-view
+  /// gather its columns once from the base columns instead of materializing
+  /// every intermediate columnar image. Only meaningful for selection views.
+  void EnsureComposedSelection() const;
+
   /// Fills a view's row store (no-op for materialized relations).
   void EnsureRows() const;
 
@@ -151,6 +159,14 @@ class Relation {
 
   mutable std::once_flag columnar_once_;
   mutable std::unique_ptr<const ColumnarTable> columnar_;
+
+  /// Composed-selection cache (see EnsureComposedSelection). compose_base_
+  /// stays alive through the parent shared_ptr chain; compose_rows_ points
+  /// at left_rows_ when no composition was needed (chain depth 1).
+  mutable std::once_flag compose_once_;
+  mutable const Relation* compose_base_ = nullptr;
+  mutable const std::vector<uint32_t>* compose_rows_ = nullptr;
+  mutable std::vector<uint32_t> composed_rows_storage_;
 };
 
 /// Accumulates tuples for a new materialized Relation, type-checking each

@@ -302,7 +302,7 @@ Result<std::vector<Value>> DisplayRelation::AttributeValues(
       ++metrics.display_attr_batches;
       metrics.display_attr_rows += n;
       DisplayBatchSource source(*this);
-      expr::BatchEvaluator evaluator(source);
+      expr::BatchEvaluator evaluator(source, policy);
       expr::Selection sel;
       for (size_t begin = 0; begin < n; begin += expr::kBatchSize) {
         size_t end = std::min(begin + expr::kBatchSize, n);
@@ -594,7 +594,7 @@ Result<DisplayRelation> DisplayRelation::Restrict(
     expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
     metrics.restrict_rows += num_rows();
     DisplayBatchSource source(*this);
-    expr::BatchEvaluator evaluator(source);
+    expr::BatchEvaluator evaluator(source, policy);
     expr::Selection survivors;
     expr::Selection sel;
     for (size_t begin = 0; begin < num_rows(); begin += expr::kBatchSize) {
@@ -635,7 +635,7 @@ Result<size_t> DisplayRelation::CountKept(const std::string& predicate,
   size_t count = 0;
   if (policy.vectorized) {
     DisplayBatchSource source(*this);
-    expr::BatchEvaluator evaluator(source);
+    expr::BatchEvaluator evaluator(source, policy);
     expr::Selection sel;
     for (size_t begin = 0; begin < end; begin += expr::kBatchSize) {
       size_t batch_end = std::min(begin + expr::kBatchSize, end);

@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "db/relation.h"
+#include "draw/drawable.h"
 #include "expr/builtins.h"
 #include "expr/evaluator.h"
+#include "expr/simd/simd.h"
 
 namespace tioga2::expr {
 
@@ -119,7 +121,19 @@ void BatchMetrics::Reset() {
   join_nested_batches = 0;
   nodes_vectorized = 0;
   nodes_fallback = 0;
+  simd_batches_sse2 = 0;
+  simd_batches_avx2 = 0;
+  simd_rows = 0;
+  simd_scalar_fallbacks = 0;
 }
+
+BatchEvaluator::BatchEvaluator(const BatchSource& source)
+    : BatchEvaluator(source, db::DefaultExecPolicy()) {}
+
+BatchEvaluator::BatchEvaluator(const BatchSource& source,
+                               const db::ExecPolicy& policy)
+    : source_(source),
+      simd_level_(static_cast<int>(simd::Resolve(policy.simd))) {}
 
 namespace {
 
@@ -284,6 +298,174 @@ void PromoteIfUniform(Vec* v) {
   *v = std::move(typed);
 }
 
+/// Batch path for the drawable-constructor builtins (point/circle/rect/line/
+/// text/offset): styling arguments (colors, fill flags) must be batch
+/// constants so parsing and decoding hoist out of the row loop, while
+/// numeric/string/display arguments stream from the operand vectors without
+/// per-row boxing. Returns true and fills *out with results value-identical
+/// to running the overload's scalar eval row by row; false (including for a
+/// constant color that fails to parse — the scalar loop then reports it, or
+/// legitimately skips it when every row has a null argument) means the
+/// caller falls back.
+bool TryEvalDisplayBuiltin(const ExprNode& node, const std::vector<Vec>& args,
+                           size_t n, Vec* out) {
+  if (node.overload == nullptr || node.overload->null_opaque) return false;
+  const std::string& name = node.name;
+  const size_t argc = args.size();
+
+  auto numeric_ok = [&](size_t a) {
+    std::optional<DataType> t = UniformType(args[a]);
+    return !args[a].is_boxed() && t.has_value() && IsNumericType(*t);
+  };
+  auto string_ok = [&](size_t a) {
+    return !args[a].is_boxed() && UniformType(args[a]) == DataType::kString;
+  };
+  auto const_nonnull = [&](size_t a, DataType t) {
+    return args[a].rep == Vec::Rep::kConst && !args[a].cval.is_null() &&
+           args[a].cval.type() == t;
+  };
+  auto parse_color = [&](size_t a, draw::Color* color) {
+    return draw::ColorFromHex(args[a].cval.string_value(), color);
+  };
+  auto wrap = [](draw::Drawable d) {
+    return Value::Display(draw::MakeDrawableList({std::move(d)}));
+  };
+  auto build = [&](auto&& make) {
+    std::vector<Value> values;
+    values.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      bool null_arg = false;
+      for (const Vec& a : args) {
+        if (a.IsNull(k)) {
+          null_arg = true;
+          break;
+        }
+      }
+      if (null_arg) {
+        values.push_back(Value::Null());
+      } else {
+        values.push_back(make(k));
+      }
+    }
+    *out = Vec::OwnedBoxed(std::move(values));
+    PromoteIfUniform(out);
+    return true;
+  };
+
+  if (name == "point") {
+    if (argc == 0) {
+      *out = Vec::Const(wrap(draw::MakePoint()), n);
+      return true;
+    }
+    draw::Color color;
+    if (argc == 1 && const_nonnull(0, DataType::kString) &&
+        parse_color(0, &color)) {
+      *out = Vec::Const(wrap(draw::MakePoint(color)), n);
+      return true;
+    }
+    return false;
+  }
+  if (name == "circle") {
+    if (argc < 1 || !numeric_ok(0)) return false;
+    if (argc == 1) {
+      return build(
+          [&](size_t k) { return wrap(draw::MakeCircle(ReadDouble(args[0], k))); });
+    }
+    draw::Color color;
+    if (!const_nonnull(1, DataType::kString) || !parse_color(1, &color)) {
+      return false;
+    }
+    if (argc == 2) {
+      return build([&](size_t k) {
+        return wrap(draw::MakeCircle(ReadDouble(args[0], k), color));
+      });
+    }
+    if (argc == 3 && const_nonnull(2, DataType::kBool)) {
+      const draw::FillMode fill = args[2].cval.bool_value()
+                                      ? draw::FillMode::kFilled
+                                      : draw::FillMode::kOutline;
+      return build([&](size_t k) {
+        return wrap(draw::MakeCircle(ReadDouble(args[0], k), color, fill));
+      });
+    }
+    return false;
+  }
+  if (name == "rect") {
+    if (argc < 2 || !numeric_ok(0) || !numeric_ok(1)) return false;
+    if (argc == 2) {
+      return build([&](size_t k) {
+        return wrap(
+            draw::MakeRectangle(ReadDouble(args[0], k), ReadDouble(args[1], k)));
+      });
+    }
+    draw::Color color;
+    if (!const_nonnull(2, DataType::kString) || !parse_color(2, &color)) {
+      return false;
+    }
+    if (argc == 3) {
+      return build([&](size_t k) {
+        return wrap(draw::MakeRectangle(ReadDouble(args[0], k),
+                                        ReadDouble(args[1], k), color));
+      });
+    }
+    if (argc == 4 && const_nonnull(3, DataType::kBool)) {
+      const draw::FillMode fill = args[3].cval.bool_value()
+                                      ? draw::FillMode::kFilled
+                                      : draw::FillMode::kOutline;
+      return build([&](size_t k) {
+        return wrap(draw::MakeRectangle(ReadDouble(args[0], k),
+                                        ReadDouble(args[1], k), color, fill));
+      });
+    }
+    return false;
+  }
+  if (name == "line") {
+    if (argc < 2 || !numeric_ok(0) || !numeric_ok(1)) return false;
+    if (argc == 2) {
+      return build([&](size_t k) {
+        return wrap(draw::MakeLine(ReadDouble(args[0], k), ReadDouble(args[1], k)));
+      });
+    }
+    draw::Color color;
+    if (argc == 3 && const_nonnull(2, DataType::kString) &&
+        parse_color(2, &color)) {
+      return build([&](size_t k) {
+        return wrap(
+            draw::MakeLine(ReadDouble(args[0], k), ReadDouble(args[1], k), color));
+      });
+    }
+    return false;
+  }
+  if (name == "text") {
+    if (argc < 2 || !string_ok(0) || !numeric_ok(1)) return false;
+    if (argc == 2) {
+      return build([&](size_t k) {
+        return wrap(draw::MakeText(ReadString(args[0], k), ReadDouble(args[1], k)));
+      });
+    }
+    draw::Color color;
+    if (argc == 3 && const_nonnull(2, DataType::kString) &&
+        parse_color(2, &color)) {
+      return build([&](size_t k) {
+        return wrap(draw::MakeText(ReadString(args[0], k),
+                                   ReadDouble(args[1], k), color));
+      });
+    }
+    return false;
+  }
+  if (name == "offset" && argc == 3) {
+    // The display operand stays boxed (DrawableLists are shared pointers);
+    // the win is streaming the two offsets from typed vectors.
+    if (!numeric_ok(1) || !numeric_ok(2)) return false;
+    return build([&](size_t k) {
+      return Value::Display(draw::CombineDrawableLists(
+          draw::MakeDrawableList({}), args[0].ValueAt(k).display_value(),
+          ReadDouble(args[1], k), ReadDouble(args[2], k)));
+    });
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<Vec> BatchEvaluator::Eval(const ExprNode& node, const Selection& sel) {
@@ -407,6 +589,28 @@ Result<Vec> BatchEvaluator::EvalBinary(const ExprNode& node, const Selection& se
       op == BinaryOp::kEq || op == BinaryOp::kNe || op == BinaryOp::kLt ||
       op == BinaryOp::kLe || op == BinaryOp::kGt || op == BinaryOp::kGe;
 
+  // SIMD fast path: dense numeric comparisons and + - * / run as explicit
+  // lane kernels (expr/simd/), bit-identical to the typed loops below.
+  // Sparse selections, boxed operands, and kMod fall through unchanged.
+  if (simd_level_ != static_cast<int>(simd::Level::kScalar) && both_numeric &&
+      op != BinaryOp::kMod) {
+    Vec out;
+    if (simd::TryNumericBinary(static_cast<simd::Level>(simd_level_), op, lhs,
+                               rhs, n, &out)) {
+      ++stats_.vectorized_nodes;
+      ++stats_.simd_nodes;
+      BatchMetrics& m = BatchMetrics::Global();
+      if (simd_level_ == static_cast<int>(simd::Level::kAVX2)) {
+        ++m.simd_batches_avx2;
+      } else {
+        ++m.simd_batches_sse2;
+      }
+      m.simd_rows += n;
+      return out;
+    }
+    ++BatchMetrics::Global().simd_scalar_fallbacks;
+  }
+
   if (is_comparison) {
     // Same comparable class on both sides → typed loop; results mirror
     // Value::Equals/Compare exactly (all numeric pairs compare as double,
@@ -430,14 +634,30 @@ Result<Vec> BatchEvaluator::EvalBinary(const ExprNode& node, const Selection& se
           out.SetNull(k);
           continue;
         }
+        if (mode == Cmp::kNumeric) {
+          // Orderings mirror Value::Compare's `a < b ? -1 : (a > b ? 1 : 0)`
+          // construction (a NaN operand makes <= and >= true, < and > false);
+          // equality mirrors Value::Equals's IEEE `a == b` (NaN equals
+          // nothing) — the two disagree on NaN, so eq/ne must not go through
+          // the cmp integer.
+          const double a = ReadDouble(lhs, k);
+          const double b = ReadDouble(rhs, k);
+          bool result = false;
+          switch (op) {
+            case BinaryOp::kEq: result = a == b; break;
+            case BinaryOp::kNe: result = !(a == b); break;
+            case BinaryOp::kLt: result = a < b; break;
+            case BinaryOp::kLe: result = !(a > b); break;
+            case BinaryOp::kGt: result = a > b; break;
+            default: result = !(a < b); break;
+          }
+          out.bools[k] = result ? 1 : 0;
+          continue;
+        }
         int cmp = 0;
         switch (mode) {
-          case Cmp::kNumeric: {
-            double a = ReadDouble(lhs, k);
-            double b = ReadDouble(rhs, k);
-            cmp = a < b ? -1 : (a > b ? 1 : 0);
-            break;
-          }
+          case Cmp::kNumeric:
+            break;  // handled above
           case Cmp::kString: {
             int c = ReadString(lhs, k).compare(ReadString(rhs, k));
             cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
@@ -577,6 +797,26 @@ Result<Vec> BatchEvaluator::EvalAndOr(const ExprNode& node, const Selection& sel
     return out;
   }
   TIOGA2_ASSIGN_OR_RETURN(Vec rhs, Eval(*node.children[1], need));
+  // When no row was decisive the right operand is aligned with the left
+  // (need == sel), and the whole three-valued merge can run as a SIMD
+  // kernel. Any decisive row keeps the scalar merge below, preserving the
+  // short-circuit contract row for row.
+  if (simd_level_ != static_cast<int>(simd::Level::kScalar) &&
+      need.size() == n) {
+    if (simd::TryAndOrMerge(static_cast<simd::Level>(simd_level_), is_and, lhs,
+                            rhs, n, &out)) {
+      ++stats_.simd_nodes;
+      BatchMetrics& m = BatchMetrics::Global();
+      if (simd_level_ == static_cast<int>(simd::Level::kAVX2)) {
+        ++m.simd_batches_avx2;
+      } else {
+        ++m.simd_batches_sse2;
+      }
+      m.simd_rows += n;
+      return out;
+    }
+    ++BatchMetrics::Global().simd_scalar_fallbacks;
+  }
   size_t ri = 0;
   for (size_t k = 0; k < n; ++k) {
     if (decisive(k)) {
@@ -676,6 +916,13 @@ Result<Vec> BatchEvaluator::EvalCall(const ExprNode& node, const Selection& sel)
   for (const ExprNodePtr& child : node.children) {
     TIOGA2_ASSIGN_OR_RETURN(Vec v, Eval(*child, sel));
     args.push_back(std::move(v));
+  }
+  {
+    Vec display_out;
+    if (TryEvalDisplayBuiltin(node, args, n, &display_out)) {
+      ++stats_.vectorized_nodes;
+      return display_out;
+    }
   }
   // Builtins run element-wise on the vectorized operands.
   ++stats_.fallback_nodes;

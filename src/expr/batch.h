@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "db/columnar.h"
+#include "db/exec_policy.h"
 #include "expr/ast.h"
 
 namespace tioga2::expr {
@@ -129,6 +130,13 @@ struct BatchMetrics {
   std::atomic<uint64_t> join_nested_batches{0};
   std::atomic<uint64_t> nodes_vectorized{0};
   std::atomic<uint64_t> nodes_fallback{0};
+  // SIMD kernel dispatch (see expr/simd/): node-batches served by each tier,
+  // rows they covered, and simd-eligible node-batches that fell back to the
+  // typed loops (sparse selection, boxed operands, unsupported op).
+  std::atomic<uint64_t> simd_batches_sse2{0};
+  std::atomic<uint64_t> simd_batches_avx2{0};
+  std::atomic<uint64_t> simd_rows{0};
+  std::atomic<uint64_t> simd_scalar_fallbacks{0};
 
   static BatchMetrics& Global();
   void Reset();
@@ -151,8 +159,15 @@ struct BatchMetrics {
 /// *operand*. Success/failure always agrees; only the message can differ.
 class BatchEvaluator {
  public:
-  /// `source` must outlive the evaluator.
-  explicit BatchEvaluator(const BatchSource& source) : source_(source) {}
+  /// `source` must outlive the evaluator; dispatch follows the process-wide
+  /// default ExecPolicy.
+  explicit BatchEvaluator(const BatchSource& source);
+
+  /// `source` must outlive the evaluator. `policy.simd` picks the SIMD tier
+  /// for the typed kernels (resolved once against the build and CPU; see
+  /// expr/simd/simd.h). Policies never change results, only how they are
+  /// computed.
+  BatchEvaluator(const BatchSource& source, const db::ExecPolicy& policy);
 
   /// Evaluates `node` for the rows in `sel`. The result is aligned with
   /// `sel` (element k ↔ row sel[k]).
@@ -168,6 +183,7 @@ class BatchEvaluator {
   struct Stats {
     uint64_t vectorized_nodes = 0;  // nodes executed as typed loops
     uint64_t fallback_nodes = 0;    // nodes executed element-wise on Values
+    uint64_t simd_nodes = 0;        // typed-loop nodes served by SIMD kernels
   };
   const Stats& stats() const { return stats_; }
 
@@ -178,6 +194,8 @@ class BatchEvaluator {
   Result<Vec> EvalAttribute(const ExprNode& node, const Selection& sel);
 
   const BatchSource& source_;
+  int simd_level_ = 0;  // resolved simd::Level, stored as int to keep
+                        // expr/simd/simd.h out of this header
   Stats stats_;
 };
 

@@ -1,0 +1,79 @@
+#ifndef TIOGA2_EXPR_SIMD_KERNELS_H_
+#define TIOGA2_EXPR_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tioga2::expr::simd {
+
+/// One operand of a typed kernel: a contiguous column slice (`ptr` non-null,
+/// element i at ptr[i]) or a constant splat (`ptr` null, every element is
+/// `cval`). The dispatch layer (simd.cc) flattens Vec/ColumnVector operands
+/// into these; kernels never see selections — sparse selections stay on the
+/// existing per-element typed loops.
+struct F64Src {
+  const double* ptr = nullptr;
+  double cval = 0;
+};
+struct I64Src {
+  const int64_t* ptr = nullptr;
+  int64_t cval = 0;
+};
+struct BoolSrc {
+  const uint8_t* ptr = nullptr;
+  uint8_t cval = 0;
+};
+
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+enum class ArithOp { kAdd, kSub, kMul };
+
+/// One SIMD tier's kernel entry points. Each kernel owns its scalar tail
+/// (the final n % lanes elements run the same per-element expressions the
+/// lane code evaluates), and each is lane-for-lane bit-identical to the
+/// scalar semantics in expr::ApplyBinaryOp:
+///
+///   * cmp_f64 — ordering comparisons follow Value::Compare's
+///     `a < b ? -1 : (a > b ? 1 : 0)` construction (so with a NaN operand
+///     kLe/kGe are true, kLt/kGt false); kEq/kNe follow Value::Equals's
+///     IEEE `a == b` (NaN equals nothing, -0.0 == +0.0).
+///   * arith_f64 — IEEE add/sub/mul: NaN and ±0.0 propagate exactly as the
+///     scalar `a + b` does.
+///   * arith_i64 — two's-complement wraparound, computed on uint64_t lanes
+///     (defined behavior; identical bits to the hardware wrap the scalar
+///     signed path produces).
+///   * div_f64 — quotient lanes plus a packed bitmap of rows whose
+///     denominator == 0 (the scalar kernel's divide-by-zero -> null rule;
+///     ±0.0 both trip it, NaN denominators do not). `zero_words` has
+///     ceil(n/64) words and bits are OR-ed in, never cleared.
+///   * cvt_i64_f64 — int64 -> double, matching static_cast per element.
+///   * andor — three-valued AND/OR over bool bytes + packed null bitmaps
+///     (ApplyBinaryOp's truth table: decisive non-null operand wins, null
+///     otherwise when either side is null). Null inputs may be null
+///     pointers (meaning "no nulls"); `out_nulls` has ceil(n/64) zeroed
+///     words on entry and gets result-null bits OR-ed in.
+///
+/// Payload lanes under null rows are computed from whatever bytes the input
+/// holds there; the dispatch layer re-zeroes them afterwards so the output
+/// Vec is byte-identical to the scalar typed loop's.
+struct KernelTable {
+  void (*cmp_f64)(CmpOp op, F64Src a, F64Src b, uint8_t* out, size_t n);
+  void (*arith_f64)(ArithOp op, F64Src a, F64Src b, double* out, size_t n);
+  void (*arith_i64)(ArithOp op, I64Src a, I64Src b, int64_t* out, size_t n);
+  void (*div_f64)(F64Src a, F64Src b, double* out, uint64_t* zero_words,
+                  size_t n);
+  void (*cvt_i64_f64)(I64Src a, double* out, size_t n);
+  void (*andor)(bool is_and, BoolSrc a, const uint64_t* a_nulls, BoolSrc b,
+                const uint64_t* b_nulls, uint8_t* out, uint64_t* out_nulls,
+                size_t n);
+};
+
+/// The 128-bit (2-lane) and 256-bit (4-lane) kernel tables. Null when the
+/// build disabled SIMD (-DTIOGA2_SIMD=OFF). The AVX2 table is compiled with
+/// -mavx2 where the compiler supports it; callers must gate on the runtime
+/// probe (simd::BestLevel) before invoking it.
+const KernelTable* KernelsSSE2();
+const KernelTable* KernelsAVX2();
+
+}  // namespace tioga2::expr::simd
+
+#endif  // TIOGA2_EXPR_SIMD_KERNELS_H_

@@ -1,0 +1,27 @@
+// 256-bit (4-lane) kernel tier. CMake compiles this file with -mavx2 when
+// the compiler supports the flag (TIOGA2_SIMD_HAVE_AVX2); callers must gate
+// on the runtime CPU probe (simd::BestLevel) before using this table. When
+// the flag is unavailable the table is still built — the vector extensions
+// just lower to 2×128-bit ops — so dispatch stays uniform.
+
+#include "expr/simd/kernels.h"
+
+#if defined(TIOGA2_SIMD_ENABLED)
+
+#define TIOGA2_SIMD_NS k256
+#define TIOGA2_SIMD_LANES 4
+#include "expr/simd/kernels_impl.inc"
+#undef TIOGA2_SIMD_NS
+#undef TIOGA2_SIMD_LANES
+
+namespace tioga2::expr::simd {
+const KernelTable* KernelsAVX2() { return &k256::kTable; }
+}  // namespace tioga2::expr::simd
+
+#else  // !TIOGA2_SIMD_ENABLED
+
+namespace tioga2::expr::simd {
+const KernelTable* KernelsAVX2() { return nullptr; }
+}  // namespace tioga2::expr::simd
+
+#endif

@@ -1,0 +1,25 @@
+// 128-bit (2-lane) kernel tier. Compiled without extra ISA flags: the GNU
+// vector extensions lower to the x86-64 baseline (SSE2) or the target's
+// equivalent.
+
+#include "expr/simd/kernels.h"
+
+#if defined(TIOGA2_SIMD_ENABLED)
+
+#define TIOGA2_SIMD_NS k128
+#define TIOGA2_SIMD_LANES 2
+#include "expr/simd/kernels_impl.inc"
+#undef TIOGA2_SIMD_NS
+#undef TIOGA2_SIMD_LANES
+
+namespace tioga2::expr::simd {
+const KernelTable* KernelsSSE2() { return &k128::kTable; }
+}  // namespace tioga2::expr::simd
+
+#else  // !TIOGA2_SIMD_ENABLED
+
+namespace tioga2::expr::simd {
+const KernelTable* KernelsSSE2() { return nullptr; }
+}  // namespace tioga2::expr::simd
+
+#endif

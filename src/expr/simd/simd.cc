@@ -1,0 +1,395 @@
+#include "expr/simd/simd.h"
+
+#include <vector>
+
+#include "db/columnar.h"
+
+namespace tioga2::expr::simd {
+
+using types::DataType;
+
+Level BestLevel() {
+#if defined(TIOGA2_SIMD_ENABLED)
+#if defined(__x86_64__) || defined(__i386__)
+  static const Level probed = [] {
+    return __builtin_cpu_supports("avx2") != 0 ? Level::kAVX2 : Level::kSSE2;
+  }();
+  return probed;
+#else
+  // Non-x86: the "SSE2" tier is plain 128-bit vector-extension code and is
+  // valid everywhere; the 256-bit tier needs the x86 probe, so skip it.
+  return Level::kSSE2;
+#endif
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level Resolve(db::SimdLevel requested) {
+  const Level best = BestLevel();
+  if (requested == db::SimdLevel::kAuto) return best;
+  const int r = static_cast<int>(requested);
+  const int b = static_cast<int>(best);
+  return static_cast<Level>(r < b ? r : b);
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kSSE2: return "sse2";
+    case Level::kAVX2: return "avx2";
+  }
+  return "?";
+}
+
+const KernelTable* Kernels(Level level) {
+  switch (level) {
+    case Level::kScalar: return nullptr;
+    case Level::kSSE2: return KernelsSSE2();
+    case Level::kAVX2: return KernelsAVX2();
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// A Vec operand flattened to contiguous storage: either a constant or a
+/// pointer whose element k sits at ptr[k], plus the operand's null window
+/// (`nulls` bit `null_offset + k` is element k's null flag; null `nulls`
+/// means no nulls).
+struct FlatNum {
+  DataType type = DataType::kFloat;  // runtime lane type: kInt or kFloat
+  bool is_const = false;
+  double fconst = 0;
+  int64_t iconst = 0;
+  const double* f = nullptr;
+  const int64_t* i = nullptr;
+  const uint64_t* nulls = nullptr;
+  size_t null_offset = 0;
+  size_t null_words = 0;  // words readable at `nulls`
+};
+
+struct FlatBool {
+  bool is_const = false;
+  uint8_t cval = 0;
+  const uint8_t* ptr = nullptr;
+  const uint64_t* nulls = nullptr;
+  size_t null_offset = 0;
+  size_t null_words = 0;
+};
+
+/// A kView Vec flattens only when its selection is a dense run of rows
+/// (selections are ascending, so back-front+1 == n means [front, front+n)),
+/// letting element k read straight from column storage at front+k.
+bool DenseViewBase(const Vec& v, size_t n, uint32_t* base) {
+  const Selection& vs = *v.view_sel;
+  if (vs.size() != n || n == 0) return false;
+  if (static_cast<size_t>(vs.back() - vs.front()) + 1 != n) return false;
+  *base = vs.front();
+  return true;
+}
+
+bool FlattenNumeric(const Vec& v, size_t n, FlatNum* out) {
+  switch (v.rep) {
+    case Vec::Rep::kConst: {
+      // Null constants never reach the SIMD hook (EvalBinary returns a null
+      // constant for them first).
+      const types::Value& c = v.cval;
+      if (c.type() != DataType::kInt && c.type() != DataType::kFloat) {
+        return false;
+      }
+      out->type = c.type();
+      out->is_const = true;
+      if (c.type() == DataType::kInt) {
+        out->iconst = c.int_value();
+        out->fconst = static_cast<double>(c.int_value());
+      } else {
+        out->fconst = c.float_value();
+      }
+      return true;
+    }
+    case Vec::Rep::kView: {
+      const db::ColumnVector* col = v.view;
+      if (col->type != DataType::kInt && col->type != DataType::kFloat) {
+        return false;
+      }
+      uint32_t base = 0;
+      if (!DenseViewBase(v, n, &base)) return false;
+      out->type = col->type;
+      if (col->type == DataType::kInt) {
+        out->i = col->ints.data() + base;
+      } else {
+        out->f = col->floats.data() + base;
+      }
+      if (col->has_nulls()) {
+        out->nulls = col->null_bits.data();
+        out->null_offset = base;
+        out->null_words = col->null_bits.size();
+      }
+      return true;
+    }
+    case Vec::Rep::kOwned: {
+      if (!v.boxed.empty()) return false;
+      if (v.type != DataType::kInt && v.type != DataType::kFloat) return false;
+      out->type = v.type;
+      if (v.type == DataType::kInt) {
+        out->i = v.ints.data();
+      } else {
+        out->f = v.floats.data();
+      }
+      if (!v.null_bits.empty()) {
+        out->nulls = v.null_bits.data();
+        out->null_offset = 0;
+        out->null_words = v.null_bits.size();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FlattenBool(const Vec& v, size_t n, FlatBool* out) {
+  switch (v.rep) {
+    case Vec::Rep::kConst: {
+      if (v.cval.is_null() || v.cval.type() != DataType::kBool) return false;
+      out->is_const = true;
+      out->cval = v.cval.bool_value() ? 1 : 0;
+      return true;
+    }
+    case Vec::Rep::kView: {
+      const db::ColumnVector* col = v.view;
+      if (col->type != DataType::kBool) return false;
+      uint32_t base = 0;
+      if (!DenseViewBase(v, n, &base)) return false;
+      out->ptr = col->bools.data() + base;
+      if (col->has_nulls()) {
+        out->nulls = col->null_bits.data();
+        out->null_offset = base;
+        out->null_words = col->null_bits.size();
+      }
+      return true;
+    }
+    case Vec::Rep::kOwned: {
+      if (!v.boxed.empty() || v.type != DataType::kBool) return false;
+      out->ptr = v.bools.data();
+      if (!v.null_bits.empty()) {
+        out->nulls = v.null_bits.data();
+        out->null_offset = 0;
+        out->null_words = v.null_bits.size();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// ORs the n-bit window starting at bit `offset` of `src` into dst[0..W),
+/// re-aligned so window bit k lands at dst bit k. Bits at or past n are
+/// masked off, so an all-zero dst afterwards means "no nulls in window".
+void OrShiftedWindow(const uint64_t* src, size_t src_words, size_t offset,
+                     size_t n, uint64_t* dst) {
+  const size_t words = (n + 63) / 64;
+  const size_t word0 = offset >> 6;
+  const unsigned shift = static_cast<unsigned>(offset & 63);
+  if (shift == 0) {
+    for (size_t w = 0; w < words; ++w) dst[w] |= src[word0 + w];
+  } else {
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t lo = src[word0 + w] >> shift;
+      const uint64_t hi = word0 + w + 1 < src_words
+                              ? src[word0 + w + 1] << (64 - shift)
+                              : 0;
+      dst[w] |= lo | hi;
+    }
+  }
+  if ((n & 63) != 0) dst[words - 1] &= (uint64_t{1} << (n & 63)) - 1;
+}
+
+bool AnyBit(const std::vector<uint64_t>& words) {
+  for (uint64_t w : words) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+/// Zeroes payload elements under set null bits, so the SIMD result is
+/// byte-identical to the typed loop's (which never writes null rows and
+/// leaves the resize-default zero there).
+template <typename T>
+void ZeroNullRows(const std::vector<uint64_t>& nulls, T* data) {
+  for (size_t w = 0; w < nulls.size(); ++w) {
+    uint64_t bits = nulls[w];
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctzll(bits));
+      bits &= bits - 1;
+      data[(w << 6) + b] = T{};
+    }
+  }
+}
+
+Vec MakeTypedOut(DataType type, size_t n) {
+  Vec out;
+  out.rep = Vec::Rep::kOwned;
+  out.type = type;
+  out.size = n;
+  switch (type) {
+    case DataType::kBool: out.bools.resize(n); break;
+    case DataType::kInt: out.ints.resize(n); break;
+    case DataType::kFloat: out.floats.resize(n); break;
+    default: break;  // SIMD only materializes bool/int/float
+  }
+  return out;
+}
+
+/// Presents a flattened numeric operand as double lanes: float storage is
+/// passed through, int storage is converted once into `scratch` (matching
+/// the per-element static_cast the scalar ReadDouble performs).
+F64Src AsF64(const FlatNum& a, const KernelTable& k, size_t n,
+             std::vector<double>* scratch) {
+  if (a.is_const) return {nullptr, a.fconst};
+  if (a.type == DataType::kFloat) return {a.f, 0};
+  scratch->resize(n);
+  k.cvt_i64_f64({a.i, 0}, scratch->data(), n);
+  return {scratch->data(), 0};
+}
+
+I64Src AsI64(const FlatNum& a) {
+  if (a.is_const) return {nullptr, a.iconst};
+  return {a.i, 0};
+}
+
+}  // namespace
+
+bool TryNumericBinary(Level level, BinaryOp op, const Vec& lhs, const Vec& rhs,
+                      size_t n, Vec* out) {
+  const KernelTable* k = Kernels(level);
+  if (k == nullptr || n == 0) return false;
+
+  FlatNum a, b;
+  if (!FlattenNumeric(lhs, n, &a) || !FlattenNumeric(rhs, n, &b)) return false;
+
+  const size_t words = (n + 63) / 64;
+  thread_local std::vector<uint64_t> nulls;
+  nulls.assign(words, 0);
+  if (a.nulls != nullptr) {
+    OrShiftedWindow(a.nulls, a.null_words, a.null_offset, n, nulls.data());
+  }
+  if (b.nulls != nullptr) {
+    OrShiftedWindow(b.nulls, b.null_words, b.null_offset, n, nulls.data());
+  }
+
+  thread_local std::vector<double> cvt_a, cvt_b;
+
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      CmpOp cmp = CmpOp::kEq;
+      switch (op) {
+        case BinaryOp::kEq: cmp = CmpOp::kEq; break;
+        case BinaryOp::kNe: cmp = CmpOp::kNe; break;
+        case BinaryOp::kLt: cmp = CmpOp::kLt; break;
+        case BinaryOp::kLe: cmp = CmpOp::kLe; break;
+        case BinaryOp::kGt: cmp = CmpOp::kGt; break;
+        default: cmp = CmpOp::kGe; break;
+      }
+      *out = MakeTypedOut(DataType::kBool, n);
+      k->cmp_f64(cmp, AsF64(a, *k, n, &cvt_a), AsF64(b, *k, n, &cvt_b),
+                 out->bools.data(), n);
+      if (AnyBit(nulls)) {
+        out->null_bits = nulls;
+        ZeroNullRows(nulls, out->bools.data());
+      }
+      return true;
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul: {
+      const ArithOp arith = op == BinaryOp::kAdd   ? ArithOp::kAdd
+                            : op == BinaryOp::kSub ? ArithOp::kSub
+                                                   : ArithOp::kMul;
+      if (a.type == DataType::kInt && b.type == DataType::kInt) {
+        *out = MakeTypedOut(DataType::kInt, n);
+        k->arith_i64(arith, AsI64(a), AsI64(b), out->ints.data(), n);
+        if (AnyBit(nulls)) {
+          out->null_bits = nulls;
+          ZeroNullRows(nulls, out->ints.data());
+        }
+        return true;
+      }
+      *out = MakeTypedOut(DataType::kFloat, n);
+      k->arith_f64(arith, AsF64(a, *k, n, &cvt_a), AsF64(b, *k, n, &cvt_b),
+                   out->floats.data(), n);
+      if (AnyBit(nulls)) {
+        out->null_bits = nulls;
+        ZeroNullRows(nulls, out->floats.data());
+      }
+      return true;
+    }
+    case BinaryOp::kDiv: {
+      *out = MakeTypedOut(DataType::kFloat, n);
+      thread_local std::vector<uint64_t> zero_words;
+      zero_words.assign(words, 0);
+      k->div_f64(AsF64(a, *k, n, &cvt_a), AsF64(b, *k, n, &cvt_b),
+                 out->floats.data(), zero_words.data(), n);
+      // Divide-by-zero rows become null, exactly like the scalar kernel.
+      for (size_t w = 0; w < words; ++w) nulls[w] |= zero_words[w];
+      if (AnyBit(nulls)) {
+        out->null_bits = nulls;
+        ZeroNullRows(nulls, out->floats.data());
+      }
+      return true;
+    }
+    default:
+      return false;  // kMod and non-numeric ops stay on the typed loops
+  }
+}
+
+bool TryAndOrMerge(Level level, bool is_and, const Vec& lhs, const Vec& rhs,
+                   size_t n, Vec* out) {
+  const KernelTable* k = Kernels(level);
+  if (k == nullptr || n == 0) return false;
+
+  FlatBool a, b;
+  if (!FlattenBool(lhs, n, &a) || !FlattenBool(rhs, n, &b)) return false;
+
+  const size_t words = (n + 63) / 64;
+
+  // The kernel wants word-aligned null windows. Word-aligned sources pass
+  // straight through (stray bits past n in the last word only demote that
+  // word to the per-row path, never change results); shifted windows are
+  // re-packed into scratch.
+  thread_local std::vector<uint64_t> a_shift, b_shift;
+  const uint64_t* a_nulls = nullptr;
+  const uint64_t* b_nulls = nullptr;
+  if (a.nulls != nullptr) {
+    if ((a.null_offset & 63) == 0) {
+      a_nulls = a.nulls + (a.null_offset >> 6);
+    } else {
+      a_shift.assign(words, 0);
+      OrShiftedWindow(a.nulls, a.null_words, a.null_offset, n, a_shift.data());
+      a_nulls = a_shift.data();
+    }
+  }
+  if (b.nulls != nullptr) {
+    if ((b.null_offset & 63) == 0) {
+      b_nulls = b.nulls + (b.null_offset >> 6);
+    } else {
+      b_shift.assign(words, 0);
+      OrShiftedWindow(b.nulls, b.null_words, b.null_offset, n, b_shift.data());
+      b_nulls = b_shift.data();
+    }
+  }
+
+  thread_local std::vector<uint64_t> out_nulls;
+  out_nulls.assign(words, 0);
+  k->andor(is_and, {a.ptr, a.cval}, a_nulls, {b.ptr, b.cval}, b_nulls,
+           out->bools.data(), out_nulls.data(), n);
+  if (AnyBit(out_nulls)) out->null_bits = out_nulls;
+  return true;
+}
+
+}  // namespace tioga2::expr::simd

@@ -1,0 +1,60 @@
+#ifndef TIOGA2_EXPR_SIMD_SIMD_H_
+#define TIOGA2_EXPR_SIMD_SIMD_H_
+
+#include <cstddef>
+
+#include "db/exec_policy.h"
+#include "expr/ast.h"
+#include "expr/batch.h"
+#include "expr/simd/kernels.h"
+
+namespace tioga2::expr::simd {
+
+/// A resolved SIMD tier: unlike db::SimdLevel there is no kAuto — resolution
+/// has already clamped the request to what the build and the running CPU
+/// support. Numeric values match db::SimdLevel's pinned levels so the two
+/// enums convert by integer value.
+enum class Level : int {
+  kScalar = 0,  // existing typed loops only
+  kSSE2 = 1,    // 128-bit lanes
+  kAVX2 = 2,    // 256-bit lanes
+};
+
+/// Best tier the build and the running CPU support, probed once at first
+/// use (CPUID on x86; the 128-bit tier elsewhere, where the portable vector
+/// code lowers to whatever the baseline ISA offers). kScalar when the build
+/// disabled SIMD.
+Level BestLevel();
+
+/// Clamps a policy request to BestLevel(): kAuto resolves to the best tier,
+/// a pinned request to min(requested, best). Requesting kAVX2 on a non-AVX2
+/// machine therefore degrades safely instead of faulting.
+Level Resolve(db::SimdLevel requested);
+
+const char* LevelName(Level level);
+
+/// Kernel table for a tier; null for kScalar (and for every tier when the
+/// build disabled SIMD).
+const KernelTable* Kernels(Level level);
+
+/// SIMD path for a numeric comparison / + - * / node over operands aligned
+/// with a selection of size n. Returns true and fills *out (a fresh typed
+/// Vec, byte-identical to what the caller's typed loop would build) when the
+/// operands flatten to contiguous lanes: kConst numeric, kOwned typed
+/// int/float, or kView over a dense selection window. Sparse selections,
+/// boxed vecs, kMod, and non-numeric operands return false — the caller
+/// falls through to the existing typed loop unchanged.
+bool TryNumericBinary(Level level, BinaryOp op, const Vec& lhs, const Vec& rhs,
+                      size_t n, Vec* out);
+
+/// SIMD path for the three-valued and/or merge, applicable only when no row
+/// was decided by the left operand (rhs is aligned with lhs, element for
+/// element). `out` is the caller's pre-sized typed bool Vec; on success its
+/// payload and null bitmap hold exactly what the scalar merge loop would
+/// have produced.
+bool TryAndOrMerge(Level level, bool is_and, const Vec& lhs, const Vec& rhs,
+                   size_t n, Vec* out);
+
+}  // namespace tioga2::expr::simd
+
+#endif  // TIOGA2_EXPR_SIMD_SIMD_H_

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "expr/batch.h"
+#include "expr/simd/simd.h"
 
 namespace tioga2::runtime {
 
@@ -167,6 +168,15 @@ std::string Metrics::ToJson() const {
           std::to_string(batch.join_nested_batches.load());
   json += ",\"nodes_vectorized\":" + std::to_string(batch.nodes_vectorized.load());
   json += ",\"nodes_fallback\":" + std::to_string(batch.nodes_fallback.load());
+  json += ",\"simd_level\":\"" +
+          std::string(expr::simd::LevelName(expr::simd::BestLevel())) + "\"";
+  json += ",\"simd_batches_sse2\":" +
+          std::to_string(batch.simd_batches_sse2.load());
+  json += ",\"simd_batches_avx2\":" +
+          std::to_string(batch.simd_batches_avx2.load());
+  json += ",\"simd_rows\":" + std::to_string(batch.simd_rows.load());
+  json += ",\"simd_scalar_fallbacks\":" +
+          std::to_string(batch.simd_scalar_fallbacks.load());
   json += "}}";
   return json;
 }

@@ -7,9 +7,13 @@
 //   2. a randomized property test over generated relations and expressions,
 //   3. a full figure-program regression: fingerprints and stamps with
 //      vectorization on equal those with it off (the memoization oracle).
+// The SIMD kernel tiers (expr/simd/) are held to the same contract at every
+// dispatch level — see the "SIMD kernel tiers" section below.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -21,6 +25,7 @@
 #include "display/display_relation.h"
 #include "expr/batch.h"
 #include "expr/evaluator.h"
+#include "expr/simd/simd.h"
 #include "testing/fig_programs.h"
 #include "tioga2/environment.h"
 
@@ -253,6 +258,265 @@ TEST(BatchEvalPropertyTest, BatchEqualsScalarOnRandomExpressions) {
   EXPECT_GT(compared, 1000u);  // the test actually exercised something
 }
 
+// ---- SIMD kernel tiers ----------------------------------------------------
+// The explicit SIMD layer (expr/simd/) must be invisible in results at every
+// dispatch level. Evidence: the randomized sweep pinned per level, targeted
+// payloads the kernels could plausibly get wrong (NaN, ±0.0, infinities,
+// INT64_MIN/MAX), lengths straddling the lane width and the 64-row
+// null-bitmap words, and selection shapes (dense, dense-with-offset, sparse).
+
+/// Pins the process-default SIMD tier for a scope. Requested levels clamp to
+/// what the build and CPU support (simd::Resolve), so pinning kAVX2 on an
+/// SSE2-only machine degrades to kSSE2 rather than faulting.
+class SimdGuard {
+ public:
+  explicit SimdGuard(db::SimdLevel level) : saved_(db::DefaultExecPolicy()) {
+    db::ExecPolicy policy = saved_;
+    policy.simd = level;
+    db::SetDefaultExecPolicy(policy);
+  }
+  ~SimdGuard() { db::SetDefaultExecPolicy(saved_); }
+
+ private:
+  db::ExecPolicy saved_;
+};
+
+/// The dispatch levels that resolve to distinct code paths on this machine:
+/// always kScalar, plus each kernel tier the build + CPU actually provide.
+std::vector<db::SimdLevel> DistinctLevels() {
+  std::vector<db::SimdLevel> levels = {db::SimdLevel::kScalar};
+  expr::simd::Level best = expr::simd::BestLevel();
+  if (best >= expr::simd::Level::kSSE2) levels.push_back(db::SimdLevel::kSSE2);
+  if (best >= expr::simd::Level::kAVX2) levels.push_back(db::SimdLevel::kAVX2);
+  return levels;
+}
+
+/// Evaluates `compiled` over `sel` rows of `rel` at the given SIMD level and
+/// checks Describe-identity (runtime type + text + nullness) against the
+/// row-at-a-time scalar evaluator. Returns how many node-batches the SIMD
+/// kernels served, so callers can assert dispatch did/did not happen.
+uint64_t ExpectSimdMatchesScalar(const expr::CompiledExpr& compiled,
+                                 const RelationPtr& rel, db::SimdLevel level,
+                                 const expr::Selection& sel) {
+  db::ExecPolicy policy = db::DefaultExecPolicy();
+  policy.simd = level;
+  expr::RelationBatchSource batch_source(*rel);
+  expr::BatchEvaluator evaluator(batch_source, policy);
+  auto vec = evaluator.Eval(compiled.root(), sel);
+
+  bool scalar_failed = false;
+  std::vector<Value> scalar_values;
+  for (uint32_t r : sel) {
+    expr::TupleAccessor accessor(rel->row(r));
+    auto v = compiled.Eval(accessor);
+    if (!v.ok()) {
+      scalar_failed = true;
+      break;
+    }
+    scalar_values.push_back(std::move(v).value());
+  }
+  EXPECT_EQ(vec.ok(), !scalar_failed)
+      << (vec.ok() ? "batch ok, scalar failed" : vec.status().ToString());
+  if (!vec.ok() || scalar_failed) return 0;
+  for (size_t k = 0; k < sel.size(); ++k) {
+    EXPECT_EQ(Describe(vec->ValueAt(k)), Describe(scalar_values[k]))
+        << "element " << k << " (row " << sel[k] << ")";
+  }
+  return evaluator.stats().simd_nodes;
+}
+
+/// Rows cycling through every payload the kernels must not normalize: NaN,
+/// +0.0 vs -0.0, ±infinity, INT64_MIN/MAX (the doubles they round to), with
+/// nulls at mutually prime periods so null words fill differently per column.
+/// `big`/`big2` only ever appear under comparisons and division — never
+/// +,-,*,% — so the scalar reference stays free of signed overflow (this test
+/// also runs under UBSan via scripts/check.sh).
+RelationPtr SpecialRelation(size_t n) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const double f_cycle[] = {kNaN, 0.0, -0.0, 1.5, -2.25, kInf, -kInf, 3.0};
+  const int64_t big_cycle[] = {std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::max(), 0, -1, 1};
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    Tuple row;
+    row.push_back(r % 7 == 6 ? Value::Null()
+                             : Value::Int(static_cast<int64_t>(r % 11) - 5));
+    row.push_back(r % 5 == 4 ? Value::Null()
+                             : Value::Int(static_cast<int64_t>(r % 9) - 4));
+    row.push_back(r % 9 == 8 ? Value::Null() : Value::Int(big_cycle[r % 5]));
+    row.push_back(r % 6 == 5 ? Value::Null()
+                             : Value::Int(big_cycle[(r + 2) % 5]));
+    row.push_back(r % 11 == 10 ? Value::Null() : Value::Float(f_cycle[r % 8]));
+    row.push_back(r % 13 == 12 ? Value::Null()
+                               : Value::Float(f_cycle[(r + 3) % 8]));
+    row.push_back(r % 4 == 3 ? Value::Null() : Value::Bool(r % 2 == 0));
+    row.push_back(r % 10 == 9 ? Value::Null() : Value::Bool((r / 2) % 2 == 0));
+    rows.push_back(std::move(row));
+  }
+  return MakeRelation(
+             {Column{"i", DataType::kInt}, Column{"j", DataType::kInt},
+              Column{"big", DataType::kInt}, Column{"big2", DataType::kInt},
+              Column{"f", DataType::kFloat}, Column{"g", DataType::kFloat},
+              Column{"b", DataType::kBool}, Column{"c", DataType::kBool}},
+             rows)
+      .value();
+}
+
+TEST(SimdEquivalenceTest, BoundaryLengthsAndSpecialPayloads) {
+  // Lengths straddle the SSE2 (2) and AVX2 (4) lane widths and the 64-row
+  // null-bitmap word boundary.
+  const size_t lengths[] = {1, 2, 3, 4, 5, 7, 63, 64, 65, 127, 129, 200};
+  std::vector<RelationPtr> rels;
+  for (size_t n : lengths) rels.push_back(SpecialRelation(n));
+  uint64_t dispatched = 0;
+  for (const char* source : {
+           // Float comparisons: NaN unordered, +0.0 = -0.0.
+           "f < g", "f <= g", "f > g", "f >= g", "f = g", "f != g",
+           "f = f", "f != f", "f < f",
+           // Float arithmetic: NaN/inf propagation, -0.0 products, div→null.
+           "f + g", "f - g", "f * g", "f / g", "f / 0.0", "0.0 / f",
+           // Int arithmetic and comparisons (moderate values only).
+           "i + j", "i - j", "i * j", "i / j", "i % j", "i < j", "i = j",
+           "i != j",
+           // Mixed int/float promotes through the cvt kernel.
+           "i < f", "i + f", "i * f",
+           // INT64 extremes: comparisons and division compare/convert as
+           // double exactly like the scalar path.
+           "big < big2", "big <= big2", "big = big2", "big != big2",
+           "big >= big2", "big > big2", "big / j",
+           // 3VL merges.
+           "b and c", "b or c", "(f < g) and (i < j)", "(f = g) or (b and c)",
+       }) {
+    SCOPED_TRACE(source);
+    auto compiled =
+        expr::CompiledExpr::Compile(source, db::SchemaEnv(rels[0]->schema()));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    for (size_t li = 0; li < std::size(lengths); ++li) {
+      SCOPED_TRACE("n=" + std::to_string(lengths[li]));
+      expr::Selection sel;
+      expr::IdentitySelection(0, lengths[li], &sel);
+      for (db::SimdLevel level : DistinctLevels()) {
+        dispatched += ExpectSimdMatchesScalar(*compiled, rels[li], level, sel);
+      }
+    }
+  }
+#if defined(TIOGA2_SIMD_ENABLED)
+  EXPECT_GT(dispatched, 0u);  // the kernels actually ran
+#endif
+}
+
+TEST(SimdEquivalenceTest, SelectionShapesDispatchOrFallBack) {
+  RelationPtr rel = SpecialRelation(200);
+  // Expected SIMD node-batches under dense and sparse selections. The and/or
+  // merge kernel only runs when the left branch decided no rows (every row
+  // still needs the right branch), so those cases build a true-or-null /
+  // false-or-null lhs deliberately: dense 3 = two comparisons + the merge.
+  // Under a sparse selection the comparisons fall back (their operands are
+  // gathers), but the merge still runs — it consumes the typed bool vectors
+  // the fallback loops materialized, which are contiguous whatever the
+  // selection shape.
+  const struct {
+    const char* source;
+    uint64_t dense_nodes;
+    uint64_t sparse_nodes;
+  } cases[] = {
+      {"f + g", 1, 0},
+      {"f < g", 1, 0},
+      {"f / g", 1, 0},
+      {"i + j", 1, 0},
+      {"(i = i) and (j = j)", 3, 1},
+      {"(i != i) or (j != j)", 3, 1},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.source);
+    auto compiled =
+        expr::CompiledExpr::Compile(c.source, db::SchemaEnv(rel->schema()));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+    // Sparse selections take the typed loops for column reads (no contiguous
+    // window to hand a kernel) and still match the oracle.
+    expr::Selection sparse;
+    for (uint32_t r = 0; r < 200; r += 3) sparse.push_back(r);
+    uint64_t sparse_dispatched =
+        ExpectSimdMatchesScalar(*compiled, rel, db::SimdLevel::kAVX2, sparse);
+#if defined(TIOGA2_SIMD_ENABLED)
+    EXPECT_EQ(sparse_dispatched, c.sparse_nodes);
+#else
+    EXPECT_EQ(sparse_dispatched, 0u);
+#endif
+
+    // A dense suffix window starts mid-word, exercising the shifted
+    // null-bitmap extraction.
+    expr::Selection suffix;
+    expr::IdentitySelection(37, 200, &suffix);
+    ExpectSimdMatchesScalar(*compiled, rel, db::SimdLevel::kAVX2, suffix);
+
+    expr::Selection dense;
+    expr::IdentitySelection(0, 200, &dense);
+    uint64_t dispatched =
+        ExpectSimdMatchesScalar(*compiled, rel, db::SimdLevel::kAVX2, dense);
+#if defined(TIOGA2_SIMD_ENABLED)
+    EXPECT_EQ(dispatched, c.dense_nodes);
+#else
+    EXPECT_EQ(dispatched, 0u);
+#endif
+  }
+}
+
+TEST(SimdEquivalenceTest, PropertySweepPinnedAtEachLevel) {
+  for (db::SimdLevel level : DistinctLevels()) {
+    Rng rng(918273u + static_cast<uint64_t>(static_cast<int>(level)));
+    for (int iter = 0; iter < 40; ++iter) {
+      RelationPtr rel = RandomRelation(&rng);
+      std::string source = (iter % 2 == 0) ? RandomBoolExpr(&rng, 3)
+                                           : RandomNumericExpr(&rng, 3);
+      SCOPED_TRACE(source);
+      auto compiled =
+          expr::CompiledExpr::Compile(source, db::SchemaEnv(rel->schema()));
+      ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+      expr::Selection sel;
+      expr::IdentitySelection(0, rel->num_rows(), &sel);
+      ExpectSimdMatchesScalar(*compiled, rel, level, sel);
+    }
+  }
+}
+
+/// Like ExpectSameRestrict, but compares rendered text: RelationEquals goes
+/// through Value::Equals, for which NaN equals nothing — so two *identical*
+/// NaN-carrying survivor sets would compare unequal.
+void ExpectSameRestrictByText(const RelationPtr& rel,
+                              const std::string& predicate) {
+  SCOPED_TRACE(predicate);
+  auto compiled = db::CompilePredicate(rel->schema(), predicate);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto scalar = db::RestrictScalar(rel, compiled.value());
+  VectorizedGuard guard(true);
+  auto vectorized = db::Restrict(rel, compiled.value());
+  ASSERT_EQ(scalar.ok(), vectorized.ok());
+  if (!scalar.ok()) return;
+  EXPECT_EQ((*scalar)->ToString(1000), (*vectorized)->ToString(1000));
+}
+
+TEST(SimdEquivalenceTest, RestrictZooAtEachDispatchLevel) {
+  RelationPtr rel = SpecialRelation(129);
+  for (db::SimdLevel level : DistinctLevels()) {
+    SCOPED_TRACE(expr::simd::LevelName(expr::simd::Resolve(level)));
+    SimdGuard guard(level);
+    for (const char* predicate : {
+             "f * 2.0 + g >= 1.0",
+             "f = g",
+             "f != f",
+             "big < big2 and i + j > 0",
+             "f / g > 0.5 or b and c",
+             "i * j - 3 <= f",
+         }) {
+      ExpectSameRestrictByText(rel, predicate);
+    }
+  }
+}
+
 // ---- Figure-program memo/stamp regression --------------------------------
 
 struct Target {
@@ -278,10 +542,17 @@ TEST(BatchEvalStampRegressionTest, VectorizationCannotChangeFingerprintsOrStamps
   for (const testing::FigProgram& program : testing::AllFigPrograms()) {
     SCOPED_TRACE(program.name);
 
-    std::map<std::string, std::string> fingerprints[2];
-    std::map<std::string, std::optional<uint64_t>> stamps[2];
-    for (int pass = 0; pass < 2; ++pass) {
-      VectorizedGuard guard(pass == 1);
+    // Pass 0: scalar row-at-a-time. Pass 1: vectorized typed loops with the
+    // SIMD tiers pinned off. Pass 2: vectorized with the best SIMD tier the
+    // host supports forced on (kAVX2 clamps down on lesser machines). All
+    // three must agree bit-for-bit or memoization would churn on a policy
+    // flip.
+    std::map<std::string, std::string> fingerprints[3];
+    std::map<std::string, std::optional<uint64_t>> stamps[3];
+    for (int pass = 0; pass < 3; ++pass) {
+      VectorizedGuard guard(pass >= 1);
+      SimdGuard simd_guard(pass == 2 ? db::SimdLevel::kAVX2
+                                     : db::SimdLevel::kScalar);
       Environment env;
       ASSERT_TRUE(env.LoadDemoData(program.extra_stations, program.num_days).ok());
       Status built = program.build(&env);
@@ -297,8 +568,10 @@ TEST(BatchEvalStampRegressionTest, VectorizationCannotChangeFingerprintsOrStamps
         stamps[pass][id] = session.engine().cache().StampOf(id);
       }
     }
-    EXPECT_EQ(fingerprints[0], fingerprints[1]);
-    EXPECT_EQ(stamps[0], stamps[1]);
+    for (int pass = 1; pass < 3; ++pass) {
+      EXPECT_EQ(fingerprints[0], fingerprints[pass]) << "pass " << pass;
+      EXPECT_EQ(stamps[0], stamps[pass]) << "pass " << pass;
+    }
   }
 }
 
@@ -323,6 +596,48 @@ TEST(DisplayBatchTest, AttributeValuesMatchesAttributeValue) {
       auto scalar = relation.AttributeValue(r, name);
       ASSERT_TRUE(scalar.ok());
       EXPECT_EQ(Describe((*batch)[r]), Describe(scalar.value())) << "row " << r;
+    }
+  }
+}
+
+TEST(DisplayBatchTest, DrawableBuiltinsVectorize) {
+  // The drawable-constructor builtins (the bulk of nodes_fallback on display
+  // programs) run as batch kernels when their styling args are constants.
+  // fallback_nodes must stay 0 — only the constructors' argument subtrees
+  // may use other paths — and results must match the scalar builtin eval.
+  RelationPtr rel = Mixed();
+  for (const char* source : {
+           "point()",
+           "point(\"#aabbcc\")",
+           "circle(i + 1.0)",
+           "circle(f, \"#c81e1e\")",
+           "circle(f, \"#c81e1e\", true)",
+           "rect(i, f)",
+           "rect(i * 2, f + 1.0, \"#00ff00\")",
+           "rect(i, f, \"#00ff00\", false)",
+           "line(i, f)",
+           "line(i, f, \"#0000ff\")",
+           "text(s, 2.0)",
+           "text(s, f, \"#112233\")",
+           "offset(circle(i + 1.0, \"#c81e1e\"), f, 0.0 - f)",
+       }) {
+    SCOPED_TRACE(source);
+    auto compiled =
+        expr::CompiledExpr::Compile(source, db::SchemaEnv(rel->schema()));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    expr::RelationBatchSource batch_source(*rel);
+    expr::BatchEvaluator evaluator(batch_source);
+    expr::Selection sel;
+    expr::IdentitySelection(0, rel->num_rows(), &sel);
+    auto vec = evaluator.Eval(compiled->root(), sel);
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    EXPECT_EQ(evaluator.stats().fallback_nodes, 0u);
+    for (size_t r = 0; r < rel->num_rows(); ++r) {
+      expr::TupleAccessor accessor(rel->row(r));
+      auto scalar = compiled->Eval(accessor);
+      ASSERT_TRUE(scalar.ok());
+      EXPECT_EQ(Describe(vec->ValueAt(r)), Describe(scalar.value()))
+          << "row " << r;
     }
   }
 }

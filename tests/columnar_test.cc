@@ -88,6 +88,51 @@ TEST(ColumnarTest, NoNullsMeansEmptyBitmap) {
   EXPECT_FALSE(col.IsNull(1));
 }
 
+TEST(ColumnarTest, SelectionViewChainsComposeToTheBase) {
+  // A view-of-a-view-of-a-view (Restrict over Limit over Sort, say) gathers
+  // its columns once from the deepest materialized ancestor's columns — but
+  // whatever the mechanics, the values must equal walking the chain row by
+  // row. Duplicated and out-of-order rows are allowed at every link.
+  std::vector<Tuple> rows;
+  for (size_t r = 0; r < 200; ++r) {
+    rows.push_back({r % 13 == 0 ? Value::Null()
+                                : Value::Int(static_cast<int64_t>(r)),
+                    Value::String("s" + std::to_string(r % 7))});
+  }
+  RelationPtr base =
+      MakeRelation({Column{"v", DataType::kInt}, Column{"s", DataType::kString}},
+                   rows)
+          .value();
+
+  // Link 1: reversed evens. Link 2: every third, with a duplicate run at the
+  // front. Link 3: a short permuted window.
+  std::vector<uint32_t> evens;
+  for (uint32_t r = 200; r-- > 0;) {
+    if (r % 2 == 0) evens.push_back(r);
+  }
+  RelationPtr v1 = Relation::MakeSelectionView(base, evens);
+  std::vector<uint32_t> thirds = {5, 5, 5};
+  for (uint32_t r = 0; r < v1->num_rows(); r += 3) thirds.push_back(r);
+  RelationPtr v2 = Relation::MakeSelectionView(v1, thirds);
+  std::vector<uint32_t> window = {7, 3, 11, 0, 2, 1};
+  RelationPtr v3 = Relation::MakeSelectionView(v2, window);
+
+  for (const RelationPtr& view : {v1, v2, v3}) {
+    const ColumnarTable& table = view->columnar();
+    for (size_t c = 0; c < view->num_columns(); ++c) {
+      const ColumnVector& col = table.column(c);
+      ASSERT_EQ(col.num_rows, view->num_rows());
+      for (size_t r = 0; r < view->num_rows(); ++r) {
+        const Value& want = view->at(r, c);
+        EXPECT_EQ(col.IsNull(r), want.is_null()) << "col " << c << " row " << r;
+        if (!want.is_null()) {
+          EXPECT_TRUE(col.ValueAt(r).Equals(want)) << "col " << c << " row " << r;
+        }
+      }
+    }
+  }
+}
+
 TEST(ColumnarTest, ColumnarViewIsSharedAndStable) {
   RelationPtr rel = AllTypes();
   const ColumnarTable& a = rel->columnar();

@@ -234,6 +234,15 @@ TEST_F(ParallelEngineTest, RecordsMetrics) {
   EXPECT_NE(json.find("\"box_fires\""), std::string::npos);
   EXPECT_NE(json.find("\"Table\""), std::string::npos);
   EXPECT_NE(json.find("\"Restrict\""), std::string::npos);
+  // The batch_eval section reports the SIMD dispatch tier and the
+  // simd-vs-scalar kernel counts (present — if zero — even when the tiers
+  // are compiled out or the CPU lacks them).
+  EXPECT_NE(json.find("\"batch_eval\""), std::string::npos);
+  EXPECT_NE(json.find("\"simd_level\""), std::string::npos);
+  EXPECT_NE(json.find("\"simd_batches_sse2\""), std::string::npos);
+  EXPECT_NE(json.find("\"simd_batches_avx2\""), std::string::npos);
+  EXPECT_NE(json.find("\"simd_rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"simd_scalar_fallbacks\""), std::string::npos);
 }
 
 TEST(LatencyHistogramTest, QuantilesAndCounts) {

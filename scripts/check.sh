@@ -12,7 +12,13 @@
 #               recovering) and run the join/operator tests — the class of
 #               bug this catches mechanically is the old HashKey
 #               out-of-range double->int64 cast;
-#   5. nosimd — rebuild with -DTIOGA2_SIMD=OFF and rerun the full suite, so
+#   5. recovery — the crash-safety gate: the storage tests (which include
+#               the nine-figure kill-and-recover snapshot/replay cycle) under
+#               ThreadSanitizer — snapshotting runs on a background thread
+#               concurrent with edits and queries — and the FaultFs
+#               crash-injection property tests under Address+UB sanitizers,
+#               where torn half-records are decoded from raw bytes;
+#   6. nosimd — rebuild with -DTIOGA2_SIMD=OFF and rerun the full suite, so
 #               the scalar fallback path (the only path on machines where the
 #               SIMD tiers are compiled out) can never rot. The sanitizer
 #               passes above inherit the default SIMD=ON build and therefore
@@ -51,6 +57,12 @@ cmake --build build-ubsan -j --target \
   join_test operators_test columnar_test batch_eval_test
 (cd build-ubsan && ctest --output-on-failure \
   -R 'join_test|operators_test|columnar_test|batch_eval_test')
+
+echo "== recovery: storage snapshot/replay under tsan, crash injection under asan =="
+cmake --build build-tsan -j --target storage_test
+(cd build-tsan && ctest --output-on-failure -R 'storage_test')
+cmake --build build-asan -j --target storage_test storage_crash_test
+(cd build-asan && ctest --output-on-failure -R 'storage_test|storage_crash_test')
 
 echo "== nosimd: full suite with the SIMD tiers compiled out =="
 cmake -B build-nosimd -S . -DTIOGA2_SIMD=OFF >/dev/null

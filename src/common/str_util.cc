@@ -57,6 +57,9 @@ std::string AsciiToLower(std::string_view input) {
 std::string FormatDouble(double value) {
   if (std::isnan(value)) return "nan";
   if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Negative zero would print as "0" through the integer fast path below and
+  // come back as +0.0 — a bit-level round-trip loss CSV must not have.
+  if (value == 0.0 && std::signbit(value)) return "-0";
   if (value == static_cast<long long>(value) && std::fabs(value) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));

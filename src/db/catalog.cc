@@ -1,12 +1,23 @@
 #include "db/catalog.h"
 
+#include <algorithm>
+
 namespace tioga2::db {
 
 Status Catalog::RegisterTable(const std::string& name, RelationPtr relation) {
   if (name.empty()) return Status::InvalidArgument("table name must be non-empty");
   if (relation == nullptr) return Status::InvalidArgument("relation must be non-null");
-  auto [it, inserted] = tables_.emplace(name, TableEntry{std::move(relation), 1});
+  // A recreation after a drop continues above the dropped table's final
+  // version, so stamps minted against the old incarnation can never match.
+  uint64_t version = 1;
+  if (auto floor = version_floors_.find(name); floor != version_floors_.end()) {
+    version = floor->second + 1;
+  }
+  auto [it, inserted] = tables_.emplace(name, TableEntry{std::move(relation), version});
   if (!inserted) return Status::AlreadyExists("table '" + name + "' already exists");
+  if (listener_ != nullptr) {
+    listener_->OnRegisterTable(name, it->second.relation, it->second.version);
+  }
   return Status::OK();
 }
 
@@ -21,6 +32,9 @@ Status Catalog::ReplaceTable(const std::string& name, RelationPtr relation) {
   }
   it->second.relation = std::move(relation);
   ++it->second.version;
+  if (listener_ != nullptr) {
+    listener_->OnReplaceTable(name, it->second.relation, it->second.version);
+  }
   return Status::OK();
 }
 
@@ -52,11 +66,21 @@ Result<TableDelta> Catalog::UpdateRow(const std::string& name, size_t row,
   it->second.relation = builder.Build();
   ++it->second.version;
   delta.new_version = it->second.version;
+  if (listener_ != nullptr) {
+    listener_->OnUpdateRow(delta, it->second.relation);
+  }
   return delta;
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  if (tables_.erase(name) == 0) return Status::NotFound("no table named '" + name + "'");
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  const uint64_t version_at_drop = it->second.version;
+  // Remember the final version so a same-named recreation stays monotonic.
+  uint64_t& floor = version_floors_[name];
+  floor = std::max(floor, version_at_drop);
+  tables_.erase(it);
+  if (listener_ != nullptr) listener_->OnDropTable(name, version_at_drop);
   return Status::OK();
 }
 
@@ -84,7 +108,22 @@ std::vector<std::string> Catalog::ListTables() const {
 }
 
 void Catalog::SaveProgram(const std::string& name, std::string serialized) {
-  programs_[name] = std::move(serialized);
+  std::string& slot = programs_[name];
+  slot = std::move(serialized);
+  if (listener_ != nullptr) listener_->OnSaveProgram(name, slot);
+}
+
+Status Catalog::RestoreTable(const std::string& name, RelationPtr relation,
+                             uint64_t version) {
+  if (name.empty()) return Status::InvalidArgument("table name must be non-empty");
+  if (relation == nullptr) return Status::InvalidArgument("relation must be non-null");
+  tables_[name] = TableEntry{std::move(relation), version};
+  return Status::OK();
+}
+
+void Catalog::RestoreVersionFloor(const std::string& name, uint64_t version) {
+  uint64_t& floor = version_floors_[name];
+  floor = std::max(floor, version);
 }
 
 Result<std::string> Catalog::GetProgram(const std::string& name) const {

@@ -26,6 +26,27 @@ struct TableDelta {
   uint64_t new_version = 0;
 };
 
+/// Observes catalog mutations. The storage engine (storage/storage_engine.h)
+/// implements this to mirror every mutation into its write-ahead log and its
+/// snapshot shadow state; the catalog itself stays storage-agnostic.
+/// Callbacks fire after the mutation has been applied, on the mutating
+/// thread, with the post-mutation state.
+class CatalogListener {
+ public:
+  virtual ~CatalogListener() = default;
+  virtual void OnRegisterTable(const std::string& name,
+                               const RelationPtr& relation, uint64_t version) = 0;
+  virtual void OnReplaceTable(const std::string& name,
+                              const RelationPtr& relation, uint64_t version) = 0;
+  virtual void OnUpdateRow(const TableDelta& delta,
+                           const RelationPtr& relation) = 0;
+  /// `version_at_drop` is the dropped table's final version — the floor a
+  /// same-named recreation must start above.
+  virtual void OnDropTable(const std::string& name, uint64_t version_at_drop) = 0;
+  virtual void OnSaveProgram(const std::string& name,
+                             const std::string& serialized) = 0;
+};
+
 /// The system catalog: named base tables plus saved programs. This plays the
 /// role POSTGRES plays for Tioga-2 — "for every relation known to the
 /// Tioga-2 system there is a box of the same name" (§4), and "Save Program:
@@ -33,6 +54,11 @@ struct TableDelta {
 ///
 /// Each table carries a version counter bumped on every update; the dataflow
 /// engine uses it to invalidate memoized box outputs after a §8 update.
+/// Versions are monotonic per *name*, not per table object: dropping a table
+/// records its final version as a floor, and a same-named recreation starts
+/// above it. (Without the floor, a recreated table would restart at version 1
+/// and a memo entry stamped against the old table's version 1 would be
+/// silently — and wrongly — considered fresh.)
 class Catalog {
  public:
   Catalog() = default;
@@ -81,6 +107,31 @@ class Catalog {
   /// Names of all saved programs, sorted.
   std::vector<std::string> ListPrograms() const;
 
+  /// Installs (or clears, with nullptr) the single mutation listener. The
+  /// listener must outlive the catalog or be cleared first.
+  void SetListener(CatalogListener* listener) { listener_ = listener; }
+
+  /// The per-name version floors recorded by DropTable (see class comment).
+  const std::map<std::string, uint64_t>& version_floors() const {
+    return version_floors_;
+  }
+
+  // ---- Recovery-only entry points (storage/storage_engine.h) ----
+  //
+  // These bypass the listener (recovery must not re-log what it replays) and
+  // set versions exactly as recorded, because memoization stamps derive from
+  // table versions (TableBox::CacheSalt) and the recovery tests assert
+  // byte-identical stamps across a restart.
+
+  /// Installs `relation` under `name` at exactly `version`, creating or
+  /// overwriting. No listener notification.
+  Status RestoreTable(const std::string& name, RelationPtr relation,
+                      uint64_t version);
+
+  /// Reinstates a recorded version floor (keeps the higher of the two if one
+  /// is already present). No listener notification.
+  void RestoreVersionFloor(const std::string& name, uint64_t version);
+
  private:
   struct TableEntry {
     RelationPtr relation;
@@ -88,6 +139,9 @@ class Catalog {
   };
   std::map<std::string, TableEntry> tables_;
   std::map<std::string, std::string> programs_;
+  /// name -> version the table had when it was last dropped.
+  std::map<std::string, uint64_t> version_floors_;
+  CatalogListener* listener_ = nullptr;
 };
 
 }  // namespace tioga2::db

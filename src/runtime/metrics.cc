@@ -6,6 +6,7 @@
 
 #include "expr/batch.h"
 #include "expr/simd/simd.h"
+#include "storage/storage_metrics.h"
 
 namespace tioga2::runtime {
 
@@ -118,6 +119,13 @@ MetricsSnapshot Metrics::snapshot() const {
   snap.batch_restrict_rows = batch.restrict_rows.load();
   snap.batch_nodes_vectorized = batch.nodes_vectorized.load();
   snap.batch_nodes_fallback = batch.nodes_fallback.load();
+  const storage::StorageMetrics& stor = storage::StorageMetrics::Global();
+  snap.wal_records = stor.wal_records.load();
+  snap.wal_bytes = stor.wal_bytes.load();
+  snap.wal_fsyncs = stor.wal_fsyncs.load();
+  snap.snapshots_written = stor.snapshots_written.load();
+  snap.snapshot_ms = static_cast<double>(stor.snapshot_us_last.load()) / 1000.0;
+  snap.recovery_ms = static_cast<double>(stor.recovery_us_last.load()) / 1000.0;
   return snap;
 }
 
@@ -177,6 +185,26 @@ std::string Metrics::ToJson() const {
   json += ",\"simd_rows\":" + std::to_string(batch.simd_rows.load());
   json += ",\"simd_scalar_fallbacks\":" +
           std::to_string(batch.simd_scalar_fallbacks.load());
+  json += "}";
+  const storage::StorageMetrics& stor = storage::StorageMetrics::Global();
+  json += ",\"storage\":{";
+  json += "\"wal_records\":" + std::to_string(stor.wal_records.load());
+  json += ",\"wal_bytes\":" + std::to_string(stor.wal_bytes.load());
+  json += ",\"wal_fsyncs\":" + std::to_string(stor.wal_fsyncs.load());
+  json += ",\"wal_group_commits\":" +
+          std::to_string(stor.wal_group_commits.load());
+  json += ",\"wal_rotations\":" + std::to_string(stor.wal_rotations.load());
+  json += ",\"wal_segments_truncated\":" +
+          std::to_string(stor.wal_segments_truncated.load());
+  json += ",\"snapshots_written\":" +
+          std::to_string(stor.snapshots_written.load());
+  json += ",\"snapshot_bytes\":" + std::to_string(stor.snapshot_bytes.load());
+  json += ",\"snapshot_ms\":" +
+          FormatDouble(static_cast<double>(stor.snapshot_us_last.load()) / 1000.0);
+  json += ",\"recovery_ms\":" +
+          FormatDouble(static_cast<double>(stor.recovery_us_last.load()) / 1000.0);
+  json += ",\"recovery_records_replayed\":" +
+          std::to_string(stor.recovery_records_replayed.load());
   json += "}}";
   return json;
 }

@@ -59,6 +59,14 @@ struct MetricsSnapshot {
   uint64_t batch_restrict_rows = 0;
   uint64_t batch_nodes_vectorized = 0;
   uint64_t batch_nodes_fallback = 0;
+  // Persistence counters, copied from storage::StorageMetrics::Global() at
+  // snapshot time (same pattern: storage cannot depend on runtime).
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t snapshots_written = 0;
+  double snapshot_ms = 0.0;
+  double recovery_ms = 0.0;
 };
 
 /// The observability surface of the runtime: per-box-type fire latency

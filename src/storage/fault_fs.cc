@@ -1,0 +1,59 @@
+#include "storage/fault_fs.h"
+
+#include <algorithm>
+
+namespace tioga2::storage {
+
+namespace {
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultFs* fs)
+      : base_(std::move(base)), fs_(fs) {}
+
+  Status Append(std::string_view data) override {
+    size_t allowed = fs_->Claim(data.size());
+    if (allowed == 0) return Status::OK();
+    return base_->Append(data.substr(0, allowed));
+  }
+
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override { return base_->Sync(); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultFs* fs_;
+};
+
+}  // namespace
+
+size_t FaultFs::Claim(size_t want) {
+  int64_t before =
+      remaining_.fetch_sub(static_cast<int64_t>(want), std::memory_order_relaxed);
+  int64_t allowed = before < 0 ? 0 : before;
+  if (allowed < static_cast<int64_t>(want)) {
+    tripped_.store(true, std::memory_order_relaxed);
+  }
+  return static_cast<size_t>(std::min<int64_t>(allowed, static_cast<int64_t>(want)));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultFs::OpenWritable(
+    const std::string& path) {
+  TIOGA2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                          base_->OpenWritable(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(std::move(base), this));
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  if (tripped()) return Status::OK();  // the platter never saw it
+  return base_->Remove(path);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  if (tripped()) return Status::OK();
+  return base_->Rename(from, to);
+}
+
+}  // namespace tioga2::storage

@@ -1,0 +1,66 @@
+#ifndef TIOGA2_STORAGE_FAULT_FS_H_
+#define TIOGA2_STORAGE_FAULT_FS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "storage/fs.h"
+
+namespace tioga2::storage {
+
+/// Crash-injection filesystem: forwards to a base Fs until a byte budget is
+/// exhausted, then silently truncates every further write — the on-disk
+/// state is exactly the prefix a power loss at that byte would leave,
+/// including a torn half-record at the cut. Sync/Flush keep reporting OK
+/// after the cut (the "kernel" acks writes that never hit the platter; the
+/// recovery path may not assume it was warned). Once tripped, Remove and
+/// Rename become OK-reporting no-ops for the same reason: metadata
+/// operations issued after the crash instant never reached the disk either,
+/// so a truncated snapshot is never published and WAL segments covered only
+/// by it are never deleted.
+///
+/// The budget is shared across all files opened through this Fs, so a cut
+/// can land mid-WAL-frame, mid-snapshot-section, or between files — the
+/// property test (storage_crash_test) samples all of them.
+class FaultFs : public Fs {
+ public:
+  /// Writes beyond `byte_budget` total bytes are dropped. `base` must
+  /// outlive this Fs.
+  FaultFs(Fs* base, uint64_t byte_budget)
+      : base_(base), remaining_(static_cast<int64_t>(byte_budget)) {}
+
+  /// True once at least one write has been (partially) dropped.
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+
+  /// Bytes of budget left (<= 0 once exhausted).
+  int64_t remaining() const { return remaining_.load(std::memory_order_relaxed); }
+
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDirs(const std::string& dir) override {
+    return base_->CreateDirs(dir);
+  }
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  bool Exists(const std::string& path) override { return base_->Exists(path); }
+
+  /// Claims up to `want` bytes of budget; returns how many may be written.
+  /// Called by the files this Fs opens.
+  size_t Claim(size_t want);
+
+ private:
+  Fs* base_;
+  std::atomic<int64_t> remaining_;
+  std::atomic<bool> tripped_{false};
+};
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_FAULT_FS_H_

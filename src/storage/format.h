@@ -1,0 +1,132 @@
+#ifndef TIOGA2_STORAGE_FORMAT_H_
+#define TIOGA2_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "db/relation.h"
+
+namespace tioga2::storage {
+
+/// The binary building blocks shared by the snapshot format and the WAL
+/// (see DESIGN.md "Persistence and recovery"): fixed-width little-endian
+/// scalars, length-prefixed strings, CRC32-checked frames, and a columnar
+/// relation codec that round-trips catalog tables bit-exactly.
+///
+/// Files written with these primitives are machine-local (native endianness,
+/// IEEE doubles serialized by bit pattern); they are a crash-recovery
+/// format, not an interchange format — CSV (db/csv.h) is the portable
+/// escape hatch.
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32). `seed` chains partial
+/// computations: Crc32(b, Crc32(a)) == Crc32(a ++ b).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+/// 64-bit FNV-1a over raw bytes — the content-fingerprint hash. Two
+/// relations with equal encodings (schema, row order, null pattern, value
+/// bits) have equal fingerprints.
+uint64_t Hash64(std::string_view data);
+
+/// Appends binary primitives to a growing byte string.
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  /// Serialized by bit pattern: NaN payloads and -0.0 survive.
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+  void PutString(std::string_view v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    out_.append(v.data(), v.size());
+  }
+  void PutRaw(std::string_view v) { out_.append(v.data(), v.size()); }
+
+  const std::string& data() const { return out_; }
+  size_t size() const { return out_.size(); }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+/// Bounds-checked reader over an encoded byte string. Every getter returns
+/// ParseError instead of reading past the end, so a truncated or corrupted
+/// payload is always a clean error, never undefined behavior.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  /// The not-yet-consumed suffix (a view into the underlying data). Lets the
+  /// snapshot reader hash a relation's encoded bytes before decoding them.
+  std::string_view rest() const { return data_.substr(pos_); }
+
+ private:
+  Status GetFixed(void* out, size_t n);
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- CRC frames ----
+//
+// A frame is [u32 length][u32 crc][payload], where `length` is the payload
+// size and `crc` is Crc32(payload). Both the WAL and the snapshot file are
+// sequences of frames; a torn tail (incomplete length/crc/payload) or a crc
+// mismatch ends the readable prefix.
+
+/// Appends one frame wrapping `payload` to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Size on disk of a frame wrapping a payload of `payload_size` bytes.
+inline size_t FrameSize(size_t payload_size) { return 8 + payload_size; }
+
+/// Reads the frame starting at `*offset` of `data`. On success advances
+/// `*offset` past the frame and returns the payload (a view into `data`).
+/// Returns OutOfRange when the remaining bytes cannot hold a whole frame (a
+/// torn tail — the expected end state of a crashed log) and ParseError on a
+/// CRC mismatch (corruption).
+Result<std::string_view> ReadFrame(std::string_view data, size_t* offset);
+
+// ---- Value and relation codecs ----
+
+/// Encodes one cell self-describingly (a type tag, then the payload).
+/// Display values are rejected: display attributes are computed, never
+/// stored (§5.1), so they never appear in a base table.
+Status EncodeValue(const types::Value& value, Encoder* enc);
+Result<types::Value> DecodeValue(Decoder* dec);
+
+/// Encodes a whole tuple (cell count, then each cell).
+Status EncodeTuple(const db::Tuple& tuple, Encoder* enc);
+Result<db::Tuple> DecodeTuple(Decoder* dec);
+
+/// Encodes a relation columnarly: schema, row count, then per column a null
+/// bitmap and the typed vector, serialized from Relation::columnar() — the
+/// snapshotter never touches the row store, so it can run concurrently with
+/// readers (per-column materialization is once_flag-guarded). Decoding
+/// rebuilds a materialized relation whose tuples are value- and
+/// bit-identical to the source (asserted by storage_test round trips).
+Status EncodeRelation(const db::Relation& relation, Encoder* enc);
+Result<db::RelationPtr> DecodeRelation(Decoder* dec);
+
+/// The content fingerprint of a relation: Hash64 over its columnar
+/// encoding. Stored in snapshots next to each table and re-verified on
+/// load; also the equality check the recovery tests use.
+Result<uint64_t> FingerprintRelation(const db::Relation& relation);
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_FORMAT_H_

@@ -1,0 +1,138 @@
+#include "storage/fs.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+namespace tioga2::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// stdio-backed writable file: Append buffers in the FILE*, Flush is
+/// fflush, Sync is fflush + fsync(fileno).
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (file_ == nullptr) return Status::IOError("append to closed file " + path_);
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return ErrnoStatus("write to", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    if (file_ == nullptr) return Status::IOError("flush of closed file " + path_);
+    if (std::fflush(file_) != 0) return ErrnoStatus("flush of", path_);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    TIOGA2_RETURN_IF_ERROR(Flush());
+    if (::fsync(::fileno(file_)) != 0) return ErrnoStatus("fsync of", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return ErrnoStatus("close of", path_);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixFs : public Fs {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path) override {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) return ErrnoStatus("cannot open", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(file, path));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IOError("read of '" + path + "' failed");
+    return buffer.str();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    std::vector<std::string> names;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      if (ec == std::errc::no_such_file_or_directory) return names;
+      return Status::IOError("cannot list '" + dir + "': " + ec.message());
+    }
+    for (const auto& entry : it) {
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return Status::IOError("cannot create '" + dir + "': " + ec.message());
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    std::error_code ec;
+    if (!std::filesystem::remove(path, ec) || ec) {
+      return Status::IOError("cannot remove '" + path + "'" +
+                             (ec ? ": " + ec.message() : ""));
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) {
+      return Status::IOError("cannot rename '" + from + "' to '" + to +
+                             "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+};
+
+}  // namespace
+
+Fs* Fs::Default() {
+  static PosixFs fs;
+  return &fs;
+}
+
+}  // namespace tioga2::storage

@@ -1,0 +1,55 @@
+#ifndef TIOGA2_STORAGE_FS_H_
+#define TIOGA2_STORAGE_FS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tioga2::storage {
+
+/// An append-only output file. Durability ladder: Append buffers in the
+/// process, Flush pushes to the OS, Sync (fsync) pushes to the device —
+/// the distinction the WAL durability policies are built on.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::string_view data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The filesystem surface the storage subsystem uses. Everything goes
+/// through this interface so the crash-injection harness (fault_fs.h) can
+/// cut writes off mid-record, exactly like a power loss would.
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Opens `path` for writing (truncating any existing file).
+  virtual Result<std::unique_ptr<WritableFile>> OpenWritable(
+      const std::string& path) = 0;
+
+  /// Reads a whole file.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Names (not paths) of directory entries, sorted. Missing directory is an
+  /// empty listing, not an error.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  /// Atomic on POSIX — the snapshot writer's publish step (tmp + rename).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// The process-wide real (POSIX) filesystem.
+  static Fs* Default();
+};
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_FS_H_

@@ -1,0 +1,69 @@
+#include "storage/records.h"
+
+#include "storage/format.h"
+
+namespace tioga2::storage {
+
+Result<std::string> EncodeWalRecord(const WalRecord& record) {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(record.type));
+  enc.PutString(record.name);
+  enc.PutU64(record.version);
+  switch (record.type) {
+    case WalRecordType::kUpdateRow:
+      enc.PutU64(record.row);
+      TIOGA2_RETURN_IF_ERROR(EncodeTuple(record.new_tuple, &enc));
+      break;
+    case WalRecordType::kRegister:
+    case WalRecordType::kReplace:
+      if (record.relation == nullptr) {
+        return Status::InvalidArgument("record has no relation payload");
+      }
+      TIOGA2_RETURN_IF_ERROR(EncodeRelation(*record.relation, &enc));
+      break;
+    case WalRecordType::kDrop:
+      break;
+    case WalRecordType::kSaveProgram:
+      enc.PutString(record.program_text);
+      break;
+    default:
+      return Status::InvalidArgument("unknown wal record type");
+  }
+  return enc.Take();
+}
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload) {
+  Decoder dec(payload);
+  WalRecord record;
+  TIOGA2_ASSIGN_OR_RETURN(uint8_t type, dec.GetU8());
+  record.type = static_cast<WalRecordType>(type);
+  TIOGA2_ASSIGN_OR_RETURN(record.name, dec.GetString());
+  TIOGA2_ASSIGN_OR_RETURN(record.version, dec.GetU64());
+  switch (record.type) {
+    case WalRecordType::kUpdateRow: {
+      TIOGA2_ASSIGN_OR_RETURN(record.row, dec.GetU64());
+      TIOGA2_ASSIGN_OR_RETURN(record.new_tuple, DecodeTuple(&dec));
+      break;
+    }
+    case WalRecordType::kRegister:
+    case WalRecordType::kReplace: {
+      TIOGA2_ASSIGN_OR_RETURN(record.relation, DecodeRelation(&dec));
+      break;
+    }
+    case WalRecordType::kDrop:
+      break;
+    case WalRecordType::kSaveProgram: {
+      TIOGA2_ASSIGN_OR_RETURN(record.program_text, dec.GetString());
+      break;
+    }
+    default:
+      return Status::ParseError("unknown wal record type " +
+                                std::to_string(type));
+  }
+  if (!dec.done()) {
+    return Status::ParseError("trailing bytes after wal record");
+  }
+  return record;
+}
+
+}  // namespace tioga2::storage

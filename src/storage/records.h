@@ -1,0 +1,53 @@
+#ifndef TIOGA2_STORAGE_RECORDS_H_
+#define TIOGA2_STORAGE_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/relation.h"
+
+namespace tioga2::storage {
+
+/// One logical catalog mutation as logged to the WAL. The record types map
+/// one-to-one onto CatalogListener callbacks; kUpdateRow is the common case
+/// (every §8 direct-manipulation edit) and carries only the replaced row,
+/// not the table.
+// Stable on-disk constants: never renumber.
+enum class WalRecordType : uint8_t {
+  kUpdateRow = 1,
+  kRegister = 2,
+  kReplace = 3,
+  kDrop = 4,
+  kSaveProgram = 5,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kUpdateRow;
+  /// Table name, or program name for kSaveProgram.
+  std::string name;
+  /// The table version after the mutation — or, for kDrop, the version the
+  /// table had when dropped (the floor a recreation must exceed). Replay
+  /// verifies the catalog arrives at exactly this version (stamps depend on
+  /// it). Zero for kSaveProgram.
+  uint64_t version = 0;
+  /// kUpdateRow only.
+  uint64_t row = 0;
+  db::Tuple new_tuple;
+  /// kRegister / kReplace only.
+  db::RelationPtr relation;
+  /// kSaveProgram only.
+  std::string program_text;
+};
+
+/// Serializes a record to the payload the Wal frames. Fails only if a
+/// relation payload cannot be encoded (a display column — impossible for
+/// catalog base tables).
+Result<std::string> EncodeWalRecord(const WalRecord& record);
+
+Result<WalRecord> DecodeWalRecord(std::string_view payload);
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_RECORDS_H_

@@ -1,0 +1,213 @@
+#include "storage/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "storage/format.h"
+#include "storage/storage_metrics.h"
+
+namespace tioga2::storage {
+
+namespace {
+
+// Stable on-disk constants: never renumber.
+constexpr uint32_t kSnapshotMagic = 0x54325331;  // "T2S1"
+constexpr uint32_t kSnapshotVersion = 1;
+
+enum FrameKind : uint8_t {
+  kFrameHeader = 1,
+  kFrameTable = 2,
+  kFrameProgram = 3,
+  kFrameFloor = 4,
+  kFrameEnd = 5,
+};
+
+bool ParseSnapshotName(const std::string& name, uint64_t* seq) {
+  // snapshot-<20 digits>.t2s
+  if (name.size() != 9 + 20 + 4) return false;
+  if (name.rfind("snapshot-", 0) != 0 || name.substr(29) != ".t2s") return false;
+  uint64_t value = 0;
+  for (size_t i = 9; i < 29; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+std::string SnapshotName(uint64_t seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020" PRIu64 ".t2s", seq);
+  return buf;
+}
+
+Result<uint64_t> WriteSnapshot(Fs* fs, const std::string& dir,
+                               const SnapshotContents& contents) {
+  TIOGA2_RETURN_IF_ERROR(fs->CreateDirs(dir));
+  std::string file_data;
+  {
+    Encoder header;
+    header.PutU8(kFrameHeader);
+    header.PutU32(kSnapshotMagic);
+    header.PutU32(kSnapshotVersion);
+    header.PutU64(contents.seq);
+    header.PutU64(contents.last_lsn);
+    header.PutU32(static_cast<uint32_t>(contents.tables.size()));
+    header.PutU32(static_cast<uint32_t>(contents.programs.size()));
+    header.PutU32(static_cast<uint32_t>(contents.version_floors.size()));
+    AppendFrame(header.data(), &file_data);
+  }
+  for (const SnapshotTable& table : contents.tables) {
+    Encoder enc;
+    enc.PutU8(kFrameTable);
+    enc.PutString(table.name);
+    enc.PutU64(table.version);
+    Encoder rel;
+    TIOGA2_RETURN_IF_ERROR(EncodeRelation(*table.relation, &rel));
+    enc.PutU64(Hash64(rel.data()));
+    enc.PutRaw(rel.data());
+    AppendFrame(enc.data(), &file_data);
+  }
+  for (const auto& [name, text] : contents.programs) {
+    Encoder enc;
+    enc.PutU8(kFrameProgram);
+    enc.PutString(name);
+    enc.PutString(text);
+    AppendFrame(enc.data(), &file_data);
+  }
+  for (const auto& [name, floor] : contents.version_floors) {
+    Encoder enc;
+    enc.PutU8(kFrameFloor);
+    enc.PutString(name);
+    enc.PutU64(floor);
+    AppendFrame(enc.data(), &file_data);
+  }
+  {
+    Encoder end;
+    end.PutU8(kFrameEnd);
+    end.PutU32(kSnapshotMagic);
+    AppendFrame(end.data(), &file_data);
+  }
+
+  const std::string path = dir + "/" + SnapshotName(contents.seq);
+  const std::string tmp = path + ".tmp";
+  TIOGA2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          fs->OpenWritable(tmp));
+  TIOGA2_RETURN_IF_ERROR(file->Append(file_data));
+  TIOGA2_RETURN_IF_ERROR(file->Sync());
+  TIOGA2_RETURN_IF_ERROR(file->Close());
+  TIOGA2_RETURN_IF_ERROR(fs->Rename(tmp, path));
+  StorageMetrics::Global().snapshots_written.fetch_add(
+      1, std::memory_order_relaxed);
+  StorageMetrics::Global().snapshot_bytes.fetch_add(
+      file_data.size(), std::memory_order_relaxed);
+  return static_cast<uint64_t>(file_data.size());
+}
+
+Result<SnapshotContents> ReadSnapshot(Fs* fs, const std::string& path) {
+  TIOGA2_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  size_t offset = 0;
+
+  auto next_frame = [&]() -> Result<std::string_view> {
+    Result<std::string_view> frame = ReadFrame(data, &offset);
+    if (!frame.ok() && frame.status().IsOutOfRange()) {
+      // A truncated snapshot is corruption, not a tolerable torn tail:
+      // the writer only renames complete files into place.
+      return Status::ParseError("snapshot truncated: " + path);
+    }
+    return frame;
+  };
+
+  SnapshotContents contents;
+  TIOGA2_ASSIGN_OR_RETURN(std::string_view header_frame, next_frame());
+  Decoder header(header_frame);
+  TIOGA2_ASSIGN_OR_RETURN(uint8_t kind, header.GetU8());
+  if (kind != kFrameHeader) {
+    return Status::ParseError("snapshot missing header frame: " + path);
+  }
+  TIOGA2_ASSIGN_OR_RETURN(uint32_t magic, header.GetU32());
+  TIOGA2_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  if (magic != kSnapshotMagic || version != kSnapshotVersion) {
+    return Status::ParseError("not a tioga2 snapshot: " + path);
+  }
+  TIOGA2_ASSIGN_OR_RETURN(contents.seq, header.GetU64());
+  TIOGA2_ASSIGN_OR_RETURN(contents.last_lsn, header.GetU64());
+  TIOGA2_ASSIGN_OR_RETURN(uint32_t num_tables, header.GetU32());
+  TIOGA2_ASSIGN_OR_RETURN(uint32_t num_programs, header.GetU32());
+  TIOGA2_ASSIGN_OR_RETURN(uint32_t num_floors, header.GetU32());
+
+  for (uint32_t i = 0; i < num_tables; ++i) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string_view frame, next_frame());
+    Decoder dec(frame);
+    TIOGA2_ASSIGN_OR_RETURN(uint8_t tag, dec.GetU8());
+    if (tag != kFrameTable) {
+      return Status::ParseError("snapshot frame out of order: " + path);
+    }
+    SnapshotTable table;
+    TIOGA2_ASSIGN_OR_RETURN(table.name, dec.GetString());
+    TIOGA2_ASSIGN_OR_RETURN(table.version, dec.GetU64());
+    TIOGA2_ASSIGN_OR_RETURN(table.fingerprint, dec.GetU64());
+    // The remaining bytes are exactly the relation's columnar encoding —
+    // hash them before decoding and check the stored fingerprint.
+    if (Hash64(dec.rest()) != table.fingerprint) {
+      return Status::ParseError("snapshot table fingerprint mismatch: '" +
+                                table.name + "' in " + path);
+    }
+    TIOGA2_ASSIGN_OR_RETURN(table.relation, DecodeRelation(&dec));
+    if (!dec.done()) {
+      return Status::ParseError("trailing bytes after table '" + table.name +
+                                "' in " + path);
+    }
+    contents.tables.push_back(std::move(table));
+  }
+  for (uint32_t i = 0; i < num_programs; ++i) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string_view frame, next_frame());
+    Decoder dec(frame);
+    TIOGA2_ASSIGN_OR_RETURN(uint8_t tag, dec.GetU8());
+    if (tag != kFrameProgram) {
+      return Status::ParseError("snapshot frame out of order: " + path);
+    }
+    TIOGA2_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    TIOGA2_ASSIGN_OR_RETURN(std::string text, dec.GetString());
+    contents.programs.emplace_back(std::move(name), std::move(text));
+  }
+  for (uint32_t i = 0; i < num_floors; ++i) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string_view frame, next_frame());
+    Decoder dec(frame);
+    TIOGA2_ASSIGN_OR_RETURN(uint8_t tag, dec.GetU8());
+    if (tag != kFrameFloor) {
+      return Status::ParseError("snapshot frame out of order: " + path);
+    }
+    TIOGA2_ASSIGN_OR_RETURN(std::string name, dec.GetString());
+    TIOGA2_ASSIGN_OR_RETURN(uint64_t floor, dec.GetU64());
+    contents.version_floors.emplace_back(std::move(name), floor);
+  }
+
+  TIOGA2_ASSIGN_OR_RETURN(std::string_view end_frame, next_frame());
+  Decoder end(end_frame);
+  TIOGA2_ASSIGN_OR_RETURN(uint8_t end_tag, end.GetU8());
+  TIOGA2_ASSIGN_OR_RETURN(uint32_t end_magic, end.GetU32());
+  if (end_tag != kFrameEnd || end_magic != kSnapshotMagic) {
+    return Status::ParseError("snapshot missing END marker: " + path);
+  }
+  if (offset != data.size()) {
+    return Status::ParseError("trailing bytes after END marker: " + path);
+  }
+  return contents;
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshots(
+    Fs* fs, const std::string& dir) {
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  std::vector<std::pair<uint64_t, std::string>> snapshots;
+  for (const std::string& name : names) {
+    uint64_t seq;
+    if (ParseSnapshotName(name, &seq)) snapshots.emplace_back(seq, name);
+  }
+  // ListDir sorts lexicographically; zero-padding makes that ascending seq.
+  return snapshots;
+}
+
+}  // namespace tioga2::storage

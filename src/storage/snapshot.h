@@ -1,0 +1,64 @@
+#ifndef TIOGA2_STORAGE_SNAPSHOT_H_
+#define TIOGA2_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "db/relation.h"
+#include "storage/fs.h"
+
+namespace tioga2::storage {
+
+/// Everything a snapshot captures: a consistent image of the catalog plus
+/// the WAL position it covers. Recovery = newest readable snapshot + replay
+/// of records with lsn > last_lsn.
+struct SnapshotTable {
+  std::string name;
+  db::RelationPtr relation;
+  /// The Catalog version at capture time. Restored exactly: TableBox's
+  /// CacheSalt is the version, so memo stamps after recovery are only
+  /// byte-identical if versions are.
+  uint64_t version = 1;
+  /// Hash64 over the relation's columnar encoding; verified on load.
+  uint64_t fingerprint = 0;
+};
+
+struct SnapshotContents {
+  /// Monotonic snapshot number — also the file name (snapshot-<seq>.t2s).
+  uint64_t seq = 0;
+  /// Highest LSN whose effects this snapshot includes.
+  uint64_t last_lsn = 0;
+  std::vector<SnapshotTable> tables;
+  std::vector<std::pair<std::string, std::string>> programs;  // name -> text
+  /// Version floors (see Catalog): persisted so drop/recreate stays
+  /// monotonic across restarts too.
+  std::vector<std::pair<std::string, uint64_t>> version_floors;
+};
+
+/// File name for snapshot number `seq` (zero-padded so the sorted directory
+/// listing is in sequence order).
+std::string SnapshotName(uint64_t seq);
+
+/// Writes `contents` to dir/snapshot-<seq>.t2s atomically: everything goes
+/// to a .tmp file first, is fsynced, and only then renamed into place — a
+/// crash mid-snapshot leaves at worst a stale .tmp, never a half-readable
+/// snapshot under the real name. Returns bytes written.
+Result<uint64_t> WriteSnapshot(Fs* fs, const std::string& dir,
+                               const SnapshotContents& contents);
+
+/// Reads and fully validates one snapshot file: every frame's CRC, every
+/// table's content fingerprint, and the trailing END marker (its absence
+/// means the writer died before the rename — or the file was truncated —
+/// and the snapshot must not be trusted).
+Result<SnapshotContents> ReadSnapshot(Fs* fs, const std::string& path);
+
+/// Snapshots present in `dir` as (seq, file name), ascending by seq.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListSnapshots(
+    Fs* fs, const std::string& dir);
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,394 @@
+#include "storage/storage_engine.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "storage/records.h"
+#include "storage/storage_metrics.h"
+
+namespace tioga2::storage {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+StorageEngine::StorageEngine(db::Catalog* catalog, StorageOptions options,
+                             Fs* fs)
+    : catalog_(catalog), options_(std::move(options)), fs_(fs) {
+  if (options_.retain_snapshots == 0) options_.retain_snapshots = 1;
+}
+
+StorageEngine::~StorageEngine() { (void)Close(); }
+
+Status StorageEngine::Recover(
+    Fs* fs, const std::string& dir, db::Catalog* catalog, RecoveryInfo* info,
+    std::vector<std::pair<uint64_t, uint64_t>>* snapshots,
+    std::vector<std::string>* covered_tables,
+    std::vector<std::string>* covered_programs) {
+  // Newest valid snapshot wins; older valid ones are kept as metadata (the
+  // truncation floor), invalid ones are removed so retention counts stay
+  // honest. A snapshot is "valid" only if every CRC, every table
+  // fingerprint, and the END marker check out (snapshot.cc).
+  TIOGA2_ASSIGN_OR_RETURN(auto listed, ListSnapshots(fs, dir));
+  SnapshotContents base;
+  bool have_base = false;
+  for (auto it = listed.rbegin(); it != listed.rend(); ++it) {
+    const std::string path = dir + "/" + it->second;
+    Result<SnapshotContents> snap = ReadSnapshot(fs, path);
+    if (!snap.ok()) {
+      ++info->snapshots_skipped;
+      (void)fs->Remove(path);
+      continue;
+    }
+    snapshots->emplace_back(snap->seq, snap->last_lsn);
+    if (!have_base) {
+      base = std::move(*snap);
+      have_base = true;
+    }
+  }
+  std::reverse(snapshots->begin(), snapshots->end());  // ascending seq
+
+  if (have_base) {
+    info->recovered_snapshot = true;
+    info->snapshot_seq = base.seq;
+    info->snapshot_last_lsn = base.last_lsn;
+    for (const auto& [name, floor] : base.version_floors) {
+      catalog->RestoreVersionFloor(name, floor);
+    }
+    for (SnapshotTable& table : base.tables) {
+      TIOGA2_RETURN_IF_ERROR(catalog->RestoreTable(
+          table.name, std::move(table.relation), table.version));
+      covered_tables->push_back(table.name);
+    }
+    for (auto& [name, text] : base.programs) {
+      catalog->SaveProgram(name, std::move(text));  // no listener yet
+      covered_programs->push_back(name);
+    }
+  }
+
+  // Replay the log suffix. Records are applied restore-style — the logged
+  // post-mutation state is installed directly at the logged version — so the
+  // catalog lands exactly where it was when each record was written.
+  TIOGA2_ASSIGN_OR_RETURN(Wal::ReadResult log,
+                          Wal::ReadAll(fs, dir, base.last_lsn));
+  info->torn_bytes = log.torn_bytes;
+  info->wal_corrupt = log.corrupt;
+  info->last_lsn = base.last_lsn;
+  for (const Wal::Record& raw : log.records) {
+    TIOGA2_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(raw.payload));
+    switch (record.type) {
+      case WalRecordType::kRegister:
+      case WalRecordType::kReplace:
+        TIOGA2_RETURN_IF_ERROR(catalog->RestoreTable(
+            record.name, std::move(record.relation), record.version));
+        covered_tables->push_back(record.name);
+        break;
+      case WalRecordType::kUpdateRow: {
+        TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr current,
+                                catalog->GetTable(record.name));
+        TIOGA2_ASSIGN_OR_RETURN(
+            db::RelationPtr updated,
+            db::WithRowReplaced(current, record.row,
+                                std::move(record.new_tuple)));
+        TIOGA2_RETURN_IF_ERROR(catalog->RestoreTable(
+            record.name, std::move(updated), record.version));
+        covered_tables->push_back(record.name);
+        break;
+      }
+      case WalRecordType::kDrop:
+        catalog->RestoreVersionFloor(record.name, record.version);
+        TIOGA2_RETURN_IF_ERROR(catalog->DropTable(record.name));
+        covered_tables->push_back(record.name);
+        break;
+      case WalRecordType::kSaveProgram:
+        catalog->SaveProgram(record.name, std::move(record.program_text));
+        covered_programs->push_back(record.name);
+        break;
+    }
+    info->last_lsn = raw.lsn;
+    ++info->records_replayed;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    db::Catalog* catalog, StorageOptions options, RecoveryInfo* info) {
+  const auto start = std::chrono::steady_clock::now();
+  Fs* fs = options.fs != nullptr ? options.fs : Fs::Default();
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("StorageOptions.dir must be non-empty");
+  }
+  TIOGA2_RETURN_IF_ERROR(fs->CreateDirs(options.dir));
+
+  RecoveryInfo local_info;
+  std::vector<std::pair<uint64_t, uint64_t>> snapshot_meta;
+  std::vector<std::string> covered_tables;
+  std::vector<std::string> covered_programs;
+  TIOGA2_RETURN_IF_ERROR(Recover(fs, options.dir, catalog, &local_info,
+                                 &snapshot_meta, &covered_tables,
+                                 &covered_programs));
+
+  std::unique_ptr<StorageEngine> engine(
+      new StorageEngine(catalog, std::move(options), fs));
+  engine->snapshots_ = snapshot_meta;
+  engine->next_snapshot_seq_ =
+      snapshot_meta.empty() ? 1 : snapshot_meta.back().first + 1;
+
+  // Seed the shadow from the post-recovery catalog (which may also hold
+  // pre-existing state the caller loaded before opening persistence).
+  for (const std::string& name : catalog->ListTables()) {
+    TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr relation, catalog->GetTable(name));
+    TIOGA2_ASSIGN_OR_RETURN(uint64_t version, catalog->TableVersion(name));
+    engine->shadow_tables_[name] = ShadowTable{std::move(relation), version};
+  }
+  for (const std::string& name : catalog->ListPrograms()) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string text, catalog->GetProgram(name));
+    engine->shadow_programs_[name] = std::move(text);
+  }
+  engine->shadow_floors_ = catalog->version_floors();
+  engine->last_lsn_ = local_info.last_lsn;
+
+  engine->wal_ = std::make_unique<Wal>(fs, engine->options_.dir,
+                                       engine->options_.wal);
+  TIOGA2_RETURN_IF_ERROR(engine->wal_->Open(local_info.last_lsn + 1));
+
+  // Bootstrap: catalog state the directory did not cover (tables loaded
+  // before OpenPersistent on a fresh or partial directory) gets logged now,
+  // so the very first recovery already reproduces it.
+  auto covered = [](const std::vector<std::string>& names,
+                    const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  for (const auto& [name, shadow] : engine->shadow_tables_) {
+    if (covered(covered_tables, name)) continue;
+    WalRecord record;
+    record.type = WalRecordType::kRegister;
+    record.name = name;
+    record.version = shadow.version;
+    record.relation = shadow.relation;
+    uint64_t lsn = engine->AppendRecord(record);
+    if (lsn != 0) engine->last_lsn_ = lsn;
+  }
+  for (const auto& [name, text] : engine->shadow_programs_) {
+    if (covered(covered_programs, name)) continue;
+    WalRecord record;
+    record.type = WalRecordType::kSaveProgram;
+    record.name = name;
+    record.program_text = text;
+    uint64_t lsn = engine->AppendRecord(record);
+    if (lsn != 0) engine->last_lsn_ = lsn;
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine->shadow_mu_);
+    if (!engine->append_error_.ok()) return engine->append_error_;
+  }
+
+  catalog->SetListener(engine.get());
+  if (engine->options_.snapshot_every_records > 0) {
+    engine->snapshotter_ = std::thread([e = engine.get()] { e->SnapshotterLoop(); });
+  }
+
+  local_info.recovery_ms = ElapsedMs(start);
+  StorageMetrics::Global().recovery_us_last.store(
+      static_cast<uint64_t>(local_info.recovery_ms * 1000.0),
+      std::memory_order_relaxed);
+  StorageMetrics::Global().recovery_records_replayed.store(
+      local_info.records_replayed, std::memory_order_relaxed);
+  if (info != nullptr) *info = local_info;
+  return engine;
+}
+
+uint64_t StorageEngine::AppendRecord(const WalRecord& record) {
+  Result<std::string> payload = EncodeWalRecord(record);
+  if (!payload.ok()) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    if (append_error_.ok()) append_error_ = payload.status();
+    return 0;
+  }
+  Result<uint64_t> lsn = wal_->Append(std::move(*payload));
+  if (!lsn.ok()) {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    if (append_error_.ok()) append_error_ = lsn.status();
+    return 0;
+  }
+  return *lsn;
+}
+
+void StorageEngine::BumpRecordsLocked() {
+  ++records_since_snapshot_;
+  if (options_.snapshot_every_records > 0 &&
+      records_since_snapshot_ >= options_.snapshot_every_records) {
+    snap_cv_.notify_all();
+  }
+}
+
+void StorageEngine::OnRegisterTable(const std::string& name,
+                                    const db::RelationPtr& relation,
+                                    uint64_t version) {
+  WalRecord record;
+  record.type = WalRecordType::kRegister;
+  record.name = name;
+  record.version = version;
+  record.relation = relation;
+  const uint64_t lsn = AppendRecord(record);
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  shadow_tables_[name] = ShadowTable{relation, version};
+  if (lsn != 0) last_lsn_ = lsn;
+  BumpRecordsLocked();
+}
+
+void StorageEngine::OnReplaceTable(const std::string& name,
+                                   const db::RelationPtr& relation,
+                                   uint64_t version) {
+  WalRecord record;
+  record.type = WalRecordType::kReplace;
+  record.name = name;
+  record.version = version;
+  record.relation = relation;
+  const uint64_t lsn = AppendRecord(record);
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  shadow_tables_[name] = ShadowTable{relation, version};
+  if (lsn != 0) last_lsn_ = lsn;
+  BumpRecordsLocked();
+}
+
+void StorageEngine::OnUpdateRow(const db::TableDelta& delta,
+                                const db::RelationPtr& relation) {
+  WalRecord record;
+  record.type = WalRecordType::kUpdateRow;
+  record.name = delta.table;
+  record.version = delta.new_version;
+  record.row = delta.row;
+  record.new_tuple = delta.new_tuple;
+  const uint64_t lsn = AppendRecord(record);
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  shadow_tables_[delta.table] = ShadowTable{relation, delta.new_version};
+  if (lsn != 0) last_lsn_ = lsn;
+  BumpRecordsLocked();
+}
+
+void StorageEngine::OnDropTable(const std::string& name,
+                                uint64_t version_at_drop) {
+  WalRecord record;
+  record.type = WalRecordType::kDrop;
+  record.name = name;
+  record.version = version_at_drop;
+  const uint64_t lsn = AppendRecord(record);
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  shadow_tables_.erase(name);
+  uint64_t& floor = shadow_floors_[name];
+  floor = std::max(floor, version_at_drop);
+  if (lsn != 0) last_lsn_ = lsn;
+  BumpRecordsLocked();
+}
+
+void StorageEngine::OnSaveProgram(const std::string& name,
+                                  const std::string& serialized) {
+  WalRecord record;
+  record.type = WalRecordType::kSaveProgram;
+  record.name = name;
+  record.program_text = serialized;
+  const uint64_t lsn = AppendRecord(record);
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  shadow_programs_[name] = serialized;
+  if (lsn != 0) last_lsn_ = lsn;
+  BumpRecordsLocked();
+}
+
+Status StorageEngine::Checkpoint() {
+  std::lock_guard<std::mutex> ck(checkpoint_mu_);
+  const auto start = std::chrono::steady_clock::now();
+  SnapshotContents contents;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    if (!append_error_.ok()) return append_error_;
+    contents.seq = next_snapshot_seq_;
+    contents.last_lsn = last_lsn_;
+    for (const auto& [name, shadow] : shadow_tables_) {
+      contents.tables.push_back(
+          SnapshotTable{name, shadow.relation, shadow.version, 0});
+    }
+    for (const auto& [name, text] : shadow_programs_) {
+      contents.programs.emplace_back(name, text);
+    }
+    for (const auto& [name, floor] : shadow_floors_) {
+      contents.version_floors.emplace_back(name, floor);
+    }
+    records_since_snapshot_ = 0;
+  }
+  // The WAL must be durable through contents.last_lsn before truncation can
+  // delete any of it below.
+  TIOGA2_RETURN_IF_ERROR(wal_->Sync());
+  TIOGA2_RETURN_IF_ERROR(WriteSnapshot(fs_, options_.dir, contents).status());
+  snapshots_.emplace_back(contents.seq, contents.last_lsn);
+  next_snapshot_seq_ = contents.seq + 1;
+  while (snapshots_.size() > options_.retain_snapshots) {
+    TIOGA2_RETURN_IF_ERROR(
+        fs_->Remove(options_.dir + "/" + SnapshotName(snapshots_.front().first)));
+    snapshots_.erase(snapshots_.begin());
+  }
+  // Truncate through the *oldest retained* snapshot: everything older is
+  // unreachable by any recovery path, everything newer may still be needed
+  // as replay input if a newer snapshot turns out corrupt.
+  TIOGA2_RETURN_IF_ERROR(wal_->TruncateThrough(snapshots_.front().second));
+  StorageMetrics::Global().snapshot_us_last.store(
+      static_cast<uint64_t>(ElapsedMs(start) * 1000.0),
+      std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void StorageEngine::SnapshotterLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(shadow_mu_);
+      snap_cv_.wait(lock, [&] {
+        return stop_ ||
+               records_since_snapshot_ >= options_.snapshot_every_records;
+      });
+      if (stop_) return;
+    }
+    Status status = Checkpoint();
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(shadow_mu_);
+      if (append_error_.ok()) append_error_ = status;
+      return;
+    }
+  }
+}
+
+Status StorageEngine::Sync() {
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    if (!append_error_.ok()) return append_error_;
+  }
+  return wal_->Sync();
+}
+
+uint64_t StorageEngine::last_lsn() const {
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  return last_lsn_;
+}
+
+Status StorageEngine::Close() {
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    if (closed_) return Status::OK();
+    closed_ = true;
+    stop_ = true;
+    snap_cv_.notify_all();
+  }
+  if (snapshotter_.joinable()) snapshotter_.join();
+  catalog_->SetListener(nullptr);
+  Status wal_status = wal_ != nullptr ? wal_->Close() : Status::OK();
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  if (!append_error_.ok()) return append_error_;
+  return wal_status;
+}
+
+}  // namespace tioga2::storage

@@ -1,0 +1,164 @@
+#ifndef TIOGA2_STORAGE_STORAGE_ENGINE_H_
+#define TIOGA2_STORAGE_STORAGE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "storage/fs.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace tioga2::storage {
+
+struct StorageOptions {
+  /// Directory holding both snapshot files (snapshot-*.t2s) and WAL
+  /// segments (wal-*.t2w).
+  std::string dir;
+  WalOptions wal;
+  /// Keep this many snapshots on disk (>= 1). Older snapshots are deleted
+  /// when a new one is written; the WAL is truncated only through the
+  /// *oldest retained* snapshot's LSN, so every retained snapshot remains a
+  /// valid recovery start point (the fallback when a newer one is corrupt).
+  size_t retain_snapshots = 2;
+  /// When > 0, a background snapshotter thread writes a snapshot after this
+  /// many logged records. 0 = snapshots only on explicit Checkpoint().
+  uint64_t snapshot_every_records = 0;
+  /// Filesystem to use; nullptr = Fs::Default(). Tests inject FaultFs here.
+  Fs* fs = nullptr;
+};
+
+/// What recovery found and did, for logging and for the recovery tests.
+struct RecoveryInfo {
+  bool recovered_snapshot = false;
+  uint64_t snapshot_seq = 0;
+  uint64_t snapshot_last_lsn = 0;
+  /// Snapshot files that failed validation and were skipped (and removed).
+  size_t snapshots_skipped = 0;
+  /// Highest LSN applied (snapshot + replay); the next record gets +1.
+  uint64_t last_lsn = 0;
+  size_t records_replayed = 0;
+  /// Bytes of torn WAL tail discarded (the expected crash residue).
+  size_t torn_bytes = 0;
+  /// True when the WAL scan ended at a CRC mismatch rather than a clean end
+  /// or torn tail; recovery still applied the readable prefix.
+  bool wal_corrupt = false;
+  double recovery_ms = 0.0;
+};
+
+/// The crash-safety subsystem: mirrors every catalog mutation into a WAL
+/// (as a CatalogListener) and periodically folds the log into a columnar
+/// snapshot. Open() performs recovery first — newest valid snapshot, then
+/// replay of the WAL suffix — restoring tables at their exact recorded
+/// versions so memo stamps are byte-identical across a restart.
+///
+/// Threading: listener callbacks arrive on mutating threads (serialized by
+/// the caller — SessionServer's exclusive catalog lock, or a single-threaded
+/// app). The engine keeps its own mutex-guarded shadow of the catalog
+/// (immutable RelationPtrs + versions), which is what the background
+/// snapshotter serializes — it never reads the non-thread-safe Catalog, so
+/// snapshots run concurrently with queries and edits.
+class StorageEngine final : public db::CatalogListener {
+ public:
+  /// Recovers `options.dir` into `catalog` (overwriting same-named tables),
+  /// logs any catalog state the directory did not cover (bootstrap), opens
+  /// the WAL for appending, attaches the listener, and starts the
+  /// snapshotter thread if configured. `info` (optional) receives what
+  /// recovery did.
+  static Result<std::unique_ptr<StorageEngine>> Open(db::Catalog* catalog,
+                                                     StorageOptions options,
+                                                     RecoveryInfo* info = nullptr);
+
+  ~StorageEngine() override;
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Writes a snapshot of the current shadow state, applies the retention
+  /// policy, and truncates the WAL through the oldest retained snapshot.
+  /// Thread-safe; also called by the snapshotter thread.
+  Status Checkpoint();
+
+  /// Blocks until everything logged so far is fsynced.
+  Status Sync();
+
+  /// Detaches from the catalog, stops the snapshotter, drains and closes
+  /// the WAL. Idempotent. Reports the first background append error, if any.
+  Status Close();
+
+  /// Highest LSN assigned to a logged record (0 = nothing logged yet).
+  uint64_t last_lsn() const;
+
+  const StorageOptions& options() const { return options_; }
+
+  // db::CatalogListener — one WAL record per mutation, then the shadow copy.
+  void OnRegisterTable(const std::string& name, const db::RelationPtr& relation,
+                       uint64_t version) override;
+  void OnReplaceTable(const std::string& name, const db::RelationPtr& relation,
+                      uint64_t version) override;
+  void OnUpdateRow(const db::TableDelta& delta,
+                   const db::RelationPtr& relation) override;
+  void OnDropTable(const std::string& name, uint64_t version_at_drop) override;
+  void OnSaveProgram(const std::string& name,
+                     const std::string& serialized) override;
+
+ private:
+  StorageEngine(db::Catalog* catalog, StorageOptions options, Fs* fs);
+
+  /// Replays `dir` into `catalog`; fills `info` and the (seq, last_lsn)
+  /// metadata of every retained valid snapshot, ascending.
+  static Status Recover(Fs* fs, const std::string& dir, db::Catalog* catalog,
+                        RecoveryInfo* info,
+                        std::vector<std::pair<uint64_t, uint64_t>>* snapshots,
+                        std::vector<std::string>* covered_tables,
+                        std::vector<std::string>* covered_programs);
+
+  /// Encodes and appends one record; returns its LSN, or 0 after noting the
+  /// first failure in append_error_ (listener callbacks cannot return
+  /// Status — the error surfaces on the next Sync/Checkpoint/Close).
+  uint64_t AppendRecord(const struct WalRecord& record);
+
+  void BumpRecordsLocked();
+  void SnapshotterLoop();
+
+  db::Catalog* catalog_;
+  StorageOptions options_;
+  Fs* fs_;
+  std::unique_ptr<Wal> wal_;
+
+  struct ShadowTable {
+    db::RelationPtr relation;
+    uint64_t version = 1;
+  };
+
+  /// Guards the shadow state and the snapshotter handshake.
+  mutable std::mutex shadow_mu_;
+  std::condition_variable snap_cv_;
+  std::map<std::string, ShadowTable> shadow_tables_;
+  std::map<std::string, std::string> shadow_programs_;
+  std::map<std::string, uint64_t> shadow_floors_;
+  uint64_t last_lsn_ = 0;
+  uint64_t records_since_snapshot_ = 0;
+  bool stop_ = false;
+  bool closed_ = false;
+  Status append_error_;
+
+  /// Serializes checkpoints; guards the on-disk snapshot bookkeeping.
+  std::mutex checkpoint_mu_;
+  std::vector<std::pair<uint64_t, uint64_t>> snapshots_;  // (seq, last_lsn)
+  uint64_t next_snapshot_seq_ = 1;
+
+  std::thread snapshotter_;
+};
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_STORAGE_ENGINE_H_

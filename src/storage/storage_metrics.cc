@@ -1,0 +1,24 @@
+#include "storage/storage_metrics.h"
+
+namespace tioga2::storage {
+
+StorageMetrics& StorageMetrics::Global() {
+  static StorageMetrics metrics;
+  return metrics;
+}
+
+void StorageMetrics::Reset() {
+  wal_records = 0;
+  wal_bytes = 0;
+  wal_fsyncs = 0;
+  wal_group_commits = 0;
+  wal_rotations = 0;
+  wal_segments_truncated = 0;
+  snapshots_written = 0;
+  snapshot_bytes = 0;
+  snapshot_us_last = 0;
+  recovery_us_last = 0;
+  recovery_records_replayed = 0;
+}
+
+}  // namespace tioga2::storage

@@ -1,0 +1,37 @@
+#ifndef TIOGA2_STORAGE_STORAGE_METRICS_H_
+#define TIOGA2_STORAGE_STORAGE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace tioga2::storage {
+
+/// Process-wide persistence counters, surfaced through
+/// runtime::Metrics::ToJson under "storage" (the same Global() pattern as
+/// expr::BatchMetrics: the storage layer cannot depend on runtime, so
+/// runtime pulls from here at snapshot time). Counters are atomic: the WAL
+/// writer thread, the background snapshotter, and recovery all record
+/// concurrently with readers.
+struct StorageMetrics {
+  std::atomic<uint64_t> wal_records{0};
+  std::atomic<uint64_t> wal_bytes{0};
+  std::atomic<uint64_t> wal_fsyncs{0};
+  /// Fsync batches that made more than one record durable (the group-commit
+  /// win: records per fsync = wal_records / max(1, wal_fsyncs)).
+  std::atomic<uint64_t> wal_group_commits{0};
+  std::atomic<uint64_t> wal_rotations{0};
+  std::atomic<uint64_t> wal_segments_truncated{0};
+  std::atomic<uint64_t> snapshots_written{0};
+  std::atomic<uint64_t> snapshot_bytes{0};
+  /// Duration of the most recent snapshot / recovery, microseconds.
+  std::atomic<uint64_t> snapshot_us_last{0};
+  std::atomic<uint64_t> recovery_us_last{0};
+  std::atomic<uint64_t> recovery_records_replayed{0};
+
+  static StorageMetrics& Global();
+  void Reset();
+};
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_STORAGE_METRICS_H_

@@ -1,0 +1,317 @@
+#include "storage/wal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "storage/format.h"
+#include "storage/storage_metrics.h"
+
+namespace tioga2::storage {
+
+Wal::Wal(Fs* fs, std::string dir, WalOptions options)
+    : fs_(fs), dir_(std::move(dir)), options_(options) {}
+
+Wal::~Wal() { (void)Close(); }
+
+std::string Wal::SegmentName(uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".t2w", first_lsn);
+  return buf;
+}
+
+bool Wal::ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
+  if (name.size() != 4 + 20 + 4) return false;
+  if (name.rfind("wal-", 0) != 0 || name.substr(24) != ".t2w") return false;
+  uint64_t lsn = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    lsn = lsn * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *first_lsn = lsn;
+  return true;
+}
+
+Result<std::vector<std::string>> Wal::ListSegments(Fs* fs, const std::string& dir) {
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->ListDir(dir));
+  std::vector<std::string> segments;
+  for (const std::string& name : names) {
+    uint64_t lsn;
+    if (ParseSegmentName(name, &lsn)) segments.push_back(name);
+  }
+  // ListDir sorts lexicographically; zero-padded LSNs make that numeric.
+  return segments;
+}
+
+Status Wal::Open(uint64_t next_lsn) {
+  TIOGA2_RETURN_IF_ERROR(fs_->CreateDirs(dir_));
+  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> flock(file_mu_);
+  if (open_) return Status::FailedPrecondition("wal already open");
+  next_lsn_ = next_lsn;
+  appended_lsn_ = written_lsn_ = durable_lsn_ = next_lsn - 1;
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> existing,
+                          ListSegments(fs_, dir_));
+  segments_.clear();
+  for (const std::string& name : existing) {
+    uint64_t first;
+    ParseSegmentName(name, &first);
+    segments_.push_back(Segment{dir_ + "/" + name, first});
+  }
+  TIOGA2_RETURN_IF_ERROR(OpenSegmentLocked(next_lsn_));
+  open_ = true;
+  stop_ = false;
+  writer_error_ = Status::OK();
+  writer_ = std::thread([this] { WriterLoop(); });
+  return Status::OK();
+}
+
+Status Wal::OpenSegmentLocked(uint64_t first_lsn) {
+  TIOGA2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          fs_->OpenWritable(dir_ + "/" + SegmentName(first_lsn)));
+  active_file_ = std::move(file);
+  segments_.push_back(Segment{dir_ + "/" + SegmentName(first_lsn), first_lsn});
+  active_bytes_ = 0;
+  records_since_flush_ = 0;
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::Append(std::string payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("wal not open");
+  if (!writer_error_.ok()) return writer_error_;
+  const uint64_t lsn = next_lsn_++;
+  Encoder inner;
+  inner.PutU64(lsn);
+  inner.PutRaw(payload);
+  std::string framed;
+  AppendFrame(inner.data(), &framed);
+  StorageMetrics::Global().wal_records.fetch_add(1, std::memory_order_relaxed);
+  StorageMetrics::Global().wal_bytes.fetch_add(framed.size(),
+                                               std::memory_order_relaxed);
+  queue_.emplace_back(lsn, std::move(framed));
+  appended_lsn_ = lsn;
+  queue_cv_.notify_one();
+  if (options_.durability == Durability::kFsyncEachRecord) {
+    durable_cv_.wait(lock, [&] {
+      return durable_lsn_ >= lsn || !writer_error_.ok();
+    });
+    if (!writer_error_.ok()) return writer_error_;
+  }
+  return lsn;
+}
+
+void Wal::WriterLoop() {
+  for (;;) {
+    std::vector<std::pair<uint64_t, std::string>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      const bool one_at_a_time =
+          options_.durability == Durability::kFsyncEachRecord &&
+          !options_.group_commit;
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        if (one_at_a_time) break;
+      }
+      if (!writer_error_.ok()) {
+        // A previous write failed: keep draining so producers never block
+        // on a queue nobody consumes, but drop the bytes.
+        durable_cv_.notify_all();
+        continue;
+      }
+    }
+    Status status;
+    {
+      std::lock_guard<std::mutex> flock(file_mu_);
+      status = WriteBatch(batch);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && writer_error_.ok()) writer_error_ = status;
+      written_lsn_ = std::max(written_lsn_, batch.back().first);
+      if (status.ok() && options_.durability == Durability::kFsyncEachRecord) {
+        durable_lsn_ = std::max(durable_lsn_, written_lsn_);
+      }
+    }
+    durable_cv_.notify_all();
+  }
+}
+
+Status Wal::WriteBatch(
+    const std::vector<std::pair<uint64_t, std::string>>& batch) {
+  StorageMetrics& metrics = StorageMetrics::Global();
+  for (const auto& [lsn, frame] : batch) {
+    TIOGA2_RETURN_IF_ERROR(active_file_->Append(frame));
+    active_bytes_ += frame.size();
+    ++records_since_flush_;
+    // Rotate per record, not per batch: a large group-committed burst must
+    // not blow a segment arbitrarily past rotate_bytes.
+    if (active_bytes_ >= options_.rotate_bytes) {
+      TIOGA2_RETURN_IF_ERROR(active_file_->Sync());
+      metrics.wal_fsyncs.fetch_add(1, std::memory_order_relaxed);
+      TIOGA2_RETURN_IF_ERROR(active_file_->Close());
+      TIOGA2_RETURN_IF_ERROR(OpenSegmentLocked(lsn + 1));
+      metrics.wal_rotations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  switch (options_.durability) {
+    case Durability::kNone:
+      break;
+    case Durability::kFlushEveryN:
+      if (records_since_flush_ >= options_.flush_every_n) {
+        TIOGA2_RETURN_IF_ERROR(active_file_->Flush());
+        records_since_flush_ = 0;
+      }
+      break;
+    case Durability::kFsyncEachRecord:
+      TIOGA2_RETURN_IF_ERROR(active_file_->Sync());
+      records_since_flush_ = 0;
+      metrics.wal_fsyncs.fetch_add(1, std::memory_order_relaxed);
+      if (batch.size() > 1) {
+        metrics.wal_group_commits.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+Status Wal::Sync() {
+  uint64_t target;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!open_) return Status::FailedPrecondition("wal not open");
+    target = appended_lsn_;
+    durable_cv_.wait(lock, [&] {
+      return written_lsn_ >= target || !writer_error_.ok();
+    });
+    if (!writer_error_.ok()) return writer_error_;
+    if (durable_lsn_ >= target) return Status::OK();
+  }
+  Status status;
+  {
+    std::lock_guard<std::mutex> flock(file_mu_);
+    status = active_file_->Sync();
+  }
+  StorageMetrics::Global().wal_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && writer_error_.ok()) writer_error_ = status;
+    if (status.ok()) durable_lsn_ = std::max(durable_lsn_, target);
+  }
+  durable_cv_.notify_all();
+  return status;
+}
+
+Status Wal::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!open_) return Status::OK();
+    stop_ = true;
+    queue_cv_.notify_one();
+  }
+  writer_.join();
+  Status status;
+  {
+    std::lock_guard<std::mutex> flock(file_mu_);
+    status = active_file_->Sync();
+    Status closed = active_file_->Close();
+    if (status.ok()) status = closed;
+    active_file_.reset();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  open_ = false;
+  if (status.ok()) durable_lsn_ = written_lsn_;
+  if (!writer_error_.ok()) return writer_error_;
+  return status;
+}
+
+Status Wal::TruncateThrough(uint64_t lsn) {
+  // Lock order mu_ -> file_mu_, matching Open (the only other place the two
+  // nest). Holding mu_ across the rotation briefly blocks Append, which is
+  // fine: truncation runs once per checkpoint.
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("wal not open");
+  std::lock_guard<std::mutex> flock(file_mu_);
+  // Rotate the active segment away if every record it holds is covered,
+  // so it too becomes deletable. Queued-but-unwritten records will land
+  // in the new segment (their LSNs are > written_lsn_).
+  if (!segments_.empty() && segments_.back().first_lsn <= lsn &&
+      written_lsn_ <= lsn) {
+    TIOGA2_RETURN_IF_ERROR(active_file_->Sync());
+    TIOGA2_RETURN_IF_ERROR(active_file_->Close());
+    TIOGA2_RETURN_IF_ERROR(OpenSegmentLocked(written_lsn_ + 1));
+    StorageMetrics::Global().wal_rotations.fetch_add(1,
+                                                     std::memory_order_relaxed);
+  }
+  lock.unlock();  // the deletion loop touches only file_mu_ state
+  // A segment is deletable when the NEXT segment starts at or below lsn+1:
+  // then every record it holds is <= lsn. The active (last) segment stays.
+  size_t removed = 0;
+  while (segments_.size() > 1 && segments_[1].first_lsn <= lsn + 1) {
+    TIOGA2_RETURN_IF_ERROR(fs_->Remove(segments_.front().path));
+    segments_.erase(segments_.begin());
+    ++removed;
+  }
+  StorageMetrics::Global().wal_segments_truncated.fetch_add(
+      removed, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+uint64_t Wal::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+Result<Wal::ReadResult> Wal::ReadAll(Fs* fs, const std::string& dir,
+                                     uint64_t after_lsn) {
+  ReadResult result;
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> segments,
+                          ListSegments(fs, dir));
+  uint64_t prev_lsn = 0;
+  bool have_prev = false;
+  for (const std::string& name : segments) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(dir + "/" + name));
+    size_t offset = 0;
+    while (offset < data.size()) {
+      Result<std::string_view> frame = ReadFrame(data, &offset);
+      if (!frame.ok()) {
+        if (frame.status().IsOutOfRange()) {
+          // Torn tail — the expected end state of a crashed segment. A new
+          // segment opened after recovery continues the dense LSN sequence,
+          // so keep scanning subsequent segments.
+          result.torn_bytes = data.size() - offset;
+          break;
+        }
+        result.corrupt = true;  // CRC mismatch: stop at the readable prefix
+        return result;
+      }
+      Decoder dec(*frame);
+      Result<uint64_t> lsn = dec.GetU64();
+      if (!lsn.ok()) {
+        result.corrupt = true;
+        return result;
+      }
+      if (have_prev && *lsn != prev_lsn + 1) {
+        result.corrupt = true;  // gap in the sequence: unreadable beyond here
+        return result;
+      }
+      prev_lsn = *lsn;
+      have_prev = true;
+      if (*lsn > after_lsn) {
+        result.records.push_back(
+            Record{*lsn, std::string(frame->substr(8))});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tioga2::storage

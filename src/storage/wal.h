@@ -1,0 +1,165 @@
+#ifndef TIOGA2_STORAGE_WAL_H_
+#define TIOGA2_STORAGE_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/fs.h"
+
+namespace tioga2::storage {
+
+/// How hard an Append pushes each record toward the platter. The policy
+/// names the durability/latency trade documented in DESIGN.md
+/// ("Persistence and recovery" — durability policy table).
+enum class Durability {
+  /// Process-buffered only. Flushed on rotation, Sync() and Close(); a
+  /// crash can lose everything since the last flush. Cheapest.
+  kNone,
+  /// The writer thread flushes to the OS after every N records; a process
+  /// crash loses at most N-1 records, a machine crash loses whatever the
+  /// kernel had not written back. The interactive default.
+  kFlushEveryN,
+  /// Append returns only after the record is fsynced. With group_commit a
+  /// burst of concurrent appends shares one fsync (the classic group-commit
+  /// amortization); without it every record pays its own.
+  kFsyncEachRecord,
+};
+
+struct WalOptions {
+  Durability durability = Durability::kFlushEveryN;
+  /// kFlushEveryN: flush after this many records.
+  size_t flush_every_n = 64;
+  /// kFsyncEachRecord: batch every record queued at fsync time into one
+  /// write+fsync instead of one fsync per record.
+  bool group_commit = true;
+  /// Start a new segment file once the active one exceeds this.
+  size_t rotate_bytes = 8u << 20;
+};
+
+/// A length-prefixed, CRC-framed, segmented write-ahead log with a
+/// dedicated writer thread.
+///
+/// Threading: Append may be called from any thread; it assigns the record
+/// its LSN, enqueues the encoded frame, and — only under kFsyncEachRecord —
+/// blocks until the writer thread reports the record durable. All file I/O
+/// (including rotation) happens on the writer thread, so the interactive
+/// path never waits on the disk under kNone/kFlushEveryN (the "persistence
+/// off the hot path" requirement from PAPERS.md "Optimizing Dataflow
+/// Systems").
+///
+/// On-disk layout: segments named wal-<first_lsn>.t2w, each a sequence of
+/// frames [u32 len][u32 crc][u64 lsn][payload]. LSNs are dense across
+/// segments. Readers tolerate a torn final frame (the expected crash state)
+/// and stop at the first CRC mismatch.
+class Wal {
+ public:
+  Wal(Fs* fs, std::string dir, WalOptions options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Scans `dir` for existing segments (recovery has already read them),
+  /// positions next_lsn after the last valid record, and starts the writer
+  /// thread appending into a fresh segment.
+  Status Open(uint64_t next_lsn);
+
+  /// Appends one record; returns its LSN. Blocking per the policy above.
+  Result<uint64_t> Append(std::string payload);
+
+  /// Blocks until every record appended so far is flushed and fsynced.
+  Status Sync();
+
+  /// Drains, syncs, and stops the writer thread. Idempotent.
+  Status Close();
+
+  /// Deletes whole segments whose records all have lsn <= `lsn` (rotating
+  /// first if the active segment qualifies). Called after a snapshot has
+  /// made those records redundant.
+  Status TruncateThrough(uint64_t lsn);
+
+  /// The LSN the next Append will receive.
+  uint64_t next_lsn() const;
+
+  /// Highest LSN known fsynced.
+  uint64_t durable_lsn() const;
+
+  struct Record {
+    uint64_t lsn = 0;
+    std::string payload;
+  };
+
+  struct ReadResult {
+    std::vector<Record> records;  // ascending lsn, > after_lsn
+    /// Bytes of torn tail discarded from the last segment read (0 when the
+    /// log ends cleanly).
+    size_t torn_bytes = 0;
+    /// True when a CRC mismatch (not a torn tail) ended the scan —
+    /// corruption rather than a crash.
+    bool corrupt = false;
+  };
+
+  /// Reads every record with lsn > `after_lsn` from the segments in `dir`,
+  /// in order. Stops (without error) at a torn final record; a CRC mismatch
+  /// also stops the scan and is reported via `corrupt`. Static: recovery
+  /// reads before any Wal instance exists.
+  static Result<ReadResult> ReadAll(Fs* fs, const std::string& dir,
+                                    uint64_t after_lsn);
+
+  /// Segment file names in `dir`, ascending by first LSN.
+  static Result<std::vector<std::string>> ListSegments(Fs* fs,
+                                                       const std::string& dir);
+
+ private:
+  struct Segment {
+    std::string path;
+    uint64_t first_lsn = 0;
+  };
+
+  /// Writer-thread main loop: drain the queue, write frames, apply the
+  /// durability policy, rotate oversized segments.
+  void WriterLoop();
+  /// Writes a batch of frames to the active segment (writer thread or
+  /// Close; file_mu_ held).
+  Status WriteBatch(const std::vector<std::pair<uint64_t, std::string>>& batch);
+  Status OpenSegmentLocked(uint64_t first_lsn);
+  static std::string SegmentName(uint64_t first_lsn);
+  static bool ParseSegmentName(const std::string& name, uint64_t* first_lsn);
+
+  Fs* fs_;
+  std::string dir_;
+  WalOptions options_;
+
+  // Queue state (producers <-> writer thread).
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;    // signals the writer: work or stop
+  std::condition_variable durable_cv_;  // signals producers: durable_lsn_ advanced
+  std::deque<std::pair<uint64_t, std::string>> queue_;  // (lsn, frame)
+  uint64_t next_lsn_ = 1;
+  uint64_t appended_lsn_ = 0;   // highest lsn handed to the writer
+  uint64_t written_lsn_ = 0;    // highest lsn written to the file
+  uint64_t durable_lsn_ = 0;    // highest lsn fsynced
+  bool stop_ = false;
+  bool open_ = false;
+  Status writer_error_;  // first I/O error; Append/Sync report it
+
+  // File state (writer thread and TruncateThrough).
+  std::mutex file_mu_;
+  std::unique_ptr<WritableFile> active_file_;
+  std::vector<Segment> segments_;  // ascending; back() is active
+  size_t active_bytes_ = 0;
+  size_t records_since_flush_ = 0;
+
+  std::thread writer_;
+};
+
+}  // namespace tioga2::storage
+
+#endif  // TIOGA2_STORAGE_WAL_H_

@@ -1,5 +1,6 @@
 #include "tioga2/environment.h"
 
+#include "boxes/program_io.h"
 #include "db/csv.h"
 
 namespace tioga2 {
@@ -29,6 +30,42 @@ Result<viewer::Viewer*> Environment::GetViewer(const std::string& canvas_name) {
   viewer::Viewer* raw = created.get();
   viewers_[canvas_name] = std::move(created);
   return raw;
+}
+
+Status Environment::OpenPersistent(storage::StorageOptions options,
+                                   storage::RecoveryInfo* info) {
+  if (storage_ != nullptr) {
+    return Status::FailedPrecondition("persistent storage already open");
+  }
+  TIOGA2_ASSIGN_OR_RETURN(
+      storage_, storage::StorageEngine::Open(&catalog_, std::move(options), info));
+  // A recovered program that no longer parses would only fail much later,
+  // inside Load Program; surface the corruption at open time instead.
+  for (const std::string& name : catalog_.ListPrograms()) {
+    TIOGA2_ASSIGN_OR_RETURN(std::string text, catalog_.GetProgram(name));
+    Result<dataflow::Graph> parsed = boxes::DeserializeProgram(text);
+    if (!parsed.ok()) {
+      return Status::ParseError("recovered program '" + name +
+                                "' does not parse: " + parsed.status().message());
+    }
+  }
+  return Status::OK();
+}
+
+Status Environment::Checkpoint() {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition("persistent storage not open");
+  }
+  return storage_->Checkpoint();
+}
+
+Status Environment::ClosePersistent() {
+  if (storage_ == nullptr) return Status::OK();
+  Status checkpoint = storage_->Checkpoint();
+  Status close = storage_->Close();
+  storage_.reset();
+  if (!checkpoint.ok()) return checkpoint;
+  return close;
 }
 
 std::unique_ptr<runtime::SessionServer> Environment::CreateServer(

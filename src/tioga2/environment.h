@@ -12,6 +12,7 @@
 #include "render/raster_surface.h"
 #include "render/svg_surface.h"
 #include "runtime/session_server.h"
+#include "storage/storage_engine.h"
 #include "ui/session.h"
 #include "viewer/viewer.h"
 
@@ -46,6 +47,26 @@ class Environment {
   /// Creates (or returns the existing) viewer onto `canvas_name`.
   Result<viewer::Viewer*> GetViewer(const std::string& canvas_name);
 
+  /// Attaches crash-safe persistence (storage/storage_engine.h): recovers
+  /// `options.dir` into the catalog — newest valid snapshot plus WAL replay,
+  /// restoring exact table versions so memo stamps survive the restart —
+  /// then logs every further catalog mutation. Any recovered saved program
+  /// is validated to still parse. Tables loaded *before* this call (demo
+  /// data, CSV imports) are logged as bootstrap records unless the recovered
+  /// directory already covers them.
+  Status OpenPersistent(storage::StorageOptions options,
+                        storage::RecoveryInfo* info = nullptr);
+
+  /// Writes a snapshot now and truncates the WAL (storage must be open).
+  Status Checkpoint();
+
+  /// Checkpoints, then detaches and shuts down the storage engine. No-op if
+  /// persistence was never opened.
+  Status ClosePersistent();
+
+  /// The storage engine, or nullptr when not persistent.
+  storage::StorageEngine* storage() { return storage_.get(); }
+
   /// Creates a multi-session server over this environment's catalog. The
   /// server's sessions are independent of `session()`; they share only the
   /// catalog (guarded by the server's readers-writer lock). The Environment
@@ -67,6 +88,9 @@ class Environment {
   db::Catalog catalog_;
   std::unique_ptr<ui::Session> session_;
   std::map<std::string, std::unique_ptr<viewer::Viewer>> viewers_;
+  /// Declared after catalog_: the engine detaches its catalog listener in
+  /// its destructor, so it must be destroyed first.
+  std::unique_ptr<storage::StorageEngine> storage_;
 };
 
 }  // namespace tioga2

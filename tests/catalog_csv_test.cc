@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
+#include "data/generators.h"
 #include "db/catalog.h"
 #include "db/csv.h"
+#include "storage/format.h"
 
 namespace tioga2::db {
 namespace {
@@ -72,6 +76,34 @@ TEST(CatalogTest, ProgramsStoreAndOverwrite) {
   EXPECT_EQ(catalog.ListPrograms(), (std::vector<std::string>{"a", "p"}));
 }
 
+// Regression: versions must be monotonic per *name*, not per table object.
+// Before the version-floor fix, a drop/recreate restarted the counter at 1
+// and a memo entry stamped against the old table's version 1 was wrongly
+// considered fresh.
+TEST(CatalogTest, VersionsStayMonotonicAcrossDropAndRecreate) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.RegisterTable("T", SmallTable()).ok());
+  ASSERT_TRUE(catalog.ReplaceTable("T", SmallTable()).ok());
+  ASSERT_TRUE(catalog.ReplaceTable("T", SmallTable()).ok());
+  EXPECT_EQ(catalog.TableVersion("T").value(), 3u);
+  ASSERT_TRUE(catalog.DropTable("T").ok());
+  EXPECT_EQ(catalog.version_floors().at("T"), 3u);
+
+  ASSERT_TRUE(catalog.RegisterTable("T", SmallTable()).ok());
+  EXPECT_GT(catalog.TableVersion("T").value(), 3u);  // never reuses a version
+  EXPECT_EQ(catalog.TableVersion("T").value(), 4u);
+
+  // A second cycle keeps climbing; the floor tracks the highest death.
+  ASSERT_TRUE(catalog.DropTable("T").ok());
+  EXPECT_EQ(catalog.version_floors().at("T"), 4u);
+  ASSERT_TRUE(catalog.RegisterTable("T", SmallTable()).ok());
+  EXPECT_EQ(catalog.TableVersion("T").value(), 5u);
+
+  // Unrelated names are unaffected.
+  ASSERT_TRUE(catalog.RegisterTable("U", SmallTable()).ok());
+  EXPECT_EQ(catalog.TableVersion("U").value(), 1u);
+}
+
 TEST(CsvTest, RoundTripAllTypes) {
   auto relation =
       MakeRelation({Column{"flag", DataType::kBool}, Column{"n", DataType::kInt},
@@ -96,6 +128,55 @@ TEST(CsvTest, QuotedStringsSurviveCommasAndQuotes) {
   auto parsed = RelationFromCsv(RelationToCsv(*relation).value());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_TRUE(RelationEquals(*relation, **parsed));
+}
+
+// Bit-level float round trip: NaN, ±inf, -0.0, and full-precision doubles
+// must survive write→read. RelationEquals can't check this (NaN != NaN and
+// -0.0 == 0.0 numerically), so compare the canonical binary encodings.
+TEST(CsvTest, FloatEdgeCasesRoundTripBitExactly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  auto relation =
+      MakeRelation({Column{"x", DataType::kFloat}},
+                   {{Value::Float(std::nan(""))},
+                    {Value::Float(inf)},
+                    {Value::Float(-inf)},
+                    {Value::Float(-0.0)},
+                    {Value::Float(0.1)},
+                    {Value::Float(1.0 / 3.0)},
+                    {Value::Float(1e-300)},
+                    {Value::Float(-123456789.123456789)},
+                    {Value::Null()}})
+          .value();
+  auto parsed = RelationFromCsv(RelationToCsv(*relation).value());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  storage::Encoder a, b;
+  ASSERT_TRUE(storage::EncodeRelation(*relation, &a).ok());
+  ASSERT_TRUE(storage::EncodeRelation(**parsed, &b).ok());
+  EXPECT_EQ(a.data(), b.data());
+  // And specifically: -0.0 keeps its sign bit.
+  EXPECT_TRUE(std::signbit((*parsed)->at(3, 0).float_value()));
+}
+
+// The satellite acceptance test: load the full demo dataset, export every
+// table to CSV, load it back, and require value identity table by table.
+TEST(CsvTest, DemoDataLoadWriteLoadIsValueIdentical) {
+  Catalog catalog;
+  ASSERT_TRUE(data::LoadDemoData(&catalog, 50, 10, /*seed=*/0x7109a2).ok());
+  ASSERT_FALSE(catalog.ListTables().empty());
+  for (const std::string& name : catalog.ListTables()) {
+    SCOPED_TRACE(name);
+    RelationPtr original = catalog.GetTable(name).value();
+    std::string path = ::testing::TempDir() + "/tioga2_csv_" + name + ".csv";
+    ASSERT_TRUE(WriteCsvFile(*original, path).ok());
+    auto loaded = ReadCsvFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_TRUE(RelationEquals(*original, **loaded));
+    storage::Encoder a, b;
+    ASSERT_TRUE(storage::EncodeRelation(*original, &a).ok());
+    ASSERT_TRUE(storage::EncodeRelation(**loaded, &b).ok());
+    EXPECT_EQ(a.data(), b.data()) << "CSV round trip is not bit-identical";
+    std::remove(path.c_str());
+  }
 }
 
 TEST(CsvTest, DisplayColumnsRejected) {

@@ -1,0 +1,894 @@
+// The persistence subsystem, bottom-up: binary codecs (values, tuples,
+// relations — bit-exact round trips including NaN payloads and -0.0), CRC
+// frames (torn tail vs corruption), the segmented WAL (ordering, rotation,
+// torn-tail tolerance, truncation, durability policies, group commit), the
+// columnar snapshot format (atomic publish, fingerprint verification,
+// corrupt-snapshot fallback), and the StorageEngine end to end: kill an
+// environment, recover the directory, and every fig program evaluates to
+// byte-identical fingerprints and memo stamps — serial and parallel.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "boxes/relational_boxes.h"
+#include "runtime/metrics.h"
+#include "runtime/parallel_engine.h"
+#include "runtime/thread_pool.h"
+#include "storage/fault_fs.h"
+#include "storage/format.h"
+#include "storage/fs.h"
+#include "storage/records.h"
+#include "storage/snapshot.h"
+#include "storage/storage_engine.h"
+#include "storage/storage_metrics.h"
+#include "storage/wal.h"
+#include "testing/fig_programs.h"
+#include "tioga2/environment.h"
+
+namespace tioga2::storage {
+namespace {
+
+using types::Value;
+
+/// A fresh, empty scratch directory under the test temp root.
+std::string TestDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "tioga2_storage_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+db::RelationPtr SampleRelation() {
+  auto relation = db::MakeRelation(
+      {db::Column{"id", types::DataType::kInt},
+       db::Column{"name", types::DataType::kString},
+       db::Column{"score", types::DataType::kFloat},
+       db::Column{"active", types::DataType::kBool},
+       db::Column{"day", types::DataType::kDate}},
+      {{Value::Int(1), Value::String("alpha"), Value::Float(1.5),
+        Value::Bool(true), Value::DateVal(types::Date(10))},
+       {Value::Int(2), Value::Null(), Value::Float(-0.0),
+        Value::Null(), Value::DateVal(types::Date(-3))},
+       {Value::Int(-7), Value::String(""), Value::Float(std::nan("")),
+        Value::Bool(false), Value::Null()}});
+  EXPECT_TRUE(relation.ok());
+  return relation.value();
+}
+
+// ---- Codec round trips ----
+
+TEST(StorageFormatTest, ValueRoundTripsAllTypesBitExactly) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<Value> values = {
+      Value::Null(),          Value::Bool(true),       Value::Bool(false),
+      Value::Int(0),          Value::Int(-1),          Value::Int(INT64_MAX),
+      Value::Int(INT64_MIN),  Value::Float(0.0),       Value::Float(-0.0),
+      Value::Float(nan),      Value::Float(inf),       Value::Float(-inf),
+      Value::Float(0.1),      Value::String(""),       Value::String("héllo\n\0x"),
+      Value::DateVal(types::Date(0)), Value::DateVal(types::Date(-40000))};
+  for (const Value& value : values) {
+    Encoder enc;
+    ASSERT_TRUE(EncodeValue(value, &enc).ok());
+    Decoder dec(enc.data());
+    auto decoded = DecodeValue(&dec);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_TRUE(dec.done());
+    // Bit-exact comparison for floats: -0.0 vs 0.0 and NaN payloads count.
+    if (value.is_float()) {
+      uint64_t a, b;
+      double va = value.float_value(), vb = decoded->float_value();
+      std::memcpy(&a, &va, 8);
+      std::memcpy(&b, &vb, 8);
+      EXPECT_EQ(a, b);
+    } else {
+      EXPECT_TRUE(value == *decoded) << value.ToString();
+    }
+  }
+}
+
+TEST(StorageFormatTest, DisplayValuesAreRejected) {
+  Encoder enc;
+  EXPECT_TRUE(EncodeValue(Value::Display({}), &enc).IsInvalidArgument());
+}
+
+TEST(StorageFormatTest, RelationRoundTripsValueIdentically) {
+  db::RelationPtr relation = SampleRelation();
+  Encoder enc;
+  ASSERT_TRUE(EncodeRelation(*relation, &enc).ok());
+  Decoder dec(enc.data());
+  auto decoded = DecodeRelation(&dec);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_TRUE(dec.done());
+  // RelationEquals is not NaN-aware; compare via the canonical encoding.
+  Encoder enc2;
+  ASSERT_TRUE(EncodeRelation(**decoded, &enc2).ok());
+  EXPECT_EQ(enc.data(), enc2.data());
+  auto fp1 = FingerprintRelation(*relation);
+  auto fp2 = FingerprintRelation(**decoded);
+  ASSERT_TRUE(fp1.ok());
+  ASSERT_TRUE(fp2.ok());
+  EXPECT_EQ(*fp1, *fp2);
+}
+
+TEST(StorageFormatTest, FingerprintSeesValueAndOrderChanges) {
+  auto a = db::MakeRelation({db::Column{"x", types::DataType::kInt}},
+                            {{Value::Int(1)}, {Value::Int(2)}});
+  auto b = db::MakeRelation({db::Column{"x", types::DataType::kInt}},
+                            {{Value::Int(2)}, {Value::Int(1)}});
+  auto c = db::MakeRelation({db::Column{"x", types::DataType::kInt}},
+                            {{Value::Int(1)}, {Value::Int(3)}});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  uint64_t fa = FingerprintRelation(**a).value();
+  EXPECT_NE(fa, FingerprintRelation(**b).value());
+  EXPECT_NE(fa, FingerprintRelation(**c).value());
+}
+
+TEST(StorageFormatTest, FrameDetectsTornTailAndCorruption) {
+  std::string buf;
+  AppendFrame("hello", &buf);
+  AppendFrame("world!", &buf);
+  size_t offset = 0;
+  EXPECT_EQ(ReadFrame(buf, &offset).value(), "hello");
+  EXPECT_EQ(ReadFrame(buf, &offset).value(), "world!");
+  EXPECT_EQ(offset, buf.size());
+
+  // Torn tail: any strict prefix of a frame reads as OutOfRange.
+  for (size_t cut = 0; cut < FrameSize(5); ++cut) {
+    std::string torn;
+    AppendFrame("hello", &torn);
+    torn.resize(cut);
+    size_t pos = 0;
+    if (cut == 0) continue;  // empty remainder is simply the end
+    EXPECT_TRUE(ReadFrame(torn, &pos).status().IsOutOfRange()) << cut;
+  }
+
+  // Corruption: flip one payload byte, CRC catches it.
+  std::string corrupt;
+  AppendFrame("hello", &corrupt);
+  corrupt[corrupt.size() - 1] ^= 0x01;
+  size_t pos = 0;
+  EXPECT_TRUE(ReadFrame(corrupt, &pos).status().IsParseError());
+}
+
+TEST(StorageRecordsTest, AllRecordTypesRoundTrip) {
+  db::RelationPtr relation = SampleRelation();
+  WalRecord reg;
+  reg.type = WalRecordType::kRegister;
+  reg.name = "t";
+  reg.version = 7;
+  reg.relation = relation;
+  auto encoded = EncodeWalRecord(reg);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeWalRecord(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, WalRecordType::kRegister);
+  EXPECT_EQ(decoded->name, "t");
+  EXPECT_EQ(decoded->version, 7u);
+  EXPECT_EQ(FingerprintRelation(*decoded->relation).value(),
+            FingerprintRelation(*relation).value());
+
+  WalRecord upd;
+  upd.type = WalRecordType::kUpdateRow;
+  upd.name = "t";
+  upd.version = 8;
+  upd.row = 2;
+  upd.new_tuple = {Value::Int(9), Value::Null(), Value::Float(2.5),
+                   Value::Bool(true), Value::DateVal(types::Date(1))};
+  decoded = DecodeWalRecord(*EncodeWalRecord(upd));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->row, 2u);
+  EXPECT_EQ(decoded->new_tuple.size(), 5u);
+  EXPECT_TRUE(decoded->new_tuple[0] == Value::Int(9));
+
+  WalRecord drop;
+  drop.type = WalRecordType::kDrop;
+  drop.name = "t";
+  drop.version = 8;
+  decoded = DecodeWalRecord(*EncodeWalRecord(drop));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, WalRecordType::kDrop);
+
+  WalRecord prog;
+  prog.type = WalRecordType::kSaveProgram;
+  prog.name = "p";
+  prog.program_text = "tioga2-program v1\n";
+  decoded = DecodeWalRecord(*EncodeWalRecord(prog));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->program_text, "tioga2-program v1\n");
+}
+
+// ---- WAL ----
+
+TEST(WalTest, AppendReadRoundTripAcrossRotation) {
+  const std::string dir = TestDir("wal_rotate");
+  WalOptions options;
+  options.durability = Durability::kNone;
+  options.rotate_bytes = 256;  // force many segments
+  {
+    Wal wal(Fs::Default(), dir, options);
+    ASSERT_TRUE(wal.Open(1).ok());
+    for (int i = 0; i < 100; ++i) {
+      auto lsn = wal.Append("record-" + std::to_string(i) +
+                            std::string(16, 'x'));
+      ASSERT_TRUE(lsn.ok());
+      EXPECT_EQ(*lsn, static_cast<uint64_t>(i + 1));
+    }
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  auto segments = Wal::ListSegments(Fs::Default(), dir);
+  ASSERT_TRUE(segments.ok());
+  EXPECT_GT(segments->size(), 1u) << "rotation never triggered";
+
+  auto all = Wal::ReadAll(Fs::Default(), dir, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(all->corrupt);
+  EXPECT_EQ(all->torn_bytes, 0u);
+  ASSERT_EQ(all->records.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(all->records[i].lsn, static_cast<uint64_t>(i + 1));
+    EXPECT_EQ(all->records[i].payload,
+              "record-" + std::to_string(i) + std::string(16, 'x'));
+  }
+  // after_lsn filters.
+  auto tail = Wal::ReadAll(Fs::Default(), dir, 95);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->records.size(), 5u);
+  EXPECT_EQ(tail->records.front().lsn, 96u);
+}
+
+TEST(WalTest, ToleratesTornFinalRecordAndContinuesAfterReopen) {
+  const std::string dir = TestDir("wal_torn");
+  WalOptions options;
+  options.durability = Durability::kNone;
+  {
+    Wal wal(Fs::Default(), dir, options);
+    ASSERT_TRUE(wal.Open(1).ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal.Append("payload-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  // Tear the last record: chop a few bytes off the only segment.
+  auto segments = Wal::ListSegments(Fs::Default(), dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  const std::string path = dir + "/" + segments->front();
+  auto data = Fs::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data->data(), static_cast<std::streamsize>(data->size() - 3));
+  }
+  auto all = Wal::ReadAll(Fs::Default(), dir, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(all->corrupt);
+  EXPECT_GT(all->torn_bytes, 0u);
+  ASSERT_EQ(all->records.size(), 9u);  // record 10 was torn
+
+  // Reopen after the torn record (as recovery would) and keep appending:
+  // the stale torn bytes in the old segment stay skippable forever.
+  {
+    Wal wal(Fs::Default(), dir, options);
+    ASSERT_TRUE(wal.Open(10).ok());
+    EXPECT_TRUE(wal.Append("payload-9-again").ok());
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  all = Wal::ReadAll(Fs::Default(), dir, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(all->corrupt);
+  ASSERT_EQ(all->records.size(), 10u);
+  EXPECT_EQ(all->records.back().lsn, 10u);
+  EXPECT_EQ(all->records.back().payload, "payload-9-again");
+}
+
+TEST(WalTest, CorruptionStopsAtReadablePrefix) {
+  const std::string dir = TestDir("wal_corrupt");
+  WalOptions options;
+  options.durability = Durability::kNone;
+  {
+    Wal wal(Fs::Default(), dir, options);
+    ASSERT_TRUE(wal.Open(1).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal.Append(std::string(32, static_cast<char>('a' + i))).ok());
+    }
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  auto segments = Wal::ListSegments(Fs::Default(), dir);
+  const std::string path = dir + "/" + segments->front();
+  auto data = Fs::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = *data;
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a bit mid-log
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto all = Wal::ReadAll(Fs::Default(), dir, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_TRUE(all->corrupt);
+  EXPECT_LT(all->records.size(), 5u);
+}
+
+TEST(WalTest, TruncateThroughDeletesCoveredSegments) {
+  const std::string dir = TestDir("wal_truncate");
+  WalOptions options;
+  options.durability = Durability::kNone;
+  options.rotate_bytes = 128;
+  Wal wal(Fs::Default(), dir, options);
+  ASSERT_TRUE(wal.Open(1).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(wal.Append(std::string(40, 'x')).ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  auto before = Wal::ListSegments(Fs::Default(), dir);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before->size(), 2u);
+
+  ASSERT_TRUE(wal.TruncateThrough(40).ok());
+  auto after = Wal::ListSegments(Fs::Default(), dir);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->size(), before->size());
+  // Records above the truncation point survive.
+  auto all = Wal::ReadAll(Fs::Default(), dir, 40);
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(all->corrupt);
+  EXPECT_EQ(all->records.size(), 10u);
+
+  // Truncating everything rotates the active segment away too.
+  ASSERT_TRUE(wal.TruncateThrough(50).ok());
+  auto rest = Wal::ReadAll(Fs::Default(), dir, 0);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->records.size(), 0u);
+  // The log still works after total truncation.
+  EXPECT_EQ(wal.Append("after-truncate").value(), 51u);
+  ASSERT_TRUE(wal.Close().ok());
+  auto final_read = Wal::ReadAll(Fs::Default(), dir, 0);
+  ASSERT_TRUE(final_read.ok());
+  ASSERT_EQ(final_read->records.size(), 1u);
+  EXPECT_EQ(final_read->records[0].lsn, 51u);
+}
+
+TEST(WalTest, DurabilityPoliciesAndGroupCommit) {
+  for (Durability durability :
+       {Durability::kNone, Durability::kFlushEveryN, Durability::kFsyncEachRecord}) {
+    for (bool group_commit : {false, true}) {
+      const std::string dir =
+          TestDir("wal_dur_" + std::to_string(static_cast<int>(durability)) +
+                  (group_commit ? "_g" : "_s"));
+      WalOptions options;
+      options.durability = durability;
+      options.flush_every_n = 4;
+      options.group_commit = group_commit;
+      Wal wal(Fs::Default(), dir, options);
+      ASSERT_TRUE(wal.Open(1).ok());
+      // Concurrent appenders: LSNs must come out dense and the log readable.
+      std::vector<std::thread> threads;
+      for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&wal, t] {
+          for (int i = 0; i < 25; ++i) {
+            auto lsn = wal.Append("t" + std::to_string(t) + "-" + std::to_string(i));
+            ASSERT_TRUE(lsn.ok());
+          }
+        });
+      }
+      for (auto& thread : threads) thread.join();
+      if (durability == Durability::kFsyncEachRecord) {
+        EXPECT_EQ(wal.durable_lsn(), 100u);
+      }
+      ASSERT_TRUE(wal.Sync().ok());
+      EXPECT_EQ(wal.durable_lsn(), 100u);
+      ASSERT_TRUE(wal.Close().ok());
+      auto all = Wal::ReadAll(Fs::Default(), dir, 0);
+      ASSERT_TRUE(all.ok());
+      EXPECT_FALSE(all->corrupt);
+      ASSERT_EQ(all->records.size(), 100u);
+      for (size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(all->records[i].lsn, i + 1);
+      }
+    }
+  }
+}
+
+// ---- Snapshots ----
+
+TEST(SnapshotTest, WriteReadRoundTrip) {
+  const std::string dir = TestDir("snap_roundtrip");
+  SnapshotContents contents;
+  contents.seq = 3;
+  contents.last_lsn = 42;
+  contents.tables.push_back(SnapshotTable{"t", SampleRelation(), 5, 0});
+  contents.programs.emplace_back("prog", "tioga2-program v1\n");
+  contents.version_floors.emplace_back("dropped", 9);
+  auto bytes = WriteSnapshot(Fs::Default(), dir, contents);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().message();
+  EXPECT_GT(*bytes, 0u);
+
+  auto listed = ListSnapshots(Fs::Default(), dir);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 1u);
+  EXPECT_EQ(listed->front().first, 3u);
+
+  auto read = ReadSnapshot(Fs::Default(), dir + "/" + listed->front().second);
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(read->seq, 3u);
+  EXPECT_EQ(read->last_lsn, 42u);
+  ASSERT_EQ(read->tables.size(), 1u);
+  EXPECT_EQ(read->tables[0].name, "t");
+  EXPECT_EQ(read->tables[0].version, 5u);
+  EXPECT_EQ(FingerprintRelation(*read->tables[0].relation).value(),
+            FingerprintRelation(*contents.tables[0].relation).value());
+  ASSERT_EQ(read->programs.size(), 1u);
+  EXPECT_EQ(read->programs[0].second, "tioga2-program v1\n");
+  ASSERT_EQ(read->version_floors.size(), 1u);
+  EXPECT_EQ(read->version_floors[0].second, 9u);
+  // No .tmp residue after the atomic publish.
+  auto names = Fs::Default()->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 1u);
+}
+
+TEST(SnapshotTest, DetectsCorruptionAndTruncation) {
+  const std::string dir = TestDir("snap_corrupt");
+  SnapshotContents contents;
+  contents.seq = 1;
+  contents.last_lsn = 7;
+  contents.tables.push_back(SnapshotTable{"t", SampleRelation(), 2, 0});
+  ASSERT_TRUE(WriteSnapshot(Fs::Default(), dir, contents).ok());
+  const std::string path = dir + "/" + SnapshotName(1);
+  auto data = Fs::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+
+  // Any single flipped byte must be caught (frame CRC or fingerprint).
+  for (size_t pos : {size_t{10}, data->size() / 2, data->size() - 2}) {
+    std::string bytes = *data;
+    bytes[pos] ^= 0x10;
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    EXPECT_FALSE(ReadSnapshot(Fs::Default(), path).ok()) << "pos " << pos;
+  }
+  // A truncated snapshot (no END marker) is invalid, not "torn-tolerated".
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(data->data(), static_cast<std::streamsize>(data->size() - 6));
+  EXPECT_FALSE(ReadSnapshot(Fs::Default(), path).ok());
+}
+
+// ---- Catalog listener contract ----
+
+TEST(CatalogListenerTest, CallbacksCarryPostMutationState) {
+  struct Recorder : db::CatalogListener {
+    std::vector<std::string> events;
+    void OnRegisterTable(const std::string& name, const db::RelationPtr&,
+                         uint64_t version) override {
+      events.push_back("reg:" + name + ":" + std::to_string(version));
+    }
+    void OnReplaceTable(const std::string& name, const db::RelationPtr&,
+                        uint64_t version) override {
+      events.push_back("rep:" + name + ":" + std::to_string(version));
+    }
+    void OnUpdateRow(const db::TableDelta& delta, const db::RelationPtr&) override {
+      events.push_back("upd:" + delta.table + ":" +
+                       std::to_string(delta.new_version));
+    }
+    void OnDropTable(const std::string& name, uint64_t version) override {
+      events.push_back("drop:" + name + ":" + std::to_string(version));
+    }
+    void OnSaveProgram(const std::string& name, const std::string&) override {
+      events.push_back("prog:" + name);
+    }
+  };
+  db::Catalog catalog;
+  Recorder recorder;
+  catalog.SetListener(&recorder);
+  db::RelationPtr rel = SampleRelation();
+  ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());
+  ASSERT_TRUE(catalog.ReplaceTable("t", rel).ok());
+  db::Tuple tuple = rel->row(0);
+  ASSERT_TRUE(catalog.UpdateRow("t", 0, tuple).ok());
+  catalog.SaveProgram("p", "x");
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  // Recreation starts above the dropped version (the monotonicity fix).
+  ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());
+  catalog.SetListener(nullptr);
+  EXPECT_EQ(recorder.events,
+            (std::vector<std::string>{"reg:t:1", "rep:t:2", "upd:t:3", "prog:p",
+                                      "drop:t:3", "reg:t:4"}));
+}
+
+// ---- StorageEngine end to end ----
+
+/// A canvas evaluation target: the edge feeding a viewer box.
+struct Target {
+  std::string canvas;
+  std::string from;
+  size_t from_port = 0;
+};
+
+std::vector<Target> TargetsOf(const dataflow::Graph& graph) {
+  std::vector<Target> targets;
+  for (const std::string& id : graph.BoxIds()) {
+    const auto* viewer =
+        dynamic_cast<const boxes::ViewerBox*>(graph.GetBox(id).value());
+    if (viewer == nullptr) continue;
+    std::optional<dataflow::Edge> edge = graph.IncomingEdge(id, 0);
+    if (!edge.has_value()) continue;
+    targets.push_back(Target{viewer->canvas(), edge->from_box, edge->from_port});
+  }
+  return targets;
+}
+
+/// Fingerprints of every catalog table (the value-level identity oracle).
+std::map<std::string, uint64_t> TableFingerprints(db::Catalog& catalog) {
+  std::map<std::string, uint64_t> fps;
+  for (const std::string& name : catalog.ListTables()) {
+    auto rel = catalog.GetTable(name);
+    EXPECT_TRUE(rel.ok());
+    auto fp = FingerprintRelation(**rel);
+    EXPECT_TRUE(fp.ok());
+    fps[name] = *fp;
+  }
+  return fps;
+}
+
+std::map<std::string, uint64_t> TableVersions(db::Catalog& catalog) {
+  std::map<std::string, uint64_t> versions;
+  for (const std::string& name : catalog.ListTables()) {
+    versions[name] = catalog.TableVersion(name).value();
+  }
+  return versions;
+}
+
+/// Nudges one numeric cell of row (i % rows); deterministic per (table, i).
+Status NudgeRow(db::Catalog* catalog, const std::string& table, int i) {
+  TIOGA2_ASSIGN_OR_RETURN(db::RelationPtr rel, catalog->GetTable(table));
+  if (rel->num_rows() == 0) return Status::OK();
+  size_t row = static_cast<size_t>(i) % rel->num_rows();
+  db::Tuple tuple = rel->row(row);
+  for (size_t c = 0; c < tuple.size(); ++c) {
+    if (tuple[c].is_float()) {
+      tuple[c] = Value::Float(tuple[c].float_value() + 0.25);
+      return catalog->UpdateRow(table, row, tuple).status();
+    }
+    if (tuple[c].is_int()) {
+      tuple[c] = Value::Int(tuple[c].int_value() + 1);
+      return catalog->UpdateRow(table, row, tuple).status();
+    }
+  }
+  return Status::OK();
+}
+
+/// The full restart-identity check for one fig program:
+///   env1: demo data + program; open persistent (bootstrap); save program;
+///         apply edits (logged); evaluate; record stamps + fingerprints;
+///         then either close cleanly (snapshot) or drop abruptly (WAL-only).
+///   env2: fresh environment; open the same dir; load the program; evaluate;
+///         everything must be byte-identical.
+void CheckRestartIdentity(const testing::FigProgram& program, bool clean_close,
+                          bool parallel) {
+  const std::string dir =
+      TestDir("engine_" + program.name + (clean_close ? "_clean" : "_kill") +
+              (parallel ? "_par" : "_ser"));
+  std::map<std::string, std::string> ref_fingerprints;
+  std::map<std::string, std::optional<uint64_t>> ref_stamps;
+  std::map<std::string, uint64_t> ref_tables;
+  std::map<std::string, uint64_t> ref_versions;
+  {
+    Environment env;
+    ASSERT_TRUE(env.LoadDemoData(program.extra_stations, program.num_days).ok());
+    ASSERT_TRUE(program.build(&env).ok());
+    StorageOptions options;
+    options.dir = dir;
+    ASSERT_TRUE(env.OpenPersistent(options).ok());
+    ASSERT_TRUE(env.session().SaveProgram("fig").ok());
+    for (const std::string& table : env.catalog().ListTables()) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(NudgeRow(&env.catalog(), table, i).ok()) << table;
+      }
+    }
+    for (const Target& t : TargetsOf(env.session().graph())) {
+      auto value =
+          env.session().engine().Evaluate(env.session().graph(), t.from, t.from_port);
+      ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+      ref_fingerprints[t.canvas] = testing::FingerprintBoxValue(value.value());
+    }
+    for (const std::string& id : env.session().graph().BoxIds()) {
+      ref_stamps[id] = env.session().engine().cache().StampOf(id);
+    }
+    ref_tables = TableFingerprints(env.catalog());
+    ref_versions = TableVersions(env.catalog());
+    if (clean_close) {
+      ASSERT_TRUE(env.ClosePersistent().ok());
+    } else {
+      // Make the log durable, then drop the environment without a snapshot:
+      // recovery must rebuild everything from bootstrap records + deltas.
+      ASSERT_TRUE(env.storage()->Sync().ok());
+    }
+  }
+  {
+    Environment env;  // NO demo data: everything must come from the dir
+    StorageOptions options;
+    options.dir = dir;
+    RecoveryInfo info;
+    ASSERT_TRUE(env.OpenPersistent(options, &info).ok());
+    EXPECT_EQ(info.recovered_snapshot, clean_close);
+    if (!clean_close) EXPECT_GT(info.records_replayed, 0u);
+    EXPECT_EQ(TableFingerprints(env.catalog()), ref_tables);
+    EXPECT_EQ(TableVersions(env.catalog()), ref_versions);
+    ASSERT_TRUE(env.session().LoadProgram("fig").ok());
+    if (parallel) {
+      runtime::ThreadPool pool(4);
+      runtime::ParallelEngine engine(env.session().catalog(), &pool);
+      for (const Target& t : TargetsOf(env.session().graph())) {
+        auto value = engine.Evaluate(env.session().graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+        EXPECT_EQ(testing::FingerprintBoxValue(value.value()),
+                  ref_fingerprints.at(t.canvas))
+            << t.canvas;
+      }
+      for (const std::string& id : env.session().graph().BoxIds()) {
+        EXPECT_EQ(engine.cache().StampOf(id), ref_stamps.at(id)) << id;
+      }
+    } else {
+      for (const Target& t : TargetsOf(env.session().graph())) {
+        auto value = env.session().engine().Evaluate(env.session().graph(),
+                                                     t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+        EXPECT_EQ(testing::FingerprintBoxValue(value.value()),
+                  ref_fingerprints.at(t.canvas))
+            << t.canvas;
+      }
+      for (const std::string& id : env.session().graph().BoxIds()) {
+        EXPECT_EQ(env.session().engine().cache().StampOf(id), ref_stamps.at(id))
+            << id;
+      }
+    }
+    ASSERT_TRUE(env.ClosePersistent().ok());
+  }
+}
+
+TEST(StorageEngineTest, KillAndRecoverIsByteIdenticalOnEveryFigProgram) {
+  for (const testing::FigProgram& program : testing::AllFigPrograms()) {
+    SCOPED_TRACE(program.name);
+    CheckRestartIdentity(program, /*clean_close=*/false, /*parallel=*/false);
+  }
+}
+
+TEST(StorageEngineTest, CleanCloseRecoversFromSnapshotOnEveryFigProgram) {
+  for (const testing::FigProgram& program : testing::AllFigPrograms()) {
+    SCOPED_TRACE(program.name);
+    CheckRestartIdentity(program, /*clean_close=*/true, /*parallel=*/false);
+  }
+}
+
+TEST(StorageEngineTest, ParallelEvaluationAfterRecoveryMatches) {
+  std::vector<testing::FigProgram> programs = testing::AllFigPrograms();
+  for (const testing::FigProgram& program : programs) {
+    SCOPED_TRACE(program.name);
+    CheckRestartIdentity(program, /*clean_close=*/false, /*parallel=*/true);
+  }
+}
+
+TEST(StorageEngineTest, DropRecreateSurvivesRecoveryWithMonotonicVersions) {
+  const std::string dir = TestDir("engine_drop");
+  db::RelationPtr rel = SampleRelation();
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    auto engine = StorageEngine::Open(&catalog, options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());          // v1
+    ASSERT_TRUE(catalog.ReplaceTable("t", rel).ok());           // v2
+    ASSERT_TRUE(catalog.DropTable("t").ok());                   // floor 2
+    ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());          // v3
+    EXPECT_EQ(catalog.TableVersion("t").value(), 3u);
+    ASSERT_TRUE((*engine)->Sync().ok());
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    RecoveryInfo info;
+    auto engine = StorageEngine::Open(&catalog, options, &info);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    EXPECT_EQ(catalog.TableVersion("t").value(), 3u);
+    // The floor survives recovery: another drop/recreate keeps climbing.
+    ASSERT_TRUE(catalog.DropTable("t").ok());
+    ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());
+    EXPECT_EQ(catalog.TableVersion("t").value(), 4u);
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+}
+
+TEST(StorageEngineTest, FallsBackToOlderSnapshotWhenNewestIsCorrupt) {
+  const std::string dir = TestDir("engine_fallback");
+  db::RelationPtr rel = SampleRelation();
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    options.retain_snapshots = 3;
+    auto engine = StorageEngine::Open(&catalog, options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());
+    ASSERT_TRUE((*engine)->Checkpoint().ok());  // snapshot 1
+    db::Tuple tuple = rel->row(0);
+    tuple[0] = Value::Int(100);
+    ASSERT_TRUE(catalog.UpdateRow("t", 0, tuple).ok());
+    ASSERT_TRUE((*engine)->Checkpoint().ok());  // snapshot 2
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+  // Corrupt the newest snapshot.
+  auto listed = ListSnapshots(Fs::Default(), dir);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  const std::string newest = dir + "/" + listed->back().second;
+  auto data = Fs::Default()->ReadFile(newest);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = *data;
+  bytes[bytes.size() / 3] ^= 0x02;
+  std::ofstream(newest, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  db::Catalog catalog;
+  StorageOptions options;
+  options.dir = dir;
+  RecoveryInfo info;
+  auto engine = StorageEngine::Open(&catalog, options, &info);
+  ASSERT_TRUE(engine.ok()) << engine.status().message();
+  EXPECT_EQ(info.snapshots_skipped, 1u);
+  EXPECT_TRUE(info.recovered_snapshot);
+  // The WAL was only truncated through the *oldest retained* snapshot, so
+  // replaying from the older snapshot still reaches the final state.
+  EXPECT_GT(info.records_replayed, 0u);
+  EXPECT_TRUE(catalog.GetTable("t").value()->at(0, 0) == Value::Int(100));
+  ASSERT_TRUE((*engine)->Close().ok());
+}
+
+TEST(StorageEngineTest, RetentionKeepsKSnapshotsAndTruncatesWal) {
+  const std::string dir = TestDir("engine_retention");
+  db::RelationPtr rel = SampleRelation();
+  db::Catalog catalog;
+  StorageOptions options;
+  options.dir = dir;
+  options.retain_snapshots = 2;
+  options.wal.rotate_bytes = 64;  // segment per record, so truncation can bite
+  auto engine = StorageEngine::Open(&catalog, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());
+  for (int round = 0; round < 5; ++round) {
+    db::Tuple tuple = rel->row(0);
+    tuple[0] = Value::Int(round);
+    ASSERT_TRUE(catalog.UpdateRow("t", 0, tuple).ok());
+    ASSERT_TRUE((*engine)->Checkpoint().ok());
+  }
+  auto listed = ListSnapshots(Fs::Default(), dir);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->size(), 2u);
+  // The WAL holds nothing below the oldest retained snapshot's LSN.
+  auto all = Wal::ReadAll(Fs::Default(), dir, 0);
+  ASSERT_TRUE(all.ok());
+  for (const Wal::Record& record : all->records) {
+    EXPECT_GT(record.lsn, 4u);
+  }
+  ASSERT_TRUE((*engine)->Close().ok());
+}
+
+TEST(StorageEngineTest, BackgroundSnapshotterTriggersByRecordCount) {
+  const std::string dir = TestDir("engine_snapshotter");
+  db::RelationPtr rel = SampleRelation();
+  db::Catalog catalog;
+  StorageOptions options;
+  options.dir = dir;
+  options.snapshot_every_records = 10;
+  auto engine = StorageEngine::Open(&catalog, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());
+  for (int i = 0; i < 40; ++i) {
+    db::Tuple tuple = rel->row(0);
+    tuple[0] = Value::Int(i);
+    ASSERT_TRUE(catalog.UpdateRow("t", 0, tuple).ok());
+  }
+  // The snapshotter runs asynchronously; wait briefly for at least one.
+  bool snapshotted = false;
+  for (int tries = 0; tries < 200 && !snapshotted; ++tries) {
+    auto listed = ListSnapshots(Fs::Default(), dir);
+    ASSERT_TRUE(listed.ok());
+    snapshotted = !listed->empty();
+    if (!snapshotted) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(snapshotted);
+  ASSERT_TRUE((*engine)->Close().ok());
+
+  // Recovery from the snapshotter's output reproduces the final state.
+  db::Catalog recovered;
+  StorageOptions reopen;
+  reopen.dir = dir;
+  auto engine2 = StorageEngine::Open(&recovered, reopen);
+  ASSERT_TRUE(engine2.ok()) << engine2.status().message();
+  EXPECT_TRUE(recovered.GetTable("t").value()->at(0, 0) == Value::Int(39));
+  EXPECT_EQ(recovered.TableVersion("t").value(), 41u);
+  ASSERT_TRUE((*engine2)->Close().ok());
+}
+
+// The TSan target: snapshotting concurrent with edits and query evaluation.
+// The client thread mutates the catalog and evaluates queries (the catalog
+// itself is single-writer, like a Session); the engine's background
+// snapshotter races against it the whole time, serializing from its shadow
+// of immutable RelationPtrs — it never touches the live catalog.
+TEST(StorageEngineTest, SnapshottingConcurrentWithEditsAndQueriesIsClean) {
+  const std::string dir = TestDir("engine_concurrent");
+  std::map<std::string, uint64_t> final_tables;
+  {
+    Environment env;
+    ASSERT_TRUE(env.LoadDemoData(50, 5).ok());
+    std::vector<testing::FigProgram> programs = testing::AllFigPrograms();
+    ASSERT_TRUE(programs[0].build(&env).ok());
+    StorageOptions options;
+    options.dir = dir;
+    options.snapshot_every_records = 5;  // snapshot constantly
+    ASSERT_TRUE(env.OpenPersistent(options).ok());
+    ASSERT_TRUE(env.session().SaveProgram("fig").ok());
+
+    std::vector<Target> targets = TargetsOf(env.session().graph());
+    ASSERT_FALSE(targets.empty());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(NudgeRow(&env.catalog(), "Stations", i).ok());
+      if (i % 10 == 0) {
+        for (const Target& t : targets) {
+          auto value = env.session().engine().Evaluate(env.session().graph(),
+                                                       t.from, t.from_port);
+          ASSERT_TRUE(value.ok());
+        }
+      }
+    }
+    final_tables = TableFingerprints(env.catalog());
+    ASSERT_TRUE(env.ClosePersistent().ok());
+  }
+  Environment env2;
+  StorageOptions reopen;
+  reopen.dir = dir;
+  ASSERT_TRUE(env2.OpenPersistent(reopen).ok());
+  EXPECT_EQ(TableFingerprints(env2.catalog()), final_tables);
+  ASSERT_TRUE(env2.ClosePersistent().ok());
+}
+
+TEST(StorageEngineTest, MetricsSurfaceThroughRuntimeJson) {
+  StorageMetrics::Global().Reset();
+  const std::string dir = TestDir("engine_metrics");
+  db::Catalog catalog;
+  StorageOptions options;
+  options.dir = dir;
+  auto engine = StorageEngine::Open(&catalog, options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(catalog.RegisterTable("t", SampleRelation()).ok());
+  ASSERT_TRUE((*engine)->Checkpoint().ok());
+  ASSERT_TRUE((*engine)->Close().ok());
+  EXPECT_GT(StorageMetrics::Global().wal_records.load(), 0u);
+  EXPECT_GT(StorageMetrics::Global().snapshots_written.load(), 0u);
+
+  runtime::Metrics metrics;
+  runtime::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_GT(snap.wal_records, 0u);
+  EXPECT_GT(snap.snapshots_written, 0u);
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"storage\""), std::string::npos);
+  EXPECT_NE(json.find("\"wal_records\""), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot_ms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tioga2::storage

@@ -16,6 +16,36 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Cuts a corrupt WAL back to its readable prefix: every segment after the
+/// one holding the first bad frame is deleted, and that segment is rewritten
+/// (atomically, tmp + rename) to end just before the bad frame. Without this
+/// the corrupt frame would stay on disk, every future recovery's ReadAll
+/// would stop at it again, and all records appended after this recovery —
+/// even fsynced ones — would be silently unrecoverable (and fresh segment
+/// names could collide with the orphaned tail).
+Status QuarantineCorruptWal(Fs* fs, const std::string& dir,
+                            const Wal::ReadResult& log) {
+  TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> segments,
+                          Wal::ListSegments(fs, dir));
+  for (const std::string& name : segments) {
+    // Zero-padded LSNs in the names: lexicographic order is numeric order.
+    if (name > log.corrupt_segment) {
+      TIOGA2_RETURN_IF_ERROR(fs->Remove(dir + "/" + name));
+    }
+  }
+  const std::string path = dir + "/" + log.corrupt_segment;
+  if (log.corrupt_prefix == 0) return fs->Remove(path);
+  TIOGA2_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(path));
+  const std::string tmp = path + ".tmp";
+  TIOGA2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          fs->OpenWritable(tmp));
+  TIOGA2_RETURN_IF_ERROR(
+      file->Append(std::string_view(data).substr(0, log.corrupt_prefix)));
+  TIOGA2_RETURN_IF_ERROR(file->Sync());
+  TIOGA2_RETURN_IF_ERROR(file->Close());
+  return fs->Rename(tmp, path);
+}
+
 }  // namespace
 
 StorageEngine::StorageEngine(db::Catalog* catalog, StorageOptions options,
@@ -79,6 +109,26 @@ Status StorageEngine::Recover(
                           Wal::ReadAll(fs, dir, base.last_lsn));
   info->torn_bytes = log.torn_bytes;
   info->wal_corrupt = log.corrupt;
+  if (log.corrupt) {
+    // Replay below still applies the readable prefix, but the log must be
+    // made writable again before the WAL reopens at prefix+1: quarantine
+    // the corrupt segment suffix so the next recovery reads a clean tail.
+    TIOGA2_RETURN_IF_ERROR(QuarantineCorruptWal(fs, dir, log));
+    if (log.records.empty()) {
+      // No readable record lies above the snapshot's covered LSN, so the
+      // corruption sits at or below it and the whole surviving prefix is
+      // redundant (the snapshot contains it). It cannot stay: the WAL
+      // reopens at snapshot_lsn + 1, which would leave an LSN gap between
+      // the prefix's tail and the new segment — flagged as fresh corruption
+      // by the next recovery's density check, quarantining away the new
+      // records. Drop every remaining segment instead.
+      TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> remaining,
+                              Wal::ListSegments(fs, dir));
+      for (const std::string& name : remaining) {
+        TIOGA2_RETURN_IF_ERROR(fs->Remove(dir + "/" + name));
+      }
+    }
+  }
   info->last_lsn = base.last_lsn;
   for (const Wal::Record& raw : log.records) {
     TIOGA2_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(raw.payload));
@@ -305,10 +355,10 @@ Status StorageEngine::Checkpoint() {
   std::lock_guard<std::mutex> ck(checkpoint_mu_);
   const auto start = std::chrono::steady_clock::now();
   SnapshotContents contents;
+  contents.seq = next_snapshot_seq_;  // checkpoint_mu_ (held) guards the seq
   {
     std::lock_guard<std::mutex> lock(shadow_mu_);
     if (!append_error_.ok()) return append_error_;
-    contents.seq = next_snapshot_seq_;
     contents.last_lsn = last_lsn_;
     for (const auto& [name, shadow] : shadow_tables_) {
       contents.tables.push_back(

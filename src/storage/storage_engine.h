@@ -49,7 +49,10 @@ struct RecoveryInfo {
   /// Bytes of torn WAL tail discarded (the expected crash residue).
   size_t torn_bytes = 0;
   /// True when the WAL scan ended at a CRC mismatch rather than a clean end
-  /// or torn tail; recovery still applied the readable prefix.
+  /// or torn tail. Recovery applied the readable prefix and quarantined the
+  /// corrupt suffix (the bad segment was truncated to its readable prefix,
+  /// later segments deleted), so the reopened log appends to a clean tail
+  /// and stays recoverable.
   bool wal_corrupt = false;
   double recovery_ms = 0.0;
 };
@@ -151,7 +154,10 @@ class StorageEngine final : public db::CatalogListener {
   bool closed_ = false;
   Status append_error_;
 
-  /// Serializes checkpoints; guards the on-disk snapshot bookkeeping.
+  /// Serializes checkpoints and guards the on-disk snapshot bookkeeping
+  /// below (snapshots_, next_snapshot_seq_) — every read and write of those
+  /// two goes under this mutex, except the seeding in Open(), which runs
+  /// before the snapshotter thread exists.
   std::mutex checkpoint_mu_;
   std::vector<std::pair<uint64_t, uint64_t>> snapshots_;  // (seq, last_lsn)
   uint64_t next_snapshot_seq_ = 1;

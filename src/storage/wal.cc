@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -50,12 +51,23 @@ Status Wal::Open(uint64_t next_lsn) {
   if (open_) return Status::FailedPrecondition("wal already open");
   next_lsn_ = next_lsn;
   appended_lsn_ = written_lsn_ = durable_lsn_ = next_lsn - 1;
+  file_written_lsn_ = next_lsn - 1;
   TIOGA2_ASSIGN_OR_RETURN(std::vector<std::string> existing,
                           ListSegments(fs_, dir_));
   segments_.clear();
   for (const std::string& name : existing) {
     uint64_t first;
     ParseSegmentName(name, &first);
+    if (first >= next_lsn) {
+      // Recovery already read every valid record, so a segment starting at
+      // or past next_lsn holds nothing durable-readable — the residue of a
+      // crash right after rotation, or the tail of a quarantined log.
+      // Tracking it would alias the fresh active segment opened below (same
+      // name; OpenWritable truncates it), and TruncateThrough would later
+      // unlink the live file. Delete it instead.
+      TIOGA2_RETURN_IF_ERROR(fs_->Remove(dir_ + "/" + name));
+      continue;
+    }
     segments_.push_back(Segment{dir_ + "/" + name, first});
   }
   TIOGA2_RETURN_IF_ERROR(OpenSegmentLocked(next_lsn_));
@@ -67,10 +79,18 @@ Status Wal::Open(uint64_t next_lsn) {
 }
 
 Status Wal::OpenSegmentLocked(uint64_t first_lsn) {
+  const std::string path = dir_ + "/" + SegmentName(first_lsn);
   TIOGA2_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                          fs_->OpenWritable(dir_ + "/" + SegmentName(first_lsn)));
+                          fs_->OpenWritable(path));
   active_file_ = std::move(file);
-  segments_.push_back(Segment{dir_ + "/" + SegmentName(first_lsn), first_lsn});
+  // OpenWritable truncated any prior incarnation of this file, so a stale
+  // tracking entry would alias the active segment — segments_ must never
+  // hold the same path twice.
+  segments_.erase(
+      std::remove_if(segments_.begin(), segments_.end(),
+                     [&](const Segment& s) { return s.path == path; }),
+      segments_.end());
+  segments_.push_back(Segment{path, first_lsn});
   active_bytes_ = 0;
   records_since_flush_ = 0;
   return Status::OK();
@@ -124,14 +144,18 @@ void Wal::WriterLoop() {
       }
     }
     Status status;
+    uint64_t written;
     {
       std::lock_guard<std::mutex> flock(file_mu_);
       status = WriteBatch(batch);
+      written = file_written_lsn_;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!status.ok() && writer_error_.ok()) writer_error_ = status;
-      written_lsn_ = std::max(written_lsn_, batch.back().first);
+      // file_written_lsn_ counts only frames whose Append succeeded, so a
+      // failed batch never overstates on-disk progress here.
+      written_lsn_ = std::max(written_lsn_, written);
       if (status.ok() && options_.durability == Durability::kFsyncEachRecord) {
         durable_lsn_ = std::max(durable_lsn_, written_lsn_);
       }
@@ -145,6 +169,7 @@ Status Wal::WriteBatch(
   StorageMetrics& metrics = StorageMetrics::Global();
   for (const auto& [lsn, frame] : batch) {
     TIOGA2_RETURN_IF_ERROR(active_file_->Append(frame));
+    file_written_lsn_ = lsn;
     active_bytes_ += frame.size();
     ++records_since_flush_;
     // Rotate per record, not per batch: a large group-committed burst must
@@ -237,12 +262,16 @@ Status Wal::TruncateThrough(uint64_t lsn) {
   std::lock_guard<std::mutex> flock(file_mu_);
   // Rotate the active segment away if every record it holds is covered,
   // so it too becomes deletable. Queued-but-unwritten records will land
-  // in the new segment (their LSNs are > written_lsn_).
+  // in the new segment (their LSNs are > file_written_lsn_). The decision
+  // must read file_written_lsn_ (guarded by file_mu_, held here), not
+  // written_lsn_: the writer publishes written_lsn_ only after releasing
+  // file_mu_, so it can lag records already on disk, and a stale read here
+  // would rotate away — then delete — a segment holding live records.
   if (!segments_.empty() && segments_.back().first_lsn <= lsn &&
-      written_lsn_ <= lsn) {
+      file_written_lsn_ <= lsn) {
     TIOGA2_RETURN_IF_ERROR(active_file_->Sync());
     TIOGA2_RETURN_IF_ERROR(active_file_->Close());
-    TIOGA2_RETURN_IF_ERROR(OpenSegmentLocked(written_lsn_ + 1));
+    TIOGA2_RETURN_IF_ERROR(OpenSegmentLocked(file_written_lsn_ + 1));
     StorageMetrics::Global().wal_rotations.fetch_add(1,
                                                      std::memory_order_relaxed);
   }
@@ -281,6 +310,7 @@ Result<Wal::ReadResult> Wal::ReadAll(Fs* fs, const std::string& dir,
     TIOGA2_ASSIGN_OR_RETURN(std::string data, fs->ReadFile(dir + "/" + name));
     size_t offset = 0;
     while (offset < data.size()) {
+      const size_t frame_start = offset;
       Result<std::string_view> frame = ReadFrame(data, &offset);
       if (!frame.ok()) {
         if (frame.status().IsOutOfRange()) {
@@ -291,16 +321,22 @@ Result<Wal::ReadResult> Wal::ReadAll(Fs* fs, const std::string& dir,
           break;
         }
         result.corrupt = true;  // CRC mismatch: stop at the readable prefix
+        result.corrupt_segment = name;
+        result.corrupt_prefix = frame_start;
         return result;
       }
       Decoder dec(*frame);
       Result<uint64_t> lsn = dec.GetU64();
       if (!lsn.ok()) {
         result.corrupt = true;
+        result.corrupt_segment = name;
+        result.corrupt_prefix = frame_start;
         return result;
       }
       if (have_prev && *lsn != prev_lsn + 1) {
         result.corrupt = true;  // gap in the sequence: unreadable beyond here
+        result.corrupt_segment = name;
+        result.corrupt_prefix = frame_start;
         return result;
       }
       prev_lsn = *lsn;

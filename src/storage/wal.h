@@ -68,7 +68,10 @@ class Wal {
 
   /// Scans `dir` for existing segments (recovery has already read them),
   /// positions next_lsn after the last valid record, and starts the writer
-  /// thread appending into a fresh segment.
+  /// thread appending into a fresh segment. Existing segments whose first
+  /// LSN is at or past `next_lsn` hold no valid records (by the contract
+  /// above) and are deleted — left in place they would alias the fresh
+  /// active segment.
   Status Open(uint64_t next_lsn);
 
   /// Appends one record; returns its LSN. Blocking per the policy above.
@@ -104,6 +107,12 @@ class Wal {
     /// True when a CRC mismatch (not a torn tail) ended the scan —
     /// corruption rather than a crash.
     bool corrupt = false;
+    /// When corrupt: the segment (file name, not path) holding the first
+    /// unreadable frame, and the byte length of that segment's readable
+    /// prefix — what recovery needs to cut the log back to a writable
+    /// state (see StorageEngine's quarantine step).
+    std::string corrupt_segment;
+    size_t corrupt_prefix = 0;
   };
 
   /// Reads every record with lsn > `after_lsn` from the segments in `dir`,
@@ -144,7 +153,11 @@ class Wal {
   std::deque<std::pair<uint64_t, std::string>> queue_;  // (lsn, frame)
   uint64_t next_lsn_ = 1;
   uint64_t appended_lsn_ = 0;   // highest lsn handed to the writer
-  uint64_t written_lsn_ = 0;    // highest lsn written to the file
+  /// Highest lsn written to the file, mirrored from file_written_lsn_ by the
+  /// writer after each batch. May briefly lag file_written_lsn_ (the writer
+  /// releases file_mu_ before taking mu_); on-file decisions — rotation,
+  /// truncation — must read file_written_lsn_ under file_mu_ instead.
+  uint64_t written_lsn_ = 0;
   uint64_t durable_lsn_ = 0;    // highest lsn fsynced
   bool stop_ = false;
   bool open_ = false;
@@ -154,6 +167,10 @@ class Wal {
   std::mutex file_mu_;
   std::unique_ptr<WritableFile> active_file_;
   std::vector<Segment> segments_;  // ascending; back() is active
+  /// Highest lsn whose frame was successfully appended to a segment — the
+  /// authoritative on-file high-water mark (updated inside WriteBatch, so
+  /// never ahead of nor behind the actual file contents).
+  uint64_t file_written_lsn_ = 0;
   size_t active_bytes_ = 0;
   size_t records_since_flush_ = 0;
 

@@ -320,6 +320,48 @@ TEST(WalTest, CorruptionStopsAtReadablePrefix) {
   ASSERT_TRUE(all.ok());
   EXPECT_TRUE(all->corrupt);
   EXPECT_LT(all->records.size(), 5u);
+  // The scan reports where the corruption sits so recovery can quarantine
+  // it: the offending segment and the byte length of its readable prefix.
+  EXPECT_EQ(all->corrupt_segment, segments->front());
+  // Every record here frames a 32-byte payload plus the u64 lsn.
+  EXPECT_EQ(all->corrupt_prefix, all->records.size() * FrameSize(8 + 32));
+}
+
+TEST(WalTest, ReopenDoesNotAliasCrashLeftoverSegment) {
+  // A crash right after rotation (or right after Open) leaves a segment
+  // file whose first_lsn equals the LSN recovery reopens at. Open must not
+  // track that leftover alongside the fresh active segment it creates under
+  // the same name — the duplicate entry used to make TruncateThrough unlink
+  // the live active file, losing durable post-checkpoint records.
+  const std::string dir = TestDir("wal_alias");
+  WalOptions options;
+  options.durability = Durability::kNone;
+  {
+    Wal wal(Fs::Default(), dir, options);
+    ASSERT_TRUE(wal.Open(1).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal.Append("r" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  // Crash residue: an empty segment already named for the next LSN.
+  { std::ofstream out(dir + "/wal-00000000000000000006.t2w", std::ios::binary); }
+  Wal wal(Fs::Default(), dir, options);
+  ASSERT_TRUE(wal.Open(6).ok());
+  ASSERT_TRUE(wal.Append("post-crash").ok());  // lsn 6
+  ASSERT_TRUE(wal.Sync().ok());
+  // Truncating below the active segment must leave it (and its records)
+  // intact, and the log must keep working.
+  ASSERT_TRUE(wal.TruncateThrough(5).ok());
+  ASSERT_TRUE(wal.Append("post-truncate").ok());  // lsn 7
+  ASSERT_TRUE(wal.Close().ok());
+  auto all = Wal::ReadAll(Fs::Default(), dir, 5);
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(all->corrupt);
+  ASSERT_EQ(all->records.size(), 2u);
+  EXPECT_EQ(all->records[0].lsn, 6u);
+  EXPECT_EQ(all->records[0].payload, "post-crash");
+  EXPECT_EQ(all->records[1].payload, "post-truncate");
 }
 
 TEST(WalTest, TruncateThroughDeletesCoveredSegments) {
@@ -623,7 +665,9 @@ void CheckRestartIdentity(const testing::FigProgram& program, bool clean_close,
     RecoveryInfo info;
     ASSERT_TRUE(env.OpenPersistent(options, &info).ok());
     EXPECT_EQ(info.recovered_snapshot, clean_close);
-    if (!clean_close) EXPECT_GT(info.records_replayed, 0u);
+    if (!clean_close) {
+      EXPECT_GT(info.records_replayed, 0u);
+    }
     EXPECT_EQ(TableFingerprints(env.catalog()), ref_tables);
     EXPECT_EQ(TableVersions(env.catalog()), ref_versions);
     ASSERT_TRUE(env.session().LoadProgram("fig").ok());
@@ -756,6 +800,149 @@ TEST(StorageEngineTest, FallsBackToOlderSnapshotWhenNewestIsCorrupt) {
   EXPECT_GT(info.records_replayed, 0u);
   EXPECT_TRUE(catalog.GetTable("t").value()->at(0, 0) == Value::Int(100));
   ASSERT_TRUE((*engine)->Close().ok());
+}
+
+TEST(StorageEngineTest, CorruptWalIsQuarantinedSoLaterAppendsStayRecoverable) {
+  const std::string dir = TestDir("engine_wal_corrupt");
+  db::RelationPtr rel = SampleRelation();
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    auto engine = StorageEngine::Open(&catalog, options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(NudgeRow(&catalog, "t", i).ok());
+    }
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+  // Corrupt the second frame's payload (a CRC mismatch, not a torn tail):
+  // the register record stays readable, the edits after it do not.
+  auto segments = Wal::ListSegments(Fs::Default(), dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 1u);
+  const std::string path = dir + "/" + segments->front();
+  auto data = Fs::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = *data;
+  uint32_t first_len;
+  std::memcpy(&first_len, bytes.data(), sizeof(first_len));
+  const size_t second_frame = FrameSize(first_len);
+  ASSERT_LT(second_frame + 10, bytes.size());
+  bytes[second_frame + 10] ^= 0x04;
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  uint64_t fingerprint_after_second_run = 0;
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    RecoveryInfo info;
+    auto engine = StorageEngine::Open(&catalog, options, &info);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    EXPECT_TRUE(info.wal_corrupt);
+    EXPECT_EQ(info.records_replayed, 1u);  // the readable prefix
+    ASSERT_TRUE(catalog.GetTable("t").ok());
+    // Mutate past the corruption point and make the new records durable.
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(NudgeRow(&catalog, "t", i).ok());
+    }
+    fingerprint_after_second_run =
+        FingerprintRelation(**catalog.GetTable("t")).value();
+    ASSERT_TRUE((*engine)->Sync().ok());
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+  {
+    // Before quarantine existed, this recovery re-hit the same corrupt
+    // frame and silently dropped everything the second run logged.
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    RecoveryInfo info;
+    auto engine = StorageEngine::Open(&catalog, options, &info);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    EXPECT_FALSE(info.wal_corrupt);
+    EXPECT_EQ(info.records_replayed, 5u);  // register + the 4 new edits
+    EXPECT_EQ(FingerprintRelation(**catalog.GetTable("t")).value(),
+              fingerprint_after_second_run);
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+}
+
+TEST(StorageEngineTest, CorruptionBelowSnapshotLsnQuarantinesWholePrefix) {
+  // Corruption in a log range already covered by the recovered snapshot:
+  // quarantine must drop the whole surviving prefix, not just the suffix.
+  // A kept prefix would end below the LSN the WAL reopens at, and the gap
+  // would read as fresh corruption on the next recovery — quarantining away
+  // the records appended after this one.
+  const std::string dir = TestDir("engine_wal_covered_corrupt");
+  db::RelationPtr rel = SampleRelation();
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    auto engine = StorageEngine::Open(&catalog, options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(catalog.RegisterTable("t", rel).ok());       // lsn 1
+    ASSERT_TRUE((*engine)->Checkpoint().ok());               // snap 1 @ 1
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(NudgeRow(&catalog, "t", i).ok());          // lsn 2..5
+    }
+    ASSERT_TRUE((*engine)->Checkpoint().ok());  // snap 2 @ 5; log keeps 2..5
+    ASSERT_TRUE(NudgeRow(&catalog, "t", 0).ok());            // lsn 6
+    ASSERT_TRUE(NudgeRow(&catalog, "t", 1).ok());            // lsn 7
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
+  // Corrupt the frame of lsn 3 — below snapshot 2's covered LSN.
+  auto segments = Wal::ListSegments(Fs::Default(), dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_FALSE(segments->empty());
+  const std::string path = dir + "/" + segments->front();
+  auto data = Fs::Default()->ReadFile(path);
+  ASSERT_TRUE(data.ok());
+  std::string bytes = *data;
+  uint32_t first_len;
+  std::memcpy(&first_len, bytes.data(), sizeof(first_len));
+  const size_t second_frame = FrameSize(first_len);
+  ASSERT_LT(second_frame + 10, bytes.size());
+  bytes[second_frame + 10] ^= 0x08;
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  uint64_t fingerprint_after_second_run = 0;
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    RecoveryInfo info;
+    auto engine = StorageEngine::Open(&catalog, options, &info);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    EXPECT_TRUE(info.wal_corrupt);
+    EXPECT_EQ(info.records_replayed, 0u);  // snapshot 2 covers the prefix
+    // Lsns 6 and 7 sat beyond the corruption — lost, as documented; the
+    // catalog is at snapshot 2's state. Append fresh durable edits.
+    ASSERT_TRUE(NudgeRow(&catalog, "t", 2).ok());
+    ASSERT_TRUE(NudgeRow(&catalog, "t", 3).ok());
+    fingerprint_after_second_run =
+        FingerprintRelation(**catalog.GetTable("t")).value();
+    ASSERT_TRUE((*engine)->Sync().ok());
+    ASSERT_TRUE((*engine)->Close().ok());  // no checkpoint: WAL-only state
+  }
+  {
+    db::Catalog catalog;
+    StorageOptions options;
+    options.dir = dir;
+    RecoveryInfo info;
+    auto engine = StorageEngine::Open(&catalog, options, &info);
+    ASSERT_TRUE(engine.ok()) << engine.status().message();
+    EXPECT_FALSE(info.wal_corrupt);
+    EXPECT_EQ(info.records_replayed, 2u);
+    EXPECT_EQ(FingerprintRelation(**catalog.GetTable("t")).value(),
+              fingerprint_after_second_run);
+    ASSERT_TRUE((*engine)->Close().ok());
+  }
 }
 
 TEST(StorageEngineTest, RetentionKeepsKSnapshotsAndTruncatesWal) {

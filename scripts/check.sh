@@ -3,7 +3,9 @@
 #   1. tier 1 — build everything and run the full test suite;
 #   2. tsan   — rebuild with ThreadSanitizer and run the concurrency tests
 #               (runtime scheduler, session server, determinism, parallel
-#               delta propagation);
+#               delta propagation, and the morsel fan-out suite in
+#               batch_eval_test — morsel bodies run concurrently on pool
+#               workers, so their result-slot hand-off must be race-free);
 #   3. asan   — rebuild with Address+UB sanitizers and run the columnar /
 #               batch-evaluation tests (the paths that index raw column
 #               vectors through selection vectors);
@@ -22,10 +24,17 @@
 #               the scalar fallback path (the only path on machines where the
 #               SIMD tiers are compiled out) can never rot. The sanitizer
 #               passes above inherit the default SIMD=ON build and therefore
-#               sanitize the kernels themselves.
+#               sanitize the kernels themselves;
+#   7. docs   — lint that every DESIGN.md / ARCHITECTURE.md / EXPERIMENTS.md
+#               section anchor referenced from README.md (and between those
+#               documents) resolves, so renaming a heading cannot silently
+#               orphan the execution-model documentation.
 # Pass --fast to run tier 1 only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== docs: markdown anchor lint =="
+scripts/lint_docs.sh
 
 echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
@@ -37,12 +46,13 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== tsan: runtime + session server tests =="
+echo "== tsan: runtime + session server + morsel fan-out tests =="
 cmake -B build-tsan -S . -DTIOGA2_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target \
-  runtime_test session_server_test runtime_determinism_test delta_update_test
+  runtime_test session_server_test runtime_determinism_test delta_update_test \
+  batch_eval_test
 (cd build-tsan && ctest --output-on-failure \
-  -R 'runtime|session_server|delta_update')
+  -R 'runtime|session_server|delta_update|batch_eval')
 
 echo "== asan: columnar + batch evaluation tests =="
 cmake -B build-asan -S . -DTIOGA2_ASAN=ON >/dev/null

@@ -1,7 +1,11 @@
 #ifndef TIOGA2_DB_EXEC_POLICY_H_
 #define TIOGA2_DB_EXEC_POLICY_H_
 
+#include <cstddef>
+
 namespace tioga2::db {
+
+class MorselRunner;  // db/morsel.h — the worker-pool seam
 
 /// Which SIMD instruction tier the batch-evaluator kernels may use.
 /// `kAuto` resolves to the best level the build and the running CPU support
@@ -37,6 +41,26 @@ struct ExecPolicy {
   /// SIMD tier for the typed batch kernels. Only consulted on the
   /// vectorized paths; all tiers produce bit-identical results.
   SimdLevel simd = SimdLevel::kAuto;
+
+  /// Rows per morsel for intra-operator parallelism (db/morsel.h). Each
+  /// vectorized operator splits its input into morsels of this many rows,
+  /// evaluates them independently (possibly on `runner`), and merges the
+  /// per-morsel results in morsel order, so the knob never changes output
+  /// bytes — only the scheduling granularity. Multiples of expr::kBatchSize
+  /// keep inner batch boundaries aligned with the serial path; anything
+  /// >= 1 is legal (0 clamps to 1). Default 32k: large enough that a morsel
+  /// amortizes its claim/complete handshake, small enough that 200k-row
+  /// inputs still split across 8 workers.
+  size_t morsel_rows = 32768;
+
+  /// Worker pool the vectorized operators may fan morsels out across;
+  /// nullptr (the default) runs every morsel on the calling thread.
+  /// Non-owning — the pool must outlive any evaluation run under the
+  /// policy. runtime::ParallelEngine lends boxes its own ThreadPool through
+  /// this field; see ForEachMorsel (db/morsel.h) for why that cannot
+  /// deadlock the inter-box scheduler. Ignored when `vectorized` is false:
+  /// the scalar oracle stays strictly sequential.
+  MorselRunner* runner = nullptr;
 };
 
 /// The process-wide default policy, used whenever no explicit policy is

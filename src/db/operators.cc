@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "db/morsel.h"
 #include "expr/batch.h"
 
 namespace tioga2::db {
@@ -94,24 +95,46 @@ Result<RelationPtr> Restrict(const RelationPtr& input,
   }
   expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
   metrics.restrict_rows += input->num_rows();
-  expr::RelationBatchSource source(*input);
-  expr::BatchEvaluator evaluator(source, policy);
-  expr::Selection survivors;
-  expr::Selection sel;
-  for (size_t begin = 0; begin < input->num_rows(); begin += expr::kBatchSize) {
-    size_t end = std::min(begin + expr::kBatchSize, input->num_rows());
-    expr::IdentitySelection(begin, end, &sel);
-    TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
-                            evaluator.FilterTrue(predicate.root(), sel));
-    survivors.insert(survivors.end(), kept.begin(), kept.end());
-    ++metrics.restrict_batches;
+  // Morsel-driven predicate evaluation: each morsel filters its row range
+  // with its own BatchEvaluator (kBatchSize batches inside), writing the
+  // surviving row ids into its own slot. Shared state touched from workers
+  // — the input's lazily built columnar image and the metrics counters — is
+  // call_once / atomic.
+  const size_t num_morsels = NumMorsels(policy, input->num_rows());
+  std::vector<expr::Selection> survivors(num_morsels);
+  TIOGA2_RETURN_IF_ERROR(ForEachMorsel(
+      policy, input->num_rows(),
+      [&](size_t morsel, size_t begin, size_t end) -> Status {
+        expr::RelationBatchSource source(*input);
+        expr::BatchEvaluator evaluator(source, policy);
+        expr::Selection sel;
+        expr::Selection& kept_rows = survivors[morsel];
+        for (size_t b = begin; b < end; b += expr::kBatchSize) {
+          const size_t bend = std::min(b + expr::kBatchSize, end);
+          expr::IdentitySelection(b, bend, &sel);
+          TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
+                                  evaluator.FilterTrue(predicate.root(), sel));
+          kept_rows.insert(kept_rows.end(), kept.begin(), kept.end());
+          ++metrics.restrict_batches;
+        }
+        metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
+        metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+        return Status::OK();
+      }));
+  // Stitch the per-morsel survivor lists back together in morsel order: row
+  // ids ascend within each morsel and morsels cover ascending ranges, so
+  // the merged selection is byte-identical to the serial scan.
+  size_t total = 0;
+  for (const expr::Selection& s : survivors) total += s.size();
+  expr::Selection merged;
+  merged.reserve(total);
+  for (expr::Selection& s : survivors) {
+    merged.insert(merged.end(), s.begin(), s.end());
   }
-  metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
-  metrics.nodes_fallback += evaluator.stats().fallback_nodes;
   // Surviving rows become a selection view over the input: no tuple is
   // copied, and columnar() gathers the survivors straight from the input's
   // typed columns.
-  return Relation::MakeSelectionView(input, std::move(survivors));
+  return Relation::MakeSelectionView(input, std::move(merged));
 }
 
 Result<RelationPtr> Restrict(const RelationPtr& input,
@@ -377,28 +400,50 @@ void ReorderLeftMajor(size_t left_num_rows, JoinPairs* pairs) {
 /// update grew one input past the other).
 template <typename BuildNull, typename BuildHash, typename ProbeNull,
           typename ProbeHash, typename EqualFn>
-JoinPairs HashJoinPairs(size_t left_num_rows, size_t build_num_rows,
-                        size_t probe_num_rows, bool build_left,
-                        const BuildNull& build_null, const BuildHash& build_hash,
-                        const ProbeNull& probe_null, const ProbeHash& probe_hash,
-                        const EqualFn& equal) {
+JoinPairs HashJoinPairs(const ExecPolicy& policy, size_t left_num_rows,
+                        size_t build_num_rows, size_t probe_num_rows,
+                        bool build_left, const BuildNull& build_null,
+                        const BuildHash& build_hash, const ProbeNull& probe_null,
+                        const ProbeHash& probe_hash, const EqualFn& equal) {
+  // The build stays serial (one shared read-only table); the probe fans out
+  // in morsels of probe rows. Each morsel emits matches into its own
+  // JoinPairs slot; concatenating the slots in morsel order reproduces the
+  // serial probe's emission order exactly, because the serial loop scans
+  // probe rows ascending and morsels cover ascending disjoint ranges.
   JoinHashTable table;
   table.Build(build_num_rows, build_null, build_hash);
+  const size_t num_morsels = NumMorsels(policy, probe_num_rows);
+  std::vector<JoinPairs> per(num_morsels);
+  const Status probe_status = ForEachMorsel(
+      policy, probe_num_rows,
+      [&](size_t morsel, size_t begin, size_t end) -> Status {
+        JoinPairs& out = per[morsel];
+        for (size_t j = begin; j < end; ++j) {
+          if (probe_null(j)) continue;
+          const uint64_t h = probe_hash(j);
+          table.ForEachCandidate(h, [&](uint32_t i) {
+            // Hash collisions are resolved by a real equality check.
+            if (!equal(i, j)) return;
+            if (build_left) {
+              out.left.push_back(i);
+              out.right.push_back(static_cast<uint32_t>(j));
+            } else {
+              out.left.push_back(static_cast<uint32_t>(j));
+              out.right.push_back(i);
+            }
+          });
+        }
+        return Status::OK();
+      });
+  (void)probe_status;  // the body is infallible
   JoinPairs pairs;
-  for (size_t j = 0; j < probe_num_rows; ++j) {
-    if (probe_null(j)) continue;
-    const uint64_t h = probe_hash(j);
-    table.ForEachCandidate(h, [&](uint32_t i) {
-      // Hash collisions are resolved by a real equality check.
-      if (!equal(i, j)) return;
-      if (build_left) {
-        pairs.left.push_back(i);
-        pairs.right.push_back(static_cast<uint32_t>(j));
-      } else {
-        pairs.left.push_back(static_cast<uint32_t>(j));
-        pairs.right.push_back(i);
-      }
-    });
+  size_t total = 0;
+  for (const JoinPairs& p : per) total += p.left.size();
+  pairs.left.reserve(total);
+  pairs.right.reserve(total);
+  for (JoinPairs& p : per) {
+    pairs.left.insert(pairs.left.end(), p.left.begin(), p.left.end());
+    pairs.right.insert(pairs.right.end(), p.right.begin(), p.right.end());
   }
   if (build_left) ReorderLeftMajor(left_num_rows, &pairs);
   return pairs;
@@ -486,25 +531,50 @@ Result<RelationPtr> RunNestedLoopBatched(const RelationPtr& left,
                                          const expr::CompiledExpr& predicate,
                                          const ExecPolicy& policy) {
   expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
-  CrossBlockSource source(*left, *right);
+  // Morselize over *left* rows, but each left row costs a full scan of the
+  // right side, so scale the per-morsel left-row count down so one morsel
+  // still covers roughly policy.morsel_rows cells of the cross product.
+  ExecPolicy morsel_policy = policy;
+  morsel_policy.morsel_rows = std::max<size_t>(
+      1, policy.morsel_rows / std::max<size_t>(1, right->num_rows()));
+  const size_t num_morsels = NumMorsels(morsel_policy, left->num_rows());
+  std::vector<JoinPairs> per(num_morsels);
+  TIOGA2_RETURN_IF_ERROR(ForEachMorsel(
+      morsel_policy, left->num_rows(),
+      [&](size_t morsel, size_t lbegin, size_t lend) -> Status {
+        CrossBlockSource source(*left, *right);
+        JoinPairs& out = per[morsel];
+        expr::Selection sel;
+        for (size_t l = lbegin; l < lend; ++l) {
+          source.SetLeftRow(l);
+          expr::BatchEvaluator evaluator(source, policy);
+          for (size_t begin = 0; begin < right->num_rows();
+               begin += expr::kBatchSize) {
+            const size_t end =
+                std::min(begin + expr::kBatchSize, right->num_rows());
+            expr::IdentitySelection(begin, end, &sel);
+            TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
+                                    evaluator.FilterTrue(predicate.root(), sel));
+            for (uint32_t r : kept) {
+              out.left.push_back(static_cast<uint32_t>(l));
+              out.right.push_back(r);
+            }
+            ++metrics.join_nested_batches;
+          }
+          metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
+          metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+        }
+        return Status::OK();
+      }));
+  // Left-major merge in morsel order — identical to the serial double loop.
   JoinPairs pairs;
-  expr::Selection sel;
-  for (size_t l = 0; l < left->num_rows(); ++l) {
-    source.SetLeftRow(l);
-    expr::BatchEvaluator evaluator(source, policy);
-    for (size_t begin = 0; begin < right->num_rows(); begin += expr::kBatchSize) {
-      const size_t end = std::min(begin + expr::kBatchSize, right->num_rows());
-      expr::IdentitySelection(begin, end, &sel);
-      TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
-                              evaluator.FilterTrue(predicate.root(), sel));
-      for (uint32_t r : kept) {
-        pairs.left.push_back(static_cast<uint32_t>(l));
-        pairs.right.push_back(r);
-      }
-      ++metrics.join_nested_batches;
-    }
-    metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
-    metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+  size_t total = 0;
+  for (const JoinPairs& p : per) total += p.left.size();
+  pairs.left.reserve(total);
+  pairs.right.reserve(total);
+  for (JoinPairs& p : per) {
+    pairs.left.insert(pairs.left.end(), p.left.begin(), p.left.end());
+    pairs.right.insert(pairs.right.end(), p.right.begin(), p.right.end());
   }
   return Relation::MakeJoinView(out_schema, left, std::move(pairs.left), right,
                                 std::move(pairs.right));
@@ -555,8 +625,8 @@ Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
     const ColumnVector& bcol = build->columnar().column(build_key);
     const ColumnVector& pcol = probe->columnar().column(probe_key);
     JoinPairs pairs = HashJoinPairs(
-        left->num_rows(), build->num_rows(), probe->num_rows(), build_left,
-        [&](size_t i) { return bcol.IsNull(i); },
+        policy, left->num_rows(), build->num_rows(), probe->num_rows(),
+        build_left, [&](size_t i) { return bcol.IsNull(i); },
         [&](size_t i) { return HashKeyCell(bcol, i); },
         [&](size_t j) { return pcol.IsNull(j); },
         [&](size_t j) { return HashKeyCell(pcol, j); },
@@ -568,8 +638,9 @@ Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
   }
 
   // Scalar oracle path: hash Values tuple-at-a-time, materialize rows.
+  // ForEachMorsel sees vectorized == false here and stays serial.
   JoinPairs pairs = HashJoinPairs(
-      left->num_rows(), build->num_rows(), probe->num_rows(), build_left,
+      policy, left->num_rows(), build->num_rows(), probe->num_rows(), build_left,
       [&](size_t i) { return build->at(i, build_key).is_null(); },
       [&](size_t i) { return HashKeyValue(build->at(i, build_key)); },
       [&](size_t j) { return probe->at(j, probe_key).is_null(); },

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "db/morsel.h"
 #include "db/operators.h"
 #include "expr/batch.h"
 
@@ -151,6 +153,10 @@ class DisplayBatchSource : public expr::BatchSource {
     if (base.type != DataType::kInt && base.type != DataType::kFloat) {
       return nullptr;  // the per-row path reports the TypeError
     }
+    // Morsel workers share one source so the transform materializes once:
+    // the first caller builds the column under the lock, later callers reuse
+    // it. The returned pointer stays stable (unique_ptr in the map).
+    std::lock_guard<std::mutex> lock(transform_mu_);
     auto it = transformed_.find(index);
     if (it != transformed_.end()) return it->second.get();
     auto col = std::make_unique<db::ColumnVector>();
@@ -179,6 +185,7 @@ class DisplayBatchSource : public expr::BatchSource {
 
  private:
   const DisplayRelation& relation_;
+  mutable std::mutex transform_mu_;
   mutable std::unordered_map<size_t, std::unique_ptr<db::ColumnVector>> transformed_;
 };
 
@@ -301,30 +308,47 @@ Result<std::vector<Value>> DisplayRelation::AttributeValues(
     if (attr->source == AttrSource::kExpr) {
       ++metrics.display_attr_batches;
       metrics.display_attr_rows += n;
+      // Morsels share one source (its transform cache is mutex-guarded) but
+      // each gets its own evaluator; results land in preassigned slots, so
+      // the merged vector is byte-identical to the serial sweep.
       DisplayBatchSource source(*this);
-      expr::BatchEvaluator evaluator(source, policy);
-      expr::Selection sel;
-      for (size_t begin = 0; begin < n; begin += expr::kBatchSize) {
-        size_t end = std::min(begin + expr::kBatchSize, n);
-        expr::IdentitySelection(begin, end, &sel);
-        TIOGA2_ASSIGN_OR_RETURN(expr::Vec vec,
-                                evaluator.Eval(attr->definition->root(), sel));
-        for (size_t k = 0; k < sel.size(); ++k) {
-          TIOGA2_ASSIGN_OR_RETURN(Value v, ApplyTransform(*attr, vec.ValueAt(k)));
-          out.push_back(std::move(v));
-        }
-      }
-      metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
-      metrics.nodes_fallback += evaluator.stats().fallback_nodes;
-      return out;
+      std::vector<Value> slots(n);
+      TIOGA2_RETURN_IF_ERROR(db::ForEachMorsel(
+          policy, n, [&](size_t, size_t begin, size_t end) -> Status {
+            expr::BatchEvaluator evaluator(source, policy);
+            expr::Selection sel;
+            for (size_t b = begin; b < end; b += expr::kBatchSize) {
+              const size_t bend = std::min(b + expr::kBatchSize, end);
+              expr::IdentitySelection(b, bend, &sel);
+              TIOGA2_ASSIGN_OR_RETURN(
+                  expr::Vec vec, evaluator.Eval(attr->definition->root(), sel));
+              for (size_t k = 0; k < sel.size(); ++k) {
+                TIOGA2_ASSIGN_OR_RETURN(Value v,
+                                        ApplyTransform(*attr, vec.ValueAt(k)));
+                slots[sel[k]] = std::move(v);
+              }
+            }
+            metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
+            metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+            return Status::OK();
+          }));
+      return slots;
     }
   }
-  out.clear();
-  for (size_t r = 0; r < n; ++r) {
-    TIOGA2_ASSIGN_OR_RETURN(Value v, AttributeValue(r, name));
-    out.push_back(std::move(v));
-  }
-  return out;
+  // Per-row fallback (kCombine, kDefaultDisplay, transformed non-numeric
+  // stored columns). Rows are independent, so they fan out in morsels into
+  // preassigned slots; with `vectorized` false ForEachMorsel stays serial,
+  // keeping the scalar oracle strictly sequential.
+  std::vector<Value> slots(n);
+  TIOGA2_RETURN_IF_ERROR(db::ForEachMorsel(
+      policy, n, [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          TIOGA2_ASSIGN_OR_RETURN(Value v, AttributeValue(r, name));
+          slots[r] = std::move(v);
+        }
+        return Status::OK();
+      }));
+  return slots;
 }
 
 Result<std::vector<double>> DisplayRelation::LocationOf(size_t row) const {
@@ -593,24 +617,40 @@ Result<DisplayRelation> DisplayRelation::Restrict(
   if (policy.vectorized) {
     expr::BatchMetrics& metrics = expr::BatchMetrics::Global();
     metrics.restrict_rows += num_rows();
+    // Morsel-driven, like db::Restrict: per-morsel survivor lists merged in
+    // morsel order reproduce the serial scan byte for byte.
     DisplayBatchSource source(*this);
-    expr::BatchEvaluator evaluator(source, policy);
-    expr::Selection survivors;
-    expr::Selection sel;
-    for (size_t begin = 0; begin < num_rows(); begin += expr::kBatchSize) {
-      size_t end = std::min(begin + expr::kBatchSize, num_rows());
-      expr::IdentitySelection(begin, end, &sel);
-      TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
-                              evaluator.FilterTrue(compiled.root(), sel));
-      survivors.insert(survivors.end(), kept.begin(), kept.end());
-      ++metrics.restrict_batches;
+    const size_t num_morsels = db::NumMorsels(policy, num_rows());
+    std::vector<expr::Selection> survivors(num_morsels);
+    TIOGA2_RETURN_IF_ERROR(db::ForEachMorsel(
+        policy, num_rows(),
+        [&](size_t morsel, size_t begin, size_t end) -> Status {
+          expr::BatchEvaluator evaluator(source, policy);
+          expr::Selection sel;
+          expr::Selection& kept_rows = survivors[morsel];
+          for (size_t b = begin; b < end; b += expr::kBatchSize) {
+            const size_t bend = std::min(b + expr::kBatchSize, end);
+            expr::IdentitySelection(b, bend, &sel);
+            TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
+                                    evaluator.FilterTrue(compiled.root(), sel));
+            kept_rows.insert(kept_rows.end(), kept.begin(), kept.end());
+            ++metrics.restrict_batches;
+          }
+          metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
+          metrics.nodes_fallback += evaluator.stats().fallback_nodes;
+          return Status::OK();
+        }));
+    size_t total = 0;
+    for (const expr::Selection& s : survivors) total += s.size();
+    expr::Selection merged;
+    merged.reserve(total);
+    for (expr::Selection& s : survivors) {
+      merged.insert(merged.end(), s.begin(), s.end());
     }
-    metrics.nodes_vectorized += evaluator.stats().vectorized_nodes;
-    metrics.nodes_fallback += evaluator.stats().fallback_nodes;
     // Survivors reference the base relation through a selection view — no
     // tuple copies (the tuple-copy tax dominated restrict_half_selectivity
     // in bench_out/fig03_columnar.json before this).
-    out.base_ = db::Relation::MakeSelectionView(base_, std::move(survivors));
+    out.base_ = db::Relation::MakeSelectionView(base_, std::move(merged));
   } else {
     db::RelationBuilder builder(base_->schema());
     for (size_t r = 0; r < num_rows(); ++r) {
@@ -635,15 +675,24 @@ Result<size_t> DisplayRelation::CountKept(const std::string& predicate,
   size_t count = 0;
   if (policy.vectorized) {
     DisplayBatchSource source(*this);
-    expr::BatchEvaluator evaluator(source, policy);
-    expr::Selection sel;
-    for (size_t begin = 0; begin < end; begin += expr::kBatchSize) {
-      size_t batch_end = std::min(begin + expr::kBatchSize, end);
-      expr::IdentitySelection(begin, batch_end, &sel);
-      TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
-                              evaluator.FilterTrue(compiled.root(), sel));
-      count += kept.size();
-    }
+    std::vector<size_t> counts(db::NumMorsels(policy, end));
+    TIOGA2_RETURN_IF_ERROR(db::ForEachMorsel(
+        policy, end,
+        [&](size_t morsel, size_t mbegin, size_t mend) -> Status {
+          expr::BatchEvaluator evaluator(source, policy);
+          expr::Selection sel;
+          size_t kept_in_morsel = 0;
+          for (size_t b = mbegin; b < mend; b += expr::kBatchSize) {
+            const size_t bend = std::min(b + expr::kBatchSize, mend);
+            expr::IdentitySelection(b, bend, &sel);
+            TIOGA2_ASSIGN_OR_RETURN(expr::Selection kept,
+                                    evaluator.FilterTrue(compiled.root(), sel));
+            kept_in_morsel += kept.size();
+          }
+          counts[morsel] = kept_in_morsel;
+          return Status::OK();
+        }));
+    for (size_t c : counts) count += c;
   } else {
     for (size_t r = 0; r < end; ++r) {
       DisplayRowAccessor accessor(*this, r);

@@ -125,6 +125,11 @@ void BatchMetrics::Reset() {
   simd_batches_avx2 = 0;
   simd_rows = 0;
   simd_scalar_fallbacks = 0;
+  morsel_groups = 0;
+  morsel_groups_parallel = 0;
+  morsels_executed = 0;
+  morsels_stolen = 0;
+  morsel_parallel_rows = 0;
 }
 
 BatchEvaluator::BatchEvaluator(const BatchSource& source)

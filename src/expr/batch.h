@@ -137,6 +137,17 @@ struct BatchMetrics {
   std::atomic<uint64_t> simd_batches_avx2{0};
   std::atomic<uint64_t> simd_rows{0};
   std::atomic<uint64_t> simd_scalar_fallbacks{0};
+  // Morsel-driven fan-out (see db/morsel.h): groups run (fan-out sites),
+  // groups that actually parallelized, morsels executed, morsels claimed by
+  // pool help tickets (vs the submitting thread), and rows covered by
+  // parallel groups. speedup = wall-clock of the group vs its serial
+  // equivalent is a bench-side division (bench_morsel_scaling), not a
+  // counter.
+  std::atomic<uint64_t> morsel_groups{0};
+  std::atomic<uint64_t> morsel_groups_parallel{0};
+  std::atomic<uint64_t> morsels_executed{0};
+  std::atomic<uint64_t> morsels_stolen{0};
+  std::atomic<uint64_t> morsel_parallel_rows{0};
 
   static BatchMetrics& Global();
   void Reset();

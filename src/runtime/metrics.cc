@@ -119,6 +119,11 @@ MetricsSnapshot Metrics::snapshot() const {
   snap.batch_restrict_rows = batch.restrict_rows.load();
   snap.batch_nodes_vectorized = batch.nodes_vectorized.load();
   snap.batch_nodes_fallback = batch.nodes_fallback.load();
+  snap.batch_morsel_groups = batch.morsel_groups.load();
+  snap.batch_morsel_groups_parallel = batch.morsel_groups_parallel.load();
+  snap.batch_morsels_executed = batch.morsels_executed.load();
+  snap.batch_morsels_stolen = batch.morsels_stolen.load();
+  snap.batch_morsel_parallel_rows = batch.morsel_parallel_rows.load();
   const storage::StorageMetrics& stor = storage::StorageMetrics::Global();
   snap.wal_records = stor.wal_records.load();
   snap.wal_bytes = stor.wal_bytes.load();
@@ -185,6 +190,14 @@ std::string Metrics::ToJson() const {
   json += ",\"simd_rows\":" + std::to_string(batch.simd_rows.load());
   json += ",\"simd_scalar_fallbacks\":" +
           std::to_string(batch.simd_scalar_fallbacks.load());
+  json += ",\"morsel_groups\":" + std::to_string(batch.morsel_groups.load());
+  json += ",\"morsel_groups_parallel\":" +
+          std::to_string(batch.morsel_groups_parallel.load());
+  json += ",\"morsels_executed\":" +
+          std::to_string(batch.morsels_executed.load());
+  json += ",\"morsels_stolen\":" + std::to_string(batch.morsels_stolen.load());
+  json += ",\"morsel_parallel_rows\":" +
+          std::to_string(batch.morsel_parallel_rows.load());
   json += "}";
   const storage::StorageMetrics& stor = storage::StorageMetrics::Global();
   json += ",\"storage\":{";

@@ -59,6 +59,12 @@ struct MetricsSnapshot {
   uint64_t batch_restrict_rows = 0;
   uint64_t batch_nodes_vectorized = 0;
   uint64_t batch_nodes_fallback = 0;
+  // Morsel-driven fan-out counters (db/morsel.h), same global-copy pattern.
+  uint64_t batch_morsel_groups = 0;
+  uint64_t batch_morsel_groups_parallel = 0;
+  uint64_t batch_morsels_executed = 0;
+  uint64_t batch_morsels_stolen = 0;
+  uint64_t batch_morsel_parallel_rows = 0;
   // Persistence counters, copied from storage::StorageMetrics::Global() at
   // snapshot time (same pattern: storage cannot depend on runtime).
   uint64_t wal_records = 0;

@@ -109,6 +109,12 @@ void ParallelEngine::FireBox(Plan* plan,
   dataflow::ExecContext ctx;
   ctx.catalog = catalog_;
   ctx.policy = policy_.value_or(db::DefaultExecPolicy());
+  // Lend the box our own pool for intra-operator morsel fan-out. Safe even
+  // though this box is itself running on a pool worker: ForEachMorsel's
+  // submitter claims morsels too and never blocks on pool capacity
+  // (db/morsel.h), so inter-box and intra-box work share the workers
+  // without the scheduler deadlocking.
+  if (ctx.policy.runner == nullptr) ctx.policy.runner = pool_;
 
   Status failure;
   MemoCache::EntryPtr entry;
@@ -349,9 +355,13 @@ Result<dataflow::InvalidationResult> ParallelEngine::Invalidate(
       result.entries_evicted = InvalidateDownstreamOf(graph, inv.table());
       return result;
     case dataflow::Invalidation::Scope::kDelta: {
+      db::ExecPolicy delta_policy = policy_.value_or(db::DefaultExecPolicy());
+      // Delta propagation runs on the calling thread, but any box it re-fires
+      // may still fan its morsels out across the pool.
+      if (delta_policy.runner == nullptr) delta_policy.runner = pool_;
       TIOGA2_ASSIGN_OR_RETURN(
           result, dataflow::PropagateDelta(graph, catalog_, inv.delta(), *cache_,
-                                           policy_.value_or(db::DefaultExecPolicy())));
+                                           delta_policy));
       deltas_applied_.fetch_add(result.deltas_applied, std::memory_order_relaxed);
       delta_fallbacks_.fetch_add(result.delta_fallbacks, std::memory_order_relaxed);
       if (metrics_ != nullptr) {

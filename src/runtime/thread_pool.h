@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "db/morsel.h"
+
 namespace tioga2::runtime {
 
 /// A fixed-size worker pool with a FIFO task queue. Tasks may submit further
@@ -16,20 +18,26 @@ namespace tioga2::runtime {
 /// that finished it). Destruction drains the queue: every task submitted
 /// before the destructor runs is executed before the workers join, so
 /// callers never lose queued work.
-class ThreadPool {
+///
+/// Implements db::MorselRunner, so the same pool that fires boxes also
+/// serves intra-operator morsel fan-out (ExecPolicy::runner). Morsel help
+/// tickets are ordinary Submit() tasks; db::ForEachMorsel never blocks a
+/// worker on queue capacity, which is what keeps nested use (a box running
+/// ON the pool lending morsels TO the pool) deadlock-free.
+class ThreadPool : public db::MorselRunner {
  public:
   /// Spawns `num_threads` workers (at least one).
   explicit ThreadPool(size_t num_threads);
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Thread-safe; never blocks on queue capacity (admission
   /// control is the SessionServer's job, not the pool's).
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) override;
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const override { return workers_.size(); }
 
   /// Tasks queued but not yet claimed by a worker.
   size_t QueueDepth() const;

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <map>
@@ -21,11 +22,13 @@
 
 #include "boxes/relational_boxes.h"
 #include "common/rng.h"
+#include "db/morsel.h"
 #include "db/operators.h"
 #include "display/display_relation.h"
 #include "expr/batch.h"
 #include "expr/evaluator.h"
 #include "expr/simd/simd.h"
+#include "runtime/thread_pool.h"
 #include "testing/fig_programs.h"
 #include "tioga2/environment.h"
 
@@ -665,6 +668,185 @@ TEST(DisplayBatchTest, RestrictMatchesScalarOverComputedAttributes) {
     off = std::move(result).value();
   }
   EXPECT_TRUE(db::RelationEquals(*on->base(), *off->base()));
+}
+
+// ---- Morsel-driven fan-out ------------------------------------------------
+// db/morsel.h: morsel boundaries may only change scheduling granularity,
+// never output bytes. The cases below pin the boundary conditions — morsel
+// size 1, sizes straddling the 64-row null-bitmap words (63/64/65), a size
+// larger than the input (exactly one morsel) — each with and without a
+// worker pool attached.
+
+RelationPtr NullStripes() {
+  // 130 rows spans three null-bitmap words; the stripes put nulls on both
+  // sides of every word boundary a morsel edge can land on.
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 130; ++i) {
+    Tuple row;
+    row.push_back(i % 3 == 0 ? Value::Null() : Value::Int(i - 65));
+    row.push_back(i % 7 == 0 ? Value::Null() : Value::Float(i * 0.5 - 20.0));
+    row.push_back(Value::String(i % 2 == 0 ? "even" : "odd"));
+    rows.push_back(std::move(row));
+  }
+  return MakeRelation({Column{"a", DataType::kInt},
+                       Column{"f", DataType::kFloat},
+                       Column{"tag", DataType::kString}},
+                      rows)
+      .value();
+}
+
+constexpr size_t kMorselSizes[] = {1, 63, 64, 65, 129, 130, 1000};
+
+TEST(MorselTest, RestrictByteIdenticalAcrossMorselSizes) {
+  RelationPtr rel = NullStripes();
+  auto compiled = db::CompilePredicate(
+      rel->schema(), "a > 0 or (f < 0.0 and tag = \"odd\")");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto reference = db::RestrictScalar(rel, compiled.value());
+  ASSERT_TRUE(reference.ok());
+  runtime::ThreadPool pool(4);
+  for (size_t morsel_rows : kMorselSizes) {
+    SCOPED_TRACE("morsel_rows=" + std::to_string(morsel_rows));
+    for (bool with_runner : {false, true}) {
+      SCOPED_TRACE(with_runner ? "pooled" : "serial");
+      db::ExecPolicy policy;
+      policy.morsel_rows = morsel_rows;
+      policy.runner = with_runner ? &pool : nullptr;
+      auto result = db::Restrict(rel, compiled.value(), policy);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(db::RelationEquals(**reference, **result))
+          << "scalar:\n"
+          << (*reference)->ToString() << "morselized:\n"
+          << (*result)->ToString();
+    }
+  }
+}
+
+TEST(MorselTest, JoinsByteIdenticalAcrossMorselSizes) {
+  // "k = j" takes the morselized hash probe, "k < j" the morselized batched
+  // nested loop; the scalar tuple-at-a-time paths are the oracle for both.
+  std::vector<Tuple> lrows;
+  for (int i = 0; i < 90; ++i) {
+    lrows.push_back({i % 5 == 0 ? Value::Null() : Value::Int(i % 11),
+                     Value::String("l" + std::to_string(i))});
+  }
+  std::vector<Tuple> rrows;
+  for (int i = 0; i < 140; ++i) {
+    rrows.push_back({i % 4 == 0 ? Value::Null() : Value::Int(i % 13),
+                     Value::Float(i * 0.25)});
+  }
+  RelationPtr left =
+      MakeRelation({Column{"k", DataType::kInt}, Column{"name", DataType::kString}},
+                   lrows)
+          .value();
+  RelationPtr right =
+      MakeRelation({Column{"j", DataType::kInt}, Column{"w", DataType::kFloat}},
+                   rrows)
+          .value();
+  db::ExecPolicy scalar;
+  scalar.vectorized = false;
+  runtime::ThreadPool pool(4);
+  for (const char* predicate : {"k = j", "k < j"}) {
+    SCOPED_TRACE(predicate);
+    auto oracle = db::Join(left, right, predicate, scalar);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    for (size_t morsel_rows : kMorselSizes) {
+      SCOPED_TRACE("morsel_rows=" + std::to_string(morsel_rows));
+      db::ExecPolicy policy;
+      policy.morsel_rows = morsel_rows;
+      policy.runner = &pool;
+      auto result = db::Join(left, right, predicate, policy);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(db::RelationEquals(*oracle->relation, *result->relation))
+          << "scalar:\n"
+          << oracle->relation->ToString() << "morselized:\n"
+          << result->relation->ToString();
+    }
+  }
+}
+
+TEST(MorselTest, DisplayPathsByteIdenticalAcrossMorselSizes) {
+  RelationPtr rel = NullStripes();
+  auto dr = display::DisplayRelation::WithDefaults("stripes", rel);
+  ASSERT_TRUE(dr.ok());
+  // "score" exercises the vectorized kExpr path (with a per-row _y
+  // fallback inside); "_display" exercises the per-row fallback fan-out.
+  auto with_attr = dr->AddAttribute("score", "coalesce(a, 0) * 2 + _y");
+  ASSERT_TRUE(with_attr.ok()) << with_attr.status().ToString();
+  const display::DisplayRelation& relation = with_attr.value();
+
+  db::ExecPolicy serial;
+  runtime::ThreadPool pool(4);
+  for (size_t morsel_rows : kMorselSizes) {
+    SCOPED_TRACE("morsel_rows=" + std::to_string(morsel_rows));
+    db::ExecPolicy policy;
+    policy.morsel_rows = morsel_rows;
+    policy.runner = &pool;
+
+    for (const char* name : {"score", "_display"}) {
+      SCOPED_TRACE(name);
+      auto expected = relation.AttributeValues(name, serial);
+      ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+      auto values = relation.AttributeValues(name, policy);
+      ASSERT_TRUE(values.ok()) << values.status().ToString();
+      ASSERT_EQ(values->size(), expected->size());
+      for (size_t r = 0; r < values->size(); ++r) {
+        EXPECT_EQ(Describe((*values)[r]), Describe((*expected)[r])) << "row " << r;
+      }
+    }
+
+    auto expected_restrict = relation.Restrict("score > 10.0", serial);
+    ASSERT_TRUE(expected_restrict.ok());
+    auto restricted = relation.Restrict("score > 10.0", policy);
+    ASSERT_TRUE(restricted.ok()) << restricted.status().ToString();
+    EXPECT_TRUE(
+        db::RelationEquals(*expected_restrict->base(), *restricted->base()));
+
+    auto expected_count =
+        relation.CountKept("score > 10.0", relation.num_rows(), serial);
+    ASSERT_TRUE(expected_count.ok());
+    auto count = relation.CountKept("score > 10.0", relation.num_rows(), policy);
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    EXPECT_EQ(count.value(), expected_count.value());
+  }
+}
+
+TEST(MorselTest, LowestIndexedMorselErrorWinsUnderParallelism) {
+  runtime::ThreadPool pool(4);
+  db::ExecPolicy policy;
+  policy.morsel_rows = 1;
+  policy.runner = &pool;
+  for (int trial = 0; trial < 8; ++trial) {
+    std::atomic<int> ran{0};
+    Status status = db::ForEachMorsel(
+        policy, 64, [&](size_t m, size_t, size_t) -> Status {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          if (m >= 5 && m % 2 == 1) {
+            return Status::InvalidArgument("morsel " + std::to_string(m));
+          }
+          return Status::OK();
+        });
+    ASSERT_FALSE(status.ok());
+    // Always morsel 5's error, regardless of which worker hit which morsel
+    // first — and every morsel ran (parallel mode never aborts early).
+    EXPECT_EQ(status.message(), "morsel 5");
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST(MorselTest, SerialModeStopsAtFirstFailureInMorselOrder) {
+  db::ExecPolicy policy;
+  policy.morsel_rows = 1;  // no runner: serial mode
+  int ran = 0;
+  Status status =
+      db::ForEachMorsel(policy, 64, [&](size_t m, size_t, size_t) -> Status {
+        ++ran;
+        if (m == 5) return Status::InvalidArgument("morsel 5");
+        return Status::OK();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "morsel 5");
+  EXPECT_EQ(ran, 6);  // serial mode preserves the old loops' early return
 }
 
 TEST(SortTest, VectorizedMatchesScalarIncludingNulls) {

@@ -94,5 +94,68 @@ TEST(RuntimeDeterminismTest, ParallelMatchesSerialOnEveryFigProgram) {
   }
 }
 
+// Morsel-driven fan-out: the same 3-pass regression with intra-operator
+// parallelism forced on. Small pinned morsel sizes split every operator in
+// each figure program into many concurrently-evaluated morsels (including
+// sizes that do NOT align with expr::kBatchSize, so inner batch boundaries
+// differ from the serial sweep), and a size larger than every input
+// degenerates to one morsel. Outputs and stamps must stay bit-identical to
+// the serial dataflow::Engine in all cases.
+TEST(RuntimeDeterminismTest, MorselFanOutMatchesSerialOnEveryFigProgram) {
+  struct Config {
+    size_t threads;
+    size_t morsel_rows;
+  };
+  const Config configs[] = {
+      {2, 4097},       // straddles the kBatchSize boundary, 2 workers
+      {8, 509},        // dozens of small unaligned morsels, 8 workers
+      {8, 1u << 20},   // larger than every input: exactly one morsel
+  };
+  for (const FigProgram& program : AllFigPrograms()) {
+    SCOPED_TRACE(program.name);
+    auto serial_env = BuildEnv(program);
+    ui::Session& serial_session = serial_env->session();
+    std::vector<Target> targets = TargetsOf(serial_session.graph());
+    ASSERT_EQ(targets.size(), program.canvases.size());
+    std::map<std::string, std::string> expected;
+    for (const Target& t : targets) {
+      auto value = serial_session.engine().Evaluate(serial_session.graph(),
+                                                    t.from, t.from_port);
+      ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+      expected[t.canvas] = FingerprintBoxValue(value.value());
+    }
+    std::map<std::string, std::optional<uint64_t>> expected_stamps;
+    for (const std::string& id : serial_session.graph().BoxIds()) {
+      expected_stamps[id] = serial_session.engine().cache().StampOf(id);
+    }
+
+    for (const Config& config : configs) {
+      SCOPED_TRACE("threads=" + std::to_string(config.threads) +
+                   " morsel_rows=" + std::to_string(config.morsel_rows));
+      auto env = BuildEnv(program);
+      ui::Session& session = env->session();
+      runtime::ThreadPool pool(config.threads);
+      runtime::ParallelEngine engine(session.catalog(), &pool);
+      db::ExecPolicy policy;
+      policy.morsel_rows = config.morsel_rows;
+      // No runner set here: FireBox lends the engine's own pool, so boxes
+      // running ON pool workers fan morsels out ACROSS the same workers —
+      // the nested-use case the deadlock-avoidance design exists for.
+      engine.set_exec_policy(policy);
+      for (const Target& t : TargetsOf(session.graph())) {
+        auto value = engine.Evaluate(session.graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+        ASSERT_EQ(expected.count(t.canvas), 1u);
+        EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas))
+            << t.canvas;
+      }
+      for (const std::string& id : session.graph().BoxIds()) {
+        ASSERT_EQ(expected_stamps.count(id), 1u) << id;
+        EXPECT_EQ(engine.cache().StampOf(id), expected_stamps.at(id)) << id;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tioga2::testing

@@ -120,9 +120,10 @@ void WriteColumnarReport() {
       time_us([&] { return db::RestrictScalar(stations, compound); });
   double compound_vec_us = time_us([&] { return db::Restrict(stations, compound); });
 
-  db::SetVectorizedExecutionEnabled(false);
-  double sort_scalar_us = time_us([&] { return db::Sort(stations, "altitude"); });
-  db::SetVectorizedExecutionEnabled(true);
+  db::ExecPolicy scalar_policy;
+  scalar_policy.vectorized = false;
+  double sort_scalar_us =
+      time_us([&] { return db::Sort(stations, "altitude", true, scalar_policy); });
   double sort_vec_us = time_us([&] { return db::Sort(stations, "altitude"); });
 
   auto section = [](const char* name, double scalar_us, double vec_us) {

@@ -28,7 +28,13 @@
 #   7. docs   — lint that every DESIGN.md / ARCHITECTURE.md / EXPERIMENTS.md
 #               section anchor referenced from README.md (and between those
 #               documents) resolves, so renaming a heading cannot silently
-#               orphan the execution-model documentation.
+#               orphan the execution-model documentation;
+#   8. load-smoke — a small-N run of the session-server load harness
+#               (bench_session_load --smoke): replays mixed multi-session
+#               traffic with the shared memo tier on and off, asserting zero
+#               handler errors, nonzero shared-cache hits, byte-identical
+#               cross-session outputs, and convergence within 2x
+#               single-session work; then validates the emitted JSON report.
 # Pass --fast to run tier 1 only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +50,17 @@ cmake --build build -j
 if [[ "${1:-}" == "--fast" ]]; then
   echo "OK (fast)"
   exit 0
+fi
+
+echo "== load-smoke: session-server load harness, small N =="
+cmake --build build -j --target bench_session_load
+build/bench/bench_session_load --smoke --out=bench_out/session_load_smoke.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool bench_out/session_load_smoke.json >/dev/null
+else
+  # Minimal structural check when python3 is unavailable.
+  grep -q '"convergence"' bench_out/session_load_smoke.json
+  grep -q '"shared_on"' bench_out/session_load_smoke.json
 fi
 
 echo "== tsan: runtime + session server + morsel fan-out tests =="

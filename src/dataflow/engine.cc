@@ -58,6 +58,17 @@ Result<MemoCache::EntryPtr> Engine::EvaluateBox(
     ++stats_.cache_hits;
     return cached;
   }
+  // Local miss: another session may have evaluated an identical subgraph —
+  // stamps are content-addressed, so a shared-tier entry under this stamp is
+  // byte-identical to what firing would produce. Adopt it into the local
+  // cache (sharing the allocation) instead of firing.
+  if (shared_cache_ != nullptr) {
+    if (MemoCache::EntryPtr shared = shared_cache_->Lookup(stamp)) {
+      ++stats_.cache_hits;
+      ++stats_.shared_hits;
+      return cache_->InsertEntry(box_id, std::move(shared));
+    }
+  }
 
   // Cache miss: coerce the inputs and fire.
   std::vector<BoxValue> inputs;
@@ -78,7 +89,10 @@ Result<MemoCache::EntryPtr> Engine::EvaluateBox(
                             std::to_string(outputs->size()) + " outputs, declared " +
                             std::to_string(box->OutputTypes().size()));
   }
-  return cache_->Insert(box_id, stamp, std::move(outputs).value());
+  MemoCache::EntryPtr stored =
+      cache_->Insert(box_id, stamp, std::move(outputs).value());
+  if (shared_cache_ != nullptr) shared_cache_->Insert(stored);
+  return stored;
 }
 
 Result<BoxValue> Engine::Evaluate(const Graph& graph, const std::string& box_id,

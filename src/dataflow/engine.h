@@ -11,6 +11,7 @@
 #include "dataflow/delta.h"
 #include "dataflow/graph.h"
 #include "dataflow/memo_cache.h"
+#include "dataflow/shared_memo_cache.h"
 #include "db/exec_policy.h"
 
 namespace tioga2::dataflow {
@@ -21,6 +22,7 @@ namespace tioga2::dataflow {
 struct EngineStats {
   uint64_t boxes_fired = 0;
   uint64_t cache_hits = 0;
+  uint64_t shared_hits = 0;     // subset of cache_hits served by the shared tier
   uint64_t evaluations = 0;     // Evaluate() calls
   uint64_t boxes_skipped = 0;   // EvaluateAll: dangling-input boxes not fired
   uint64_t deltas_applied = 0;  // boxes maintained incrementally (kDelta)
@@ -147,10 +149,19 @@ class Engine {
   void ResetStats() { stats_ = EngineStats{}; }
 
   /// Per-engine execution policy. When unset the engine resolves
-  /// db::DefaultExecPolicy() at each firing, so the deprecated process-wide
-  /// toggle keeps working for callers that never opt in.
+  /// db::DefaultExecPolicy() at each firing (db::SetDefaultExecPolicy is the
+  /// process-wide default for callers that never opt in).
   void set_exec_policy(db::ExecPolicy policy) { policy_ = policy; }
   const std::optional<db::ExecPolicy>& exec_policy() const { return policy_; }
+
+  /// Attaches a cross-session shared memo tier (may be null to detach). On a
+  /// local-cache miss the engine consults it by stamp before firing, and
+  /// publishes every fired entry into it; hits count in both
+  /// stats().cache_hits and stats().shared_hits. The pointee must outlive
+  /// the engine. See dataflow/shared_memo_cache.h for why trading entries
+  /// across sessions is byte-identical by construction.
+  void set_shared_cache(SharedMemoCache* shared) { shared_cache_ = shared; }
+  SharedMemoCache* shared_cache() const { return shared_cache_; }
 
   /// The memo cache (shared or owned). Exposed so callers can share it with
   /// a runtime::ParallelEngine or inspect stamps.
@@ -172,6 +183,7 @@ class Engine {
   const std::vector<BoxValue>* encap_inputs_ = nullptr;
   MemoCache owned_cache_;
   MemoCache* cache_;  // owned_cache_ or an external shared cache
+  SharedMemoCache* shared_cache_ = nullptr;  // optional cross-session tier
   EngineStats stats_;
   std::vector<std::string> warnings_;
   std::optional<db::ExecPolicy> policy_;

@@ -22,6 +22,15 @@ MemoCache::EntryPtr MemoCache::Insert(const std::string& box_id, uint64_t stamp,
   return slot;
 }
 
+MemoCache::EntryPtr MemoCache::InsertEntry(const std::string& box_id,
+                                           EntryPtr entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EntryPtr& slot = entries_[box_id];
+  if (slot != nullptr && slot->stamp == entry->stamp) return slot;
+  slot = std::move(entry);
+  return slot;
+}
+
 std::optional<uint64_t> MemoCache::StampOf(const std::string& box_id) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(box_id);

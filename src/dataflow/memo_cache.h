@@ -57,6 +57,13 @@ class MemoCache {
   EntryPtr Insert(const std::string& box_id, uint64_t stamp,
                   std::vector<BoxValue> outputs);
 
+  /// Adopts an already-built entry for `box_id` — the path by which a
+  /// cross-session SharedMemoCache hit lands in a session's own cache
+  /// without copying the outputs (the sessions then share one immutable
+  /// Entry allocation). Same race rule as Insert: an existing entry with the
+  /// same stamp wins.
+  EntryPtr InsertEntry(const std::string& box_id, EntryPtr entry);
+
   /// The stamp cached for `box_id`, if any (regardless of validity).
   std::optional<uint64_t> StampOf(const std::string& box_id) const;
 

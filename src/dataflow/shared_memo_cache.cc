@@ -1,0 +1,57 @@
+#include "dataflow/shared_memo_cache.h"
+
+namespace tioga2::dataflow {
+
+SharedMemoCache::SharedMemoCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+MemoCache::EntryPtr SharedMemoCache::Lookup(uint64_t stamp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(stamp);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->entry;
+}
+
+void SharedMemoCache::Insert(const MemoCache::EntryPtr& entry) {
+  if (entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(entry->stamp);
+  if (it != index_.end()) {
+    // Same stamp ⇒ byte-identical outputs: keep the first publication.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Slot{entry->stamp, entry});
+  index_[entry->stamp] = lru_.begin();
+  ++stats_.inserts;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().stamp);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+SharedMemoCache::Stats SharedMemoCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+size_t SharedMemoCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void SharedMemoCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace tioga2::dataflow

@@ -28,9 +28,8 @@ enum class SimdLevel : int {
 /// Policies are plain values carried by an evaluation context (the dataflow
 /// ExecContext, a render::RenderOptions, or an explicit operator argument),
 /// which makes them per-engine / per-session and safe to vary across
-/// concurrently running evaluations. The process-wide default exists for
-/// callers that predate the policy plumbing; `SetDefaultExecPolicy`
-/// supersedes the deprecated `SetVectorizedExecutionEnabled` global.
+/// concurrently running evaluations. `SetDefaultExecPolicy` sets the
+/// process-wide default used when no explicit policy is threaded in.
 struct ExecPolicy {
   /// Run the vectorized operator paths (Restrict, Sort key comparison,
   /// display-attribute batches, renderer location columns). Both settings

@@ -16,13 +16,6 @@ namespace tioga2::db {
 using types::DataType;
 using types::Value;
 
-void SetVectorizedExecutionEnabled(bool enabled) {
-  ExecPolicy policy = DefaultExecPolicy();
-  policy.vectorized = enabled;
-  SetDefaultExecPolicy(policy);
-}
-bool VectorizedExecutionEnabled() { return DefaultExecPolicy().vectorized; }
-
 Result<bool> PredicateKeeps(const expr::CompiledExpr& predicate,
                             const expr::RowAccessor& row) {
   TIOGA2_ASSIGN_OR_RETURN(Value keep, predicate.Eval(row));

@@ -52,15 +52,6 @@ Result<RelationPtr> RestrictScalar(const RelationPtr& input,
 Result<bool> PredicateKeeps(const expr::CompiledExpr& predicate,
                             const expr::RowAccessor& row);
 
-/// DEPRECATED global toggle, kept for one release so existing benches and
-/// tests compile: forwards to db::SetDefaultExecPolicy /
-/// db::DefaultExecPolicy (see db/exec_policy.h). New code should thread an
-/// ExecPolicy through the evaluation context (dataflow::ExecContext,
-/// Engine::set_exec_policy, viewer::RenderOptions::policy) or pass it as an
-/// operator argument, which is per-session and safe under concurrency.
-void SetVectorizedExecutionEnabled(bool enabled);
-bool VectorizedExecutionEnabled();
-
 /// Bernoulli sample: each tuple is retained independently with
 /// `probability` (§4.2: "each input is retained with a user-specified
 /// probability"). Deterministic for a given seed.

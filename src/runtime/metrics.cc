@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "dataflow/shared_memo_cache.h"
 #include "expr/batch.h"
 #include "expr/simd/simd.h"
 #include "storage/storage_metrics.h"
@@ -95,10 +96,16 @@ void Metrics::RecordDeltaFallback(uint64_t count) {
   counters_.delta_fallbacks += count;
 }
 
-void Metrics::RecordRequestComplete(double micros) {
+void Metrics::RecordRequestComplete(double micros, const std::string& tag) {
   std::lock_guard<std::mutex> lock(mu_);
   request_latency_.Record(micros);
+  if (!tag.empty()) request_classes_[tag].Record(micros);
   ++counters_.requests_completed;
+}
+
+void Metrics::AttachSharedCache(const dataflow::SharedMemoCache* shared) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shared_cache_ = shared;
 }
 
 void Metrics::RecordRequestRejected() {
@@ -111,9 +118,27 @@ void Metrics::RecordRequestTimedOut() {
   ++counters_.requests_timed_out;
 }
 
+LatencyHistogram Metrics::request_latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return request_latency_;
+}
+
+std::map<std::string, LatencyHistogram> Metrics::request_classes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return request_classes_;
+}
+
 MetricsSnapshot Metrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap = counters_;
+  if (shared_cache_ != nullptr) {
+    dataflow::SharedMemoCache::Stats shared = shared_cache_->stats();
+    snap.shared_cache_hits = shared.hits;
+    snap.shared_cache_misses = shared.misses;
+    snap.shared_cache_inserts = shared.inserts;
+    snap.shared_cache_evictions = shared.evictions;
+    snap.shared_cache_entries = shared.entries;
+  }
   const expr::BatchMetrics& batch = expr::BatchMetrics::Global();
   snap.batch_restrict_batches = batch.restrict_batches.load();
   snap.batch_restrict_rows = batch.restrict_rows.load();
@@ -143,7 +168,26 @@ std::string Metrics::ToJson() const {
           std::to_string(counters_.requests_completed) +
           ",\"rejected\":" + std::to_string(counters_.requests_rejected) +
           ",\"timed_out\":" + std::to_string(counters_.requests_timed_out) +
-          ",\"latency\":" + request_latency_.ToJson() + "}";
+          ",\"latency\":" + request_latency_.ToJson();
+  json += ",\"classes\":{";
+  {
+    bool first_class = true;
+    for (const auto& [tag, histogram] : request_classes_) {
+      if (!first_class) json += ',';
+      first_class = false;
+      json += "\"" + tag + "\":" + histogram.ToJson();
+    }
+  }
+  json += "}}";
+  if (shared_cache_ != nullptr) {
+    dataflow::SharedMemoCache::Stats shared = shared_cache_->stats();
+    json += ",\"shared_cache\":{\"hits\":" + std::to_string(shared.hits) +
+            ",\"misses\":" + std::to_string(shared.misses) +
+            ",\"inserts\":" + std::to_string(shared.inserts) +
+            ",\"evictions\":" + std::to_string(shared.evictions) +
+            ",\"entries\":" + std::to_string(shared.entries) +
+            ",\"capacity\":" + std::to_string(shared_cache_->capacity()) + "}";
+  }
   json += ",\"queue\":{\"max_depth\":" +
           std::to_string(counters_.max_queue_depth) + "}";
   json += ",\"invalidation\":{\"deltas_applied\":" +
@@ -226,6 +270,7 @@ void Metrics::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   box_fires_.clear();
   request_latency_ = LatencyHistogram{};
+  request_classes_.clear();
   counters_ = MetricsSnapshot{};
   expr::BatchMetrics::Global().Reset();
 }

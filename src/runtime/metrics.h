@@ -7,6 +7,10 @@
 #include <mutex>
 #include <string>
 
+namespace tioga2::dataflow {
+class SharedMemoCache;  // dataflow/shared_memo_cache.h
+}
+
 namespace tioga2::runtime {
 
 /// A log2-bucketed latency histogram (microseconds). Bucket i counts
@@ -48,6 +52,14 @@ struct MetricsSnapshot {
   uint64_t requests_completed = 0;
   uint64_t requests_rejected = 0;
   uint64_t requests_timed_out = 0;
+  // Cross-session shared memo tier (dataflow::SharedMemoCache), copied from
+  // the cache attached via AttachSharedCache at snapshot time; all zero when
+  // no shared tier is attached.
+  uint64_t shared_cache_hits = 0;
+  uint64_t shared_cache_misses = 0;
+  uint64_t shared_cache_inserts = 0;
+  uint64_t shared_cache_evictions = 0;
+  size_t shared_cache_entries = 0;
   // Delta propagation outcomes (see dataflow::PropagateDelta): boxes whose
   // cached outputs were maintained in place vs. evicted for recompute.
   uint64_t deltas_applied = 0;
@@ -91,15 +103,31 @@ class Metrics {
   void RecordQueueDepth(size_t depth);
   void RecordDeltaApplied(uint64_t count = 1);
   void RecordDeltaFallback(uint64_t count = 1);
-  void RecordRequestComplete(double micros);
+  /// Records a completed request's latency. A nonempty `tag` (the request
+  /// class from SessionServer::Request::tag) additionally lands in that
+  /// class's own histogram, serialized under "requests"."classes" in the
+  /// JSON — the per-request-class latency breakdown the load harness
+  /// reports.
+  void RecordRequestComplete(double micros, const std::string& tag = "");
   void RecordRequestRejected();
   void RecordRequestTimedOut();
+
+  /// Attaches the cross-session shared memo tier whose counters snapshot()
+  /// and ToJson() should surface (null detaches). Non-owning; the pointee
+  /// must outlive this Metrics (or be detached first).
+  void AttachSharedCache(const dataflow::SharedMemoCache* shared);
 
   /// Includes the process-wide expr::BatchMetrics counters (vectorized
   /// operator batches, fallback rows). Those counters are global — shared
   /// across Metrics instances — because the db layer, which records them,
   /// cannot depend on runtime.
   MetricsSnapshot snapshot() const;
+
+  /// Copies of the aggregate and per-class request-latency histograms, for
+  /// callers (the load harness) that need numeric quantiles rather than the
+  /// JSON rendering.
+  LatencyHistogram request_latency() const;
+  std::map<std::string, LatencyHistogram> request_classes() const;
 
   /// The whole surface as a JSON object:
   /// {"cache":{...},"requests":{...},"queue":{...},
@@ -119,6 +147,10 @@ class Metrics {
   mutable std::mutex mu_;
   std::map<std::string, LatencyHistogram> box_fires_;
   LatencyHistogram request_latency_;
+  /// Per-request-class latency (keyed by Request::tag; untagged requests
+  /// land only in the aggregate request_latency_).
+  std::map<std::string, LatencyHistogram> request_classes_;
+  const dataflow::SharedMemoCache* shared_cache_ = nullptr;
   MetricsSnapshot counters_;
 };
 

@@ -148,6 +148,15 @@ void ParallelEngine::FireBox(Plan* plan,
     }
     if (failure.ok()) {
       entry = cache_->Lookup(box_id, stamp);
+      if (entry == nullptr && shared_cache_ != nullptr) {
+        // Cross-session tier: an identical subgraph evaluated by any other
+        // session yields the same stamp and byte-identical outputs; adopt
+        // its entry into the local cache instead of firing.
+        if (MemoCache::EntryPtr shared = shared_cache_->Lookup(stamp)) {
+          entry = cache_->InsertEntry(box_id, std::move(shared));
+          shared_hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       if (entry != nullptr) {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
         if (metrics_ != nullptr) metrics_->RecordCacheHit();
@@ -193,6 +202,7 @@ void ParallelEngine::FireBox(Plan* plan,
                   std::to_string(node.box->OutputTypes().size()));
             } else {
               entry = cache_->Insert(box_id, stamp, std::move(outputs).value());
+              if (shared_cache_ != nullptr) shared_cache_->Insert(entry);
             }
           }
         }
@@ -381,6 +391,7 @@ ParallelEngineStats ParallelEngine::stats() const {
   ParallelEngineStats stats;
   stats.boxes_fired = boxes_fired_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.shared_hits = shared_hits_.load(std::memory_order_relaxed);
   stats.evaluations = evaluations_.load(std::memory_order_relaxed);
   stats.boxes_skipped = boxes_skipped_.load(std::memory_order_relaxed);
   stats.deltas_applied = deltas_applied_.load(std::memory_order_relaxed);
@@ -391,6 +402,7 @@ ParallelEngineStats ParallelEngine::stats() const {
 void ParallelEngine::ResetStats() {
   boxes_fired_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
+  shared_hits_.store(0, std::memory_order_relaxed);
   evaluations_.store(0, std::memory_order_relaxed);
   boxes_skipped_.store(0, std::memory_order_relaxed);
   deltas_applied_.store(0, std::memory_order_relaxed);

@@ -24,6 +24,7 @@ namespace tioga2::runtime {
 struct ParallelEngineStats {
   uint64_t boxes_fired = 0;
   uint64_t cache_hits = 0;
+  uint64_t shared_hits = 0;  // subset of cache_hits served by the shared tier
   uint64_t evaluations = 0;
   uint64_t boxes_skipped = 0;
   uint64_t deltas_applied = 0;
@@ -105,6 +106,16 @@ class ParallelEngine {
   void set_exec_policy(db::ExecPolicy policy) { policy_ = policy; }
   const std::optional<db::ExecPolicy>& exec_policy() const { return policy_; }
 
+  /// Attaches a cross-session shared memo tier (null detaches), consulted by
+  /// stamp after a local-cache miss and fed by every firing — identical
+  /// semantics (and byte-identical results) to
+  /// dataflow::Engine::set_shared_cache. The pointee must outlive the
+  /// engine.
+  void set_shared_cache(dataflow::SharedMemoCache* shared) {
+    shared_cache_ = shared;
+  }
+  dataflow::SharedMemoCache* shared_cache() const { return shared_cache_; }
+
   ParallelEngineStats stats() const;
   void ResetStats();
 
@@ -148,12 +159,14 @@ class ParallelEngine {
   ThreadPool* pool_;
   dataflow::MemoCache owned_cache_;
   dataflow::MemoCache* cache_;  // owned_cache_ or an external shared cache
+  dataflow::SharedMemoCache* shared_cache_ = nullptr;  // cross-session tier
   Metrics* metrics_ = nullptr;
 
   std::optional<db::ExecPolicy> policy_;
 
   std::atomic<uint64_t> boxes_fired_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> shared_hits_{0};
   std::atomic<uint64_t> evaluations_{0};
   std::atomic<uint64_t> boxes_skipped_{0};
   std::atomic<uint64_t> deltas_applied_{0};

@@ -21,7 +21,13 @@ Result<viewer::Viewer*> Session::GetViewer(const std::string& canvas_name) {
 SessionServer::SessionServer(db::Catalog* catalog, Options options)
     : catalog_(catalog),
       options_(options),
-      pool_(options.num_threads == 0 ? 1 : options.num_threads) {}
+      pool_(options.num_threads == 0 ? 1 : options.num_threads) {
+  if (options_.shared_cache_entries > 0) {
+    shared_cache_ = std::make_unique<dataflow::SharedMemoCache>(
+        options_.shared_cache_entries);
+    metrics_.AttachSharedCache(shared_cache_.get());
+  }
+}
 
 SessionServer::~SessionServer() = default;
 
@@ -34,7 +40,11 @@ Result<std::string> SessionServer::OpenSession(const std::string& id) {
   if (sessions_.count(session_id) > 0) {
     return Status::AlreadyExists("session '" + session_id + "' already open");
   }
-  sessions_[session_id] = std::make_shared<Session>(session_id, catalog_);
+  auto session = std::make_shared<Session>(session_id, catalog_);
+  // Sessions viewing the same canvas share identical box subgraphs; the
+  // shared tier lets the second session reuse the first one's evaluations.
+  if (shared_cache_ != nullptr) session->ui().set_shared_cache(shared_cache_.get());
+  sessions_[session_id] = std::move(session);
   return session_id;
 }
 
@@ -58,11 +68,19 @@ std::shared_ptr<Session> SessionServer::FindSession(const std::string& id) const
 }
 
 std::future<Status> SessionServer::Submit(const std::string& session_id,
-                                          Handler handler, Access access,
-                                          std::chrono::milliseconds deadline) {
+                                          Request request) {
   auto promise = std::make_shared<std::promise<Status>>();
   std::future<Status> future = promise->get_future();
 
+  if (request.handler == nullptr) {
+    promise->set_value(Status::InvalidArgument("request has no handler"));
+    return future;
+  }
+
+  // Resolve the session BEFORE charging admission: requests for unknown or
+  // closed sessions resolve NotFound without ever occupying a queue slot, so
+  // a burst of misdirected submits cannot spuriously reject valid traffic
+  // (regression: NotFoundBurstDoesNotConsumeAdmission).
   std::shared_ptr<Session> session = FindSession(session_id);
   if (session == nullptr) {
     promise->set_value(Status::NotFound("no session '" + session_id + "'"));
@@ -70,20 +88,25 @@ std::future<Status> SessionServer::Submit(const std::string& session_id,
   }
 
   // Admission control: reject immediately at the bound instead of queueing
-  // unboundedly or blocking the caller.
+  // unboundedly or blocking the caller. Batch-priority requests admit
+  // against a lower bound, reserving headroom for interactive traffic.
+  size_t bound = request.priority == Priority::kBatch ? batch_admission_bound()
+                                                      : options_.queue_bound;
   size_t in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel);
-  if (in_flight >= options_.queue_bound) {
+  if (in_flight >= bound) {
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     metrics_.RecordRequestRejected();
     promise->set_value(Status::Unavailable(
-        "server at capacity (" + std::to_string(options_.queue_bound) +
-        " requests in flight); retry later"));
+        "server at capacity (" + std::to_string(in_flight) + " in flight, " +
+        (request.priority == Priority::kBatch ? "batch" : "interactive") +
+        " bound " + std::to_string(bound) + "); retry later"));
     return future;
   }
   metrics_.RecordQueueDepth(in_flight + 1);
 
   std::chrono::milliseconds effective_deadline =
-      deadline.count() > 0 ? deadline : options_.default_deadline;
+      request.deadline.count() > 0 ? request.deadline
+                                   : options_.default_deadline;
   std::chrono::steady_clock::time_point expires_at{};
   bool has_deadline = effective_deadline.count() > 0;
   if (has_deadline) {
@@ -91,7 +114,8 @@ std::future<Status> SessionServer::Submit(const std::string& session_id,
   }
 
   pool_.Submit([this, session = std::move(session),
-                handler = std::move(handler), access, has_deadline, expires_at,
+                handler = std::move(request.handler), access = request.access,
+                tag = std::move(request.tag), has_deadline, expires_at,
                 promise] {
     if (has_deadline && std::chrono::steady_clock::now() >= expires_at) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -117,21 +141,33 @@ std::future<Status> SessionServer::Submit(const std::string& session_id,
                         std::chrono::steady_clock::now() - start)
                         .count();
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    metrics_.RecordRequestComplete(micros);
+    metrics_.RecordRequestComplete(micros, tag);
     promise->set_value(std::move(status));
   });
   return future;
+}
+
+std::future<Status> SessionServer::Submit(const std::string& session_id,
+                                          Handler handler, Access access,
+                                          std::chrono::milliseconds deadline) {
+  Request request;
+  request.handler = std::move(handler);
+  request.access = access;
+  request.deadline = deadline;
+  return Submit(session_id, std::move(request));
 }
 
 Result<display::Displayable> SessionServer::EvaluateCanvas(
     const std::string& session_id, const std::string& canvas_name) {
   auto result = std::make_shared<Result<display::Displayable>>(
       Status::Internal("canvas evaluation did not run"));
-  std::future<Status> future =
-      Submit(session_id, [canvas_name, result](Session& session) {
-        *result = session.ui().EvaluateCanvas(canvas_name);
-        return result->status();
-      });
+  Request request;
+  request.handler = [canvas_name, result](Session& session) {
+    *result = session.ui().EvaluateCanvas(canvas_name);
+    return result->status();
+  };
+  request.tag = "evaluate_canvas";
+  std::future<Status> future = Submit(session_id, std::move(request));
   Status status = future.get();
   if (!status.ok()) return status;
   return std::move(*result);

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "dataflow/shared_memo_cache.h"
 #include "db/catalog.h"
 #include "display/displayable.h"
 #include "runtime/metrics.h"
@@ -64,7 +65,9 @@ class Session {
 ///  - Admission control is bounded and non-blocking: when `queue_bound`
 ///    requests are already in flight, Submit immediately resolves the
 ///    request with Status::Unavailable instead of queueing or blocking
-///    (backpressure is the caller's signal to retry later).
+///    (backpressure is the caller's signal to retry later). kBatch-priority
+///    requests admit against a lower bound (see Priority), reserving
+///    headroom for interactive traffic.
 ///  - A request carries an optional deadline, checked when a worker dequeues
 ///    it; an expired request resolves with Status::DeadlineExceeded without
 ///    running its handler.
@@ -74,16 +77,46 @@ class SessionServer {
   /// each other, kWrite handlers run exclusively.
   enum class Access { kRead, kWrite };
 
+  /// Scheduling class of a request. kInteractive (the default) may use the
+  /// full queue bound; kBatch requests are admitted only while in-flight
+  /// load stays below the batch bound (queue_bound minus a reserved
+  /// headroom of queue_bound/4), so background traffic can never starve
+  /// interactive clients of admission capacity.
+  enum class Priority { kInteractive, kBatch };
+
   struct Options {
     size_t num_threads = 4;
     /// Max requests accepted but not yet finished; beyond it Submit rejects.
     size_t queue_bound = 64;
     /// Applied to requests submitted without a deadline; zero = none.
     std::chrono::milliseconds default_deadline{0};
+    /// Capacity (in entries) of the cross-session SharedMemoCache wired into
+    /// every session's engine; 0 disables the shared tier, leaving sessions
+    /// with only their per-session memoization. See
+    /// dataflow/shared_memo_cache.h for the sharing argument.
+    size_t shared_cache_entries = 0;
   };
 
   /// A request body. The Status it returns is delivered through the future.
   using Handler = std::function<Status(Session&)>;
+
+  /// A typed request — the one Submit entry point. Replaces the old
+  /// positional (handler, access, deadline) signature, which could not grow
+  /// a field without breaking every call site.
+  struct Request {
+    /// The request body; must be non-null.
+    Handler handler;
+    /// Catalog access the handler needs (readers share, writers exclude).
+    Access access = Access::kRead;
+    /// Deadline measured from Submit; zero = Options::default_deadline.
+    std::chrono::milliseconds deadline{0};
+    /// Admission class (see Priority).
+    Priority priority = Priority::kInteractive;
+    /// Optional request-class label ("panzoom", "edit", ...). Nonempty tags
+    /// get their own latency histogram under "requests"."classes" in the
+    /// metrics JSON — the per-class breakdown bench_session_load reports.
+    std::string tag;
+  };
 
   /// `catalog` must outlive the server.
   explicit SessionServer(db::Catalog* catalog) : SessionServer(catalog, Options{}) {}
@@ -103,10 +136,19 @@ class SessionServer {
 
   size_t num_sessions() const;
 
-  /// Enqueues `handler` for `session_id`. Returns a future resolving to the
-  /// handler's Status — or Unavailable (rejected at the queue bound),
-  /// DeadlineExceeded (expired before a worker picked it up), or NotFound
-  /// (no such session). Never blocks.
+  /// Enqueues `request` for `session_id`. Returns a future resolving to the
+  /// handler's Status — or Unavailable (rejected at the admission bound for
+  /// the request's priority), DeadlineExceeded (expired before a worker
+  /// picked it up), or NotFound (no such session). Never blocks. Session
+  /// existence is checked before the request is charged against the
+  /// admission bound, so a burst of submits to unknown or closed sessions
+  /// cannot consume queue slots and spuriously reject valid traffic.
+  std::future<Status> Submit(const std::string& session_id, Request request);
+
+  /// DEPRECATED positional overload, kept for one release: forwards to the
+  /// Request overload with default priority and no tag. New code should
+  /// submit a Request — it is the only signature that carries priority and
+  /// the request-class tag.
   std::future<Status> Submit(const std::string& session_id, Handler handler,
                              Access access = Access::kRead,
                              std::chrono::milliseconds deadline =
@@ -122,12 +164,26 @@ class SessionServer {
   db::Catalog* catalog() { return catalog_; }
   const Options& options() const { return options_; }
 
+  /// The cross-session shared memo tier, or null when
+  /// Options::shared_cache_entries is 0.
+  dataflow::SharedMemoCache* shared_cache() { return shared_cache_.get(); }
+
+  /// The in-flight count a kBatch request must stay below to be admitted
+  /// (kInteractive admits up to the full queue_bound).
+  size_t batch_admission_bound() const {
+    return options_.queue_bound - options_.queue_bound / 4;
+  }
+
  private:
   std::shared_ptr<Session> FindSession(const std::string& id) const;
 
   db::Catalog* catalog_;
   Options options_;
   Metrics metrics_;
+
+  /// Cross-session stamp-keyed memo tier (null when disabled); attached to
+  /// every session's engine at OpenSession.
+  std::unique_ptr<dataflow::SharedMemoCache> shared_cache_;
 
   mutable std::mutex sessions_mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;

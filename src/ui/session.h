@@ -164,6 +164,15 @@ class Session {
 
   const dataflow::Graph& graph() const { return graph_; }
   dataflow::Engine& engine() { return engine_; }
+
+  /// Attaches a cross-session shared memo tier to this session's engine
+  /// (null detaches) — wired by runtime::SessionServer when its options
+  /// enable the shared tier, so canvases common to several sessions are
+  /// evaluated once. The pointee must outlive the session.
+  void set_shared_cache(dataflow::SharedMemoCache* shared) {
+    engine_.set_shared_cache(shared);
+  }
+
   db::Catalog* catalog() { return catalog_; }
   std::vector<std::string> ListTables() const { return catalog_->ListTables(); }
   std::vector<std::string> ListBoxTypes() const { return boxes::AllBoxTypes(); }

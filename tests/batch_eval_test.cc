@@ -42,16 +42,18 @@ using db::Tuple;
 using types::DataType;
 using types::Value;
 
-/// Restores the vectorized-execution toggle on scope exit.
+/// Restores the process-default execution policy on scope exit.
 class VectorizedGuard {
  public:
-  explicit VectorizedGuard(bool enabled) : saved_(db::VectorizedExecutionEnabled()) {
-    db::SetVectorizedExecutionEnabled(enabled);
+  explicit VectorizedGuard(bool enabled) : saved_(db::DefaultExecPolicy()) {
+    db::ExecPolicy policy = saved_;
+    policy.vectorized = enabled;
+    db::SetDefaultExecPolicy(policy);
   }
-  ~VectorizedGuard() { db::SetVectorizedExecutionEnabled(saved_); }
+  ~VectorizedGuard() { db::SetDefaultExecPolicy(saved_); }
 
  private:
-  bool saved_;
+  db::ExecPolicy saved_;
 };
 
 RelationPtr Mixed() {

@@ -157,5 +157,117 @@ TEST(RuntimeDeterminismTest, MorselFanOutMatchesSerialOnEveryFigProgram) {
   }
 }
 
+// Cross-session sharing: a stamp-keyed SharedMemoCache populated by one
+// environment's engine serves another environment's engine byte-identical
+// entries — in both directions between the serial Engine and the
+// ParallelEngine. An adopting serial engine fires ZERO boxes: every value
+// arrives through the shared tier, which is the §7 many-viewers convergence
+// claim in its strongest form. Demo data is seeded, so distinct
+// environments carry identical tables at identical versions and therefore
+// identical stamps.
+TEST(RuntimeDeterminismTest, SharedCacheParityOnEveryFigProgram) {
+  for (const FigProgram& program : AllFigPrograms()) {
+    SCOPED_TRACE(program.name);
+    // Reference: serial, no shared tier.
+    auto ref_env = BuildEnv(program);
+    ui::Session& ref_session = ref_env->session();
+    std::vector<Target> targets = TargetsOf(ref_session.graph());
+    std::map<std::string, std::string> expected;
+    for (const Target& t : targets) {
+      auto value =
+          ref_session.engine().Evaluate(ref_session.graph(), t.from, t.from_port);
+      ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+      expected[t.canvas] = FingerprintBoxValue(value.value());
+    }
+    std::map<std::string, std::optional<uint64_t>> expected_stamps;
+    for (const std::string& id : ref_session.graph().BoxIds()) {
+      expected_stamps[id] = ref_session.engine().cache().StampOf(id);
+    }
+
+    dataflow::SharedMemoCache shared(4096);
+    // Publisher: a serial engine fills the shared tier as it evaluates.
+    auto pub_env = BuildEnv(program);
+    ui::Session& pub_session = pub_env->session();
+    pub_session.set_shared_cache(&shared);
+    for (const Target& t : TargetsOf(pub_session.graph())) {
+      auto value =
+          pub_session.engine().Evaluate(pub_session.graph(), t.from, t.from_port);
+      ASSERT_TRUE(value.ok()) << t.canvas;
+      EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas));
+    }
+    ASSERT_GT(shared.stats().inserts, 0u);
+
+    // Serial adopter: every box resolves through the shared tier — zero
+    // fires — and outputs and stamps stay byte-identical.
+    auto serial_env = BuildEnv(program);
+    ui::Session& serial_session = serial_env->session();
+    serial_session.set_shared_cache(&shared);
+    for (const Target& t : TargetsOf(serial_session.graph())) {
+      auto value = serial_session.engine().Evaluate(serial_session.graph(),
+                                                    t.from, t.from_port);
+      ASSERT_TRUE(value.ok()) << t.canvas;
+      EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas))
+          << t.canvas;
+    }
+    EXPECT_EQ(serial_session.engine().stats().boxes_fired, 0u);
+    EXPECT_GT(serial_session.engine().stats().shared_hits, 0u);
+    for (const std::string& id : serial_session.graph().BoxIds()) {
+      EXPECT_EQ(serial_session.engine().cache().StampOf(id),
+                expected_stamps.at(id))
+          << id;
+    }
+
+    // Parallel adopter: the pool-driven engine adopts the same entries.
+    {
+      auto env = BuildEnv(program);
+      ui::Session& session = env->session();
+      runtime::ThreadPool pool(8);
+      runtime::ParallelEngine engine(session.catalog(), &pool);
+      engine.set_shared_cache(&shared);
+      for (const Target& t : TargetsOf(session.graph())) {
+        auto value = engine.Evaluate(session.graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas;
+        EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas))
+            << t.canvas;
+      }
+      EXPECT_EQ(engine.stats().boxes_fired, 0u);
+      EXPECT_GT(engine.stats().shared_hits, 0u);
+      for (const std::string& id : session.graph().BoxIds()) {
+        EXPECT_EQ(engine.cache().StampOf(id), expected_stamps.at(id)) << id;
+      }
+    }
+
+    // Reverse direction: a ParallelEngine populates a fresh shared tier and
+    // a serial engine adopts its entries without firing anything.
+    dataflow::SharedMemoCache reverse(4096);
+    auto par_env = BuildEnv(program);
+    {
+      ui::Session& session = par_env->session();
+      runtime::ThreadPool pool(8);
+      runtime::ParallelEngine engine(session.catalog(), &pool);
+      engine.set_shared_cache(&reverse);
+      for (const Target& t : TargetsOf(session.graph())) {
+        auto value = engine.Evaluate(session.graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas;
+        EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas));
+      }
+    }
+    {
+      auto env = BuildEnv(program);
+      ui::Session& session = env->session();
+      session.set_shared_cache(&reverse);
+      for (const Target& t : TargetsOf(session.graph())) {
+        auto value =
+            session.engine().Evaluate(session.graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas;
+        EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas))
+            << t.canvas;
+      }
+      EXPECT_EQ(session.engine().stats().boxes_fired, 0u);
+      EXPECT_GT(session.engine().stats().shared_hits, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace tioga2::testing

@@ -1,0 +1,297 @@
+// Lock-contention reproduction for the DESIGN.md §13 lock-free read paths:
+// sweeps shared-memo-cache lookup throughput and catalog name-resolution
+// throughput at 1 / 8 / 32 reader threads, comparing the epoch-reclaimed
+// lock-free structures against in-bench mutex/shared_mutex baselines that
+// model the pre-§13 synchronization (one mutex around the memo tier, a
+// readers-writer lock around the catalog).
+//
+//   bench_lock_contention [--ops=N] [--entries=N] [--tables=N]
+//                         [--smoke] [--out=PATH]
+//
+// --smoke shrinks the op counts for CI (scripts/check.sh `contention`) and
+// turns on the gate assertions: the JSON must be written, and the 8-thread
+// lock-free throughput must hold parity with 1 thread (margin below) —
+// i.e. adding readers must not collapse the structure back to serialized.
+// On a multi-core host the lock-free sweep separates further from the mutex
+// baseline as threads grow; on a 1-core container the gate is parity, since
+// time-slicing cannot add throughput. Emits bench_out/lock_contention.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "dataflow/memo_cache.h"
+#include "dataflow/shared_memo_cache.h"
+#include "db/catalog.h"
+#include "db/relation.h"
+#include "runtime/epoch.h"
+
+namespace tioga2::bench {
+namespace {
+
+/// Parity margin for the smoke gate: on one core, T threads time-slice one
+/// structure, so aggregate throughput should match one thread; the margin
+/// absorbs scheduler noise on a loaded CI box.
+constexpr double kSmokeParityMargin = 0.75;
+
+struct Config {
+  size_t ops_per_thread = 400000;
+  size_t entries = 4096;   // shared-cache population
+  size_t tables = 64;      // catalog population
+  bool smoke = false;
+  std::string out = "";
+};
+
+Config ParseFlags(int argc, char** argv) {
+  Config config;
+  auto value_of = [](const char* arg, const char* name) -> const char* {
+    size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') return arg + len + 1;
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = value_of(arg, "--ops")) {
+      config.ops_per_thread = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--entries")) {
+      config.entries = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--tables")) {
+      config.tables = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of(arg, "--out")) {
+      config.out = v;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      config.smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  if (config.smoke) {
+    config.ops_per_thread = 60000;
+    config.entries = 1024;
+    config.tables = 32;
+  }
+  if (config.out.empty()) config.out = OutDir() + "/lock_contention.json";
+  return config;
+}
+
+uint64_t Mix(uint64_t x) {
+  // splitmix64 finalizer: deterministic per-thread stamp sequence.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Runs `op` ops_per_thread times on each of `threads` threads; returns
+/// aggregate ops/second. `op(thread_index, i)` must consume its result into
+/// `sink` itself to defeat dead-code elimination.
+template <typename Op>
+double Sweep(size_t threads, size_t ops_per_thread, Op op) {
+  std::atomic<uint64_t> sink{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  auto start = std::chrono::steady_clock::now();
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t local = 0;
+      for (size_t i = 0; i < ops_per_thread; ++i) local += op(t, i);
+      sink.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& w : workers) w.join();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (sink.load() == ~uint64_t{0}) std::printf("(impossible)\n");
+  double total = static_cast<double>(threads) * static_cast<double>(ops_per_thread);
+  return seconds > 0 ? total / seconds : 0.0;
+}
+
+/// The pre-§13 memo tier in miniature: one mutex around an unordered_map,
+/// hit bookkeeping under the lock — what SharedMemoCache::Lookup used to do.
+class MutexMemoBaseline {
+ public:
+  void Insert(uint64_t stamp, dataflow::MemoCache::EntryPtr entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_[stamp] = std::move(entry);
+  }
+  dataflow::MemoCache::EntryPtr Lookup(uint64_t stamp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(stamp);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<uint64_t, dataflow::MemoCache::EntryPtr> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+struct SweepResult {
+  size_t threads = 0;
+  double lockfree_ops = 0;
+  double baseline_ops = 0;
+};
+
+std::string SweepJson(const std::vector<SweepResult>& rows) {
+  std::string json = "[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) json += ',';
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"threads\":%zu,\"lockfree_ops_per_sec\":%.0f,"
+                  "\"baseline_ops_per_sec\":%.0f}",
+                  rows[i].threads, rows[i].lockfree_ops, rows[i].baseline_ops);
+    json += buffer;
+  }
+  json += "]";
+  return json;
+}
+
+int Run(int argc, char** argv) {
+  Config config = ParseFlags(argc, argv);
+  ReportHeader("lock-contention (DESIGN.md §13)",
+               "read-dominated hot paths must scale with reader threads");
+  std::printf("  ops/thread=%zu entries=%zu tables=%zu%s\n",
+              config.ops_per_thread, config.entries, config.tables,
+              config.smoke ? " (smoke)" : "");
+
+  const std::vector<size_t> thread_counts = {1, 8, 32};
+  runtime::EpochDomain domain(128);
+
+  // ---- Workload 1: shared-memo lookup (hot path of every box eval) ----
+  dataflow::SharedMemoCache shared(config.entries, &domain);
+  MutexMemoBaseline baseline;
+  for (size_t s = 0; s < config.entries; ++s) {
+    auto entry = std::make_shared<dataflow::MemoCache::Entry>();
+    entry->stamp = Mix(s);
+    shared.Insert(entry);
+    baseline.Insert(entry->stamp, entry);
+  }
+
+  std::vector<SweepResult> memo;
+  for (size_t threads : thread_counts) {
+    SweepResult row;
+    row.threads = threads;
+    row.lockfree_ops =
+        Sweep(threads, config.ops_per_thread, [&](size_t t, size_t i) {
+          uint64_t stamp = Mix((t * 0x10001 + i) % config.entries);
+          return shared.Lookup(stamp) != nullptr ? 1u : 0u;
+        });
+    row.baseline_ops =
+        Sweep(threads, config.ops_per_thread, [&](size_t t, size_t i) {
+          uint64_t stamp = Mix((t * 0x10001 + i) % config.entries);
+          return baseline.Lookup(stamp) != nullptr ? 1u : 0u;
+        });
+    std::printf("  memo    %2zu threads: lock-free %12.0f ops/s | mutex %12.0f ops/s\n",
+                threads, row.lockfree_ops, row.baseline_ops);
+    memo.push_back(row);
+  }
+
+  // ---- Workload 2: catalog name resolution (stamp + fetch per request) ----
+  db::Catalog catalog;
+  catalog.set_reclamation_domain(&domain);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < config.tables; ++i) {
+    auto relation = db::MakeRelation({db::Column{"v", types::DataType::kInt}},
+                                     {{types::Value::Int(static_cast<int64_t>(i))}});
+    std::string name = "T" + std::to_string(i);
+    MustOk(catalog.RegisterTable(name, Must(std::move(relation), "relation")),
+           "RegisterTable");
+    names.push_back(name);
+  }
+  std::shared_mutex catalog_mu;  // models the old per-request reader lock
+
+  std::vector<SweepResult> resolve;
+  for (size_t threads : thread_counts) {
+    SweepResult row;
+    row.threads = threads;
+    // Lock-free: the SessionServer kRead path — one ReadPin, then the
+    // TableVersion + GetTable pair every TableBox evaluation performs.
+    row.lockfree_ops =
+        Sweep(threads, config.ops_per_thread, [&](size_t t, size_t i) {
+          const std::string& name = names[(t + i) % names.size()];
+          db::Catalog::ReadPin pin(catalog);
+          uint64_t version = catalog.TableVersion(name).value();
+          return catalog.GetTable(name).ok() ? (version != 0 ? 1u : 0u) : 0u;
+        });
+    // Baseline: the same reads under a shared_lock, as session_server.cc
+    // took before §13.
+    row.baseline_ops =
+        Sweep(threads, config.ops_per_thread, [&](size_t t, size_t i) {
+          const std::string& name = names[(t + i) % names.size()];
+          std::shared_lock<std::shared_mutex> lock(catalog_mu);
+          uint64_t version = catalog.TableVersion(name).value();
+          return catalog.GetTable(name).ok() ? (version != 0 ? 1u : 0u) : 0u;
+        });
+    std::printf("  catalog %2zu threads: lock-free %12.0f ops/s | rwlock %12.0f ops/s\n",
+                threads, row.lockfree_ops, row.baseline_ops);
+    resolve.push_back(row);
+  }
+
+  runtime::EpochDomain::Stats epoch = domain.stats();
+  std::string json = "{\"config\":{";
+  json += "\"ops_per_thread\":" + std::to_string(config.ops_per_thread);
+  json += ",\"entries\":" + std::to_string(config.entries);
+  json += ",\"tables\":" + std::to_string(config.tables);
+  json += ",\"smoke\":" + std::string(config.smoke ? "true" : "false");
+  json += ",\"hardware_threads\":" +
+          std::to_string(std::thread::hardware_concurrency());
+  json += "},\"memo_lookup\":" + SweepJson(memo);
+  json += ",\"catalog_resolve\":" + SweepJson(resolve);
+  json += ",\"epoch\":{\"pins\":" + std::to_string(epoch.pins);
+  json += ",\"advances\":" + std::to_string(epoch.advances);
+  json += ",\"retired\":" + std::to_string(epoch.retired);
+  json += ",\"reclaimed\":" + std::to_string(epoch.reclaimed);
+  json += ",\"overflow_pins\":" + std::to_string(epoch.overflow_pins) + "}";
+  json += "}";
+  std::ofstream out(config.out);
+  out << json << "\n";
+  out.close();
+  std::printf("  -> %s\n", config.out.c_str());
+
+  // Smoke assertions (scripts/check.sh `contention`).
+  int failures = 0;
+  if (config.smoke) {
+    auto gate = [&failures](const char* what, const std::vector<SweepResult>& rows) {
+      double one = rows[0].lockfree_ops;
+      double eight = rows[1].lockfree_ops;
+      if (eight < kSmokeParityMargin * one) {
+        std::fprintf(stderr,
+                     "SMOKE FAIL: %s 8-thread lock-free throughput %.0f < "
+                     "%.2f x 1-thread %.0f (collapsed to serialized)\n",
+                     what, eight, kSmokeParityMargin, one);
+        ++failures;
+      }
+    };
+    gate("memo_lookup", memo);
+    gate("catalog_resolve", resolve);
+    if (epoch.pins == 0) {
+      std::fprintf(stderr, "SMOKE FAIL: no epoch pins recorded\n");
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tioga2::bench
+
+int main(int argc, char** argv) { return tioga2::bench::Run(argc, argv); }

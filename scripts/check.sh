@@ -35,6 +35,16 @@
 #               handler errors, nonzero shared-cache hits, byte-identical
 #               cross-session outputs, and convergence within 2x
 #               single-session work; then validates the emitted JSON report.
+#   9. contention — a small-N run of the lock-contention harness
+#               (bench_lock_contention --smoke): sweeps the epoch-reclaimed
+#               lock-free memo-lookup and catalog-resolution paths at 1/8/32
+#               reader threads, asserting 8-thread throughput holds parity
+#               with 1 thread (readers must never re-serialize) and that
+#               epoch pins were actually taken; then validates the JSON.
+# The epoch-reclamation tests (epoch_test, incl. the reader/retire torture
+# case) run in the tsan, asan, AND ubsan passes: reclaim-while-pinned is a
+# use-after-free asan turns into a hard failure, and pin/advance ordering
+# bugs are races tsan reports.
 # Pass --fast to run tier 1 only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,27 +73,37 @@ else
   grep -q '"shared_on"' bench_out/session_load_smoke.json
 fi
 
-echo "== tsan: runtime + session server + morsel fan-out tests =="
+echo "== contention: lock-free read-path harness, small N =="
+cmake --build build -j --target bench_lock_contention
+build/bench/bench_lock_contention --smoke --out=bench_out/lock_contention.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool bench_out/lock_contention.json >/dev/null
+else
+  grep -q '"memo_lookup"' bench_out/lock_contention.json
+  grep -q '"catalog_resolve"' bench_out/lock_contention.json
+fi
+
+echo "== tsan: runtime + session server + epoch + morsel fan-out tests =="
 cmake -B build-tsan -S . -DTIOGA2_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target \
   runtime_test session_server_test runtime_determinism_test delta_update_test \
-  batch_eval_test
+  batch_eval_test epoch_test
 (cd build-tsan && ctest --output-on-failure \
-  -R 'runtime|session_server|delta_update|batch_eval')
+  -R 'runtime|session_server|delta_update|batch_eval|epoch')
 
-echo "== asan: columnar + batch evaluation tests =="
+echo "== asan: columnar + batch evaluation + epoch tests =="
 cmake -B build-asan -S . -DTIOGA2_ASAN=ON >/dev/null
 cmake --build build-asan -j --target \
-  columnar_test batch_eval_test operators_test display_relation_test
+  columnar_test batch_eval_test operators_test display_relation_test epoch_test
 (cd build-asan && ctest --output-on-failure \
-  -R 'columnar_test|batch_eval_test|operators_test|display_relation_test')
+  -R 'columnar_test|batch_eval_test|operators_test|display_relation_test|epoch_test')
 
-echo "== ubsan: join + operator tests =="
+echo "== ubsan: join + operator + epoch tests =="
 cmake -B build-ubsan -S . -DTIOGA2_UBSAN=ON >/dev/null
 cmake --build build-ubsan -j --target \
-  join_test operators_test columnar_test batch_eval_test
+  join_test operators_test columnar_test batch_eval_test epoch_test
 (cd build-ubsan && ctest --output-on-failure \
-  -R 'join_test|operators_test|columnar_test|batch_eval_test')
+  -R 'join_test|operators_test|columnar_test|batch_eval_test|epoch_test')
 
 echo "== recovery: storage snapshot/replay under tsan, crash injection under asan =="
 cmake --build build-tsan -j --target storage_test

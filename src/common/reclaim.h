@@ -1,0 +1,62 @@
+#ifndef TIOGA2_COMMON_RECLAIM_H_
+#define TIOGA2_COMMON_RECLAIM_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace tioga2::common {
+
+/// Safe-memory-reclamation seam for lock-free read paths. A reader *pins*
+/// the domain (RAII Guard) before dereferencing any pointer it loaded from a
+/// shared atomic; a writer that unlinks an object *retires* it here instead
+/// of deleting it, and the domain runs the deleter only once no pin taken
+/// out before the retirement can still be live. The concrete implementation
+/// is runtime::EpochDomain (epoch-based reclamation); this interface exists
+/// so that db:: and viewer:: structures can publish immutable snapshots and
+/// retire the old ones without depending on the runtime layer — the same
+/// layering rule as db::MorselRunner.
+///
+/// Contract:
+///  - Pin/Unpin must bracket every traversal of reclaimed-managed memory.
+///    Pins may nest freely (each Guard is independent) and may be held
+///    across blocking work, at the cost of delaying reclamation.
+///  - Retire may be called with or without a pin held. The deleter runs
+///    later, on whichever thread drives reclamation — it must not touch the
+///    retiring structure or call back into the domain.
+///  - A null domain pointer (the Guard accepts one) means "no concurrent
+///    readers exist": users fall back to deferred-until-destruction or
+///    immediate deletion, whichever their own contract allows.
+class ReclamationDomain {
+ public:
+  virtual ~ReclamationDomain() = default;
+
+  /// Pins the calling thread; returns an opaque ticket for Unpin.
+  virtual uint64_t Pin() = 0;
+  virtual void Unpin(uint64_t ticket) = 0;
+
+  /// Defers `deleter` until every pin that could have observed the retired
+  /// object has been released.
+  virtual void Retire(std::function<void()> deleter) = 0;
+
+  /// RAII pin. A null domain makes the guard a no-op, so call sites can be
+  /// written unconditionally.
+  class Guard {
+   public:
+    explicit Guard(ReclamationDomain* domain) : domain_(domain) {
+      if (domain_ != nullptr) ticket_ = domain_->Pin();
+    }
+    ~Guard() {
+      if (domain_ != nullptr) domain_->Unpin(ticket_);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    ReclamationDomain* domain_;
+    uint64_t ticket_ = 0;
+  };
+};
+
+}  // namespace tioga2::common
+
+#endif  // TIOGA2_COMMON_RECLAIM_H_

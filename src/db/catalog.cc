@@ -4,6 +4,51 @@
 
 namespace tioga2::db {
 
+namespace {
+/// Innermost live ReadPin on this thread (across all catalogs; each frame
+/// records which catalog it pins, so nested pins of different catalogs
+/// coexist).
+thread_local Catalog::ReadPin* tl_top_pin = nullptr;
+}  // namespace
+
+Catalog::Catalog() { snapshot_.store(new Snapshot(), std::memory_order_release); }
+
+Catalog::~Catalog() {
+  // Snapshots retired through a domain are deleted by the domain; only the
+  // currently-published one is still ours.
+  delete snapshot_.load(std::memory_order_acquire);
+}
+
+Catalog::ReadPin::ReadPin(const Catalog& catalog)
+    : catalog_(&catalog),
+      guard_(catalog.domain_),
+      snapshot_(catalog.snapshot_.load(std::memory_order_acquire)),
+      prev_(tl_top_pin) {
+  tl_top_pin = this;
+}
+
+Catalog::ReadPin::~ReadPin() { tl_top_pin = prev_; }
+
+const Catalog::Snapshot* Catalog::PinnedSnapshot() const {
+  for (ReadPin* pin = tl_top_pin; pin != nullptr; pin = pin->prev_) {
+    if (pin->catalog_ == this)
+      return static_cast<const Snapshot*>(pin->snapshot_);
+  }
+  return nullptr;
+}
+
+void Catalog::PublishSnapshot() {
+  const Snapshot* fresh = new Snapshot{tables_, programs_};
+  const Snapshot* old = snapshot_.exchange(fresh, std::memory_order_acq_rel);
+  if (domain_ != nullptr) {
+    domain_->Retire([old] { delete old; });
+  } else {
+    // No domain wired ⇒ no concurrent readers (the pre-snapshot contract):
+    // deleting inline keeps single-threaded use allocation-neutral.
+    delete old;
+  }
+}
+
 Status Catalog::RegisterTable(const std::string& name, RelationPtr relation) {
   if (name.empty()) return Status::InvalidArgument("table name must be non-empty");
   if (relation == nullptr) return Status::InvalidArgument("relation must be non-null");
@@ -15,6 +60,7 @@ Status Catalog::RegisterTable(const std::string& name, RelationPtr relation) {
   }
   auto [it, inserted] = tables_.emplace(name, TableEntry{std::move(relation), version});
   if (!inserted) return Status::AlreadyExists("table '" + name + "' already exists");
+  PublishSnapshot();
   if (listener_ != nullptr) {
     listener_->OnRegisterTable(name, it->second.relation, it->second.version);
   }
@@ -32,6 +78,7 @@ Status Catalog::ReplaceTable(const std::string& name, RelationPtr relation) {
   }
   it->second.relation = std::move(relation);
   ++it->second.version;
+  PublishSnapshot();
   if (listener_ != nullptr) {
     listener_->OnReplaceTable(name, it->second.relation, it->second.version);
   }
@@ -66,6 +113,7 @@ Result<TableDelta> Catalog::UpdateRow(const std::string& name, size_t row,
   it->second.relation = builder.Build();
   ++it->second.version;
   delta.new_version = it->second.version;
+  PublishSnapshot();
   if (listener_ != nullptr) {
     listener_->OnUpdateRow(delta, it->second.relation);
   }
@@ -80,36 +128,67 @@ Status Catalog::DropTable(const std::string& name) {
   uint64_t& floor = version_floors_[name];
   floor = std::max(floor, version_at_drop);
   tables_.erase(it);
+  PublishSnapshot();
   if (listener_ != nullptr) listener_->OnDropTable(name, version_at_drop);
   return Status::OK();
 }
 
 Result<RelationPtr> Catalog::GetTable(const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
-  return it->second.relation;
+  if (const Snapshot* pinned = PinnedSnapshot()) {
+    auto it = pinned->tables.find(name);
+    if (it == pinned->tables.end())
+      return Status::NotFound("no table named '" + name + "'");
+    return it->second.relation;
+  }
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  auto it = snap->tables.find(name);
+  if (it == snap->tables.end())
+    return Status::NotFound("no table named '" + name + "'");
+  return it->second.relation;  // shared_ptr copied while pinned
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  return tables_.find(name) != tables_.end();
+  if (const Snapshot* pinned = PinnedSnapshot())
+    return pinned->tables.count(name) > 0;
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  return snap->tables.count(name) > 0;
 }
 
 Result<uint64_t> Catalog::TableVersion(const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) return Status::NotFound("no table named '" + name + "'");
+  if (const Snapshot* pinned = PinnedSnapshot()) {
+    auto it = pinned->tables.find(name);
+    if (it == pinned->tables.end())
+      return Status::NotFound("no table named '" + name + "'");
+    return it->second.version;
+  }
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  auto it = snap->tables.find(name);
+  if (it == snap->tables.end())
+    return Status::NotFound("no table named '" + name + "'");
   return it->second.version;
 }
 
 std::vector<std::string> Catalog::ListTables() const {
   std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& [name, entry] : tables_) names.push_back(name);
+  if (const Snapshot* pinned = PinnedSnapshot()) {
+    names.reserve(pinned->tables.size());
+    for (const auto& [name, entry] : pinned->tables) names.push_back(name);
+    return names;
+  }
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  names.reserve(snap->tables.size());
+  for (const auto& [name, entry] : snap->tables) names.push_back(name);
   return names;
 }
 
 void Catalog::SaveProgram(const std::string& name, std::string serialized) {
   std::string& slot = programs_[name];
   slot = std::move(serialized);
+  PublishSnapshot();
   if (listener_ != nullptr) listener_->OnSaveProgram(name, slot);
 }
 
@@ -118,6 +197,7 @@ Status Catalog::RestoreTable(const std::string& name, RelationPtr relation,
   if (name.empty()) return Status::InvalidArgument("table name must be non-empty");
   if (relation == nullptr) return Status::InvalidArgument("relation must be non-null");
   tables_[name] = TableEntry{std::move(relation), version};
+  PublishSnapshot();
   return Status::OK();
 }
 
@@ -127,15 +207,31 @@ void Catalog::RestoreVersionFloor(const std::string& name, uint64_t version) {
 }
 
 Result<std::string> Catalog::GetProgram(const std::string& name) const {
-  auto it = programs_.find(name);
-  if (it == programs_.end()) return Status::NotFound("no program named '" + name + "'");
+  if (const Snapshot* pinned = PinnedSnapshot()) {
+    auto it = pinned->programs.find(name);
+    if (it == pinned->programs.end())
+      return Status::NotFound("no program named '" + name + "'");
+    return it->second;
+  }
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  auto it = snap->programs.find(name);
+  if (it == snap->programs.end())
+    return Status::NotFound("no program named '" + name + "'");
   return it->second;
 }
 
 std::vector<std::string> Catalog::ListPrograms() const {
   std::vector<std::string> names;
-  names.reserve(programs_.size());
-  for (const auto& [name, program] : programs_) names.push_back(name);
+  if (const Snapshot* pinned = PinnedSnapshot()) {
+    names.reserve(pinned->programs.size());
+    for (const auto& [name, program] : pinned->programs) names.push_back(name);
+    return names;
+  }
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  names.reserve(snap->programs.size());
+  for (const auto& [name, program] : snap->programs) names.push_back(name);
   return names;
 }
 

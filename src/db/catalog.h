@@ -1,11 +1,13 @@
 #ifndef TIOGA2_DB_CATALOG_H_
 #define TIOGA2_DB_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/reclaim.h"
 #include "common/result.h"
 #include "db/relation.h"
 
@@ -59,13 +61,60 @@ class CatalogListener {
 /// above it. (Without the floor, a recreated table would restart at version 1
 /// and a memo entry stamped against the old table's version 1 would be
 /// silently — and wrongly — considered fresh.)
+///
+/// Concurrency (DESIGN.md §13): every const read is served from an IMMUTABLE
+/// snapshot republished after each mutation, so readers never take a lock.
+/// Mutators are NOT internally synchronized against each other — the caller
+/// serializes them (SessionServer holds catalog_mu_ exclusively) — but a
+/// mutator may run concurrently with any number of readers: the old snapshot
+/// is retired through the wired ReclamationDomain, which delays its deletion
+/// until every pinned reader has moved on. Without a domain wired the old
+/// snapshot is deleted immediately, which is the pre-existing contract: no
+/// concurrent readers exist (single-threaded tests, recovery replay).
+///
+/// A multi-step read that must see ONE consistent catalog state — e.g. an
+/// evaluation that stamps against TableVersion and later fetches GetTable —
+/// brackets itself in a ReadPin, which pins the snapshot current at
+/// construction for every read on that thread until destruction. Reads
+/// outside any ReadPin pin per call, which is consistent enough for
+/// single-shot queries and gives read-your-writes to mutating threads (the
+/// mutation republished the snapshot before returning).
 class Catalog {
  public:
-  Catalog() = default;
+  Catalog();
+  ~Catalog();
 
   // Catalogs are identity objects shared by reference.
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
+
+  /// Wires the reclamation domain readers pin and retired snapshots pass
+  /// through. Must be called before the first concurrent read; the domain
+  /// must outlive the catalog.
+  void set_reclamation_domain(common::ReclamationDomain* domain) {
+    domain_ = domain;
+  }
+
+  /// Pins the snapshot current at construction for EVERY read this thread
+  /// makes on this catalog until destruction (frames nest; the innermost
+  /// pin for a given catalog wins). The SessionServer brackets each
+  /// Access::kRead handler in one, so stamping (TableVersion) and fetching
+  /// (GetTable) cannot straddle a concurrent writer's publish — the lock-free
+  /// replacement for holding a reader lock across the whole request.
+  class ReadPin {
+   public:
+    explicit ReadPin(const Catalog& catalog);
+    ~ReadPin();
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+
+   private:
+    friend class Catalog;
+    const Catalog* catalog_;
+    common::ReclamationDomain::Guard guard_;
+    const void* snapshot_;  // const Snapshot*, typed inside catalog.cc
+    ReadPin* prev_;         // enclosing frame (thread-local stack)
+  };
 
   /// Registers a new table; fails if the name is taken.
   Status RegisterTable(const std::string& name, RelationPtr relation);
@@ -112,6 +161,7 @@ class Catalog {
   void SetListener(CatalogListener* listener) { listener_ = listener; }
 
   /// The per-name version floors recorded by DropTable (see class comment).
+  /// Write-side state: call only while holding the writer's exclusive lock.
   const std::map<std::string, uint64_t>& version_floors() const {
     return version_floors_;
   }
@@ -137,11 +187,35 @@ class Catalog {
     RelationPtr relation;
     uint64_t version = 1;
   };
+  /// The immutable unit of publication: a full copy of the read-visible
+  /// state. Cheap to build — relations are shared by pointer, only the maps
+  /// are copied — and mutation rates are human-interaction rates.
+  struct Snapshot {
+    std::map<std::string, TableEntry> tables;
+    std::map<std::string, std::string> programs;
+  };
+
+  /// Copies the write-side maps into a fresh snapshot, publishes it, and
+  /// retires (or, with no domain, deletes) the old one. Called at the end of
+  /// every mutator, on the mutating thread.
+  void PublishSnapshot();
+
+  /// The snapshot reads on this thread should use: the innermost ReadPin's
+  /// if one is live for this catalog, else null (caller pins per call).
+  const Snapshot* PinnedSnapshot() const;
+
+  common::ReclamationDomain* domain_ = nullptr;
+
+  // Write-side authoritative state; mutators read and update these directly
+  // (serialized by the caller), readers never touch them.
   std::map<std::string, TableEntry> tables_;
   std::map<std::string, std::string> programs_;
   /// name -> version the table had when it was last dropped.
   std::map<std::string, uint64_t> version_floors_;
   CatalogListener* listener_ = nullptr;
+
+  /// Read-side published state (release store, acquire load; never null).
+  std::atomic<const Snapshot*> snapshot_;
 };
 
 }  // namespace tioga2::db

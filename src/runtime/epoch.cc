@@ -1,0 +1,155 @@
+#include "runtime/epoch.h"
+
+#include <thread>
+
+namespace tioga2::runtime {
+
+namespace {
+
+/// A per-thread starting slot so concurrent pinners land on distinct cache
+/// lines instead of all CASing slot 0. Updated to the slot actually claimed,
+/// so a thread that pins repeatedly hits its last slot first.
+thread_local size_t tl_slot_hint =
+    std::hash<std::thread::id>{}(std::this_thread::get_id());
+
+}  // namespace
+
+EpochDomain::EpochDomain(size_t num_slots)
+    : num_slots_(num_slots == 0 ? 1 : num_slots),
+      slots_(new Slot[num_slots == 0 ? 1 : num_slots]) {}
+
+EpochDomain::~EpochDomain() {
+  // No pins may be live (contract); every pending deleter is safe to run.
+  for (Retired& retired : limbo_) {
+    retired.deleter();
+    reclaimed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  limbo_.clear();
+}
+
+uint64_t EpochDomain::Pin() {
+  pins_.fetch_add(1, std::memory_order_relaxed);
+  size_t start = tl_slot_hint % num_slots_;
+  for (size_t n = 0; n < num_slots_; ++n) {
+    size_t i = (start + n) % num_slots_;
+    uint64_t expected = kSlotFree;
+    uint64_t e = epoch_.load();
+    if (!slots_[i].state.compare_exchange_strong(expected, e)) continue;
+    // Confirm loop: the slot must hold the epoch that is CURRENT after the
+    // slot became visible. Without it, a pin that published a stale epoch
+    // could slip past an in-flight advance's slot scan and then dereference
+    // an already-reclaimed object (the classic late-pin race). Sequentially
+    // consistent store/load keeps the publication and the confirm ordered.
+    while (true) {
+      uint64_t current = epoch_.load();
+      if (current == e) break;
+      slots_[i].state.store(current);
+      e = current;
+    }
+    tl_slot_hint = i;
+    return i;
+  }
+  // Every slot occupied: fall back to a shared lock. TryAdvance needs the
+  // exclusive side, so this pin blocks advancement — reclamation is delayed,
+  // never unsafe — and the lock acquisition provides the happens-before
+  // edge that makes everything already unlinked visible to this reader.
+  overflow_pins_.fetch_add(1, std::memory_order_relaxed);
+  fallback_mu_.lock_shared();
+  return kOverflowTicket;
+}
+
+void EpochDomain::Unpin(uint64_t ticket) {
+  if (ticket == kOverflowTicket) {
+    fallback_mu_.unlock_shared();
+  } else {
+    slots_[ticket].state.store(kSlotFree);
+  }
+  // Opportunistically drain the limbo list once the last reader leaves a
+  // quiescent structure; skipped whenever a writer already holds the lock.
+  if (pending_.load(std::memory_order_relaxed) > 0) MaybeAdvanceNonBlocking();
+}
+
+void EpochDomain::Retire(std::function<void()> deleter) {
+  std::vector<std::function<void()>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    limbo_.push_back(Retired{epoch_.load(), std::move(deleter)});
+    retired_.fetch_add(1, std::memory_order_relaxed);
+    TryAdvanceLocked();
+    TakeReclaimableLocked(&ready);
+    pending_.store(limbo_.size(), std::memory_order_relaxed);
+  }
+  // Deleters run outside mu_ — they may free arbitrarily large structures
+  // and must never deadlock a concurrent Retire.
+  for (auto& run : ready) run();
+}
+
+bool EpochDomain::TryAdvance() {
+  std::vector<std::function<void()>> ready;
+  bool advanced;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    advanced = TryAdvanceLocked();
+    TakeReclaimableLocked(&ready);
+    pending_.store(limbo_.size(), std::memory_order_relaxed);
+  }
+  for (auto& run : ready) run();
+  return advanced;
+}
+
+void EpochDomain::MaybeAdvanceNonBlocking() {
+  std::vector<std::function<void()>> ready;
+  {
+    std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock()) return;
+    TryAdvanceLocked();
+    TakeReclaimableLocked(&ready);
+    pending_.store(limbo_.size(), std::memory_order_relaxed);
+  }
+  for (auto& run : ready) run();
+}
+
+bool EpochDomain::TryAdvanceLocked() {
+  std::unique_lock<std::shared_mutex> overflow(fallback_mu_, std::try_to_lock);
+  if (!overflow.owns_lock()) return false;  // an overflow pin is live
+  uint64_t e = epoch_.load();
+  for (size_t i = 0; i < num_slots_; ++i) {
+    uint64_t state = slots_[i].state.load();
+    // A reader pinned at the current epoch cannot hold anything retired at
+    // e-1 or earlier, so it does not block the advance; a reader at an
+    // older epoch might, and does.
+    if (state != kSlotFree && state != e) return false;
+  }
+  epoch_.store(e + 1);
+  advances_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EpochDomain::TakeReclaimableLocked(
+    std::vector<std::function<void()>>* ready) {
+  uint64_t e = epoch_.load();
+  while (!limbo_.empty() && limbo_.front().epoch + 2 <= e) {
+    ready->push_back(std::move(limbo_.front().deleter));
+    limbo_.pop_front();
+    reclaimed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+EpochDomain::Stats EpochDomain::stats() const {
+  Stats stats;
+  stats.epoch = epoch_.load();
+  stats.advances = advances_.load(std::memory_order_relaxed);
+  stats.retired = retired_.load(std::memory_order_relaxed);
+  stats.reclaimed = reclaimed_.load(std::memory_order_relaxed);
+  stats.pending = pending_.load(std::memory_order_relaxed);
+  stats.pins = pins_.load(std::memory_order_relaxed);
+  stats.overflow_pins = overflow_pins_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+EpochDomain& EpochDomain::Global() {
+  static EpochDomain* domain = new EpochDomain();  // never destroyed
+  return *domain;
+}
+
+}  // namespace tioga2::runtime

@@ -1,0 +1,125 @@
+#ifndef TIOGA2_RUNTIME_EPOCH_H_
+#define TIOGA2_RUNTIME_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/reclaim.h"
+
+namespace tioga2::runtime {
+
+/// Epoch-based reclamation (EBR), the memory-reclamation half of the
+/// lock-free read paths (DESIGN.md §13). The classic three-phase scheme:
+///
+///  - A global epoch counter only ever moves forward.
+///  - A reader pins itself into one of `num_slots` cache-line-padded slots,
+///    recording the epoch it entered at (Pin confirms the epoch after
+///    publishing the slot, closing the late-pin race against a concurrent
+///    advance). While pinned it may dereference any pointer it loads from a
+///    managed atomic.
+///  - A writer that unlinks an object calls Retire; the deleter is tagged
+///    with the current epoch and parked on a limbo list.
+///  - The epoch advances from E to E+1 only when every pinned slot is at E
+///    (TryAdvance); an object retired at epoch e is reclaimed once the
+///    global epoch reaches e+2, because by then every pin that could have
+///    loaded the object before it was unlinked has been released.
+///
+/// Writers are expected to be rare: Retire and TryAdvance serialize on a
+/// mutex, and Retire drives advancement and reclamation inline so no
+/// background thread is needed. Readers never block: Pin is a CAS into a
+/// hashed slot (plus an epoch confirm), Unpin a store. If every slot is
+/// occupied — more concurrent pins than slots — Pin falls back to a shared
+/// lock that simply blocks advancement until released; reclamation is
+/// delayed, never unsafe.
+///
+/// The Global() domain is the one the SessionServer wires into the catalog,
+/// the shared memo tier, and the canvas registries; it is never destroyed,
+/// so retired objects whose deleters have not yet run are reclaimed by a
+/// later Retire/TryAdvance rather than lost.
+class EpochDomain final : public common::ReclamationDomain {
+ public:
+  /// Counter snapshot, surfaced through runtime::Metrics JSON ("epoch").
+  struct Stats {
+    uint64_t epoch = 0;       ///< current global epoch
+    uint64_t advances = 0;    ///< successful epoch advances
+    uint64_t retired = 0;     ///< objects handed to Retire
+    uint64_t reclaimed = 0;   ///< deleters actually run
+    uint64_t pending = 0;     ///< retired - reclaimed (limbo size)
+    uint64_t pins = 0;        ///< total Pin calls
+    uint64_t overflow_pins = 0;  ///< pins that hit the slot-exhaustion fallback
+  };
+
+  explicit EpochDomain(size_t num_slots = 128);
+  /// Runs every pending deleter. By contract no pins are live at this point.
+  ~EpochDomain() override;
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // common::ReclamationDomain
+  uint64_t Pin() override;
+  void Unpin(uint64_t ticket) override;
+  void Retire(std::function<void()> deleter) override;
+
+  /// Attempts one epoch advance and reclaims whatever became safe. Returns
+  /// true iff the epoch moved. Retire calls this inline; tests call it to
+  /// drive reclamation deterministically.
+  bool TryAdvance();
+
+  Stats stats() const;
+
+  /// The process-wide domain every server-wired structure shares.
+  static EpochDomain& Global();
+
+ private:
+  struct alignas(64) Slot {
+    /// kSlotFree, or the epoch the occupying reader pinned at (>= kFirstEpoch).
+    std::atomic<uint64_t> state{0};
+  };
+  struct Retired {
+    uint64_t epoch;
+    std::function<void()> deleter;
+  };
+
+  static constexpr uint64_t kSlotFree = 0;
+  static constexpr uint64_t kFirstEpoch = 2;
+  static constexpr uint64_t kOverflowTicket = ~uint64_t{0};
+
+  /// Advances the epoch if every pinned slot is at the current one and no
+  /// overflow pin is live. Caller holds mu_.
+  bool TryAdvanceLocked();
+  /// Moves every limbo entry whose epoch is <= current-2 into `ready`.
+  /// Caller holds mu_; deleters run after mu_ is released.
+  void TakeReclaimableLocked(std::vector<std::function<void()>>* ready);
+  /// Unpin's cheap path: advance/reclaim only if the lock is free.
+  void MaybeAdvanceNonBlocking();
+
+  const size_t num_slots_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> epoch_{kFirstEpoch};
+
+  /// Slot-exhaustion fallback: overflow pins hold it shared; TryAdvance
+  /// try-locks it exclusively, so any live overflow pin blocks advancement
+  /// (and therefore reclamation) with full happens-before edges.
+  std::shared_mutex fallback_mu_;
+
+  mutable std::mutex mu_;  // limbo list + advancement (writer side)
+  std::deque<Retired> limbo_;
+
+  std::atomic<uint64_t> advances_{0};
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> pins_{0};
+  std::atomic<uint64_t> overflow_pins_{0};
+};
+
+}  // namespace tioga2::runtime
+
+#endif  // TIOGA2_RUNTIME_EPOCH_H_

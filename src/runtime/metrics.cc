@@ -7,9 +7,36 @@
 #include "dataflow/shared_memo_cache.h"
 #include "expr/batch.h"
 #include "expr/simd/simd.h"
+#include "runtime/epoch.h"
 #include "storage/storage_metrics.h"
 
 namespace tioga2::runtime {
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 namespace {
 
@@ -44,7 +71,11 @@ double LatencyHistogram::QuantileUpperBoundMicros(double q) const {
   for (size_t i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];
     if (seen >= rank) {
-      return i == 0 ? 1.0 : std::pow(2.0, static_cast<double>(i));
+      double bound = i == 0 ? 1.0 : std::pow(2.0, static_cast<double>(i));
+      // The bucket upper bound can exceed the largest observation (a 1100 µs
+      // max lands in the [1024, 2048) bucket, whose bound is 2048); clamping
+      // keeps every reported quantile <= max_us in the JSON.
+      return std::min(bound, max_micros_);
     }
   }
   return max_micros_;
@@ -156,6 +187,14 @@ MetricsSnapshot Metrics::snapshot() const {
   snap.snapshots_written = stor.snapshots_written.load();
   snap.snapshot_ms = static_cast<double>(stor.snapshot_us_last.load()) / 1000.0;
   snap.recovery_ms = static_cast<double>(stor.recovery_us_last.load()) / 1000.0;
+  EpochDomain::Stats epoch = EpochDomain::Global().stats();
+  snap.epoch_current = epoch.epoch;
+  snap.epoch_advances = epoch.advances;
+  snap.epoch_retired = epoch.retired;
+  snap.epoch_reclaimed = epoch.reclaimed;
+  snap.epoch_pending = epoch.pending;
+  snap.epoch_pins = epoch.pins;
+  snap.epoch_overflow_pins = epoch.overflow_pins;
   return snap;
 }
 
@@ -175,7 +214,7 @@ std::string Metrics::ToJson() const {
     for (const auto& [tag, histogram] : request_classes_) {
       if (!first_class) json += ',';
       first_class = false;
-      json += "\"" + tag + "\":" + histogram.ToJson();
+      json += "\"" + EscapeJsonString(tag) + "\":" + histogram.ToJson();
     }
   }
   json += "}}";
@@ -198,7 +237,7 @@ std::string Metrics::ToJson() const {
   for (const auto& [type, histogram] : box_fires_) {
     if (!first) json += ',';
     first = false;
-    json += "\"" + type + "\":" + histogram.ToJson();
+    json += "\"" + EscapeJsonString(type) + "\":" + histogram.ToJson();
   }
   json += "}";
   const expr::BatchMetrics& batch = expr::BatchMetrics::Global();
@@ -262,6 +301,16 @@ std::string Metrics::ToJson() const {
           FormatDouble(static_cast<double>(stor.recovery_us_last.load()) / 1000.0);
   json += ",\"recovery_records_replayed\":" +
           std::to_string(stor.recovery_records_replayed.load());
+  json += "}";
+  EpochDomain::Stats epoch = EpochDomain::Global().stats();
+  json += ",\"epoch\":{";
+  json += "\"epoch\":" + std::to_string(epoch.epoch);
+  json += ",\"advances\":" + std::to_string(epoch.advances);
+  json += ",\"retired\":" + std::to_string(epoch.retired);
+  json += ",\"reclaimed\":" + std::to_string(epoch.reclaimed);
+  json += ",\"pending\":" + std::to_string(epoch.pending);
+  json += ",\"pins\":" + std::to_string(epoch.pins);
+  json += ",\"overflow_pins\":" + std::to_string(epoch.overflow_pins);
   json += "}}";
   return json;
 }

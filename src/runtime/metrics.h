@@ -13,6 +13,13 @@ class SharedMemoCache;  // dataflow/shared_memo_cache.h
 
 namespace tioga2::runtime {
 
+/// Escapes `s` for embedding inside a JSON string literal: backslash, double
+/// quote, and control characters (U+0000..U+001F, as \n/\t/... or \u00XX).
+/// Every DYNAMIC key or value interpolated into hand-built JSON — request
+/// tags, box-type names — must pass through here; a tag containing `"` would
+/// otherwise split the key and corrupt the whole document.
+std::string EscapeJsonString(const std::string& s);
+
 /// A log2-bucketed latency histogram (microseconds). Bucket i counts
 /// observations in [2^(i-1), 2^i) µs; the first bucket is [0, 1) µs and the
 /// last absorbs everything beyond. Cheap enough to record per box firing.
@@ -30,7 +37,9 @@ class LatencyHistogram {
   }
 
   /// Upper bound of the bucket containing the q-quantile (q in [0, 1]) —
-  /// a coarse but monotone percentile estimate.
+  /// a coarse but monotone percentile estimate, clamped to max_micros() so
+  /// a reported quantile can never exceed the largest observation (the raw
+  /// bucket bound 2^i can).
   double QuantileUpperBoundMicros(double q) const;
 
   /// {"count":N,"mean_us":...,"max_us":...,"p50_us":...,"p99_us":...,
@@ -85,6 +94,15 @@ struct MetricsSnapshot {
   uint64_t snapshots_written = 0;
   double snapshot_ms = 0.0;
   double recovery_ms = 0.0;
+  // Epoch-based reclamation (runtime::EpochDomain::Global()), copied at
+  // snapshot time: the process-wide domain behind every lock-free read path.
+  uint64_t epoch_current = 0;
+  uint64_t epoch_advances = 0;
+  uint64_t epoch_retired = 0;
+  uint64_t epoch_reclaimed = 0;
+  uint64_t epoch_pending = 0;
+  uint64_t epoch_pins = 0;
+  uint64_t epoch_overflow_pins = 0;
 };
 
 /// The observability surface of the runtime: per-box-type fire latency

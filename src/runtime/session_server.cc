@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "runtime/epoch.h"
+
 namespace tioga2::runtime {
 
 Result<viewer::Viewer*> Session::GetViewer(const std::string& canvas_name) {
@@ -22,14 +24,25 @@ SessionServer::SessionServer(db::Catalog* catalog, Options options)
     : catalog_(catalog),
       options_(options),
       pool_(options.num_threads == 0 ? 1 : options.num_threads) {
+  // Every lock-free read structure the server touches shares the process
+  // EpochDomain: one Guard pin covers the catalog snapshot, the shared memo
+  // table, and the canvas registries alike.
+  catalog_->set_reclamation_domain(&EpochDomain::Global());
   if (options_.shared_cache_entries > 0) {
     shared_cache_ = std::make_unique<dataflow::SharedMemoCache>(
-        options_.shared_cache_entries);
+        options_.shared_cache_entries, &EpochDomain::Global());
     metrics_.AttachSharedCache(shared_cache_.get());
   }
 }
 
-SessionServer::~SessionServer() = default;
+SessionServer::~SessionServer() {
+  // pool_ is declared last, so its destructor — which drains every queued
+  // task — runs right after this body. Queued request lambdas observe the
+  // flag and resolve Unavailable without touching handlers or metrics state
+  // mid-teardown; in-flight handlers (already past the check) finish first
+  // because the drain joins the workers.
+  shutting_down_.store(true, std::memory_order_release);
+}
 
 Result<std::string> SessionServer::OpenSession(const std::string& id) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -44,6 +57,7 @@ Result<std::string> SessionServer::OpenSession(const std::string& id) {
   // Sessions viewing the same canvas share identical box subgraphs; the
   // shared tier lets the second session reuse the first one's evaluations.
   if (shared_cache_ != nullptr) session->ui().set_shared_cache(shared_cache_.get());
+  session->ui().set_reclamation_domain(&EpochDomain::Global());
   sessions_[session_id] = std::move(session);
   return session_id;
 }
@@ -117,6 +131,15 @@ std::future<Status> SessionServer::Submit(const std::string& session_id,
                 handler = std::move(request.handler), access = request.access,
                 tag = std::move(request.tag), has_deadline, expires_at,
                 promise] {
+    // A destroyed server drains its queue through here: resolve instead of
+    // running the handler against half-torn-down state, and never drop the
+    // promise (a broken promise would throw std::future_error at the
+    // caller's future.get()).
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      promise->set_value(Status::Unavailable("server shutting down"));
+      return;
+    }
     if (has_deadline && std::chrono::steady_clock::now() >= expires_at) {
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
       metrics_.RecordRequestTimedOut();
@@ -127,13 +150,17 @@ std::future<Status> SessionServer::Submit(const std::string& session_id,
     auto start = std::chrono::steady_clock::now();
     Status status;
     {
-      // One client at a time per session; readers-writer over the catalog.
+      // One client at a time per session. Writers serialize on catalog_mu_;
+      // readers take no lock at all — the ReadPin pins one epoch-protected
+      // catalog snapshot for the whole handler, so every TableVersion /
+      // GetTable pair inside sees the same catalog state even while a
+      // writer publishes a new one.
       std::lock_guard<std::mutex> session_lock(session->mu_);
       if (access == Access::kWrite) {
         std::unique_lock<std::shared_mutex> catalog_lock(catalog_mu_);
         status = handler(*session);
       } else {
-        std::shared_lock<std::shared_mutex> catalog_lock(catalog_mu_);
+        db::Catalog::ReadPin pin(*catalog_);
         status = handler(*session);
       }
     }

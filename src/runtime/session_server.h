@@ -55,13 +55,18 @@ class Session {
 /// catalog — the runtime for the paper's multi-user picture (§7: several
 /// viewers, possibly several users, over the same database).
 ///
-/// Concurrency policy:
+/// Concurrency policy (DESIGN.md §13):
 ///  - Distinct sessions run concurrently; requests within one session are
 ///    serialized by the session's mutex (a client is a single logical
 ///    thread).
-///  - The shared catalog is guarded by a readers-writer lock: Access::kRead
-///    handlers (evaluation, rendering) share it; Access::kWrite handlers
-///    (§8 updates via ReplaceTable) take it exclusively.
+///  - Access::kRead handlers never take a lock on the shared catalog: they
+///    run inside a db::Catalog::ReadPin, which pins one immutable catalog
+///    snapshot (epoch-reclaimed through runtime::EpochDomain::Global()) for
+///    the whole handler, so stamping and table fetches cannot straddle a
+///    concurrent writer's publish. Access::kWrite handlers (§8 updates via
+///    ReplaceTable) still take catalog_mu_ exclusively — the lock now only
+///    serializes writers against each other, since the catalog's mutators
+///    are not internally synchronized.
 ///  - Admission control is bounded and non-blocking: when `queue_bound`
 ///    requests are already in flight, Submit immediately resolves the
 ///    request with Status::Unavailable instead of queueing or blocking
@@ -189,11 +194,19 @@ class SessionServer {
   std::map<std::string, std::shared_ptr<Session>> sessions_;
   uint64_t next_session_ = 1;
 
-  /// Readers-writer lock over the shared catalog (kRead vs kWrite handlers).
+  /// Serializes Access::kWrite handlers against each other. kRead handlers
+  /// no longer touch it — they read epoch-pinned catalog snapshots (see the
+  /// class comment) — so this is a writer-writer lock in all but type.
   std::shared_mutex catalog_mu_;
 
   /// Requests accepted but not yet finished (admission control).
   std::atomic<size_t> in_flight_{0};
+
+  /// Set by the destructor before pool_ drains: queued requests that have
+  /// not started resolve Unavailable("server shutting down") instead of
+  /// running their handlers (or, worse, being dropped with a broken
+  /// promise). Requests already executing finish normally.
+  std::atomic<bool> shutting_down_{false};
 
   /// Declared last so it is destroyed FIRST: the destructor drains queued
   /// requests and joins the workers while every other member is still alive.

@@ -2,41 +2,70 @@
 
 namespace tioga2::viewer {
 
+CanvasRegistry::CanvasRegistry() {
+  snapshot_.store(new Snapshot(), std::memory_order_release);
+}
+
+CanvasRegistry::~CanvasRegistry() {
+  for (const Snapshot* old : parked_) delete old;
+  delete snapshot_.load(std::memory_order_acquire);
+}
+
+void CanvasRegistry::PublishLocked(const Snapshot* fresh) {
+  const Snapshot* old = snapshot_.exchange(fresh, std::memory_order_acq_rel);
+  if (domain_ != nullptr) {
+    domain_->Retire([old] { delete old; });
+  } else {
+    // No domain ⇒ a concurrent reader may still exist (tests exercise the
+    // registry bare); park the snapshot instead of guessing quiescence.
+    parked_.push_back(old);
+  }
+}
+
 void CanvasRegistry::Register(const std::string& name, Provider provider) {
   std::lock_guard<std::mutex> lock(mu_);
-  providers_[name] = std::move(provider);
+  auto* fresh = new Snapshot(*snapshot_.load(std::memory_order_relaxed));
+  (*fresh)[name] = std::move(provider);
+  PublishLocked(fresh);
 }
 
 void CanvasRegistry::Unregister(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  providers_.erase(name);
+  const Snapshot* current = snapshot_.load(std::memory_order_relaxed);
+  if (current->find(name) == current->end()) return;  // idempotent, no churn
+  auto* fresh = new Snapshot(*current);
+  fresh->erase(name);
+  PublishLocked(fresh);
 }
 
 Result<display::Displayable> CanvasRegistry::Resolve(const std::string& name) const {
   Provider provider;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = providers_.find(name);
-    if (it == providers_.end()) {
+    common::ReclamationDomain::Guard guard(domain_);
+    const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+    auto it = snap->find(name);
+    if (it == snap->end()) {
       return Status::NotFound("no canvas named '" + name + "'");
     }
-    provider = it->second;
+    provider = it->second;  // copied out while pinned
   }
-  // Invoked outside the lock: the provider evaluates through the engine, and
+  // Invoked outside the pin: the provider evaluates through the engine, and
   // rendering a wormhole re-enters Resolve for the destination canvas.
   return provider();
 }
 
 bool CanvasRegistry::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return providers_.find(name) != providers_.end();
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
+  return snap->find(name) != snap->end();
 }
 
 std::vector<std::string> CanvasRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::ReclamationDomain::Guard guard(domain_);
+  const Snapshot* snap = snapshot_.load(std::memory_order_acquire);
   std::vector<std::string> names;
-  names.reserve(providers_.size());
-  for (const auto& [name, provider] : providers_) names.push_back(name);
+  names.reserve(snap->size());
+  for (const auto& [name, provider] : *snap) names.push_back(name);
   return names;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "boxes/relational_boxes.h"
+#include "runtime/epoch.h"
 #include "runtime/parallel_engine.h"
 #include "runtime/thread_pool.h"
 #include "testing/fig_programs.h"
@@ -266,6 +267,64 @@ TEST(RuntimeDeterminismTest, SharedCacheParityOnEveryFigProgram) {
       EXPECT_EQ(session.engine().stats().boxes_fired, 0u);
       EXPECT_GT(session.engine().stats().shared_hits, 0u);
     }
+  }
+}
+
+// Epoch-reclaimed shared tier parity: a deliberately tiny shared cache wired
+// to its own EpochDomain evicts on nearly every insert — retiring nodes and
+// tombstone-compacted tables through the domain, with TryAdvance reclaiming
+// them between rounds — while three successive environments evaluate every
+// fig program through it. Outputs and stamps must stay byte-identical to
+// the no-cache reference: eviction, retirement, and reclamation only move
+// memory, never values. This is the determinism half of the DESIGN.md §13
+// byte-identity claim (the torture half lives in session_server_test).
+TEST(RuntimeDeterminismTest, EpochReclaimedSharedCacheParityOnEveryFigProgram) {
+  for (const FigProgram& program : AllFigPrograms()) {
+    SCOPED_TRACE(program.name);
+    auto ref_env = BuildEnv(program);
+    ui::Session& ref_session = ref_env->session();
+    std::vector<Target> targets = TargetsOf(ref_session.graph());
+    std::map<std::string, std::string> expected;
+    for (const Target& t : targets) {
+      auto value =
+          ref_session.engine().Evaluate(ref_session.graph(), t.from, t.from_port);
+      ASSERT_TRUE(value.ok()) << t.canvas << ": " << value.status().message();
+      expected[t.canvas] = FingerprintBoxValue(value.value());
+    }
+    std::map<std::string, std::optional<uint64_t>> expected_stamps;
+    for (const std::string& id : ref_session.graph().BoxIds()) {
+      expected_stamps[id] = ref_session.engine().cache().StampOf(id);
+    }
+
+    runtime::EpochDomain domain(8);
+    dataflow::SharedMemoCache shared(1, &domain);
+    for (int round = 0; round < 3; ++round) {
+      auto env = BuildEnv(program);
+      ui::Session& session = env->session();
+      session.set_shared_cache(&shared);
+      for (const Target& t : TargetsOf(session.graph())) {
+        auto value =
+            session.engine().Evaluate(session.graph(), t.from, t.from_port);
+        ASSERT_TRUE(value.ok()) << t.canvas;
+        EXPECT_EQ(FingerprintBoxValue(value.value()), expected.at(t.canvas))
+            << t.canvas;
+      }
+      for (const std::string& id : session.graph().BoxIds()) {
+        EXPECT_EQ(session.engine().cache().StampOf(id), expected_stamps.at(id))
+            << id;
+      }
+      domain.TryAdvance();  // reclaim between rounds, mid-reuse
+    }
+    dataflow::SharedMemoCache::Stats stats = shared.stats();
+    ASSERT_GT(stats.inserts, 0u);
+    // Capacity 1: any program publishing more than one distinct stamp had
+    // to evict, and every eviction retires the node through the domain.
+    if (stats.inserts > 1) {
+      EXPECT_GT(stats.evictions, 0u);
+      EXPECT_GT(domain.stats().retired, 0u);
+    }
+    while (domain.stats().pending > 0) ASSERT_TRUE(domain.TryAdvance());
+    EXPECT_EQ(domain.stats().reclaimed, domain.stats().retired);
   }
 }
 

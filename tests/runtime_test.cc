@@ -256,5 +256,75 @@ TEST(LatencyHistogramTest, QuantilesAndCounts) {
   EXPECT_GE(h.QuantileUpperBoundMicros(0.999), 65536u);
 }
 
+// Regression: the raw log2-bucket upper bound can exceed the largest
+// observation (1100 µs sits in the [1024, 2048) bucket, bound 2048), which
+// used to let metrics JSON report p99_us > max_us. Quantiles must clamp.
+TEST(LatencyHistogramTest, QuantilesNeverExceedMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(1100);
+  h.Record(1500);
+  double p50 = h.QuantileUpperBoundMicros(0.5);
+  double p99 = h.QuantileUpperBoundMicros(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, h.max_micros());
+  EXPECT_EQ(p99, 1500.0);  // clamped from the 2048 bucket bound
+
+  // Degenerate single-observation histogram: every quantile is the value's
+  // bucket bound clamped to the value itself.
+  LatencyHistogram one;
+  one.Record(3.0);
+  EXPECT_LE(one.QuantileUpperBoundMicros(0.5), one.max_micros());
+  EXPECT_LE(one.QuantileUpperBoundMicros(0.99), one.max_micros());
+}
+
+TEST(MetricsJsonTest, EscapeJsonStringHandlesHostileInput) {
+  EXPECT_EQ(EscapeJsonString("plain"), "plain");
+  EXPECT_EQ(EscapeJsonString("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeJsonString("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeJsonString("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(EscapeJsonString(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+// Regression: request tags and box-type names are interpolated into JSON
+// keys; a tag containing a quote or backslash used to split the key and
+// corrupt the whole document.
+TEST(MetricsJsonTest, HostileTagsAndBoxTypesAreEscaped) {
+  Metrics metrics;
+  metrics.RecordRequestComplete(10.0, "pan\"zoom\\deep");
+  metrics.RecordBoxFire("Evil\"Box", 5.0);
+  std::string json = metrics.ToJson();
+  // The raw quote must never appear unescaped inside the keys.
+  EXPECT_EQ(json.find("\"pan\"zoom"), std::string::npos);
+  EXPECT_NE(json.find("\"pan\\\"zoom\\\\deep\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"Evil\\\"Box\":"), std::string::npos) << json;
+  // Every quote in the document is either a delimiter or escaped: strip
+  // escaped pairs, then the remaining quote count must be even.
+  std::string without_escapes;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '\\' && i + 1 < json.size()) {
+      ++i;  // drop the escape and the escaped character
+      continue;
+    }
+    without_escapes += json[i];
+  }
+  size_t quotes = 0;
+  for (char c : without_escapes) {
+    if (c == '"') ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0u) << json;
+}
+
+TEST(MetricsJsonTest, EpochSectionSurfacesGlobalDomainCounters) {
+  Metrics metrics;
+  std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("\"epoch\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"advances\":"), std::string::npos);
+  EXPECT_NE(json.find("\"retired\":"), std::string::npos);
+  EXPECT_NE(json.find("\"reclaimed\":"), std::string::npos);
+  MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_GE(snap.epoch_current, 2u);  // kFirstEpoch
+  EXPECT_GE(snap.epoch_retired, snap.epoch_reclaimed);
+}
+
 }  // namespace
 }  // namespace tioga2::runtime

@@ -13,6 +13,7 @@
 
 #include "db/catalog.h"
 #include "db/relation.h"
+#include "runtime/epoch.h"
 #include "runtime/session_server.h"
 #include "testing/fig_programs.h"
 
@@ -549,6 +550,144 @@ TEST_F(SessionServerTest, SharedCacheEntriesStayValidAfterTableUpdate) {
     ASSERT_TRUE(displayable.ok());
     EXPECT_EQ(display::AsRelation(displayable.value()).value().num_rows(), 2u);
   }
+}
+
+// Regression: destroying a server with requests still queued behind a busy
+// worker must resolve them — Unavailable("server shutting down") — rather
+// than drop their promises (a dropped promise makes future.get() throw
+// std::future_error/broken_promise) or run handlers against a server mid-
+// teardown.
+TEST_F(SessionServerTest, DestroyingServerResolvesQueuedRequestsUnavailable) {
+  SessionServer::Options options;
+  options.num_threads = 1;  // one worker: everything queues behind it
+  options.queue_bound = 8;
+  auto server = std::make_unique<SessionServer>(&catalog_, options);
+  std::string id = server->OpenSession().value();
+
+  std::promise<void> started_promise;
+  std::future<void> started = started_promise.get_future();
+  std::promise<void> release;
+  std::shared_future<void> latch = release.get_future().share();
+  // Occupy the only worker...
+  std::future<Status> running =
+      server->Submit(id, {.handler = [&started_promise, latch](Session&) {
+        started_promise.set_value();
+        latch.wait();
+        return Status::OK();
+      }});
+  started.wait();
+  // ...and saturate the queue behind it.
+  std::vector<std::future<Status>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(server->Submit(
+        id, {.handler = [](Session&) { return Status::OK(); }}));
+  }
+
+  // Destroy from another thread: the destructor publishes the shutdown flag
+  // immediately, then blocks draining the pool until the latch releases the
+  // running handler. The sleep lets that first store land before the worker
+  // is freed to drain the queue.
+  std::thread destroyer([&server] { server.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  release.set_value();
+  destroyer.join();
+
+  // The in-flight request finished normally; every queued one resolved
+  // (no future_error) with the documented shutdown status.
+  EXPECT_TRUE(running.get().ok());
+  for (auto& future : queued) {
+    Status status = future.get();
+    EXPECT_TRUE(status.IsUnavailable()) << status.message();
+    EXPECT_NE(status.message().find("shutting down"), std::string::npos)
+        << status.message();
+  }
+}
+
+// The epoch-torture case of DESIGN.md §13, run under the TSan/ASan passes in
+// scripts/check.sh: concurrent kRead handlers evaluate through epoch-pinned
+// catalog snapshots and the lock-free shared memo table while kWrite
+// handlers churn table versions (retiring snapshots) and a deliberately tiny
+// shared cache evicts on every insert (retiring nodes and tables). Every
+// read must render byte-identically to one of the two catalog states — a
+// torn read (stamp from one version, rows from another) would produce a
+// third fingerprint — and the global domain must show retire/reclaim
+// traffic with reclaimed never outrunning retired.
+TEST_F(SessionServerTest, EpochTortureCatalogChurnWithSharedCacheEvictions) {
+  SessionServer::Options options;
+  options.num_threads = 3;
+  options.queue_bound = 64;
+  options.shared_cache_entries = 2;  // force evictions on nearly every insert
+  SessionServer server(&catalog_, options);
+  std::string a = server.OpenSession().value();
+  std::string b = server.OpenSession().value();
+  for (const std::string& id : {a, b}) {
+    ASSERT_TRUE(server
+                    .Submit(id, {.handler = [](Session& s) {
+                      return BuildProgram(s, "c");
+                    }})
+                    .get()
+                    .ok());
+  }
+
+  auto content_a = db::MakeRelation({Column{"v", DataType::kInt}},
+                                    {{Value::Int(1)}, {Value::Int(2)},
+                                     {Value::Int(3)}, {Value::Int(4)}})
+                       .value();
+  auto content_b = db::MakeRelation({Column{"v", DataType::kInt}},
+                                    {{Value::Int(7)}, {Value::Int(8)},
+                                     {Value::Int(9)}})
+                       .value();
+  // The two byte-exact renderings a read is allowed to observe.
+  ASSERT_TRUE(catalog_.ReplaceTable("T", content_a).ok());
+  std::string fp_a =
+      testing::FingerprintDisplayable(server.EvaluateCanvas(a, "c").value());
+  ASSERT_TRUE(catalog_.ReplaceTable("T", content_b).ok());
+  std::string fp_b =
+      testing::FingerprintDisplayable(server.EvaluateCanvas(a, "c").value());
+  ASSERT_NE(fp_a, fp_b);
+
+  EpochDomain::Stats before = EpochDomain::Global().stats();
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> renders{0};
+  std::vector<std::future<Status>> futures;
+  constexpr int kRounds = 30;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto& content = (round % 2 == 0) ? content_a : content_b;
+    futures.push_back(server.Submit(
+        a, {.handler =
+                [content](Session& s) {
+                  return s.ui().catalog()->ReplaceTable("T", content);
+                },
+            .access = SessionServer::Access::kWrite}));
+    for (const std::string& id : {a, b}) {
+      futures.push_back(server.Submit(id, {.handler = [&, fp_a,
+                                                       fp_b](Session& s) {
+        auto displayable = s.ui().EvaluateCanvas("c");
+        TIOGA2_RETURN_IF_ERROR(displayable.status());
+        std::string fp = testing::FingerprintDisplayable(displayable.value());
+        if (fp != fp_a && fp != fp_b) torn.fetch_add(1);
+        renders.fetch_add(1);
+        return Status::OK();
+      }}));
+    }
+    // Drain periodically so admission control never rejects the torture
+    // traffic (rejections would silently shrink coverage).
+    if (futures.size() >= 48) {
+      for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+      futures.clear();
+    }
+  }
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_GT(renders.load(), 0u);
+  EpochDomain::Stats after = EpochDomain::Global().stats();
+  // The churn retired catalog snapshots and shared-cache structures through
+  // the global domain, readers pinned it, and reclamation never ran ahead
+  // of retirement.
+  EXPECT_GT(after.retired, before.retired);
+  EXPECT_GT(after.pins, before.pins);
+  EXPECT_LE(after.reclaimed, after.retired);
 }
 
 }  // namespace

@@ -7,8 +7,9 @@
 #               batch_eval_test — morsel bodies run concurrently on pool
 #               workers, so their result-slot hand-off must be race-free);
 #   3. asan   — rebuild with Address+UB sanitizers and run the columnar /
-#               batch-evaluation tests (the paths that index raw column
-#               vectors through selection vectors);
+#               batch-evaluation / aggregates tests (the paths that index raw
+#               column vectors through selection vectors and dictionary
+#               codes);
 #   4. ubsan  — rebuild with UndefinedBehaviorSanitizer alone (unlike the
 #               asan pass it traps on the first finding instead of
 #               recovering) and run the join/operator tests — the class of
@@ -35,7 +36,15 @@
 #               handler errors, nonzero shared-cache hits, byte-identical
 #               cross-session outputs, and convergence within 2x
 #               single-session work; then validates the emitted JSON report.
-#   9. contention — a small-N run of the lock-contention harness
+#   9. dict-smoke — a small-N run of the dictionary-encoding ablation
+#               (bench_dict_strings --smoke): runs the categorical restrict /
+#               group-by / string-key join workloads scalar, vectorized
+#               without dictionaries, and vectorized with dictionaries,
+#               asserting cell-identical outputs across all three, that the
+#               dict restrict actually dispatched code-lane batches, and that
+#               the dict join never fell back to string hashing; then
+#               validates the JSON.
+#  10. contention — a small-N run of the lock-contention harness
 #               (bench_lock_contention --smoke): sweeps the epoch-reclaimed
 #               lock-free memo-lookup and catalog-resolution paths at 1/8/32
 #               reader threads, asserting 8-thread throughput holds parity
@@ -73,6 +82,16 @@ else
   grep -q '"shared_on"' bench_out/session_load_smoke.json
 fi
 
+echo "== dict-smoke: dictionary-encoded string execution ablation, small N =="
+cmake --build build -j --target bench_dict_strings
+build/bench/bench_dict_strings --smoke --out=bench_out/dict_strings_smoke.json
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool bench_out/dict_strings_smoke.json >/dev/null
+else
+  grep -q '"restrict"' bench_out/dict_strings_smoke.json
+  grep -q '"fig07"' bench_out/dict_strings_smoke.json
+fi
+
 echo "== contention: lock-free read-path harness, small N =="
 cmake --build build -j --target bench_lock_contention
 build/bench/bench_lock_contention --smoke --out=bench_out/lock_contention.json
@@ -91,19 +110,21 @@ cmake --build build-tsan -j --target \
 (cd build-tsan && ctest --output-on-failure \
   -R 'runtime|session_server|delta_update|batch_eval|epoch')
 
-echo "== asan: columnar + batch evaluation + epoch tests =="
+echo "== asan: columnar + batch evaluation + aggregates + epoch tests =="
 cmake -B build-asan -S . -DTIOGA2_ASAN=ON >/dev/null
 cmake --build build-asan -j --target \
-  columnar_test batch_eval_test operators_test display_relation_test epoch_test
+  columnar_test batch_eval_test operators_test display_relation_test \
+  aggregates_test epoch_test
 (cd build-asan && ctest --output-on-failure \
-  -R 'columnar_test|batch_eval_test|operators_test|display_relation_test|epoch_test')
+  -R 'columnar_test|batch_eval_test|operators_test|display_relation_test|aggregates_test|epoch_test')
 
-echo "== ubsan: join + operator + epoch tests =="
+echo "== ubsan: join + operator + aggregates + epoch tests =="
 cmake -B build-ubsan -S . -DTIOGA2_UBSAN=ON >/dev/null
 cmake --build build-ubsan -j --target \
-  join_test operators_test columnar_test batch_eval_test epoch_test
+  join_test operators_test columnar_test batch_eval_test aggregates_test \
+  epoch_test
 (cd build-ubsan && ctest --output-on-failure \
-  -R 'join_test|operators_test|columnar_test|batch_eval_test|epoch_test')
+  -R 'join_test|operators_test|columnar_test|batch_eval_test|aggregates_test|epoch_test')
 
 echo "== recovery: storage snapshot/replay under tsan, crash injection under asan =="
 cmake --build build-tsan -j --target storage_test

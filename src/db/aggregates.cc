@@ -1,9 +1,11 @@
 #include "db/aggregates.h"
 
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
 #include "common/str_util.h"
+#include "db/columnar.h"
 
 namespace tioga2::db {
 
@@ -77,11 +79,288 @@ DataType AggResultType(const AggSpec& spec, DataType column_type) {
   return DataType::kFloat;
 }
 
+// ---------------------------------------------------------------------------
+// Columnar group-by fast path.
+//
+// The scalar loop groups rows by TupleKey — per column "\x01n" for null,
+// "\x01#" + FormatDouble(AsDouble) for numerics, "\x01v" + ToString
+// otherwise. The columnar path must group *exactly* the same way, so a key
+// column is eligible only when per-cell canonical equality provably matches
+// TupleKey string equality:
+//   kInt  — FormatDouble is injective per double, so key equality ⇔ equality
+//           of the ints' double images (ints beyond 2^53 that round together
+//           collapse into one group on both paths).
+//   kBool / kDate — ToString is injective per stored value.
+//   kString with a dictionary — equality ⇔ code equality. The TupleKey cell
+//           is "\x01v" + QuoteString(value), which is injective per value
+//           (interior quotes are escaped, so no value can forge a cell
+//           boundary). Distinct values containing the '\x01' tag byte are
+//           still declined as a conservative guard: they are vanishingly
+//           rare in categorical data, and falling back keeps the scalar
+//           oracle authoritative for any concatenation subtlety.
+//   kFloat — ineligible: FormatDouble("-0") ≠ "0" yet -0.0 == 0.0, and every
+//           NaN formats as "nan" yet compares unequal, so the double image
+//           diverges from the string image both ways.
+// Group order is first appearance on both paths, aggregate accumulation runs
+// in the same row order with the same double arithmetic, and min/max track
+// the winning *row* so the output Value round-trips bit-identically through
+// ColumnVector::ValueAt.
+
+inline uint64_t MixHash64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+bool ColumnarGroupKeysEligible(const Relation& input,
+                               const std::vector<size_t>& key_columns,
+                               std::vector<const ColumnVector*>* cols) {
+  for (size_t c : key_columns) {
+    const ColumnVector& col = input.columnar().column(c);
+    switch (col.type) {
+      case DataType::kInt:
+      case DataType::kBool:
+      case DataType::kDate:
+        break;
+      case DataType::kString:
+        if (!col.has_dict()) return false;
+        for (const std::string& s : *col.dict_values) {
+          if (s.find('\x01') != std::string::npos) return false;
+        }
+        break;
+      case DataType::kFloat:
+      case DataType::kDisplay:
+        return false;
+    }
+    cols->push_back(&col);
+  }
+  return true;
+}
+
+uint64_t HashKeyRow(const std::vector<const ColumnVector*>& cols, size_t r) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const ColumnVector* col : cols) {
+    uint64_t cell = 0;
+    if (col->IsNull(r)) {
+      cell = 0x9ae16a3b2f90404fULL;
+    } else {
+      switch (col->type) {
+        case DataType::kInt: {
+          // Hash the double image so ints that group together hash together.
+          const double d = static_cast<double>(col->ints[r]);
+          std::memcpy(&cell, &d, sizeof(cell));
+          break;
+        }
+        case DataType::kBool:
+          cell = col->bools[r] != 0 ? 1 : 2;
+          break;
+        case DataType::kDate:
+          cell = static_cast<uint64_t>(col->dates[r]) ^ 0xe7037ed1a0b428dbULL;
+          break;
+        default:  // kString with a dictionary (eligibility guarantees it)
+          cell = static_cast<uint64_t>(col->dict_codes[r]) ^
+                 0x8ebc6af09c88c6e3ULL;
+          break;
+      }
+    }
+    h = MixHash64(h ^ MixHash64(cell));
+  }
+  return h;
+}
+
+bool KeysEqualRows(const std::vector<const ColumnVector*>& cols, size_t a,
+                   size_t b) {
+  for (const ColumnVector* col : cols) {
+    const bool an = col->IsNull(a);
+    const bool bn = col->IsNull(b);
+    if (an != bn) return false;
+    if (an) continue;
+    switch (col->type) {
+      case DataType::kInt:
+        if (static_cast<double>(col->ints[a]) !=
+            static_cast<double>(col->ints[b])) {
+          return false;
+        }
+        break;
+      case DataType::kBool:
+        if ((col->bools[a] != 0) != (col->bools[b] != 0)) return false;
+        break;
+      case DataType::kDate:
+        if (col->dates[a] != col->dates[b]) return false;
+        break;
+      default:
+        if (col->dict_codes[a] != col->dict_codes[b]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Three-way compare of two cells of one column, mirroring Value::Compare's
+/// `a < b ? -1 : (a > b ? 1 : 0)` construction exactly (numerics compare as
+/// double including int pairs; a NaN operand yields 0, so min/max keep the
+/// earlier row — same as the scalar loop). Dictionary string cells compare
+/// codes, valid because code order == string order.
+int CompareCells(const ColumnVector& col, size_t a, size_t b) {
+  switch (col.type) {
+    case DataType::kInt: {
+      const double x = static_cast<double>(col.ints[a]);
+      const double y = static_cast<double>(col.ints[b]);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kFloat: {
+      const double x = col.floats[a];
+      const double y = col.floats[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kBool: {
+      const int x = col.bools[a] != 0 ? 1 : 0;
+      const int y = col.bools[b] != 0 ? 1 : 0;
+      return x - y;
+    }
+    case DataType::kDate: {
+      const int64_t x = col.dates[a];
+      const int64_t y = col.dates[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case DataType::kString: {
+      if (col.has_dict()) {
+        const uint32_t x = col.dict_codes[a];
+        const uint32_t y = col.dict_codes[b];
+        return x < y ? -1 : (x > y ? 1 : 0);
+      }
+      const int c = col.strings[a].compare(col.strings[b]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case DataType::kDisplay:
+      break;  // rejected during validation
+  }
+  return 0;
+}
+
+Result<RelationPtr> GroupByColumnar(const RelationPtr& input,
+                                    const std::vector<const ColumnVector*>& key_cols,
+                                    const std::vector<AggSpec>& aggs,
+                                    const std::vector<size_t>& agg_columns,
+                                    SchemaPtr out_schema) {
+  struct ColAggState {
+    int64_t count = 0;
+    double sum = 0;
+    uint32_t extreme_row = 0;  // row holding the min/max so far
+  };
+  struct ColGroup {
+    uint32_t rep = 0;  // first row of the group (key values read from here)
+    std::vector<ColAggState> states;
+  };
+
+  std::vector<const ColumnVector*> agg_cols(aggs.size(), nullptr);
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].fn != AggFn::kCount) {
+      agg_cols[a] = &input->columnar().column(agg_columns[a]);
+    }
+  }
+
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  std::vector<ColGroup> groups;
+  const size_t num_rows = input->num_rows();
+  for (size_t r = 0; r < num_rows; ++r) {
+    const uint64_t h = HashKeyRow(key_cols, r);
+    std::vector<size_t>& chain = buckets[h];
+    size_t gi = SIZE_MAX;
+    for (size_t g : chain) {
+      if (KeysEqualRows(key_cols, r, groups[g].rep)) {
+        gi = g;
+        break;
+      }
+    }
+    if (gi == SIZE_MAX) {
+      gi = groups.size();
+      chain.push_back(gi);
+      ColGroup group;
+      group.rep = static_cast<uint32_t>(r);
+      group.states.resize(aggs.size());
+      groups.push_back(std::move(group));
+    }
+    ColGroup& group = groups[gi];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      ColAggState& state = group.states[a];
+      if (aggs[a].fn == AggFn::kCount) {
+        ++state.count;
+        continue;
+      }
+      const ColumnVector& col = *agg_cols[a];
+      if (col.IsNull(r)) continue;
+      switch (aggs[a].fn) {
+        case AggFn::kSum:
+        case AggFn::kAvg:
+          state.sum += col.type == DataType::kInt
+                           ? static_cast<double>(col.ints[r])
+                           : col.floats[r];
+          ++state.count;
+          break;
+        case AggFn::kMin:
+        case AggFn::kMax: {
+          if (state.count == 0) {
+            state.extreme_row = static_cast<uint32_t>(r);
+          } else {
+            const int cmp = CompareCells(col, r, state.extreme_row);
+            if ((aggs[a].fn == AggFn::kMin && cmp < 0) ||
+                (aggs[a].fn == AggFn::kMax && cmp > 0)) {
+              state.extreme_row = static_cast<uint32_t>(r);
+            }
+          }
+          ++state.count;
+          break;
+        }
+        case AggFn::kCount:
+          break;
+      }
+    }
+  }
+
+  RelationBuilder builder(std::move(out_schema));
+  builder.Reserve(groups.size());
+  for (const ColGroup& group : groups) {
+    Tuple row;
+    row.reserve(key_cols.size() + aggs.size());
+    for (const ColumnVector* col : key_cols) {
+      row.push_back(col->ValueAt(group.rep));
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const ColAggState& state = group.states[a];
+      switch (aggs[a].fn) {
+        case AggFn::kCount:
+          row.push_back(Value::Int(state.count));
+          break;
+        case AggFn::kSum:
+          row.push_back(state.count == 0 ? Value::Null() : Value::Float(state.sum));
+          break;
+        case AggFn::kAvg:
+          row.push_back(state.count == 0
+                            ? Value::Null()
+                            : Value::Float(state.sum / static_cast<double>(state.count)));
+          break;
+        case AggFn::kMin:
+        case AggFn::kMax:
+          row.push_back(state.count == 0 ? Value::Null()
+                                         : agg_cols[a]->ValueAt(state.extreme_row));
+          break;
+      }
+    }
+    builder.AddRowUnchecked(std::move(row));
+  }
+  return builder.Build();
+}
+
 }  // namespace
 
 Result<RelationPtr> GroupBy(const RelationPtr& input,
                             const std::vector<std::string>& keys,
-                            const std::vector<AggSpec>& aggs) {
+                            const std::vector<AggSpec>& aggs,
+                            const ExecPolicy& policy) {
   const Schema& schema = *input->schema();
   std::vector<size_t> key_columns;
   std::vector<Column> out_columns;
@@ -116,6 +395,14 @@ Result<RelationPtr> GroupBy(const RelationPtr& input,
     out_columns.push_back(Column{spec.output_name, AggResultType(spec, column_type)});
   }
   TIOGA2_ASSIGN_OR_RETURN(Schema out_schema, Schema::Make(std::move(out_columns)));
+
+  if (policy.vectorized) {
+    std::vector<const ColumnVector*> key_cols;
+    if (ColumnarGroupKeysEligible(*input, key_columns, &key_cols)) {
+      return GroupByColumnar(input, key_cols, aggs, agg_columns,
+                             std::make_shared<const Schema>(std::move(out_schema)));
+    }
+  }
 
   struct Group {
     Tuple key_values;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "db/exec_policy.h"
 #include "db/relation.h"
 
 namespace tioga2::db {
@@ -34,9 +35,18 @@ struct AggSpec {
 /// first appearance in the input (deterministic).
 ///
 /// Types: count -> int; sum/avg -> float; min/max -> the column's type.
+///
+/// With `policy.vectorized` set, keys whose columns are int/bool/date or
+/// dictionary-encoded strings group on a columnar path (hashing typed cells
+/// and dictionary codes instead of building a TupleKey string per row);
+/// float keys and un-encoded strings take the scalar row loop. Both paths
+/// produce identical relations — group order is first appearance either way,
+/// and the columnar path reproduces TupleKey's exact grouping semantics
+/// (see aggregates.cc for the eligibility argument).
 Result<RelationPtr> GroupBy(const RelationPtr& input,
                             const std::vector<std::string>& keys,
-                            const std::vector<AggSpec>& aggs);
+                            const std::vector<AggSpec>& aggs,
+                            const ExecPolicy& policy = DefaultExecPolicy());
 
 /// Removes duplicate tuples, keeping first occurrences. Display columns are
 /// rejected (no cheap canonical form).

@@ -1,6 +1,14 @@
 #include "db/columnar.h"
 
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <string_view>
+#include <unordered_map>
+
+#include "db/exec_policy.h"
 #include "db/relation.h"
+#include "expr/batch.h"
 
 namespace tioga2::db {
 
@@ -56,6 +64,47 @@ void SetNullBit(ColumnVector* out, size_t n, size_t r) {
   out->null_bits[r >> 6] |= uint64_t{1} << (r & 63);
 }
 
+/// Builds the sorted dictionary of a freshly materialized kString column:
+/// one hash-map pass assigns provisional ids in first-appearance order, the
+/// distinct set is sorted ascending (std::string order == Value::Compare's
+/// string order, the property every ordered-comparison lowering relies on),
+/// and the per-row codes are remapped onto the sorted ranks. Views never
+/// call this — they share the parent's dict_values and gather codes.
+void BuildDictionary(ColumnVector* out) {
+  const size_t n = out->num_rows;
+  if (n > std::numeric_limits<uint32_t>::max()) return;  // codes are uint32
+  // string_views point into out->strings, which is fully materialized and
+  // stable for the rest of this function.
+  std::unordered_map<std::string_view, uint32_t> ids;
+  std::vector<uint32_t> provisional(n, 0);
+  std::vector<uint32_t> first_row;  // provisional id -> a row holding the value
+  for (size_t r = 0; r < n; ++r) {
+    if (out->IsNull(r)) continue;
+    auto [it, inserted] = ids.emplace(std::string_view(out->strings[r]),
+                                      static_cast<uint32_t>(first_row.size()));
+    if (inserted) first_row.push_back(static_cast<uint32_t>(r));
+    provisional[r] = it->second;
+  }
+  std::vector<uint32_t> order(first_row.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return out->strings[first_row[a]] < out->strings[first_row[b]];
+  });
+  auto values = std::make_shared<std::vector<std::string>>();
+  values->reserve(order.size());
+  std::vector<uint32_t> remap(order.size());
+  for (uint32_t rank = 0; rank < order.size(); ++rank) {
+    remap[order[rank]] = rank;
+    values->push_back(out->strings[first_row[order[rank]]]);
+  }
+  out->dict_codes.assign(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    if (!out->IsNull(r)) out->dict_codes[r] = remap[provisional[r]];
+  }
+  out->dict_values = std::move(values);
+  ++expr::BatchMetrics::Global().dict_columns_built;
+}
+
 }  // namespace
 
 ColumnVector MaterializeColumn(
@@ -93,6 +142,9 @@ ColumnVector MaterializeColumn(
         break;
     }
   }
+  if (type == DataType::kString && DefaultExecPolicy().dict_encode) {
+    BuildDictionary(&out);
+  }
   return out;
 }
 
@@ -103,12 +155,18 @@ ColumnVector GatherColumn(const ColumnVector& src,
   out.num_rows = rows.size();
   const size_t n = rows.size();
   ResizeTyped(&out, n);
+  if (src.has_dict()) {
+    // Share the value table, gather only the codes: views never re-encode.
+    out.dict_values = src.dict_values;
+    out.dict_codes.resize(n, 0);
+  }
   for (size_t k = 0; k < n; ++k) {
     const size_t r = rows[k];
     if (src.IsNull(r)) {
       SetNullBit(&out, n, k);
       continue;
     }
+    if (!out.dict_codes.empty()) out.dict_codes[k] = src.dict_codes[r];
     switch (src.type) {
       case DataType::kBool:
         out.bools[k] = src.bools[r];
@@ -138,6 +196,10 @@ ColumnVector SplatCell(const ColumnVector& src, size_t row, size_t n) {
   out.type = src.type;
   out.num_rows = n;
   ResizeTyped(&out, n);
+  if (src.has_dict()) {
+    out.dict_values = src.dict_values;
+    out.dict_codes.assign(n, src.IsNull(row) ? 0u : src.dict_codes[row]);
+  }
   if (src.IsNull(row)) {
     // Every row null: saturate the bitmap (bits past n are never read).
     out.null_bits.assign((n + 63) / 64, ~uint64_t{0});

@@ -38,6 +38,26 @@ struct ColumnVector {
   std::vector<int64_t> dates;     // kDate, as days since epoch
   std::vector<types::Value> boxed;   // kDisplay
 
+  /// Dictionary encoding of a kString column, built once when the column
+  /// first materializes (gated by the process-default ExecPolicy's
+  /// `dict_encode`; see MaterializeColumn). `dict_values` is the
+  /// sorted-unique value table in ascending std::string order — exactly the
+  /// order Value::Compare gives strings, so code order == string order and
+  /// ordered comparisons are valid on codes. `dict_codes[r]` indexes it for
+  /// every non-null row r (null rows hold 0, never read). The canonical
+  /// `strings` vector is always populated too: the dictionary accelerates
+  /// downstream operators, it never replaces the typed vector.
+  ///
+  /// Selection/join views *share* `dict_values` (one shared_ptr copy) and
+  /// gather only the codes, so an encoding decision made once at base
+  /// materialization propagates through arbitrarily deep view chains
+  /// without re-encoding — and two columns with the same `dict_values`
+  /// pointer can compare, group, and join on codes alone.
+  std::shared_ptr<const std::vector<std::string>> dict_values;
+  std::vector<uint32_t> dict_codes;
+
+  bool has_dict() const { return dict_values != nullptr; }
+
   bool has_nulls() const { return !null_bits.empty(); }
 
   bool IsNull(size_t row) const {

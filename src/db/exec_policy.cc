@@ -7,6 +7,9 @@ namespace tioga2::db {
 namespace {
 std::atomic<bool> g_default_vectorized{true};
 std::atomic<int> g_default_simd{static_cast<int>(SimdLevel::kAuto)};
+std::atomic<bool> g_default_dict_encode{true};
+std::atomic<double> g_default_sparse_gather_density{
+    ExecPolicy{}.sparse_gather_density};
 std::atomic<size_t> g_default_morsel_rows{ExecPolicy{}.morsel_rows};
 std::atomic<MorselRunner*> g_default_runner{nullptr};
 }  // namespace
@@ -16,6 +19,9 @@ ExecPolicy DefaultExecPolicy() {
   policy.vectorized = g_default_vectorized.load(std::memory_order_relaxed);
   policy.simd =
       static_cast<SimdLevel>(g_default_simd.load(std::memory_order_relaxed));
+  policy.dict_encode = g_default_dict_encode.load(std::memory_order_relaxed);
+  policy.sparse_gather_density =
+      g_default_sparse_gather_density.load(std::memory_order_relaxed);
   policy.morsel_rows = g_default_morsel_rows.load(std::memory_order_relaxed);
   policy.runner = g_default_runner.load(std::memory_order_relaxed);
   return policy;
@@ -24,6 +30,9 @@ ExecPolicy DefaultExecPolicy() {
 void SetDefaultExecPolicy(const ExecPolicy& policy) {
   g_default_vectorized.store(policy.vectorized, std::memory_order_relaxed);
   g_default_simd.store(static_cast<int>(policy.simd), std::memory_order_relaxed);
+  g_default_dict_encode.store(policy.dict_encode, std::memory_order_relaxed);
+  g_default_sparse_gather_density.store(policy.sparse_gather_density,
+                                        std::memory_order_relaxed);
   g_default_morsel_rows.store(policy.morsel_rows, std::memory_order_relaxed);
   g_default_runner.store(policy.runner, std::memory_order_relaxed);
 }

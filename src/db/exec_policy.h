@@ -41,6 +41,27 @@ struct ExecPolicy {
   /// vectorized paths; all tiers produce bit-identical results.
   SimdLevel simd = SimdLevel::kAuto;
 
+  /// Build sorted dictionaries for string columns at columnar
+  /// materialization (db/columnar.h, ColumnVector::dict_values). Encoded
+  /// columns let string comparisons, group-by keys, and join keys run on
+  /// integer codes; the canonical `strings` vector is always materialized
+  /// regardless, so the toggle never changes results — it is the escape
+  /// hatch that keeps scalar-oracle runs free of encoding work entirely.
+  /// Consulted through the *process default* policy at the moment a column
+  /// first materializes (columnar images are shared caches, so a per-call
+  /// policy cannot apply); flip it with SetDefaultExecPolicy before the
+  /// first columnar() touch.
+  bool dict_encode = true;
+
+  /// Density bound for gathering a sparse selection into a dense scratch
+  /// window before the SIMD kernels (selected_rows / spanned_rows). After a
+  /// selective Restrict the surviving selection is sparse, which used to
+  /// force every downstream numeric node onto the per-element typed loops;
+  /// when the density is at or below this bound the operand is gathered
+  /// once into contiguous storage and the lane kernels run on the copy.
+  /// 0 disables gathering; results are bit-identical either way.
+  double sparse_gather_density = 0.5;
+
   /// Rows per morsel for intra-operator parallelism (db/morsel.h). Each
   /// vectorized operator splits its input into morsels of this many rows,
   /// evaluates them independently (possibly on `runner`), and merges the

@@ -617,16 +617,67 @@ Result<JoinResult> Join(const RelationPtr& left, const RelationPtr& right,
     metrics.join_hash_probe_rows += probe->num_rows();
     const ColumnVector& bcol = build->columnar().column(build_key);
     const ColumnVector& pcol = probe->columnar().column(probe_key);
-    JoinPairs pairs = HashJoinPairs(
-        policy, left->num_rows(), build->num_rows(), probe->num_rows(),
-        build_left, [&](size_t i) { return bcol.IsNull(i); },
-        [&](size_t i) { return HashKeyCell(bcol, i); },
-        [&](size_t j) { return pcol.IsNull(j); },
-        [&](size_t j) { return HashKeyCell(pcol, j); },
-        [&](size_t i, size_t j) { return JoinCellsEqual(bcol, i, pcol, j); });
+    std::optional<JoinPairs> pairs;
+    if (bcol.type == DataType::kString && pcol.type == DataType::kString) {
+      if (bcol.has_dict() && pcol.has_dict()) {
+        // Dictionary key path: hash and compare integer codes, never the
+        // strings. Codes are only comparable within one dictionary, so when
+        // the sides' tables differ the build side's codes are remapped onto
+        // probe-side codes once (one binary search per *distinct* build
+        // value); a build value absent from the probe dictionary can never
+        // match any probe row, so its rows are skipped like null keys. Pair
+        // output is identical to string hashing because code equality ⇔
+        // string equality after the remap.
+        constexpr uint32_t kNoMatch = std::numeric_limits<uint32_t>::max();
+        const bool shared = bcol.dict_values == pcol.dict_values;
+        std::vector<uint32_t> remap;
+        if (!shared) {
+          const std::vector<std::string>& bdict = *bcol.dict_values;
+          const std::vector<std::string>& pdict = *pcol.dict_values;
+          remap.resize(bdict.size(), kNoMatch);
+          for (size_t c = 0; c < bdict.size(); ++c) {
+            const auto it =
+                std::lower_bound(pdict.begin(), pdict.end(), bdict[c]);
+            if (it != pdict.end() && *it == bdict[c]) {
+              remap[c] = static_cast<uint32_t>(it - pdict.begin());
+            }
+          }
+        }
+        auto build_code = [&](size_t i) {
+          const uint32_t c = bcol.dict_codes[i];
+          return shared ? c : remap[c];
+        };
+        pairs = HashJoinPairs(
+            policy, left->num_rows(), build->num_rows(), probe->num_rows(),
+            build_left,
+            [&](size_t i) {
+              return bcol.IsNull(i) || build_code(i) == kNoMatch;
+            },
+            [&](size_t i) { return MixHash(kStringSeed ^ build_code(i)); },
+            [&](size_t j) { return pcol.IsNull(j); },
+            [&](size_t j) { return MixHash(kStringSeed ^ pcol.dict_codes[j]); },
+            [&](size_t i, size_t j) {
+              return build_code(i) == pcol.dict_codes[j];
+            });
+      } else {
+        // String keys without dictionaries on both sides (encoding off, or
+        // mixed-provenance inputs): the generic cell path below rehashes the
+        // strings.
+        ++metrics.dict_remap_fallbacks;
+      }
+    }
+    if (!pairs.has_value()) {
+      pairs = HashJoinPairs(
+          policy, left->num_rows(), build->num_rows(), probe->num_rows(),
+          build_left, [&](size_t i) { return bcol.IsNull(i); },
+          [&](size_t i) { return HashKeyCell(bcol, i); },
+          [&](size_t j) { return pcol.IsNull(j); },
+          [&](size_t j) { return HashKeyCell(pcol, j); },
+          [&](size_t i, size_t j) { return JoinCellsEqual(bcol, i, pcol, j); });
+    }
     RelationPtr rel =
-        Relation::MakeJoinView(std::move(out_schema), left, std::move(pairs.left),
-                               right, std::move(pairs.right));
+        Relation::MakeJoinView(std::move(out_schema), left, std::move(pairs->left),
+                               right, std::move(pairs->right));
     return JoinResult{std::move(rel), JoinAlgorithm::kHash};
   }
 

@@ -183,6 +183,20 @@ class DisplayBatchSource : public expr::BatchSource {
     return accessor.GetNamed(name);
   }
 
+  const expr::ExprNode* NamedExpr(const std::string& name) const override {
+    // Only plain-expression attributes with an identity transform expand as
+    // vectors: ApplyTransform is the identity for them, so recursing into
+    // the definition yields exactly the per-row accessor's value. Combine /
+    // row-number / default-display attributes keep the per-row path.
+    const Attribute* attr = relation_.FindAttribute(name);
+    if (attr == nullptr || attr->source != AttrSource::kExpr ||
+        !attr->definition.has_value() ||
+        !(attr->scale == 1.0 && attr->translate == 0.0)) {
+      return nullptr;
+    }
+    return &attr->definition->root();
+  }
+
  private:
   const DisplayRelation& relation_;
   mutable std::mutex transform_mu_;

@@ -125,6 +125,10 @@ void BatchMetrics::Reset() {
   simd_batches_avx2 = 0;
   simd_rows = 0;
   simd_scalar_fallbacks = 0;
+  dict_columns_built = 0;
+  dict_simd_batches = 0;
+  dict_remap_fallbacks = 0;
+  sparse_gathers = 0;
   morsel_groups = 0;
   morsel_groups_parallel = 0;
   morsels_executed = 0;
@@ -138,7 +142,8 @@ BatchEvaluator::BatchEvaluator(const BatchSource& source)
 BatchEvaluator::BatchEvaluator(const BatchSource& source,
                                const db::ExecPolicy& policy)
     : source_(source),
-      simd_level_(static_cast<int>(simd::Resolve(policy.simd))) {}
+      simd_level_(static_cast<int>(simd::Resolve(policy.simd))),
+      sparse_gather_density_(policy.sparse_gather_density) {}
 
 namespace {
 
@@ -249,6 +254,118 @@ Vec MakeTypedVec(DataType type, size_t n) {
       break;
   }
   return out;
+}
+
+/// True when `v` reads a dictionary-encoded string column: the operand a
+/// string comparison can lower onto integer codes.
+bool DictCompareOperand(const Vec& v) {
+  return v.rep == Vec::Rep::kView && v.view->type == DataType::kString &&
+         v.view->has_dict();
+}
+
+/// Gathers the dictionary codes of a kView string operand into a dense
+/// kOwned int vector (nulls mirrored), ready for the numeric lane kernels.
+/// Works for any selection shape — sparse string comparisons still lower.
+Vec GatherCodes(const Vec& v) {
+  const db::ColumnVector& col = *v.view;
+  const Selection& vs = *v.view_sel;
+  const size_t n = v.size;
+  Vec codes = MakeTypedVec(DataType::kInt, n);
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = vs[k];
+    if (col.IsNull(r)) {
+      codes.SetNull(k);
+    } else {
+      codes.ints[k] = static_cast<int64_t>(col.dict_codes[r]);
+    }
+  }
+  return codes;
+}
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Maps `column <op> constant` into code space. With L = lower-bound rank of
+/// the constant in the sorted dictionary and U = its upper-bound rank
+/// (L+1 when present, L when absent — the dictionary is duplicate-free):
+///   =   → code == L   (== -1 when absent: always false, codes are >= 0)
+///   <>  → code != L   (!= -1 when absent: always true)
+///   <   → code <  L
+///   <=  → code <  U
+///   >   → code >= U
+///   >=  → code >= L
+/// Valid because the dictionary is sorted in the exact order Value::Compare
+/// gives strings, so code order == string order.
+void LowerDictCompare(const std::vector<std::string>& dict, BinaryOp op,
+                      const std::string& constant, BinaryOp* op_out,
+                      int64_t* const_out) {
+  const auto lo = std::lower_bound(dict.begin(), dict.end(), constant);
+  const int64_t rank = lo - dict.begin();
+  const bool found = lo != dict.end() && *lo == constant;
+  const int64_t upper = found ? rank + 1 : rank;
+  switch (op) {
+    case BinaryOp::kEq:
+      *op_out = BinaryOp::kEq;
+      *const_out = found ? rank : -1;
+      break;
+    case BinaryOp::kNe:
+      *op_out = BinaryOp::kNe;
+      *const_out = found ? rank : -1;
+      break;
+    case BinaryOp::kLt:
+      *op_out = BinaryOp::kLt;
+      *const_out = rank;
+      break;
+    case BinaryOp::kLe:
+      *op_out = BinaryOp::kLt;
+      *const_out = upper;
+      break;
+    case BinaryOp::kGt:
+      *op_out = BinaryOp::kGe;
+      *const_out = upper;
+      break;
+    default:  // kGe
+      *op_out = BinaryOp::kGe;
+      *const_out = rank;
+      break;
+  }
+}
+
+/// Gathers a sparse numeric kView operand into dense kOwned storage when its
+/// density (selected / spanned rows) is at or below `density_bound`, so the
+/// SIMD kernels — which require dense selections — still apply after a
+/// selective Restrict. Bit-identical either way; only the storage moves.
+bool MaybeGatherSparse(Vec* v, size_t n, double density_bound) {
+  if (v->rep != Vec::Rep::kView || n == 0) return false;
+  const db::ColumnVector& col = *v->view;
+  if (col.type != DataType::kInt && col.type != DataType::kFloat) return false;
+  const Selection& vs = *v->view_sel;
+  const size_t span = static_cast<size_t>(vs.back() - vs.front()) + 1;
+  if (span == n) return false;  // dense run: FlattenNumeric takes it as-is
+  if (static_cast<double>(n) > density_bound * static_cast<double>(span)) {
+    return false;
+  }
+  Vec gathered = MakeTypedVec(col.type, n);
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = vs[k];
+    if (col.IsNull(r)) {
+      gathered.SetNull(k);
+    } else if (col.type == DataType::kInt) {
+      gathered.ints[k] = col.ints[r];
+    } else {
+      gathered.floats[k] = col.floats[r];
+    }
+  }
+  ++BatchMetrics::Global().sparse_gathers;
+  *v = std::move(gathered);
+  return true;
 }
 
 /// Converts a boxed Vec to a typed one when every non-null element has the
@@ -443,20 +560,56 @@ bool TryEvalDisplayBuiltin(const ExprNode& node, const std::vector<Vec>& args,
   }
   if (name == "text") {
     if (argc < 2 || !string_ok(0) || !numeric_ok(1)) return false;
-    if (argc == 2) {
-      return build([&](size_t k) {
-        return wrap(draw::MakeText(ReadString(args[0], k), ReadDouble(args[1], k)));
-      });
-    }
     draw::Color color;
-    if (argc == 3 && const_nonnull(2, DataType::kString) &&
-        parse_color(2, &color)) {
+    bool have_color = false;
+    if (argc == 3) {
+      if (!const_nonnull(2, DataType::kString) || !parse_color(2, &color)) {
+        return false;
+      }
+      have_color = true;
+    } else if (argc != 2) {
+      return false;
+    }
+    // Dictionary splat: with an encoded label column and a constant size,
+    // rows with the same code yield the same drawable — format each distinct
+    // code once and share the DrawableList across its rows (sharing is
+    // established practice: a kConst display Vec already shares one list).
+    if (args[0].rep == Vec::Rep::kView && args[0].view->has_dict() &&
+        args[1].rep == Vec::Rep::kConst && !args[1].cval.is_null()) {
+      const db::ColumnVector& col = *args[0].view;
+      const std::vector<std::string>& dict = *col.dict_values;
+      const double size_arg = args[1].cval.AsDouble();
+      std::vector<Value> per_code(dict.size());
+      std::vector<Value> values;
+      values.reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        if (args[0].IsNull(k)) {
+          values.push_back(Value::Null());
+          continue;
+        }
+        const uint32_t code = col.dict_codes[(*args[0].view_sel)[k]];
+        Value& cached = per_code[code];
+        if (cached.is_null()) {
+          cached = have_color
+                       ? wrap(draw::MakeText(dict[code], size_arg, color))
+                       : wrap(draw::MakeText(dict[code], size_arg));
+        }
+        values.push_back(cached);
+      }
+      ++BatchMetrics::Global().dict_simd_batches;
+      *out = Vec::OwnedBoxed(std::move(values));
+      PromoteIfUniform(out);
+      return true;
+    }
+    if (have_color) {
       return build([&](size_t k) {
         return wrap(draw::MakeText(ReadString(args[0], k),
                                    ReadDouble(args[1], k), color));
       });
     }
-    return false;
+    return build([&](size_t k) {
+      return wrap(draw::MakeText(ReadString(args[0], k), ReadDouble(args[1], k)));
+    });
   }
   if (name == "offset" && argc == 3) {
     // The display operand stays boxed (DrawableLists are shared pointers);
@@ -559,6 +712,24 @@ Result<Vec> BatchEvaluator::EvalAttribute(const ExprNode& node, const Selection&
     PromoteIfUniform(&out);
     return out;
   }
+  // Computed attribute with a batchable definition: recurse into the
+  // defining expression as a vector instead of boxing one Value per row.
+  // The in-flight stack guards self-referential definitions — those take
+  // the per-row path below, which reports the recursion error.
+  const ExprNode* def = source_.NamedExpr(node.name);
+  if (def != nullptr &&
+      std::find(named_in_flight_.begin(), named_in_flight_.end(), node.name) ==
+          named_in_flight_.end()) {
+    named_in_flight_.push_back(node.name);
+    Result<Vec> expanded = Eval(*def, sel);
+    named_in_flight_.pop_back();
+    if (expanded.ok()) {
+      ++stats_.vectorized_nodes;
+      return expanded;
+    }
+    // On error fall through: the per-row path reproduces the scalar
+    // evaluator's message (success/failure always agrees, see class doc).
+  }
   ++stats_.fallback_nodes;
   std::vector<Value> values;
   values.reserve(sel.size());
@@ -596,9 +767,15 @@ Result<Vec> BatchEvaluator::EvalBinary(const ExprNode& node, const Selection& se
 
   // SIMD fast path: dense numeric comparisons and + - * / run as explicit
   // lane kernels (expr/simd/), bit-identical to the typed loops below.
-  // Sparse selections, boxed operands, and kMod fall through unchanged.
+  // Boxed operands and kMod fall through unchanged; sparse selections are
+  // gathered dense first when selective enough (ExecPolicy's
+  // sparse_gather_density), otherwise they fall through too.
   if (simd_level_ != static_cast<int>(simd::Level::kScalar) && both_numeric &&
       op != BinaryOp::kMod) {
+    if (sparse_gather_density_ > 0) {
+      MaybeGatherSparse(&lhs, n, sparse_gather_density_);
+      MaybeGatherSparse(&rhs, n, sparse_gather_density_);
+    }
     Vec out;
     if (simd::TryNumericBinary(static_cast<simd::Level>(simd_level_), op, lhs,
                                rhs, n, &out)) {
@@ -616,7 +793,71 @@ Result<Vec> BatchEvaluator::EvalBinary(const ExprNode& node, const Selection& se
     ++BatchMetrics::Global().simd_scalar_fallbacks;
   }
 
+  // Dictionary lowering: `string_column <cmp> constant` over an encoded
+  // column becomes an integer comparison on dictionary codes — the constant
+  // resolves to a code-space threshold once, then the batch runs on the lane
+  // kernels (sparse selections included: codes gather dense for free). The
+  // bool bits are identical to the string loop's because code order equals
+  // string order.
   if (is_comparison) {
+    const Vec* col_side = nullptr;
+    const Vec* const_side = nullptr;
+    bool flipped = false;
+    if (DictCompareOperand(lhs) && rhs.rep == Vec::Rep::kConst &&
+        rhs.cval.type() == DataType::kString) {
+      col_side = &lhs;
+      const_side = &rhs;
+    } else if (DictCompareOperand(rhs) && lhs.rep == Vec::Rep::kConst &&
+               lhs.cval.type() == DataType::kString) {
+      col_side = &rhs;
+      const_side = &lhs;
+      flipped = true;
+    }
+    if (col_side != nullptr) {
+      BinaryOp code_op = BinaryOp::kEq;
+      int64_t code_const = 0;
+      LowerDictCompare(*col_side->view->dict_values,
+                       flipped ? FlipComparison(op) : op,
+                       const_side->cval.string_value(), &code_op, &code_const);
+      Vec codes = GatherCodes(*col_side);
+      ++stats_.vectorized_nodes;
+      ++BatchMetrics::Global().dict_simd_batches;
+      if (simd_level_ != static_cast<int>(simd::Level::kScalar)) {
+        Vec threshold = Vec::Const(Value::Int(code_const), n);
+        Vec out;
+        if (simd::TryNumericBinary(static_cast<simd::Level>(simd_level_),
+                                   code_op, codes, threshold, n, &out)) {
+          ++stats_.simd_nodes;
+          BatchMetrics& m = BatchMetrics::Global();
+          if (simd_level_ == static_cast<int>(simd::Level::kAVX2)) {
+            ++m.simd_batches_avx2;
+          } else {
+            ++m.simd_batches_sse2;
+          }
+          m.simd_rows += n;
+          return out;
+        }
+      }
+      // Scalar tail: the same integer comparison element-wise (codes are
+      // exact in double, so this matches the lane kernels bit for bit).
+      Vec out = MakeTypedVec(DataType::kBool, n);
+      for (size_t k = 0; k < n; ++k) {
+        if (codes.IsNull(k)) {
+          out.SetNull(k);
+          continue;
+        }
+        const int64_t c = codes.ints[k];
+        bool result = false;
+        switch (code_op) {
+          case BinaryOp::kEq: result = c == code_const; break;
+          case BinaryOp::kNe: result = c != code_const; break;
+          case BinaryOp::kLt: result = c < code_const; break;
+          default: result = c >= code_const; break;  // kGe
+        }
+        out.bools[k] = result ? 1 : 0;
+      }
+      return out;
+    }
     // Same comparable class on both sides → typed loop; results mirror
     // Value::Equals/Compare exactly (all numeric pairs compare as double,
     // including int with int).

@@ -93,6 +93,16 @@ class BatchSource {
 
   /// Scalar value of the computed attribute `name` at `row`.
   virtual Result<types::Value> NamedAt(const std::string& name, size_t row) const = 0;
+
+  /// The defining expression of computed attribute `name`, when it is a plain
+  /// expression over this same source (no per-row state, no coordinate
+  /// transform) — the evaluator then recurses into it as a vector instead of
+  /// calling NamedAt per row. nullptr (the default) means "no batchable
+  /// definition"; correctness never depends on this hook, only fallback
+  /// counts do.
+  virtual const ExprNode* NamedExpr(const std::string& name) const {
+    return nullptr;
+  }
 };
 
 /// BatchSource over a plain relation: stored columns come straight from
@@ -137,6 +147,16 @@ struct BatchMetrics {
   std::atomic<uint64_t> simd_batches_avx2{0};
   std::atomic<uint64_t> simd_rows{0};
   std::atomic<uint64_t> simd_scalar_fallbacks{0};
+  // Dictionary-encoded string execution (db/columnar.h): string columns that
+  // built a dictionary at materialization, node-batches served from
+  // dictionary codes (string comparisons lowered to integer-code lanes,
+  // text() distinct-code splats), string-key joins that fell back to string
+  // hashing because the sides' dictionaries could not be remapped, and
+  // sparse selections gathered dense before a SIMD kernel.
+  std::atomic<uint64_t> dict_columns_built{0};
+  std::atomic<uint64_t> dict_simd_batches{0};
+  std::atomic<uint64_t> dict_remap_fallbacks{0};
+  std::atomic<uint64_t> sparse_gathers{0};
   // Morsel-driven fan-out (see db/morsel.h): groups run (fan-out sites),
   // groups that actually parallelized, morsels executed, morsels claimed by
   // pool help tickets (vs the submitting thread), and rows covered by
@@ -207,6 +227,11 @@ class BatchEvaluator {
   const BatchSource& source_;
   int simd_level_ = 0;  // resolved simd::Level, stored as int to keep
                         // expr/simd/simd.h out of this header
+  double sparse_gather_density_ = 0.0;  // ExecPolicy::sparse_gather_density
+  // Computed attributes currently being expanded through NamedExpr — guards
+  // against self-referential definitions (those fall back to NamedAt, which
+  // reports the recursion error the scalar path reports).
+  std::vector<std::string> named_in_flight_;
   Stats stats_;
 };
 

@@ -273,6 +273,13 @@ std::string Metrics::ToJson() const {
   json += ",\"simd_rows\":" + std::to_string(batch.simd_rows.load());
   json += ",\"simd_scalar_fallbacks\":" +
           std::to_string(batch.simd_scalar_fallbacks.load());
+  json += ",\"dict_columns_built\":" +
+          std::to_string(batch.dict_columns_built.load());
+  json += ",\"dict_simd_batches\":" +
+          std::to_string(batch.dict_simd_batches.load());
+  json += ",\"dict_remap_fallbacks\":" +
+          std::to_string(batch.dict_remap_fallbacks.load());
+  json += ",\"sparse_gathers\":" + std::to_string(batch.sparse_gathers.load());
   json += ",\"morsel_groups\":" + std::to_string(batch.morsel_groups.load());
   json += ",\"morsel_groups_parallel\":" +
           std::to_string(batch.morsel_groups_parallel.load());

@@ -2,11 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "boxes/box_registry.h"
 #include "boxes/query_boxes.h"
 #include "dataflow/engine.h"
 #include "db/aggregates.h"
 #include "db/catalog.h"
+#include "types/date.h"
 
 namespace tioga2::db {
 namespace {
@@ -103,6 +108,139 @@ TEST(GroupByTest, NumericKeysUnify) {
   auto grouped = GroupBy(relation, {"k"}, {AggSpec{AggFn::kCount, "", "n"}});
   ASSERT_TRUE(grouped.ok());
   EXPECT_EQ((*grouped)->num_rows(), 2u);
+}
+
+// ---- Columnar group-by ------------------------------------------------------
+// With policy.vectorized set, int/bool/date and dictionary-encoded string
+// keys group on typed cells and dictionary codes instead of TupleKey strings
+// (db/aggregates.cc). The scalar row loop is the oracle: both paths must
+// produce the same relation down to group order (first appearance) and
+// aggregate bytes.
+
+ExecPolicy ScalarPolicy() {
+  ExecPolicy policy;
+  policy.vectorized = false;
+  return policy;
+}
+
+ExecPolicy VectorizedPolicy() {
+  ExecPolicy policy;
+  policy.vectorized = true;
+  return policy;
+}
+
+constexpr size_t kEveryRow = 1u << 20;
+
+void ExpectGroupByPathsAgree(const RelationPtr& input,
+                             const std::vector<std::string>& keys,
+                             const std::vector<AggSpec>& aggs) {
+  auto scalar = GroupBy(input, keys, aggs, ScalarPolicy());
+  auto vectorized = GroupBy(input, keys, aggs, VectorizedPolicy());
+  ASSERT_EQ(scalar.ok(), vectorized.ok()) << scalar.status().ToString() << " / "
+                                          << vectorized.status().ToString();
+  if (!scalar.ok()) return;
+  // Cell-by-cell Describe identity rather than RelationEquals: NaN aggregate
+  // results never compare Equals-equal to themselves, but both paths must
+  // produce the same runtime type, text, and nullness in every cell.
+  EXPECT_EQ((*scalar)->schema()->ToString(), (*vectorized)->schema()->ToString());
+  ASSERT_EQ((*scalar)->num_rows(), (*vectorized)->num_rows());
+  for (size_t r = 0; r < (*scalar)->num_rows(); ++r) {
+    for (size_t c = 0; c < (*scalar)->num_columns(); ++c) {
+      const Value& a = (*scalar)->at(r, c);
+      const Value& b = (*vectorized)->at(r, c);
+      ASSERT_EQ(a.is_null(), b.is_null()) << "row " << r << " col " << c;
+      if (a.is_null()) continue;
+      EXPECT_EQ(a.type(), b.type()) << "row " << r << " col " << c;
+      EXPECT_EQ(a.ToString(), b.ToString()) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(GroupByColumnarTest, DictStringAndTypedKeysMatchScalarOracle) {
+  // Category strings cover the encoding edges (empty string, UTF-8, embedded
+  // NUL); int/bool/date keys and float aggregates carry nulls and NaN.
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const std::string cats[] = {"", "west", "east", std::string("a\0b", 3),
+                              "\xc3\xa9clair"};
+  std::vector<Tuple> rows;
+  for (size_t r = 0; r < 300; ++r) {
+    rows.push_back(
+        {r % 11 == 10 ? Value::Null() : Value::String(cats[r % 5]),
+         r % 7 == 6 ? Value::Null() : Value::Int(static_cast<int64_t>(r % 4)),
+         r % 13 == 12 ? Value::Null() : Value::Bool(r % 2 == 0),
+         r % 17 == 16 ? Value::Null()
+                      : Value::DateVal(types::Date(static_cast<int32_t>(r % 3))),
+         r % 5 == 4    ? Value::Null()
+         : r % 19 == 7 ? Value::Float(kNaN)
+                       : Value::Float(static_cast<double>(r) * 0.25 - 30.0)});
+  }
+  RelationPtr rel =
+      MakeRelation({Column{"s", DataType::kString}, Column{"i", DataType::kInt},
+                    Column{"b", DataType::kBool}, Column{"d", DataType::kDate},
+                    Column{"v", DataType::kFloat}},
+                   rows)
+          .value();
+  const std::vector<AggSpec> aggs = {
+      AggSpec{AggFn::kCount, "", "n"},   AggSpec{AggFn::kSum, "v", "sum_v"},
+      AggSpec{AggFn::kAvg, "v", "avg_v"}, AggSpec{AggFn::kMin, "v", "min_v"},
+      AggSpec{AggFn::kMax, "s", "max_s"}};
+  for (const std::vector<std::string>& keys :
+       std::vector<std::vector<std::string>>{
+           {"s"}, {"s", "i"}, {"i", "b", "d"}, {"s", "d"}, {"b"}}) {
+    SCOPED_TRACE(keys.front());
+    ExpectGroupByPathsAgree(rel, keys, aggs);
+  }
+}
+
+TEST(GroupByColumnarTest, TagByteValuesFallBackAndStillAgree) {
+  // TupleKey cells are "\x01v" + QuoteString(value); interior quotes are
+  // escaped, so the rows below CANNOT collide across the column boundary —
+  // three distinct groups on the scalar path. Values containing the '\x01'
+  // tag byte nonetheless push the columnar path onto the conservative
+  // fallback (db/aggregates.cc eligibility), which must reproduce the oracle
+  // exactly.
+  RelationPtr rel =
+      MakeRelation({Column{"s", DataType::kString}, Column{"t", DataType::kString},
+                    Column{"v", DataType::kInt}},
+                   {{Value::String("a\x01vb"), Value::String("c"), Value::Int(1)},
+                    {Value::String("a"), Value::String("b\x01vc"), Value::Int(10)},
+                    {Value::String("a"), Value::String("c"), Value::Int(100)}})
+          .value();
+  auto scalar = GroupBy(rel, {"s", "t"}, {AggSpec{AggFn::kSum, "v", "total"}},
+                        ScalarPolicy());
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ((*scalar)->num_rows(), 3u);
+  ExpectGroupByPathsAgree(rel, {"s", "t"}, {AggSpec{AggFn::kSum, "v", "total"}});
+}
+
+TEST(GroupByColumnarTest, FloatKeysAndUnencodedStringsStayOnTheScalarPath) {
+  // Float keys are ineligible for the columnar path (FormatDouble("-0") !=
+  // "0" although -0.0 == 0.0, and all NaNs format as "nan" while comparing
+  // unequal) — both paths must still agree because the vectorized policy
+  // simply declines these keys.
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  RelationPtr rel =
+      MakeRelation({Column{"k", DataType::kFloat}, Column{"v", DataType::kInt}},
+                   {{Value::Float(0.0), Value::Int(1)},
+                    {Value::Float(-0.0), Value::Int(2)},
+                    {Value::Float(kNaN), Value::Int(4)},
+                    {Value::Float(kNaN), Value::Int(8)},
+                    {Value::Null(), Value::Int(16)}})
+          .value();
+  ExpectGroupByPathsAgree(rel, {"k"}, {AggSpec{AggFn::kSum, "v", "total"},
+                                       AggSpec{AggFn::kCount, "", "n"}});
+
+  // Un-encoded strings (dict_encode off at materialization) likewise decline.
+  ExecPolicy no_dict = DefaultExecPolicy();
+  no_dict.dict_encode = false;
+  SetDefaultExecPolicy(no_dict);
+  RelationPtr plain = Sales();
+  plain->columnar();
+  no_dict.dict_encode = true;
+  SetDefaultExecPolicy(no_dict);
+  ExpectGroupByPathsAgree(plain, {"region", "product"},
+                          {AggSpec{AggFn::kCount, "", "n"},
+                           AggSpec{AggFn::kSum, "units", "total"}});
 }
 
 TEST(DistinctTest, RemovesDuplicatesKeepsFirst) {

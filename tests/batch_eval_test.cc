@@ -56,6 +56,22 @@ class VectorizedGuard {
   db::ExecPolicy saved_;
 };
 
+/// Pins ExecPolicy::dict_encode for a scope. Dictionaries are built when a
+/// relation first materializes its columnar image, so the guard must be in
+/// scope before the relation under test is created.
+class DictGuard {
+ public:
+  explicit DictGuard(bool dict_encode) : saved_(db::DefaultExecPolicy()) {
+    db::ExecPolicy policy = saved_;
+    policy.dict_encode = dict_encode;
+    db::SetDefaultExecPolicy(policy);
+  }
+  ~DictGuard() { db::SetDefaultExecPolicy(saved_); }
+
+ private:
+  db::ExecPolicy saved_;
+};
+
 RelationPtr Mixed() {
   return MakeRelation(
              {Column{"i", DataType::kInt}, Column{"f", DataType::kFloat},
@@ -300,11 +316,17 @@ std::vector<db::SimdLevel> DistinctLevels() {
 /// checks Describe-identity (runtime type + text + nullness) against the
 /// row-at-a-time scalar evaluator. Returns how many node-batches the SIMD
 /// kernels served, so callers can assert dispatch did/did not happen.
+/// `sparse_gather_density` overrides ExecPolicy::sparse_gather_density when
+/// non-negative (pass 0 to disable the sparse gather).
 uint64_t ExpectSimdMatchesScalar(const expr::CompiledExpr& compiled,
                                  const RelationPtr& rel, db::SimdLevel level,
-                                 const expr::Selection& sel) {
+                                 const expr::Selection& sel,
+                                 double sparse_gather_density = -1.0) {
   db::ExecPolicy policy = db::DefaultExecPolicy();
   policy.simd = level;
+  if (sparse_gather_density >= 0.0) {
+    policy.sparse_gather_density = sparse_gather_density;
+  }
   expr::RelationBatchSource batch_source(*rel);
   expr::BatchEvaluator evaluator(batch_source, policy);
   auto vec = evaluator.Eval(compiled.root(), sel);
@@ -418,14 +440,20 @@ TEST(SimdEquivalenceTest, SelectionShapesDispatchOrFallBack) {
   // merge kernel only runs when the left branch decided no rows (every row
   // still needs the right branch), so those cases build a true-or-null /
   // false-or-null lhs deliberately: dense 3 = two comparisons + the merge.
-  // Under a sparse selection the comparisons fall back (their operands are
-  // gathers), but the merge still runs — it consumes the typed bool vectors
-  // the fallback loops materialized, which are contiguous whatever the
-  // selection shape.
+  //
+  // Sparse selections dispatch two ways, keyed off
+  // ExecPolicy::sparse_gather_density. At the default (0.5), an every-3rd-row
+  // selection (density 1/3 <= 0.5) gathers its column operands into dense
+  // scratch first, so the kernels dispatch exactly as they do for the dense
+  // window. With the knob at 0 the gather is disabled and the comparisons
+  // fall back to the typed loops (their operands are per-row gathers), but
+  // the and/or merge still runs — it consumes the typed bool vectors the
+  // fallback loops materialized, which are contiguous whatever the selection
+  // shape.
   const struct {
     const char* source;
     uint64_t dense_nodes;
-    uint64_t sparse_nodes;
+    uint64_t no_gather_nodes;  // sparse selection, sparse_gather_density = 0
   } cases[] = {
       {"f + g", 1, 0},
       {"f < g", 1, 0},
@@ -440,16 +468,27 @@ TEST(SimdEquivalenceTest, SelectionShapesDispatchOrFallBack) {
         expr::CompiledExpr::Compile(c.source, db::SchemaEnv(rel->schema()));
     ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
 
-    // Sparse selections take the typed loops for column reads (no contiguous
-    // window to hand a kernel) and still match the oracle.
+    // Sparse selection under the default policy: the gather densifies the
+    // operands, so dispatch matches the dense window.
     expr::Selection sparse;
     for (uint32_t r = 0; r < 200; r += 3) sparse.push_back(r);
     uint64_t sparse_dispatched =
         ExpectSimdMatchesScalar(*compiled, rel, db::SimdLevel::kAVX2, sparse);
 #if defined(TIOGA2_SIMD_ENABLED)
-    EXPECT_EQ(sparse_dispatched, c.sparse_nodes);
+    EXPECT_EQ(sparse_dispatched, c.dense_nodes);
 #else
     EXPECT_EQ(sparse_dispatched, 0u);
+#endif
+
+    // Same selection with the gather disabled: column reads take the typed
+    // loops (no contiguous window to hand a kernel) and still match the
+    // oracle.
+    uint64_t no_gather_dispatched = ExpectSimdMatchesScalar(
+        *compiled, rel, db::SimdLevel::kAVX2, sparse, /*sparse_gather_density=*/0.0);
+#if defined(TIOGA2_SIMD_ENABLED)
+    EXPECT_EQ(no_gather_dispatched, c.no_gather_nodes);
+#else
+    EXPECT_EQ(no_gather_dispatched, 0u);
 #endif
 
     // A dense suffix window starts mid-word, exercising the shifted
@@ -549,15 +588,18 @@ TEST(BatchEvalStampRegressionTest, VectorizationCannotChangeFingerprintsOrStamps
 
     // Pass 0: scalar row-at-a-time. Pass 1: vectorized typed loops with the
     // SIMD tiers pinned off. Pass 2: vectorized with the best SIMD tier the
-    // host supports forced on (kAVX2 clamps down on lesser machines). All
-    // three must agree bit-for-bit or memoization would churn on a policy
-    // flip.
-    std::map<std::string, std::string> fingerprints[3];
-    std::map<std::string, std::optional<uint64_t>> stamps[3];
-    for (int pass = 0; pass < 3; ++pass) {
+    // host supports forced on (kAVX2 clamps down on lesser machines) and
+    // dictionary encoding at its default (on) — the dict-SIMD paths run here.
+    // Pass 3: like pass 2 but with dictionary encoding disabled, so the
+    // string comparisons/joins/group-bys take their generic paths. All four
+    // must agree bit-for-bit or memoization would churn on a policy flip.
+    std::map<std::string, std::string> fingerprints[4];
+    std::map<std::string, std::optional<uint64_t>> stamps[4];
+    for (int pass = 0; pass < 4; ++pass) {
       VectorizedGuard guard(pass >= 1);
-      SimdGuard simd_guard(pass == 2 ? db::SimdLevel::kAVX2
+      SimdGuard simd_guard(pass >= 2 ? db::SimdLevel::kAVX2
                                      : db::SimdLevel::kScalar);
+      DictGuard dict_guard(pass != 3);
       Environment env;
       ASSERT_TRUE(env.LoadDemoData(program.extra_stations, program.num_days).ok());
       Status built = program.build(&env);
@@ -573,9 +615,174 @@ TEST(BatchEvalStampRegressionTest, VectorizationCannotChangeFingerprintsOrStamps
         stamps[pass][id] = session.engine().cache().StampOf(id);
       }
     }
-    for (int pass = 1; pass < 3; ++pass) {
+    for (int pass = 1; pass < 4; ++pass) {
       EXPECT_EQ(fingerprints[0], fingerprints[pass]) << "pass " << pass;
       EXPECT_EQ(stamps[0], stamps[pass]) << "pass " << pass;
+    }
+  }
+}
+
+// ---- Dictionary-encoded string execution -----------------------------------
+// String comparisons against constants lower onto integer dictionary codes
+// (db/columnar.h dictionaries, the lowering table in expr/batch.cc). The
+// dictionary is sorted in Value::Compare's string order, so code-space
+// thresholds reproduce the string loop's bits exactly. These tests hold the
+// dict paths to the same Describe-identity standard as the SIMD tiers, plus
+// dispatch-counter evidence that the lowering actually ran.
+
+/// Categories exercising every ordering edge the lowering must respect: the
+/// empty string (sorts first), an embedded NUL byte, plain ASCII, and a
+/// multi-byte UTF-8 value; nulls on a period coprime with the category cycle.
+RelationPtr CategoricalRelation(size_t n) {
+  const std::string cats[] = {"",     std::string("a\0b", 3), "alpha",
+                              "beta", "\xc3\xa9clair",        "omega"};
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    rows.push_back({r % 7 == 6 ? Value::Null() : Value::String(cats[r % 6]),
+                    Value::Int(static_cast<int64_t>(r % 13) - 6)});
+  }
+  return MakeRelation(
+             {Column{"s", DataType::kString}, Column{"i", DataType::kInt}}, rows)
+      .value();
+}
+
+TEST(DictExecutionTest, CompareLoweringMatchesScalarAcrossOpsAndConstants) {
+  RelationPtr rel = CategoricalRelation(200);
+  uint64_t before = expr::BatchMetrics::Global().dict_simd_batches.load();
+  // Constants cover: present values (middle, lowest = the empty string),
+  // absent values that fall between, below, and above every dictionary
+  // entry — each against every comparison op, in both operand orders.
+  for (const char* source : {
+           "s = \"beta\"", "s != \"beta\"", "s < \"beta\"", "s <= \"beta\"",
+           "s > \"beta\"", "s >= \"beta\"",
+           "s = \"\"", "s != \"\"", "s <= \"\"", "s > \"\"",
+           // Absent: between "alpha" and "beta" / below all / above all.
+           "s = \"b\"", "s != \"b\"", "s < \"b\"", "s >= \"b\"",
+           "s = \"zzz\"", "s <= \"zzz\"", "s > \"zzz\"",
+           // Constant on the left flips the comparison before lowering.
+           "\"beta\" = s", "\"beta\" < s", "\"beta\" <= s", "\"beta\" >= s",
+           // Inside compound predicates the lowered node feeds the 3VL merge.
+           "s >= \"beta\" and i > 0", "s = \"omega\" or s = \"alpha\"",
+       }) {
+    SCOPED_TRACE(source);
+    ExpectSameRestrict(rel, source);
+    auto compiled =
+        expr::CompiledExpr::Compile(source, db::SchemaEnv(rel->schema()));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    // Describe-identity at every dispatch level, dense and sparse (the code
+    // gather makes sparse selections dense for free).
+    expr::Selection dense;
+    expr::IdentitySelection(0, rel->num_rows(), &dense);
+    expr::Selection sparse;
+    for (uint32_t r = 1; r < rel->num_rows(); r += 3) sparse.push_back(r);
+    for (db::SimdLevel level : DistinctLevels()) {
+      ExpectSimdMatchesScalar(*compiled, rel, level, dense);
+      ExpectSimdMatchesScalar(*compiled, rel, level, sparse);
+    }
+  }
+  EXPECT_GT(expr::BatchMetrics::Global().dict_simd_batches.load(), before)
+      << "the dictionary lowering never dispatched";
+}
+
+TEST(DictExecutionTest, DictOnAndOffProduceIdenticalRestricts) {
+  // Dictionaries are built at materialization, so each policy needs its own
+  // freshly built relation. Every pairing — dict on/off × vectorized
+  // on/off — must produce the same relation bytes.
+  const char* predicates[] = {"s >= \"beta\"", "s != \"alpha\" and i <= 2",
+                              "s < \"b\" or s > \"omeg\""};
+  for (const char* predicate : predicates) {
+    SCOPED_TRACE(predicate);
+    std::vector<RelationPtr> results;
+    for (bool dict_on : {true, false}) {
+      for (bool vec_on : {true, false}) {
+        DictGuard dict_guard(dict_on);
+        VectorizedGuard vec_guard(vec_on);
+        RelationPtr rel = CategoricalRelation(150);
+        auto compiled = db::CompilePredicate(rel->schema(), predicate);
+        ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+        auto restricted = db::Restrict(rel, compiled.value());
+        ASSERT_TRUE(restricted.ok()) << restricted.status().ToString();
+        results.push_back(restricted.value());
+      }
+    }
+    for (size_t k = 1; k < results.size(); ++k) {
+      EXPECT_TRUE(db::RelationEquals(*results[0], *results[k]))
+          << "variant " << k << " diverged:\n"
+          << results[0]->ToString() << "vs\n"
+          << results[k]->ToString();
+    }
+  }
+}
+
+TEST(DictExecutionTest, RandomizedCategoricalSweep) {
+  // Random category alphabets (including adversarial near-misses of each
+  // other: prefixes, shared stems), random null rates, random comparison
+  // predicates — batch output must Describe-match the scalar oracle at every
+  // dispatch level.
+  Rng rng(20260809);
+  const std::string alphabet[] = {"a",  "ab",  "abc", "b",    "ba",
+                                  "bb", "cat", "ca",  "c\x7f", ""};
+  size_t compared = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const size_t n = 1 + rng.NextUint64() % 180;
+    const size_t num_cats = 1 + rng.NextUint64() % std::size(alphabet);
+    std::vector<Tuple> rows;
+    for (size_t r = 0; r < n; ++r) {
+      rows.push_back({rng.NextUint64() % 6 == 0
+                          ? Value::Null()
+                          : Value::String(alphabet[rng.NextUint64() % num_cats]),
+                      Value::Int(static_cast<int64_t>(r))});
+    }
+    RelationPtr rel =
+        MakeRelation(
+            {Column{"s", DataType::kString}, Column{"i", DataType::kInt}}, rows)
+            .value();
+    const char* cmps[] = {"=", "!=", "<", "<=", ">", ">="};
+    // Compare against a constant drawn from the same alphabet — roughly half
+    // the draws are present in this relation, half absent.
+    std::string constant = alphabet[rng.NextUint64() % std::size(alphabet)];
+    std::string source = "s " + std::string(cmps[rng.NextUint64() % 6]) +
+                         " \"" + constant + "\"";
+    SCOPED_TRACE(source);
+    auto compiled =
+        expr::CompiledExpr::Compile(source, db::SchemaEnv(rel->schema()));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    expr::Selection sel;
+    expr::IdentitySelection(0, n, &sel);
+    for (db::SimdLevel level : DistinctLevels()) {
+      ExpectSimdMatchesScalar(*compiled, rel, level, sel);
+    }
+    compared += n;
+  }
+  EXPECT_GT(compared, 1000u);
+}
+
+TEST(DictExecutionTest, TextBuiltinSplatsDistinctCodes) {
+  // text(s, const_size) over an encoded column formats each distinct value
+  // once and splats the shared drawables by code — results must Describe-match
+  // the per-row builtin eval, and the splat must actually dispatch.
+  RelationPtr rel = CategoricalRelation(80);
+  rel->columnar();
+  for (const char* source : {"text(s, 2.0)", "text(s, 3.0, \"#112233\")"}) {
+    SCOPED_TRACE(source);
+    auto compiled =
+        expr::CompiledExpr::Compile(source, db::SchemaEnv(rel->schema()));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    uint64_t before = expr::BatchMetrics::Global().dict_simd_batches.load();
+    expr::RelationBatchSource batch_source(*rel);
+    expr::BatchEvaluator evaluator(batch_source);
+    expr::Selection sel;
+    expr::IdentitySelection(0, rel->num_rows(), &sel);
+    auto vec = evaluator.Eval(compiled->root(), sel);
+    ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+    EXPECT_GT(expr::BatchMetrics::Global().dict_simd_batches.load(), before);
+    for (size_t r = 0; r < rel->num_rows(); ++r) {
+      expr::TupleAccessor accessor(rel->row(r));
+      auto scalar = compiled->Eval(accessor);
+      ASSERT_TRUE(scalar.ok());
+      EXPECT_EQ(Describe(vec->ValueAt(r)), Describe(scalar.value()))
+          << "row " << r;
     }
   }
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "db/columnar.h"
+#include "db/exec_policy.h"
 #include "db/relation.h"
 #include "types/date.h"
 
@@ -162,6 +163,144 @@ TEST(ColumnarTest, ConcurrentMaterializationIsSafe) {
   EXPECT_EQ(seen[0], seen[2]);
   EXPECT_EQ(seen[1], seen[3]);
   EXPECT_EQ(rel->columnar().column(0).ints.size(), 10000u);
+}
+
+// ---- Dictionary encoding ---------------------------------------------------
+// kString columns additionally carry a sorted-unique dictionary plus per-row
+// codes (db/columnar.h). The canonical `strings` vector stays authoritative;
+// the dictionary is an accelerator, so every test here checks both that the
+// encoding round-trips and that the plain string data is untouched.
+
+/// Pins ExecPolicy::dict_encode for a scope (materialization consults the
+/// process default).
+class DictGuard {
+ public:
+  explicit DictGuard(bool dict_encode) : saved_(DefaultExecPolicy()) {
+    ExecPolicy policy = saved_;
+    policy.dict_encode = dict_encode;
+    SetDefaultExecPolicy(policy);
+  }
+  ~DictGuard() { SetDefaultExecPolicy(saved_); }
+
+ private:
+  ExecPolicy saved_;
+};
+
+RelationPtr StringRelation(const std::vector<Value>& cells) {
+  std::vector<Tuple> rows;
+  for (const Value& v : cells) rows.push_back({v});
+  return MakeRelation({Column{"s", DataType::kString}}, rows).value();
+}
+
+/// Every non-null row's code must index a dictionary entry equal to its
+/// string; null rows carry code 0; the dictionary is sorted and unique.
+void ExpectDictConsistent(const ColumnVector& col) {
+  ASSERT_TRUE(col.has_dict());
+  ASSERT_EQ(col.dict_codes.size(), col.num_rows);
+  const std::vector<std::string>& dict = *col.dict_values;
+  EXPECT_TRUE(std::is_sorted(dict.begin(), dict.end()));
+  EXPECT_EQ(std::adjacent_find(dict.begin(), dict.end()), dict.end());
+  for (size_t r = 0; r < col.num_rows; ++r) {
+    if (col.IsNull(r)) {
+      EXPECT_EQ(col.dict_codes[r], 0u) << "row " << r;
+    } else {
+      ASSERT_LT(col.dict_codes[r], dict.size()) << "row " << r;
+      EXPECT_EQ(dict[col.dict_codes[r]], col.strings[r]) << "row " << r;
+    }
+  }
+}
+
+TEST(ColumnarDictTest, SortedUniqueValuesAndCodes) {
+  // Duplicates, the empty string, UTF-8 payloads, an embedded NUL byte, and a
+  // null row — everything a dictionary must keep byte-exact.
+  const std::string with_nul("a\0b", 3);
+  RelationPtr rel = StringRelation(
+      {Value::String("pear"), Value::String("apple"), Value::String(""),
+       Value::String("pear"), Value::String("\xc3\xa9clair"), Value::Null(),
+       Value::String(with_nul), Value::String("apple")});
+  const ColumnVector& col = rel->columnar().column(0);
+  ExpectDictConsistent(col);
+  EXPECT_EQ(col.dict_values->size(), 5u);  // "", a\0b, apple, pear, éclair
+  EXPECT_EQ((*col.dict_values)[0], "");
+  EXPECT_EQ((*col.dict_values)[1], with_nul);
+  // Canonical strings stay populated alongside the codes.
+  EXPECT_EQ(col.strings[0], "pear");
+  EXPECT_EQ(col.strings[6], with_nul);
+}
+
+TEST(ColumnarDictTest, DegenerateShapes) {
+  // All-null: an empty dictionary, but still encoded (has_dict() drives the
+  // fast paths, which all handle "no distinct values").
+  RelationPtr all_null =
+      StringRelation({Value::Null(), Value::Null(), Value::Null()});
+  const ColumnVector& nul_col = all_null->columnar().column(0);
+  ExpectDictConsistent(nul_col);
+  EXPECT_TRUE(nul_col.dict_values->empty());
+
+  // One distinct value shared by every row.
+  std::vector<Value> same(100, Value::String("only"));
+  RelationPtr one_rel = StringRelation(same);
+  const ColumnVector& one = one_rel->columnar().column(0);
+  ExpectDictConsistent(one);
+  EXPECT_EQ(one.dict_values->size(), 1u);
+
+  // All rows distinct: codes are a permutation of [0, n).
+  std::vector<Value> uniq;
+  for (int i = 0; i < 50; ++i) uniq.push_back(Value::String("v" + std::to_string(i)));
+  RelationPtr all_rel = StringRelation(uniq);
+  const ColumnVector& all = all_rel->columnar().column(0);
+  ExpectDictConsistent(all);
+  EXPECT_EQ(all.dict_values->size(), 50u);
+}
+
+TEST(ColumnarDictTest, ViewsShareTheDictionaryAndGatherCodes) {
+  std::vector<Value> cells;
+  for (size_t r = 0; r < 120; ++r) {
+    cells.push_back(r % 11 == 10 ? Value::Null()
+                                 : Value::String("cat" + std::to_string(r % 7)));
+  }
+  RelationPtr base = StringRelation(cells);
+  const ColumnVector& base_col = base->columnar().column(0);
+  ASSERT_TRUE(base_col.has_dict());
+
+  // A duplicated, out-of-order selection view shares the dict_values pointer
+  // (same shared_ptr, no re-encode) and gathers only the codes.
+  std::vector<uint32_t> sel = {9, 9, 118, 0, 42, 10, 77, 10};
+  RelationPtr view = Relation::MakeSelectionView(base, sel);
+  const ColumnVector& vcol = view->columnar().column(0);
+  EXPECT_EQ(vcol.dict_values.get(), base_col.dict_values.get());
+  ExpectDictConsistent(vcol);
+
+  // A view of the view still points at the original dictionary.
+  RelationPtr view2 = Relation::MakeSelectionView(view, {3, 1, 1, 0});
+  const ColumnVector& v2col = view2->columnar().column(0);
+  EXPECT_EQ(v2col.dict_values.get(), base_col.dict_values.get());
+  ExpectDictConsistent(v2col);
+
+  // SplatCell broadcasts one cell's code (and an all-null splat for null
+  // cells), sharing the dictionary the same way.
+  ColumnVector splat = SplatCell(base_col, 3, 5);
+  EXPECT_EQ(splat.dict_values.get(), base_col.dict_values.get());
+  ExpectDictConsistent(splat);
+  ColumnVector null_splat = SplatCell(base_col, 10, 4);  // row 10 is null
+  ExpectDictConsistent(null_splat);
+  for (size_t r = 0; r < 4; ++r) EXPECT_TRUE(null_splat.IsNull(r));
+
+  // GatherColumn is the same machinery exposed directly.
+  ColumnVector gathered = GatherColumn(base_col, {5, 5, 99, 10});
+  EXPECT_EQ(gathered.dict_values.get(), base_col.dict_values.get());
+  ExpectDictConsistent(gathered);
+}
+
+TEST(ColumnarDictTest, PolicyKnobDisablesEncoding) {
+  DictGuard guard(/*dict_encode=*/false);
+  RelationPtr rel = StringRelation({Value::String("x"), Value::String("y")});
+  const ColumnVector& col = rel->columnar().column(0);
+  EXPECT_FALSE(col.has_dict());
+  EXPECT_TRUE(col.dict_codes.empty());
+  // The canonical representation is unaffected.
+  EXPECT_EQ(col.strings[0], "x");
+  EXPECT_EQ(col.strings[1], "y");
 }
 
 }  // namespace

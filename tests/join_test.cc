@@ -14,6 +14,7 @@
 
 #include "boxes/relational_boxes.h"
 #include "db/operators.h"
+#include "expr/batch.h"
 #include "testing/fig_programs.h"
 #include "tioga2/environment.h"
 
@@ -162,6 +163,109 @@ TEST(JoinHashKeyTest, CollisionChainsResolveByRealEquality) {
   JoinResult result = JoinBothPaths(left, right, "a = b");
   EXPECT_EQ(result.algorithm, JoinAlgorithm::kHash);
   EXPECT_EQ(result.relation->num_rows(), expected);
+}
+
+RelationPtr StringKeyed(const char* key_name,
+                        std::vector<std::optional<std::string>> keys) {
+  RelationBuilder builder(std::make_shared<const Schema>(
+      Schema::Make({Column{key_name, DataType::kString},
+                    Column{std::string(key_name) + "_tag", DataType::kInt}})
+          .value()));
+  int64_t tag = 0;
+  for (const auto& key : keys) {
+    builder.AddRowUnchecked(Tuple{
+        key.has_value() ? Value::String(*key) : Value::Null(), Value::Int(tag++)});
+  }
+  return builder.Build();
+}
+
+/// Pins ExecPolicy::dict_encode while relations are built (dictionaries are
+/// created at columnar materialization).
+class DictGuard {
+ public:
+  explicit DictGuard(bool dict_encode) : saved_(DefaultExecPolicy()) {
+    ExecPolicy policy = saved_;
+    policy.dict_encode = dict_encode;
+    SetDefaultExecPolicy(policy);
+  }
+  ~DictGuard() { SetDefaultExecPolicy(saved_); }
+
+ private:
+  ExecPolicy saved_;
+};
+
+// ---- Dictionary-encoded string keys ----------------------------------------
+// The vectorized hash join hashes dictionary codes instead of string bytes
+// when both key columns are encoded (db/operators.cc). A self-join shares one
+// dictionary and compares codes directly; two independently built relations
+// have different dictionaries, so build codes are remapped into probe code
+// space by binary search. Either way the scalar string-hashing oracle defines
+// the output bytes.
+
+TEST(JoinDictKeyTest, SharedDictionarySelfJoinComparesCodesDirectly) {
+  RelationPtr rel =
+      StringKeyed("a", {"x", "y", std::nullopt, "x", "z", std::nullopt});
+  const uint64_t fallbacks_before =
+      expr::BatchMetrics::Global().dict_remap_fallbacks.load();
+  JoinResult result = JoinBothPaths(rel, rel, "a = a_2");
+  EXPECT_EQ(result.algorithm, JoinAlgorithm::kHash);
+  // x matches x twice each way (4), y and z match themselves; nulls never.
+  EXPECT_EQ(result.relation->num_rows(), 6u);
+  EXPECT_EQ(expr::BatchMetrics::Global().dict_remap_fallbacks.load(),
+            fallbacks_before);
+}
+
+TEST(JoinDictKeyTest, DifferentDictionariesRemapBuildCodesToProbeSpace) {
+  // Partially overlapping alphabets with the encoding edge cases: the empty
+  // string, an embedded NUL byte, values private to each side, and nulls.
+  const std::string nul_key("k\0key", 5);
+  RelationPtr left = StringKeyed(
+      "a", {"apple", "", std::nullopt, nul_key, "pear", "apple"});
+  RelationPtr right = StringKeyed(
+      "b", {"pear", "quince", "", std::nullopt, nul_key, "apple"});
+  JoinResult result = JoinBothPaths(left, right, "a = b");
+  EXPECT_EQ(result.algorithm, JoinAlgorithm::kHash);
+  // apple×1 twice, ""×1, nul×1, pear×1; "quince" and the nulls drop.
+  EXPECT_EQ(result.relation->num_rows(), 5u);
+}
+
+TEST(JoinDictKeyTest, RemapChainsResolveTheExactMatchMultiset) {
+  // Enough rows that code-hash bucket chains mix distinct keys, with the two
+  // sides drawing from offset alphabet windows so the remap table contains
+  // both mapped and unmapped build codes.
+  std::vector<std::optional<std::string>> left_keys, right_keys;
+  std::map<std::string, size_t> left_count, right_count;
+  for (size_t i = 0; i < 3000; ++i) {
+    std::string kl = "cat" + std::to_string((i * 7919) % 60);        // cat0..59
+    std::string kr = "cat" + std::to_string(30 + (i * 104729) % 60); // cat30..89
+    left_keys.push_back(kl);
+    right_keys.push_back(kr);
+    ++left_count[kl];
+    ++right_count[kr];
+  }
+  size_t expected = 0;
+  for (const auto& [k, n] : left_count) {
+    auto it = right_count.find(k);
+    if (it != right_count.end()) expected += n * it->second;
+  }
+  RelationPtr left = StringKeyed("a", left_keys);
+  RelationPtr right = StringKeyed("b", right_keys);
+  JoinResult result = JoinBothPaths(left, right, "a = b");
+  EXPECT_EQ(result.algorithm, JoinAlgorithm::kHash);
+  EXPECT_EQ(result.relation->num_rows(), expected);
+}
+
+TEST(JoinDictKeyTest, UnencodedStringKeysFallBackToStringHashingAndCount) {
+  DictGuard guard(/*dict_encode=*/false);
+  RelationPtr left = StringKeyed("a", {"x", "y", "z", "x"});
+  RelationPtr right = StringKeyed("b", {"y", "x", "w"});
+  const uint64_t fallbacks_before =
+      expr::BatchMetrics::Global().dict_remap_fallbacks.load();
+  JoinResult result = JoinBothPaths(left, right, "a = b");
+  EXPECT_EQ(result.algorithm, JoinAlgorithm::kHash);
+  EXPECT_EQ(result.relation->num_rows(), 3u);
+  EXPECT_GT(expr::BatchMetrics::Global().dict_remap_fallbacks.load(),
+            fallbacks_before);
 }
 
 TEST(JoinOrderTest, LeftMajorOrderSurvivesCardinalityFlip) {

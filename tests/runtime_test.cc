@@ -243,6 +243,11 @@ TEST_F(ParallelEngineTest, RecordsMetrics) {
   EXPECT_NE(json.find("\"simd_batches_avx2\""), std::string::npos);
   EXPECT_NE(json.find("\"simd_rows\""), std::string::npos);
   EXPECT_NE(json.find("\"simd_scalar_fallbacks\""), std::string::npos);
+  // Dictionary-encoded string execution counters (likewise always present).
+  EXPECT_NE(json.find("\"dict_columns_built\""), std::string::npos);
+  EXPECT_NE(json.find("\"dict_simd_batches\""), std::string::npos);
+  EXPECT_NE(json.find("\"dict_remap_fallbacks\""), std::string::npos);
+  EXPECT_NE(json.find("\"sparse_gathers\""), std::string::npos);
 }
 
 TEST(LatencyHistogramTest, QuantilesAndCounts) {
